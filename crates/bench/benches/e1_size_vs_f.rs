@@ -1,0 +1,45 @@
+//! Bench companion to experiment E1 (Table 1): FT-greedy construction time
+//! as the fault budget grows. The size data lives in `repro e1`; this
+//! measures the wall-clock side of the same sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spanner_core::{greedy_spanner, FtGreedy};
+use spanner_graph::generators::erdos_renyi;
+
+fn bench_construction_vs_f(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(101);
+    let g = erdos_renyi(60, 0.2, &mut rng);
+    let mut group = c.benchmark_group("e1_construction_vs_f");
+    group.sample_size(10);
+    group.bench_function("classic_greedy", |b| {
+        b.iter(|| greedy_spanner(&g, 3));
+    });
+    for f in [0usize, 1, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("ft_greedy", f), &f, |b, &f| {
+            b.iter(|| FtGreedy::new(&g, 3).faults(f).run());
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction_vs_stretch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(102);
+    let g = erdos_renyi(60, 0.2, &mut rng);
+    let mut group = c.benchmark_group("e1_construction_vs_stretch");
+    group.sample_size(10);
+    for stretch in [1u64, 3, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("ft_greedy_f1", stretch),
+            &stretch,
+            |b, &s| {
+                b.iter(|| FtGreedy::new(&g, s).faults(1).run());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction_vs_f, bench_construction_vs_stretch);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Bench companion to experiments E4/E5 (Tables 4/5): construction time of
+//! the FT greedy against the polynomial-time baselines on one fixed input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spanner_core::baselines::{dk_spanner, union_eft_spanner, DkParams};
+use spanner_core::FtGreedy;
+use spanner_faults::FaultModel;
+use spanner_graph::generators::erdos_renyi;
+
+fn bench_vft_constructions(c: &mut Criterion) {
+    let n = 60;
+    let mut rng = StdRng::seed_from_u64(404);
+    let g = erdos_renyi(n, 0.2, &mut rng);
+    let mut group = c.benchmark_group("e4_vft_constructions");
+    group.sample_size(10);
+    for f in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("ft_greedy_vft", f), &f, |b, &f| {
+            b.iter(|| FtGreedy::new(&g, 3).faults(f).run());
+        });
+        group.bench_with_input(BenchmarkId::new("dk_baseline", f), &f, |b, &f| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(405);
+                dk_spanner(&g, 3, DkParams::heuristic(n, f, 3.0), &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eft_constructions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(406);
+    let g = erdos_renyi(60, 0.2, &mut rng);
+    let mut group = c.benchmark_group("e5_eft_constructions");
+    group.sample_size(10);
+    for f in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("ft_greedy_eft", f), &f, |b, &f| {
+            b.iter(|| {
+                FtGreedy::new(&g, 3)
+                    .faults(f)
+                    .model(FaultModel::Edge)
+                    .run()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("union_baseline", f), &f, |b, &f| {
+            b.iter(|| union_eft_spanner(&g, 3, f));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vft_constructions, bench_eft_constructions);
+criterion_main!(benches);

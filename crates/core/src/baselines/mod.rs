@@ -1,0 +1,13 @@
+//! Baseline fault tolerant spanner constructions for comparison with the
+//! paper's FT-greedy algorithm.
+//!
+//! * [`dk_spanner`] — DK11-style random-subset construction: polynomial
+//!   time, provable VFT guarantee, larger output (experiments E4, E10).
+//! * [`union_eft_spanner`] — (f+1) edge-disjoint greedy layers: the classic
+//!   EFT baseline (experiment E5).
+
+mod dk;
+mod union;
+
+pub use dk::{dk_spanner, DkParams};
+pub use union::union_eft_spanner;

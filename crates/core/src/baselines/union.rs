@@ -1,0 +1,127 @@
+//! The classic union-of-spanners EFT baseline.
+//!
+//! Fold-lore construction for *edge* fault tolerance: compute a greedy
+//! `k`-spanner `H₁` of `G`, remove its edges, compute `H₂` of the rest,
+//! and so on `f + 1` times; output `H = H₁ ∪ … ∪ H_{f+1}`.
+//!
+//! **Why it is f-EFT**: fix an edge `(u, v) ∈ G ∖ F` and `|F| ≤ f`. For
+//! each layer `i`, either `(u, v) ∈ Hᵢ` or `Hᵢ` contains a `u→v` path of
+//! weight ≤ `k·w(u,v)` (the edge was present in layer `i`'s input unless an
+//! earlier layer took it — and if an earlier layer took it, that layer
+//! contains the edge itself). This yields `f + 1` *edge-disjoint*
+//! witnesses (paths or the edge), and `F` can destroy at most `f` of them.
+//!
+//! Size: at most `(f + 1) · b(n, k+1)` — worse than the FT-greedy's
+//! Theorem 1 bound in `f` (linear vs `f^{1−1/k}` at Moore tightness), but
+//! polynomial-time. Experiment E5 compares the two.
+
+use crate::{greedy_spanner_masked, Spanner};
+use spanner_graph::{FaultMask, Graph};
+
+/// Builds the `(f+1)`-layer union EFT spanner.
+///
+/// # Panics
+///
+/// Panics if `stretch == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_core::baselines::union_eft_spanner;
+/// use spanner_graph::generators::complete;
+///
+/// let g = complete(12);
+/// let s = union_eft_spanner(&g, 3, 1);
+/// assert!(s.edge_count() <= g.edge_count());
+/// ```
+pub fn union_eft_spanner(graph: &Graph, stretch: u64, faults: usize) -> Spanner {
+    assert!(stretch >= 1, "stretch must be positive");
+    let mut taken = FaultMask::for_graph(graph);
+    let mut kept = Vec::new();
+    for _ in 0..=faults {
+        let layer = greedy_spanner_masked(graph, stretch, &taken);
+        if layer.edge_count() == 0 {
+            break;
+        }
+        for parent in layer.parent_edge_ids() {
+            kept.push(*parent);
+            taken.fault_edge(*parent);
+        }
+    }
+    Spanner::from_parent_edges(graph, kept, stretch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_ft_exhaustive, verify_spanner};
+    use crate::FtGreedy;
+    use spanner_faults::FaultModel;
+    use spanner_graph::generators::{complete, grid};
+
+    #[test]
+    fn is_plain_spanner() {
+        let g = complete(14);
+        let s = union_eft_spanner(&g, 3, 2);
+        assert!(verify_spanner(&g, &s).satisfied);
+    }
+
+    #[test]
+    fn passes_exhaustive_edge_audit() {
+        for f in 0..=2usize {
+            let g = complete(8);
+            let s = union_eft_spanner(&g, 3, f);
+            let audit = verify_ft_exhaustive(&g, &s, f, FaultModel::Edge);
+            assert!(
+                audit.satisfied(),
+                "f={f}: {} violations of {}",
+                audit.violations,
+                audit.trials
+            );
+        }
+    }
+
+    #[test]
+    fn grid_audit() {
+        let g = grid(3, 4);
+        let s = union_eft_spanner(&g, 3, 1);
+        let audit = verify_ft_exhaustive(&g, &s, 1, FaultModel::Edge);
+        assert!(audit.satisfied());
+    }
+
+    #[test]
+    fn layers_grow_size_roughly_linearly() {
+        let g = complete(20);
+        let s0 = union_eft_spanner(&g, 3, 0);
+        let s2 = union_eft_spanner(&g, 3, 2);
+        assert!(s2.edge_count() > s0.edge_count());
+        assert!(s2.edge_count() <= 3 * s0.edge_count() + g.node_count());
+    }
+
+    #[test]
+    fn exhausts_parent_gracefully() {
+        // More layers than the graph can supply: stops early, keeps all.
+        let g = grid(2, 2);
+        let s = union_eft_spanner(&g, 1, 10);
+        assert_eq!(s.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn greedy_beats_union_baseline_in_size() {
+        // The headline comparison (E5 in miniature): FT-greedy's EFT output
+        // is no larger than the union baseline.
+        let g = complete(12);
+        let f = 2usize;
+        let union = union_eft_spanner(&g, 3, f);
+        let greedy = FtGreedy::new(&g, 3)
+            .faults(f)
+            .model(FaultModel::Edge)
+            .run();
+        assert!(
+            greedy.spanner().edge_count() <= union.edge_count(),
+            "greedy {} vs union {}",
+            greedy.spanner().edge_count(),
+            union.edge_count()
+        );
+    }
+}

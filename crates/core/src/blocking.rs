@@ -1,0 +1,324 @@
+//! Blocking sets — the combinatorial heart of the paper's analysis.
+//!
+//! Definition 3 (vertex form): a `k`-blocking set for `H` is a set
+//! `B ⊆ V × E` with (1) `v ∉ e` for every `(v, e) ∈ B` and (2) every cycle
+//! of at most `k` edges contains both members of some pair. The closing
+//! remark uses the analogous *edge* form (pairs of distinct edges).
+//!
+//! **Lemma 3** (implemented by [`BlockingSet::from_witnesses`]): the FT
+//! greedy output `H` has a `(k+1)`-blocking set of size at most
+//! `f·|E(H)|` — take `B = {(x, e) : e ∈ H, x ∈ F_e}` over the recorded
+//! witnesses. Why it blocks: for any cycle `C` on ≤ k+1 edges, let `e` be
+//! the edge of `C` the greedy considered last. The rest of `C` was already
+//! present, forming a `u-v` path of weight ≤ k·w(e); since
+//! `dist_{H∖F_e}(u, v) > k·w(e)`, the witness `F_e` must hit that path
+//! inside `C ∖ {u, v}`.
+//!
+//! [`verify_blocking_set`] checks property (2) directly against enumerated
+//! short cycles — this is how the reproduction *measures* Lemma 3 instead
+//! of trusting it.
+
+use crate::FtSpanner;
+use spanner_faults::FaultModel;
+use spanner_graph::{cycles, EdgeId, FaultMask, Graph, NodeId};
+use std::collections::HashSet;
+
+/// A blocking set in either the vertex or the edge form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockingSet {
+    /// Pairs `(vertex, edge)` with the vertex not an endpoint of the edge.
+    Vertex(Vec<(NodeId, EdgeId)>),
+    /// Pairs of distinct edges.
+    Edge(Vec<(EdgeId, EdgeId)>),
+}
+
+impl BlockingSet {
+    /// Lemma 3: assemble the blocking set from an FT-greedy run's recorded
+    /// witnesses. Pairs reference *spanner* edge ids.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spanner_core::{BlockingSet, FtGreedy};
+    /// use spanner_graph::generators::complete;
+    ///
+    /// let g = complete(10);
+    /// let ft = FtGreedy::new(&g, 3).faults(2).run();
+    /// let b = BlockingSet::from_witnesses(&ft);
+    /// // |B| <= f * |E(H)| — the Lemma 3 size guarantee.
+    /// assert!(b.len() <= 2 * ft.spanner().edge_count());
+    /// ```
+    pub fn from_witnesses(ft: &FtSpanner) -> BlockingSet {
+        match ft.model() {
+            FaultModel::Vertex => {
+                let mut pairs = Vec::new();
+                for (i, witness) in ft.witnesses().iter().enumerate() {
+                    let e = EdgeId::new(i);
+                    for x in witness.vertex_faults() {
+                        pairs.push((*x, e));
+                    }
+                }
+                BlockingSet::Vertex(pairs)
+            }
+            FaultModel::Edge => {
+                let mut pairs = Vec::new();
+                for (i, witness) in ft.witnesses().iter().enumerate() {
+                    let e = EdgeId::new(i);
+                    for other in witness.edge_faults() {
+                        pairs.push((*other, e));
+                    }
+                }
+                BlockingSet::Edge(pairs)
+            }
+        }
+    }
+
+    /// Wraps explicit edge pairs (e.g. the lower-bound family's set).
+    pub fn from_edge_pairs<I: IntoIterator<Item = (EdgeId, EdgeId)>>(pairs: I) -> BlockingSet {
+        BlockingSet::Edge(pairs.into_iter().collect())
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        match self {
+            BlockingSet::Vertex(p) => p.len(),
+            BlockingSet::Edge(p) => p.len(),
+        }
+    }
+
+    /// Returns `true` if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which fault model the pairs belong to.
+    pub fn model(&self) -> FaultModel {
+        match self {
+            BlockingSet::Vertex(_) => FaultModel::Vertex,
+            BlockingSet::Edge(_) => FaultModel::Edge,
+        }
+    }
+
+    /// The Lemma 3 size ratio `|B| / |E(H)|`; the lemma promises it is at
+    /// most `f`.
+    pub fn size_ratio(&self, h: &Graph) -> f64 {
+        if h.edge_count() == 0 {
+            0.0
+        } else {
+            self.len() as f64 / h.edge_count() as f64
+        }
+    }
+
+    /// Checks structural validity of the pairs against `h`:
+    /// vertex pairs must not touch their edge's endpoints; edge pairs must
+    /// be distinct edges. (Property (1) of Definition 3.)
+    pub fn is_well_formed(&self, h: &Graph) -> bool {
+        match self {
+            BlockingSet::Vertex(pairs) => pairs.iter().all(|(x, e)| {
+                e.index() < h.edge_count()
+                    && x.index() < h.node_count()
+                    && !h.edge(*e).is_endpoint(*x)
+            }),
+            BlockingSet::Edge(pairs) => pairs
+                .iter()
+                .all(|(a, b)| a != b && a.index() < h.edge_count() && b.index() < h.edge_count()),
+        }
+    }
+}
+
+/// Outcome of [`verify_blocking_set`].
+#[derive(Clone, Debug)]
+pub struct BlockingReport {
+    /// Number of short cycles inspected.
+    pub cycles_checked: usize,
+    /// Cycles (as edge-id lists) not blocked by any pair — empty iff the
+    /// set is a valid blocking set for the inspected length.
+    pub unblocked: Vec<Vec<EdgeId>>,
+    /// `true` if cycle enumeration hit its cap (result then inconclusive).
+    pub truncated: bool,
+}
+
+impl BlockingReport {
+    /// `true` when every enumerated cycle was blocked and enumeration was
+    /// complete.
+    pub fn is_valid(&self) -> bool {
+        self.unblocked.is_empty() && !self.truncated
+    }
+}
+
+/// Verifies property (2) of Definition 3: every cycle of `h` with at most
+/// `max_cycle_len` edges contains some pair of `blocking`. At most
+/// `cycle_limit` cycles are enumerated (see [`BlockingReport::truncated`]).
+pub fn verify_blocking_set(
+    h: &Graph,
+    blocking: &BlockingSet,
+    max_cycle_len: usize,
+    cycle_limit: usize,
+) -> BlockingReport {
+    let mask = FaultMask::for_graph(h);
+    let enumeration = cycles::enumerate_short_cycles(h, &mask, max_cycle_len, cycle_limit);
+    let mut unblocked = Vec::new();
+    match blocking {
+        BlockingSet::Vertex(pairs) => {
+            let lookup: HashSet<(u32, u32)> =
+                pairs.iter().map(|(x, e)| (x.raw(), e.raw())).collect();
+            for c in &enumeration.cycles {
+                let blocked = c.nodes().iter().any(|x| {
+                    c.edges()
+                        .iter()
+                        .any(|e| lookup.contains(&(x.raw(), e.raw())))
+                });
+                if !blocked {
+                    unblocked.push(c.edges().to_vec());
+                }
+            }
+        }
+        BlockingSet::Edge(pairs) => {
+            let lookup: HashSet<(u32, u32)> = pairs
+                .iter()
+                .map(|(a, b)| (a.raw().min(b.raw()), a.raw().max(b.raw())))
+                .collect();
+            for c in &enumeration.cycles {
+                let es = c.edges();
+                let mut blocked = false;
+                'outer: for i in 0..es.len() {
+                    for j in (i + 1)..es.len() {
+                        let key = (
+                            es[i].raw().min(es[j].raw()),
+                            es[i].raw().max(es[j].raw()),
+                        );
+                        if lookup.contains(&key) {
+                            blocked = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                if !blocked {
+                    unblocked.push(es.to_vec());
+                }
+            }
+        }
+    }
+    BlockingReport {
+        cycles_checked: enumeration.cycles.len(),
+        unblocked,
+        truncated: enumeration.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FtGreedy;
+    use spanner_graph::generators::{complete, grid};
+
+    #[test]
+    fn witnesses_yield_wellformed_blocking_set() {
+        let g = complete(10);
+        let ft = FtGreedy::new(&g, 3).faults(2).run();
+        let b = BlockingSet::from_witnesses(&ft);
+        assert!(b.is_well_formed(ft.spanner().graph()));
+        assert_eq!(b.model(), FaultModel::Vertex);
+    }
+
+    #[test]
+    fn lemma3_size_bound_holds() {
+        for f in 0..3usize {
+            let g = complete(10);
+            let ft = FtGreedy::new(&g, 3).faults(f).run();
+            let b = BlockingSet::from_witnesses(&ft);
+            assert!(
+                b.len() <= f * ft.spanner().edge_count(),
+                "f={f}: |B|={} > f*m={}",
+                b.len(),
+                f * ft.spanner().edge_count()
+            );
+            assert!(b.size_ratio(ft.spanner().graph()) <= f as f64);
+        }
+    }
+
+    #[test]
+    fn lemma3_blocking_property_vertex_model() {
+        for (g, name) in [(complete(9), "K9"), (grid(3, 4), "grid3x4")] {
+            let stretch = 3u64;
+            let ft = FtGreedy::new(&g, stretch).faults(1).run();
+            let b = BlockingSet::from_witnesses(&ft);
+            let report = verify_blocking_set(
+                ft.spanner().graph(),
+                &b,
+                (stretch + 1) as usize,
+                1_000_000,
+            );
+            assert!(
+                report.is_valid(),
+                "{name}: {} unblocked of {} cycles",
+                report.unblocked.len(),
+                report.cycles_checked
+            );
+        }
+    }
+
+    #[test]
+    fn lemma3_blocking_property_edge_model() {
+        let g = complete(9);
+        let stretch = 3u64;
+        let ft = FtGreedy::new(&g, stretch)
+            .faults(2)
+            .model(FaultModel::Edge)
+            .run();
+        let b = BlockingSet::from_witnesses(&ft);
+        assert!(b.is_well_formed(ft.spanner().graph()));
+        let report =
+            verify_blocking_set(ft.spanner().graph(), &b, (stretch + 1) as usize, 1_000_000);
+        assert!(
+            report.is_valid(),
+            "{} unblocked of {}",
+            report.unblocked.len(),
+            report.cycles_checked
+        );
+    }
+
+    #[test]
+    fn empty_set_fails_on_cyclic_graph() {
+        // Greedy with f=1 on K6 keeps short cycles; an empty blocking set
+        // must be reported invalid.
+        let g = complete(6);
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        let empty = BlockingSet::Vertex(Vec::new());
+        let report = verify_blocking_set(ft.spanner().graph(), &empty, 4, 100_000);
+        assert!(report.cycles_checked > 0);
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn truncation_is_inconclusive() {
+        let g = complete(8);
+        let ft = FtGreedy::new(&g, 2).faults(2).run();
+        let b = BlockingSet::from_witnesses(&ft);
+        let report = verify_blocking_set(ft.spanner().graph(), &b, 3, 1);
+        if report.truncated {
+            assert!(!report.is_valid());
+        }
+    }
+
+    #[test]
+    fn explicit_edge_pairs_wrap() {
+        let b = BlockingSet::from_edge_pairs([(EdgeId::new(0), EdgeId::new(1))]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.model(), FaultModel::Edge);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn blowup_blocking_set_validates_via_core_verifier() {
+        use spanner_extremal::lower_bound::biclique_blowup;
+        use spanner_graph::generators::cycle;
+        let base = cycle(8); // girth 8
+        let blow = biclique_blowup(&base, 2);
+        let b = BlockingSet::from_edge_pairs(blow.edge_blocking_set());
+        assert!(b.is_well_formed(blow.graph()));
+        let report = verify_blocking_set(blow.graph(), &b, 7, 1_000_000);
+        assert!(report.is_valid(), "{} unblocked", report.unblocked.len());
+        assert!(report.cycles_checked > 0);
+    }
+}

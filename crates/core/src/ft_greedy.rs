@@ -1,0 +1,304 @@
+//! Algorithm 1 of Bodwin–Patel: the fault tolerant greedy spanner.
+//!
+//! ```text
+//! function ft-greedy(G = (V, E, w), k, f)
+//!     H ← (V, ∅, w)
+//!     for (u, v) ∈ E in order of increasing weight do
+//!         if ∃ F, |F| ≤ f vertices (edges), with dist_{H∖F}(u, v) > k·w(u, v) then
+//!             add (u, v) to H
+//!     return H
+//! ```
+//!
+//! The existence test is delegated to a [`FaultOracle`]; the witness `F_e`
+//! found for every kept edge is recorded, because Lemma 3 turns exactly
+//! those witnesses into the `(k+1)`-blocking set that drives the size
+//! analysis (see [`crate::blocking`]).
+//!
+//! With `f = 0` this is precisely the classic greedy algorithm
+//! ([`crate::greedy_spanner`]); the equivalence is tested.
+
+use crate::Spanner;
+use spanner_faults::{
+    BranchingConfig, BranchingOracle, ExhaustiveOracle, FaultModel, FaultOracle, FaultSet,
+    GreedyHeuristicOracle, HittingSetOracle, OracleQuery, OracleStats, ParallelBranchingOracle,
+};
+use spanner_graph::Graph;
+
+/// Which oracle implementation FT-greedy should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Bounded search tree with packing pruning and memoization (default).
+    #[default]
+    Branching,
+    /// Branching with explicit feature toggles (for ablations).
+    BranchingWith(BranchingConfig),
+    /// Brute-force subset enumeration (tiny instances only).
+    Exhaustive,
+    /// Path-enumeration + hitting-set branch & bound.
+    HittingSet,
+    /// Branching with the root subtrees fanned out over this many worker
+    /// threads (exact; useful at large `f` on dense instances).
+    Parallel(usize),
+    /// **Inexact** polynomial-time heuristic (the open-problem probe):
+    /// kept edges are always justified, but edges may be dropped wrongly,
+    /// so the output can fail fault audits. For experiment E11; do not use
+    /// when the fault-tolerance contract must hold.
+    Heuristic,
+}
+
+impl OracleKind {
+    fn instantiate(self) -> Box<dyn FaultOracle> {
+        match self {
+            OracleKind::Branching => Box::new(BranchingOracle::new()),
+            OracleKind::BranchingWith(cfg) => Box::new(BranchingOracle::with_config(cfg)),
+            OracleKind::Exhaustive => Box::new(ExhaustiveOracle::new()),
+            OracleKind::HittingSet => Box::new(HittingSetOracle::new()),
+            OracleKind::Parallel(threads) => Box::new(ParallelBranchingOracle::new(threads)),
+            OracleKind::Heuristic => Box::new(GreedyHeuristicOracle::new()),
+        }
+    }
+
+    /// Whether this oracle is exact (`false` only for
+    /// [`OracleKind::Heuristic`]).
+    pub fn is_exact(self) -> bool {
+        !matches!(self, OracleKind::Heuristic)
+    }
+}
+
+/// Configurable FT-greedy runner (non-consuming builder).
+///
+/// # Examples
+///
+/// ```
+/// use spanner_core::FtGreedy;
+/// use spanner_faults::FaultModel;
+/// use spanner_graph::generators::complete;
+///
+/// let g = complete(10);
+/// let ft = FtGreedy::new(&g, 3).faults(1).model(FaultModel::Vertex).run();
+/// // A 1-VFT spanner needs at least min-degree 2 everywhere.
+/// assert!(ft.spanner().edge_count() >= g.node_count());
+/// ```
+#[derive(Debug)]
+pub struct FtGreedy<'a> {
+    graph: &'a Graph,
+    stretch: u64,
+    faults: usize,
+    model: FaultModel,
+    oracle: OracleKind,
+}
+
+impl<'a> FtGreedy<'a> {
+    /// Starts configuring a run over `graph` with the given stretch.
+    ///
+    /// Defaults: `faults = 0`, vertex model, branching oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stretch == 0`.
+    pub fn new(graph: &'a Graph, stretch: u64) -> Self {
+        assert!(stretch >= 1, "stretch must be positive");
+        FtGreedy {
+            graph,
+            stretch,
+            faults: 0,
+            model: FaultModel::Vertex,
+            oracle: OracleKind::default(),
+        }
+    }
+
+    /// Sets the fault budget `f`.
+    pub fn faults(&mut self, faults: usize) -> &mut Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the fault model (vertex or edge).
+    pub fn model(&mut self, model: FaultModel) -> &mut Self {
+        self.model = model;
+        self
+    }
+
+    /// Selects the oracle implementation.
+    pub fn oracle(&mut self, oracle: OracleKind) -> &mut Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Runs Algorithm 1 and returns the fault tolerant spanner with its
+    /// recorded witnesses.
+    pub fn run(&self) -> FtSpanner {
+        let mut oracle = self.oracle.instantiate();
+        let mut spanner = Spanner::empty(self.graph, self.stretch);
+        let mut witnesses = Vec::new();
+        for parent_id in self.graph.edges_by_weight() {
+            let e = self.graph.edge(parent_id);
+            let query = OracleQuery {
+                u: e.u(),
+                v: e.v(),
+                bound: e.weight().stretched(self.stretch),
+                budget: self.faults,
+                model: self.model,
+            };
+            if let Some(found) = oracle.find_blocking_faults(spanner.graph(), query) {
+                spanner.push_edge(parent_id, e.u(), e.v(), e.weight());
+                witnesses.push(found);
+            }
+        }
+        FtSpanner {
+            spanner,
+            witnesses,
+            model: self.model,
+            faults: self.faults,
+            stats: oracle.stats(),
+        }
+    }
+}
+
+/// The output of [`FtGreedy::run`]: the spanner plus the per-edge witness
+/// fault sets and oracle work counters.
+#[derive(Clone, Debug)]
+pub struct FtSpanner {
+    spanner: Spanner,
+    witnesses: Vec<FaultSet>,
+    model: FaultModel,
+    faults: usize,
+    stats: OracleStats,
+}
+
+impl FtSpanner {
+    /// The constructed spanner.
+    pub fn spanner(&self) -> &Spanner {
+        &self.spanner
+    }
+
+    /// Consumes self, returning the spanner.
+    pub fn into_spanner(self) -> Spanner {
+        self.spanner
+    }
+
+    /// The witness fault set recorded when spanner edge `i` was added:
+    /// at that moment, `dist_{H∖F_i}(u_i, v_i) > k·w_i` held.
+    ///
+    /// Indexed by *spanner* edge id. Fault-set edge ids refer to spanner
+    /// edge ids (the partial `H` the oracle ran against), matching the
+    /// blocking-set definition of the paper.
+    pub fn witnesses(&self) -> &[FaultSet] {
+        &self.witnesses
+    }
+
+    /// The fault model the spanner was built for.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// The fault budget `f` the spanner was built for.
+    pub fn faults(&self) -> usize {
+        self.faults
+    }
+
+    /// Oracle work counters for the whole construction.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_spanner;
+    use spanner_graph::generators::{complete, cycle, grid, with_uniform_weights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_faults_matches_classic_greedy() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = with_uniform_weights(&complete(14), 1, 30, &mut rng);
+        for stretch in [1u64, 3, 5] {
+            let classic = greedy_spanner(&g, stretch);
+            let ft = FtGreedy::new(&g, stretch).run();
+            assert_eq!(
+                classic.parent_edge_ids(),
+                ft.spanner().parent_edge_ids(),
+                "stretch {stretch}"
+            );
+            // All witnesses are empty at f = 0.
+            assert!(ft.witnesses().iter().all(|w| w.is_empty()));
+        }
+    }
+
+    #[test]
+    fn witnesses_match_edges() {
+        let g = complete(8);
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        assert_eq!(ft.witnesses().len(), ft.spanner().edge_count());
+        assert!(ft.witnesses().iter().all(|w| w.len() <= 1));
+        assert_eq!(ft.faults(), 1);
+        assert_eq!(ft.model(), FaultModel::Vertex);
+    }
+
+    #[test]
+    fn ft_spanner_grows_with_budget() {
+        let g = complete(12);
+        let mut sizes = Vec::new();
+        for f in 0..3 {
+            let ft = FtGreedy::new(&g, 3).faults(f).run();
+            sizes.push(ft.spanner().edge_count());
+        }
+        assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "{sizes:?}");
+        assert!(sizes[2] > sizes[0], "budget should change the output here");
+    }
+
+    #[test]
+    fn cycle_is_fully_kept_under_one_vertex_fault() {
+        // C6 with f=1, k=3: losing any vertex makes the cycle a path;
+        // every edge is needed.
+        let g = cycle(6);
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        assert_eq!(ft.spanner().edge_count(), 6);
+    }
+
+    #[test]
+    fn oracle_kinds_agree_on_small_graphs() {
+        let g = grid(3, 3);
+        let mut sizes = Vec::new();
+        for kind in [
+            OracleKind::Branching,
+            OracleKind::Exhaustive,
+            OracleKind::HittingSet,
+            OracleKind::BranchingWith(BranchingConfig {
+                use_packing: false,
+                use_memo: false,
+                use_cut_shortcut: false,
+            }),
+            OracleKind::Parallel(3),
+        ] {
+            let ft = FtGreedy::new(&g, 3).faults(1).oracle(kind).run();
+            sizes.push(ft.spanner().edge_count());
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "oracle kinds disagree: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn edge_model_also_runs() {
+        let g = complete(8);
+        let ft = FtGreedy::new(&g, 3)
+            .faults(1)
+            .model(FaultModel::Edge)
+            .run();
+        assert!(ft.spanner().edge_count() >= 8);
+        assert_eq!(ft.model(), FaultModel::Edge);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = complete(8);
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        assert!(ft.stats().shortest_path_queries > 0);
+        assert!(ft.stats().nodes_explored > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Spanner quality metrics beyond edge count.
+//!
+//! Practitioners judge spanners on more than sparsity: *lightness* (total
+//! weight over MST weight) matters when edges are priced by length (fiber,
+//! cable), and degree statistics matter for router fan-out. Experiment E12
+//! reports these for every construction.
+
+use crate::Spanner;
+use spanner_graph::{mst, Dist, Graph};
+
+/// A bundle of quality measures for one spanner against its parent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannerMetrics {
+    /// Edge count of the spanner.
+    pub edges: usize,
+    /// `|E(H)| / |E(G)|`.
+    pub retention: f64,
+    /// Total spanner weight.
+    pub weight: Dist,
+    /// `weight(H) / weight(MST(G))` — at least 1 for connected spanners
+    /// of connected parents.
+    pub lightness: f64,
+    /// Maximum degree of the spanner.
+    pub max_degree: usize,
+    /// Average degree of the spanner (`2m/n`; 0 for empty node sets).
+    pub avg_degree: f64,
+}
+
+/// Computes [`SpannerMetrics`] for `spanner` over `parent`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_core::{greedy_spanner, metrics::spanner_metrics};
+/// use spanner_graph::generators::complete;
+///
+/// let g = complete(10);
+/// let s = greedy_spanner(&g, 3);
+/// let m = spanner_metrics(&g, &s);
+/// assert!(m.lightness >= 1.0);
+/// assert!(m.retention < 1.0);
+/// ```
+pub fn spanner_metrics(parent: &Graph, spanner: &Spanner) -> SpannerMetrics {
+    let h = spanner.graph();
+    let n = h.node_count();
+    let weight = h.total_weight();
+    let mst_w = mst::mst_weight(parent);
+    let lightness = match (weight.value(), mst_w.value()) {
+        (Some(w), Some(m)) if m > 0 => w as f64 / m as f64,
+        _ => f64::NAN,
+    };
+    SpannerMetrics {
+        edges: h.edge_count(),
+        retention: spanner.retention(parent),
+        weight,
+        lightness,
+        max_degree: h.max_degree(),
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * h.edge_count() as f64 / n as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{greedy_spanner, FtGreedy, Spanner};
+    use spanner_graph::generators::{complete, with_uniform_weights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_spanner_has_lightness_of_whole_graph() {
+        let g = complete(6); // unit weights: MST weight 5, total 15
+        let s = Spanner::from_parent_edges(&g, g.edge_ids(), 1);
+        let m = spanner_metrics(&g, &s);
+        assert_eq!(m.edges, 15);
+        assert_eq!(m.retention, 1.0);
+        assert!((m.lightness - 3.0).abs() < 1e-9);
+        assert_eq!(m.max_degree, 5);
+        assert!((m.avg_degree - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connected_spanner_lightness_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = with_uniform_weights(&complete(14), 1, 20, &mut rng);
+        for stretch in [1u64, 3, 5] {
+            let s = greedy_spanner(&g, stretch);
+            let m = spanner_metrics(&g, &s);
+            assert!(m.lightness >= 1.0 - 1e-9, "stretch {stretch}: {}", m.lightness);
+        }
+    }
+
+    #[test]
+    fn fault_tolerance_costs_weight() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = with_uniform_weights(&complete(12), 1, 9, &mut rng);
+        let plain = spanner_metrics(&g, &greedy_spanner(&g, 3));
+        let ft = FtGreedy::new(&g, 3).faults(2).run();
+        let tolerant = spanner_metrics(&g, ft.spanner());
+        assert!(tolerant.edges > plain.edges);
+        assert!(tolerant.lightness > plain.lightness);
+    }
+
+    #[test]
+    fn stretch_one_greedy_is_light_on_trees() {
+        // A tree input: the only spanner is the tree itself, lightness 1.
+        let g = spanner_graph::Graph::from_weighted_edges(4, [(0, 1, 2), (1, 2, 3), (1, 3, 4)]).unwrap();
+        let s = greedy_spanner(&g, 1);
+        let m = spanner_metrics(&g, &s);
+        assert!((m.lightness - 1.0).abs() < 1e-9);
+        assert_eq!(m.retention, 1.0);
+    }
+}

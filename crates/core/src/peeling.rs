@@ -1,0 +1,236 @@
+//! Lemma 4: peel a high-girth witness subgraph out of a blocked graph.
+//!
+//! Lemma 4 of the paper: if `H` (n nodes, m edges) has a `(k+1)`-blocking
+//! set `B` with `|B| ≤ f·m`, then `H` contains a subgraph on `O(n/f)` nodes
+//! with `Ω(m/f²)` edges and girth > k+1. The proof is the construction
+//! implemented here:
+//!
+//! 1. sample an induced subgraph `H'` on exactly `⌈n/(2f)⌉` uniformly
+//!    random vertices;
+//! 2. drop every surviving blocked edge (a pair of `B` survives when all
+//!    of its constituent vertices do), giving `H''`;
+//! 3. `H''` has girth > k+1 *by construction* — every short cycle lost a
+//!    vertex or an edge — and in expectation keeps
+//!    `m/(4f²) − |B|/(8f³) ≥ m/(8f²)` edges.
+//!
+//! The experiment harness repeats the sampling and compares the measured
+//! edge yield with the expectation; the girth claim is verified exactly on
+//! every sample.
+
+use crate::BlockingSet;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use spanner_graph::{girth, subgraph, EdgeId, FaultMask, Graph, NodeId};
+
+/// One peeling sample (Lemma 4's `H''` plus measurements).
+#[derive(Clone, Debug)]
+pub struct PeelOutcome {
+    /// The peeled subgraph `H''` (dense re-indexed ids).
+    pub subgraph: Graph,
+    /// How many vertices were sampled (`⌈n/(2f)⌉`).
+    pub sampled_nodes: usize,
+    /// Edges of the induced subgraph `H'` before blocked-edge deletion.
+    pub induced_edges: usize,
+    /// Edges deleted because a blocking pair survived the sampling.
+    pub deleted_edges: usize,
+    /// Whether `girth(H'') > girth_above` was verified (must always hold
+    /// when the blocking set is valid).
+    pub girth_ok: bool,
+}
+
+impl PeelOutcome {
+    /// Final edge count of `H''`.
+    pub fn final_edges(&self) -> usize {
+        self.subgraph.edge_count()
+    }
+}
+
+/// Runs one Lemma 4 peeling round on `h` with blocking set `blocking`.
+///
+/// `girth_above` is the `k+1` the blocking set targets; the outcome's
+/// `girth_ok` records the verified girth condition.
+///
+/// # Panics
+///
+/// Panics if `f == 0` (the lemma needs a positive fault parameter) or the
+/// blocking set refers to ids outside `h`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use spanner_core::{peel, BlockingSet, FtGreedy};
+/// use spanner_graph::generators::complete;
+///
+/// let g = complete(20);
+/// let ft = FtGreedy::new(&g, 3).faults(2).run();
+/// let b = BlockingSet::from_witnesses(&ft);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let outcome = peel(ft.spanner().graph(), &b, 2, 4, &mut rng);
+/// assert!(outcome.girth_ok);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn peel(
+    h: &Graph,
+    blocking: &BlockingSet,
+    f: usize,
+    girth_above: usize,
+    rng: &mut impl Rng,
+) -> PeelOutcome {
+    assert!(f >= 1, "Lemma 4 requires f >= 1");
+    assert!(
+        blocking.is_well_formed(h),
+        "blocking set refers outside the graph"
+    );
+    let n = h.node_count();
+    let target = n.div_ceil(2 * f).max(1).min(n);
+    // Uniform sample of exactly `target` vertices.
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.partial_shuffle(rng, target);
+    let sampled: Vec<NodeId> = ids[..target].iter().copied().map(NodeId::new).collect();
+    let mut in_sample = vec![false; n];
+    for v in &sampled {
+        in_sample[v.index()] = true;
+    }
+    let survives_vertex = |v: NodeId| in_sample[v.index()];
+    let survives_edge = |e: EdgeId| {
+        let (u, v) = h.endpoints(e);
+        survives_vertex(u) && survives_vertex(v)
+    };
+    // Collect surviving blocked edges.
+    let mut drop = vec![false; h.edge_count()];
+    let mut deleted_edges = 0usize;
+    match blocking {
+        BlockingSet::Vertex(pairs) => {
+            for (x, e) in pairs {
+                if survives_vertex(*x) && survives_edge(*e) && !drop[e.index()] {
+                    drop[e.index()] = true;
+                    deleted_edges += 1;
+                }
+            }
+        }
+        BlockingSet::Edge(pairs) => {
+            // The edge analog deletes (at least) one edge per surviving
+            // pair; deleting the first member suffices to break the pair's
+            // cycles that survive induction.
+            for (a, b) in pairs {
+                if survives_edge(*a) && survives_edge(*b) && !drop[a.index()] {
+                    drop[a.index()] = true;
+                    deleted_edges += 1;
+                }
+            }
+        }
+    }
+    let induced = subgraph::induced(h, sampled.iter().copied());
+    let induced_edges = induced.graph.edge_count();
+    // Keep induced edges whose parent edge was not dropped.
+    let kept = induced
+        .graph
+        .edge_ids()
+        .filter(|e| !drop[induced.parent_edge(*e).index()]);
+    let peeled = subgraph::edge_subgraph(&induced.graph, kept).graph;
+    let girth_ok = girth::has_girth_greater_than(&peeled, &FaultMask::for_graph(&peeled), girth_above);
+    PeelOutcome {
+        subgraph: peeled,
+        sampled_nodes: target,
+        induced_edges,
+        deleted_edges,
+        girth_ok,
+    }
+}
+
+/// The Lemma 4 expected edge yield: `m/(4f²) − |B|/(8f³)`, the quantity
+/// the expectation argument of the paper lower-bounds (`≥ m/(8f²)` when
+/// `|B| ≤ f·m`).
+pub fn expected_yield(m: usize, blocking_size: usize, f: usize) -> f64 {
+    let f = f as f64;
+    m as f64 / (4.0 * f * f) - blocking_size as f64 / (8.0 * f * f * f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockingSet, FtGreedy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spanner_graph::generators::complete;
+
+    fn setup(f: usize) -> (crate::FtSpanner, BlockingSet) {
+        let g = complete(24);
+        let ft = FtGreedy::new(&g, 3).faults(f).run();
+        let b = BlockingSet::from_witnesses(&ft);
+        (ft, b)
+    }
+
+    #[test]
+    fn peel_girth_always_holds() {
+        let (ft, b) = setup(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let out = peel(ft.spanner().graph(), &b, 2, 4, &mut rng);
+            assert!(out.girth_ok);
+        }
+    }
+
+    #[test]
+    fn peel_node_count_is_ceil_n_over_2f() {
+        let (ft, b) = setup(2);
+        let n = ft.spanner().graph().node_count();
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = peel(ft.spanner().graph(), &b, 2, 4, &mut rng);
+        assert_eq!(out.sampled_nodes, n.div_ceil(4));
+        assert_eq!(out.subgraph.node_count(), out.sampled_nodes);
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let (ft, b) = setup(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = peel(ft.spanner().graph(), &b, 2, 4, &mut rng);
+        assert_eq!(
+            out.final_edges(),
+            out.induced_edges - out.deleted_edges,
+            "deleted edges must be surviving induced edges"
+        );
+    }
+
+    #[test]
+    fn average_yield_beats_half_the_expectation() {
+        // The lemma argues E[edges] >= m/(4f^2) - |B|/(8f^3). Averaged over
+        // many seeds the sample mean should be near that; we assert it
+        // clears half of it to keep the test robust.
+        let (ft, b) = setup(2);
+        let m = ft.spanner().edge_count();
+        let expect = expected_yield(m, b.len(), 2);
+        assert!(expect > 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let rounds = 200;
+        let total: usize = (0..rounds)
+            .map(|_| peel(ft.spanner().graph(), &b, 2, 4, &mut rng).final_edges())
+            .sum();
+        let mean = total as f64 / rounds as f64;
+        assert!(
+            mean >= expect / 2.0,
+            "mean yield {mean:.2} below half the expected {expect:.2}"
+        );
+    }
+
+    #[test]
+    fn edge_blocking_sets_also_peel() {
+        use spanner_extremal::lower_bound::biclique_blowup;
+        use spanner_graph::generators::cycle;
+        let blow = biclique_blowup(&cycle(8), 2);
+        let b = BlockingSet::from_edge_pairs(blow.edge_blocking_set());
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = peel(blow.graph(), &b, 2, 7, &mut rng);
+        assert!(out.girth_ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "f >= 1")]
+    fn zero_f_rejected() {
+        let (ft, b) = setup(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = peel(ft.spanner().graph(), &b, 0, 4, &mut rng);
+    }
+}

@@ -1,0 +1,156 @@
+//! Human-readable construction reports.
+//!
+//! One call summarizes everything an operator wants to know about a
+//! constructed fault tolerant spanner: sizes, weight/lightness, degrees,
+//! witness statistics, and (optionally) audit outcomes — rendered as
+//! plain text for logs and example output.
+
+use crate::metrics::spanner_metrics;
+use crate::verify::FaultAudit;
+use crate::FtSpanner;
+use spanner_graph::Graph;
+use std::fmt;
+
+/// A summarized FT-greedy construction.
+///
+/// Build with [`ConstructionReport::new`], then attach audits with
+/// [`ConstructionReport::with_audit`]; render via `Display`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_core::{report::ConstructionReport, FtGreedy};
+/// use spanner_graph::generators::complete;
+///
+/// let g = complete(10);
+/// let ft = FtGreedy::new(&g, 3).faults(1).run();
+/// let text = ConstructionReport::new(&g, &ft).to_string();
+/// assert!(text.contains("fault budget"));
+/// assert!(text.contains("witness sizes"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConstructionReport {
+    stretch: u64,
+    faults: usize,
+    model: String,
+    input_nodes: usize,
+    input_edges: usize,
+    metrics: crate::metrics::SpannerMetrics,
+    witness_histogram: Vec<usize>,
+    oracle_stats: spanner_faults::OracleStats,
+    audits: Vec<(String, usize, usize)>,
+}
+
+impl ConstructionReport {
+    /// Summarizes `ft` against its parent graph.
+    pub fn new(parent: &Graph, ft: &FtSpanner) -> Self {
+        let mut witness_histogram = vec![0usize; ft.faults() + 1];
+        for w in ft.witnesses() {
+            witness_histogram[w.len().min(ft.faults())] += 1;
+        }
+        ConstructionReport {
+            stretch: ft.spanner().stretch(),
+            faults: ft.faults(),
+            model: ft.model().to_string(),
+            input_nodes: parent.node_count(),
+            input_edges: parent.edge_count(),
+            metrics: spanner_metrics(parent, ft.spanner()),
+            witness_histogram,
+            oracle_stats: ft.stats(),
+            audits: Vec::new(),
+        }
+    }
+
+    /// Attaches a named audit outcome (shown as `violations/trials`).
+    pub fn with_audit(&mut self, name: &str, audit: &FaultAudit) -> &mut Self {
+        self.audits
+            .push((name.to_string(), audit.violations, audit.trials));
+        self
+    }
+
+    /// Histogram of witness fault-set sizes (index = size).
+    pub fn witness_histogram(&self) -> &[usize] {
+        &self.witness_histogram
+    }
+}
+
+impl fmt::Display for ConstructionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FT spanner construction (stretch {}, fault budget {}, {} model)",
+            self.stretch, self.faults, self.model
+        )?;
+        writeln!(
+            f,
+            "  input:    {} nodes, {} edges",
+            self.input_nodes, self.input_edges
+        )?;
+        writeln!(
+            f,
+            "  output:   {} edges ({:.1}% kept), weight {}, lightness {:.3}",
+            self.metrics.edges,
+            100.0 * self.metrics.retention,
+            self.metrics.weight,
+            self.metrics.lightness
+        )?;
+        writeln!(
+            f,
+            "  degrees:  max {}, average {:.2}",
+            self.metrics.max_degree, self.metrics.avg_degree
+        )?;
+        write!(f, "  witness sizes:")?;
+        for (size, count) in self.witness_histogram.iter().enumerate() {
+            write!(f, " |F|={size}: {count}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "  oracle:   {}", self.oracle_stats)?;
+        for (name, violations, trials) in &self.audits {
+            writeln!(f, "  audit {name}: {violations}/{trials} violations")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_ft_exhaustive;
+    use crate::FtGreedy;
+    use spanner_faults::FaultModel;
+    use spanner_graph::generators::complete;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let g = complete(8);
+        let ft = FtGreedy::new(&g, 3).faults(2).run();
+        let audit = verify_ft_exhaustive(&g, ft.spanner(), 2, FaultModel::Vertex);
+        let mut report = ConstructionReport::new(&g, &ft);
+        report.with_audit("exhaustive", &audit);
+        let text = report.to_string();
+        assert!(text.contains("stretch 3"));
+        assert!(text.contains("fault budget 2"));
+        assert!(text.contains("8 nodes"));
+        assert!(text.contains("lightness"));
+        assert!(text.contains("audit exhaustive: 0/"));
+    }
+
+    #[test]
+    fn witness_histogram_sums_to_edge_count() {
+        let g = complete(9);
+        let ft = FtGreedy::new(&g, 3).faults(2).run();
+        let report = ConstructionReport::new(&g, &ft);
+        let total: usize = report.witness_histogram().iter().sum();
+        assert_eq!(total, ft.spanner().edge_count());
+        assert_eq!(report.witness_histogram().len(), 3);
+    }
+
+    #[test]
+    fn zero_fault_histogram_is_all_empty_witnesses() {
+        let g = complete(6);
+        let ft = FtGreedy::new(&g, 3).run();
+        let report = ConstructionReport::new(&g, &ft);
+        assert_eq!(report.witness_histogram().len(), 1);
+        assert_eq!(report.witness_histogram()[0], ft.spanner().edge_count());
+    }
+}

@@ -1,0 +1,261 @@
+//! Resilient routing on top of a fault tolerant spanner.
+//!
+//! This is the consumer-facing payoff of the whole construction: route
+//! queries against the *sparse* spanner instead of the full graph, survive
+//! up to `f` component failures, and know the worst-case price (`k×` route
+//! inflation) in advance. The router keeps reusable query state, accepts
+//! the current failure set per query, and reports the achieved stretch
+//! against the parent graph when asked.
+
+use crate::Spanner;
+use spanner_faults::FaultSet;
+use spanner_graph::{DijkstraEngine, Dist, EdgeId, FaultMask, Graph, NodeId};
+
+/// A route served by [`ResilientRouter`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Vertices from source to target inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Spanner edges in path order.
+    pub edges: Vec<EdgeId>,
+    /// Total route weight.
+    pub dist: Dist,
+}
+
+/// Routing errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// Source or target is currently failed.
+    EndpointFailed(NodeId),
+    /// No surviving route exists in the spanner.
+    Unreachable {
+        /// The query source.
+        from: NodeId,
+        /// The query target.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::EndpointFailed(v) => write!(f, "endpoint {v} is failed"),
+            RouteError::Unreachable { from, to } => {
+                write!(f, "no surviving route from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A query engine over a spanner, tolerant to per-query failure sets.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_core::{routing::ResilientRouter, FtGreedy};
+/// use spanner_faults::FaultSet;
+/// use spanner_graph::{generators::complete, NodeId};
+///
+/// let g = complete(8);
+/// let ft = FtGreedy::new(&g, 3).faults(1).run();
+/// let mut router = ResilientRouter::new(ft.into_spanner());
+///
+/// // Any single vertex may fail; routes still exist with stretch <= 3.
+/// let failed = FaultSet::vertices([NodeId::new(3)]);
+/// let route = router.route(NodeId::new(0), NodeId::new(7), &failed)?;
+/// assert!(route.dist.value().unwrap() <= 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ResilientRouter {
+    spanner: Spanner,
+    engine: DijkstraEngine,
+}
+
+impl ResilientRouter {
+    /// Wraps a spanner for querying.
+    pub fn new(spanner: Spanner) -> Self {
+        ResilientRouter {
+            spanner,
+            engine: DijkstraEngine::new(),
+        }
+    }
+
+    /// The underlying spanner.
+    pub fn spanner(&self) -> &Spanner {
+        &self.spanner
+    }
+
+    /// Routes `from → to` avoiding `failures` (vertex faults and/or parent
+    /// edge faults).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::EndpointFailed`] if an endpoint is in the failure
+    /// set; [`RouteError::Unreachable`] if the survivors are disconnected
+    /// (which an `f`-FT spanner guarantees cannot happen while
+    /// `|failures| ≤ f` and the *parent* stays connected).
+    pub fn route(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        failures: &FaultSet,
+    ) -> Result<Route, RouteError> {
+        for v in failures.vertex_faults() {
+            if *v == from || *v == to {
+                return Err(RouteError::EndpointFailed(*v));
+            }
+        }
+        let mask = self.spanner.fault_mask(failures);
+        match self
+            .engine
+            .shortest_path_bounded(self.spanner.graph(), from, to, Dist::INFINITE, &mask)
+        {
+            Some(path) => Ok(Route {
+                nodes: path.nodes,
+                edges: path.edges,
+                dist: path.dist,
+            }),
+            None => Err(RouteError::Unreachable { from, to }),
+        }
+    }
+
+    /// The achieved stretch of a route against the parent graph under the
+    /// same failures (`1.0` means the route is optimal; `None` if the
+    /// parent itself has no surviving path — then any route is a bonus).
+    pub fn stretch_against(
+        &mut self,
+        parent: &Graph,
+        route: &Route,
+        failures: &FaultSet,
+    ) -> Option<f64> {
+        let (from, to) = (*route.nodes.first()?, *route.nodes.last()?);
+        let mut parent_mask = FaultMask::for_graph(parent);
+        for v in failures.vertex_faults() {
+            parent_mask.fault_vertex(*v);
+        }
+        for e in failures.edge_faults() {
+            parent_mask.fault_edge(*e);
+        }
+        let best = self
+            .engine
+            .dist_bounded(parent, from, to, Dist::INFINITE, &parent_mask)?;
+        let achieved = route.dist.value()? as f64;
+        Some(achieved / best.value().max(Some(1))? as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FtGreedy;
+    use spanner_graph::generators::{complete, cycle};
+
+    fn router_over_complete(n: usize, f: usize) -> (Graph, ResilientRouter) {
+        let g = complete(n);
+        let ft = FtGreedy::new(&g, 3).faults(f).run();
+        let r = ResilientRouter::new(ft.into_spanner());
+        (g, r)
+    }
+
+    #[test]
+    fn routes_within_stretch_with_no_failures() {
+        let (g, mut router) = router_over_complete(10, 1);
+        let empty = FaultSet::vertices([]);
+        for u in 0..10 {
+            for v in (u + 1)..10 {
+                let route = router
+                    .route(NodeId::new(u), NodeId::new(v), &empty)
+                    .unwrap();
+                assert!(route.dist <= Dist::finite(3));
+                let stretch = router.stretch_against(&g, &route, &empty).unwrap();
+                assert!(stretch <= 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn survives_every_single_vertex_failure() {
+        let (g, mut router) = router_over_complete(9, 1);
+        for failed in 0..9usize {
+            let failures = FaultSet::vertices([NodeId::new(failed)]);
+            for u in 0..9 {
+                for v in (u + 1)..9 {
+                    if u == failed || v == failed {
+                        continue;
+                    }
+                    let route = router
+                        .route(NodeId::new(u), NodeId::new(v), &failures)
+                        .unwrap();
+                    let stretch = router.stretch_against(&g, &route, &failures).unwrap();
+                    assert!(stretch <= 3.0, "stretch {stretch} after failing v{failed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_failure_is_reported() {
+        let (_, mut router) = router_over_complete(6, 1);
+        let failures = FaultSet::vertices([NodeId::new(2)]);
+        let err = router
+            .route(NodeId::new(2), NodeId::new(4), &failures)
+            .unwrap_err();
+        assert_eq!(err, RouteError::EndpointFailed(NodeId::new(2)));
+        assert!(err.to_string().contains("v2"));
+    }
+
+    #[test]
+    fn unreachable_is_reported_beyond_budget() {
+        // A plain (f=0) 3-spanner of C4 drops one edge (the detour has
+        // exactly 3 hops); failing an interior vertex of the remaining
+        // path disconnects survivors.
+        let g = cycle(4);
+        let plain = crate::greedy_spanner(&g, 3);
+        assert!(plain.edge_count() < 4);
+        let mut router = ResilientRouter::new(plain);
+        // Find some failure that disconnects a pair.
+        let mut saw_unreachable = false;
+        for failed in 0..4usize {
+            let failures = FaultSet::vertices([NodeId::new(failed)]);
+            for u in 0..4 {
+                for v in (u + 1)..4 {
+                    if u == failed || v == failed {
+                        continue;
+                    }
+                    if let Err(RouteError::Unreachable { .. }) =
+                        router.route(NodeId::new(u), NodeId::new(v), &failures)
+                    {
+                        saw_unreachable = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_unreachable, "under-built spanner must disconnect somewhere");
+    }
+
+    #[test]
+    fn parent_edge_failures_translate() {
+        let g = cycle(6);
+        let full = Spanner::from_parent_edges(&g, g.edge_ids(), 3);
+        let mut router = ResilientRouter::new(full);
+        // Fail one parent edge; the route detours the long way.
+        let failures = FaultSet::edges([EdgeId::new(0)]);
+        let route = router.route(NodeId::new(0), NodeId::new(1), &failures).unwrap();
+        assert_eq!(route.dist, Dist::finite(5));
+    }
+
+    #[test]
+    fn route_structure_is_consistent() {
+        let (_, mut router) = router_over_complete(8, 1);
+        let failures = FaultSet::vertices([NodeId::new(5)]);
+        let route = router.route(NodeId::new(0), NodeId::new(7), &failures).unwrap();
+        assert_eq!(*route.nodes.first().unwrap(), NodeId::new(0));
+        assert_eq!(*route.nodes.last().unwrap(), NodeId::new(7));
+        assert_eq!(route.edges.len() + 1, route.nodes.len());
+        assert!(!route.nodes.contains(&NodeId::new(5)));
+    }
+}

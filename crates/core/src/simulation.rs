@@ -1,0 +1,308 @@
+//! Discrete failure/repair simulation over a spanner.
+//!
+//! The paper's motivation: "spanners are often applied to systems whose
+//! parts are prone to sporadic failures". This module makes that concrete:
+//! a discrete-time failure process knocks components out and repairs them,
+//! while the simulator routes traffic over the (static) spanner and logs
+//! what the fault-tolerance contract delivers — and what happens in the
+//! overload regime when more than `f` components are down simultaneously
+//! (the contract is suspended, not "best effort guaranteed").
+//!
+//! The simulator is deterministic given the RNG seed, so experiment runs
+//! and the `failure_timeline` example reproduce exactly.
+
+use crate::routing::{ResilientRouter, RouteError};
+use crate::Spanner;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use spanner_faults::{FaultModel, FaultSet};
+use spanner_graph::{dijkstra, Dist, FaultMask, Graph, NodeId};
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulationConfig {
+    /// Number of discrete time steps.
+    pub steps: usize,
+    /// Probability a live component fails in a step.
+    pub failure_probability: f64,
+    /// Probability a failed component is repaired in a step.
+    pub repair_probability: f64,
+    /// Random route queries issued per step.
+    pub queries_per_step: usize,
+    /// Which components fail (vertices or parent edges).
+    pub model: FaultModel,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            steps: 200,
+            failure_probability: 0.02,
+            repair_probability: 0.25,
+            queries_per_step: 8,
+            model: FaultModel::Vertex,
+        }
+    }
+}
+
+/// Aggregated outcome of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimulationOutcome {
+    /// Steps simulated.
+    pub steps: usize,
+    /// Steps during which at most `f` components were down.
+    pub steps_within_budget: usize,
+    /// Total route queries issued (with live endpoints).
+    pub queries: usize,
+    /// Queries answered with a surviving route.
+    pub routed: usize,
+    /// Queries answered within the stretch target *while within budget*.
+    pub routed_within_stretch: usize,
+    /// Queries that found no surviving route while within budget — must
+    /// be zero for a correct f-FT spanner when the parent survives.
+    pub contract_violations: usize,
+    /// Worst stretch observed while within budget.
+    pub worst_stretch_within_budget: f64,
+    /// Largest simultaneous failure count seen.
+    pub peak_failures: usize,
+}
+
+impl SimulationOutcome {
+    /// Fraction of in-budget queries served within the stretch target.
+    pub fn contract_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.routed_within_stretch as f64 / self.queries.max(1) as f64
+        }
+    }
+}
+
+/// Runs the failure/repair process against `spanner` (built for `budget`
+/// faults at its stretch) over its `parent` graph.
+///
+/// Contract checked each step while the simultaneous failure count stays
+/// within `budget`: every pair with live endpoints that is connected in
+/// the surviving *parent* must be routable in the surviving spanner with
+/// stretch at most the spanner's target.
+///
+/// # Panics
+///
+/// Panics if probabilities are outside `[0, 1]`.
+pub fn simulate(
+    parent: &Graph,
+    spanner: Spanner,
+    budget: usize,
+    config: SimulationConfig,
+    rng: &mut impl Rng,
+) -> SimulationOutcome {
+    assert!((0.0..=1.0).contains(&config.failure_probability), "bad failure probability");
+    assert!((0.0..=1.0).contains(&config.repair_probability), "bad repair probability");
+    let stretch = spanner.stretch();
+    let mut router = ResilientRouter::new(spanner);
+    let component_count = match config.model {
+        FaultModel::Vertex => parent.node_count(),
+        FaultModel::Edge => parent.edge_count(),
+    };
+    let mut down = vec![false; component_count];
+    let mut outcome = SimulationOutcome {
+        steps: config.steps,
+        ..SimulationOutcome::default()
+    };
+    let mut live_nodes: Vec<NodeId> = parent.nodes().collect();
+    for _ in 0..config.steps {
+        // Failure / repair transitions.
+        for state in down.iter_mut() {
+            if *state {
+                if rng.gen_bool(config.repair_probability) {
+                    *state = false;
+                }
+            } else if rng.gen_bool(config.failure_probability) {
+                *state = true;
+            }
+        }
+        let failed: Vec<usize> = (0..component_count).filter(|i| down[*i]).collect();
+        outcome.peak_failures = outcome.peak_failures.max(failed.len());
+        let within_budget = failed.len() <= budget;
+        if within_budget {
+            outcome.steps_within_budget += 1;
+        }
+        let failures = match config.model {
+            FaultModel::Vertex => FaultSet::vertices(failed.iter().map(|i| NodeId::new(*i))),
+            FaultModel::Edge => {
+                FaultSet::edges(failed.iter().map(|i| spanner_graph::EdgeId::new(*i)))
+            }
+        };
+        // Parent-side mask for ground truth.
+        let mut parent_mask = FaultMask::for_graph(parent);
+        failures.apply_to(&mut parent_mask);
+        // Random queries between live endpoints.
+        for _ in 0..config.queries_per_step {
+            live_nodes.shuffle(rng);
+            let Some((&a, &b)) = live_nodes
+                .iter()
+                .filter(|v| !parent_mask.is_vertex_faulted(**v))
+                .collect::<Vec<_>>()
+                .split_first()
+                .and_then(|(first, rest)| rest.first().map(|second| (*first, *second)))
+            else {
+                continue;
+            };
+            let parent_dist = dijkstra::dist(parent, a, b, &parent_mask);
+            if !parent_dist.is_finite() {
+                continue; // pair not required to be served
+            }
+            outcome.queries += 1;
+            match router.route(a, b, &failures) {
+                Ok(route) => {
+                    outcome.routed += 1;
+                    let achieved = route.dist.value().unwrap_or(u64::MAX) as f64;
+                    let best = parent_dist.value().unwrap_or(1).max(1) as f64;
+                    let ratio = achieved / best;
+                    if within_budget {
+                        if ratio <= stretch as f64 + 1e-9 {
+                            outcome.routed_within_stretch += 1;
+                        }
+                        if ratio > outcome.worst_stretch_within_budget {
+                            outcome.worst_stretch_within_budget = ratio;
+                        }
+                    } else if ratio <= stretch as f64 + 1e-9 {
+                        // Over budget but still served within stretch: counts
+                        // toward the hit rate, not the contract.
+                        outcome.routed_within_stretch += 1;
+                    }
+                }
+                Err(RouteError::Unreachable { .. }) if within_budget => {
+                    outcome.contract_violations += 1;
+                }
+                Err(_) => {}
+            }
+        }
+        // Contract violation also covers "routed but above stretch".
+        if within_budget && outcome.worst_stretch_within_budget > stretch as f64 + 1e-9 {
+            outcome.contract_violations += 1;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FtGreedy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spanner_graph::generators::{complete, erdos_renyi};
+
+    #[test]
+    fn ft_spanner_honors_contract_within_budget() {
+        let g = complete(16);
+        let f = 2usize;
+        let ft = FtGreedy::new(&g, 3).faults(f).run();
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = simulate(
+            &g,
+            ft.into_spanner(),
+            f,
+            SimulationConfig {
+                steps: 120,
+                failure_probability: 0.01,
+                repair_probability: 0.4,
+                queries_per_step: 6,
+                model: FaultModel::Vertex,
+            },
+            &mut rng,
+        );
+        assert_eq!(outcome.contract_violations, 0);
+        assert!(outcome.queries > 0);
+        assert!(outcome.worst_stretch_within_budget <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn plain_spanner_breaks_under_failures() {
+        // f=0 spanner simulated with failures: violations are expected
+        // (this validates that the simulator can detect them).
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(20, 0.25, &mut rng);
+        let plain = crate::greedy_spanner(&g, 3);
+        let outcome = simulate(
+            &g,
+            plain,
+            1, // pretend it were 1-fault tolerant
+            SimulationConfig {
+                steps: 150,
+                failure_probability: 0.05,
+                repair_probability: 0.3,
+                queries_per_step: 10,
+                model: FaultModel::Vertex,
+            },
+            &mut rng,
+        );
+        assert!(
+            outcome.contract_violations > 0 || outcome.worst_stretch_within_budget > 3.0,
+            "simulator failed to notice an under-built spanner: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn edge_model_simulation_runs_clean() {
+        let g = complete(12);
+        let f = 1usize;
+        let ft = FtGreedy::new(&g, 3)
+            .faults(f)
+            .model(FaultModel::Edge)
+            .run();
+        let mut rng = StdRng::seed_from_u64(11);
+        let outcome = simulate(
+            &g,
+            ft.into_spanner(),
+            f,
+            SimulationConfig {
+                steps: 100,
+                failure_probability: 0.01,
+                repair_probability: 0.5,
+                queries_per_step: 5,
+                model: FaultModel::Edge,
+            },
+            &mut rng,
+        );
+        assert_eq!(outcome.contract_violations, 0);
+        assert!(outcome.contract_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn outcome_counters_are_consistent() {
+        let g = complete(10);
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = simulate(&g, ft.into_spanner(), 1, SimulationConfig::default(), &mut rng);
+        assert!(outcome.routed <= outcome.queries);
+        assert!(outcome.routed_within_stretch <= outcome.routed);
+        assert!(outcome.steps_within_budget <= outcome.steps);
+        assert!(outcome.contract_hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn zero_failure_probability_means_every_query_served() {
+        let g = complete(10);
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        let mut rng = StdRng::seed_from_u64(9);
+        let outcome = simulate(
+            &g,
+            ft.into_spanner(),
+            1,
+            SimulationConfig {
+                steps: 50,
+                failure_probability: 0.0,
+                repair_probability: 1.0,
+                queries_per_step: 4,
+                model: FaultModel::Vertex,
+            },
+            &mut rng,
+        );
+        assert_eq!(outcome.contract_violations, 0);
+        assert_eq!(outcome.queries, outcome.routed_within_stretch);
+        assert_eq!(outcome.peak_failures, 0);
+        assert_eq!(outcome.steps_within_budget, outcome.steps);
+    }
+}

@@ -1,0 +1,214 @@
+//! Arithmetic in the prime field GF(p).
+//!
+//! Projective planes `PG(2, q)` over prime `q` give the densest known
+//! girth-6 graphs (they meet the Moore bound). This module provides the
+//! minimal field arithmetic those constructions need; only prime orders are
+//! supported (prime powers would need polynomial arithmetic, which no
+//! experiment requires).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a field order is not a supported prime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotPrimeError {
+    order: u64,
+}
+
+impl fmt::Display for NotPrimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "field order {} is not a prime in the supported range", self.order)
+    }
+}
+
+impl Error for NotPrimeError {}
+
+/// The prime field GF(p).
+///
+/// Elements are canonical residues `0..p` stored as `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_extremal::gf::PrimeField;
+///
+/// let f5 = PrimeField::new(5)?;
+/// assert_eq!(f5.add(3, 4), 2);
+/// assert_eq!(f5.mul(3, 4), 2);
+/// assert_eq!(f5.inv(3), Some(2)); // 3 * 2 = 6 = 1 (mod 5)
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrimeField {
+    p: u64,
+}
+
+impl PrimeField {
+    /// Creates GF(p).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPrimeError`] if `p` is not prime or exceeds `2^31`
+    /// (large orders would overflow intermediate products).
+    pub fn new(p: u64) -> Result<Self, NotPrimeError> {
+        if p > (1 << 31) || !is_prime(p) {
+            return Err(NotPrimeError { order: p });
+        }
+        Ok(PrimeField { p })
+    }
+
+    /// The field order.
+    pub fn order(self) -> u64 {
+        self.p
+    }
+
+    /// Reduces an arbitrary value into the field.
+    pub fn reduce(self, a: u64) -> u64 {
+        a % self.p
+    }
+
+    /// Addition mod p.
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        (a % self.p + b % self.p) % self.p
+    }
+
+    /// Subtraction mod p.
+    pub fn sub(self, a: u64, b: u64) -> u64 {
+        (a % self.p + self.p - b % self.p) % self.p
+    }
+
+    /// Negation mod p.
+    pub fn neg(self, a: u64) -> u64 {
+        (self.p - a % self.p) % self.p
+    }
+
+    /// Multiplication mod p.
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        (a % self.p) * (b % self.p) % self.p
+    }
+
+    /// Exponentiation mod p by repeated squaring.
+    pub fn pow(self, mut base: u64, mut exp: u64) -> u64 {
+        base %= self.p;
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (`None` for zero), via Fermat's little theorem.
+    pub fn inv(self, a: u64) -> Option<u64> {
+        let a = a % self.p;
+        if a == 0 {
+            None
+        } else {
+            Some(self.pow(a, self.p - 2))
+        }
+    }
+
+    /// Iterator over all field elements `0..p`.
+    pub fn elements(self) -> impl Iterator<Item = u64> {
+        0..self.p
+    }
+}
+
+/// Deterministic primality test (trial division — orders are small).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The primes up to `limit`, in increasing order (used to pick projective
+/// plane orders near a target size).
+pub fn primes_up_to(limit: u64) -> Vec<u64> {
+    (2..=limit).filter(|&n| is_prime(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small_cases() {
+        let primes: Vec<u64> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn rejects_composite_order() {
+        assert!(PrimeField::new(9).is_err());
+        assert!(PrimeField::new(1).is_err());
+        assert!(PrimeField::new(0).is_err());
+        let err = PrimeField::new(12).unwrap_err();
+        assert!(err.to_string().contains("12"));
+    }
+
+    #[test]
+    fn field_axioms_hold_in_f7() {
+        let f = PrimeField::new(7).unwrap();
+        for a in f.elements() {
+            for b in f.elements() {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                assert_eq!(f.sub(f.add(a, b), b), a);
+                for c in f.elements() {
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_multiply_to_one() {
+        for p in [2u64, 3, 5, 13, 31] {
+            let f = PrimeField::new(p).unwrap();
+            assert_eq!(f.inv(0), None);
+            for a in 1..p {
+                let inv = f.inv(a).unwrap();
+                assert_eq!(f.mul(a, inv), 1, "GF({p}): {a}^-1");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = PrimeField::new(11).unwrap();
+        for base in 0..11 {
+            let mut acc = 1;
+            for e in 0..8 {
+                assert_eq!(f.pow(base, e), acc);
+                acc = f.mul(acc, base);
+            }
+        }
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let f = PrimeField::new(13).unwrap();
+        for a in f.elements() {
+            assert_eq!(f.add(a, f.neg(a)), 0);
+        }
+    }
+
+    #[test]
+    fn primes_list() {
+        assert_eq!(primes_up_to(12), vec![2, 3, 5, 7, 11]);
+    }
+}

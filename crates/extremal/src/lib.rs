@@ -1,0 +1,39 @@
+//! Extremal girth machinery for the `vft-spanner` workspace.
+//!
+//! Bodwin–Patel's Theorem 1 expresses fault tolerant spanner sizes through
+//! the extremal function `b(n, k)` — the maximum edge count of an
+//! `n`-vertex graph of girth above `k`. This crate supplies both sides of
+//! that coin:
+//!
+//! * **Curves** ([`moore`]): the Moore upper bounds and the closed-form
+//!   size bounds of the paper (Theorem 1, Corollary 2) and of prior work
+//!   (BDPW18, DK11) used as reference series by the experiments.
+//! * **Witnesses**: graphs that come close to those bounds —
+//!   complete bipartite graphs (triangle-free extremal), projective plane
+//!   incidence graphs ([`projective`], girth 6, Moore-tight), and the
+//!   probabilistic deletion method ([`high_girth`]) for any girth target.
+//! * **The lower-bound family** ([`lower_bound`]): the biclique blow-up
+//!   from the paper's closing remark, with its edge blocking set and the
+//!   per-edge critical fault sets that make it incompressible for VFT
+//!   spanners.
+//!
+//! # Example
+//!
+//! ```
+//! use spanner_extremal::{lower_bound::biclique_blowup, projective};
+//!
+//! // A Moore-tight girth-6 base, blown up for fault budget f = 4.
+//! let base = projective::heawood();
+//! let t = spanner_extremal::lower_bound::max_copies_for_fault_budget(4);
+//! let family = biclique_blowup(&base, t);
+//! assert_eq!(family.graph().edge_count(), base.edge_count() * t * t);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf;
+pub mod high_girth;
+pub mod lower_bound;
+pub mod moore;
+pub mod projective;

@@ -1,0 +1,306 @@
+//! The Bodwin–Patel / BDPW18 lower-bound family.
+//!
+//! The paper's closing remark describes the vertex-fault-tolerance lower
+//! bound graph of [BDPW18]: combine "an arbitrary graph of girth > k+1 with
+//! a biclique on ⌊f/2⌋ nodes" — i.e. *blow up* every base vertex into an
+//! independent set of `t ≈ f/2` copies and every base edge into a complete
+//! bipartite `K_{t,t}` between the copy sets. The result:
+//!
+//! * has `t² · |E(base)| = Ω(f² · b(n/f, k+1))` edges on `t · |V(base)|`
+//!   vertices;
+//! * every edge is *critical* for some fault set of `2(t−1) ≤ f` vertices
+//!   ([`BlowUp::critical_fault_set`]), so every f-VFT k-spanner must keep
+//!   essentially all of it — this is the tightness witness for Theorem 1;
+//! * admits an **edge** `(k+1)`-blocking set of size `≤ f·|E|`
+//!   ([`BlowUp::edge_blocking_set`]): all pairs of edges that share an
+//!   endpoint and correspond to the same base edge. This is the paper's
+//!   evidence that blocking sets alone cannot improve the EFT upper bound.
+//!
+//! Why the blocking set works: every product edge moves in the base
+//! coordinate, so a cycle of length `L < girth(base)` projects to a closed
+//! `L`-walk in the base, which must backtrack (a non-backtracking closed
+//! walk would witness a base cycle of length ≤ L). The backtracking step is
+//! two cyclically-consecutive product edges over the same base edge sharing
+//! an endpoint — exactly a pair in the blocking set.
+
+use spanner_graph::{EdgeId, Graph, NodeId};
+
+/// A biclique blow-up of a base graph, with coordinate bookkeeping.
+///
+/// Product vertex `(b, x)` (base vertex `b`, copy `x ∈ 0..t`) has id
+/// `b·t + x`. The `t²` copies of base edge `i` occupy the contiguous edge-id
+/// block `i·t² .. (i+1)·t²` in `(x, y)`-lexicographic order.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_extremal::lower_bound::biclique_blowup;
+/// use spanner_graph::generators::cycle;
+///
+/// let blow = biclique_blowup(&cycle(5), 3);
+/// assert_eq!(blow.graph().node_count(), 15);
+/// assert_eq!(blow.graph().edge_count(), 5 * 9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlowUp {
+    graph: Graph,
+    base: Graph,
+    copies: usize,
+}
+
+impl BlowUp {
+    /// The blown-up graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The base graph.
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// Copies per base vertex (`t`).
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Product vertex id of `(base_vertex, copy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copy >= copies`.
+    pub fn node(&self, base_vertex: NodeId, copy: usize) -> NodeId {
+        assert!(copy < self.copies, "copy index out of range");
+        NodeId::new(base_vertex.index() * self.copies + copy)
+    }
+
+    /// Splits a product vertex into `(base_vertex, copy)`.
+    pub fn coordinates(&self, v: NodeId) -> (NodeId, usize) {
+        (NodeId::new(v.index() / self.copies), v.index() % self.copies)
+    }
+
+    /// The base edge a product edge corresponds to.
+    pub fn base_edge_of(&self, e: EdgeId) -> EdgeId {
+        EdgeId::new(e.index() / (self.copies * self.copies))
+    }
+
+    /// The product edge id for copy `(x, y)` of base edge `base_edge`
+    /// (`x` on the `u`-side, `y` on the `v`-side of the base edge).
+    pub fn product_edge(&self, base_edge: EdgeId, x: usize, y: usize) -> EdgeId {
+        assert!(x < self.copies && y < self.copies, "copy index out of range");
+        EdgeId::new(base_edge.index() * self.copies * self.copies + x * self.copies + y)
+    }
+
+    /// The edge `(k+1)`-blocking set of the paper's remark: all pairs of
+    /// distinct product edges that share an endpoint and correspond to the
+    /// same base edge.
+    ///
+    /// Size: `|E(base)| · t² · (t − 1)`, which is at most `f · |E|` whenever
+    /// `t − 1 ≤ f`.
+    pub fn edge_blocking_set(&self) -> Vec<(EdgeId, EdgeId)> {
+        let t = self.copies;
+        let mut pairs = Vec::with_capacity(self.base.edge_count() * t * t * (t.saturating_sub(1)));
+        for be in self.base.edge_ids() {
+            // Shared endpoint on the u-side: same x, distinct y < y'.
+            for x in 0..t {
+                for y1 in 0..t {
+                    for y2 in (y1 + 1)..t {
+                        pairs.push((self.product_edge(be, x, y1), self.product_edge(be, x, y2)));
+                    }
+                }
+            }
+            // Shared endpoint on the v-side: same y, distinct x < x'.
+            for y in 0..t {
+                for x1 in 0..t {
+                    for x2 in (x1 + 1)..t {
+                        pairs.push((self.product_edge(be, x1, y), self.product_edge(be, x2, y)));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// The vertex fault set that makes product edge `e` critical: all other
+    /// copies of `e`'s endpoints (`2(t − 1)` vertices). After these faults,
+    /// `e` is the unique surviving copy of its base edge, and any detour
+    /// must follow a base walk of length at least `girth(base) − 1`.
+    pub fn critical_fault_set(&self, e: EdgeId) -> Vec<NodeId> {
+        let (u, v) = self.graph.endpoints(e);
+        let (bu, x) = self.coordinates(u);
+        let (bv, y) = self.coordinates(v);
+        let mut faults = Vec::with_capacity(2 * (self.copies - 1));
+        for c in 0..self.copies {
+            if c != x {
+                faults.push(self.node(bu, c));
+            }
+            if c != y {
+                faults.push(self.node(bv, c));
+            }
+        }
+        faults
+    }
+
+    /// Number of vertex faults [`BlowUp::critical_fault_set`] uses.
+    pub fn criticality_budget(&self) -> usize {
+        2 * (self.copies - 1)
+    }
+}
+
+/// Blows up `base` with `t` copies per vertex (`t ≥ 1`).
+///
+/// Edge weights are inherited from the base edge by every copy.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn biclique_blowup(base: &Graph, t: usize) -> BlowUp {
+    assert!(t >= 1, "need at least one copy per vertex");
+    let mut graph = Graph::with_edge_capacity(base.node_count() * t, base.edge_count() * t * t);
+    for (_, e) in base.edges() {
+        for x in 0..t {
+            for y in 0..t {
+                graph.add_edge_unchecked(
+                    NodeId::new(e.u().index() * t + x),
+                    NodeId::new(e.v().index() * t + y),
+                    e.weight(),
+                );
+            }
+        }
+    }
+    BlowUp {
+        graph,
+        base: base.clone(),
+        copies: t,
+    }
+}
+
+/// The largest copy count whose criticality fault sets fit in a vertex
+/// budget of `f`: `t = f/2 + 1`.
+pub fn max_copies_for_fault_budget(f: usize) -> usize {
+    f / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators::cycle;
+    use spanner_graph::{girth, FaultMask};
+
+    fn blow(n: usize, t: usize) -> BlowUp {
+        biclique_blowup(&cycle(n), t)
+    }
+
+    #[test]
+    fn counts_match_formula() {
+        let b = blow(6, 3);
+        assert_eq!(b.graph().node_count(), 18);
+        assert_eq!(b.graph().edge_count(), 6 * 9);
+        assert_eq!(b.copies(), 3);
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let b = blow(5, 4);
+        for v in b.graph().nodes() {
+            let (bv, c) = b.coordinates(v);
+            assert_eq!(b.node(bv, c), v);
+        }
+    }
+
+    #[test]
+    fn edge_block_indexing_consistent() {
+        let b = blow(5, 3);
+        for e in b.graph().edge_ids() {
+            let be = b.base_edge_of(e);
+            let (u, v) = b.graph().endpoints(e);
+            let (bu, x) = b.coordinates(u);
+            let (bv, y) = b.coordinates(v);
+            let (base_u, base_v) = b.base().endpoints(be);
+            assert_eq!((bu, bv), (base_u, base_v));
+            assert_eq!(b.product_edge(be, x, y), e);
+        }
+    }
+
+    #[test]
+    fn blocking_set_size_formula() {
+        let b = blow(4, 3);
+        let bs = b.edge_blocking_set();
+        // |E(base)| * t^2 * (t-1) = 4 * 9 * 2 = 72.
+        assert_eq!(bs.len(), 72);
+        // All pairs distinct and same base edge, sharing an endpoint.
+        for (e1, e2) in &bs {
+            assert_ne!(e1, e2);
+            assert_eq!(b.base_edge_of(*e1), b.base_edge_of(*e2));
+            let (u1, v1) = b.graph().endpoints(*e1);
+            let (u2, v2) = b.graph().endpoints(*e2);
+            assert!(u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2);
+        }
+    }
+
+    #[test]
+    fn blocking_set_within_budget() {
+        // t - 1 <= f must make |B| <= f |E|.
+        let b = blow(5, 3);
+        let f = b.copies() - 1 + 1; // any f >= t-1
+        assert!(b.edge_blocking_set().len() <= f * b.graph().edge_count());
+    }
+
+    #[test]
+    fn blocking_set_blocks_every_short_cycle() {
+        use spanner_graph::cycles::enumerate_short_cycles;
+        let base = cycle(7); // girth 7
+        let b = biclique_blowup(&base, 2);
+        let mask = FaultMask::for_graph(b.graph());
+        // All cycles shorter than the base girth must be blocked.
+        let short = enumerate_short_cycles(b.graph(), &mask, 6, 1_000_000);
+        assert!(!short.truncated);
+        assert!(!short.cycles.is_empty(), "blow-up should have short cycles");
+        let bs = b.edge_blocking_set();
+        for c in &short.cycles {
+            let blocked = bs
+                .iter()
+                .any(|(e1, e2)| c.contains_edge(*e1) && c.contains_edge(*e2));
+            assert!(blocked, "cycle of length {} unblocked", c.len());
+        }
+    }
+
+    #[test]
+    fn critical_fault_set_isolates_copy() {
+        use spanner_graph::dijkstra;
+        let base = cycle(8); // girth 8
+        let b = biclique_blowup(&base, 3);
+        let e = EdgeId::new(5);
+        let faults = b.critical_fault_set(e);
+        assert_eq!(faults.len(), b.criticality_budget());
+        let mut mask = FaultMask::for_graph(b.graph());
+        for v in &faults {
+            mask.fault_vertex(*v);
+        }
+        // With e also removed, u-v distance is the long way around: 7 hops.
+        mask.fault_edge(e);
+        let (u, v) = b.graph().endpoints(e);
+        let d = dijkstra::dist(b.graph(), u, v, &mask);
+        assert_eq!(d.value(), Some(7));
+    }
+
+    #[test]
+    fn single_copy_blowup_is_base() {
+        let base = cycle(5);
+        let b = biclique_blowup(&base, 1);
+        assert_eq!(b.graph().node_count(), 5);
+        assert_eq!(b.graph().edge_count(), 5);
+        assert!(b.edge_blocking_set().is_empty());
+        let mask = FaultMask::for_graph(b.graph());
+        assert_eq!(girth::girth(b.graph(), &mask), Some(5));
+    }
+
+    #[test]
+    fn budget_helpers() {
+        assert_eq!(max_copies_for_fault_budget(0), 1);
+        assert_eq!(max_copies_for_fault_budget(2), 2);
+        assert_eq!(max_copies_for_fault_budget(5), 3);
+        let b = blow(4, 3);
+        assert_eq!(b.criticality_budget(), 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Projective planes `PG(2, q)` and their incidence graphs.
+//!
+//! The incidence graph of a projective plane of order `q` is bipartite
+//! (points vs lines), `(q + 1)`-regular, has `2(q² + q + 1)` vertices,
+//! `(q + 1)(q² + q + 1)` edges, girth 6, and diameter 3 — it *meets* the
+//! Moore bound for girth > 4 (and > 5), making it the canonical extremal
+//! base graph for the paper's lower-bound family at `k + 1 ∈ {5, 6}`.
+//!
+//! Points are the 1-dimensional subspaces of GF(q)³ and lines the
+//! 2-dimensional ones; a point lies on a line when their representative
+//! vectors are orthogonal. Only prime `q` is supported (see [`crate::gf`]).
+
+use crate::gf::{NotPrimeError, PrimeField};
+use spanner_graph::{Graph, NodeId, Weight};
+
+/// A projective plane of prime order `q`, with explicit point and line
+/// coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_extremal::projective::ProjectivePlane;
+///
+/// let fano = ProjectivePlane::new(2)?;
+/// assert_eq!(fano.point_count(), 7);
+/// assert_eq!(fano.line_count(), 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProjectivePlane {
+    field: PrimeField,
+    /// Normalized homogeneous coordinates (first nonzero entry is 1).
+    points: Vec<[u64; 3]>,
+}
+
+impl ProjectivePlane {
+    /// Constructs `PG(2, q)` for prime `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPrimeError`] when `q` is not a supported prime.
+    pub fn new(q: u64) -> Result<Self, NotPrimeError> {
+        let field = PrimeField::new(q)?;
+        let mut points = Vec::with_capacity((q * q + q + 1) as usize);
+        // Normalized representatives: (1, y, z), (0, 1, z), (0, 0, 1).
+        for y in 0..q {
+            for z in 0..q {
+                points.push([1, y, z]);
+            }
+        }
+        for z in 0..q {
+            points.push([0, 1, z]);
+        }
+        points.push([0, 0, 1]);
+        Ok(ProjectivePlane { field, points })
+    }
+
+    /// The plane order `q`.
+    pub fn order(&self) -> u64 {
+        self.field.order()
+    }
+
+    /// Number of points: `q² + q + 1`.
+    pub fn point_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of lines (equal to the number of points by duality).
+    pub fn line_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The normalized homogeneous coordinates of point `i`.
+    pub fn point(&self, i: usize) -> [u64; 3] {
+        self.points[i]
+    }
+
+    /// Whether point `p` is incident to line `l` (lines are indexed by the
+    /// same normalized coordinates, acting as the dual plane): incidence is
+    /// orthogonality `p · l = 0` over GF(q).
+    pub fn incident(&self, p: usize, l: usize) -> bool {
+        let a = self.points[p];
+        let b = self.points[l];
+        let f = self.field;
+        let dot = f.add(f.add(f.mul(a[0], b[0]), f.mul(a[1], b[1])), f.mul(a[2], b[2]));
+        dot == 0
+    }
+
+    /// Builds the bipartite point–line incidence graph: vertices
+    /// `0..point_count()` are points, `point_count()..2·point_count()` are
+    /// lines.
+    pub fn incidence_graph(&self) -> Graph {
+        let n = self.point_count();
+        let mut g = Graph::with_edge_capacity(2 * n, (self.order() as usize + 1) * n);
+        for p in 0..n {
+            for l in 0..n {
+                if self.incident(p, l) {
+                    g.add_edge_unchecked(NodeId::new(p), NodeId::new(n + l), Weight::UNIT);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Convenience: the incidence graph of `PG(2, q)`.
+///
+/// # Errors
+///
+/// Returns [`NotPrimeError`] when `q` is not a supported prime.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_extremal::projective::incidence_graph;
+///
+/// // The Heawood graph: PG(2,2) incidence, 14 vertices, 21 edges, girth 6.
+/// let heawood = incidence_graph(2)?;
+/// assert_eq!(heawood.node_count(), 14);
+/// assert_eq!(heawood.edge_count(), 21);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn incidence_graph(q: u64) -> Result<Graph, NotPrimeError> {
+    Ok(ProjectivePlane::new(q)?.incidence_graph())
+}
+
+/// The Heawood graph — the (3,6)-cage, i.e. the smallest 3-regular graph of
+/// girth 6 — as the incidence graph of the Fano plane `PG(2, 2)`.
+pub fn heawood() -> Graph {
+    incidence_graph(2).expect("2 is prime")
+}
+
+/// Picks the largest prime `q` such that the incidence graph of `PG(2, q)`
+/// has at most `max_nodes` vertices; `None` if even `q = 2` is too big.
+pub fn largest_order_fitting(max_nodes: usize) -> Option<u64> {
+    let mut best = None;
+    for q in crate::gf::primes_up_to(1 << 15) {
+        let nodes = 2 * (q * q + q + 1);
+        if nodes as usize <= max_nodes {
+            best = Some(q);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::{girth, FaultMask};
+
+    #[test]
+    fn point_counts() {
+        for q in [2u64, 3, 5, 7] {
+            let plane = ProjectivePlane::new(q).unwrap();
+            assert_eq!(plane.point_count() as u64, q * q + q + 1, "q={q}");
+        }
+    }
+
+    #[test]
+    fn every_line_has_q_plus_one_points() {
+        for q in [2u64, 3, 5] {
+            let plane = ProjectivePlane::new(q).unwrap();
+            for l in 0..plane.line_count() {
+                let on_line = (0..plane.point_count())
+                    .filter(|&p| plane.incident(p, l))
+                    .count();
+                assert_eq!(on_line as u64, q + 1, "q={q}, line {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_points_determine_one_line() {
+        for q in [2u64, 3] {
+            let plane = ProjectivePlane::new(q).unwrap();
+            let n = plane.point_count();
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    let common = (0..n)
+                        .filter(|&l| plane.incident(p1, l) && plane.incident(p2, l))
+                        .count();
+                    assert_eq!(common, 1, "q={q}: points {p1},{p2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_lines_meet_in_one_point() {
+        let plane = ProjectivePlane::new(3).unwrap();
+        let n = plane.line_count();
+        for l1 in 0..n {
+            for l2 in (l1 + 1)..n {
+                let common = (0..n)
+                    .filter(|&p| plane.incident(p, l1) && plane.incident(p, l2))
+                    .count();
+                assert_eq!(common, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn incidence_graph_is_regular_bipartite_girth_six() {
+        for q in [2u64, 3, 5] {
+            let g = incidence_graph(q).unwrap();
+            let n = (q * q + q + 1) as usize;
+            assert_eq!(g.node_count(), 2 * n);
+            assert_eq!(g.edge_count() as u64, (q + 1) * n as u64);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v) as u64, q + 1, "q={q}");
+            }
+            let mask = FaultMask::for_graph(&g);
+            assert_eq!(girth::girth(&g, &mask), Some(6), "q={q}");
+        }
+    }
+
+    #[test]
+    fn heawood_is_the_three_six_cage() {
+        let g = heawood();
+        assert_eq!(g.node_count(), 14);
+        assert_eq!(g.edge_count(), 21);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn largest_order_selection() {
+        // q=2 -> 14 nodes, q=3 -> 26, q=5 -> 62, q=7 -> 114.
+        assert_eq!(largest_order_fitting(13), None);
+        assert_eq!(largest_order_fitting(14), Some(2));
+        assert_eq!(largest_order_fitting(100), Some(5));
+        assert_eq!(largest_order_fitting(200), Some(7));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the extremal machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spanner_extremal::high_girth::{delete_short_cycles, high_girth_graph};
+use spanner_extremal::lower_bound::biclique_blowup;
+use spanner_extremal::moore::{corollary2_bound, moore_bound, theorem1_bound};
+use spanner_extremal::projective::ProjectivePlane;
+use spanner_graph::{generators, girth, FaultMask};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn high_girth_generator_always_delivers(
+        n in 10usize..80,
+        girth_above in 3usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = high_girth_graph(n, girth_above, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        let mask = FaultMask::for_graph(&g);
+        prop_assert!(girth::has_girth_greater_than(&g, &mask, girth_above));
+    }
+
+    #[test]
+    fn deletion_is_idempotent(n in 8usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, 0.3, &mut rng);
+        let once = delete_short_cycles(&g, 5);
+        let twice = delete_short_cycles(&once, 5);
+        prop_assert_eq!(once.edge_count(), twice.edge_count());
+    }
+
+    #[test]
+    fn moore_curves_are_ordered(n in 10u64..5000, f in 1u64..10, k in 1u64..6) {
+        let nf = n as f64;
+        // Theorem 1 at stretch 2k-1 dominates the f=0 case.
+        prop_assert!(theorem1_bound(nf, f, 2 * k - 1) + 1e-9 >= theorem1_bound(nf, 0, 2 * k - 1));
+        // Corollary 2 grows with f and with n.
+        prop_assert!(corollary2_bound(nf, f + 1, k) >= corollary2_bound(nf, f, k));
+        prop_assert!(corollary2_bound(nf * 2.0, f, k) >= corollary2_bound(nf, f, k));
+        // Moore bound decreases in the girth parameter.
+        prop_assert!(moore_bound(nf, 3) + 1e-9 >= moore_bound(nf, 4));
+    }
+
+    #[test]
+    fn blowup_edge_and_node_counts(base_n in 4usize..12, t in 1usize..4) {
+        let base = generators::cycle(base_n);
+        let blow = biclique_blowup(&base, t);
+        prop_assert_eq!(blow.graph().node_count(), base_n * t);
+        prop_assert_eq!(blow.graph().edge_count(), base_n * t * t);
+        // Every product edge maps to a base edge with consistent endpoints.
+        for e in blow.graph().edge_ids() {
+            let be = blow.base_edge_of(e);
+            let (u, v) = blow.graph().endpoints(e);
+            let (bu, _) = blow.coordinates(u);
+            let (bv, _) = blow.coordinates(v);
+            let (eu, ev) = base.endpoints(be);
+            prop_assert!((bu, bv) == (eu, ev) || (bu, bv) == (ev, eu));
+        }
+    }
+
+    #[test]
+    fn blowup_critical_sets_stay_in_budget(base_n in 5usize..10, t in 2usize..4) {
+        let base = generators::cycle(base_n);
+        let blow = biclique_blowup(&base, t);
+        for probe in [0usize, 3, 7] {
+            let e = spanner_graph::EdgeId::new(probe % blow.graph().edge_count());
+            let faults = blow.critical_fault_set(e);
+            prop_assert_eq!(faults.len(), 2 * (t - 1));
+            let (u, v) = blow.graph().endpoints(e);
+            prop_assert!(!faults.contains(&u));
+            prop_assert!(!faults.contains(&v));
+        }
+    }
+}
+
+#[test]
+fn projective_plane_duality_for_several_orders() {
+    for q in [2u64, 3, 5, 7] {
+        let plane = ProjectivePlane::new(q).unwrap();
+        let n = plane.point_count();
+        // Every point lies on exactly q+1 lines (dual of the line test).
+        for p in 0..n {
+            let lines = (0..n).filter(|&l| plane.incident(p, l)).count();
+            assert_eq!(lines as u64, q + 1, "q={q}, point {p}");
+        }
+    }
+}

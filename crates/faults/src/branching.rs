@@ -1,0 +1,434 @@
+//! The bounded-search-tree fault oracle.
+//!
+//! The key observation: any fault set `F` that pushes `dist(u, v)` above
+//! the bound must *hit the current shortest path* — in the vertex model one
+//! of its (at most `⌈bound/min-weight⌉ − 1`) interior vertices, in the edge
+//! model one of its edges. Branching over those candidates and recursing
+//! with budget `f − 1` explores `O(k^f)` search nodes instead of the
+//! `O(n^f)` of brute force, while remaining exact.
+//!
+//! Two accelerations, both optional (for the ablation experiments) and both
+//! sound:
+//!
+//! * **Packing pruning** ([`crate::packing`]): if more than
+//!   `remaining-budget` pairwise disjoint short paths survive, no extension
+//!   of the current fault set can work — stop.
+//! * **Memoization**: the same fault *set* reached by different orders
+//!   explores the same subtree; a hash set of visited sets collapses those
+//!   permutations.
+//!
+//! This is still exponential in `f` — the paper explicitly leaves a faster
+//! FT-greedy as an open problem, and experiment E9 measures exactly this
+//! growth.
+
+use crate::packing::disjoint_path_packing;
+use crate::{FaultModel, FaultOracle, FaultSet, OracleQuery, OracleStats};
+use spanner_graph::{DijkstraEngine, EdgeId, FaultMask, Graph, NodeId};
+use std::collections::HashSet;
+
+/// Feature toggles for [`BranchingOracle`] (used by the ablation benches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchingConfig {
+    /// Enable the disjoint-path packing prune.
+    pub use_packing: bool,
+    /// Enable fault-set memoization.
+    pub use_memo: bool,
+    /// Enable the global min-cut shortcut: if the whole graph has an
+    /// `s–t` cut (vertex or edge, per model) of size ≤ budget, that cut
+    /// blocks *every* path — in particular all short ones — so it is a
+    /// valid witness without any search. Sound; found via bounded
+    /// max-flow before branching starts.
+    pub use_cut_shortcut: bool,
+}
+
+impl Default for BranchingConfig {
+    fn default() -> Self {
+        BranchingConfig {
+            use_packing: true,
+            use_memo: true,
+            use_cut_shortcut: true,
+        }
+    }
+}
+
+/// The branching fault oracle. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_faults::{BranchingOracle, FaultModel, FaultOracle, OracleQuery};
+/// use spanner_graph::{Dist, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])?;
+/// let mut oracle = BranchingOracle::new();
+/// let query = OracleQuery {
+///     u: NodeId::new(0),
+///     v: NodeId::new(3),
+///     bound: Dist::finite(2),
+///     budget: 2,
+///     model: FaultModel::Vertex,
+/// };
+/// let f = oracle.find_blocking_faults(&g, query).unwrap();
+/// assert_eq!(f.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct BranchingOracle {
+    engine: DijkstraEngine,
+    config: BranchingConfig,
+    stats: OracleStats,
+}
+
+impl BranchingOracle {
+    /// Creates an oracle with both accelerations enabled.
+    pub fn new() -> Self {
+        BranchingOracle::default()
+    }
+
+    /// Creates an oracle with explicit feature toggles.
+    pub fn with_config(config: BranchingConfig) -> Self {
+        BranchingOracle {
+            engine: DijkstraEngine::new(),
+            config,
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> BranchingConfig {
+        self.config
+    }
+
+    fn search(
+        &mut self,
+        graph: &Graph,
+        q: &OracleQuery,
+        mask: &mut FaultMask,
+        current: &mut Vec<usize>,
+        memo: &mut HashSet<Vec<usize>>,
+    ) -> bool {
+        self.stats.nodes_explored += 1;
+        self.stats.shortest_path_queries += 1;
+        let Some(path) = self
+            .engine
+            .shortest_path_bounded(graph, q.u, q.v, q.bound, mask)
+        else {
+            return true; // dist already exceeds the bound
+        };
+        let remaining = q.budget - current.len();
+        if remaining == 0 {
+            return false;
+        }
+        let candidates: Vec<usize> = match q.model {
+            FaultModel::Vertex => path.interior_nodes().iter().map(|n| n.index()).collect(),
+            FaultModel::Edge => path.edges.iter().map(|e| e.index()).collect(),
+        };
+        if candidates.is_empty() {
+            // Vertex model, direct u-v edge: unblockable.
+            return false;
+        }
+        if self.config.use_packing {
+            let pack = disjoint_path_packing(
+                graph,
+                &mut self.engine,
+                mask,
+                q.u,
+                q.v,
+                q.bound,
+                q.model,
+                remaining + 1,
+            );
+            self.stats.shortest_path_queries += pack as u64 + 1;
+            if pack > remaining {
+                self.stats.packing_prunes += 1;
+                return false;
+            }
+        }
+        for c in candidates {
+            self.fault(q.model, mask, c);
+            current.push(c);
+            let skip = if self.config.use_memo {
+                let mut key = current.clone();
+                key.sort_unstable();
+                if memo.insert(key) {
+                    false
+                } else {
+                    self.stats.memo_hits += 1;
+                    true
+                }
+            } else {
+                false
+            };
+            if !skip && self.search(graph, q, mask, current, memo) {
+                return true;
+            }
+            current.pop();
+            self.restore(q.model, mask, c);
+        }
+        false
+    }
+
+    fn fault(&self, model: FaultModel, mask: &mut FaultMask, c: usize) {
+        match model {
+            FaultModel::Vertex => {
+                mask.fault_vertex(NodeId::new(c));
+            }
+            FaultModel::Edge => {
+                mask.fault_edge(EdgeId::new(c));
+            }
+        }
+    }
+
+    fn restore(&self, model: FaultModel, mask: &mut FaultMask, c: usize) {
+        match model {
+            FaultModel::Vertex => {
+                mask.restore_vertex(NodeId::new(c));
+            }
+            FaultModel::Edge => {
+                mask.restore_edge(EdgeId::new(c));
+            }
+        }
+    }
+}
+
+impl BranchingOracle {
+    /// Like [`FaultOracle::find_blocking_faults`], but starts the search
+    /// from a pre-committed partial fault set (counted against the
+    /// budget). Used by the parallel oracle to fan the root branches out
+    /// across workers; also handy for "what if X were already down?"
+    /// analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is larger than the budget or disagrees with the
+    /// query's fault model.
+    pub fn find_blocking_faults_with_initial(
+        &mut self,
+        graph: &Graph,
+        query: OracleQuery,
+        initial: &FaultSet,
+    ) -> Option<FaultSet> {
+        assert!(initial.len() <= query.budget, "initial set exceeds budget");
+        assert!(
+            initial.is_empty() || initial.model() == query.model,
+            "initial set model mismatch"
+        );
+        let mut mask = FaultMask::for_graph(graph);
+        initial.apply_to(&mut mask);
+        let mut current: Vec<usize> = match initial {
+            FaultSet::Vertices(v) => v.iter().map(|n| n.index()).collect(),
+            FaultSet::Edges(e) => e.iter().map(|id| id.index()).collect(),
+        };
+        let mut memo: HashSet<Vec<usize>> = HashSet::new();
+        if self.search(graph, &query, &mut mask, &mut current, &mut memo) {
+            Some(match query.model {
+                FaultModel::Vertex => FaultSet::vertices(current.into_iter().map(NodeId::new)),
+                FaultModel::Edge => FaultSet::edges(current.into_iter().map(EdgeId::new)),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl FaultOracle for BranchingOracle {
+    fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
+        let mut mask = FaultMask::for_graph(graph);
+        if self.config.use_cut_shortcut && query.budget > 0 {
+            // A global cut within budget blocks all paths, short or long.
+            match query.model {
+                FaultModel::Vertex => {
+                    if let Some(cut) = spanner_graph::connectivity::min_vertex_cut_st(
+                        graph,
+                        &mask,
+                        query.u,
+                        query.v,
+                        query.budget as u32,
+                    ) {
+                        self.stats.cut_shortcuts += 1;
+                        return Some(FaultSet::vertices(cut));
+                    }
+                }
+                FaultModel::Edge => {
+                    if let Some(cut) = spanner_graph::connectivity::min_edge_cut_st(
+                        graph,
+                        &mask,
+                        query.u,
+                        query.v,
+                        query.budget as u32,
+                    ) {
+                        self.stats.cut_shortcuts += 1;
+                        return Some(FaultSet::edges(cut));
+                    }
+                }
+            }
+        }
+        let mut current = Vec::with_capacity(query.budget);
+        let mut memo: HashSet<Vec<usize>> = HashSet::new();
+        if self.search(graph, &query, &mut mask, &mut current, &mut memo) {
+            Some(match query.model {
+                FaultModel::Vertex => FaultSet::vertices(current.into_iter().map(NodeId::new)),
+                FaultModel::Edge => FaultSet::edges(current.into_iter().map(EdgeId::new)),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = OracleStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::Dist;
+
+    fn q(u: usize, v: usize, bound: u64, budget: usize, model: FaultModel) -> OracleQuery {
+        OracleQuery {
+            u: NodeId::new(u),
+            v: NodeId::new(v),
+            bound: Dist::finite(bound),
+            budget,
+            model,
+        }
+    }
+
+    fn diamond() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn finds_vertex_cut() {
+        let g = diamond();
+        let mut o = BranchingOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex))
+            .unwrap();
+        assert_eq!(f, FaultSet::vertices([NodeId::new(1), NodeId::new(2)]));
+    }
+
+    #[test]
+    fn budget_too_small_fails() {
+        let g = diamond();
+        let mut o = BranchingOracle::new();
+        assert!(o
+            .find_blocking_faults(&g, q(0, 3, 2, 1, FaultModel::Vertex))
+            .is_none());
+    }
+
+    #[test]
+    fn direct_edge_unblockable_in_vertex_model() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut o = BranchingOracle::new();
+        assert!(o
+            .find_blocking_faults(&g, q(0, 1, 1, 10, FaultModel::Vertex))
+            .is_none());
+    }
+
+    #[test]
+    fn edge_model_blocks_direct_edge() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut o = BranchingOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 1, 1, 1, FaultModel::Edge))
+            .unwrap();
+        assert_eq!(f, FaultSet::edges([EdgeId::new(0)]));
+    }
+
+    #[test]
+    fn already_far_needs_no_faults() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut o = BranchingOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 2, 1, 0, FaultModel::Vertex))
+            .unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn all_config_variants_agree_on_diamond() {
+        let g = diamond();
+        for use_packing in [false, true] {
+            for use_memo in [false, true] {
+                for use_cut_shortcut in [false, true] {
+                    let mut o = BranchingOracle::with_config(BranchingConfig {
+                        use_packing,
+                        use_memo,
+                        use_cut_shortcut,
+                    });
+                    let f = o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex));
+                    assert!(f.is_some(), "packing={use_packing} memo={use_memo} cut={use_cut_shortcut}");
+                    let none = o.find_blocking_faults(&g, q(0, 3, 2, 1, FaultModel::Vertex));
+                    assert!(none.is_none(), "packing={use_packing} memo={use_memo} cut={use_cut_shortcut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_bound_respected() {
+        // 0 -5- 1, alternative 0 -1- 2 -1- 1. Stretch bound 10: alt path
+        // weight 2 <= 10, needs vertex 2 faulted.
+        let g = Graph::from_weighted_edges(3, [(0, 2, 1), (2, 1, 1)]).unwrap();
+        let mut o = BranchingOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 1, 10, 1, FaultModel::Vertex))
+            .unwrap();
+        assert_eq!(f, FaultSet::vertices([NodeId::new(2)]));
+    }
+
+    #[test]
+    fn returned_set_actually_blocks() {
+        use spanner_graph::dijkstra;
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)],
+        )
+        .unwrap();
+        let mut o = BranchingOracle::new();
+        let query = q(0, 5, 2, 2, FaultModel::Vertex);
+        let f = o.find_blocking_faults(&g, query).unwrap();
+        let mask = f.to_mask(g.node_count(), g.edge_count());
+        let d = dijkstra::dist(&g, NodeId::new(0), NodeId::new(5), &mask);
+        assert!(d > Dist::finite(2));
+    }
+
+    #[test]
+    fn memo_reduces_exploration() {
+        // A graph with many symmetric routes provokes permutation blowup.
+        let mut g = Graph::new(2);
+        for _ in 0..6 {
+            let a = g.add_node();
+            let b = g.add_node();
+            g.add_edge(NodeId::new(0), a, spanner_graph::Weight::UNIT);
+            g.add_edge(a, b, spanner_graph::Weight::UNIT);
+            g.add_edge(b, NodeId::new(1), spanner_graph::Weight::UNIT);
+        }
+        let query = q(0, 1, 3, 4, FaultModel::Vertex);
+        let mut with_memo = BranchingOracle::with_config(BranchingConfig {
+            use_packing: false,
+            use_memo: true,
+            use_cut_shortcut: false,
+        });
+        let mut without_memo = BranchingOracle::with_config(BranchingConfig {
+            use_packing: false,
+            use_memo: false,
+            use_cut_shortcut: false,
+        });
+        let a = with_memo.find_blocking_faults(&g, query);
+        let b = without_memo.find_blocking_faults(&g, query);
+        assert_eq!(a.is_some(), b.is_some());
+        assert!(
+            with_memo.stats().nodes_explored <= without_memo.stats().nodes_explored,
+            "memo {} vs plain {}",
+            with_memo.stats().nodes_explored,
+            without_memo.stats().nodes_explored
+        );
+    }
+}

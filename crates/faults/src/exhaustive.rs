@@ -1,0 +1,230 @@
+//! Brute-force fault oracle: try every candidate subset.
+//!
+//! Cost is `O(n^f)` (or `m^f`) shortest-path queries — usable only on tiny
+//! instances, but unconditionally correct by inspection, which makes it the
+//! ground truth the smarter oracles are property-tested against.
+
+use crate::{FaultModel, FaultOracle, FaultSet, OracleQuery, OracleStats};
+use spanner_graph::{DijkstraEngine, EdgeId, FaultMask, Graph, NodeId};
+
+/// The brute-force oracle. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_faults::{ExhaustiveOracle, FaultModel, FaultOracle, OracleQuery};
+/// use spanner_graph::{Dist, Graph, NodeId};
+///
+/// // Two vertex-disjoint 2-hop routes between 0 and 3.
+/// let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])?;
+/// let mut oracle = ExhaustiveOracle::new();
+/// let query = OracleQuery {
+///     u: NodeId::new(0),
+///     v: NodeId::new(3),
+///     bound: Dist::finite(2),
+///     budget: 1,
+///     model: FaultModel::Vertex,
+/// };
+/// // One fault cannot block both routes...
+/// assert!(oracle.find_blocking_faults(&g, query).is_none());
+/// // ...but two can.
+/// let query = OracleQuery { budget: 2, ..query };
+/// let f = oracle.find_blocking_faults(&g, query).unwrap();
+/// assert_eq!(f.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ExhaustiveOracle {
+    engine: DijkstraEngine,
+    stats: OracleStats,
+}
+
+impl ExhaustiveOracle {
+    /// Creates a fresh oracle.
+    pub fn new() -> Self {
+        ExhaustiveOracle::default()
+    }
+
+    fn blocked(&mut self, graph: &Graph, q: &OracleQuery, mask: &FaultMask) -> bool {
+        self.stats.shortest_path_queries += 1;
+        self.engine
+            .dist_bounded(graph, q.u, q.v, q.bound, mask)
+            .is_none()
+    }
+
+    /// Recursively extends `chosen` with candidates from `candidates[from..]`.
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &mut self,
+        graph: &Graph,
+        q: &OracleQuery,
+        candidates: &[usize],
+        from: usize,
+        remaining: usize,
+        mask: &mut FaultMask,
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        self.stats.nodes_explored += 1;
+        if self.blocked(graph, q, mask) {
+            return true;
+        }
+        if remaining == 0 {
+            return false;
+        }
+        for i in from..candidates.len() {
+            let c = candidates[i];
+            match q.model {
+                FaultModel::Vertex => {
+                    mask.fault_vertex(NodeId::new(c));
+                }
+                FaultModel::Edge => {
+                    mask.fault_edge(EdgeId::new(c));
+                }
+            }
+            chosen.push(c);
+            if self.search(graph, q, candidates, i + 1, remaining - 1, mask, chosen) {
+                return true;
+            }
+            chosen.pop();
+            match q.model {
+                FaultModel::Vertex => {
+                    mask.restore_vertex(NodeId::new(c));
+                }
+                FaultModel::Edge => {
+                    mask.restore_edge(EdgeId::new(c));
+                }
+            }
+        }
+        false
+    }
+}
+
+impl FaultOracle for ExhaustiveOracle {
+    fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
+        let candidates: Vec<usize> = match query.model {
+            FaultModel::Vertex => graph
+                .nodes()
+                .filter(|n| *n != query.u && *n != query.v)
+                .map(|n| n.index())
+                .collect(),
+            FaultModel::Edge => graph.edge_ids().map(|e| e.index()).collect(),
+        };
+        let mut mask = FaultMask::for_graph(graph);
+        let mut chosen = Vec::new();
+        if self.search(
+            graph,
+            &query,
+            &candidates,
+            0,
+            query.budget,
+            &mut mask,
+            &mut chosen,
+        ) {
+            Some(match query.model {
+                FaultModel::Vertex => FaultSet::vertices(chosen.into_iter().map(NodeId::new)),
+                FaultModel::Edge => FaultSet::edges(chosen.into_iter().map(EdgeId::new)),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = OracleStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::Dist;
+
+    fn diamond() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap()
+    }
+
+    fn q(u: usize, v: usize, bound: u64, budget: usize, model: FaultModel) -> OracleQuery {
+        OracleQuery {
+            u: NodeId::new(u),
+            v: NodeId::new(v),
+            bound: Dist::finite(bound),
+            budget,
+            model,
+        }
+    }
+
+    #[test]
+    fn finds_vertex_cut() {
+        let g = diamond();
+        let mut o = ExhaustiveOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex))
+            .unwrap();
+        assert_eq!(
+            f,
+            FaultSet::vertices([NodeId::new(1), NodeId::new(2)])
+        );
+    }
+
+    #[test]
+    fn respects_budget() {
+        let g = diamond();
+        let mut o = ExhaustiveOracle::new();
+        assert!(o
+            .find_blocking_faults(&g, q(0, 3, 2, 1, FaultModel::Vertex))
+            .is_none());
+    }
+
+    #[test]
+    fn edge_model_needs_two_faults_too() {
+        let g = diamond();
+        let mut o = ExhaustiveOracle::new();
+        assert!(o
+            .find_blocking_faults(&g, q(0, 3, 2, 1, FaultModel::Edge))
+            .is_none());
+        let f = o
+            .find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Edge))
+            .unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.model(), FaultModel::Edge);
+    }
+
+    #[test]
+    fn zero_budget_succeeds_when_already_far() {
+        // Path 0-1-2: dist(0, 2) = 2 > 1 already.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut o = ExhaustiveOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 2, 1, 0, FaultModel::Vertex))
+            .unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn direct_edge_unblockable_by_vertices() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut o = ExhaustiveOracle::new();
+        assert!(o
+            .find_blocking_faults(&g, q(0, 1, 1, 5, FaultModel::Vertex))
+            .is_none());
+        // ...but trivially blockable by one edge fault.
+        let f = o
+            .find_blocking_faults(&g, q(0, 1, 1, 1, FaultModel::Edge))
+            .unwrap();
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let g = diamond();
+        let mut o = ExhaustiveOracle::new();
+        let _ = o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex));
+        assert!(o.stats().shortest_path_queries > 0);
+        o.reset_stats();
+        assert_eq!(o.stats(), OracleStats::default());
+    }
+}

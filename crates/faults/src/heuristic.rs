@@ -1,0 +1,280 @@
+//! A polynomial-time *heuristic* fault oracle — probing the open problem.
+//!
+//! The paper closes with: the naive FT-greedy is exponential in `f`; can
+//! the dependence be improved? This oracle explores the cheap end of that
+//! question. Instead of branching over all candidates of the current
+//! shortest path, it commits greedily to one candidate per step (several
+//! fixed pick rules, tried in order), giving `O(f · |rules|)` shortest
+//! path queries per edge test.
+//!
+//! The asymmetry callers must understand:
+//!
+//! * any returned fault set is a **genuine witness** — the final
+//!   shortest-path query proved `dist > bound`, so FT-greedy keeps the
+//!   edge *correctly*;
+//! * a `None` answer may be **wrong** (a blocking set might exist that
+//!   greedy commitment missed), so FT-greedy built on this oracle can
+//!   drop edges it needed — its output may fail fault audits.
+//!
+//! Experiment E11 measures exactly this trade: construction work vs audit
+//! violations vs output size, against the exact branching oracle.
+
+use crate::{FaultModel, FaultOracle, FaultSet, OracleQuery, OracleStats};
+use spanner_graph::{DijkstraEngine, EdgeId, FaultMask, Graph, NodeId, ShortestPath};
+
+/// How the heuristic commits to a candidate on the current shortest path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PickRule {
+    /// The middle element of the path (classic "cut it in half").
+    Middle,
+    /// The first interior element.
+    First,
+    /// The last interior element.
+    Last,
+    /// The element of maximum degree in the graph (hub-first).
+    MaxDegree,
+}
+
+impl PickRule {
+    /// All rules in the order the oracle tries them.
+    pub fn all() -> [PickRule; 4] {
+        [PickRule::Middle, PickRule::MaxDegree, PickRule::First, PickRule::Last]
+    }
+}
+
+/// The greedy-commitment heuristic oracle. **Not exact** — see the module
+/// docs for the soundness asymmetry.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_faults::{FaultModel, FaultOracle, GreedyHeuristicOracle, OracleQuery};
+/// use spanner_graph::{Dist, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])?;
+/// let mut oracle = GreedyHeuristicOracle::new();
+/// let found = oracle.find_blocking_faults(&g, OracleQuery {
+///     u: NodeId::new(0),
+///     v: NodeId::new(3),
+///     bound: Dist::finite(2),
+///     budget: 2,
+///     model: FaultModel::Vertex,
+/// });
+/// // On this instance the heuristic finds the (unique) cut.
+/// assert!(found.is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct GreedyHeuristicOracle {
+    engine: DijkstraEngine,
+    stats: OracleStats,
+}
+
+impl GreedyHeuristicOracle {
+    /// Creates the heuristic oracle.
+    pub fn new() -> Self {
+        GreedyHeuristicOracle::default()
+    }
+
+    fn pick(graph: &Graph, path: &ShortestPath, rule: PickRule, model: FaultModel) -> Option<usize> {
+        match model {
+            FaultModel::Vertex => {
+                let interior = path.interior_nodes();
+                if interior.is_empty() {
+                    return None;
+                }
+                let idx = match rule {
+                    PickRule::Middle => interior.len() / 2,
+                    PickRule::First => 0,
+                    PickRule::Last => interior.len() - 1,
+                    PickRule::MaxDegree => {
+                        let mut best = 0;
+                        for (i, n) in interior.iter().enumerate() {
+                            if graph.degree(*n) > graph.degree(interior[best]) {
+                                best = i;
+                            }
+                        }
+                        best
+                    }
+                };
+                Some(interior[idx].index())
+            }
+            FaultModel::Edge => {
+                let edges = &path.edges;
+                if edges.is_empty() {
+                    return None;
+                }
+                let idx = match rule {
+                    PickRule::Middle => edges.len() / 2,
+                    PickRule::First => 0,
+                    PickRule::Last => edges.len() - 1,
+                    PickRule::MaxDegree => {
+                        let degree_of = |e: EdgeId| {
+                            let (a, b) = graph.endpoints(e);
+                            graph.degree(a) + graph.degree(b)
+                        };
+                        let mut best = 0;
+                        for (i, e) in edges.iter().enumerate() {
+                            if degree_of(*e) > degree_of(edges[best]) {
+                                best = i;
+                            }
+                        }
+                        best
+                    }
+                };
+                Some(edges[idx].index())
+            }
+        }
+    }
+
+    fn try_rule(&mut self, graph: &Graph, q: &OracleQuery, rule: PickRule) -> Option<Vec<usize>> {
+        let mut mask = FaultMask::for_graph(graph);
+        let mut chosen = Vec::new();
+        loop {
+            self.stats.nodes_explored += 1;
+            self.stats.shortest_path_queries += 1;
+            let Some(path) = self
+                .engine
+                .shortest_path_bounded(graph, q.u, q.v, q.bound, &mask)
+            else {
+                return Some(chosen); // verified witness: dist > bound
+            };
+            if chosen.len() >= q.budget {
+                return None;
+            }
+            let cand = Self::pick(graph, &path, rule, q.model)?;
+            match q.model {
+                FaultModel::Vertex => {
+                    mask.fault_vertex(NodeId::new(cand));
+                }
+                FaultModel::Edge => {
+                    mask.fault_edge(EdgeId::new(cand));
+                }
+            }
+            chosen.push(cand);
+        }
+    }
+}
+
+impl FaultOracle for GreedyHeuristicOracle {
+    fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
+        for rule in PickRule::all() {
+            if let Some(chosen) = self.try_rule(graph, &query, rule) {
+                return Some(match query.model {
+                    FaultModel::Vertex => FaultSet::vertices(chosen.into_iter().map(NodeId::new)),
+                    FaultModel::Edge => FaultSet::edges(chosen.into_iter().map(EdgeId::new)),
+                });
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = OracleStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExhaustiveOracle;
+    use spanner_graph::Dist;
+
+    fn q(u: usize, v: usize, bound: u64, budget: usize, model: FaultModel) -> OracleQuery {
+        OracleQuery {
+            u: NodeId::new(u),
+            v: NodeId::new(v),
+            bound: Dist::finite(bound),
+            budget,
+            model,
+        }
+    }
+
+    #[test]
+    fn witnesses_are_always_genuine() {
+        use spanner_graph::dijkstra;
+        // A handful of small graphs: whenever the heuristic claims a
+        // witness, it must really block.
+        let graphs = [
+            Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap(),
+            Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)]).unwrap(),
+            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]).unwrap(),
+        ];
+        for g in &graphs {
+            for budget in 0..3 {
+                for bound in 1..5 {
+                    for model in [FaultModel::Vertex, FaultModel::Edge] {
+                        let query = q(0, g.node_count() - 1, bound, budget, model);
+                        let mut o = GreedyHeuristicOracle::new();
+                        if let Some(f) = o.find_blocking_faults(g, query) {
+                            let mask = f.to_mask(g.node_count(), g.edge_count());
+                            let d = dijkstra::dist(g, query.u, query.v, &mask);
+                            assert!(d > query.bound, "bogus witness {f} for bound {bound}");
+                            assert!(f.len() <= budget);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_never_finds_more_than_exact() {
+        // If the exact oracle says "no blocking set", the heuristic must
+        // also say None (its witnesses are verified, so a Some here would
+        // contradict exactness).
+        let g = Graph::from_edges(5, [(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)]).unwrap();
+        for budget in 0..3 {
+            let query = q(0, 4, 2, budget, FaultModel::Vertex);
+            let mut exact = ExhaustiveOracle::new();
+            let mut heuristic = GreedyHeuristicOracle::new();
+            let e = exact.find_blocking_faults(&g, query);
+            let h = heuristic.find_blocking_faults(&g, query);
+            if e.is_none() {
+                assert!(h.is_none(), "heuristic fabricated a witness");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_easy_cuts() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+        let mut o = GreedyHeuristicOracle::new();
+        assert!(o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex)).is_some());
+        assert!(o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Edge)).is_some());
+    }
+
+    #[test]
+    fn direct_edge_unblockable_in_vertex_model() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut o = GreedyHeuristicOracle::new();
+        assert!(o.find_blocking_faults(&g, q(0, 1, 1, 9, FaultModel::Vertex)).is_none());
+    }
+
+    #[test]
+    fn polynomial_query_count() {
+        // Whatever happens, the heuristic issues at most
+        // |rules| * (budget + 1) shortest-path queries per call.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)]).unwrap();
+        let budget = 4;
+        let mut o = GreedyHeuristicOracle::new();
+        let _ = o.find_blocking_faults(&g, q(0, 5, 3, budget, FaultModel::Vertex));
+        assert!(
+            o.stats().shortest_path_queries <= (PickRule::all().len() * (budget + 2)) as u64,
+            "queries {}",
+            o.stats().shortest_path_queries
+        );
+    }
+
+    #[test]
+    fn zero_budget_matches_plain_distance_check() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut o = GreedyHeuristicOracle::new();
+        assert!(o.find_blocking_faults(&g, q(0, 2, 1, 0, FaultModel::Vertex)).is_some());
+        assert!(o.find_blocking_faults(&g, q(0, 2, 2, 0, FaultModel::Vertex)).is_none());
+    }
+}

@@ -1,0 +1,264 @@
+//! The hitting-set fault oracle: an independent exact formulation.
+//!
+//! Blocking all `u→v` paths of weight ≤ bound with ≤ f faults is exactly a
+//! *minimum hitting set* question: enumerate the short paths, then choose
+//! at most `f` elements (interior vertices or edges) covering all of them.
+//! This oracle materializes the path list ([`crate::paths`]) and runs a
+//! branch-and-bound over it.
+//!
+//! Its purpose is **cross-validation**: it shares no search code with
+//! [`BranchingOracle`](crate::BranchingOracle), so agreement between the
+//! two (and the brute-force oracle) on random instances is strong evidence
+//! of correctness. When the path list would exceed its cap it falls back to
+//! the branching oracle, keeping the contract exact.
+
+use crate::paths::enumerate_bounded_paths;
+use crate::{BranchingOracle, FaultModel, FaultOracle, FaultSet, OracleQuery, OracleStats};
+use spanner_graph::{EdgeId, FaultMask, Graph, NodeId};
+use std::collections::HashSet;
+
+/// Default cap on materialized paths before falling back to branching.
+const DEFAULT_MAX_PATHS: usize = 20_000;
+
+/// The hitting-set oracle. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_faults::{FaultModel, FaultOracle, HittingSetOracle, OracleQuery};
+/// use spanner_graph::{Dist, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])?;
+/// let mut oracle = HittingSetOracle::new();
+/// let query = OracleQuery {
+///     u: NodeId::new(0),
+///     v: NodeId::new(3),
+///     bound: Dist::finite(2),
+///     budget: 2,
+///     model: FaultModel::Vertex,
+/// };
+/// assert!(oracle.find_blocking_faults(&g, query).is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct HittingSetOracle {
+    max_paths: usize,
+    fallback: BranchingOracle,
+    stats: OracleStats,
+}
+
+impl Default for HittingSetOracle {
+    fn default() -> Self {
+        HittingSetOracle {
+            max_paths: DEFAULT_MAX_PATHS,
+            fallback: BranchingOracle::new(),
+            stats: OracleStats::default(),
+        }
+    }
+}
+
+impl HittingSetOracle {
+    /// Creates an oracle with the default path cap.
+    pub fn new() -> Self {
+        HittingSetOracle::default()
+    }
+
+    /// Creates an oracle that materializes at most `max_paths` paths before
+    /// falling back to the branching oracle.
+    pub fn with_max_paths(max_paths: usize) -> Self {
+        HittingSetOracle {
+            max_paths,
+            ..HittingSetOracle::default()
+        }
+    }
+
+    fn hit_search(
+        &mut self,
+        paths: &[Vec<usize>],
+        budget: usize,
+        chosen: &mut Vec<usize>,
+        covered: &mut Vec<usize>, // per-path count of chosen elements on it
+        memo: &mut HashSet<Vec<usize>>,
+    ) -> bool {
+        self.stats.nodes_explored += 1;
+        let Some(first_unhit) = covered.iter().position(|c| *c == 0) else {
+            return true; // all paths hit
+        };
+        if budget == 0 {
+            return false;
+        }
+        // Lower bound: greedily count pairwise element-disjoint unhit paths.
+        let mut used: HashSet<usize> = HashSet::new();
+        let mut disjoint = 0usize;
+        for (i, path) in paths.iter().enumerate() {
+            if covered[i] > 0 {
+                continue;
+            }
+            if path.iter().all(|e| !used.contains(e)) {
+                disjoint += 1;
+                if disjoint > budget {
+                    self.stats.packing_prunes += 1;
+                    return false;
+                }
+                used.extend(path.iter().copied());
+            }
+        }
+        for &cand in &paths[first_unhit] {
+            chosen.push(cand);
+            let mut key = chosen.clone();
+            key.sort_unstable();
+            if !memo.insert(key) {
+                self.stats.memo_hits += 1;
+                chosen.pop();
+                continue;
+            }
+            for (i, path) in paths.iter().enumerate() {
+                if path.contains(&cand) {
+                    covered[i] += 1;
+                }
+            }
+            if self.hit_search(paths, budget - 1, chosen, covered, memo) {
+                return true;
+            }
+            for (i, path) in paths.iter().enumerate() {
+                if path.contains(&cand) {
+                    covered[i] -= 1;
+                }
+            }
+            chosen.pop();
+        }
+        false
+    }
+}
+
+impl FaultOracle for HittingSetOracle {
+    fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
+        let mask = FaultMask::for_graph(graph);
+        let enumeration = enumerate_bounded_paths(
+            graph,
+            &mask,
+            query.u,
+            query.v,
+            query.bound,
+            self.max_paths,
+        );
+        self.stats.shortest_path_queries += 1;
+        if enumeration.truncated {
+            // Too many short paths to materialize: stay exact via fallback.
+            return self.fallback.find_blocking_faults(graph, query);
+        }
+        let paths: Vec<Vec<usize>> = enumeration
+            .paths
+            .iter()
+            .map(|p| match query.model {
+                FaultModel::Vertex => p.interior_nodes().iter().map(|n| n.index()).collect(),
+                FaultModel::Edge => p.edges.iter().map(|e| e.index()).collect(),
+            })
+            .collect();
+        if paths.iter().any(|p| p.is_empty()) {
+            // A path with no candidate elements (direct edge, vertex model)
+            // can never be hit.
+            return None;
+        }
+        let mut chosen = Vec::new();
+        let mut covered = vec![0usize; paths.len()];
+        let mut memo = HashSet::new();
+        if self.hit_search(&paths, query.budget, &mut chosen, &mut covered, &mut memo) {
+            Some(match query.model {
+                FaultModel::Vertex => FaultSet::vertices(chosen.into_iter().map(NodeId::new)),
+                FaultModel::Edge => FaultSet::edges(chosen.into_iter().map(EdgeId::new)),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn stats(&self) -> OracleStats {
+        let mut s = self.stats;
+        s.absorb(self.fallback.stats());
+        s
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = OracleStats::default();
+        self.fallback.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::Dist;
+
+    fn q(u: usize, v: usize, bound: u64, budget: usize, model: FaultModel) -> OracleQuery {
+        OracleQuery {
+            u: NodeId::new(u),
+            v: NodeId::new(v),
+            bound: Dist::finite(bound),
+            budget,
+            model,
+        }
+    }
+
+    fn diamond() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_expected_cut() {
+        let g = diamond();
+        let mut o = HittingSetOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex))
+            .unwrap();
+        assert_eq!(f, FaultSet::vertices([NodeId::new(1), NodeId::new(2)]));
+        assert!(o
+            .find_blocking_faults(&g, q(0, 3, 2, 1, FaultModel::Vertex))
+            .is_none());
+    }
+
+    #[test]
+    fn direct_edge_blocks_vertex_model() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut o = HittingSetOracle::new();
+        assert!(o
+            .find_blocking_faults(&g, q(0, 1, 1, 3, FaultModel::Vertex))
+            .is_none());
+        assert!(o
+            .find_blocking_faults(&g, q(0, 1, 1, 1, FaultModel::Edge))
+            .is_some());
+    }
+
+    #[test]
+    fn zero_paths_means_empty_fault_set() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut o = HittingSetOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 2, 1, 0, FaultModel::Vertex))
+            .unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn fallback_on_truncation_stays_exact() {
+        // Cap of 1 path forces the fallback on any 2-route instance.
+        let g = diamond();
+        let mut o = HittingSetOracle::with_max_paths(1);
+        let f = o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex));
+        assert!(f.is_some());
+        let none = o.find_blocking_faults(&g, q(0, 3, 2, 1, FaultModel::Vertex));
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn edge_model_cut() {
+        let g = diamond();
+        let mut o = HittingSetOracle::new();
+        let f = o
+            .find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Edge))
+            .unwrap();
+        let mask = f.to_mask(g.node_count(), g.edge_count());
+        let d = spanner_graph::dijkstra::dist(&g, NodeId::new(0), NodeId::new(3), &mask);
+        assert!(d > Dist::finite(2));
+    }
+}

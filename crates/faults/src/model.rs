@@ -1,0 +1,233 @@
+//! The fault model: what can fail, and concrete failure sets.
+
+use spanner_graph::{EdgeId, FaultMask, NodeId};
+use std::fmt;
+
+/// Which kind of component the adversary may remove.
+///
+/// The paper proves its upper bound for both models (Theorem 1); only the
+/// vertex bound is known to be tight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Vertex faults: removing a vertex also removes its incident edges.
+    Vertex,
+    /// Edge faults: only the listed edges disappear.
+    Edge,
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::Vertex => write!(f, "vertex"),
+            FaultModel::Edge => write!(f, "edge"),
+        }
+    }
+}
+
+/// A concrete set of faults, matching one [`FaultModel`].
+///
+/// Contents are kept sorted and deduplicated, so equal sets compare equal.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_faults::FaultSet;
+/// use spanner_graph::NodeId;
+///
+/// let f = FaultSet::vertices([NodeId::new(3), NodeId::new(1), NodeId::new(3)]);
+/// assert_eq!(f.len(), 2);
+/// assert_eq!(format!("{f}"), "{v1, v3}");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSet {
+    /// A set of faulted vertices.
+    Vertices(Vec<NodeId>),
+    /// A set of faulted edges.
+    Edges(Vec<EdgeId>),
+}
+
+impl FaultSet {
+    /// An empty fault set in the given model.
+    pub fn empty(model: FaultModel) -> Self {
+        match model {
+            FaultModel::Vertex => FaultSet::Vertices(Vec::new()),
+            FaultModel::Edge => FaultSet::Edges(Vec::new()),
+        }
+    }
+
+    /// A vertex fault set (sorted, deduplicated).
+    pub fn vertices<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        let mut v: Vec<NodeId> = nodes.into_iter().collect();
+        v.sort();
+        v.dedup();
+        FaultSet::Vertices(v)
+    }
+
+    /// An edge fault set (sorted, deduplicated).
+    pub fn edges<I: IntoIterator<Item = EdgeId>>(edges: I) -> Self {
+        let mut e: Vec<EdgeId> = edges.into_iter().collect();
+        e.sort();
+        e.dedup();
+        FaultSet::Edges(e)
+    }
+
+    /// The model this set belongs to.
+    pub fn model(&self) -> FaultModel {
+        match self {
+            FaultSet::Vertices(_) => FaultModel::Vertex,
+            FaultSet::Edges(_) => FaultModel::Edge,
+        }
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        match self {
+            FaultSet::Vertices(v) => v.len(),
+            FaultSet::Edges(e) => e.len(),
+        }
+    }
+
+    /// Returns `true` for the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The faulted vertices (empty slice in the edge model).
+    pub fn vertex_faults(&self) -> &[NodeId] {
+        match self {
+            FaultSet::Vertices(v) => v,
+            FaultSet::Edges(_) => &[],
+        }
+    }
+
+    /// The faulted edges (empty slice in the vertex model).
+    pub fn edge_faults(&self) -> &[EdgeId] {
+        match self {
+            FaultSet::Vertices(_) => &[],
+            FaultSet::Edges(e) => e,
+        }
+    }
+
+    /// Applies this fault set to a mask.
+    pub fn apply_to(&self, mask: &mut FaultMask) {
+        match self {
+            FaultSet::Vertices(v) => {
+                for n in v {
+                    mask.fault_vertex(*n);
+                }
+            }
+            FaultSet::Edges(e) => {
+                for id in e {
+                    mask.fault_edge(*id);
+                }
+            }
+        }
+    }
+
+    /// Removes this fault set from a mask (inverse of
+    /// [`FaultSet::apply_to`]).
+    pub fn remove_from(&self, mask: &mut FaultMask) {
+        match self {
+            FaultSet::Vertices(v) => {
+                for n in v {
+                    mask.restore_vertex(*n);
+                }
+            }
+            FaultSet::Edges(e) => {
+                for id in e {
+                    mask.restore_edge(*id);
+                }
+            }
+        }
+    }
+
+    /// Builds a fresh mask over `node_count`/`edge_count` with these faults.
+    pub fn to_mask(&self, node_count: usize, edge_count: usize) -> FaultMask {
+        let mut mask = FaultMask::with_capacity(node_count, edge_count);
+        self.apply_to(&mut mask);
+        mask
+    }
+}
+
+impl fmt::Display for FaultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        match self {
+            FaultSet::Vertices(v) => {
+                for (i, n) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+            }
+            FaultSet::Edges(e) => {
+                for (i, id) in e.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{id}")?;
+                }
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::Graph;
+
+    #[test]
+    fn normalization() {
+        let f = FaultSet::vertices([NodeId::new(5), NodeId::new(2), NodeId::new(5)]);
+        assert_eq!(f.vertex_faults(), &[NodeId::new(2), NodeId::new(5)]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.model(), FaultModel::Vertex);
+        let e = FaultSet::edges([EdgeId::new(1), EdgeId::new(0), EdgeId::new(1)]);
+        assert_eq!(e.edge_faults(), &[EdgeId::new(0), EdgeId::new(1)]);
+        assert_eq!(e.model(), FaultModel::Edge);
+    }
+
+    #[test]
+    fn equal_sets_compare_equal() {
+        let a = FaultSet::vertices([NodeId::new(1), NodeId::new(2)]);
+        let b = FaultSet::vertices([NodeId::new(2), NodeId::new(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_and_remove_round_trip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut mask = FaultMask::for_graph(&g);
+        let f = FaultSet::vertices([NodeId::new(1)]);
+        f.apply_to(&mut mask);
+        assert!(mask.is_vertex_faulted(NodeId::new(1)));
+        f.remove_from(&mut mask);
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn to_mask_builds_fresh() {
+        let f = FaultSet::edges([EdgeId::new(2)]);
+        let mask = f.to_mask(5, 4);
+        assert!(mask.is_edge_faulted(EdgeId::new(2)));
+        assert_eq!(mask.fault_count(), 1);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert!(FaultSet::empty(FaultModel::Vertex).is_empty());
+        assert_eq!(FaultSet::empty(FaultModel::Edge).model(), FaultModel::Edge);
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = FaultSet::vertices([NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(f.to_string(), "{v1, v3}");
+        let e = FaultSet::edges([EdgeId::new(0)]);
+        assert_eq!(e.to_string(), "{e0}");
+        assert_eq!(FaultModel::Vertex.to_string(), "vertex");
+    }
+}

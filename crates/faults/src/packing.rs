@@ -1,0 +1,230 @@
+//! Disjoint short-path packing: a sound pruning bound for fault search.
+//!
+//! If `H ∖ F₀` contains `c` pairwise disjoint `u→v` paths of weight at most
+//! `bound` (internally vertex-disjoint in the vertex model, edge-disjoint in
+//! the edge model), then any fault set blocking all of them needs at least
+//! `c` faults beyond `F₀`: a single vertex fault can only hit one path's
+//! interior, and a single edge fault only one path's edges. The converse is
+//! *not* true (length-bounded Menger fails), so the packing count is a
+//! lower bound for pruning, never a decision procedure.
+
+use crate::FaultModel;
+use spanner_graph::{DijkstraEngine, Dist, FaultMask, Graph, NodeId};
+
+/// Greedily packs pairwise disjoint `u→v` paths of weight at most `bound`
+/// in `graph ∖ mask`, stopping at `cap`.
+///
+/// Returns the number of paths packed (at most `cap`). In the vertex model,
+/// a direct `u-v` edge of weight ≤ `bound` cannot be blocked by vertex
+/// faults at all, so it forces the return value to `cap` immediately.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_faults::{packing, FaultModel};
+/// use spanner_graph::{DijkstraEngine, Dist, FaultMask, Graph, NodeId};
+///
+/// // Three disjoint 2-hop routes from 0 to 4.
+/// let g = Graph::from_edges(5, [(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)])?;
+/// let mut engine = DijkstraEngine::new();
+/// let mask = FaultMask::for_graph(&g);
+/// let c = packing::disjoint_path_packing(
+///     &g, &mut engine, &mask,
+///     NodeId::new(0), NodeId::new(4),
+///     Dist::finite(2), FaultModel::Vertex, 10,
+/// );
+/// assert_eq!(c, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn disjoint_path_packing(
+    graph: &Graph,
+    engine: &mut DijkstraEngine,
+    mask: &FaultMask,
+    u: NodeId,
+    v: NodeId,
+    bound: Dist,
+    model: FaultModel,
+    cap: usize,
+) -> usize {
+    if cap == 0 {
+        return 0;
+    }
+    let mut scratch = mask.clone();
+    let mut count = 0;
+    while count < cap {
+        let Some(path) = engine.shortest_path_bounded(graph, u, v, bound, &scratch) else {
+            break;
+        };
+        count += 1;
+        if count >= cap {
+            break;
+        }
+        match model {
+            FaultModel::Vertex => {
+                let interior = path.interior_nodes();
+                if interior.is_empty() {
+                    // Direct edge: no vertex fault can ever block it.
+                    return cap;
+                }
+                for n in interior {
+                    scratch.fault_vertex(*n);
+                }
+            }
+            FaultModel::Edge => {
+                for e in &path.edges {
+                    scratch.fault_edge(*e);
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta(routes: usize, hops: usize) -> Graph {
+        // `routes` internally disjoint u→v paths of `hops` edges each.
+        let mut g = Graph::new(2 + routes * (hops - 1));
+        let u = NodeId::new(0);
+        let v = NodeId::new(1);
+        for r in 0..routes {
+            let mut prev = u;
+            for h in 0..hops - 1 {
+                let mid = NodeId::new(2 + r * (hops - 1) + h);
+                g.add_edge(prev, mid, spanner_graph::Weight::UNIT);
+                prev = mid;
+            }
+            g.add_edge(prev, v, spanner_graph::Weight::UNIT);
+        }
+        g
+    }
+
+    #[test]
+    fn counts_disjoint_routes() {
+        for routes in 1..5 {
+            let g = theta(routes, 3);
+            let mut engine = DijkstraEngine::new();
+            let mask = FaultMask::for_graph(&g);
+            let c = disjoint_path_packing(
+                &g,
+                &mut engine,
+                &mask,
+                NodeId::new(0),
+                NodeId::new(1),
+                Dist::finite(3),
+                FaultModel::Vertex,
+                10,
+            );
+            assert_eq!(c, routes);
+        }
+    }
+
+    #[test]
+    fn bound_excludes_long_routes() {
+        let g = theta(3, 4); // all routes have 4 hops
+        let mut engine = DijkstraEngine::new();
+        let mask = FaultMask::for_graph(&g);
+        let c = disjoint_path_packing(
+            &g,
+            &mut engine,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(3),
+            FaultModel::Vertex,
+            10,
+        );
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let g = theta(4, 3);
+        let mut engine = DijkstraEngine::new();
+        let mask = FaultMask::for_graph(&g);
+        let c = disjoint_path_packing(
+            &g,
+            &mut engine,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(3),
+            FaultModel::Vertex,
+            2,
+        );
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn direct_edge_saturates_vertex_model() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut engine = DijkstraEngine::new();
+        let mask = FaultMask::for_graph(&g);
+        let c = disjoint_path_packing(
+            &g,
+            &mut engine,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(1),
+            FaultModel::Vertex,
+            7,
+        );
+        assert_eq!(c, 7, "direct edge is unblockable, must saturate the cap");
+        // In the edge model the same edge is one blockable path.
+        let c = disjoint_path_packing(
+            &g,
+            &mut engine,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(1),
+            FaultModel::Edge,
+            7,
+        );
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn edge_model_counts_edge_disjoint() {
+        // Two routes sharing a middle vertex but not edges:
+        // 0-2-1 and 0-3-1 share nothing; plus 0-4, 4-1.
+        let g = Graph::from_edges(5, [(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]).unwrap();
+        let mut engine = DijkstraEngine::new();
+        let mask = FaultMask::for_graph(&g);
+        let c = disjoint_path_packing(
+            &g,
+            &mut engine,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(2),
+            FaultModel::Edge,
+            10,
+        );
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn respects_existing_mask() {
+        let g = theta(3, 3);
+        let mut engine = DijkstraEngine::new();
+        let mut mask = FaultMask::for_graph(&g);
+        // Kill one route's interior vertex.
+        mask.fault_vertex(NodeId::new(2));
+        let c = disjoint_path_packing(
+            &g,
+            &mut engine,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(3),
+            FaultModel::Vertex,
+            10,
+        );
+        assert_eq!(c, 2);
+    }
+}

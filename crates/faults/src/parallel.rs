@@ -1,0 +1,282 @@
+//! A parallel exact fault oracle.
+//!
+//! The branching search is embarrassingly parallel at the root: any
+//! blocking fault set must contain one of the current shortest path's
+//! candidates, and the per-candidate subtrees are independent. This
+//! oracle fans those subtrees out over scoped worker threads, each running
+//! a sequential [`BranchingOracle`], and keeps the answer deterministic by
+//! preferring the lowest-index successful candidate regardless of thread
+//! timing.
+//!
+//! Memoization cannot be shared across workers (it would race and the
+//! subtrees rarely overlap at the root split), so each worker memoizes
+//! locally; the packing and min-cut prunes run once, up front.
+
+use crate::packing::disjoint_path_packing;
+use crate::{
+    BranchingConfig, BranchingOracle, FaultModel, FaultOracle, FaultSet, OracleQuery, OracleStats,
+};
+use spanner_graph::{DijkstraEngine, EdgeId, FaultMask, Graph, NodeId};
+use std::sync::Mutex;
+
+/// Parallel exact oracle. Agrees with [`BranchingOracle`] on every query
+/// (property-tested); worthwhile when single queries dominate, e.g. large
+/// `f` on dense instances.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_faults::{FaultModel, FaultOracle, OracleQuery, ParallelBranchingOracle};
+/// use spanner_graph::{Dist, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])?;
+/// let mut oracle = ParallelBranchingOracle::new(4);
+/// let found = oracle.find_blocking_faults(&g, OracleQuery {
+///     u: NodeId::new(0),
+///     v: NodeId::new(3),
+///     bound: Dist::finite(2),
+///     budget: 2,
+///     model: FaultModel::Vertex,
+/// });
+/// assert!(found.is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ParallelBranchingOracle {
+    threads: usize,
+    config: BranchingConfig,
+    engine: DijkstraEngine,
+    stats: OracleStats,
+}
+
+impl ParallelBranchingOracle {
+    /// Creates an oracle using up to `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelBranchingOracle {
+            threads: threads.max(1),
+            config: BranchingConfig::default(),
+            engine: DijkstraEngine::new(),
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// Sets the per-worker branching configuration.
+    pub fn with_config(mut self, config: BranchingConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl FaultOracle for ParallelBranchingOracle {
+    fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
+        let mask = FaultMask::for_graph(graph);
+        // Root-level shortcuts, identical to the sequential oracle.
+        if self.config.use_cut_shortcut && query.budget > 0 {
+            match query.model {
+                FaultModel::Vertex => {
+                    if let Some(cut) = spanner_graph::connectivity::min_vertex_cut_st(
+                        graph,
+                        &mask,
+                        query.u,
+                        query.v,
+                        query.budget as u32,
+                    ) {
+                        self.stats.cut_shortcuts += 1;
+                        return Some(FaultSet::vertices(cut));
+                    }
+                }
+                FaultModel::Edge => {
+                    if let Some(cut) = spanner_graph::connectivity::min_edge_cut_st(
+                        graph,
+                        &mask,
+                        query.u,
+                        query.v,
+                        query.budget as u32,
+                    ) {
+                        self.stats.cut_shortcuts += 1;
+                        return Some(FaultSet::edges(cut));
+                    }
+                }
+            }
+        }
+        self.stats.nodes_explored += 1;
+        self.stats.shortest_path_queries += 1;
+        let Some(path) = self
+            .engine
+            .shortest_path_bounded(graph, query.u, query.v, query.bound, &mask)
+        else {
+            return Some(FaultSet::empty(query.model));
+        };
+        if query.budget == 0 {
+            return None;
+        }
+        let candidates: Vec<usize> = match query.model {
+            FaultModel::Vertex => path.interior_nodes().iter().map(|n| n.index()).collect(),
+            FaultModel::Edge => path.edges.iter().map(|e| e.index()).collect(),
+        };
+        if candidates.is_empty() {
+            return None;
+        }
+        if self.config.use_packing {
+            let pack = disjoint_path_packing(
+                graph,
+                &mut self.engine,
+                &mask,
+                query.u,
+                query.v,
+                query.bound,
+                query.model,
+                query.budget + 1,
+            );
+            self.stats.shortest_path_queries += pack as u64 + 1;
+            if pack > query.budget {
+                self.stats.packing_prunes += 1;
+                return None;
+            }
+        }
+        // Fan the root candidates out; keep (index, result, stats) records.
+        let results: Mutex<Vec<(usize, Option<FaultSet>, OracleStats)>> =
+            Mutex::new(Vec::with_capacity(candidates.len()));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = self.threads.min(candidates.len());
+        let config = self.config;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut worker = BranchingOracle::with_config(BranchingConfig {
+                        // The root-level cut shortcut already ran; workers
+                        // skip it (per-subtree cuts rarely pay off).
+                        use_cut_shortcut: false,
+                        ..config
+                    });
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= candidates.len() {
+                            break;
+                        }
+                        let initial = match query.model {
+                            FaultModel::Vertex => {
+                                FaultSet::vertices([NodeId::new(candidates[i])])
+                            }
+                            FaultModel::Edge => FaultSet::edges([EdgeId::new(candidates[i])]),
+                        };
+                        let found =
+                            worker.find_blocking_faults_with_initial(graph, query, &initial);
+                        results
+                            .lock()
+                            .expect("results lock")
+                            .push((i, found, worker.stats()));
+                        worker.reset_stats();
+                    }
+                });
+            }
+        });
+        let mut records = results.into_inner().expect("results lock");
+        records.sort_by_key(|(i, _, _)| *i);
+        let mut answer = None;
+        for (_, found, stats) in records {
+            self.stats.absorb(stats);
+            if answer.is_none() {
+                if let Some(f) = found {
+                    answer = Some(f);
+                }
+            }
+        }
+        answer
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = OracleStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::Dist;
+
+    fn q(u: usize, v: usize, bound: u64, budget: usize, model: FaultModel) -> OracleQuery {
+        OracleQuery {
+            u: NodeId::new(u),
+            v: NodeId::new(v),
+            bound: Dist::finite(bound),
+            budget,
+            model,
+        }
+    }
+
+    fn diamond() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_diamond() {
+        let g = diamond();
+        let mut par = ParallelBranchingOracle::new(4);
+        let mut seq = BranchingOracle::new();
+        for budget in 0..3 {
+            for model in [FaultModel::Vertex, FaultModel::Edge] {
+                let query = q(0, 3, 2, budget, model);
+                assert_eq!(
+                    par.find_blocking_faults(&g, query).is_some(),
+                    seq.find_blocking_faults(&g, query).is_some(),
+                    "budget={budget} model={model}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use spanner_graph::generators::erdos_renyi;
+        let mut rng = StdRng::seed_from_u64(55);
+        for trial in 0..20 {
+            let g = erdos_renyi(12, 0.35, &mut rng);
+            for budget in 0..3 {
+                let query = q(0, 1, 3, budget, FaultModel::Vertex);
+                let mut par = ParallelBranchingOracle::new(3);
+                let mut seq = BranchingOracle::new();
+                let a = par.find_blocking_faults(&g, query);
+                let b = seq.find_blocking_faults(&g, query);
+                assert_eq!(a.is_some(), b.is_some(), "trial {trial} budget {budget}");
+                if let Some(w) = a {
+                    let mask = w.to_mask(g.node_count(), g.edge_count());
+                    let d = spanner_graph::dijkstra::dist(&g, query.u, query.v, &mask);
+                    assert!(d > query.bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = diamond();
+        let query = q(0, 3, 2, 2, FaultModel::Vertex);
+        let mut answers = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut o = ParallelBranchingOracle::new(threads);
+            answers.push(o.find_blocking_faults(&g, query));
+        }
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn stats_aggregate_from_workers() {
+        let g = diamond();
+        let mut o = ParallelBranchingOracle::new(2)
+            .with_config(BranchingConfig {
+                use_cut_shortcut: false,
+                ..BranchingConfig::default()
+            });
+        let _ = o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex));
+        assert!(o.stats().shortest_path_queries > 0);
+        o.reset_stats();
+        assert_eq!(o.stats(), OracleStats::default());
+    }
+}

@@ -1,0 +1,216 @@
+//! Bounded-weight simple path enumeration.
+//!
+//! The hitting-set oracle reformulates the fault search as "hit every
+//! `u→v` path of weight ≤ bound". That needs the explicit path list. The
+//! number of such paths can be exponential, so enumeration takes a hard cap
+//! and reports truncation; the DFS is pruned by exact distance-to-target
+//! potentials, so it never wanders into hopeless branches.
+
+use spanner_graph::{BitSet, DijkstraEngine, Dist, EdgeId, FaultMask, Graph, NodeId};
+
+/// A simple `u→v` path of bounded total weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundedPath {
+    /// Vertices from `u` to `v` inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Edges in order (`nodes.len() - 1` of them).
+    pub edges: Vec<EdgeId>,
+    /// Total weight.
+    pub dist: Dist,
+}
+
+impl BoundedPath {
+    /// The vertices strictly between the endpoints.
+    pub fn interior_nodes(&self) -> &[NodeId] {
+        if self.nodes.len() <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..self.nodes.len() - 1]
+        }
+    }
+}
+
+/// Result of [`enumerate_bounded_paths`].
+#[derive(Clone, Debug, Default)]
+pub struct PathEnumeration {
+    /// The paths found (complete iff `!truncated`).
+    pub paths: Vec<BoundedPath>,
+    /// `true` if the cap was hit before the enumeration finished.
+    pub truncated: bool,
+}
+
+/// Enumerates every simple `u→v` path of total weight at most `bound` in
+/// `graph ∖ mask`, up to `limit` paths.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_faults::paths::enumerate_bounded_paths;
+/// use spanner_graph::{Dist, FaultMask, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)])?;
+/// let mask = FaultMask::for_graph(&g);
+/// let found = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(2), 100);
+/// assert!(!found.truncated);
+/// assert_eq!(found.paths.len(), 3); // direct edge + two 2-hop routes
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn enumerate_bounded_paths(
+    graph: &Graph,
+    mask: &FaultMask,
+    u: NodeId,
+    v: NodeId,
+    bound: Dist,
+    limit: usize,
+) -> PathEnumeration {
+    let mut out = PathEnumeration::default();
+    if limit == 0 || mask.is_vertex_faulted(u) || mask.is_vertex_faulted(v) || u == v {
+        return out;
+    }
+    // Exact distance-to-target potentials for pruning.
+    let mut engine = DijkstraEngine::new();
+    let to_target = engine.sssp_bounded(graph, v, bound, mask);
+    if !to_target[u.index()].is_finite() {
+        return out;
+    }
+    let mut on_path = BitSet::new(graph.node_count());
+    on_path.insert(u.index());
+    let mut nodes = vec![u];
+    let mut edges: Vec<EdgeId> = Vec::new();
+    dfs(
+        graph, mask, v, bound, &to_target, &mut on_path, &mut nodes, &mut edges, Dist::ZERO,
+        limit, &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    graph: &Graph,
+    mask: &FaultMask,
+    target: NodeId,
+    bound: Dist,
+    to_target: &[Dist],
+    on_path: &mut BitSet,
+    nodes: &mut Vec<NodeId>,
+    edges: &mut Vec<EdgeId>,
+    acc: Dist,
+    limit: usize,
+    out: &mut PathEnumeration,
+) -> bool {
+    let cur = *nodes.last().expect("path never empty");
+    if cur == target {
+        out.paths.push(BoundedPath {
+            nodes: nodes.clone(),
+            edges: edges.clone(),
+            dist: acc,
+        });
+        if out.paths.len() >= limit {
+            out.truncated = true;
+            return false;
+        }
+        return true;
+    }
+    for (to, eid) in graph.neighbors(cur) {
+        if !mask.allows(to, eid) || on_path.contains(to.index()) {
+            continue;
+        }
+        let next_acc = acc + graph.weight(eid);
+        // Prune: even the best continuation overshoots the bound.
+        if next_acc + to_target[to.index()] > bound {
+            continue;
+        }
+        on_path.insert(to.index());
+        nodes.push(to);
+        edges.push(eid);
+        let keep_going = dfs(
+            graph, mask, target, bound, to_target, on_path, nodes, edges, next_acc, limit, out,
+        );
+        edges.pop();
+        nodes.pop();
+        on_path.remove(to.index());
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_paths_in_diamond_with_chord() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(1), 100);
+        assert_eq!(r.paths.len(), 1); // just the chord
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(3), 100);
+        // chord, 0-1-3, 0-2-3, 0-1-3 via... plus 3-hop paths 0-1-3? no:
+        // 3-hop simple paths: 0-2-... none reach 3 in exactly 3 without repeat
+        // except 0-1-... wait: 0-2-3 uses 2 edges; 3-edge paths: none exist
+        // (0-1-3 and 0-2-3 are the only branches). Total: 3.
+        assert_eq!(r.paths.len(), 3);
+    }
+
+    #[test]
+    fn weighted_bound_respected() {
+        let g = Graph::from_weighted_edges(4, [(0, 1, 5), (1, 3, 5), (0, 2, 1), (2, 3, 1)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(2), 100);
+        assert_eq!(r.paths.len(), 1);
+        assert_eq!(r.paths[0].dist, Dist::finite(2));
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(10), 100);
+        assert_eq!(r.paths.len(), 2);
+    }
+
+    #[test]
+    fn paths_are_simple_and_consistent() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(4), Dist::finite(4), 1000);
+        assert!(!r.truncated);
+        for p in &r.paths {
+            assert_eq!(*p.nodes.first().unwrap(), NodeId::new(0));
+            assert_eq!(*p.nodes.last().unwrap(), NodeId::new(4));
+            let mut sorted = p.nodes.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.nodes.len(), "simple path");
+            let total: Dist = p.edges.iter().map(|e| g.weight(*e).to_dist()).sum();
+            assert_eq!(total, p.dist);
+            assert!(p.dist <= Dist::finite(4));
+        }
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(3), 2);
+        assert!(r.truncated);
+        assert_eq!(r.paths.len(), 2);
+    }
+
+    #[test]
+    fn mask_excludes_paths() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(1));
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(5), 100);
+        assert_eq!(r.paths.len(), 1);
+        assert_eq!(r.paths[0].interior_nodes(), &[NodeId::new(2)]);
+    }
+
+    #[test]
+    fn unreachable_or_degenerate_cases() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(9), 100);
+        assert!(r.paths.is_empty());
+        // u == v yields nothing by contract.
+        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(0), Dist::finite(9), 100);
+        assert!(r.paths.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! All-pairs shortest paths.
+//!
+//! Two implementations with different trade-offs, both fault-mask aware:
+//!
+//! * [`floyd_warshall`] — O(n³), dense matrix, simple enough to serve as
+//!   the reference implementation the property tests compare Dijkstra
+//!   against;
+//! * [`johnson`] — repeated Dijkstra, O(n·m log n), the right choice on
+//!   the sparse graphs spanners produce. (No potentials are needed: all
+//!   weights are positive by construction.)
+//!
+//! The distance matrix also powers diameter/eccentricity reporting in the
+//! examples.
+
+use crate::{DijkstraEngine, Dist, FaultMask, Graph, NodeId};
+
+/// A dense all-pairs distance matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<Dist>,
+}
+
+impl DistanceMatrix {
+    /// The distance from `u` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> Dist {
+        self.data[u.index() * self.n + v.index()]
+    }
+
+    /// Number of vertices the matrix covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The largest finite distance, or `None` if the graph (minus faults)
+    /// is disconnected or empty.
+    pub fn diameter(&self, mask: &FaultMask) -> Option<Dist> {
+        let mut best = Dist::ZERO;
+        let mut any = false;
+        for u in 0..self.n {
+            if mask.is_vertex_faulted(NodeId::new(u)) {
+                continue;
+            }
+            for v in 0..self.n {
+                if u == v || mask.is_vertex_faulted(NodeId::new(v)) {
+                    continue;
+                }
+                any = true;
+                let d = self.data[u * self.n + v];
+                if !d.is_finite() {
+                    return None;
+                }
+                if d > best {
+                    best = d;
+                }
+            }
+        }
+        any.then_some(best)
+    }
+}
+
+/// Floyd–Warshall over `graph ∖ mask`. O(n³) time, O(n²) space.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{apsp, Dist, FaultMask, Graph, NodeId};
+///
+/// let g = Graph::from_weighted_edges(3, [(0, 1, 2), (1, 2, 3)])?;
+/// let m = apsp::floyd_warshall(&g, &FaultMask::for_graph(&g));
+/// assert_eq!(m.get(NodeId::new(0), NodeId::new(2)), Dist::finite(5));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn floyd_warshall(graph: &Graph, mask: &FaultMask) -> DistanceMatrix {
+    let n = graph.node_count();
+    let mut data = vec![Dist::INFINITE; n * n];
+    for v in 0..n {
+        if !mask.is_vertex_faulted(NodeId::new(v)) {
+            data[v * n + v] = Dist::ZERO;
+        }
+    }
+    for (id, e) in graph.edges() {
+        if mask.is_edge_faulted(id)
+            || mask.is_vertex_faulted(e.u())
+            || mask.is_vertex_faulted(e.v())
+        {
+            continue;
+        }
+        let (u, v) = (e.u().index(), e.v().index());
+        let w = e.weight().to_dist();
+        if w < data[u * n + v] {
+            data[u * n + v] = w;
+            data[v * n + u] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = data[i * n + k];
+            if !dik.is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let through = dik + data[k * n + j];
+                if through < data[i * n + j] {
+                    data[i * n + j] = through;
+                }
+            }
+        }
+    }
+    DistanceMatrix { n, data }
+}
+
+/// Repeated-Dijkstra APSP over `graph ∖ mask` (Johnson's algorithm
+/// without reweighting — weights are already positive).
+pub fn johnson(graph: &Graph, mask: &FaultMask) -> DistanceMatrix {
+    let n = graph.node_count();
+    let mut data = vec![Dist::INFINITE; n * n];
+    let mut engine = DijkstraEngine::new();
+    for s in graph.nodes() {
+        if mask.is_vertex_faulted(s) {
+            continue;
+        }
+        let row = engine.sssp(graph, s, mask);
+        data[s.index() * n..(s.index() + 1) * n].copy_from_slice(&row);
+    }
+    DistanceMatrix { n, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::EdgeId;
+
+    #[test]
+    fn fw_and_johnson_agree_on_weighted_graph() {
+        let g = Graph::from_weighted_edges(
+            5,
+            [(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 0, 1), (1, 3, 9)],
+        )
+        .unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let a = floyd_warshall(&g, &mask);
+        let b = johnson(&g, &mask);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agreement_under_faults() {
+        let g = generators::grid(3, 3);
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(4)); // center
+        mask.fault_edge(EdgeId::new(0));
+        let a = floyd_warshall(&g, &mask);
+        let b = johnson(&g, &mask);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = generators::path(5);
+        let mask = FaultMask::for_graph(&g);
+        let m = floyd_warshall(&g, &mask);
+        assert_eq!(m.diameter(&mask), Some(Dist::finite(4)));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let m = johnson(&g, &mask);
+        assert_eq!(m.diameter(&mask), None);
+    }
+
+    #[test]
+    fn diameter_ignores_faulted_vertices() {
+        let g = generators::path(4); // 0-1-2-3
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(3));
+        let m = johnson(&g, &mask);
+        assert_eq!(m.diameter(&mask), Some(Dist::finite(2)));
+    }
+
+    #[test]
+    fn empty_graph_diameter() {
+        let g = Graph::new(0);
+        let mask = FaultMask::for_graph(&g);
+        let m = floyd_warshall(&g, &mask);
+        assert_eq!(m.diameter(&mask), None);
+        assert_eq!(m.node_count(), 0);
+    }
+
+    #[test]
+    fn spanner_use_case_diameter_grows() {
+        // A 3-spanner's diameter is at most 3x the original's.
+        let g = generators::complete(10);
+        let mask = FaultMask::for_graph(&g);
+        let original = floyd_warshall(&g, &mask).diameter(&mask).unwrap();
+        assert_eq!(original, Dist::finite(1));
+    }
+}

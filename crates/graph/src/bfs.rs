@@ -1,0 +1,181 @@
+//! Breadth-first search utilities (hop distances, connectivity).
+//!
+//! Girth computation and several generators only care about *edge counts*,
+//! not weights; BFS is the right tool there and is noticeably faster than
+//! Dijkstra on the unit-weight graphs most experiments use.
+
+use crate::{FaultMask, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distance (number of edges) from `src` to every vertex in
+/// `graph ∖ mask`; `u32::MAX` marks unreachable vertices.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{bfs, FaultMask, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// let mask = FaultMask::for_graph(&g);
+/// let hops = bfs::hop_distances(&g, NodeId::new(0), &mask);
+/// assert_eq!(hops, vec![0, 1, 2, 3]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn hop_distances(graph: &Graph, src: NodeId, mask: &FaultMask) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.node_count()];
+    if mask.is_vertex_faulted(src) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for (to, eid) in graph.neighbors(v) {
+            if mask.allows(to, eid) && dist[to.index()] == u32::MAX {
+                dist[to.index()] = dv + 1;
+                queue.push_back(to);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components of `graph ∖ mask`.
+///
+/// Returns `(component_id_per_vertex, component_count)`. Faulted vertices
+/// get component id `usize::MAX` and do not count as components.
+pub fn connected_components(graph: &Graph, mask: &FaultMask) -> (Vec<usize>, usize) {
+    let n = graph.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut queue = VecDeque::new();
+    for start in graph.nodes() {
+        if comp[start.index()] != usize::MAX || mask.is_vertex_faulted(start) {
+            continue;
+        }
+        comp[start.index()] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for (to, eid) in graph.neighbors(v) {
+                if mask.allows(to, eid) && comp[to.index()] == usize::MAX {
+                    comp[to.index()] = count;
+                    queue.push_back(to);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Returns `true` if `graph ∖ mask` is connected over its non-faulted
+/// vertices (vacuously true when fewer than two vertices remain).
+pub fn is_connected(graph: &Graph, mask: &FaultMask) -> bool {
+    let (_, count) = connected_components(graph, mask);
+    count <= 1
+}
+
+/// Eccentricity of `src` in hops (`None` if some vertex is unreachable).
+pub fn eccentricity(graph: &Graph, src: NodeId, mask: &FaultMask) -> Option<u32> {
+    let dist = hop_distances(graph, src, mask);
+    let mut ecc = 0;
+    for (v, d) in dist.iter().enumerate() {
+        if mask.is_vertex_faulted(NodeId::new(v)) {
+            continue;
+        }
+        if *d == u32::MAX {
+            return None;
+        }
+        ecc = ecc.max(*d);
+    }
+    Some(ecc)
+}
+
+/// Hop diameter of `graph ∖ mask` (`None` if disconnected or empty).
+pub fn hop_diameter(graph: &Graph, mask: &FaultMask) -> Option<u32> {
+    let mut best = None;
+    for v in graph.nodes() {
+        if mask.is_vertex_faulted(v) {
+            continue;
+        }
+        let ecc = eccentricity(graph, v, mask)?;
+        best = Some(best.map_or(ecc, |b: u32| b.max(ecc)));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeId;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap()
+    }
+
+    #[test]
+    fn hop_distances_on_path() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(hop_distances(&g, NodeId::new(2), &mask), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = two_triangles();
+        let mask = FaultMask::for_graph(&g);
+        let (comp, count) = connected_components(&g, &mask);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g, &mask));
+    }
+
+    #[test]
+    fn fault_splits_component() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut mask = FaultMask::for_graph(&g);
+        assert!(is_connected(&g, &mask));
+        mask.fault_vertex(NodeId::new(1));
+        let (_, count) = connected_components(&g, &mask);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn edge_fault_disconnects_bridge() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_edge(EdgeId::new(0));
+        assert!(!is_connected(&g, &mask));
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(hop_diameter(&g, &mask), Some(3));
+        assert_eq!(eccentricity(&g, NodeId::new(1), &mask), Some(2));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = two_triangles();
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(hop_diameter(&g, &mask), None);
+    }
+
+    #[test]
+    fn faulted_vertices_excluded_from_eccentricity() {
+        let g = two_triangles();
+        let mut mask = FaultMask::for_graph(&g);
+        for v in [3, 4, 5] {
+            mask.fault_vertex(NodeId::new(v));
+        }
+        // Only one triangle remains; it is connected.
+        assert!(is_connected(&g, &mask));
+        assert_eq!(hop_diameter(&g, &mask), Some(1));
+    }
+}

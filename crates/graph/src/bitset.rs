@@ -1,0 +1,311 @@
+//! A compact fixed-capacity bit set.
+//!
+//! Fault masks and visited sets are on the hot path of every shortest-path
+//! query the fault-set oracles issue (there are exponentially many of them in
+//! `f`), so we want O(1) membership tests over dense integer keys without
+//! hashing. This module provides a minimal word-packed bit set tailored to
+//! that use, with constant-time insert/remove/contains and fast iteration
+//! over set bits.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of small integers, packed into 64-bit words.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::BitSet;
+///
+/// let mut set = BitSet::new(100);
+/// set.insert(3);
+/// set.insert(64);
+/// assert!(set.contains(3));
+/// assert!(!set.contains(4));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Returns the capacity (one past the largest storable value).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of values currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set contains no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `value` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity` (in debug builds; release builds panic
+    /// via the slice index).
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        debug_assert!(value < self.capacity, "bitset index out of range");
+        self.words[value / WORD_BITS] & (1u64 << (value % WORD_BITS)) != 0
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        debug_assert!(value < self.capacity, "bitset index out of range");
+        let word = &mut self.words[value / WORD_BITS];
+        let mask = 1u64 << (value % WORD_BITS);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        debug_assert!(value < self.capacity, "bitset index out of range");
+        let word = &mut self.words[value / WORD_BITS];
+        let mask = 1u64 << (value % WORD_BITS);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every value, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Grows the capacity to at least `capacity`, keeping current contents.
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.capacity = capacity;
+            self.words.resize(capacity.div_ceil(WORD_BITS), 0);
+        }
+    }
+
+    /// Iterates over the values in the set in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_index: 0,
+            current: if self.words.is_empty() { 0 } else { self.words[0] },
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share no values.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.capacity() > self.capacity()`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert!(
+            other.capacity <= self.capacity,
+            "cannot union a larger bitset into a smaller one"
+        );
+        for (i, w) in other.words.iter().enumerate() {
+            self.words[i] |= w;
+        }
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to the maximum value seen.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().copied().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for v in values {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            if v >= self.capacity {
+                self.grow(v + 1);
+            }
+            self.insert(v);
+        }
+    }
+}
+
+/// Iterator over set bits, produced by [`BitSet::iter`].
+#[derive(Clone)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_index * WORD_BITS + bit);
+            }
+            self.word_index += 1;
+            if self.word_index >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iter_yields_sorted_values() {
+        let mut s = BitSet::new(200);
+        for v in [199, 0, 64, 65, 3] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(10);
+        s.insert(5);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut s = BitSet::new(10);
+        s.insert(9);
+        s.grow(1000);
+        assert!(s.contains(9));
+        s.insert(999);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn disjointness() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(2);
+        assert!(a.is_disjoint(&b));
+        b.insert(1);
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(70);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 70]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [3usize, 17, 5].into_iter().collect();
+        assert!(s.contains(17));
+        assert_eq!(s.capacity(), 18);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn extend_grows_automatically() {
+        let mut s = BitSet::new(4);
+        s.extend([2usize, 100]);
+        assert!(s.contains(100));
+    }
+
+    #[test]
+    fn empty_set_iterates_nothing() {
+        let s = BitSet::new(0);
+        assert_eq!(s.iter().count(), 0);
+        let s = BitSet::new(64);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

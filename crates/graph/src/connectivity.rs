@@ -1,0 +1,427 @@
+//! Edge and vertex connectivity via Menger/max-flow.
+//!
+//! Why a spanner library needs this: an `f`-VFT spanner can only preserve
+//! `s–t` reachability if `G` itself has more than `f` internally disjoint
+//! `s–t` routes. These exact connectivity queries power feasibility checks
+//! in examples and tests (e.g. the lower-bound blow-up must be exactly
+//! `2t`-connected for its criticality argument to bite), and provide the
+//! ground truth that the length-bounded greedy packing in
+//! `spanner-faults` is validated against.
+
+use crate::flow::FlowNetwork;
+use crate::{FaultMask, Graph, NodeId};
+
+/// Builds the unit-capacity network of `graph ∖ mask` for edge cuts.
+fn edge_network(graph: &Graph, mask: &FaultMask) -> FlowNetwork {
+    let mut net = FlowNetwork::new(graph.node_count());
+    for (id, e) in graph.edges() {
+        if mask.is_edge_faulted(id)
+            || mask.is_vertex_faulted(e.u())
+            || mask.is_vertex_faulted(e.v())
+        {
+            continue;
+        }
+        net.add_undirected_unit(e.u().index(), e.v().index());
+    }
+    net
+}
+
+/// Maximum number of edge-disjoint `s–t` paths in `graph ∖ mask`
+/// (equivalently, the minimum `s–t` edge cut), capped at `limit`.
+///
+/// # Panics
+///
+/// Panics if `s == t` or either vertex is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{connectivity, FaultMask, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])?;
+/// let mask = FaultMask::for_graph(&g);
+/// let lambda = connectivity::edge_connectivity_st(
+///     &g, &mask, NodeId::new(0), NodeId::new(3), u32::MAX);
+/// assert_eq!(lambda, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn edge_connectivity_st(
+    graph: &Graph,
+    mask: &FaultMask,
+    s: NodeId,
+    t: NodeId,
+    limit: u32,
+) -> u32 {
+    edge_network(graph, mask).max_flow(s.index(), t.index(), limit)
+}
+
+/// Global edge connectivity `λ(G ∖ mask)`: the minimum over all vertices
+/// `t ≠ s` of `λ(s, t)` for a fixed live `s`. Returns 0 for graphs with
+/// fewer than two live vertices or disconnected graphs.
+pub fn edge_connectivity(graph: &Graph, mask: &FaultMask) -> u32 {
+    let live: Vec<NodeId> = graph
+        .nodes()
+        .filter(|v| !mask.is_vertex_faulted(*v))
+        .collect();
+    if live.len() < 2 {
+        return 0;
+    }
+    let s = live[0];
+    let mut best = u32::MAX;
+    for &t in &live[1..] {
+        best = best.min(edge_connectivity_st(graph, mask, s, t, best));
+        if best == 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Maximum number of internally vertex-disjoint `s–t` paths in
+/// `graph ∖ mask`, capped at `limit`; `None` if `s` and `t` are adjacent
+/// (then κ(s,t) is unbounded by convention — no vertex cut separates
+/// them).
+///
+/// Implemented by vertex splitting: each vertex `v ∉ {s, t}` becomes
+/// `v_in → v_out` with capacity 1; each surviving edge contributes arcs
+/// between the split halves.
+///
+/// # Panics
+///
+/// Panics if `s == t` or either vertex is out of range or faulted.
+pub fn vertex_connectivity_st(
+    graph: &Graph,
+    mask: &FaultMask,
+    s: NodeId,
+    t: NodeId,
+    limit: u32,
+) -> Option<u32> {
+    assert!(
+        !mask.is_vertex_faulted(s) && !mask.is_vertex_faulted(t),
+        "terminal is faulted"
+    );
+    if graph.contains_edge(s, t).is_some_and(|e| !mask.is_edge_faulted(e)) {
+        return None;
+    }
+    let net = split_network(graph, mask, s, t);
+    let mut net = net;
+    Some(net.max_flow(s.index(), t.index(), limit))
+}
+
+/// The vertex-split network: node `v` becomes `v_in = v`, `v_out = v + n`
+/// joined by a capacity-1 arc (terminals collapsed to a single node). Edge
+/// arcs get effectively infinite capacity so that *every* minimum cut
+/// consists of split arcs only — required for cut extraction.
+fn split_network(graph: &Graph, mask: &FaultMask, s: NodeId, t: NodeId) -> FlowNetwork {
+    let n = graph.node_count();
+    let big = n as u32 + 1; // no s-t flow can exceed n
+    let mut net = FlowNetwork::new(2 * n);
+    for v in graph.nodes() {
+        if v == s || v == t || mask.is_vertex_faulted(v) {
+            continue;
+        }
+        net.add_arc(v.index(), v.index() + n, 1);
+    }
+    let out_of = |v: NodeId| if v == s || v == t { v.index() } else { v.index() + n };
+    let in_of = |v: NodeId| v.index();
+    for (id, e) in graph.edges() {
+        if mask.is_edge_faulted(id)
+            || mask.is_vertex_faulted(e.u())
+            || mask.is_vertex_faulted(e.v())
+        {
+            continue;
+        }
+        net.add_arc(out_of(e.u()), in_of(e.v()), big);
+        net.add_arc(out_of(e.v()), in_of(e.u()), big);
+    }
+    net
+}
+
+/// Extracts a minimum `s–t` *edge* cut of size at most `limit`, or `None`
+/// if every cut is larger. The returned edges disconnect `s` from `t`.
+pub fn min_edge_cut_st(
+    graph: &Graph,
+    mask: &FaultMask,
+    s: NodeId,
+    t: NodeId,
+    limit: u32,
+) -> Option<Vec<crate::EdgeId>> {
+    let mut net = edge_network(graph, mask);
+    let flow = net.max_flow(s.index(), t.index(), limit.saturating_add(1));
+    if flow > limit {
+        return None;
+    }
+    let side = net.min_cut_side(s.index());
+    let mut cut = Vec::new();
+    for (id, e) in graph.edges() {
+        if mask.is_edge_faulted(id)
+            || mask.is_vertex_faulted(e.u())
+            || mask.is_vertex_faulted(e.v())
+        {
+            continue;
+        }
+        let (a, b) = (side[e.u().index()], side[e.v().index()]);
+        if a != b {
+            cut.push(id);
+        }
+    }
+    debug_assert_eq!(cut.len() as u32, flow, "cut size must equal flow value");
+    Some(cut)
+}
+
+/// Extracts a minimum `s–t` *vertex* cut of size at most `limit`, or
+/// `None` if `s, t` are adjacent or every cut is larger. The returned
+/// vertices (disjoint from `{s, t}`) disconnect `s` from `t`.
+pub fn min_vertex_cut_st(
+    graph: &Graph,
+    mask: &FaultMask,
+    s: NodeId,
+    t: NodeId,
+    limit: u32,
+) -> Option<Vec<NodeId>> {
+    assert!(
+        !mask.is_vertex_faulted(s) && !mask.is_vertex_faulted(t),
+        "terminal is faulted"
+    );
+    if graph.contains_edge(s, t).is_some_and(|e| !mask.is_edge_faulted(e)) {
+        return None;
+    }
+    let n = graph.node_count();
+    let mut net = split_network(graph, mask, s, t);
+    let flow = net.max_flow(s.index(), t.index(), limit.saturating_add(1));
+    if flow > limit {
+        return None;
+    }
+    let side = net.min_cut_side(s.index());
+    let mut cut = Vec::new();
+    for v in graph.nodes() {
+        if v == s || v == t || mask.is_vertex_faulted(v) {
+            continue;
+        }
+        // The split arc v_in -> v_out crosses the cut.
+        if side[v.index()] && !side[v.index() + n] {
+            cut.push(v);
+        }
+    }
+    debug_assert_eq!(cut.len() as u32, flow, "cut size must equal flow value");
+    Some(cut)
+}
+
+/// Decides whether `graph ∖ mask` is `k`-vertex-connected: at least `k+1`
+/// live vertices and every non-adjacent live pair joined by ≥ k
+/// internally disjoint paths.
+///
+/// Cost: O(n²) bounded max-flows in the worst case; intended for
+/// moderate-size feasibility checks and tests.
+pub fn is_k_vertex_connected(graph: &Graph, mask: &FaultMask, k: u32) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let live: Vec<NodeId> = graph
+        .nodes()
+        .filter(|v| !mask.is_vertex_faulted(*v))
+        .collect();
+    if (live.len() as u32) < k + 1 {
+        return false;
+    }
+    for (i, &u) in live.iter().enumerate() {
+        for &v in &live[i + 1..] {
+            match vertex_connectivity_st(graph, mask, u, v, k) {
+                None => continue, // adjacent pairs impose no cut constraint
+                Some(kappa) => {
+                    if kappa < k {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Global vertex connectivity `κ(G ∖ mask)`: the largest `k` for which
+/// [`is_k_vertex_connected`] holds; complete live subgraphs report
+/// `live − 1`. Intended for small graphs (binary search over `k` with
+/// O(n²) flows per probe).
+pub fn vertex_connectivity(graph: &Graph, mask: &FaultMask) -> u32 {
+    let live = graph
+        .nodes()
+        .filter(|v| !mask.is_vertex_faulted(*v))
+        .count() as u32;
+    if live < 2 {
+        return 0;
+    }
+    let mut lo = 0u32; // always k-connected for k = 0
+    let mut hi = live - 1;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if is_k_vertex_connected(graph, mask, mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::EdgeId;
+
+    fn no_faults(g: &Graph) -> FaultMask {
+        FaultMask::for_graph(g)
+    }
+
+    #[test]
+    fn cycle_is_two_connected() {
+        let g = generators::cycle(6);
+        let mask = no_faults(&g);
+        assert_eq!(edge_connectivity(&g, &mask), 2);
+        assert_eq!(vertex_connectivity(&g, &mask), 2);
+    }
+
+    #[test]
+    fn path_is_one_connected() {
+        let g = generators::path(5);
+        let mask = no_faults(&g);
+        assert_eq!(edge_connectivity(&g, &mask), 1);
+        assert_eq!(vertex_connectivity(&g, &mask), 1);
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        let g = generators::complete(6);
+        let mask = no_faults(&g);
+        assert_eq!(edge_connectivity(&g, &mask), 5);
+        assert_eq!(vertex_connectivity(&g, &mask), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_vertex_connectivity_is_min_side() {
+        let g = generators::complete_bipartite(3, 5);
+        let mask = no_faults(&g);
+        assert_eq!(vertex_connectivity(&g, &mask), 3);
+        assert_eq!(edge_connectivity(&g, &mask), 3);
+    }
+
+    #[test]
+    fn petersen_is_three_connected() {
+        let g = generators::petersen();
+        let mask = no_faults(&g);
+        assert_eq!(vertex_connectivity(&g, &mask), 3);
+        assert_eq!(edge_connectivity(&g, &mask), 3);
+    }
+
+    #[test]
+    fn st_vertex_connectivity_none_for_adjacent() {
+        let g = generators::complete(4);
+        let mask = no_faults(&g);
+        assert_eq!(
+            vertex_connectivity_st(&g, &mask, NodeId::new(0), NodeId::new(1), u32::MAX),
+            None
+        );
+    }
+
+    #[test]
+    fn st_vertex_connectivity_counts_disjoint_paths() {
+        // Diamond: 0 and 3 joined via 1 and via 2 (non-adjacent).
+        let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+        let mask = no_faults(&g);
+        assert_eq!(
+            vertex_connectivity_st(&g, &mask, NodeId::new(0), NodeId::new(3), u32::MAX),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn faults_reduce_connectivity() {
+        let g = generators::cycle(5);
+        let mut mask = no_faults(&g);
+        mask.fault_edge(EdgeId::new(0));
+        assert_eq!(edge_connectivity(&g, &mask), 1);
+        let mut mask = no_faults(&g);
+        mask.fault_vertex(NodeId::new(0));
+        // C5 minus a vertex is a path: 1-connected.
+        assert_eq!(vertex_connectivity(&g, &mask), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_is_zero_connected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mask = no_faults(&g);
+        assert_eq!(edge_connectivity(&g, &mask), 0);
+        assert_eq!(vertex_connectivity(&g, &mask), 0);
+        assert!(!is_k_vertex_connected(&g, &mask, 1));
+    }
+
+    #[test]
+    fn grid_is_two_connected() {
+        let g = generators::grid(3, 3);
+        let mask = no_faults(&g);
+        assert_eq!(vertex_connectivity(&g, &mask), 2);
+    }
+
+    #[test]
+    fn limit_caps_the_answer() {
+        let g = generators::complete(8);
+        let mask = no_faults(&g);
+        assert_eq!(
+            edge_connectivity_st(&g, &mask, NodeId::new(0), NodeId::new(1), 3),
+            3
+        );
+    }
+
+    #[test]
+    fn extracted_edge_cut_disconnects() {
+        let g = generators::cycle(6);
+        let mask = no_faults(&g);
+        let cut = min_edge_cut_st(&g, &mask, NodeId::new(0), NodeId::new(3), u32::MAX).unwrap();
+        assert_eq!(cut.len(), 2);
+        let mut cut_mask = no_faults(&g);
+        for e in cut {
+            cut_mask.fault_edge(e);
+        }
+        let hops = crate::bfs::hop_distances(&g, NodeId::new(0), &cut_mask);
+        assert_eq!(hops[3], u32::MAX);
+    }
+
+    #[test]
+    fn extracted_edge_cut_respects_limit() {
+        let g = generators::cycle(6);
+        let mask = no_faults(&g);
+        assert!(min_edge_cut_st(&g, &mask, NodeId::new(0), NodeId::new(3), 1).is_none());
+        assert!(min_edge_cut_st(&g, &mask, NodeId::new(0), NodeId::new(3), 2).is_some());
+    }
+
+    #[test]
+    fn extracted_vertex_cut_disconnects() {
+        // Diamond with a longer arm: cut must be {1, 2}.
+        let g = Graph::from_edges(5, [(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let mask = no_faults(&g);
+        let cut = min_vertex_cut_st(&g, &mask, NodeId::new(0), NodeId::new(4), u32::MAX).unwrap();
+        assert_eq!(cut.len(), 2);
+        let mut cut_mask = no_faults(&g);
+        for v in cut {
+            assert_ne!(v, NodeId::new(0));
+            assert_ne!(v, NodeId::new(4));
+            cut_mask.fault_vertex(v);
+        }
+        let hops = crate::bfs::hop_distances(&g, NodeId::new(0), &cut_mask);
+        assert_eq!(hops[4], u32::MAX);
+    }
+
+    #[test]
+    fn vertex_cut_none_for_adjacent_or_over_limit() {
+        let g = generators::complete(4);
+        let mask = no_faults(&g);
+        assert!(min_vertex_cut_st(&g, &mask, NodeId::new(0), NodeId::new(1), u32::MAX).is_none());
+        let g = generators::petersen(); // 3-connected, non-adjacent 0 and 7
+        let mask = no_faults(&g);
+        assert!(g.contains_edge(NodeId::new(0), NodeId::new(7)).is_none());
+        assert!(min_vertex_cut_st(&g, &mask, NodeId::new(0), NodeId::new(7), 2).is_none());
+        let cut = min_vertex_cut_st(&g, &mask, NodeId::new(0), NodeId::new(7), 3).unwrap();
+        assert_eq!(cut.len(), 3);
+    }
+}

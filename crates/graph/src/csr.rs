@@ -1,0 +1,260 @@
+//! A frozen compressed-sparse-row graph view.
+//!
+//! [`Graph`] optimizes for growth (FT-greedy appends edges constantly);
+//! its `Vec<Vec<…>>` adjacency pays a pointer chase per vertex. Once a
+//! graph stops changing — verification sweeps, routing services, repeated
+//! audits — a CSR layout with all neighbors in one contiguous array is
+//! friendlier to the cache. [`CsrGraph`] is that view: immutable, same
+//! vertex/edge ids, with its own fault-masked bounded Dijkstra.
+//!
+//! The `substrate` bench compares the two layouts on identical query
+//! workloads.
+
+use crate::{Dist, EdgeId, FaultMask, Graph, IndexedHeap, NodeId, Weight};
+
+/// An immutable CSR snapshot of a [`Graph`] (same node and edge ids).
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{csr::CsrGraph, generators, Dist, FaultMask, NodeId};
+///
+/// let g = generators::complete(8);
+/// let csr = CsrGraph::from_graph(&g);
+/// assert_eq!(csr.node_count(), 8);
+/// assert_eq!(csr.edge_count(), 28);
+/// let mask = FaultMask::for_graph(&g);
+/// let d = csr.dist_bounded(NodeId::new(0), NodeId::new(5), Dist::finite(3), &mask);
+/// assert_eq!(d, Some(Dist::finite(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    via_edges: Vec<u32>,
+    weights: Vec<Weight>,
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Snapshots `graph` into CSR form.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        let mut via_edges = Vec::with_capacity(2 * graph.edge_count());
+        let mut weights = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for v in graph.nodes() {
+            for (to, eid) in graph.neighbors(v) {
+                targets.push(to.raw());
+                via_edges.push(eid.raw());
+                weights.push(graph.weight(eid));
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            via_edges,
+            weights,
+            edge_count: graph.edge_count(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterates over `(neighbor, edge, weight)` triples of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(
+        &self,
+        node: NodeId,
+    ) -> impl ExactSizeIterator<Item = (NodeId, EdgeId, Weight)> + '_ {
+        let lo = self.offsets[node.index()] as usize;
+        let hi = self.offsets[node.index() + 1] as usize;
+        (lo..hi).map(move |i| {
+            (
+                NodeId::from(self.targets[i]),
+                EdgeId::from(self.via_edges[i]),
+                self.weights[i],
+            )
+        })
+    }
+
+    /// Bounded fault-masked Dijkstra distance (same contract as
+    /// [`crate::DijkstraEngine::dist_bounded`]).
+    pub fn dist_bounded(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bound: Dist,
+        mask: &FaultMask,
+    ) -> Option<Dist> {
+        if mask.is_vertex_faulted(src) || mask.is_vertex_faulted(dst) {
+            return None;
+        }
+        let n = self.node_count();
+        let mut dist = vec![Dist::INFINITE; n];
+        let mut heap = IndexedHeap::new(n);
+        dist[src.index()] = Dist::ZERO;
+        heap.push_or_decrease(src.index(), 0u64);
+        while let Some((v, dv)) = heap.pop() {
+            let dv = Dist::finite(dv);
+            if v == dst.index() {
+                return (dv <= bound).then_some(dv);
+            }
+            if dv > bound {
+                return None;
+            }
+            for (to, eid, w) in self.neighbors(NodeId::new(v)) {
+                if !mask.allows(to, eid) {
+                    continue;
+                }
+                let cand = dv + w;
+                if cand <= bound && cand < dist[to.index()] {
+                    dist[to.index()] = cand;
+                    heap.push_or_decrease(to.index(), cand.value().expect("finite"));
+                }
+            }
+        }
+        None
+    }
+
+    /// Fault-masked single-source distances (unbounded).
+    pub fn sssp(&self, src: NodeId, mask: &FaultMask) -> Vec<Dist> {
+        let n = self.node_count();
+        let mut dist = vec![Dist::INFINITE; n];
+        if mask.is_vertex_faulted(src) {
+            return dist;
+        }
+        let mut heap = IndexedHeap::new(n);
+        dist[src.index()] = Dist::ZERO;
+        heap.push_or_decrease(src.index(), 0u64);
+        while let Some((v, dv)) = heap.pop() {
+            let dv = Dist::finite(dv);
+            for (to, eid, w) in self.neighbors(NodeId::new(v)) {
+                if !mask.allows(to, eid) {
+                    continue;
+                }
+                let cand = dv + w;
+                if cand < dist[to.index()] {
+                    dist[to.index()] = cand;
+                    heap.push_or_decrease(to.index(), cand.value().expect("finite"));
+                }
+            }
+        }
+        dist
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(graph: &Graph) -> Self {
+        CsrGraph::from_graph(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dijkstra, generators};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structure_matches_source() {
+        let g = generators::petersen();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(csr.degree(v), g.degree(v));
+            let from_graph: Vec<(NodeId, EdgeId)> = g.neighbors(v).collect();
+            let from_csr: Vec<(NodeId, EdgeId)> =
+                csr.neighbors(v).map(|(n, e, _)| (n, e)).collect();
+            assert_eq!(from_graph, from_csr);
+        }
+    }
+
+    #[test]
+    fn sssp_matches_engine_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..10 {
+            let g = generators::erdos_renyi(40, 0.15, &mut rng);
+            let csr = CsrGraph::from_graph(&g);
+            let mask = FaultMask::for_graph(&g);
+            let mut engine = dijkstra::DijkstraEngine::new();
+            for s in [0usize, 7, 20] {
+                assert_eq!(
+                    csr.sssp(NodeId::new(s), &mask),
+                    engine.sssp(&g, NodeId::new(s), &mask)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_queries_match_under_faults() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = generators::erdos_renyi(30, 0.2, &mut rng);
+        let csr = CsrGraph::from_graph(&g);
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(3));
+        if g.edge_count() > 0 {
+            mask.fault_edge(EdgeId::new(0));
+        }
+        let mut engine = dijkstra::DijkstraEngine::new();
+        for bound in [1u64, 2, 4, 50] {
+            for (u, v) in [(0usize, 1usize), (2, 29), (5, 17)] {
+                assert_eq!(
+                    csr.dist_bounded(NodeId::new(u), NodeId::new(v), Dist::finite(bound), &mask),
+                    engine.dist_bounded(
+                        &g,
+                        NodeId::new(u),
+                        NodeId::new(v),
+                        Dist::finite(bound),
+                        &mask
+                    ),
+                    "bound {bound} pair ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_distances_preserved() {
+        let g = Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 2), (0, 3, 1), (3, 2, 3)]).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        let mask = FaultMask::for_graph(&g);
+        let d = csr.sssp(NodeId::new(0), &mask);
+        assert_eq!(d[2], Dist::finite(4)); // 0-3-2
+        assert_eq!(d[1], Dist::finite(5));
+    }
+
+    #[test]
+    fn from_ref_conversion() {
+        let g = generators::cycle(5);
+        let csr: CsrGraph = (&g).into();
+        assert_eq!(csr.edge_count(), 5);
+    }
+}

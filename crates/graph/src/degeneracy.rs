@@ -1,0 +1,169 @@
+//! Degeneracy (k-core) ordering.
+//!
+//! The degeneracy of a graph — the largest minimum degree of any subgraph
+//! — is the sparsity certificate behind many spanner facts: a graph with
+//! `m ≤ c·n^{1+1/k}` edges has degeneracy `O(n^{1/k})`, and greedy spanner
+//! outputs inherit exactly that shape. The ordering itself (repeatedly
+//! remove a minimum-degree vertex) is the standard linear-time bucket
+//! algorithm of Matula–Beck.
+
+use crate::{FaultMask, Graph, NodeId};
+
+/// Result of [`degeneracy_ordering`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Degeneracy {
+    /// The degeneracy (max core number).
+    pub degeneracy: usize,
+    /// Vertices in removal order (each has ≤ `degeneracy` later neighbors).
+    pub order: Vec<NodeId>,
+    /// Core number per vertex (`usize::MAX` for faulted vertices).
+    pub core_numbers: Vec<usize>,
+}
+
+/// Computes the degeneracy ordering of `graph ∖ mask` in O(n + m).
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{degeneracy::degeneracy_ordering, generators, FaultMask};
+///
+/// let g = generators::complete(6);
+/// let d = degeneracy_ordering(&g, &FaultMask::for_graph(&g));
+/// assert_eq!(d.degeneracy, 5);
+/// let tree = generators::path(6);
+/// let d = degeneracy_ordering(&tree, &FaultMask::for_graph(&tree));
+/// assert_eq!(d.degeneracy, 1);
+/// ```
+pub fn degeneracy_ordering(graph: &Graph, mask: &FaultMask) -> Degeneracy {
+    let n = graph.node_count();
+    let mut degree: Vec<usize> = (0..n)
+        .map(|v| {
+            let v = NodeId::new(v);
+            if mask.is_vertex_faulted(v) {
+                usize::MAX
+            } else {
+                graph
+                    .neighbors(v)
+                    .filter(|(to, eid)| mask.allows(*to, *eid))
+                    .count()
+            }
+        })
+        .collect();
+    let max_degree = degree.iter().filter(|d| **d != usize::MAX).max().copied().unwrap_or(0);
+    // Bucket queue over degrees.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_degree + 1];
+    for (v, d) in degree.iter().enumerate() {
+        if *d != usize::MAX {
+            buckets[*d].push(v);
+        }
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::new();
+    let mut core_numbers = vec![usize::MAX; n];
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    let live = degree.iter().filter(|d| **d != usize::MAX).count();
+    while order.len() < live {
+        // Find the lowest non-empty bucket (cursor can go down by one per
+        // removal, so reset lazily).
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let Some(&v) = buckets.get(cursor).and_then(|b| b.last()) else {
+            break;
+        };
+        buckets[cursor].pop();
+        if removed[v] || degree[v] != cursor {
+            // Stale bucket entry; skip.
+            continue;
+        }
+        removed[v] = true;
+        degeneracy = degeneracy.max(cursor);
+        core_numbers[v] = degeneracy;
+        order.push(NodeId::new(v));
+        for (to, eid) in graph.neighbors(NodeId::new(v)) {
+            if !mask.allows(to, eid) || removed[to.index()] {
+                continue;
+            }
+            let d = degree[to.index()];
+            degree[to.index()] = d - 1;
+            buckets[d - 1].push(to.index());
+            cursor = cursor.min(d - 1);
+        }
+    }
+    Degeneracy {
+        degeneracy,
+        order,
+        core_numbers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn degeneracy_of(g: &Graph) -> usize {
+        degeneracy_ordering(g, &FaultMask::for_graph(g)).degeneracy
+    }
+
+    #[test]
+    fn classic_values() {
+        assert_eq!(degeneracy_of(&generators::complete(7)), 6);
+        assert_eq!(degeneracy_of(&generators::path(9)), 1);
+        assert_eq!(degeneracy_of(&generators::cycle(9)), 2);
+        assert_eq!(degeneracy_of(&generators::grid(4, 5)), 2);
+        assert_eq!(degeneracy_of(&generators::star(8)), 1);
+        assert_eq!(degeneracy_of(&generators::complete_bipartite(3, 9)), 3);
+        assert_eq!(degeneracy_of(&generators::petersen()), 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(degeneracy_of(&Graph::new(0)), 0);
+        assert_eq!(degeneracy_of(&Graph::new(5)), 0);
+    }
+
+    #[test]
+    fn ordering_certifies_the_degeneracy() {
+        let g = generators::complete_bipartite(4, 7);
+        let mask = FaultMask::for_graph(&g);
+        let d = degeneracy_ordering(&g, &mask);
+        // Each vertex has at most `degeneracy` neighbors later in the order.
+        let position: std::collections::HashMap<NodeId, usize> =
+            d.order.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+        for (i, v) in d.order.iter().enumerate() {
+            let later = g
+                .neighbors(*v)
+                .filter(|(to, _)| position[to] > i)
+                .count();
+            assert!(later <= d.degeneracy, "{v} has {later} later neighbors");
+        }
+    }
+
+    #[test]
+    fn faults_lower_the_degeneracy() {
+        let g = generators::complete(6);
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(0));
+        mask.fault_vertex(NodeId::new(1));
+        let d = degeneracy_ordering(&g, &mask);
+        assert_eq!(d.degeneracy, 3); // K4 remains
+        assert_eq!(d.order.len(), 4);
+        assert_eq!(d.core_numbers[NodeId::new(0).index()], usize::MAX);
+    }
+
+    #[test]
+    fn greedy_spanner_outputs_have_low_degeneracy() {
+        // A 3-spanner of K40 has girth > 4 and so average degree O(sqrt n);
+        // its degeneracy must be far below the input's 39.
+        use crate::FaultMask;
+        let g = generators::complete(40);
+        // Build a girth->4 subgraph the cheap way: bipartite double cover
+        // style check via complete_bipartite instead would be trivial; use
+        // the real greedy from the core crate in integration tests. Here:
+        // sanity only on the input.
+        let d = degeneracy_ordering(&g, &FaultMask::for_graph(&g));
+        assert_eq!(d.degeneracy, 39);
+    }
+}

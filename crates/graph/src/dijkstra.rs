@@ -1,0 +1,475 @@
+//! Fault-masked, bound-aware Dijkstra.
+//!
+//! Two features matter for spanner construction beyond textbook Dijkstra:
+//!
+//! 1. **Fault masks** — queries run against `H ∖ F` for many candidate fault
+//!    sets `F` without copying the graph ([`FaultMask`]).
+//! 2. **Distance bounds** — the greedy test only asks whether
+//!    `dist(u, v) ≤ k·w`; the search can stop as soon as the frontier passes
+//!    the bound, which on bounded queries turns Dijkstra from O(m log n)
+//!    into "O(size of the k·w ball)".
+//!
+//! [`DijkstraEngine`] owns the scratch arrays (distances, parents, heap) and
+//! reuses them across queries via epoch stamping, so a query allocates
+//! nothing after warm-up. The fault-set search oracles issue up to `O(k^f)`
+//! queries per greedy edge; this reuse is what keeps them tractable.
+
+use crate::{Dist, EdgeId, FaultMask, Graph, IndexedHeap, NodeId, Weight};
+
+/// A shortest path found by [`DijkstraEngine::shortest_path_bounded`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShortestPath {
+    /// Total weight of the path.
+    pub dist: Dist,
+    /// Vertices from source to target, inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Edges in path order (`nodes.len() - 1` of them).
+    pub edges: Vec<EdgeId>,
+}
+
+impl ShortestPath {
+    /// The vertices strictly between source and target.
+    ///
+    /// These are the branching candidates for vertex fault search: any fault
+    /// set that blocks this path must contain one of them (or an edge).
+    pub fn interior_nodes(&self) -> &[NodeId] {
+        if self.nodes.len() <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..self.nodes.len() - 1]
+        }
+    }
+
+    /// Number of edges on the path.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the path is a single vertex (source == target).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable Dijkstra scratch space for one graph size.
+///
+/// The engine is sized lazily to the largest graph it has seen; it can be
+/// shared across graphs as long as node ids fit.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{DijkstraEngine, Dist, FaultMask, Graph, NodeId};
+///
+/// let g = Graph::from_weighted_edges(4, [(0, 1, 1), (1, 2, 1), (0, 3, 1), (3, 2, 5)])?;
+/// let mut engine = DijkstraEngine::new();
+/// let mask = FaultMask::for_graph(&g);
+/// let d = engine.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::finite(10), &mask);
+/// assert_eq!(d, Some(Dist::finite(2)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct DijkstraEngine {
+    dist: Vec<Dist>,
+    parent_node: Vec<u32>,
+    parent_edge: Vec<u32>,
+    epoch: Vec<u32>,
+    current_epoch: u32,
+    heap: Option<IndexedHeap<u64>>,
+    /// Number of heap pops across all queries (exposed for experiments that
+    /// measure oracle work in machine-independent units).
+    pops: u64,
+}
+
+impl DijkstraEngine {
+    /// Creates an engine with no allocated scratch space.
+    pub fn new() -> Self {
+        DijkstraEngine::default()
+    }
+
+    /// Total heap pops across all queries so far (a machine-independent
+    /// work measure used by the oracle-cost experiments).
+    pub fn pop_count(&self) -> u64 {
+        self.pops
+    }
+
+    /// Resets the pop counter.
+    pub fn reset_pop_count(&mut self) {
+        self.pops = 0;
+    }
+
+    fn prepare(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, Dist::INFINITE);
+            self.parent_node.resize(n, NO_PARENT);
+            self.parent_edge.resize(n, NO_PARENT);
+            self.epoch.resize(n, 0);
+            self.heap = Some(IndexedHeap::new(n));
+        } else if let Some(heap) = &mut self.heap {
+            if heap.is_empty() {
+                // nothing to do
+            } else {
+                heap.clear();
+            }
+        }
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+        if self.current_epoch == 0 {
+            // Epoch counter wrapped: invalidate everything explicitly.
+            self.epoch.fill(0);
+            self.current_epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn is_fresh(&self, v: usize) -> bool {
+        self.epoch[v] == self.current_epoch
+    }
+
+    #[inline]
+    fn touch(&mut self, v: usize) {
+        if self.epoch[v] != self.current_epoch {
+            self.epoch[v] = self.current_epoch;
+            self.dist[v] = Dist::INFINITE;
+            self.parent_node[v] = NO_PARENT;
+            self.parent_edge[v] = NO_PARENT;
+        }
+    }
+
+    /// Computes `dist(src, dst)` in `graph ∖ mask`, provided it is at most
+    /// `bound`. Returns `None` when the distance exceeds `bound` (including
+    /// unreachable). `src == dst` always yields `Some(Dist::ZERO)` unless the
+    /// vertex itself is faulted.
+    pub fn dist_bounded(
+        &mut self,
+        graph: &Graph,
+        src: NodeId,
+        dst: NodeId,
+        bound: Dist,
+        mask: &FaultMask,
+    ) -> Option<Dist> {
+        self.run(graph, src, Some(dst), bound, mask);
+        let d = self.query_dist(dst);
+        (d.is_finite() && d <= bound).then_some(d)
+    }
+
+    /// Like [`DijkstraEngine::dist_bounded`], but also reconstructs one
+    /// shortest path.
+    pub fn shortest_path_bounded(
+        &mut self,
+        graph: &Graph,
+        src: NodeId,
+        dst: NodeId,
+        bound: Dist,
+        mask: &FaultMask,
+    ) -> Option<ShortestPath> {
+        self.run(graph, src, Some(dst), bound, mask);
+        let dist = self.query_dist(dst);
+        if !dist.is_finite() || dist > bound {
+            return None;
+        }
+        let mut nodes = vec![dst];
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let pn = self.parent_node[cur.index()];
+            let pe = self.parent_edge[cur.index()];
+            debug_assert!(pn != NO_PARENT, "parent chain broken");
+            edges.push(EdgeId::new(pe as usize));
+            cur = NodeId::new(pn as usize);
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(ShortestPath { dist, nodes, edges })
+    }
+
+    /// Single-source shortest distances in `graph ∖ mask`, stopping at
+    /// `bound` (vertices farther than `bound` report `Dist::INFINITE`).
+    pub fn sssp_bounded(
+        &mut self,
+        graph: &Graph,
+        src: NodeId,
+        bound: Dist,
+        mask: &FaultMask,
+    ) -> Vec<Dist> {
+        self.run(graph, src, None, bound, mask);
+        (0..graph.node_count())
+            .map(|v| {
+                let d = self.query_dist(NodeId::new(v));
+                if d <= bound {
+                    d
+                } else {
+                    Dist::INFINITE
+                }
+            })
+            .collect()
+    }
+
+    /// Unbounded single-source shortest distances in `graph ∖ mask`.
+    pub fn sssp(&mut self, graph: &Graph, src: NodeId, mask: &FaultMask) -> Vec<Dist> {
+        self.sssp_bounded(graph, src, Dist::INFINITE, mask)
+    }
+
+    fn query_dist(&self, v: NodeId) -> Dist {
+        if v.index() < self.epoch.len() && self.is_fresh(v.index()) {
+            self.dist[v.index()]
+        } else {
+            Dist::INFINITE
+        }
+    }
+
+    fn run(&mut self, graph: &Graph, src: NodeId, dst: Option<NodeId>, bound: Dist, mask: &FaultMask) {
+        let n = graph.node_count();
+        self.prepare(n);
+        if mask.is_vertex_faulted(src) {
+            return;
+        }
+        if let Some(d) = dst {
+            if mask.is_vertex_faulted(d) {
+                return;
+            }
+        }
+        self.touch(src.index());
+        self.dist[src.index()] = Dist::ZERO;
+        let mut heap = self.heap.take().expect("heap initialized by prepare");
+        heap.clear();
+        heap.push_or_decrease(src.index(), 0);
+        while let Some((v, dv)) = heap.pop() {
+            self.pops += 1;
+            let dv = Dist::finite(dv);
+            if dv > self.dist[v] {
+                continue; // stale (cannot happen with indexed heap, but cheap)
+            }
+            if Some(NodeId::new(v)) == dst {
+                break;
+            }
+            if dv > bound {
+                break;
+            }
+            for (to, eid) in graph.neighbors(NodeId::new(v)) {
+                if !mask.allows(to, eid) {
+                    continue;
+                }
+                let w: Weight = graph.weight(eid);
+                let cand = dv + w;
+                if cand > bound {
+                    continue;
+                }
+                self.touch(to.index());
+                if cand < self.dist[to.index()] {
+                    self.dist[to.index()] = cand;
+                    self.parent_node[to.index()] = v as u32;
+                    self.parent_edge[to.index()] = eid.raw() as u32;
+                    heap.push_or_decrease(to.index(), cand.value().expect("finite"));
+                }
+            }
+        }
+        self.heap = Some(heap);
+    }
+}
+
+/// One-shot convenience: `dist(src, dst)` in `graph ∖ mask` if `≤ bound`.
+///
+/// Allocates a fresh engine; prefer [`DijkstraEngine`] in loops.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{dijkstra, Dist, FaultMask, Graph, NodeId};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let mask = FaultMask::for_graph(&g);
+/// let d = dijkstra::dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::finite(5), &mask);
+/// assert_eq!(d, Some(Dist::finite(2)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn dist_bounded(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    bound: Dist,
+    mask: &FaultMask,
+) -> Option<Dist> {
+    DijkstraEngine::new().dist_bounded(graph, src, dst, bound, mask)
+}
+
+/// One-shot convenience: unbounded distance, `Dist::INFINITE` if unreachable.
+pub fn dist(graph: &Graph, src: NodeId, dst: NodeId, mask: &FaultMask) -> Dist {
+    dist_bounded(graph, src, dst, Dist::INFINITE, mask).unwrap_or(Dist::INFINITE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_diamond() -> Graph {
+        // 0 -1- 1 -1- 2  and  0 -1- 3 -5- 2
+        Graph::from_weighted_edges(4, [(0, 1, 1), (1, 2, 1), (0, 3, 1), (3, 2, 5)]).unwrap()
+    }
+
+    #[test]
+    fn finds_shortest_distance() {
+        let g = weighted_diamond();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::INFINITE, &mask),
+            Some(Dist::finite(2))
+        );
+    }
+
+    #[test]
+    fn respects_bound() {
+        let g = weighted_diamond();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::finite(1), &mask),
+            None
+        );
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::finite(2), &mask),
+            Some(Dist::finite(2))
+        );
+    }
+
+    #[test]
+    fn vertex_fault_reroutes() {
+        let g = weighted_diamond();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(1));
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::INFINITE, &mask),
+            Some(Dist::finite(6))
+        );
+    }
+
+    #[test]
+    fn edge_fault_reroutes() {
+        let g = weighted_diamond();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_edge(EdgeId::new(1)); // 1-2
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::INFINITE, &mask),
+            Some(Dist::finite(6))
+        );
+    }
+
+    #[test]
+    fn disconnection_reports_none() {
+        let g = weighted_diamond();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(1));
+        mask.fault_vertex(NodeId::new(3));
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::INFINITE, &mask),
+            None
+        );
+    }
+
+    #[test]
+    fn faulted_source_or_target_unreachable() {
+        let g = weighted_diamond();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(0));
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::INFINITE, &mask),
+            None
+        );
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(2), NodeId::new(0), Dist::INFINITE, &mask),
+            None
+        );
+    }
+
+    #[test]
+    fn same_node_distance_zero() {
+        let g = weighted_diamond();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.dist_bounded(&g, NodeId::new(3), NodeId::new(3), Dist::ZERO, &mask),
+            Some(Dist::ZERO)
+        );
+    }
+
+    #[test]
+    fn path_reconstruction_matches_distance() {
+        let g = weighted_diamond();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        let p = e
+            .shortest_path_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::INFINITE, &mask)
+            .unwrap();
+        assert_eq!(p.dist, Dist::finite(2));
+        assert_eq!(p.nodes, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(p.edges.len(), 2);
+        assert_eq!(p.interior_nodes(), &[NodeId::new(1)]);
+        let total: Dist = p.edges.iter().map(|e| g.weight(*e).to_dist()).sum();
+        assert_eq!(total, p.dist);
+    }
+
+    #[test]
+    fn engine_reuse_across_queries() {
+        let g = weighted_diamond();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        for _ in 0..100 {
+            assert_eq!(
+                e.dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::INFINITE, &mask),
+                Some(Dist::finite(2))
+            );
+        }
+        assert!(e.pop_count() > 0);
+    }
+
+    #[test]
+    fn sssp_matches_pairwise() {
+        let g = weighted_diamond();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        let d = e.sssp(&g, NodeId::new(0), &mask);
+        assert_eq!(d[0], Dist::ZERO);
+        assert_eq!(d[1], Dist::finite(1));
+        assert_eq!(d[2], Dist::finite(2));
+        assert_eq!(d[3], Dist::finite(1));
+    }
+
+    #[test]
+    fn sssp_bounded_cuts_off() {
+        let g = weighted_diamond();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        let d = e.sssp_bounded(&g, NodeId::new(0), Dist::finite(1), &mask);
+        assert_eq!(d[2], Dist::INFINITE);
+        assert_eq!(d[1], Dist::finite(1));
+    }
+
+    #[test]
+    fn one_shot_helpers() {
+        let g = weighted_diamond();
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(dist(&g, NodeId::new(0), NodeId::new(2), &mask), Dist::finite(2));
+        assert_eq!(
+            dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::finite(1), &mask),
+            None
+        );
+    }
+
+    #[test]
+    fn path_in_empty_graph_is_none() {
+        let g = Graph::new(2);
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        assert_eq!(
+            e.shortest_path_bounded(&g, NodeId::new(0), NodeId::new(1), Dist::INFINITE, &mask),
+            None
+        );
+    }
+}

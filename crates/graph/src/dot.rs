@@ -1,0 +1,91 @@
+//! Graphviz DOT export for debugging and example output.
+
+use crate::{FaultMask, Graph};
+use std::fmt::Write as _;
+
+/// Renders `graph` in Graphviz DOT syntax.
+///
+/// Unit-weight edges omit the label; weighted edges are labelled.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{dot, Graph};
+///
+/// let g = Graph::from_edges(2, [(0, 1)])?;
+/// let out = dot::to_dot(&g, "demo");
+/// assert!(out.contains("graph demo {"));
+/// assert!(out.contains("v0 -- v1"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_dot(graph: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for v in graph.nodes() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for (_, e) in graph.edges() {
+        if e.weight() == crate::Weight::UNIT {
+            let _ = writeln!(out, "  {} -- {};", e.u(), e.v());
+        } else {
+            let _ = writeln!(out, "  {} -- {} [label=\"{}\"];", e.u(), e.v(), e.weight());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders `graph` with faulted vertices/edges highlighted (dashed, red).
+pub fn to_dot_with_faults(graph: &Graph, mask: &FaultMask, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for v in graph.nodes() {
+        if mask.is_vertex_faulted(v) {
+            let _ = writeln!(out, "  {v} [color=red, style=dashed];");
+        } else {
+            let _ = writeln!(out, "  {v};");
+        }
+    }
+    for (id, e) in graph.edges() {
+        let style = if mask.is_edge_faulted(id) {
+            " [color=red, style=dashed]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} -- {}{};", e.u(), e.v(), style);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeId, NodeId};
+
+    #[test]
+    fn weighted_edges_get_labels() {
+        let g = Graph::from_weighted_edges(2, [(0, 1, 9)]).unwrap();
+        let out = to_dot(&g, "g");
+        assert!(out.contains("label=\"9\""));
+    }
+
+    #[test]
+    fn unit_edges_have_no_labels() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let out = to_dot(&g, "g");
+        assert!(!out.contains("label"));
+    }
+
+    #[test]
+    fn faults_are_highlighted() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(0));
+        mask.fault_edge(EdgeId::new(1));
+        let out = to_dot_with_faults(&g, &mask, "g");
+        assert!(out.contains("v0 [color=red"));
+        assert!(out.contains("v1 -- v2 [color=red"));
+        assert!(out.contains("v0 -- v1;"));
+    }
+}

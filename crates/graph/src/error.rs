@@ -1,0 +1,115 @@
+//! Error types for graph construction and queries.
+
+use crate::{EdgeId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and mutation.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{Graph, GraphError, NodeId, Weight};
+///
+/// let mut g = Graph::new(2);
+/// let err = g
+///     .try_add_edge(NodeId::new(0), NodeId::new(0), Weight::UNIT)
+///     .unwrap_err();
+/// assert!(matches!(err, GraphError::SelfLoop { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a vertex outside `0..node_count`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge id referenced an edge outside `0..edge_count`.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The number of edges in the graph.
+        edge_count: usize,
+    },
+    /// Attempted to add an edge from a vertex to itself.
+    SelfLoop {
+        /// The vertex at both endpoints.
+        node: NodeId,
+    },
+    /// Attempted to add a second edge between the same pair of vertices.
+    DuplicateEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// The already-present edge.
+        existing: EdgeId,
+    },
+    /// Attempted to add an edge with weight zero.
+    ZeroWeight {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::EdgeOutOfRange { edge, edge_count } => {
+                write!(f, "edge {edge} out of range (graph has {edge_count} edges)")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at {node} is not allowed")
+            }
+            GraphError::DuplicateEdge { u, v, existing } => {
+                write!(f, "edge between {u} and {v} already exists as {existing}")
+            }
+            GraphError::ZeroWeight { u, v } => {
+                write!(f, "edge between {u} and {v} has zero weight; weights must be positive")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::SelfLoop { node: NodeId::new(4) };
+        assert_eq!(e.to_string(), "self-loop at v4 is not allowed");
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId::new(9),
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::DuplicateEdge {
+            u: NodeId::new(0),
+            v: NodeId::new(1),
+            existing: EdgeId::new(2),
+        };
+        assert!(e.to_string().contains("already exists"));
+        let e = GraphError::EdgeOutOfRange {
+            edge: EdgeId::new(3),
+            edge_count: 1,
+        };
+        assert!(e.to_string().contains("edge e3"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic graph families: complete graphs, bipartite graphs, paths,
+//! cycles, grids, hypercubes, generalized Petersen graphs.
+//!
+//! All generators produce unit weights; use
+//! [`with_uniform_weights`](super::with_uniform_weights) to randomize.
+
+use crate::{Graph, NodeId, Weight};
+
+/// The complete graph `K_n`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::generators::complete;
+///
+/// let g = complete(5);
+/// assert_eq!(g.edge_count(), 10);
+/// ```
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_edge_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` (sides `0..a` and `a..a+b`).
+///
+/// `K_{a,b}` is triangle-free (girth 4 when `a, b >= 2`), and balanced
+/// bicliques are the extremal graphs for girth > 3 — they witness the
+/// `b(n, 3) = ⌊n²/4⌋` case of the paper's size bound.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::with_edge_capacity(a + b, a * b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge_unchecked(NodeId::new(u), NodeId::new(a + v), Weight::UNIT);
+        }
+    }
+    g
+}
+
+/// The path graph `P_n` (`n` vertices, `n - 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::with_edge_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        g.add_edge_unchecked(NodeId::new(i - 1), NodeId::new(i), Weight::UNIT);
+    }
+    g
+}
+
+/// The cycle graph `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (shorter cycles are not simple graphs).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = Graph::with_edge_capacity(n, n);
+    for i in 0..n {
+        g.add_edge_unchecked(NodeId::new(i), NodeId::new((i + 1) % n), Weight::UNIT);
+    }
+    g
+}
+
+/// The star `K_{1,n}` with center `0`.
+pub fn star(leaves: usize) -> Graph {
+    let mut g = Graph::with_edge_capacity(leaves + 1, leaves);
+    for i in 1..=leaves {
+        g.add_edge_unchecked(NodeId::new(0), NodeId::new(i), Weight::UNIT);
+    }
+    g
+}
+
+/// The `rows × cols` grid (4-neighbor lattice).
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::generators::grid;
+///
+/// let g = grid(3, 4);
+/// assert_eq!(g.node_count(), 12);
+/// assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+/// ```
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge_unchecked(id(r, c), id(r, c + 1), Weight::UNIT);
+            }
+            if r + 1 < rows {
+                g.add_edge_unchecked(id(r, c), id(r + 1, c), Weight::UNIT);
+            }
+        }
+    }
+    g
+}
+
+/// The `dim`-dimensional hypercube `Q_dim` on `2^dim` vertices.
+///
+/// # Panics
+///
+/// Panics if `dim >= 30` (node count would overflow practical sizes).
+pub fn hypercube(dim: u32) -> Graph {
+    assert!(dim < 30, "hypercube dimension too large");
+    let n = 1usize << dim;
+    let mut g = Graph::with_edge_capacity(n, n * dim as usize / 2);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if u > v {
+                g.add_edge_unchecked(NodeId::new(v), NodeId::new(u), Weight::UNIT);
+            }
+        }
+    }
+    g
+}
+
+/// The generalized Petersen graph `GP(n, k)`: outer cycle `C_n`, inner
+/// star polygon with step `k`, and spokes. `GP(5, 2)` is the Petersen graph.
+///
+/// # Panics
+///
+/// Panics unless `n >= 3` and `1 <= k < n/2` (the classical validity range,
+/// which keeps the graph simple and 3-regular).
+pub fn generalized_petersen(n: usize, k: usize) -> Graph {
+    assert!(n >= 3, "generalized Petersen needs n >= 3");
+    assert!(k >= 1 && 2 * k < n, "generalized Petersen needs 1 <= k < n/2");
+    let mut g = Graph::with_edge_capacity(2 * n, 3 * n);
+    for i in 0..n {
+        // Outer cycle.
+        g.add_edge_unchecked(NodeId::new(i), NodeId::new((i + 1) % n), Weight::UNIT);
+        // Spoke.
+        g.add_edge_unchecked(NodeId::new(i), NodeId::new(n + i), Weight::UNIT);
+    }
+    // Inner star polygon: i -> i + k (mod n). Because 2k < n, the unordered
+    // pairs {i, i+k} are pairwise distinct, so each inner edge is produced
+    // exactly once by this loop.
+    for i in 0..n {
+        let j = (i + k) % n;
+        g.add_edge_unchecked(NodeId::new(n + i), NodeId::new(n + j), Weight::UNIT);
+    }
+    g
+}
+
+/// The Petersen graph (10 vertices, 15 edges, girth 5) — the (3,5)-cage.
+pub fn petersen() -> Graph {
+    generalized_petersen(5, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, girth, FaultMask};
+
+    #[test]
+    fn complete_counts() {
+        for n in 0..8 {
+            let g = complete(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n * n.saturating_sub(1) / 2);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_counts_and_girth() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(girth::girth(&g, &mask), Some(4));
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(6);
+        assert_eq!(p.edge_count(), 5);
+        let mask = FaultMask::for_graph(&p);
+        assert!(bfs::is_connected(&p, &mask));
+        assert_eq!(girth::girth(&p, &mask), None);
+        let c = cycle(6);
+        let mask = FaultMask::for_graph(&c);
+        assert_eq!(girth::girth(&c, &mask), Some(6));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(5);
+        assert_eq!(g.degree(NodeId::new(0)), 5);
+        for i in 1..=5 {
+            assert_eq!(g.degree(NodeId::new(i)), 1);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 17);
+        let mask = FaultMask::for_graph(&g);
+        assert!(bfs::is_connected(&g, &mask));
+        assert_eq!(girth::girth(&g, &mask), Some(4));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(girth::girth(&g, &mask), Some(4));
+    }
+
+    #[test]
+    fn petersen_is_three_regular_girth_five() {
+        let g = petersen();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3);
+        }
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(girth::girth(&g, &mask), Some(5));
+    }
+
+    #[test]
+    fn generalized_petersen_regularity() {
+        for (n, k) in [(7, 2), (8, 3), (9, 2), (11, 4), (12, 5)] {
+            let g = generalized_petersen(n, k);
+            assert_eq!(g.node_count(), 2 * n, "GP({n},{k}) nodes");
+            assert_eq!(g.edge_count(), 3 * n, "GP({n},{k}) edges");
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), 3, "GP({n},{k}) degree of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn desargues_girth() {
+        // GP(10, 3) is the Desargues graph, girth 6.
+        let g = generalized_petersen(10, 3);
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(girth::girth(&g, &mask), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k < n/2")]
+    fn generalized_petersen_rejects_bad_step() {
+        let _ = generalized_petersen(6, 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Random geometric graphs: points in the unit square joined when close.
+//!
+//! These model the "physical network" workloads (sensor fields, data-center
+//! layouts) that motivate spanners in practice: edge weights are scaled
+//! Euclidean distances, so shortcuts and detours behave like real wiring.
+
+use crate::{Graph, NodeId, Weight};
+use rand::Rng;
+
+/// Scale factor turning unit-square distances into integer weights.
+const WEIGHT_SCALE: f64 = 1000.0;
+
+/// A random geometric graph: `n` points uniform in the unit square, edge
+/// between points at Euclidean distance at most `radius`, weight equal to
+/// the distance scaled by 1000 (minimum 1).
+///
+/// # Panics
+///
+/// Panics unless `radius > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use spanner_graph::generators::random_geometric;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = random_geometric(50, 0.3, &mut rng);
+/// assert_eq!(g.node_count(), 50);
+/// assert!(g.edge_count() > 0);
+/// ```
+pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Graph {
+    assert!(radius > 0.0, "radius must be positive");
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    graph_of_points(&points, radius)
+}
+
+/// Builds the geometric graph over explicit points (useful for
+/// deterministic tests and for replaying recorded topologies).
+///
+/// # Panics
+///
+/// Panics unless `radius > 0`.
+pub fn graph_of_points(points: &[(f64, f64)], radius: f64) -> Graph {
+    assert!(radius > 0.0, "radius must be positive");
+    let n = points.len();
+    let mut g = Graph::new(n);
+    // Bucket grid of cell size radius: only neighboring cells can hold
+    // endpoints within range, making construction O(n + m) in expectation.
+    let cells = (1.0 / radius).ceil().max(1.0) as usize;
+    let cell_of = |p: (f64, f64)| {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];
+    for (i, p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(*p);
+        grid[cy * cells + cx].push(i);
+    }
+    let r2 = radius * radius;
+    for (i, p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(*p);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells + nx as usize] {
+                    if j <= i {
+                        continue;
+                    }
+                    let q = points[j];
+                    let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
+                    if d2 <= r2 {
+                        let w = ((d2.sqrt() * WEIGHT_SCALE) as u64).max(1);
+                        g.add_edge_unchecked(
+                            NodeId::new(i),
+                            NodeId::new(j),
+                            Weight::new(w).expect("clamped to >= 1"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn explicit_points_edges() {
+        // Unit square corners; radius covers sides but not the diagonal.
+        let pts = [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)];
+        let g = graph_of_points(&pts, 1.05);
+        assert_eq!(g.edge_count(), 4);
+        // Weights are ~1000 for the sides.
+        for (_, e) in g.edges() {
+            assert!((e.weight().get() as i64 - 1000).abs() <= 60);
+        }
+    }
+
+    #[test]
+    fn radius_covers_diagonal() {
+        let pts = [(0.0, 0.0), (1.0, 1.0)];
+        let g = graph_of_points(&pts, 1.5);
+        assert_eq!(g.edge_count(), 1);
+        let w = g.edges().next().unwrap().1.weight().get();
+        assert!((w as f64 - 2f64.sqrt() * 1000.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn coincident_points_get_min_weight_one() {
+        let pts = [(0.5, 0.5), (0.5, 0.5)];
+        let g = graph_of_points(&pts, 0.1);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges().next().unwrap().1.weight().get(), 1);
+    }
+
+    #[test]
+    fn bucketing_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let points: Vec<(f64, f64)> = (0..80)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let radius = 0.23;
+        let fast = graph_of_points(&points, radius);
+        // Brute force count.
+        let mut brute = 0;
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                let d2 = (points[i].0 - points[j].0).powi(2) + (points[i].1 - points[j].1).powi(2);
+                if d2 <= radius * radius {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(fast.edge_count(), brute);
+    }
+
+    #[test]
+    fn density_grows_with_radius() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let points: Vec<(f64, f64)> = (0..100)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let sparse = graph_of_points(&points, 0.1);
+        let dense = graph_of_points(&points, 0.4);
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g1 = random_geometric(60, 0.2, &mut StdRng::seed_from_u64(5));
+        let g2 = random_geometric(60, 0.2, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+    }
+}

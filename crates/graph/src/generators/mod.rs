@@ -1,0 +1,20 @@
+//! Graph generators: deterministic families, random models, geometric
+//! graphs, products, and weight decorators.
+//!
+//! Every random generator takes `&mut impl Rng`, so experiments can pin
+//! seeds; deterministic generators are plain functions of their parameters.
+
+mod classic;
+mod geometric;
+mod product;
+mod random;
+mod weights;
+
+pub use classic::{
+    complete, complete_bipartite, cycle, generalized_petersen, grid, hypercube, path, petersen,
+    star,
+};
+pub use geometric::{graph_of_points, random_geometric};
+pub use product::{cartesian_product, product_coordinates, product_node};
+pub use random::{erdos_renyi, gnm, preferential_attachment, random_regular, watts_strogatz};
+pub use weights::{with_constant_weight, with_uniform_weights};

@@ -1,0 +1,133 @@
+//! Cartesian graph products.
+//!
+//! The Bodwin–Patel lower-bound family is the Cartesian product of a
+//! high-girth graph with a biclique; this module supplies the product
+//! operation with an explicit, documented vertex numbering so the lower
+//! bound construction (and its blocking set) can address product vertices.
+
+use crate::{Graph, NodeId};
+
+/// Cartesian product `A □ B`.
+///
+/// Vertex `(a, b)` is numbered `a * B.node_count() + b` (see
+/// [`product_node`]). Edges:
+///
+/// * `((a, b), (a', b))` with the weight of `(a, a')`, for every edge of `A`;
+/// * `((a, b), (a, b'))` with the weight of `(b, b')`, for every edge of `B`.
+///
+/// So `|V| = |V_A|·|V_B|` and `|E| = |E_A|·|V_B| + |V_A|·|E_B|`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::generators::{cartesian_product, cycle, path};
+///
+/// // C4 □ P2 is the "cube with two squares" (Q3 when both are P2 x P2 x P2...)
+/// let g = cartesian_product(&cycle(4), &path(2));
+/// assert_eq!(g.node_count(), 8);
+/// assert_eq!(g.edge_count(), 4 * 2 + 4 * 1);
+/// ```
+pub fn cartesian_product(a: &Graph, b: &Graph) -> Graph {
+    let nb = b.node_count();
+    let mut g = Graph::with_edge_capacity(
+        a.node_count() * nb,
+        a.edge_count() * nb + a.node_count() * b.edge_count(),
+    );
+    // A-edges replicated per B-vertex.
+    for (_, ea) in a.edges() {
+        for bv in 0..nb {
+            g.add_edge_unchecked(
+                product_node(ea.u(), NodeId::new(bv), nb),
+                product_node(ea.v(), NodeId::new(bv), nb),
+                ea.weight(),
+            );
+        }
+    }
+    // B-edges replicated per A-vertex.
+    for av in a.nodes() {
+        for (_, eb) in b.edges() {
+            g.add_edge_unchecked(
+                product_node(av, eb.u(), nb),
+                product_node(av, eb.v(), nb),
+                eb.weight(),
+            );
+        }
+    }
+    g
+}
+
+/// The id of product vertex `(a, b)` in `A □ B` where `b_count` is
+/// `B.node_count()`.
+#[inline]
+pub fn product_node(a: NodeId, b: NodeId, b_count: usize) -> NodeId {
+    NodeId::new(a.index() * b_count + b.index())
+}
+
+/// Inverse of [`product_node`]: splits a product vertex back into its
+/// `(a, b)` coordinates.
+#[inline]
+pub fn product_coordinates(v: NodeId, b_count: usize) -> (NodeId, NodeId) {
+    (NodeId::new(v.index() / b_count), NodeId::new(v.index() % b_count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_bipartite, cycle, path};
+    use crate::{bfs, girth, FaultMask};
+
+    #[test]
+    fn counts_match_formula() {
+        let a = cycle(5);
+        let b = complete_bipartite(2, 2);
+        let g = cartesian_product(&a, &b);
+        assert_eq!(g.node_count(), 5 * 4);
+        assert_eq!(g.edge_count(), 5 * 4 + 5 * 4);
+    }
+
+    #[test]
+    fn p2_product_p2_is_c4() {
+        let p2 = path(2);
+        let g = cartesian_product(&p2, &p2);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(girth::girth(&g, &mask), Some(4));
+    }
+
+    #[test]
+    fn product_of_connected_is_connected() {
+        let g = cartesian_product(&cycle(4), &path(3));
+        let mask = FaultMask::for_graph(&g);
+        assert!(bfs::is_connected(&g, &mask));
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let nb = 7;
+        for a in 0..5 {
+            for b in 0..nb {
+                let v = product_node(NodeId::new(a), NodeId::new(b), nb);
+                assert_eq!(product_coordinates(v, nb), (NodeId::new(a), NodeId::new(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_add() {
+        let a = cycle(4); // 2-regular
+        let b = complete_bipartite(2, 2); // 2-regular
+        let g = cartesian_product(&a, &b);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn product_girth_is_min_of_factors_or_four() {
+        // C5 □ C5: girth min(5, 5, 4) = 4 (squares from mixed edges).
+        let g = cartesian_product(&cycle(5), &cycle(5));
+        let mask = FaultMask::for_graph(&g);
+        assert_eq!(girth::girth(&g, &mask), Some(4));
+    }
+}

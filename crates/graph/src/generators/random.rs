@@ -1,0 +1,460 @@
+//! Random graph models: Erdős–Rényi, fixed-edge-count, near-regular graphs
+//! via edge swaps, and preferential attachment.
+//!
+//! Every generator takes the RNG explicitly so experiments are reproducible
+//! from a seed.
+
+use crate::{Graph, NodeId, Weight};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Erdős–Rényi `G(n, p)`: each of the `n·(n−1)/2` pairs is an edge
+/// independently with probability `p`.
+///
+/// Uses geometric skip-sampling, so the cost is proportional to the output
+/// size rather than `n²` for sparse graphs.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use spanner_graph::generators::erdos_renyi;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let g = erdos_renyi(100, 0.05, &mut rng);
+/// assert_eq!(g.node_count(), 100);
+/// ```
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut g = Graph::new(n);
+    if p <= 0.0 || n < 2 {
+        return g;
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+            }
+        }
+        return g;
+    }
+    // Skip-sampling over the linearized upper triangle (Batagelj–Brandes).
+    let log_q = (1.0 - p).ln();
+    let total = n * (n - 1) / 2;
+    let mut idx: i64 = -1;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as i64 + 1;
+        idx += skip.max(1);
+        if idx as usize >= total {
+            break;
+        }
+        let (u, v) = unrank_pair(idx as usize, n);
+        g.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+    }
+    g
+}
+
+/// Maps a linear index into the upper triangle of an `n × n` matrix to the
+/// pair `(u, v)` with `u < v`, in row-major order.
+fn unrank_pair(mut idx: usize, n: usize) -> (usize, usize) {
+    // Row u contributes n-1-u pairs.
+    let mut u = 0usize;
+    loop {
+        let row = n - 1 - u;
+        if idx < row {
+            return (u, u + 1 + idx);
+        }
+        idx -= row;
+        u += 1;
+    }
+}
+
+/// `G(n, m)`: exactly `m` distinct edges sampled uniformly at random.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n·(n−1)/2`.
+pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    let total = n * n.saturating_sub(1) / 2;
+    assert!(m <= total, "too many edges requested: {m} > {total}");
+    let mut g = Graph::with_edge_capacity(n, m);
+    if m == 0 {
+        return g;
+    }
+    if m * 3 >= total {
+        // Dense: sample by shuffling all pair indices.
+        let mut all: Vec<usize> = (0..total).collect();
+        all.shuffle(rng);
+        for &idx in all.iter().take(m) {
+            let (u, v) = unrank_pair(idx, n);
+            g.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+        }
+        return g;
+    }
+    // Sparse: rejection-sample distinct pair indices.
+    let mut chosen = HashSet::with_capacity(m * 2);
+    while chosen.len() < m {
+        let idx = rng.gen_range(0..total);
+        if chosen.insert(idx) {
+            let (u, v) = unrank_pair(idx, n);
+            g.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+        }
+    }
+    g
+}
+
+/// A random `d`-regular(ish) graph: starts from a deterministic `d`-regular
+/// circulant and randomizes it with degree-preserving double-edge swaps.
+///
+/// The result is always simple and exactly `d`-regular when `n·d` is even
+/// and `d < n`; the swap walk (≈ `10·m` accepted swaps) mixes it towards a
+/// uniform-ish random regular graph, which is all the experiments need
+/// (they want "not a special graph", not exact uniformity).
+///
+/// # Panics
+///
+/// Panics if `d >= n` or `n·d` is odd.
+pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
+    assert!(d < n, "degree must be below n");
+    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    // Circulant base: connect i to i±1, i±2, ..., i±d/2 (and i + n/2 for odd d).
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
+    let mut present: HashSet<(usize, usize)> = HashSet::with_capacity(n * d);
+    let push = |edges: &mut Vec<(usize, usize)>, present: &mut HashSet<(usize, usize)>, a: usize, b: usize| {
+        let key = (a.min(b), a.max(b));
+        if present.insert(key) {
+            edges.push(key);
+        }
+    };
+    for i in 0..n {
+        for step in 1..=(d / 2) {
+            push(&mut edges, &mut present, i, (i + step) % n);
+        }
+    }
+    if d % 2 == 1 {
+        // n is even here (n*d even with d odd).
+        for i in 0..n / 2 {
+            push(&mut edges, &mut present, i, i + n / 2);
+        }
+    }
+    debug_assert_eq!(edges.len(), n * d / 2);
+    // Double-edge swaps: (a,b),(c,e) -> (a,c),(b,e) keeping simplicity.
+    let m = edges.len();
+    if m >= 2 {
+        let target_swaps = 10 * m;
+        let mut accepted = 0usize;
+        let mut attempts = 0usize;
+        while accepted < target_swaps && attempts < 100 * target_swaps {
+            attempts += 1;
+            let i = rng.gen_range(0..m);
+            let j = rng.gen_range(0..m);
+            if i == j {
+                continue;
+            }
+            let (a, b) = edges[i];
+            let (c, e) = edges[j];
+            // Orient the second edge randomly for symmetry of the walk.
+            let (c, e) = if rng.gen_bool(0.5) { (c, e) } else { (e, c) };
+            if a == c || a == e || b == c || b == e {
+                continue;
+            }
+            let new1 = (a.min(c), a.max(c));
+            let new2 = (b.min(e), b.max(e));
+            if present.contains(&new1) || present.contains(&new2) {
+                continue;
+            }
+            present.remove(&(a.min(b), a.max(b)));
+            present.remove(&(c.min(e), c.max(e)));
+            present.insert(new1);
+            present.insert(new2);
+            edges[i] = new1;
+            edges[j] = new2;
+            accepted += 1;
+        }
+    }
+    let mut g = Graph::with_edge_capacity(n, edges.len());
+    for (u, v) in edges {
+        g.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `m` distinct existing vertices chosen
+/// proportionally to degree.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn preferential_attachment(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more vertices than the attachment count");
+    let mut g = Graph::new(n);
+    // Seed clique on m+1 vertices.
+    let seed = m + 1;
+    let mut endpoint_pool: Vec<usize> = Vec::new();
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            g.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    for v in seed..n {
+        let mut targets: HashSet<usize> = HashSet::with_capacity(m);
+        // Degree-proportional sampling = uniform over the endpoint pool.
+        let mut guard = 0;
+        while targets.len() < m {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            targets.insert(t);
+            guard += 1;
+            if guard > 100 * m + 100 {
+                // Extremely unlikely; fall back to low-degree fill.
+                for u in 0..v {
+                    if targets.len() >= m {
+                        break;
+                    }
+                    targets.insert(u);
+                }
+            }
+        }
+        for t in targets {
+            g.add_edge_unchecked(NodeId::new(v), NodeId::new(t), Weight::UNIT);
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, FaultMask};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unrank_pair_is_bijective() {
+        let n = 7;
+        let mut seen = HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = unrank_pair(idx, n);
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, &mut rng);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "edge count {m} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_is_deterministic_for_seed() {
+        let g1 = erdos_renyi(50, 0.2, &mut StdRng::seed_from_u64(9));
+        let g2 = erdos_renyi(50, 0.2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g1.edges().map(|(_, e)| (e.u(), e.v())).collect();
+        let e2: Vec<_> = g2.edges().map(|(_, e)| (e.u(), e.v())).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn gnm_exact_count_sparse_and_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (n, m) in [(30, 10), (30, 300), (30, 435)] {
+            let g = gnm(n, m, &mut rng);
+            assert_eq!(g.edge_count(), m, "G({n},{m})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many edges")]
+    fn gnm_rejects_overfull() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = gnm(5, 11, &mut rng);
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (n, d) in [(10, 3), (20, 4), (15, 4), (30, 7)] {
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(g.edge_count(), n * d / 2, "({n},{d})");
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d, "({n},{d}) degree of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_usually_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_regular(40, 4, &mut rng);
+        let mask = FaultMask::for_graph(&g);
+        assert!(bfs::is_connected(&g, &mask));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_rejects_odd_product() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn preferential_attachment_structure() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100;
+        let m = 3;
+        let g = preferential_attachment(n, m, &mut rng);
+        assert_eq!(g.node_count(), n);
+        // Seed clique K4 (6 edges) + (n - 4) * 3 attachments.
+        assert_eq!(g.edge_count(), 6 + (n - 4) * 3);
+        let mask = FaultMask::for_graph(&g);
+        assert!(bfs::is_connected(&g, &mask));
+    }
+
+    #[test]
+    fn preferential_attachment_has_hubs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = preferential_attachment(300, 2, &mut rng);
+        // Scale-free-ish: max degree far above the minimum (2).
+        assert!(g.max_degree() > 10, "max degree {} too small", g.max_degree());
+    }
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex is
+/// joined to its `k/2` nearest neighbors on both sides, with every edge
+/// rewired to a random non-duplicate endpoint with probability `beta`.
+///
+/// Small-world networks are the classic "realistic" topology between the
+/// lattice (`beta = 0`) and `G(n,p)`-like randomness (`beta = 1`); the
+/// fault-injection experiments use them as a third workload family.
+///
+/// # Panics
+///
+/// Panics unless `k` is even, `k >= 2`, `k < n`, and `0 ≤ beta ≤ 1`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Graph {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and at least 2");
+    assert!(k < n, "k must be below n");
+    assert!((0.0..=1.0).contains(&beta), "beta out of range");
+    let mut present: HashSet<(usize, usize)> = HashSet::with_capacity(n * k);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * k / 2);
+    let key = |a: usize, b: usize| (a.min(b), a.max(b));
+    for i in 0..n {
+        for step in 1..=(k / 2) {
+            let j = (i + step) % n;
+            if present.insert(key(i, j)) {
+                edges.push(key(i, j));
+            }
+        }
+    }
+    for idx in 0..edges.len() {
+        if !rng.gen_bool(beta) {
+            continue;
+        }
+        let (u, old_v) = edges[idx];
+        // Rewire the far endpoint to a uniform random fresh target.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > 4 * n {
+                break; // saturated neighborhood; keep the original edge
+            }
+            let new_v = rng.gen_range(0..n);
+            if new_v == u || present.contains(&key(u, new_v)) {
+                continue;
+            }
+            present.remove(&key(u, old_v));
+            present.insert(key(u, new_v));
+            edges[idx] = key(u, new_v);
+            break;
+        }
+    }
+    let mut g = Graph::with_edge_capacity(n, edges.len());
+    for (u, v) in edges {
+        g.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+    }
+    g
+}
+
+#[cfg(test)]
+mod watts_strogatz_tests {
+    use super::*;
+    use crate::{bfs, FaultMask};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(12, 4, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 12 * 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for beta in [0.1, 0.5, 1.0] {
+            let g = watts_strogatz(30, 6, beta, &mut rng);
+            assert_eq!(g.edge_count(), 30 * 3, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn stays_connected_at_moderate_beta() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = watts_strogatz(60, 6, 0.2, &mut rng);
+        let mask = FaultMask::for_graph(&g);
+        assert!(bfs::is_connected(&g, &mask));
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lattice = watts_strogatz(100, 4, 0.0, &mut rng);
+        let rewired = watts_strogatz(100, 4, 0.3, &mut rng);
+        let lat_d = bfs::hop_diameter(&lattice, &FaultMask::for_graph(&lattice));
+        let rew_d = bfs::hop_diameter(&rewired, &FaultMask::for_graph(&rewired));
+        if let (Some(a), Some(b)) = (lat_d, rew_d) {
+            assert!(b < a, "small world should shrink diameter: {b} vs {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

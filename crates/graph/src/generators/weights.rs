@@ -1,0 +1,94 @@
+//! Weight decorators: re-weight an existing topology.
+
+use crate::{Graph, Weight};
+use rand::Rng;
+
+/// Copies `graph` with every edge weight drawn uniformly from
+/// `[lo, hi]` (inclusive).
+///
+/// The topology (node ids, edge ids, adjacency order) is preserved exactly,
+/// so structural results on the unweighted graph carry over.
+///
+/// # Panics
+///
+/// Panics unless `1 <= lo <= hi`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use spanner_graph::generators::{complete, with_uniform_weights};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let g = with_uniform_weights(&complete(6), 1, 100, &mut rng);
+/// assert!(g.edges().all(|(_, e)| (1..=100).contains(&e.weight().get())));
+/// ```
+pub fn with_uniform_weights(graph: &Graph, lo: u64, hi: u64, rng: &mut impl Rng) -> Graph {
+    assert!(lo >= 1, "weights must be positive");
+    assert!(lo <= hi, "weight range is empty");
+    let mut g = Graph::with_edge_capacity(graph.node_count(), graph.edge_count());
+    for (_, e) in graph.edges() {
+        let w = rng.gen_range(lo..=hi);
+        g.add_edge_unchecked(e.u(), e.v(), Weight::new(w).expect("lo >= 1"));
+    }
+    g
+}
+
+/// Copies `graph` with every edge weight set to `weight`.
+pub fn with_constant_weight(graph: &Graph, weight: Weight) -> Graph {
+    let mut g = Graph::with_edge_capacity(graph.node_count(), graph.edge_count());
+    for (_, e) in graph.edges() {
+        g.add_edge_unchecked(e.u(), e.v(), weight);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::cycle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_topology() {
+        let base = cycle(8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = with_uniform_weights(&base, 5, 9, &mut rng);
+        assert_eq!(g.node_count(), base.node_count());
+        assert_eq!(g.edge_count(), base.edge_count());
+        for (id, e) in base.edges() {
+            let (u, v) = g.endpoints(id);
+            assert_eq!((u, v), (e.u(), e.v()));
+        }
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let base = cycle(100);
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = with_uniform_weights(&base, 5, 9, &mut rng);
+        for (_, e) in g.edges() {
+            assert!((5..=9).contains(&e.weight().get()));
+        }
+        // With 100 draws from a 5-value range, we expect to see variety.
+        let distinct: std::collections::HashSet<u64> =
+            g.edges().map(|(_, e)| e.weight().get()).collect();
+        assert!(distinct.len() >= 3);
+    }
+
+    #[test]
+    fn constant_weight_copy() {
+        let base = cycle(5);
+        let g = with_constant_weight(&base, Weight::new(7).unwrap());
+        assert!(g.edges().all(|(_, e)| e.weight().get() == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_lo() {
+        let base = cycle(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = with_uniform_weights(&base, 0, 5, &mut rng);
+    }
+}

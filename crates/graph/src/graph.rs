@@ -1,0 +1,558 @@
+//! The core undirected weighted graph type.
+
+use crate::{Dist, EdgeId, GraphError, NodeId, Weight};
+use std::fmt;
+
+/// An undirected weighted edge.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{Graph, NodeId, Weight};
+///
+/// let mut g = Graph::new(2);
+/// let e = g.add_edge(NodeId::new(0), NodeId::new(1), Weight::new(5).unwrap());
+/// let edge = g.edge(e);
+/// assert_eq!(edge.weight().get(), 5);
+/// assert_eq!(edge.other(NodeId::new(0)), Some(NodeId::new(1)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    u: NodeId,
+    v: NodeId,
+    weight: Weight,
+}
+
+impl Edge {
+    /// One endpoint (the smaller id as inserted).
+    #[inline]
+    pub fn u(&self) -> NodeId {
+        self.u
+    }
+
+    /// The other endpoint.
+    #[inline]
+    pub fn v(&self) -> NodeId {
+        self.v
+    }
+
+    /// The edge weight.
+    #[inline]
+    pub fn weight(&self) -> Weight {
+        self.weight
+    }
+
+    /// Both endpoints as a pair.
+    #[inline]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.u, self.v)
+    }
+
+    /// Given one endpoint, returns the other; `None` if `node` is not an
+    /// endpoint of this edge.
+    #[inline]
+    pub fn other(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.u {
+            Some(self.v)
+        } else if node == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `node` is an endpoint of this edge.
+    #[inline]
+    pub fn is_endpoint(&self, node: NodeId) -> bool {
+        node == self.u || node == self.v
+    }
+}
+
+/// An undirected, weighted, simple graph (no self-loops, no parallel edges).
+///
+/// Vertices are the dense range `0..node_count()`; edges get dense ids in
+/// insertion order. The graph is growable, which spanner constructions rely
+/// on (the greedy algorithm builds its output one edge at a time and runs
+/// shortest-path queries against the partial graph).
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{Graph, NodeId, Weight};
+///
+/// let mut g = Graph::new(3);
+/// let a = NodeId::new(0);
+/// let b = NodeId::new(1);
+/// let c = NodeId::new(2);
+/// g.add_edge(a, b, Weight::new(1).unwrap());
+/// g.add_edge(b, c, Weight::new(2).unwrap());
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(b), 2);
+/// assert!(g.contains_edge(a, b).is_some());
+/// assert!(g.contains_edge(a, c).is_none());
+/// ```
+#[derive(Clone, Default)]
+pub struct Graph {
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Creates a graph with `node_count` isolated vertices.
+    pub fn new(node_count: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); node_count],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a graph with reserved capacity for `edge_capacity` edges.
+    pub fn with_edge_capacity(node_count: usize, edge_capacity: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); node_count],
+            edges: Vec::with_capacity(edge_capacity),
+        }
+    }
+
+    /// Builds a weighted graph from `(u, v, w)` triples over raw indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range, any edge is a
+    /// self-loop, any weight is zero, or a pair repeats.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spanner_graph::Graph;
+    ///
+    /// let g = Graph::from_weighted_edges(3, [(0, 1, 2), (1, 2, 4)])?;
+    /// assert_eq!(g.edge_count(), 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_weighted_edges<I>(node_count: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize, u64)>,
+    {
+        let mut g = Graph::new(node_count);
+        for (u, v, w) in edges {
+            let w = Weight::new(w).ok_or(GraphError::ZeroWeight {
+                u: NodeId::new(u),
+                v: NodeId::new(v),
+            })?;
+            g.try_add_edge(NodeId::new(u), NodeId::new(v), w)?;
+        }
+        Ok(g)
+    }
+
+    /// Builds an unweighted (unit-weight) graph from `(u, v)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::from_weighted_edges`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spanner_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+    /// assert_eq!(g.edge_count(), 4);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_edges<I>(node_count: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut g = Graph::new(node_count);
+        for (u, v) in edges {
+            g.try_add_edge(NodeId::new(u), NodeId::new(v), Weight::UNIT)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    #[inline]
+    pub fn is_edgeless(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.adjacency.len() as u32).map(NodeId::from)
+    }
+
+    /// Iterates over all edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + Clone {
+        (0..self.edges.len() as u32).map(EdgeId::from)
+    }
+
+    /// Iterates over `(EdgeId, Edge)` pairs in insertion order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, Edge)> + Clone + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i), *e))
+    }
+
+    /// Returns the edge record for `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[inline]
+    pub fn edge(&self, edge: EdgeId) -> Edge {
+        self.edges[edge.index()]
+    }
+
+    /// Returns the endpoints of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[inline]
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        self.edges[edge.index()].endpoints()
+    }
+
+    /// Returns the weight of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[inline]
+    pub fn weight(&self, edge: EdgeId) -> Weight {
+        self.edges[edge.index()].weight()
+    }
+
+    /// Iterates over `(neighbor, edge)` pairs incident to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + Clone + '_ {
+        self.adjacency[node.index()].iter().copied()
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> Dist {
+        self.edges.iter().map(|e| e.weight().to_dist()).sum()
+    }
+
+    /// Looks up the edge between `u` and `v`, scanning the smaller adjacency
+    /// list. O(min degree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacency[a.index()]
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, e)| *e)
+    }
+
+    /// Appends a fresh isolated vertex and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        NodeId::new(self.adjacency.len() - 1)
+    }
+
+    /// Adds an undirected edge, validating endpoints, loop-freeness and
+    /// uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`], or
+    /// [`GraphError::DuplicateEdge`].
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Result<EdgeId, GraphError> {
+        let n = self.node_count();
+        if u.index() >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
+        }
+        if v.index() >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, node_count: n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if let Some(existing) = self.contains_edge(u, v) {
+            return Err(GraphError::DuplicateEdge { u, v, existing });
+        }
+        Ok(self.push_edge(u, v, weight))
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions [`Graph::try_add_edge`] reports as errors.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
+        match self.try_add_edge(u, v, weight) {
+            Ok(id) => id,
+            Err(e) => panic!("add_edge: {e}"),
+        }
+    }
+
+    /// Adds an undirected edge without the duplicate-edge scan.
+    ///
+    /// Generators that already guarantee simple output use this to avoid the
+    /// O(degree) duplicate check on dense graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`. Duplicates are
+    /// *not* detected; callers must guarantee simplicity.
+    pub fn add_edge_unchecked(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
+        let n = self.node_count();
+        assert!(u.index() < n && v.index() < n, "edge endpoint out of range");
+        assert!(u != v, "self-loop at {u}");
+        self.push_edge(u, v, weight)
+    }
+
+    fn push_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge { u, v, weight });
+        self.adjacency[u.index()].push((v, id));
+        self.adjacency[v.index()].push((u, id));
+        id
+    }
+
+    /// Returns edge ids sorted by `(weight, id)` — the scan order of greedy
+    /// spanner algorithms ("in order of increasing weight", ties broken by
+    /// insertion order for determinism).
+    pub fn edges_by_weight(&self) -> Vec<EdgeId> {
+        let mut ids: Vec<EdgeId> = self.edge_ids().collect();
+        ids.sort_by_key(|e| (self.weight(*e), *e));
+        ids
+    }
+
+    /// Returns `true` if all edges have unit weight.
+    pub fn is_unweighted(&self) -> bool {
+        self.edges.iter().all(|e| e.weight() == Weight::UNIT)
+    }
+
+    /// The number of edges a simple graph on this many nodes can have.
+    pub fn max_possible_edges(&self) -> usize {
+        let n = self.node_count();
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// Edge density `m / (n choose 2)` (0 when `n < 2`).
+    pub fn density(&self) -> f64 {
+        let cap = self.max_possible_edges();
+        if cap == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / cap as f64
+        }
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph with {} nodes, {} edges:", self.node_count(), self.edge_count())?;
+        for (id, e) in self.edges() {
+            writeln!(f, "  {id}: {} -- {} (w={})", e.u(), e.v(), e.weight())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn new_graph_is_edgeless() {
+        let g = Graph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_edgeless());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle();
+        for (id, e) in g.edges() {
+            assert!(g.neighbors(e.u()).any(|(n, eid)| n == e.v() && eid == id));
+            assert!(g.neighbors(e.v()).any(|(n, eid)| n == e.u() && eid == id));
+        }
+    }
+
+    #[test]
+    fn degrees_count_incident_edges() {
+        let g = triangle();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn contains_edge_finds_both_orientations() {
+        let g = triangle();
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        assert_eq!(g.contains_edge(a, b), g.contains_edge(b, a));
+        assert!(g.contains_edge(a, b).is_some());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        let err = g.try_add_edge(NodeId::new(1), NodeId::new(1), Weight::UNIT);
+        assert_eq!(err, Err(GraphError::SelfLoop { node: NodeId::new(1) }));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut g = Graph::new(2);
+        let first = g.add_edge(NodeId::new(0), NodeId::new(1), Weight::UNIT);
+        let err = g.try_add_edge(NodeId::new(1), NodeId::new(0), Weight::UNIT);
+        assert_eq!(
+            err,
+            Err(GraphError::DuplicateEdge {
+                u: NodeId::new(1),
+                v: NodeId::new(0),
+                existing: first,
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let mut g = Graph::new(2);
+        let err = g.try_add_edge(NodeId::new(0), NodeId::new(5), Weight::UNIT);
+        assert!(matches!(err, Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn from_weighted_edges_builds() {
+        let g = Graph::from_weighted_edges(3, [(0, 1, 3), (1, 2, 9)]).unwrap();
+        assert_eq!(g.weight(EdgeId::new(1)).get(), 9);
+        assert_eq!(g.total_weight(), Dist::finite(12));
+    }
+
+    #[test]
+    fn from_weighted_edges_rejects_zero_weight() {
+        assert!(Graph::from_weighted_edges(3, [(0, 1, 0)]).is_err());
+    }
+
+    #[test]
+    fn edges_by_weight_sorts_with_stable_ties() {
+        let g = Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 1), (2, 3, 5), (3, 0, 2)]).unwrap();
+        let order = g.edges_by_weight();
+        let weights: Vec<u64> = order.iter().map(|e| g.weight(*e).get()).collect();
+        assert_eq!(weights, vec![1, 2, 5, 5]);
+        // Equal weights keep insertion order.
+        assert_eq!(order[2], EdgeId::new(0));
+        assert_eq!(order[3], EdgeId::new(2));
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = triangle();
+        let v = g.add_node();
+        assert_eq!(v, NodeId::new(3));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.degree(v), 0);
+    }
+
+    #[test]
+    fn density_of_triangle_is_one() {
+        let g = triangle();
+        assert_eq!(g.density(), 1.0);
+        assert_eq!(g.max_possible_edges(), 3);
+    }
+
+    #[test]
+    fn unweighted_detection() {
+        assert!(triangle().is_unweighted());
+        let g = Graph::from_weighted_edges(2, [(0, 1, 7)]).unwrap();
+        assert!(!g.is_unweighted());
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(EdgeId::new(0));
+        assert_eq!(e.other(e.u()), Some(e.v()));
+        assert_eq!(e.other(e.v()), Some(e.u()));
+        assert_eq!(e.other(NodeId::new(2)), None);
+        assert!(e.is_endpoint(e.u()));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn add_edge_panics_on_loop() {
+        let mut g = Graph::new(1);
+        // Grow so index is valid, then loop.
+        g.add_node();
+        g.add_edge(NodeId::new(1), NodeId::new(1), Weight::UNIT);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let g = triangle();
+        let s = g.to_string();
+        assert!(s.contains("3 nodes"));
+        assert!(s.contains("e0"));
+    }
+
+    #[test]
+    fn unchecked_add_skips_duplicate_scan() {
+        let mut g = Graph::new(3);
+        g.add_edge_unchecked(NodeId::new(0), NodeId::new(1), Weight::UNIT);
+        // Intentionally no duplicate check: caller contract.
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Strongly typed node and edge identifiers.
+//!
+//! Graphs in this crate index their vertices and edges with dense `u32`
+//! identifiers. Wrapping them in newtypes ([`NodeId`], [`EdgeId`]) prevents a
+//! whole class of "passed a vertex where an edge index was expected" bugs
+//! that are easy to hit in algorithms (like fault-set search) that juggle
+//! both kinds of index at once.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense: a graph with `n` vertices uses ids `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an edge in a [`Graph`](crate::Graph).
+///
+/// Edge ids are dense: a graph with `m` edges uses ids `0..m`, in insertion
+/// order. Algorithms that scan edges "in order of increasing weight" sort ids
+/// rather than mutating the graph.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::EdgeId;
+///
+/// let e = EdgeId::new(7);
+/// assert_eq!(e.index(), 7);
+/// assert_eq!(format!("{e}"), "e7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "edge index overflows u32");
+        EdgeId(index as u32)
+    }
+
+    /// Returns the raw index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(value: u32) -> Self {
+        EdgeId(value)
+    }
+}
+
+impl From<EdgeId> for u32 {
+    fn from(value: EdgeId) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EdgeId({})", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(NodeId::from(42u32), v);
+        assert_eq!(u32::from(v), 42);
+    }
+
+    #[test]
+    fn edge_id_round_trip() {
+        let e = EdgeId::new(17);
+        assert_eq!(e.index(), 17);
+        assert_eq!(e.raw(), 17);
+        assert_eq!(EdgeId::from(17u32), e);
+        assert_eq!(u32::from(e), 17);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(10));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(5)), "NodeId(5)");
+        assert_eq!(format!("{:?}", EdgeId::new(5)), "EdgeId(5)");
+        assert_eq!(NodeId::default().index(), 0);
+        assert_eq!(EdgeId::default().index(), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format (one record per line, `#` comments allowed):
+//!
+//! ```text
+//! # nodes <n>
+//! nodes 7
+//! 0 1 5      # u v weight
+//! 1 2        # weight omitted = 1
+//! ```
+//!
+//! The format is deliberately trivial: it is how experiment artifacts are
+//! dumped for external plotting and how test fixtures are checked in.
+
+use crate::{Graph, GraphError, NodeId, Weight};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from parsing the edge-list format.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseGraphError {
+    /// A line could not be tokenized into `u v [w]`.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The edge list violated graph invariants (range/loops/duplicates).
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseGraphError::Graph(e) => write!(f, "invalid edge list: {e}"),
+        }
+    }
+}
+
+impl Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseGraphError::Graph(e) => Some(e),
+            ParseGraphError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for ParseGraphError {
+    fn from(e: GraphError) -> Self {
+        ParseGraphError::Graph(e)
+    }
+}
+
+/// Serializes `graph` in the edge-list format (weights omitted when 1).
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{io, Graph};
+///
+/// let g = Graph::from_weighted_edges(3, [(0, 1, 1), (1, 2, 5)])?;
+/// let text = io::to_edge_list(&g);
+/// let back = io::from_edge_list(&text)?;
+/// assert_eq!(back.edge_count(), 2);
+/// assert_eq!(back.weight(spanner_graph::EdgeId::new(1)).get(), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("nodes {}\n", graph.node_count()));
+    for (_, e) in graph.edges() {
+        if e.weight() == Weight::UNIT {
+            out.push_str(&format!("{} {}\n", e.u().index(), e.v().index()));
+        } else {
+            out.push_str(&format!(
+                "{} {} {}\n",
+                e.u().index(),
+                e.v().index(),
+                e.weight().get()
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the edge-list format back into a graph.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines, missing/duplicate
+/// `nodes` headers, or structural violations (self-loops, duplicates,
+/// out-of-range endpoints, zero weights).
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
+    let mut graph: Option<Graph> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let first = tokens.next().expect("non-empty line has a token");
+        if first == "nodes" {
+            if graph.is_some() {
+                return Err(ParseGraphError::Syntax {
+                    line: line_no,
+                    message: "duplicate nodes header".to_string(),
+                });
+            }
+            let n = parse_token::<usize>(tokens.next(), "node count", line_no)?;
+            graph = Some(Graph::new(n));
+            continue;
+        }
+        let g = graph.as_mut().ok_or(ParseGraphError::Syntax {
+            line: line_no,
+            message: "edge before nodes header".to_string(),
+        })?;
+        let u = first.parse::<usize>().map_err(|_| ParseGraphError::Syntax {
+            line: line_no,
+            message: format!("bad vertex id {first:?}"),
+        })?;
+        let v = parse_token::<usize>(tokens.next(), "second endpoint", line_no)?;
+        let w = match tokens.next() {
+            None => 1u64,
+            Some(tok) => tok.parse::<u64>().map_err(|_| ParseGraphError::Syntax {
+                line: line_no,
+                message: format!("bad weight {tok:?}"),
+            })?,
+        };
+        if tokens.next().is_some() {
+            return Err(ParseGraphError::Syntax {
+                line: line_no,
+                message: "trailing tokens".to_string(),
+            });
+        }
+        let weight = Weight::new(w).ok_or(ParseGraphError::Syntax {
+            line: line_no,
+            message: "zero weight".to_string(),
+        })?;
+        g.try_add_edge(NodeId::new(u), NodeId::new(v), weight)?;
+    }
+    graph.ok_or(ParseGraphError::Syntax {
+        line: 0,
+        message: "missing nodes header".to_string(),
+    })
+}
+
+fn parse_token<T: FromStr>(
+    token: Option<&str>,
+    what: &str,
+    line: usize,
+) -> Result<T, ParseGraphError> {
+    let tok = token.ok_or_else(|| ParseGraphError::Syntax {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse::<T>().map_err(|_| ParseGraphError::Syntax {
+        line,
+        message: format!("bad {what} {tok:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_weighted() {
+        let g = Graph::from_weighted_edges(5, [(0, 1, 3), (1, 2, 1), (3, 4, 9)]).unwrap();
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back.node_count(), 5);
+        assert_eq!(back.edge_count(), 3);
+        for (id, e) in g.edges() {
+            let (u, v) = back.endpoints(id);
+            assert_eq!((u, v), (e.u(), e.v()));
+            assert_eq!(back.weight(id), e.weight());
+        }
+    }
+
+    #[test]
+    fn round_trip_generated() {
+        let g = generators::petersen();
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back.edge_count(), 15);
+        assert_eq!(back.node_count(), 10);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# a comment\nnodes 3\n0 1 # inline comment\n\n1 2 4\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.weight(crate::EdgeId::new(1)).get(), 4);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = from_edge_list("0 1\n").unwrap_err();
+        assert!(err.to_string().contains("before nodes header"));
+        let err = from_edge_list("# nothing\n").unwrap_err();
+        assert!(err.to_string().contains("missing nodes header"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(from_edge_list("nodes x\n").is_err());
+        assert!(from_edge_list("nodes 3\n0\n").is_err());
+        assert!(from_edge_list("nodes 3\n0 1 2 3\n").is_err());
+        assert!(from_edge_list("nodes 3\n0 one\n").is_err());
+        assert!(from_edge_list("nodes 3\n0 1 0\n").is_err(), "zero weight");
+        assert!(from_edge_list("nodes 3\nnodes 3\n").is_err(), "dup header");
+    }
+
+    #[test]
+    fn structural_violations_rejected() {
+        let err = from_edge_list("nodes 2\n0 0\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::Graph(_)));
+        assert!(err.source().is_some());
+        assert!(from_edge_list("nodes 2\n0 5\n").is_err());
+        assert!(from_edge_list("nodes 2\n0 1\n1 0\n").is_err());
+    }
+}

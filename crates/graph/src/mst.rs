@@ -1,0 +1,131 @@
+//! Minimum spanning forests (Kruskal).
+//!
+//! Spanner *lightness* — total spanner weight divided by MST weight — is
+//! the standard weight-sensitive quality measure alongside edge count; the
+//! metrics module of `spanner-core` and experiment E12 report it. The MST
+//! also lower-bounds any connected spanner's weight, which makes the ratio
+//! meaningful.
+
+use crate::{Dist, EdgeId, FaultMask, Graph, UnionFind};
+
+/// A minimum spanning forest: the selected edges and their total weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// Chosen edge ids (a forest; one tree per connected component).
+    pub edges: Vec<EdgeId>,
+    /// Sum of chosen edge weights.
+    pub total_weight: Dist,
+}
+
+impl SpanningForest {
+    /// Number of edges in the forest.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the forest has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Kruskal's algorithm on `graph ∖ mask`; ties broken by edge id, so the
+/// result is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{mst, Dist, FaultMask, Graph};
+///
+/// let g = Graph::from_weighted_edges(3, [(0, 1, 1), (1, 2, 2), (2, 0, 10)])?;
+/// let forest = mst::minimum_spanning_forest(&g, &FaultMask::for_graph(&g));
+/// assert_eq!(forest.len(), 2);
+/// assert_eq!(forest.total_weight, Dist::finite(3));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn minimum_spanning_forest(graph: &Graph, mask: &FaultMask) -> SpanningForest {
+    let mut order: Vec<EdgeId> = graph
+        .edge_ids()
+        .filter(|e| {
+            let (u, v) = graph.endpoints(*e);
+            !mask.is_edge_faulted(*e) && !mask.is_vertex_faulted(u) && !mask.is_vertex_faulted(v)
+        })
+        .collect();
+    order.sort_by_key(|e| (graph.weight(*e), *e));
+    let mut uf = UnionFind::new(graph.node_count());
+    let mut edges = Vec::new();
+    let mut total_weight = Dist::ZERO;
+    for e in order {
+        let (u, v) = graph.endpoints(e);
+        if uf.union(u.index(), v.index()) {
+            edges.push(e);
+            total_weight = total_weight + graph.weight(e);
+        }
+    }
+    SpanningForest {
+        edges,
+        total_weight,
+    }
+}
+
+/// Total MST weight of `graph` (no faults), as a convenience.
+pub fn mst_weight(graph: &Graph) -> Dist {
+    minimum_spanning_forest(graph, &FaultMask::for_graph(graph)).total_weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::NodeId;
+
+    #[test]
+    fn tree_input_is_its_own_mst() {
+        let g = Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 7), (1, 3, 2)]).unwrap();
+        let f = minimum_spanning_forest(&g, &FaultMask::for_graph(&g));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.total_weight, Dist::finite(14));
+    }
+
+    #[test]
+    fn cycle_drops_heaviest_edge() {
+        let g = Graph::from_weighted_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 9)]).unwrap();
+        let f = minimum_spanning_forest(&g, &FaultMask::for_graph(&g));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.total_weight, Dist::finite(6));
+        assert!(!f.edges.contains(&EdgeId::new(3)));
+    }
+
+    #[test]
+    fn forest_per_component() {
+        let g = Graph::from_weighted_edges(5, [(0, 1, 1), (1, 2, 1), (3, 4, 1)]).unwrap();
+        let f = minimum_spanning_forest(&g, &FaultMask::for_graph(&g));
+        assert_eq!(f.len(), 3); // 2 + 1 across the two components
+    }
+
+    #[test]
+    fn mask_changes_the_forest() {
+        let g = Graph::from_weighted_edges(3, [(0, 1, 1), (1, 2, 2), (2, 0, 3)]).unwrap();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_edge(EdgeId::new(0));
+        let f = minimum_spanning_forest(&g, &mask);
+        assert_eq!(f.total_weight, Dist::finite(5));
+        mask.fault_vertex(NodeId::new(1));
+        let f = minimum_spanning_forest(&g, &mask);
+        assert_eq!(f.edges, vec![EdgeId::new(2)]);
+    }
+
+    #[test]
+    fn mst_weight_of_unit_connected_graph_is_n_minus_1() {
+        let g = generators::complete(8);
+        assert_eq!(mst_weight(&g), Dist::finite(7));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let g = generators::complete(6); // all unit weights
+        let a = minimum_spanning_forest(&g, &FaultMask::for_graph(&g));
+        let b = minimum_spanning_forest(&g, &FaultMask::for_graph(&g));
+        assert_eq!(a, b);
+    }
+}

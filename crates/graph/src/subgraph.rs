@@ -1,0 +1,239 @@
+//! Subgraph extraction with id mappings back to the parent graph.
+//!
+//! The Lemma 4 argument ("peel a random induced subgraph, delete blocked
+//! edges, observe high girth") constantly moves between a graph and pieces
+//! of it. These helpers keep the bookkeeping honest by returning explicit
+//! id translations alongside the extracted graph.
+
+use crate::{EdgeId, Graph, NodeId};
+
+/// An induced subgraph together with node/edge id translations.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The extracted graph, with dense ids `0..kept_nodes`.
+    pub graph: Graph,
+    /// `to_parent_node[new.index()]` is the parent-node id.
+    pub to_parent_node: Vec<NodeId>,
+    /// `from_parent_node[old.index()]` is the new node id, if kept.
+    pub from_parent_node: Vec<Option<NodeId>>,
+    /// `to_parent_edge[new_edge.index()]` is the parent-edge id.
+    pub to_parent_edge: Vec<EdgeId>,
+}
+
+impl InducedSubgraph {
+    /// Maps a subgraph node back to the parent graph.
+    pub fn parent_node(&self, node: NodeId) -> NodeId {
+        self.to_parent_node[node.index()]
+    }
+
+    /// Maps a subgraph edge back to the parent graph.
+    pub fn parent_edge(&self, edge: EdgeId) -> EdgeId {
+        self.to_parent_edge[edge.index()]
+    }
+
+    /// Maps a parent node into the subgraph, if it was kept.
+    pub fn child_node(&self, parent: NodeId) -> Option<NodeId> {
+        self.from_parent_node.get(parent.index()).copied().flatten()
+    }
+}
+
+/// Extracts the subgraph induced by `nodes` (duplicates ignored).
+///
+/// Edges of the parent with both endpoints kept are preserved with their
+/// weights.
+///
+/// # Panics
+///
+/// Panics if any node id is out of range for `parent`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{subgraph, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// let ind = subgraph::induced(&g, [NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+/// assert_eq!(ind.graph.node_count(), 3);
+/// assert_eq!(ind.graph.edge_count(), 2); // 0-1 and 1-2 survive
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn induced<I>(parent: &Graph, nodes: I) -> InducedSubgraph
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut from_parent_node: Vec<Option<NodeId>> = vec![None; parent.node_count()];
+    let mut to_parent_node: Vec<NodeId> = Vec::new();
+    for node in nodes {
+        assert!(node.index() < parent.node_count(), "node out of range");
+        if from_parent_node[node.index()].is_none() {
+            from_parent_node[node.index()] = Some(NodeId::new(to_parent_node.len()));
+            to_parent_node.push(node);
+        }
+    }
+    let mut graph = Graph::new(to_parent_node.len());
+    let mut to_parent_edge = Vec::new();
+    for (eid, edge) in parent.edges() {
+        if let (Some(nu), Some(nv)) = (
+            from_parent_node[edge.u().index()],
+            from_parent_node[edge.v().index()],
+        ) {
+            graph.add_edge_unchecked(nu, nv, edge.weight());
+            to_parent_edge.push(eid);
+        }
+    }
+    InducedSubgraph {
+        graph,
+        to_parent_node,
+        from_parent_node,
+        to_parent_edge,
+    }
+}
+
+/// A same-node-set subgraph keeping only a subset of edges.
+#[derive(Clone, Debug)]
+pub struct EdgeSubgraph {
+    /// The extracted graph (same node ids as the parent).
+    pub graph: Graph,
+    /// `to_parent_edge[new_edge.index()]` is the parent-edge id.
+    pub to_parent_edge: Vec<EdgeId>,
+}
+
+impl EdgeSubgraph {
+    /// Maps a subgraph edge back to the parent graph.
+    pub fn parent_edge(&self, edge: EdgeId) -> EdgeId {
+        self.to_parent_edge[edge.index()]
+    }
+}
+
+/// Keeps only the listed edges (node set unchanged). Duplicate ids are
+/// ignored; order is normalized to increasing parent edge id so the result
+/// is deterministic regardless of input order.
+///
+/// # Panics
+///
+/// Panics if any edge id is out of range for `parent`.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{subgraph, EdgeId, Graph};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)])?;
+/// let sub = subgraph::edge_subgraph(&g, [EdgeId::new(2), EdgeId::new(0)]);
+/// assert_eq!(sub.graph.edge_count(), 2);
+/// assert_eq!(sub.parent_edge(EdgeId::new(0)), EdgeId::new(0));
+/// assert_eq!(sub.parent_edge(EdgeId::new(1)), EdgeId::new(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn edge_subgraph<I>(parent: &Graph, edges: I) -> EdgeSubgraph
+where
+    I: IntoIterator<Item = EdgeId>,
+{
+    let mut keep: Vec<EdgeId> = edges.into_iter().collect();
+    keep.sort();
+    keep.dedup();
+    let mut graph = Graph::with_edge_capacity(parent.node_count(), keep.len());
+    let mut to_parent_edge = Vec::with_capacity(keep.len());
+    for eid in keep {
+        assert!(eid.index() < parent.edge_count(), "edge out of range");
+        let e = parent.edge(eid);
+        graph.add_edge_unchecked(e.u(), e.v(), e.weight());
+        to_parent_edge.push(eid);
+    }
+    EdgeSubgraph { graph, to_parent_edge }
+}
+
+/// Removes the listed edges, keeping everything else (complement of
+/// [`edge_subgraph`]).
+pub fn without_edges<I>(parent: &Graph, edges: I) -> EdgeSubgraph
+where
+    I: IntoIterator<Item = EdgeId>,
+{
+    let mut drop = vec![false; parent.edge_count()];
+    for e in edges {
+        assert!(e.index() < parent.edge_count(), "edge out of range");
+        drop[e.index()] = true;
+    }
+    edge_subgraph(
+        parent,
+        parent.edge_ids().filter(|e| !drop[e.index()]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Weight;
+
+    fn square_with_diagonal() -> Graph {
+        Graph::from_weighted_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)]).unwrap()
+    }
+
+    #[test]
+    fn induced_preserves_weights() {
+        let g = square_with_diagonal();
+        let ind = induced(&g, [NodeId::new(0), NodeId::new(2), NodeId::new(1)]);
+        assert_eq!(ind.graph.node_count(), 3);
+        // Edges among {0,1,2}: (0,1,1), (1,2,2), (0,2,5).
+        assert_eq!(ind.graph.edge_count(), 3);
+        let total: u64 = ind.graph.edges().map(|(_, e)| e.weight().get()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn induced_id_round_trip() {
+        let g = square_with_diagonal();
+        let kept = [NodeId::new(3), NodeId::new(1)];
+        let ind = induced(&g, kept);
+        for new in ind.graph.nodes() {
+            let old = ind.parent_node(new);
+            assert_eq!(ind.child_node(old), Some(new));
+        }
+        assert_eq!(ind.child_node(NodeId::new(0)), None);
+        // No edge between 1 and 3 in the parent.
+        assert_eq!(ind.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn induced_ignores_duplicates() {
+        let g = square_with_diagonal();
+        let ind = induced(&g, [NodeId::new(0), NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(ind.graph.node_count(), 2);
+    }
+
+    #[test]
+    fn edge_subgraph_maps_back() {
+        let g = square_with_diagonal();
+        let sub = edge_subgraph(&g, [EdgeId::new(4), EdgeId::new(1)]);
+        assert_eq!(sub.graph.node_count(), 4);
+        assert_eq!(sub.graph.edge_count(), 2);
+        assert_eq!(sub.parent_edge(EdgeId::new(0)), EdgeId::new(1));
+        assert_eq!(sub.parent_edge(EdgeId::new(1)), EdgeId::new(4));
+        assert_eq!(sub.graph.weight(EdgeId::new(1)), Weight::new(5).unwrap());
+    }
+
+    #[test]
+    fn without_edges_complements() {
+        let g = square_with_diagonal();
+        let sub = without_edges(&g, [EdgeId::new(0)]);
+        assert_eq!(sub.graph.edge_count(), g.edge_count() - 1);
+        assert!(sub.to_parent_edge.iter().all(|e| *e != EdgeId::new(0)));
+    }
+
+    #[test]
+    fn empty_selections() {
+        let g = square_with_diagonal();
+        let ind = induced(&g, []);
+        assert_eq!(ind.graph.node_count(), 0);
+        let sub = edge_subgraph(&g, []);
+        assert_eq!(sub.graph.edge_count(), 0);
+        assert_eq!(sub.graph.node_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn induced_checks_range() {
+        let g = square_with_diagonal();
+        let _ = induced(&g, [NodeId::new(17)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Whole-graph transformations: complement, disjoint union, relabeling,
+//! masked compaction.
+//!
+//! These are the glue operations the experiment harness and tests use to
+//! assemble instances (e.g. multi-component stress tests, complement
+//! tricks for dense inputs, compacting a faulted graph into a clean one).
+
+use crate::{FaultMask, Graph, NodeId, Weight};
+
+/// The complement graph: same vertices, an (unit-weight) edge exactly
+/// where `graph` has none.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{transform, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1)])?;
+/// let c = transform::complement(&g);
+/// assert_eq!(c.edge_count(), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn complement(graph: &Graph) -> Graph {
+    let n = graph.node_count();
+    let mut present = vec![false; n * n];
+    for (_, e) in graph.edges() {
+        present[e.u().index() * n + e.v().index()] = true;
+        present[e.v().index() * n + e.u().index()] = true;
+    }
+    let mut out = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !present[u * n + v] {
+                out.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+            }
+        }
+    }
+    out
+}
+
+/// Disjoint union: `b`'s vertices are appended after `a`'s.
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
+    let offset = a.node_count();
+    let mut out = Graph::with_edge_capacity(offset + b.node_count(), a.edge_count() + b.edge_count());
+    for (_, e) in a.edges() {
+        out.add_edge_unchecked(e.u(), e.v(), e.weight());
+    }
+    for (_, e) in b.edges() {
+        out.add_edge_unchecked(
+            NodeId::new(e.u().index() + offset),
+            NodeId::new(e.v().index() + offset),
+            e.weight(),
+        );
+    }
+    out
+}
+
+/// Relabels vertices by `permutation` (old id → new id). Edge ids keep
+/// their order.
+///
+/// # Panics
+///
+/// Panics if `permutation` is not a permutation of `0..node_count`.
+pub fn relabel(graph: &Graph, permutation: &[NodeId]) -> Graph {
+    let n = graph.node_count();
+    assert_eq!(permutation.len(), n, "permutation length mismatch");
+    let mut seen = vec![false; n];
+    for p in permutation {
+        assert!(p.index() < n && !seen[p.index()], "not a permutation");
+        seen[p.index()] = true;
+    }
+    let mut out = Graph::with_edge_capacity(n, graph.edge_count());
+    for (_, e) in graph.edges() {
+        out.add_edge_unchecked(
+            permutation[e.u().index()],
+            permutation[e.v().index()],
+            e.weight(),
+        );
+    }
+    out
+}
+
+/// Materializes `graph ∖ mask` as a standalone graph: faulted vertices
+/// are removed (ids compacted) and faulted edges dropped. Returns the
+/// graph and the kept-vertex list (new id → old id).
+pub fn compact(graph: &Graph, mask: &FaultMask) -> (Graph, Vec<NodeId>) {
+    let kept: Vec<NodeId> = graph
+        .nodes()
+        .filter(|v| !mask.is_vertex_faulted(*v))
+        .collect();
+    let mut new_id = vec![usize::MAX; graph.node_count()];
+    for (i, v) in kept.iter().enumerate() {
+        new_id[v.index()] = i;
+    }
+    let mut out = Graph::new(kept.len());
+    for (id, e) in graph.edges() {
+        if mask.is_edge_faulted(id) {
+            continue;
+        }
+        let (nu, nv) = (new_id[e.u().index()], new_id[e.v().index()]);
+        if nu != usize::MAX && nv != usize::MAX {
+            out.add_edge_unchecked(NodeId::new(nu), NodeId::new(nv), e.weight());
+        }
+    }
+    (out, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::EdgeId;
+
+    #[test]
+    fn complement_of_complement_is_identity_in_size() {
+        let g = generators::cycle(6);
+        let cc = complement(&complement(&g));
+        assert_eq!(cc.edge_count(), g.edge_count());
+        for (_, e) in g.edges() {
+            assert!(cc.contains_edge(e.u(), e.v()).is_some());
+        }
+    }
+
+    #[test]
+    fn complement_of_complete_is_empty() {
+        let g = generators::complete(5);
+        assert_eq!(complement(&g).edge_count(), 0);
+    }
+
+    #[test]
+    fn disjoint_union_counts() {
+        let a = generators::cycle(3);
+        let b = generators::path(4);
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.node_count(), 7);
+        assert_eq!(u.edge_count(), 6);
+        // No edges across the parts.
+        assert!(u.contains_edge(NodeId::new(0), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = generators::path(4); // 0-1-2-3
+        let perm: Vec<NodeId> = [3usize, 2, 1, 0].into_iter().map(NodeId::new).collect();
+        let r = relabel(&g, &perm);
+        assert!(r.contains_edge(NodeId::new(3), NodeId::new(2)).is_some());
+        assert!(r.contains_edge(NodeId::new(1), NodeId::new(0)).is_some());
+        assert_eq!(r.edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_duplicates() {
+        let g = generators::path(3);
+        let perm: Vec<NodeId> = [0usize, 0, 1].into_iter().map(NodeId::new).collect();
+        let _ = relabel(&g, &perm);
+    }
+
+    #[test]
+    fn compact_removes_faults() {
+        let g = generators::cycle(5);
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(2));
+        mask.fault_edge(EdgeId::new(4)); // edge 4-0
+        let (c, kept) = compact(&g, &mask);
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(kept, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(4)]);
+        // Surviving edges: (0,1) and (3,4): edges through vertex 2 and the
+        // faulted edge are gone.
+        assert_eq!(c.edge_count(), 2);
+    }
+
+    #[test]
+    fn compact_with_no_faults_is_copy() {
+        let g = generators::complete(4);
+        let (c, kept) = compact(&g, &FaultMask::for_graph(&g));
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert_eq!(kept.len(), 4);
+    }
+}

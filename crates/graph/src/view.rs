@@ -1,0 +1,213 @@
+//! Fault masks: logically deleting vertices and edges without rebuilding.
+//!
+//! Fault tolerant spanner algorithms evaluate `dist_{H ∖ F}(u, v)` for huge
+//! numbers of candidate fault sets `F`. Physically deleting vertices/edges
+//! would mean copying the graph per candidate; instead, traversals accept a
+//! [`FaultMask`] that marks vertices and edges as *faulted* and skips them.
+
+use crate::{BitSet, EdgeId, Graph, NodeId};
+use std::fmt;
+
+/// A set of faulted (logically deleted) vertices and edges over a graph of
+/// known size.
+///
+/// A faulted vertex removes the vertex and implicitly all incident edges; a
+/// faulted edge removes just that edge. Traversals (Dijkstra, BFS) never
+/// enter faulted vertices and never cross faulted edges.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{FaultMask, Graph, NodeId};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)])?;
+/// let mut mask = FaultMask::for_graph(&g);
+/// mask.fault_vertex(NodeId::new(1));
+/// assert!(mask.is_vertex_faulted(NodeId::new(1)));
+/// assert_eq!(mask.fault_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct FaultMask {
+    vertices: BitSet,
+    edges: BitSet,
+}
+
+impl FaultMask {
+    /// Creates an empty mask sized for `graph`.
+    pub fn for_graph(graph: &Graph) -> Self {
+        FaultMask {
+            vertices: BitSet::new(graph.node_count()),
+            edges: BitSet::new(graph.edge_count()),
+        }
+    }
+
+    /// Creates an empty mask with explicit capacities.
+    pub fn with_capacity(node_count: usize, edge_count: usize) -> Self {
+        FaultMask {
+            vertices: BitSet::new(node_count),
+            edges: BitSet::new(edge_count),
+        }
+    }
+
+    /// Marks `node` faulted. Returns `true` if it was not already faulted.
+    pub fn fault_vertex(&mut self, node: NodeId) -> bool {
+        if node.index() >= self.vertices.capacity() {
+            self.vertices.grow(node.index() + 1);
+        }
+        self.vertices.insert(node.index())
+    }
+
+    /// Marks `edge` faulted. Returns `true` if it was not already faulted.
+    pub fn fault_edge(&mut self, edge: EdgeId) -> bool {
+        if edge.index() >= self.edges.capacity() {
+            self.edges.grow(edge.index() + 1);
+        }
+        self.edges.insert(edge.index())
+    }
+
+    /// Clears the fault on `node`. Returns `true` if it was faulted.
+    pub fn restore_vertex(&mut self, node: NodeId) -> bool {
+        node.index() < self.vertices.capacity() && self.vertices.remove(node.index())
+    }
+
+    /// Clears the fault on `edge`. Returns `true` if it was faulted.
+    pub fn restore_edge(&mut self, edge: EdgeId) -> bool {
+        edge.index() < self.edges.capacity() && self.edges.remove(edge.index())
+    }
+
+    /// Returns `true` if `node` is faulted.
+    #[inline]
+    pub fn is_vertex_faulted(&self, node: NodeId) -> bool {
+        node.index() < self.vertices.capacity() && self.vertices.contains(node.index())
+    }
+
+    /// Returns `true` if `edge` is faulted.
+    #[inline]
+    pub fn is_edge_faulted(&self, edge: EdgeId) -> bool {
+        edge.index() < self.edges.capacity() && self.edges.contains(edge.index())
+    }
+
+    /// Returns `true` if crossing `edge` from a live vertex into `to` is
+    /// allowed (neither the edge nor the target vertex is faulted).
+    #[inline]
+    pub fn allows(&self, to: NodeId, edge: EdgeId) -> bool {
+        !self.is_edge_faulted(edge) && !self.is_vertex_faulted(to)
+    }
+
+    /// Total number of faults (vertices + edges).
+    pub fn fault_count(&self) -> usize {
+        self.vertices.len() + self.edges.len()
+    }
+
+    /// Returns `true` if no faults are set.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty() && self.edges.is_empty()
+    }
+
+    /// Removes all faults.
+    pub fn clear(&mut self) {
+        self.vertices.clear();
+        self.edges.clear();
+    }
+
+    /// Iterates over faulted vertices in increasing id order.
+    pub fn faulted_vertices(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.vertices.iter().map(NodeId::new)
+    }
+
+    /// Iterates over faulted edges in increasing id order.
+    pub fn faulted_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().map(EdgeId::new)
+    }
+}
+
+impl fmt::Debug for FaultMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultMask")
+            .field("vertices", &self.faulted_vertices().collect::<Vec<_>>())
+            .field("edges", &self.faulted_edges().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn empty_mask_allows_everything() {
+        let g = c4();
+        let mask = FaultMask::for_graph(&g);
+        assert!(mask.is_empty());
+        for (id, e) in g.edges() {
+            assert!(mask.allows(e.u(), id));
+            assert!(mask.allows(e.v(), id));
+        }
+    }
+
+    #[test]
+    fn vertex_fault_blocks_entry() {
+        let g = c4();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(2));
+        assert!(!mask.allows(NodeId::new(2), EdgeId::new(1)));
+        assert!(mask.allows(NodeId::new(1), EdgeId::new(1)));
+    }
+
+    #[test]
+    fn edge_fault_blocks_crossing() {
+        let g = c4();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_edge(EdgeId::new(0));
+        assert!(!mask.allows(NodeId::new(1), EdgeId::new(0)));
+        assert!(mask.allows(NodeId::new(1), EdgeId::new(1)));
+    }
+
+    #[test]
+    fn restore_undoes_fault() {
+        let g = c4();
+        let mut mask = FaultMask::for_graph(&g);
+        assert!(mask.fault_vertex(NodeId::new(0)));
+        assert!(!mask.fault_vertex(NodeId::new(0)), "double fault");
+        assert!(mask.restore_vertex(NodeId::new(0)));
+        assert!(!mask.restore_vertex(NodeId::new(0)));
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn fault_count_sums_both_kinds() {
+        let g = c4();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(0));
+        mask.fault_edge(EdgeId::new(2));
+        assert_eq!(mask.fault_count(), 2);
+        assert_eq!(mask.faulted_vertices().collect::<Vec<_>>(), vec![NodeId::new(0)]);
+        assert_eq!(mask.faulted_edges().collect::<Vec<_>>(), vec![EdgeId::new(2)]);
+    }
+
+    #[test]
+    fn mask_grows_for_out_of_range_ids() {
+        let mut mask = FaultMask::with_capacity(2, 2);
+        mask.fault_vertex(NodeId::new(100));
+        assert!(mask.is_vertex_faulted(NodeId::new(100)));
+        assert!(!mask.is_vertex_faulted(NodeId::new(99)));
+        mask.fault_edge(EdgeId::new(50));
+        assert!(mask.is_edge_faulted(EdgeId::new(50)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let g = c4();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(1));
+        mask.fault_edge(EdgeId::new(1));
+        mask.clear();
+        assert!(mask.is_empty());
+        assert_eq!(mask.fault_count(), 0);
+    }
+}

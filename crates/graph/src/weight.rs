@@ -1,0 +1,300 @@
+//! Exact edge weights and path distances.
+//!
+//! The spanner literature states results for arbitrary positive real weights,
+//! but every comparison the algorithms actually perform has the form
+//! `dist(u, v) ≤ k · w(u, v)` with integer stretch `k`. Representing weights
+//! as `u64` makes those comparisons exact — no epsilon tuning, no flaky
+//! tests — and any rational-weight instance can be rescaled into this form.
+//!
+//! [`Weight`] is a positive edge weight; [`Dist`] is a path length that can
+//! additionally be *unreachable* ([`Dist::INFINITE`]). Arithmetic on `Dist`
+//! saturates at the infinite sentinel, so summing along paths can never wrap.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// A positive edge weight.
+///
+/// Weights are strictly positive: zero-weight edges would let spanner
+/// algorithms add edges "for free" and break girth-based size arguments.
+/// [`Weight::new`] enforces this.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::Weight;
+///
+/// let w = Weight::new(3).unwrap();
+/// assert_eq!(w.get(), 3);
+/// assert_eq!(Weight::UNIT.get(), 1);
+/// assert!(Weight::new(0).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Weight(u64);
+
+impl Weight {
+    /// The unit weight, used for unweighted graphs.
+    pub const UNIT: Weight = Weight(1);
+
+    /// Creates a weight, returning `None` if `value` is zero.
+    #[inline]
+    pub fn new(value: u64) -> Option<Self> {
+        if value == 0 {
+            None
+        } else {
+            Some(Weight(value))
+        }
+    }
+
+    /// Returns the underlying value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Multiplies this weight by an integer stretch factor, saturating.
+    ///
+    /// This is the `k · w(u, v)` bound that greedy spanner algorithms
+    /// compare shortest-path distances against.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spanner_graph::{Dist, Weight};
+    ///
+    /// let w = Weight::new(4).unwrap();
+    /// assert_eq!(w.stretched(3), Dist::finite(12));
+    /// ```
+    #[inline]
+    pub fn stretched(self, stretch: u64) -> Dist {
+        Dist(self.0.saturating_mul(stretch).min(Dist::INFINITE.0 - 1))
+    }
+
+    /// Converts this weight into a finite distance.
+    #[inline]
+    pub fn to_dist(self) -> Dist {
+        Dist(self.0)
+    }
+}
+
+impl Default for Weight {
+    fn default() -> Self {
+        Weight::UNIT
+    }
+}
+
+impl fmt::Debug for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Weight({})", self.0)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A path distance: either a finite total weight or [`Dist::INFINITE`]
+/// (unreachable).
+///
+/// Addition saturates at the infinite sentinel, so `INFINITE + w` stays
+/// `INFINITE` and finite sums cannot wrap around.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{Dist, Weight};
+///
+/// let d = Dist::ZERO + Weight::new(2).unwrap().to_dist();
+/// assert_eq!(d, Dist::finite(2));
+/// assert!(d < Dist::INFINITE);
+/// assert!(Dist::INFINITE + d == Dist::INFINITE);
+/// assert!(!Dist::INFINITE.is_finite());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dist(u64);
+
+impl Dist {
+    /// The zero distance.
+    pub const ZERO: Dist = Dist(0);
+
+    /// The unreachable sentinel; compares greater than every finite distance.
+    pub const INFINITE: Dist = Dist(u64::MAX);
+
+    /// Creates a finite distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` equals the infinite sentinel (`u64::MAX`).
+    #[inline]
+    pub fn finite(value: u64) -> Self {
+        assert!(value != u64::MAX, "u64::MAX is reserved for Dist::INFINITE");
+        Dist(value)
+    }
+
+    /// Returns the finite value, or `None` if unreachable.
+    #[inline]
+    pub fn value(self) -> Option<u64> {
+        if self.is_finite() {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if this distance is finite (reachable).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0 != u64::MAX
+    }
+
+    /// Returns the stretch ratio `self / base` as `f64`, or `f64::INFINITY`
+    /// when unreachable.
+    ///
+    /// Used by verification code to report the worst-case stretch of a
+    /// candidate spanner.
+    #[inline]
+    pub fn stretch_over(self, base: Weight) -> f64 {
+        match self.value() {
+            Some(v) => v as f64 / base.get() as f64,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+impl Default for Dist {
+    fn default() -> Self {
+        Dist::INFINITE
+    }
+}
+
+impl Add for Dist {
+    type Output = Dist;
+
+    #[inline]
+    fn add(self, rhs: Dist) -> Dist {
+        if self.is_finite() && rhs.is_finite() {
+            let sum = self.0.saturating_add(rhs.0);
+            // Saturating at MAX would silently become INFINITE; clamp just
+            // below so that "huge but finite" stays finite.
+            Dist(sum.min(u64::MAX - 1))
+        } else {
+            Dist::INFINITE
+        }
+    }
+}
+
+impl Add<Weight> for Dist {
+    type Output = Dist;
+
+    #[inline]
+    fn add(self, rhs: Weight) -> Dist {
+        self + rhs.to_dist()
+    }
+}
+
+impl Sum for Dist {
+    fn sum<I: Iterator<Item = Dist>>(iter: I) -> Dist {
+        iter.fold(Dist::ZERO, Add::add)
+    }
+}
+
+impl From<Weight> for Dist {
+    fn from(w: Weight) -> Self {
+        w.to_dist()
+    }
+}
+
+impl fmt::Debug for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_finite() {
+            write!(f, "Dist({})", self.0)
+        } else {
+            write!(f, "Dist(inf)")
+        }
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "∞")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_rejects_zero() {
+        assert!(Weight::new(0).is_none());
+        assert_eq!(Weight::new(5).unwrap().get(), 5);
+    }
+
+    #[test]
+    fn unit_weight_is_default() {
+        assert_eq!(Weight::default(), Weight::UNIT);
+        assert_eq!(Weight::UNIT.get(), 1);
+    }
+
+    #[test]
+    fn stretched_multiplies() {
+        let w = Weight::new(7).unwrap();
+        assert_eq!(w.stretched(3), Dist::finite(21));
+        assert_eq!(w.stretched(1), Dist::finite(7));
+    }
+
+    #[test]
+    fn stretched_saturates_below_infinite() {
+        let w = Weight::new(u64::MAX / 2).unwrap();
+        let d = w.stretched(1000);
+        assert!(d.is_finite());
+        assert!(d < Dist::INFINITE);
+    }
+
+    #[test]
+    fn dist_add_saturates() {
+        let big = Dist::finite(u64::MAX - 1);
+        let sum = big + Dist::finite(100);
+        assert!(sum.is_finite());
+        assert_eq!(sum, Dist::finite(u64::MAX - 1));
+    }
+
+    #[test]
+    fn infinite_absorbs_addition() {
+        assert_eq!(Dist::INFINITE + Dist::finite(3), Dist::INFINITE);
+        assert_eq!(Dist::finite(3) + Dist::INFINITE, Dist::INFINITE);
+    }
+
+    #[test]
+    fn infinite_compares_greatest() {
+        assert!(Dist::finite(u64::MAX - 1) < Dist::INFINITE);
+        assert!(Dist::ZERO < Dist::INFINITE);
+    }
+
+    #[test]
+    fn dist_sum_of_weights() {
+        let ws = [2u64, 3, 5].map(|v| Weight::new(v).unwrap().to_dist());
+        let total: Dist = ws.into_iter().sum();
+        assert_eq!(total, Dist::finite(10));
+    }
+
+    #[test]
+    fn stretch_over_reports_ratio() {
+        let w = Weight::new(4).unwrap();
+        assert_eq!(Dist::finite(12).stretch_over(w), 3.0);
+        assert!(Dist::INFINITE.stretch_over(w).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn finite_rejects_sentinel() {
+        let _ = Dist::finite(u64::MAX);
+    }
+}

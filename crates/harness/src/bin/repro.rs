@@ -1,0 +1,144 @@
+//! `repro` — regenerate every table and figure of the reproduction.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--smoke] [--out DIR] [--threads N] [all | e1 e2 ... e10]
+//! ```
+//!
+//! Each experiment prints its tables and headline notes to stdout and
+//! writes one CSV per table under the output directory (default
+//! `results/`).
+
+use spanner_harness::experiments::{registry, ExperimentContext, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scale: Scale,
+    out_dir: PathBuf,
+    threads: Option<usize>,
+    selected: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Full,
+        out_dir: PathBuf::from("results"),
+        threads: None,
+        selected: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.scale = Scale::Quick,
+            "--smoke" => args.scale = Scale::Smoke,
+            "--out" => {
+                let dir = it.next().ok_or("--out needs a directory argument")?;
+                args.out_dir = PathBuf::from(dir);
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a number")?;
+                args.threads = Some(n.parse().map_err(|_| format!("bad thread count: {n}"))?);
+            }
+            "--help" | "-h" => {
+                return Err(usage());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other => args.selected.push(other.to_string()),
+        }
+    }
+    if args.selected.is_empty() {
+        return Err(format!("no experiments selected\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    let ids: Vec<&str> = registry().iter().map(|(id, _)| *id).collect();
+    format!(
+        "usage: repro [--quick|--smoke] [--out DIR] [--threads N] [all | {}]",
+        ids.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ctx = ExperimentContext::new(args.scale);
+    if let Some(t) = args.threads {
+        ctx.threads = t.max(1);
+    }
+    let all: Vec<String> = registry().iter().map(|(id, _)| id.to_string()).collect();
+    let wanted: Vec<String> = if args.selected.iter().any(|s| s == "all") {
+        all.clone()
+    } else {
+        args.selected.clone()
+    };
+    for id in &wanted {
+        if !all.contains(id) {
+            eprintln!("unknown experiment id {id}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut failures = 0usize;
+    for (id, runner) in registry() {
+        if !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let output = runner(&ctx);
+        let elapsed = start.elapsed();
+        println!("==========================================================");
+        println!("{} — {}   [{:.2?}]", output.id, output.title, elapsed);
+        println!("==========================================================");
+        for (i, table) in output.tables.iter().enumerate() {
+            println!("{table}");
+            let file = args.out_dir.join(format!(
+                "{}_{}.csv",
+                output.id,
+                if output.tables.len() == 1 {
+                    "table".to_string()
+                } else {
+                    format!("table{}", i + 1)
+                }
+            ));
+            if let Err(err) = table.write_csv(&file) {
+                eprintln!("warning: could not write {}: {err}", file.display());
+            } else {
+                println!("(csv: {})", file.display());
+            }
+        }
+        for (i, figure) in output.figures.iter().enumerate() {
+            println!("{figure}");
+            let file = args
+                .out_dir
+                .join(format!("{}_figure{}.txt", output.id, i + 1));
+            if let Some(parent) = file.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(err) = std::fs::write(&file, figure) {
+                eprintln!("warning: could not write {}: {err}", file.display());
+            }
+        }
+        for note in &output.notes {
+            println!("  • {note}");
+            if note.contains("VIOLATION") || note.contains(" NO") {
+                failures += 1;
+            }
+        }
+        println!();
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment note(s) flagged violations");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

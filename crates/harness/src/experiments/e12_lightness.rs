@@ -1,0 +1,122 @@
+//! E12 / Table 8 — weight-sensitive quality: lightness and degrees.
+//!
+//! Edge count is the paper's currency, but deployments price edges by
+//! length. On geometric instances (weights = scaled distances) we report
+//! lightness (spanner weight / MST weight) and degree statistics for the
+//! greedy at several budgets and for the DK baseline. Shape claims:
+//! lightness grows with `f` (redundancy costs wire), greedy is lighter
+//! than DK at equal `f`, and all audits stay clean.
+
+use super::{ExperimentContext, ExperimentOutput};
+use crate::{cell_seed, fnum, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spanner_core::baselines::{dk_spanner, DkParams};
+use spanner_core::metrics::spanner_metrics;
+use spanner_core::verify::verify_ft_sampled;
+use spanner_core::FtGreedy;
+use spanner_faults::FaultModel;
+use spanner_graph::generators::random_geometric;
+
+/// Runs E12. See the module docs.
+pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+    let n = ctx.pick(40, 80, 130);
+    let radius = ctx.pick(0.45, 0.3, 0.24);
+    let stretch = 3u64;
+    let fs: Vec<usize> = ctx.pick(vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]);
+    let audit_trials = ctx.pick(10, 30, 60);
+
+    let mut rng = StdRng::seed_from_u64(cell_seed(12, 0, 0));
+    let g = random_geometric(n, radius, &mut rng);
+
+    let mut table = Table::new(
+        format!(
+            "E12: lightness & degrees on a geometric instance  (n={n}, radius {radius}, m={}, stretch {stretch})",
+            g.edge_count()
+        ),
+        [
+            "construction",
+            "f",
+            "|E(H)|",
+            "lightness",
+            "max deg",
+            "avg deg",
+            "audit viol",
+        ],
+    );
+    let mut notes = Vec::new();
+    let mut last_lightness = 0.0f64;
+    let mut lightness_monotone = true;
+    let mut greedy_lighter_than_dk = true;
+    for &f in &fs {
+        let ft = FtGreedy::new(&g, stretch).faults(f).run();
+        let m = spanner_metrics(&g, ft.spanner());
+        let audit = verify_ft_sampled(
+            &g,
+            ft.spanner(),
+            f,
+            FaultModel::Vertex,
+            audit_trials,
+            &mut rng,
+        );
+        if m.lightness + 1e-9 < last_lightness {
+            lightness_monotone = false;
+        }
+        last_lightness = m.lightness;
+        table.row([
+            "ft-greedy".to_string(),
+            f.to_string(),
+            m.edges.to_string(),
+            fnum(m.lightness),
+            m.max_degree.to_string(),
+            fnum(m.avg_degree),
+            audit.violations.to_string(),
+        ]);
+        if f > 0 {
+            let dk = dk_spanner(&g, stretch, DkParams::heuristic(n, f, 3.0), &mut rng);
+            let dm = spanner_metrics(&g, &dk);
+            let dk_audit =
+                verify_ft_sampled(&g, &dk, f, FaultModel::Vertex, audit_trials, &mut rng);
+            if dm.lightness < m.lightness {
+                greedy_lighter_than_dk = false;
+            }
+            table.row([
+                "dk-baseline".to_string(),
+                f.to_string(),
+                dm.edges.to_string(),
+                fnum(dm.lightness),
+                dm.max_degree.to_string(),
+                fnum(dm.avg_degree),
+                dk_audit.violations.to_string(),
+            ]);
+        }
+    }
+    notes.push(format!(
+        "greedy lightness grows with f (redundancy costs wire): {}",
+        if lightness_monotone { "yes" } else { "NO" }
+    ));
+    notes.push(format!(
+        "greedy lighter than DK at every f > 0: {}",
+        if greedy_lighter_than_dk { "yes" } else { "NO" }
+    ));
+    ExperimentOutput {
+        id: "e12",
+        title: "Table 8: lightness and degree statistics",
+        tables: vec![table],
+        figures: Vec::new(),
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn smoke_run_reports_lightness() {
+        let out = run(&ExperimentContext::new(Scale::Smoke));
+        assert!(out.tables[0].row_count() >= 3);
+        assert!(out.notes.iter().any(|n| n.contains("lightness")));
+    }
+}

@@ -1,0 +1,110 @@
+//! E13 / Table 9 — the motivation, simulated: sporadic failures over time.
+//!
+//! The paper opens with: "spanners are often applied to systems whose
+//! parts are prone to sporadic failures". We run a discrete failure/repair
+//! process over a geometric network and route traffic through spanners
+//! built for budgets `f = 0..3`. Claims measured:
+//!
+//! * **contract**: while the number of simultaneous failures stays within
+//!   the budget, connectivity + stretch never break (0 violations);
+//! * **graceful degradation**: beyond the budget the hit rate decays with
+//!   the budget gap instead of collapsing;
+//! * the failure process itself (peak concurrency, in-budget fraction) is
+//!   reported so the contract columns can be interpreted.
+
+use super::{ExperimentContext, ExperimentOutput};
+use crate::{cell_seed, fnum, parallel_map, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spanner_core::simulation::{simulate, SimulationConfig};
+use spanner_core::FtGreedy;
+use spanner_faults::FaultModel;
+use spanner_graph::generators::random_geometric;
+
+/// Runs E13. See the module docs.
+pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+    let n = ctx.pick(30, 60, 90);
+    let radius = ctx.pick(0.45, 0.32, 0.27);
+    let steps = ctx.pick(60, 200, 400);
+    let stretch = 3u64;
+    let fs: Vec<usize> = ctx.pick(vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]);
+
+    let mut graph_rng = StdRng::seed_from_u64(cell_seed(13, 0, 0));
+    let g = random_geometric(n, radius, &mut graph_rng);
+
+    let mut table = Table::new(
+        format!(
+            "E13: failure/repair simulation  (geometric n={n}, m={}, {steps} ticks, 2% fail / 25% repair)",
+            g.edge_count()
+        ),
+        [
+            "built for f",
+            "|E(H)|",
+            "in-budget ticks",
+            "peak down",
+            "contract violations",
+            "hit rate",
+            "worst in-budget stretch",
+        ],
+    );
+    let mut notes = Vec::new();
+    let config = SimulationConfig {
+        steps,
+        failure_probability: 0.02,
+        repair_probability: 0.25,
+        queries_per_step: ctx.pick(4, 8, 10),
+        model: FaultModel::Vertex,
+    };
+    let graph = g.clone();
+    let outcomes = parallel_map(fs.clone(), ctx.threads, |f| {
+        let ft = FtGreedy::new(&graph, stretch).faults(f).run();
+        let edges = ft.spanner().edge_count();
+        // Same process seed for every budget: paired comparison.
+        let mut rng = StdRng::seed_from_u64(cell_seed(13, 1, 0));
+        let outcome = simulate(&graph, ft.into_spanner(), f, config, &mut rng);
+        (f, edges, outcome)
+    });
+    let mut violations_total = 0usize;
+    let mut hit_rates = Vec::new();
+    for (f, edges, outcome) in outcomes {
+        violations_total += outcome.contract_violations;
+        hit_rates.push(outcome.contract_hit_rate());
+        table.row([
+            f.to_string(),
+            edges.to_string(),
+            format!("{}/{}", outcome.steps_within_budget, outcome.steps),
+            outcome.peak_failures.to_string(),
+            outcome.contract_violations.to_string(),
+            format!("{:.1}%", 100.0 * outcome.contract_hit_rate()),
+            fnum(outcome.worst_stretch_within_budget),
+        ]);
+    }
+    notes.push(format!(
+        "contract violations while within budget: {violations_total} (must be 0)"
+    ));
+    let monotone = hit_rates.windows(2).all(|w| w[1] >= w[0] - 0.02);
+    notes.push(format!(
+        "hit rate improves (2% tolerance) with the budget: {}",
+        if monotone { "yes" } else { "NO" }
+    ));
+    ExperimentOutput {
+        id: "e13",
+        title: "Table 9: sporadic-failure simulation",
+        tables: vec![table],
+        figures: Vec::new(),
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn smoke_run_has_clean_contract() {
+        let out = run(&ExperimentContext::new(Scale::Smoke));
+        assert_eq!(out.tables[0].row_count(), 2);
+        assert!(out.notes.iter().any(|n| n.contains(": 0 (must be 0)")));
+    }
+}

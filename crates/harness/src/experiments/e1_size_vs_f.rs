@@ -1,0 +1,123 @@
+//! E1 / Table 1 — VFT greedy size as a function of the fault budget `f`.
+//!
+//! Corollary 2 predicts `|E(H)| = O(n^{1+1/κ} · f^{1−1/κ})` at stretch
+//! `2κ−1`. We sweep `f` at fixed `n`, fit the measured exponent of `f`,
+//! and print the Corollary 2 reference values alongside. The shape claims:
+//! sizes grow sublinearly in `f`, with exponent at most ≈ `1 − 1/κ`, far
+//! below the linear growth a union-of-(f+1)-spanners approach pays.
+
+use super::{ExperimentContext, ExperimentOutput};
+use crate::plot::{AxisScale, Plot, Series};
+use crate::{cell_seed, fit_power_law, fnum, mean, parallel_map, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spanner_core::FtGreedy;
+use spanner_extremal::moore::corollary2_bound;
+use spanner_graph::generators::erdos_renyi;
+
+/// Runs E1. See the module docs.
+pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+    let n = ctx.pick(40, 80, 140);
+    let p = ctx.pick(0.25, 0.15, 0.12);
+    let max_f = ctx.pick(2usize, 3, 5);
+    let stretches: &[u64] = ctx.pick(&[3][..], &[3, 5], &[3, 5]);
+    let seeds = ctx.pick(1u64, 2, 3);
+
+    let mut table = Table::new(
+        format!("E1: VFT greedy size vs f  (G(n={n}, p={p}), mean over {seeds} seeds)"),
+        ["stretch", "f", "|E(G)|", "|E(H)|", "Cor2 ref", "ratio"],
+    );
+    let mut notes = Vec::new();
+    let mut figures = Vec::new();
+    for &stretch in stretches {
+        let kappa = (stretch + 1) / 2;
+        let cells: Vec<(usize, u64)> = (0..=max_f)
+            .flat_map(|f| (0..seeds).map(move |s| (f, s)))
+            .collect();
+        let results = parallel_map(cells, ctx.threads, |(f, s)| {
+            let mut rng = StdRng::seed_from_u64(cell_seed(1, f as u64 * 100 + stretch, s));
+            let g = erdos_renyi(n, p, &mut rng);
+            let ft = FtGreedy::new(&g, stretch).faults(f).run();
+            (f, g.edge_count(), ft.spanner().edge_count())
+        });
+        // Aggregate by f.
+        let mut sizes_by_f: Vec<Vec<f64>> = vec![Vec::new(); max_f + 1];
+        let mut input_by_f: Vec<Vec<f64>> = vec![Vec::new(); max_f + 1];
+        for (f, m_in, m_out) in results {
+            sizes_by_f[f].push(m_out as f64);
+            input_by_f[f].push(m_in as f64);
+        }
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for f in 0..=max_f {
+            let m_out = mean(&sizes_by_f[f]);
+            let reference = corollary2_bound(n as f64, f as u64, kappa);
+            table.row([
+                stretch.to_string(),
+                f.to_string(),
+                fnum(mean(&input_by_f[f])),
+                fnum(m_out),
+                fnum(reference),
+                fnum(m_out / reference),
+            ]);
+            if f >= 1 {
+                xs.push(f as f64);
+                ys.push(m_out);
+            }
+        }
+        let mut measured = Series::new(format!("measured |E(H)| (stretch {stretch})"), '#');
+        measured.points(xs.iter().copied().zip(ys.iter().copied()));
+        let mut reference = Series::new("Corollary 2 ceiling (scaled)", '.');
+        if let (Some(first_x), Some(first_y)) = (xs.first(), ys.first()) {
+            // Scale the reference curve through the first measured point so
+            // shapes (slopes) are comparable on the same log-log canvas.
+            let scale = first_y / corollary2_bound(n as f64, *first_x as u64, kappa);
+            reference.points(xs.iter().map(|f| {
+                (*f, scale * corollary2_bound(n as f64, *f as u64, kappa))
+            }));
+        }
+        figures.push(
+            Plot::new(
+                format!("Figure E1 (stretch {stretch}): |E(H)| vs f, log-log"),
+                56,
+                14,
+            )
+            .scale(AxisScale::Log, AxisScale::Log)
+            .series(measured)
+            .series(reference)
+            .render(),
+        );
+        let ceiling = 1.0 - 1.0 / kappa as f64;
+        if let Some(fit) = fit_power_law(&xs, &ys) {
+            notes.push(format!(
+                "stretch {stretch}: measured f-exponent {:.3} (R²={:.3}) within the Corollary 2 ceiling {:.3}: {}",
+                fit.exponent,
+                fit.r_squared,
+                ceiling,
+                if fit.exponent <= ceiling + 0.05 { "yes" } else { "NO" }
+            ));
+        }
+    }
+    ExperimentOutput {
+        id: "e1",
+        title: "Table 1: VFT greedy size vs fault budget",
+        tables: vec![table],
+        figures,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn smoke_run_produces_rows_and_fit() {
+        let out = run(&ExperimentContext::new(Scale::Smoke));
+        assert_eq!(out.id, "e1");
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.tables[0].row_count(), 3); // f = 0, 1, 2 at one stretch
+        assert!(!out.notes.is_empty());
+    }
+}

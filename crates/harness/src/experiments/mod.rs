@@ -1,0 +1,135 @@
+//! The experiment suite: one module per table/figure of EXPERIMENTS.md.
+//!
+//! The paper (a theory paper) has no empirical section; DESIGN.md §1 maps
+//! each of its claims to a measurable experiment. Every module here
+//! regenerates one table or figure:
+//!
+//! | id | claim | output |
+//! |----|-------|--------|
+//! | e1 | Corollary 2 (size vs `f`)          | Table 1 |
+//! | e2 | Corollary 2 (size vs `n`)          | Table 2 |
+//! | e3 | Theorem 1 (size vs stretch)        | Table 3 |
+//! | e4 | greedy vs DK11 baseline (VFT)      | Table 4 |
+//! | e5 | greedy vs union baseline (EFT)     | Table 5 |
+//! | e6 | Lemma 3 (blocking sets)            | Figure 1 |
+//! | e7 | Lemma 4 (peeling)                  | Figure 2 |
+//! | e8 | lower-bound family tightness       | Figure 3 |
+//! | e9 | oracle cost exponential in `f`     | Figure 4 |
+//! | e10| fault-injection stretch audit      | Table 6 |
+
+pub mod e1_size_vs_f;
+pub mod e2_size_vs_n;
+pub mod e3_size_vs_k;
+pub mod e4_vft_baselines;
+pub mod e5_eft_baselines;
+pub mod e6_blocking;
+pub mod e7_peeling;
+pub mod e8_lower_bound;
+pub mod e9_oracle_cost;
+pub mod e10_stretch_audit;
+pub mod e11_heuristic;
+pub mod e12_lightness;
+pub mod e13_simulation;
+
+use crate::Table;
+
+/// How big the experiment instances should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sizes: exercises every code path in tests within seconds.
+    Smoke,
+    /// Reduced sizes for a fast interactive run (`repro --quick`).
+    Quick,
+    /// The sizes EXPERIMENTS.md reports.
+    Full,
+}
+
+/// Shared experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentContext {
+    /// Instance scale.
+    pub scale: Scale,
+    /// Worker threads for parameter sweeps.
+    pub threads: usize,
+}
+
+impl ExperimentContext {
+    /// Context with the given scale and all available parallelism.
+    pub fn new(scale: Scale) -> Self {
+        ExperimentContext {
+            scale,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Picks a value per scale.
+    pub fn pick<T>(&self, smoke: T, quick: T, full: T) -> T {
+        match self.scale {
+            Scale::Smoke => smoke,
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The output of one experiment: tables plus free-form observations.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Short id (`"e1"` … `"e10"`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The regenerated tables.
+    pub tables: Vec<Table>,
+    /// Rendered text figures (see [`crate::plot`]); may be empty.
+    pub figures: Vec<String>,
+    /// Headline observations (printed and recorded in EXPERIMENTS.md).
+    pub notes: Vec<String>,
+}
+
+/// The full registry in canonical order.
+pub fn registry() -> Vec<(&'static str, fn(&ExperimentContext) -> ExperimentOutput)> {
+    vec![
+        ("e1", e1_size_vs_f::run as fn(&ExperimentContext) -> ExperimentOutput),
+        ("e2", e2_size_vs_n::run),
+        ("e3", e3_size_vs_k::run),
+        ("e4", e4_vft_baselines::run),
+        ("e5", e5_eft_baselines::run),
+        ("e6", e6_blocking::run),
+        ("e7", e7_peeling::run),
+        ("e8", e8_lower_bound::run),
+        ("e9", e9_oracle_cost::run),
+        ("e10", e10_stretch_audit::run),
+        ("e11", e11_heuristic::run),
+        ("e12", e12_lightness::run),
+        ("e13", e13_simulation::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let ids: Vec<&str> = registry().iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+                "e13"
+            ]
+        );
+    }
+
+    #[test]
+    fn pick_respects_scale() {
+        let ctx = ExperimentContext::new(Scale::Quick);
+        assert_eq!(ctx.pick(1, 2, 3), 2);
+        assert_eq!(ExperimentContext::new(Scale::Smoke).pick(1, 2, 3), 1);
+        assert_eq!(ExperimentContext::new(Scale::Full).pick(1, 2, 3), 3);
+        assert!(ctx.threads >= 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Log–log least-squares power-law fitting.
+//!
+//! The size theorems predict power laws (`m ∝ f^{1−1/k}`, `m ∝ n^{1+1/k}`);
+//! the experiments check the *measured exponent* against the predicted one,
+//! which is robust to constant factors that a simulator cannot hope to
+//! match.
+
+/// A fitted power law `y ≈ c · x^e`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerFit {
+    /// The exponent `e`.
+    pub exponent: f64,
+    /// The coefficient `c`.
+    pub coefficient: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r_squared: f64,
+}
+
+/// Fits `y = c·x^e` by least squares on `(ln x, ln y)`.
+///
+/// Returns `None` if fewer than two valid (positive) points are provided
+/// or all `x` coincide.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_harness::fit_power_law;
+///
+/// let xs = [1.0, 2.0, 4.0, 8.0];
+/// let ys = [3.0, 12.0, 48.0, 192.0]; // y = 3 x^2
+/// let fit = fit_power_law(&xs, &ys).unwrap();
+/// assert!((fit.exponent - 2.0).abs() < 1e-9);
+/// assert!((fit.coefficient - 3.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<PowerFit> {
+    let points: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys.iter())
+        .filter(|(x, y)| **x > 0.0 && **y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    // R^2 in log space.
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot <= 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(PowerFit {
+        exponent: slope,
+        coefficient: intercept.exp(),
+        r_squared,
+    })
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 7.0 * x.powf(1.5)).collect();
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.exponent - 1.5).abs() < 1e-9);
+        assert!((fit.coefficient - 7.0).abs() < 1e-6);
+        assert!(fit.r_squared > 0.9999);
+    }
+
+    #[test]
+    fn noisy_fit_keeps_reasonable_r2() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        // Deterministic "noise" multipliers around 1.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x.powf(2.0) * (1.0 + 0.05 * ((i % 3) as f64 - 1.0)))
+            .collect();
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.exponent - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_power_law(&[1.0], &[2.0]).is_none());
+        assert!(fit_power_law(&[2.0, 2.0], &[3.0, 5.0]).is_none());
+        assert!(fit_power_law(&[0.0, -1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn nonpositive_points_filtered() {
+        let fit = fit_power_law(&[1.0, 0.0, 2.0, 4.0], &[5.0, 9.0, 10.0, 20.0]).unwrap();
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_data_r2_is_one() {
+        let fit = fit_power_law(&[1.0, 2.0, 4.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert!(fit.exponent.abs() < 1e-9);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness for the `vft-spanner` reproduction.
+//!
+//! The paper is a theory paper; EXPERIMENTS.md defines the tables and
+//! figures this harness regenerates (E1–E10, see [`experiments`]). The
+//! crate also provides the measurement plumbing:
+//!
+//! * [`Table`] — aligned ASCII tables with CSV export;
+//! * [`fit_power_law`] — log–log exponent fits (the "shape" checks);
+//! * [`parallel_map`] — ordered parallel parameter sweeps;
+//! * [`cell_seed`] — deterministic per-cell seeding.
+//!
+//! Run everything with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p spanner-harness --bin repro -- all
+//! cargo run --release -p spanner-harness --bin repro -- --quick e1 e6
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fit;
+mod sweep;
+mod table;
+
+pub mod experiments;
+pub mod plot;
+
+pub use fit::{fit_power_law, mean, std_dev, PowerFit};
+pub use sweep::{cell_seed, parallel_map};
+pub use table::{fnum, Table};

@@ -1,0 +1,273 @@
+//! Text-mode figure rendering.
+//!
+//! The reproduction's "figures" deserve more than tables: this renderer
+//! draws multi-series scatter/line charts into a character grid, with
+//! optional log scaling — enough to see exponents and crossovers at a
+//! glance in terminal output and in EXPERIMENTS.md code blocks. No
+//! external plotting dependency (substrate rule).
+
+use std::fmt;
+
+/// One named data series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+    marker: char,
+}
+
+impl Series {
+    /// Creates a series with the given marker character.
+    pub fn new<N: Into<String>>(name: N, marker: char) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+            marker,
+        }
+    }
+
+    /// Appends a point.
+    pub fn point(&mut self, x: f64, y: f64) -> &mut Self {
+        self.points.push((x, y));
+        self
+    }
+
+    /// Appends many points.
+    pub fn points<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) -> &mut Self {
+        self.points.extend(iter);
+        self
+    }
+}
+
+/// Axis scaling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxisScale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (non-positive values are dropped).
+    Log,
+}
+
+/// A text chart: series plotted onto a `width × height` character grid.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_harness::plot::{AxisScale, Plot, Series};
+///
+/// let mut quadratic = Series::new("x^2", '*');
+/// quadratic.points((1..=10).map(|x| (x as f64, (x * x) as f64)));
+/// let plot = Plot::new("growth", 40, 12)
+///     .scale(AxisScale::Linear, AxisScale::Linear)
+///     .series(quadratic);
+/// let out = plot.render();
+/// assert!(out.contains("growth"));
+/// assert!(out.contains('*'));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Plot {
+    title: String,
+    width: usize,
+    height: usize,
+    x_scale: AxisScale,
+    y_scale: AxisScale,
+    series: Vec<Series>,
+}
+
+impl Plot {
+    /// Creates an empty plot with the given grid size (clamped to at
+    /// least 16×6).
+    pub fn new<T: Into<String>>(title: T, width: usize, height: usize) -> Self {
+        Plot {
+            title: title.into(),
+            width: width.max(16),
+            height: height.max(6),
+            x_scale: AxisScale::Linear,
+            y_scale: AxisScale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the axis scales (consuming builder).
+    pub fn scale(mut self, x: AxisScale, y: AxisScale) -> Self {
+        self.x_scale = x;
+        self.y_scale = y;
+        self
+    }
+
+    /// Adds a series (consuming builder).
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    fn transform(scale: AxisScale, v: f64) -> Option<f64> {
+        match scale {
+            AxisScale::Linear => Some(v),
+            AxisScale::Log => (v > 0.0).then(|| v.log10()),
+        }
+    }
+
+    /// Renders the chart into a string.
+    pub fn render(&self) -> String {
+        let mut transformed: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
+        for (i, s) in self.series.iter().enumerate() {
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter_map(|(x, y)| {
+                    Some((
+                        Self::transform(self.x_scale, *x)?,
+                        Self::transform(self.y_scale, *y)?,
+                    ))
+                })
+                .collect();
+            if !pts.is_empty() {
+                transformed.push((i, pts));
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("=== {} ===\n", self.title));
+        if transformed.is_empty() {
+            out.push_str("(no plottable points)\n");
+            return out;
+        }
+        let all: Vec<(f64, f64)> = transformed.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &all {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, pts) in &transformed {
+            let marker = self.series[*si].marker;
+            for (x, y) in pts {
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx] = marker;
+            }
+        }
+        let y_label = |v: f64| -> String {
+            let raw = match self.y_scale {
+                AxisScale::Linear => v,
+                AxisScale::Log => 10f64.powf(v),
+            };
+            format!("{raw:>9.2}")
+        };
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                y_label(y_max)
+            } else if r == self.height - 1 {
+                y_label(y_min)
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&format!("{label} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{} +{}\n", " ".repeat(9), "-".repeat(self.width)));
+        let x_lo = match self.x_scale {
+            AxisScale::Linear => x_min,
+            AxisScale::Log => 10f64.powf(x_min),
+        };
+        let x_hi = match self.x_scale {
+            AxisScale::Linear => x_max,
+            AxisScale::Log => 10f64.powf(x_max),
+        };
+        out.push_str(&format!(
+            "{} {:<12.6}{}{:>12.6}\n",
+            " ".repeat(9),
+            x_lo,
+            " ".repeat(self.width.saturating_sub(24)),
+            x_hi
+        ));
+        for s in &self.series {
+            out.push_str(&format!("{} {} = {}\n", " ".repeat(9), s.marker, s.name));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Plot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(f64, f64)], marker: char) -> Series {
+        let mut s = Series::new("s", marker);
+        s.points(points.iter().copied());
+        s
+    }
+
+    #[test]
+    fn renders_title_legend_and_markers() {
+        let plot = Plot::new("demo", 30, 8).series(series(&[(0.0, 0.0), (1.0, 1.0)], '#'));
+        let out = plot.render();
+        assert!(out.contains("=== demo ==="));
+        assert!(out.contains("# = s"));
+        assert!(out.matches('#').count() >= 2 + 1); // 2 points + legend
+    }
+
+    #[test]
+    fn corners_are_placed_correctly() {
+        let plot = Plot::new("c", 20, 6).series(series(&[(0.0, 0.0), (1.0, 1.0)], '*'));
+        let out = plot.render();
+        let rows: Vec<&str> = out.lines().collect();
+        // First grid row (index 1 after the title) carries the max-y point
+        // at the far right.
+        assert!(rows[1].ends_with('*'));
+        // Last grid row carries the min-y point right after the axis bar.
+        let bottom = rows[6];
+        assert_eq!(bottom.chars().nth(11), Some('*'));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let plot = Plot::new("log", 20, 6)
+            .scale(AxisScale::Log, AxisScale::Log)
+            .series(series(&[(0.0, 5.0), (10.0, 100.0), (100.0, 10000.0)], 'x'));
+        let out = plot.render();
+        // Only the two positive-x points plot; they form a straight
+        // diagonal in log-log space (visual check: both corners present).
+        assert!(out.matches('x').count() >= 2 + 1);
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let plot = Plot::new("empty", 20, 6);
+        assert!(plot.render().contains("no plottable points"));
+        let plot = Plot::new("empty", 20, 6)
+            .scale(AxisScale::Log, AxisScale::Log)
+            .series(series(&[(-1.0, -5.0)], 'x'));
+        assert!(plot.render().contains("no plottable points"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let plot = Plot::new("flat", 20, 6).series(series(&[(1.0, 7.0), (2.0, 7.0)], 'o'));
+        let out = plot.render();
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let plot = Plot::new("d", 20, 6).series(series(&[(0.0, 1.0)], '+'));
+        assert_eq!(plot.to_string(), plot.render());
+    }
+}

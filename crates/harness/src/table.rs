@@ -1,0 +1,211 @@
+//! Aligned ASCII tables with CSV export — the output format of every
+//! experiment.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple rectangular table: title, column headers, string cells.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_harness::Table;
+///
+/// let mut t = Table::new("demo", ["x", "y"]);
+/// t.row(["1", "2"]);
+/// t.row(["10", "20"]);
+/// let shown = t.to_string();
+/// assert!(shown.contains("demo"));
+/// assert!(shown.contains("10"));
+/// assert_eq!(t.row_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new<T, I, S>(title: T, headers: I) -> Self
+    where
+        T: Into<String>,
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+        rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as CSV (headers first; title as a `#` comment).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&csv_line(&self.headers));
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    let escaped: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", escaped.join(","))
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:>width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.is_infinite() {
+        "inf".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("t", ["a", "long_header"]);
+        t.row(["1", "2"]);
+        let s = t.to_string();
+        assert!(s.contains("| long_header |"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", ["x"]);
+        t.row(["a,b"]);
+        t.row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn write_csv_round_trip() {
+        let mut t = Table::new("t", ["x", "y"]);
+        t.row(["1", "2"]);
+        let dir = std::env::temp_dir().join("vft_spanner_table_test");
+        let path = dir.join("nested").join("t.csv");
+        t.write_csv(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert!(read.contains("x,y"));
+        assert!(read.contains("1,2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(42.5), "42.5");
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,61 @@
+//! A week in the life of a fault tolerant network.
+//!
+//! The paper's opening motivation — "systems whose parts are prone to
+//! sporadic failures" — as a discrete simulation: routers fail and get
+//! repaired over time while traffic keeps flowing over a static spanner.
+//! We compare spanners built for different fault budgets under the same
+//! failure process.
+//!
+//! ```text
+//! cargo run --release --example failure_timeline
+//! ```
+
+use vft_spanner::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(365);
+    let g = generators::random_geometric(80, 0.3, &mut rng);
+    let mask = FaultMask::for_graph(&g);
+    assert!(bfs::is_connected(&g, &mask));
+    println!(
+        "network: {} routers, {} links; failure process: 2% fail rate, 25% repair rate per tick",
+        g.node_count(),
+        g.edge_count()
+    );
+    println!();
+    println!("  built for | links | in-budget ticks | peak down | contract violations | hit rate | worst stretch");
+    println!("  ----------|-------|-----------------|-----------|---------------------|----------|--------------");
+    for f in 0..=3usize {
+        let ft = FtGreedy::new(&g, 3).faults(f).run();
+        let links = ft.spanner().edge_count();
+        let mut sim_rng = StdRng::seed_from_u64(777); // same process for all f
+        let outcome = simulate(
+            &g,
+            ft.into_spanner(),
+            f,
+            SimulationConfig {
+                steps: 400,
+                failure_probability: 0.02,
+                repair_probability: 0.25,
+                queries_per_step: 10,
+                model: FaultModel::Vertex,
+            },
+            &mut sim_rng,
+        );
+        println!(
+            "  f = {f}     | {links:>5} | {:>11}/{:<3} | {:>9} | {:>19} | {:>7.1}% | {:.3}",
+            outcome.steps_within_budget,
+            outcome.steps,
+            outcome.peak_failures,
+            outcome.contract_violations,
+            100.0 * outcome.contract_hit_rate(),
+            outcome.worst_stretch_within_budget,
+        );
+    }
+    println!();
+    println!("reading: while simultaneous failures stay within the budget the spanner");
+    println!("was built for, the contract (connected + stretch <= 3) never breaks —");
+    println!("violations only appear for budgets smaller than the failure process's");
+    println!("typical concurrency. Peak concurrency here exceeds every budget, so the");
+    println!("hit-rate column shows how gracefully each spanner degrades beyond it.");
+}

@@ -1,0 +1,87 @@
+//! # vft-spanner
+//!
+//! Vertex/edge **fault tolerant graph spanners** via the optimal greedy
+//! algorithm — a complete Rust implementation of
+//! *"A Trivial Yet Optimal Solution to Vertex Fault Tolerant Spanners"*
+//! (Greg Bodwin & Shyamal Patel, PODC 2019, arXiv:1812.05778).
+//!
+//! An `f`-fault-tolerant `k`-spanner of a graph `G` is a subgraph `H` such
+//! that after **any** `f` vertex (or edge) failures, distances in the
+//! survivor `H ∖ F` are within a factor `k` of distances in `G ∖ F`. The
+//! paper shows the obvious greedy algorithm builds one of optimal size
+//! `O(f² · b(n/f, k+1))` (= `O(n^{1+1/κ} f^{1−1/κ})` at stretch `2κ−1`
+//! under the Moore bounds).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`graph`] ([`spanner_graph`]) — the graph substrate: weighted graphs,
+//!   fault masks, bounded fault-masked Dijkstra, girth, generators;
+//! * [`faults`] ([`spanner_faults`]) — the fault model and the exact
+//!   fault-set search oracles (branching / exhaustive / hitting-set);
+//! * [`core`] ([`spanner_core`]) — the paper: FT-greedy (Algorithm 1),
+//!   blocking sets (Lemma 3), peeling (Lemma 4), verification, baselines;
+//! * [`extremal`] ([`spanner_extremal`]) — Moore-bound curves, projective
+//!   planes, high-girth generators, the lower-bound blow-up family.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vft_spanner::prelude::*;
+//!
+//! // A random network.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let g = generators::erdos_renyi(40, 0.3, &mut rng);
+//!
+//! // A 1-vertex-fault tolerant 3-spanner.
+//! let ft = FtGreedy::new(&g, 3).faults(1).run();
+//! assert!(ft.spanner().edge_count() < g.edge_count());
+//!
+//! // Knock out any single vertex: the survivor still 3-spans.
+//! let audit = verify_ft_exhaustive(&g, ft.spanner(), 1, FaultModel::Vertex);
+//! assert!(audit.satisfied());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spanner_core as core;
+pub use spanner_extremal as extremal;
+pub use spanner_faults as faults;
+pub use spanner_graph as graph;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use rand::{rngs::StdRng, Rng, SeedableRng};
+    pub use spanner_core::baselines::{dk_spanner, union_eft_spanner, DkParams};
+    pub use spanner_core::verify::{
+        certify_vft_exact, verify_ft_adaptive, verify_ft_adversarial, verify_ft_exhaustive,
+        verify_ft_sampled, verify_spanner, verify_under_faults,
+    };
+    pub use spanner_core::metrics::{spanner_metrics, SpannerMetrics};
+    pub use spanner_core::report::ConstructionReport;
+    pub use spanner_core::routing::{ResilientRouter, Route, RouteError};
+    pub use spanner_core::simulation::{simulate, SimulationConfig, SimulationOutcome};
+    pub use spanner_core::{
+        greedy_spanner, peel, verify_blocking_set, BlockingSet, FtGreedy, FtSpanner, OracleKind,
+        Spanner,
+    };
+    pub use spanner_faults::{
+        BranchingOracle, ExhaustiveOracle, FaultModel, FaultOracle, FaultSet,
+        GreedyHeuristicOracle, HittingSetOracle, OracleQuery,
+    };
+    pub use spanner_graph::{
+        bfs, connectivity, dijkstra, generators, girth, mst, subgraph, transform, Dist, EdgeId,
+        FaultMask, Graph, NodeId, Weight,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_paths_resolve() {
+        let g = crate::graph::generators::complete(5);
+        let s = crate::core::greedy_spanner(&g, 3);
+        assert!(s.edge_count() <= g.edge_count());
+        let _curve = crate::extremal::moore::moore_bound(10.0, 3);
+    }
+}

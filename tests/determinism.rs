@@ -1,0 +1,56 @@
+//! Determinism: fixed seeds must reproduce identical artifacts across the
+//! whole stack — the property EXPERIMENTS.md's numbers depend on.
+
+use vft_spanner::prelude::*;
+
+fn spanner_fingerprint(s: &Spanner) -> Vec<u32> {
+    s.parent_edge_ids().iter().map(|e| e.raw()).collect()
+}
+
+#[test]
+fn generators_are_seed_deterministic() {
+    for seed in [0u64, 1, 99] {
+        let a = generators::erdos_renyi(80, 0.1, &mut StdRng::seed_from_u64(seed));
+        let b = generators::erdos_renyi(80, 0.1, &mut StdRng::seed_from_u64(seed));
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ea: Vec<_> = a.edges().map(|(_, e)| (e.u(), e.v())).collect();
+        let eb: Vec<_> = b.edges().map(|(_, e)| (e.u(), e.v())).collect();
+        assert_eq!(ea, eb, "seed {seed}");
+    }
+}
+
+#[test]
+fn ft_greedy_is_input_deterministic() {
+    let g = generators::erdos_renyi(40, 0.2, &mut StdRng::seed_from_u64(5));
+    let a = FtGreedy::new(&g, 3).faults(2).run();
+    let b = FtGreedy::new(&g, 3).faults(2).run();
+    assert_eq!(
+        spanner_fingerprint(a.spanner()),
+        spanner_fingerprint(b.spanner())
+    );
+    assert_eq!(a.witnesses(), b.witnesses());
+}
+
+#[test]
+fn dk_and_peeling_are_seed_deterministic() {
+    let g = generators::erdos_renyi(40, 0.2, &mut StdRng::seed_from_u64(5));
+    let p = DkParams::heuristic(40, 1, 2.0);
+    let a = dk_spanner(&g, 3, p, &mut StdRng::seed_from_u64(1));
+    let b = dk_spanner(&g, 3, p, &mut StdRng::seed_from_u64(1));
+    assert_eq!(spanner_fingerprint(&a), spanner_fingerprint(&b));
+
+    let ft = FtGreedy::new(&g, 3).faults(2).run();
+    let blocking = BlockingSet::from_witnesses(&ft);
+    let o1 = peel(ft.spanner().graph(), &blocking, 2, 4, &mut StdRng::seed_from_u64(3));
+    let o2 = peel(ft.spanner().graph(), &blocking, 2, 4, &mut StdRng::seed_from_u64(3));
+    assert_eq!(o1.final_edges(), o2.final_edges());
+    assert_eq!(o1.sampled_nodes, o2.sampled_nodes);
+}
+
+#[test]
+fn high_girth_generator_is_seed_deterministic() {
+    use vft_spanner::extremal::high_girth::high_girth_graph;
+    let a = high_girth_graph(60, 5, &mut StdRng::seed_from_u64(8));
+    let b = high_girth_graph(60, 5, &mut StdRng::seed_from_u64(8));
+    assert_eq!(a.edge_count(), b.edge_count());
+}

@@ -1,0 +1,37 @@
+//! Every experiment in the harness registry must run clean at smoke scale:
+//! produce tables, produce notes, and flag no violations. This is the
+//! regression net under `repro all`.
+
+use spanner_harness::experiments::{registry, ExperimentContext, Scale};
+
+#[test]
+fn all_experiments_run_clean_at_smoke_scale() {
+    let ctx = ExperimentContext::new(Scale::Smoke);
+    for (id, runner) in registry() {
+        let out = runner(&ctx);
+        assert_eq!(out.id, id);
+        assert!(!out.tables.is_empty(), "{id}: no tables");
+        for table in &out.tables {
+            assert!(table.row_count() > 0, "{id}: empty table");
+        }
+        for note in &out.notes {
+            assert!(
+                !note.contains("VIOLATION"),
+                "{id}: flagged a violation: {note}"
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_csv_output_round_trips() {
+    let ctx = ExperimentContext::new(Scale::Smoke);
+    let (_, runner) = registry().into_iter().next().unwrap();
+    let out = runner(&ctx);
+    let dir = std::env::temp_dir().join("vft_spanner_csv_test");
+    let path = dir.join("table.csv");
+    out.tables[0].write_csv(&path).unwrap();
+    let content = std::fs::read_to_string(&path).unwrap();
+    assert!(content.lines().count() >= out.tables[0].row_count() + 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
