@@ -41,5 +41,9 @@ fn bench_construction_vs_stretch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_construction_vs_f, bench_construction_vs_stretch);
+criterion_group!(
+    benches,
+    bench_construction_vs_f,
+    bench_construction_vs_stretch
+);
 criterion_main!(benches);

@@ -36,12 +36,7 @@ fn bench_eft_constructions(c: &mut Criterion) {
     group.sample_size(10);
     for f in [1usize, 2] {
         group.bench_with_input(BenchmarkId::new("ft_greedy_eft", f), &f, |b, &f| {
-            b.iter(|| {
-                FtGreedy::new(&g, 3)
-                    .faults(f)
-                    .model(FaultModel::Edge)
-                    .run()
-            });
+            b.iter(|| FtGreedy::new(&g, 3).faults(f).model(FaultModel::Edge).run());
         });
         group.bench_with_input(BenchmarkId::new("union_baseline", f), &f, |b, &f| {
             b.iter(|| union_eft_spanner(&g, 3, f));

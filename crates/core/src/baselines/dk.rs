@@ -42,10 +42,9 @@ impl DkParams {
     pub fn provable(n: usize, f: usize) -> DkParams {
         let p = 1.0 / (f as f64 + 1.0);
         let ln_n = (n.max(2) as f64).ln();
-        let rounds = (std::f64::consts::E
-            * (f as f64 + 1.0).powi(2)
-            * ((f as f64 + 2.0) * ln_n + 1.0))
-            .ceil() as usize;
+        let rounds =
+            (std::f64::consts::E * (f as f64 + 1.0).powi(2) * ((f as f64 + 2.0) * ln_n + 1.0))
+                .ceil() as usize;
         DkParams {
             keep_probability: p,
             rounds: rounds.max(1),

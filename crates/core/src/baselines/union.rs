@@ -113,10 +113,7 @@ mod tests {
         let g = complete(12);
         let f = 2usize;
         let union = union_eft_spanner(&g, 3, f);
-        let greedy = FtGreedy::new(&g, 3)
-            .faults(f)
-            .model(FaultModel::Edge)
-            .run();
+        let greedy = FtGreedy::new(&g, 3).faults(f).model(FaultModel::Edge).run();
         assert!(
             greedy.spanner().edge_count() <= union.edge_count(),
             "greedy {} vs union {}",

@@ -183,10 +183,7 @@ pub fn verify_blocking_set(
                 let mut blocked = false;
                 'outer: for i in 0..es.len() {
                     for j in (i + 1)..es.len() {
-                        let key = (
-                            es[i].raw().min(es[j].raw()),
-                            es[i].raw().max(es[j].raw()),
-                        );
+                        let key = (es[i].raw().min(es[j].raw()), es[i].raw().max(es[j].raw()));
                         if lookup.contains(&key) {
                             blocked = true;
                             break 'outer;
@@ -243,12 +240,8 @@ mod tests {
             let stretch = 3u64;
             let ft = FtGreedy::new(&g, stretch).faults(1).run();
             let b = BlockingSet::from_witnesses(&ft);
-            let report = verify_blocking_set(
-                ft.spanner().graph(),
-                &b,
-                (stretch + 1) as usize,
-                1_000_000,
-            );
+            let report =
+                verify_blocking_set(ft.spanner().graph(), &b, (stretch + 1) as usize, 1_000_000);
             assert!(
                 report.is_valid(),
                 "{name}: {} unblocked of {} cycles",

@@ -207,9 +207,9 @@ impl FtSpanner {
 mod tests {
     use super::*;
     use crate::greedy_spanner;
-    use spanner_graph::generators::{complete, cycle, grid, with_uniform_weights};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spanner_graph::generators::{complete, cycle, grid, with_uniform_weights};
 
     #[test]
     fn zero_faults_matches_classic_greedy() {
@@ -286,10 +286,7 @@ mod tests {
     #[test]
     fn edge_model_also_runs() {
         let g = complete(8);
-        let ft = FtGreedy::new(&g, 3)
-            .faults(1)
-            .model(FaultModel::Edge)
-            .run();
+        let ft = FtGreedy::new(&g, 3).faults(1).model(FaultModel::Edge).run();
         assert!(ft.spanner().edge_count() >= 8);
         assert_eq!(ft.model(), FaultModel::Edge);
     }

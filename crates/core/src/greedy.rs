@@ -69,10 +69,10 @@ pub fn greedy_spanner_masked(graph: &Graph, stretch: u64, mask: &FaultMask) -> S
 mod tests {
     use super::*;
     use crate::verify::verify_spanner;
-    use spanner_graph::generators::{complete, cycle, with_uniform_weights};
-    use spanner_graph::{girth, EdgeId, NodeId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spanner_graph::generators::{complete, cycle, with_uniform_weights};
+    use spanner_graph::{girth, EdgeId, NodeId};
 
     #[test]
     fn stretch_one_keeps_shortest_path_structure() {

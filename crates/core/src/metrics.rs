@@ -67,9 +67,9 @@ pub fn spanner_metrics(parent: &Graph, spanner: &Spanner) -> SpannerMetrics {
 mod tests {
     use super::*;
     use crate::{greedy_spanner, FtGreedy, Spanner};
-    use spanner_graph::generators::{complete, with_uniform_weights};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spanner_graph::generators::{complete, with_uniform_weights};
 
     #[test]
     fn trivial_spanner_has_lightness_of_whole_graph() {
@@ -90,7 +90,11 @@ mod tests {
         for stretch in [1u64, 3, 5] {
             let s = greedy_spanner(&g, stretch);
             let m = spanner_metrics(&g, &s);
-            assert!(m.lightness >= 1.0 - 1e-9, "stretch {stretch}: {}", m.lightness);
+            assert!(
+                m.lightness >= 1.0 - 1e-9,
+                "stretch {stretch}: {}",
+                m.lightness
+            );
         }
     }
 
@@ -108,7 +112,8 @@ mod tests {
     #[test]
     fn stretch_one_greedy_is_light_on_trees() {
         // A tree input: the only spanner is the tree itself, lightness 1.
-        let g = spanner_graph::Graph::from_weighted_edges(4, [(0, 1, 2), (1, 2, 3), (1, 3, 4)]).unwrap();
+        let g = spanner_graph::Graph::from_weighted_edges(4, [(0, 1, 2), (1, 2, 3), (1, 3, 4)])
+            .unwrap();
         let s = greedy_spanner(&g, 1);
         let m = spanner_metrics(&g, &s);
         assert!((m.lightness - 1.0).abs() < 1e-9);

@@ -129,7 +129,8 @@ pub fn peel(
         .edge_ids()
         .filter(|e| !drop[induced.parent_edge(*e).index()]);
     let peeled = subgraph::edge_subgraph(&induced.graph, kept).graph;
-    let girth_ok = girth::has_girth_greater_than(&peeled, &FaultMask::for_graph(&peeled), girth_above);
+    let girth_ok =
+        girth::has_girth_greater_than(&peeled, &FaultMask::for_graph(&peeled), girth_above);
     PeelOutcome {
         subgraph: peeled,
         sampled_nodes: target,

@@ -110,10 +110,13 @@ impl ResilientRouter {
             }
         }
         let mask = self.spanner.fault_mask(failures);
-        match self
-            .engine
-            .shortest_path_bounded(self.spanner.graph(), from, to, Dist::INFINITE, &mask)
-        {
+        match self.engine.shortest_path_bounded(
+            self.spanner.graph(),
+            from,
+            to,
+            Dist::INFINITE,
+            &mask,
+        ) {
             Some(path) => Ok(Route {
                 nodes: path.nodes,
                 edges: path.edges,
@@ -234,7 +237,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_unreachable, "under-built spanner must disconnect somewhere");
+        assert!(
+            saw_unreachable,
+            "under-built spanner must disconnect somewhere"
+        );
     }
 
     #[test]
@@ -244,7 +250,9 @@ mod tests {
         let mut router = ResilientRouter::new(full);
         // Fail one parent edge; the route detours the long way.
         let failures = FaultSet::edges([EdgeId::new(0)]);
-        let route = router.route(NodeId::new(0), NodeId::new(1), &failures).unwrap();
+        let route = router
+            .route(NodeId::new(0), NodeId::new(1), &failures)
+            .unwrap();
         assert_eq!(route.dist, Dist::finite(5));
     }
 
@@ -252,7 +260,9 @@ mod tests {
     fn route_structure_is_consistent() {
         let (_, mut router) = router_over_complete(8, 1);
         let failures = FaultSet::vertices([NodeId::new(5)]);
-        let route = router.route(NodeId::new(0), NodeId::new(7), &failures).unwrap();
+        let route = router
+            .route(NodeId::new(0), NodeId::new(7), &failures)
+            .unwrap();
         assert_eq!(*route.nodes.first().unwrap(), NodeId::new(0));
         assert_eq!(*route.nodes.last().unwrap(), NodeId::new(7));
         assert_eq!(route.edges.len() + 1, route.nodes.len());

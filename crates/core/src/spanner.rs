@@ -1,7 +1,7 @@
 //! The spanner type: a subgraph with bookkeeping back to its parent.
 
-use spanner_graph::{EdgeId, FaultMask, Graph, NodeId, Weight};
 use spanner_faults::FaultSet;
+use spanner_graph::{EdgeId, FaultMask, Graph, NodeId, Weight};
 
 /// A spanner of a parent graph: a subgraph on the same vertex set, with a
 /// per-edge mapping back to parent edge ids and the stretch it was built
@@ -66,7 +66,13 @@ impl Spanner {
     }
 
     /// Appends a parent edge to the spanner (construction order).
-    pub(crate) fn push_edge(&mut self, parent_id: EdgeId, u: NodeId, v: NodeId, w: Weight) -> EdgeId {
+    pub(crate) fn push_edge(
+        &mut self,
+        parent_id: EdgeId,
+        u: NodeId,
+        v: NodeId,
+        w: Weight,
+    ) -> EdgeId {
         let id = self.graph.add_edge_unchecked(u, v, w);
         self.parent_edges.push(parent_id);
         id
@@ -145,7 +151,8 @@ mod tests {
 
     #[test]
     fn from_parent_edges_preserves_weights_and_maps() {
-        let g = Graph::from_weighted_edges(4, [(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 0, 5)]).unwrap();
+        let g =
+            Graph::from_weighted_edges(4, [(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 0, 5)]).unwrap();
         let s = Spanner::from_parent_edges(&g, [EdgeId::new(2), EdgeId::new(0)], 3);
         assert_eq!(s.edge_count(), 2);
         assert_eq!(s.parent_edge(EdgeId::new(0)), EdgeId::new(0));

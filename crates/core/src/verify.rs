@@ -134,32 +134,43 @@ pub fn verify_ft_exhaustive(
         FaultModel::Edge => (0..parent.edge_count()).collect(),
     };
     let mut chosen: Vec<usize> = Vec::new();
-    fn recurse(
-        parent: &Graph,
-        spanner: &Spanner,
+    struct Search<'a> {
+        parent: &'a Graph,
+        spanner: &'a Spanner,
         model: FaultModel,
-        pool: &[usize],
-        from: usize,
-        remaining: usize,
-        chosen: &mut Vec<usize>,
-        audit: &mut FaultAudit,
-    ) {
-        let faults = match model {
-            FaultModel::Vertex => FaultSet::vertices(chosen.iter().map(|i| NodeId::new(*i))),
-            FaultModel::Edge => FaultSet::edges(chosen.iter().map(|i| EdgeId::new(*i))),
-        };
-        let report = verify_under_faults(parent, spanner, &faults);
-        audit.record(&faults, report);
-        if remaining == 0 {
-            return;
-        }
-        for i in from..pool.len() {
-            chosen.push(pool[i]);
-            recurse(parent, spanner, model, pool, i + 1, remaining - 1, chosen, audit);
-            chosen.pop();
+        pool: &'a [usize],
+    }
+    impl Search<'_> {
+        fn recurse(
+            &self,
+            from: usize,
+            remaining: usize,
+            chosen: &mut Vec<usize>,
+            audit: &mut FaultAudit,
+        ) {
+            let faults = match self.model {
+                FaultModel::Vertex => FaultSet::vertices(chosen.iter().map(|i| NodeId::new(*i))),
+                FaultModel::Edge => FaultSet::edges(chosen.iter().map(|i| EdgeId::new(*i))),
+            };
+            let report = verify_under_faults(self.parent, self.spanner, &faults);
+            audit.record(&faults, report);
+            if remaining == 0 {
+                return;
+            }
+            for i in from..self.pool.len() {
+                chosen.push(self.pool[i]);
+                self.recurse(i + 1, remaining - 1, chosen, audit);
+                chosen.pop();
+            }
         }
     }
-    recurse(parent, spanner, model, &pool, 0, budget, &mut chosen, &mut audit);
+    Search {
+        parent,
+        spanner,
+        model,
+        pool: &pool,
+    }
+    .recurse(0, budget, &mut chosen, &mut audit);
     audit
 }
 
@@ -339,11 +350,9 @@ pub fn verify_ft_adversarial(parent: &Graph, ft: &FtSpanner) -> FaultAudit {
     for witness in ft.witnesses() {
         let faults = match witness {
             FaultSet::Vertices(v) => FaultSet::vertices(v.iter().copied()),
-            FaultSet::Edges(own_edges) => FaultSet::edges(
-                own_edges
-                    .iter()
-                    .map(|e| ft.spanner().parent_edge(*e)),
-            ),
+            FaultSet::Edges(own_edges) => {
+                FaultSet::edges(own_edges.iter().map(|e| ft.spanner().parent_edge(*e)))
+            }
         };
         let report = verify_under_faults(parent, ft.spanner(), &faults);
         audit.record(&faults, report);
@@ -378,7 +387,10 @@ mod tests {
         let s = greedy_spanner(&g, 3);
         assert_eq!(s.edge_count(), 3, "C4 loses exactly one edge at k=3");
         let audit = verify_ft_exhaustive(&g, &s, 1, FaultModel::Vertex);
-        assert!(!audit.satisfied(), "plain spanner should break under faults");
+        assert!(
+            !audit.satisfied(),
+            "plain spanner should break under faults"
+        );
         assert!(audit.trials > 1);
     }
 
@@ -400,10 +412,7 @@ mod tests {
     #[test]
     fn ft_greedy_passes_exhaustive_edge_audit() {
         let g = grid(3, 3);
-        let ft = FtGreedy::new(&g, 3)
-            .faults(1)
-            .model(FaultModel::Edge)
-            .run();
+        let ft = FtGreedy::new(&g, 3).faults(1).model(FaultModel::Edge).run();
         let audit = verify_ft_exhaustive(&g, ft.spanner(), 1, FaultModel::Edge);
         assert!(audit.satisfied(), "{:?}", audit.first_violation);
     }
@@ -430,10 +439,7 @@ mod tests {
     #[test]
     fn adversarial_audit_edge_model_translates_ids() {
         let g = grid(3, 3);
-        let ft = FtGreedy::new(&g, 3)
-            .faults(1)
-            .model(FaultModel::Edge)
-            .run();
+        let ft = FtGreedy::new(&g, 3).faults(1).model(FaultModel::Edge).run();
         let audit = verify_ft_adversarial(&g, &ft);
         assert!(audit.satisfied(), "{:?}", audit.first_violation);
     }

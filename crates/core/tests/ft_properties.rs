@@ -87,9 +87,17 @@ fn lemma3_check(g: &Graph, f: usize) -> Result<(), proptest::test_runner::TestCa
         prop_assert!(b.is_well_formed(ft.spanner().graph()));
         // Blocking property over all (k+1)-cycles.
         let report = spanner_core::verify_blocking_set(
-            ft.spanner().graph(), &b, (stretch + 1) as usize, 100_000);
-        prop_assert!(report.is_valid(),
-            "unblocked={} of {}", report.unblocked.len(), report.cycles_checked);
+            ft.spanner().graph(),
+            &b,
+            (stretch + 1) as usize,
+            100_000,
+        );
+        prop_assert!(
+            report.is_valid(),
+            "unblocked={} of {}",
+            report.unblocked.len(),
+            report.cycles_checked
+        );
     }
     Ok(())
 }

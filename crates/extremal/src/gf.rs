@@ -17,7 +17,11 @@ pub struct NotPrimeError {
 
 impl fmt::Display for NotPrimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "field order {} is not a prime in the supported range", self.order)
+        write!(
+            f,
+            "field order {} is not a prime in the supported range",
+            self.order
+        )
     }
 }
 

@@ -42,7 +42,9 @@ pub fn high_girth_graph(n: usize, girth_above: usize, rng: &mut impl Rng) -> Gra
     // Expected degree d with (n d^{g-1}) short-cycle estimate ≲ m/2:
     // d^{g-2} ≈ n/4, i.e. d = (n/4)^{1/(g-2)} with g = girth_above + 1.
     let g_target = girth_above + 1;
-    let d = (n as f64 / 4.0).powf(1.0 / (g_target as f64 - 2.0)).max(1.0);
+    let d = (n as f64 / 4.0)
+        .powf(1.0 / (g_target as f64 - 2.0))
+        .max(1.0);
     let p = (d / n as f64).min(1.0);
     let base = generators::erdos_renyi(n, p, rng);
     delete_short_cycles(&base, girth_above)
@@ -64,9 +66,7 @@ pub fn delete_short_cycles(graph: &Graph, girth_above: usize) -> Graph {
             }
         }
     }
-    let kept = graph
-        .edge_ids()
-        .filter(|e| !mask.is_edge_faulted(*e));
+    let kept = graph.edge_ids().filter(|e| !mask.is_edge_faulted(*e));
     let result = subgraph::edge_subgraph(graph, kept).graph;
     debug_assert!(girth::has_girth_greater_than(
         &result,

@@ -76,7 +76,10 @@ impl BlowUp {
 
     /// Splits a product vertex into `(base_vertex, copy)`.
     pub fn coordinates(&self, v: NodeId) -> (NodeId, usize) {
-        (NodeId::new(v.index() / self.copies), v.index() % self.copies)
+        (
+            NodeId::new(v.index() / self.copies),
+            v.index() % self.copies,
+        )
     }
 
     /// The base edge a product edge corresponds to.
@@ -87,7 +90,10 @@ impl BlowUp {
     /// The product edge id for copy `(x, y)` of base edge `base_edge`
     /// (`x` on the `u`-side, `y` on the `v`-side of the base edge).
     pub fn product_edge(&self, base_edge: EdgeId, x: usize, y: usize) -> EdgeId {
-        assert!(x < self.copies && y < self.copies, "copy index out of range");
+        assert!(
+            x < self.copies && y < self.copies,
+            "copy index out of range"
+        );
         EdgeId::new(base_edge.index() * self.copies * self.copies + x * self.copies + y)
     }
 

@@ -111,10 +111,7 @@ mod tests {
     fn moore_monotone_decreasing_in_k() {
         let n = 500.0;
         for k in 3..12 {
-            assert!(
-                moore_bound(n, k) >= moore_bound(n, k + 1) - 1e-9,
-                "k={k}"
-            );
+            assert!(moore_bound(n, k) >= moore_bound(n, k + 1) - 1e-9, "k={k}");
         }
     }
 

@@ -82,7 +82,10 @@ impl ProjectivePlane {
         let a = self.points[p];
         let b = self.points[l];
         let f = self.field;
-        let dot = f.add(f.add(f.mul(a[0], b[0]), f.mul(a[1], b[1])), f.mul(a[2], b[2]));
+        let dot = f.add(
+            f.add(f.mul(a[0], b[0]), f.mul(a[1], b[1])),
+            f.mul(a[2], b[2]),
+        );
         dot == 0
     }
 

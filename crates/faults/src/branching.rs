@@ -363,9 +363,15 @@ mod tests {
                         use_cut_shortcut,
                     });
                     let f = o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex));
-                    assert!(f.is_some(), "packing={use_packing} memo={use_memo} cut={use_cut_shortcut}");
+                    assert!(
+                        f.is_some(),
+                        "packing={use_packing} memo={use_memo} cut={use_cut_shortcut}"
+                    );
                     let none = o.find_blocking_faults(&g, q(0, 3, 2, 1, FaultModel::Vertex));
-                    assert!(none.is_none(), "packing={use_packing} memo={use_memo} cut={use_cut_shortcut}");
+                    assert!(
+                        none.is_none(),
+                        "packing={use_packing} memo={use_memo} cut={use_cut_shortcut}"
+                    );
                 }
             }
         }
@@ -386,11 +392,8 @@ mod tests {
     #[test]
     fn returned_set_actually_blocks() {
         use spanner_graph::dijkstra;
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]).unwrap();
         let mut o = BranchingOracle::new();
         let query = q(0, 5, 2, 2, FaultModel::Vertex);
         let f = o.find_blocking_faults(&g, query).unwrap();

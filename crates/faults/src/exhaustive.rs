@@ -164,10 +164,7 @@ mod tests {
         let f = o
             .find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex))
             .unwrap();
-        assert_eq!(
-            f,
-            FaultSet::vertices([NodeId::new(1), NodeId::new(2)])
-        );
+        assert_eq!(f, FaultSet::vertices([NodeId::new(1), NodeId::new(2)]));
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub enum PickRule {
 impl PickRule {
     /// All rules in the order the oracle tries them.
     pub fn all() -> [PickRule; 4] {
-        [PickRule::Middle, PickRule::MaxDegree, PickRule::First, PickRule::Last]
+        [
+            PickRule::Middle,
+            PickRule::MaxDegree,
+            PickRule::First,
+            PickRule::Last,
+        ]
     }
 }
 
@@ -76,7 +81,12 @@ impl GreedyHeuristicOracle {
         GreedyHeuristicOracle::default()
     }
 
-    fn pick(graph: &Graph, path: &ShortestPath, rule: PickRule, model: FaultModel) -> Option<usize> {
+    fn pick(
+        graph: &Graph,
+        path: &ShortestPath,
+        rule: PickRule,
+        model: FaultModel,
+    ) -> Option<usize> {
         match model {
             FaultModel::Vertex => {
                 let interior = path.interior_nodes();
@@ -244,22 +254,29 @@ mod tests {
     fn finds_easy_cuts() {
         let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
         let mut o = GreedyHeuristicOracle::new();
-        assert!(o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex)).is_some());
-        assert!(o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Edge)).is_some());
+        assert!(o
+            .find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex))
+            .is_some());
+        assert!(o
+            .find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Edge))
+            .is_some());
     }
 
     #[test]
     fn direct_edge_unblockable_in_vertex_model() {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
         let mut o = GreedyHeuristicOracle::new();
-        assert!(o.find_blocking_faults(&g, q(0, 1, 1, 9, FaultModel::Vertex)).is_none());
+        assert!(o
+            .find_blocking_faults(&g, q(0, 1, 1, 9, FaultModel::Vertex))
+            .is_none());
     }
 
     #[test]
     fn polynomial_query_count() {
         // Whatever happens, the heuristic issues at most
         // |rules| * (budget + 1) shortest-path queries per call.
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)]).unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)]).unwrap();
         let budget = 4;
         let mut o = GreedyHeuristicOracle::new();
         let _ = o.find_blocking_faults(&g, q(0, 5, 3, budget, FaultModel::Vertex));
@@ -274,7 +291,11 @@ mod tests {
     fn zero_budget_matches_plain_distance_check() {
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
         let mut o = GreedyHeuristicOracle::new();
-        assert!(o.find_blocking_faults(&g, q(0, 2, 1, 0, FaultModel::Vertex)).is_some());
-        assert!(o.find_blocking_faults(&g, q(0, 2, 2, 0, FaultModel::Vertex)).is_none());
+        assert!(o
+            .find_blocking_faults(&g, q(0, 2, 1, 0, FaultModel::Vertex))
+            .is_some());
+        assert!(o
+            .find_blocking_faults(&g, q(0, 2, 2, 0, FaultModel::Vertex))
+            .is_none());
     }
 }

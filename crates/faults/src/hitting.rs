@@ -134,14 +134,8 @@ impl HittingSetOracle {
 impl FaultOracle for HittingSetOracle {
     fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
         let mask = FaultMask::for_graph(graph);
-        let enumeration = enumerate_bounded_paths(
-            graph,
-            &mask,
-            query.u,
-            query.v,
-            query.bound,
-            self.max_paths,
-        );
+        let enumeration =
+            enumerate_bounded_paths(graph, &mask, query.u, query.v, query.bound, self.max_paths);
         self.stats.shortest_path_queries += 1;
         if enumeration.truncated {
             // Too many short paths to materialize: stay exact via fallback.

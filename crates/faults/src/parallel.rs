@@ -101,9 +101,9 @@ impl FaultOracle for ParallelBranchingOracle {
         }
         self.stats.nodes_explored += 1;
         self.stats.shortest_path_queries += 1;
-        let Some(path) = self
-            .engine
-            .shortest_path_bounded(graph, query.u, query.v, query.bound, &mask)
+        let Some(path) =
+            self.engine
+                .shortest_path_bounded(graph, query.u, query.v, query.bound, &mask)
         else {
             return Some(FaultSet::empty(query.model));
         };
@@ -155,9 +155,7 @@ impl FaultOracle for ParallelBranchingOracle {
                             break;
                         }
                         let initial = match query.model {
-                            FaultModel::Vertex => {
-                                FaultSet::vertices([NodeId::new(candidates[i])])
-                            }
+                            FaultModel::Vertex => FaultSet::vertices([NodeId::new(candidates[i])]),
                             FaultModel::Edge => FaultSet::edges([EdgeId::new(candidates[i])]),
                         };
                         let found =
@@ -269,11 +267,10 @@ mod tests {
     #[test]
     fn stats_aggregate_from_workers() {
         let g = diamond();
-        let mut o = ParallelBranchingOracle::new(2)
-            .with_config(BranchingConfig {
-                use_cut_shortcut: false,
-                ..BranchingConfig::default()
-            });
+        let mut o = ParallelBranchingOracle::new(2).with_config(BranchingConfig {
+            use_cut_shortcut: false,
+            ..BranchingConfig::default()
+        });
         let _ = o.find_blocking_faults(&g, q(0, 3, 2, 2, FaultModel::Vertex));
         assert!(o.stats().shortest_path_queries > 0);
         o.reset_stats();

@@ -78,8 +78,17 @@ pub fn enumerate_bounded_paths(
     let mut nodes = vec![u];
     let mut edges: Vec<EdgeId> = Vec::new();
     dfs(
-        graph, mask, v, bound, &to_target, &mut on_path, &mut nodes, &mut edges, Dist::ZERO,
-        limit, &mut out,
+        graph,
+        mask,
+        v,
+        bound,
+        &to_target,
+        &mut on_path,
+        &mut nodes,
+        &mut edges,
+        Dist::ZERO,
+        limit,
+        &mut out,
     );
     out
 }
@@ -144,9 +153,23 @@ mod tests {
     fn counts_paths_in_diamond_with_chord() {
         let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]).unwrap();
         let mask = FaultMask::for_graph(&g);
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(1), 100);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(3),
+            Dist::finite(1),
+            100,
+        );
         assert_eq!(r.paths.len(), 1); // just the chord
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(3), 100);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(3),
+            Dist::finite(3),
+            100,
+        );
         // chord, 0-1-3, 0-2-3, 0-1-3 via... plus 3-hop paths 0-1-3? no:
         // 3-hop simple paths: 0-2-... none reach 3 in exactly 3 without repeat
         // except 0-1-... wait: 0-2-3 uses 2 edges; 3-edge paths: none exist
@@ -156,12 +179,27 @@ mod tests {
 
     #[test]
     fn weighted_bound_respected() {
-        let g = Graph::from_weighted_edges(4, [(0, 1, 5), (1, 3, 5), (0, 2, 1), (2, 3, 1)]).unwrap();
+        let g =
+            Graph::from_weighted_edges(4, [(0, 1, 5), (1, 3, 5), (0, 2, 1), (2, 3, 1)]).unwrap();
         let mask = FaultMask::for_graph(&g);
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(2), 100);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(3),
+            Dist::finite(2),
+            100,
+        );
         assert_eq!(r.paths.len(), 1);
         assert_eq!(r.paths[0].dist, Dist::finite(2));
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(10), 100);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(3),
+            Dist::finite(10),
+            100,
+        );
         assert_eq!(r.paths.len(), 2);
     }
 
@@ -169,7 +207,14 @@ mod tests {
     fn paths_are_simple_and_consistent() {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
         let mask = FaultMask::for_graph(&g);
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(4), Dist::finite(4), 1000);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(4),
+            Dist::finite(4),
+            1000,
+        );
         assert!(!r.truncated);
         for p in &r.paths {
             assert_eq!(*p.nodes.first().unwrap(), NodeId::new(0));
@@ -188,7 +233,14 @@ mod tests {
     fn truncation_reported() {
         let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]).unwrap();
         let mask = FaultMask::for_graph(&g);
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(3), 2);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(3),
+            Dist::finite(3),
+            2,
+        );
         assert!(r.truncated);
         assert_eq!(r.paths.len(), 2);
     }
@@ -198,7 +250,14 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
         let mut mask = FaultMask::for_graph(&g);
         mask.fault_vertex(NodeId::new(1));
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(5), 100);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(3),
+            Dist::finite(5),
+            100,
+        );
         assert_eq!(r.paths.len(), 1);
         assert_eq!(r.paths[0].interior_nodes(), &[NodeId::new(2)]);
     }
@@ -207,10 +266,24 @@ mod tests {
     fn unreachable_or_degenerate_cases() {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         let mask = FaultMask::for_graph(&g);
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(3), Dist::finite(9), 100);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(3),
+            Dist::finite(9),
+            100,
+        );
         assert!(r.paths.is_empty());
         // u == v yields nothing by contract.
-        let r = enumerate_bounded_paths(&g, &mask, NodeId::new(0), NodeId::new(0), Dist::finite(9), 100);
+        let r = enumerate_bounded_paths(
+            &g,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(0),
+            Dist::finite(9),
+            100,
+        );
         assert!(r.paths.is_empty());
     }
 }

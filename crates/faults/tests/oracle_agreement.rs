@@ -50,7 +50,11 @@ fn assert_valid_witness(g: &Graph, q: &OracleQuery, f: &spanner_faults::FaultSet
     }
     let mask = f.to_mask(g.node_count(), g.edge_count());
     let d = dijkstra::dist(g, q.u, q.v, &mask);
-    assert!(d > q.bound, "witness does not block: dist {d} <= bound {}", q.bound);
+    assert!(
+        d > q.bound,
+        "witness does not block: dist {d} <= bound {}",
+        q.bound
+    );
 }
 
 proptest! {

@@ -141,7 +141,14 @@ mod tests {
     fn fw_and_johnson_agree_on_weighted_graph() {
         let g = Graph::from_weighted_edges(
             5,
-            [(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 0, 1), (1, 3, 9)],
+            [
+                (0, 1, 2),
+                (1, 2, 2),
+                (2, 3, 2),
+                (3, 4, 2),
+                (4, 0, 1),
+                (1, 3, 9),
+            ],
         )
         .unwrap();
         let mask = FaultMask::for_graph(&g);

@@ -118,7 +118,10 @@ mod tests {
     fn hop_distances_on_path() {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         let mask = FaultMask::for_graph(&g);
-        assert_eq!(hop_distances(&g, NodeId::new(2), &mask), vec![2, 1, 0, 1, 2]);
+        assert_eq!(
+            hop_distances(&g, NodeId::new(2), &mask),
+            vec![2, 1, 0, 1, 2]
+        );
     }
 
     #[test]

@@ -130,7 +130,11 @@ impl BitSet {
         Iter {
             set: self,
             word_index: 0,
-            current: if self.words.is_empty() { 0 } else { self.words[0] },
+            current: if self.words.is_empty() {
+                0
+            } else {
+                self.words[0]
+            },
         }
     }
 

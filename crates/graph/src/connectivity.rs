@@ -100,7 +100,10 @@ pub fn vertex_connectivity_st(
         !mask.is_vertex_faulted(s) && !mask.is_vertex_faulted(t),
         "terminal is faulted"
     );
-    if graph.contains_edge(s, t).is_some_and(|e| !mask.is_edge_faulted(e)) {
+    if graph
+        .contains_edge(s, t)
+        .is_some_and(|e| !mask.is_edge_faulted(e))
+    {
         return None;
     }
     let net = split_network(graph, mask, s, t);
@@ -122,7 +125,13 @@ fn split_network(graph: &Graph, mask: &FaultMask, s: NodeId, t: NodeId) -> FlowN
         }
         net.add_arc(v.index(), v.index() + n, 1);
     }
-    let out_of = |v: NodeId| if v == s || v == t { v.index() } else { v.index() + n };
+    let out_of = |v: NodeId| {
+        if v == s || v == t {
+            v.index()
+        } else {
+            v.index() + n
+        }
+    };
     let in_of = |v: NodeId| v.index();
     for (id, e) in graph.edges() {
         if mask.is_edge_faulted(id)
@@ -183,7 +192,10 @@ pub fn min_vertex_cut_st(
         !mask.is_vertex_faulted(s) && !mask.is_vertex_faulted(t),
         "terminal is faulted"
     );
-    if graph.contains_edge(s, t).is_some_and(|e| !mask.is_edge_faulted(e)) {
+    if graph
+        .contains_edge(s, t)
+        .is_some_and(|e| !mask.is_edge_faulted(e))
+    {
         return None;
     }
     let n = graph.node_count();
@@ -254,7 +266,7 @@ pub fn vertex_connectivity(graph: &Graph, mask: &FaultMask) -> u32 {
     let mut lo = 0u32; // always k-connected for k = 0
     let mut hi = live - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if is_k_vertex_connected(graph, mask, mid) {
             lo = mid;
         } else {

@@ -243,7 +243,8 @@ mod tests {
 
     #[test]
     fn weighted_distances_preserved() {
-        let g = Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 2), (0, 3, 1), (3, 2, 3)]).unwrap();
+        let g =
+            Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 2), (0, 3, 1), (3, 2, 3)]).unwrap();
         let csr = CsrGraph::from_graph(&g);
         let mask = FaultMask::for_graph(&g);
         let d = csr.sssp(NodeId::new(0), &mask);

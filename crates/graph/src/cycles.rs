@@ -134,7 +134,12 @@ pub fn enumerate_short_cycles(
 }
 
 /// Counts short cycles without keeping them (same truncation contract).
-pub fn count_short_cycles(graph: &Graph, mask: &FaultMask, max_len: usize, limit: usize) -> (usize, bool) {
+pub fn count_short_cycles(
+    graph: &Graph,
+    mask: &FaultMask,
+    max_len: usize,
+    limit: usize,
+) -> (usize, bool) {
     let e = enumerate_short_cycles(graph, mask, max_len, limit);
     (e.cycles.len(), e.truncated)
 }

@@ -49,7 +49,12 @@ pub fn degeneracy_ordering(graph: &Graph, mask: &FaultMask) -> Degeneracy {
             }
         })
         .collect();
-    let max_degree = degree.iter().filter(|d| **d != usize::MAX).max().copied().unwrap_or(0);
+    let max_degree = degree
+        .iter()
+        .filter(|d| **d != usize::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
     // Bucket queue over degrees.
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_degree + 1];
     for (v, d) in degree.iter().enumerate() {
@@ -133,10 +138,7 @@ mod tests {
         let position: std::collections::HashMap<NodeId, usize> =
             d.order.iter().enumerate().map(|(i, v)| (*v, i)).collect();
         for (i, v) in d.order.iter().enumerate() {
-            let later = g
-                .neighbors(*v)
-                .filter(|(to, _)| position[to] > i)
-                .count();
+            let later = g.neighbors(*v).filter(|(to, _)| position[to] > i).count();
             assert!(later <= d.degeneracy, "{v} has {later} later neighbors");
         }
     }

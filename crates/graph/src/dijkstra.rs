@@ -220,7 +220,14 @@ impl DijkstraEngine {
         }
     }
 
-    fn run(&mut self, graph: &Graph, src: NodeId, dst: Option<NodeId>, bound: Dist, mask: &FaultMask) {
+    fn run(
+        &mut self,
+        graph: &Graph,
+        src: NodeId,
+        dst: Option<NodeId>,
+        bound: Dist,
+        mask: &FaultMask,
+    ) {
         let n = graph.node_count();
         self.prepare(n);
         if mask.is_vertex_faulted(src) {
@@ -261,7 +268,7 @@ impl DijkstraEngine {
                 if cand < self.dist[to.index()] {
                     self.dist[to.index()] = cand;
                     self.parent_node[to.index()] = v as u32;
-                    self.parent_edge[to.index()] = eid.raw() as u32;
+                    self.parent_edge[to.index()] = eid.raw();
                     heap.push_or_decrease(to.index(), cand.value().expect("finite"));
                 }
             }
@@ -408,7 +415,10 @@ mod tests {
             .shortest_path_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::INFINITE, &mask)
             .unwrap();
         assert_eq!(p.dist, Dist::finite(2));
-        assert_eq!(p.nodes, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            p.nodes,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
         assert_eq!(p.edges.len(), 2);
         assert_eq!(p.interior_nodes(), &[NodeId::new(1)]);
         let total: Dist = p.edges.iter().map(|e| g.weight(*e).to_dist()).sum();
@@ -455,7 +465,10 @@ mod tests {
     fn one_shot_helpers() {
         let g = weighted_diamond();
         let mask = FaultMask::for_graph(&g);
-        assert_eq!(dist(&g, NodeId::new(0), NodeId::new(2), &mask), Dist::finite(2));
+        assert_eq!(
+            dist(&g, NodeId::new(0), NodeId::new(2), &mask),
+            Dist::finite(2)
+        );
         assert_eq!(
             dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::finite(1), &mask),
             None

@@ -73,7 +73,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge between {u} and {v} already exists as {existing}")
             }
             GraphError::ZeroWeight { u, v } => {
-                write!(f, "edge between {u} and {v} has zero weight; weights must be positive")
+                write!(
+                    f,
+                    "edge between {u} and {v} has zero weight; weights must be positive"
+                )
             }
         }
     }
@@ -87,7 +90,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = GraphError::SelfLoop { node: NodeId::new(4) };
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(4),
+        };
         assert_eq!(e.to_string(), "self-loop at v4 is not allowed");
         let e = GraphError::NodeOutOfRange {
             node: NodeId::new(9),

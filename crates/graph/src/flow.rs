@@ -62,11 +62,22 @@ impl FlowNetwork {
     ///
     /// Panics if an endpoint is out of range.
     pub fn add_arc(&mut self, from: usize, to: usize, cap: u32) {
-        assert!(from < self.adj.len() && to < self.adj.len(), "arc endpoint out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "arc endpoint out of range"
+        );
         let rev_from = self.adj[to].len() as u32;
         let rev_to = self.adj[from].len() as u32;
-        self.adj[from].push(Arc { to: to as u32, cap, rev: rev_from });
-        self.adj[to].push(Arc { to: from as u32, cap: 0, rev: rev_to });
+        self.adj[from].push(Arc {
+            to: to as u32,
+            cap,
+            rev: rev_from,
+        });
+        self.adj[to].push(Arc {
+            to: from as u32,
+            cap: 0,
+            rev: rev_to,
+        });
     }
 
     /// Adds an undirected unit edge: capacity 1 in both directions.
@@ -141,7 +152,10 @@ impl FlowNetwork {
     ///
     /// Panics if `s` or `t` is out of range or `s == t`.
     pub fn max_flow(&mut self, s: usize, t: usize, limit: u32) -> u32 {
-        assert!(s < self.adj.len() && t < self.adj.len(), "terminal out of range");
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "terminal out of range"
+        );
         assert_ne!(s, t, "source equals sink");
         let mut flow = 0;
         while flow < limit && self.bfs(s, t) {

@@ -129,7 +129,10 @@ pub fn hypercube(dim: u32) -> Graph {
 /// which keeps the graph simple and 3-regular).
 pub fn generalized_petersen(n: usize, k: usize) -> Graph {
     assert!(n >= 3, "generalized Petersen needs n >= 3");
-    assert!(k >= 1 && 2 * k < n, "generalized Petersen needs 1 <= k < n/2");
+    assert!(
+        k >= 1 && 2 * k < n,
+        "generalized Petersen needs 1 <= k < n/2"
+    );
     let mut g = Graph::with_edge_capacity(2 * n, 3 * n);
     for i in 0..n {
         // Outer cycle.

@@ -47,9 +47,11 @@ pub fn graph_of_points(points: &[(f64, f64)], radius: f64) -> Graph {
     assert!(radius > 0.0, "radius must be positive");
     let n = points.len();
     let mut g = Graph::new(n);
-    // Bucket grid of cell size radius: only neighboring cells can hold
+    // Bucket grid of cell size >= radius: only neighboring cells can hold
     // endpoints within range, making construction O(n + m) in expectation.
-    let cells = (1.0 / radius).ceil().max(1.0) as usize;
+    // (floor, not ceil: ceil would make cells narrower than the radius and
+    // the 3x3 neighborhood scan would miss near-radius pairs.)
+    let cells = (1.0 / radius).floor().max(1.0) as usize;
     let cell_of = |p: (f64, f64)| {
         let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
         let cy = ((p.1 * cells as f64) as usize).min(cells - 1);

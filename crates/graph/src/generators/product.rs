@@ -67,7 +67,10 @@ pub fn product_node(a: NodeId, b: NodeId, b_count: usize) -> NodeId {
 /// `(a, b)` coordinates.
 #[inline]
 pub fn product_coordinates(v: NodeId, b_count: usize) -> (NodeId, NodeId) {
-    (NodeId::new(v.index() / b_count), NodeId::new(v.index() % b_count))
+    (
+        NodeId::new(v.index() / b_count),
+        NodeId::new(v.index() % b_count),
+    )
 }
 
 #[cfg(test)]

@@ -126,7 +126,10 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
     // Circulant base: connect i to i±1, i±2, ..., i±d/2 (and i + n/2 for odd d).
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
     let mut present: HashSet<(usize, usize)> = HashSet::with_capacity(n * d);
-    let push = |edges: &mut Vec<(usize, usize)>, present: &mut HashSet<(usize, usize)>, a: usize, b: usize| {
+    let push = |edges: &mut Vec<(usize, usize)>,
+                present: &mut HashSet<(usize, usize)>,
+                a: usize,
+                b: usize| {
         let key = (a.min(b), a.max(b));
         if present.insert(key) {
             edges.push(key);
@@ -346,7 +349,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let g = preferential_attachment(300, 2, &mut rng);
         // Scale-free-ish: max degree far above the minimum (2).
-        assert!(g.max_degree() > 10, "max degree {} too small", g.max_degree());
+        assert!(
+            g.max_degree() > 10,
+            "max degree {} too small",
+            g.max_degree()
+        );
     }
 }
 
@@ -376,11 +383,11 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Grap
             }
         }
     }
-    for idx in 0..edges.len() {
+    for edge in edges.iter_mut() {
         if !rng.gen_bool(beta) {
             continue;
         }
-        let (u, old_v) = edges[idx];
+        let (u, old_v) = *edge;
         // Rewire the far endpoint to a uniform random fresh target.
         let mut attempts = 0;
         loop {
@@ -394,7 +401,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut impl Rng) -> Grap
             }
             present.remove(&key(u, old_v));
             present.insert(key(u, new_v));
-            edges[idx] = key(u, new_v);
+            *edge = key(u, new_v);
             break;
         }
     }

@@ -192,7 +192,8 @@ mod tests {
     #[test]
     fn fault_can_increase_girth() {
         // Triangle plus a pendant 4-cycle sharing one vertex.
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 2)]).unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 2)]).unwrap();
         let mut mask = FaultMask::for_graph(&g);
         assert_eq!(girth(&g, &mask), Some(3));
         mask.fault_vertex(NodeId::new(0));

@@ -244,7 +244,10 @@ impl Graph {
     ///
     /// Panics if `node` is out of range.
     #[inline]
-    pub fn neighbors(&self, node: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + Clone + '_ {
+    pub fn neighbors(
+        &self,
+        node: NodeId,
+    ) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + Clone + '_ {
         self.adjacency[node.index()].iter().copied()
     }
 
@@ -299,13 +302,24 @@ impl Graph {
     ///
     /// Returns [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`], or
     /// [`GraphError::DuplicateEdge`].
-    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> Result<EdgeId, GraphError> {
+    pub fn try_add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        weight: Weight,
+    ) -> Result<EdgeId, GraphError> {
         let n = self.node_count();
         if u.index() >= n {
-            return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: n,
+            });
         }
         if v.index() >= n {
-            return Err(GraphError::NodeOutOfRange { node: v, node_count: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
@@ -394,7 +408,12 @@ impl fmt::Debug for Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "graph with {} nodes, {} edges:", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "graph with {} nodes, {} edges:",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for (id, e) in self.edges() {
             writeln!(f, "  {id}: {} -- {} (w={})", e.u(), e.v(), e.weight())?;
         }
@@ -450,7 +469,12 @@ mod tests {
     fn rejects_self_loop() {
         let mut g = Graph::new(2);
         let err = g.try_add_edge(NodeId::new(1), NodeId::new(1), Weight::UNIT);
-        assert_eq!(err, Err(GraphError::SelfLoop { node: NodeId::new(1) }));
+        assert_eq!(
+            err,
+            Err(GraphError::SelfLoop {
+                node: NodeId::new(1)
+            })
+        );
     }
 
     #[test]
@@ -489,7 +513,8 @@ mod tests {
 
     #[test]
     fn edges_by_weight_sorts_with_stable_ties() {
-        let g = Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 1), (2, 3, 5), (3, 0, 2)]).unwrap();
+        let g =
+            Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 1), (2, 3, 5), (3, 0, 2)]).unwrap();
         let order = g.edges_by_weight();
         let weights: Vec<u64> = order.iter().map(|e| g.weight(*e).get()).collect();
         assert_eq!(weights, vec![1, 2, 5, 5]);

@@ -122,10 +122,12 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
             line: line_no,
             message: "edge before nodes header".to_string(),
         })?;
-        let u = first.parse::<usize>().map_err(|_| ParseGraphError::Syntax {
-            line: line_no,
-            message: format!("bad vertex id {first:?}"),
-        })?;
+        let u = first
+            .parse::<usize>()
+            .map_err(|_| ParseGraphError::Syntax {
+                line: line_no,
+                message: format!("bad vertex id {first:?}"),
+            })?;
         let v = parse_token::<usize>(tokens.next(), "second endpoint", line_no)?;
         let w = match tokens.next() {
             None => 1u64,

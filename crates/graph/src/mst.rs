@@ -89,7 +89,8 @@ mod tests {
 
     #[test]
     fn cycle_drops_heaviest_edge() {
-        let g = Graph::from_weighted_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 9)]).unwrap();
+        let g =
+            Graph::from_weighted_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 9)]).unwrap();
         let f = minimum_spanning_forest(&g, &FaultMask::for_graph(&g));
         assert_eq!(f.len(), 3);
         assert_eq!(f.total_weight, Dist::finite(6));

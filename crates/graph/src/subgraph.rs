@@ -140,7 +140,10 @@ where
         graph.add_edge_unchecked(e.u(), e.v(), e.weight());
         to_parent_edge.push(eid);
     }
-    EdgeSubgraph { graph, to_parent_edge }
+    EdgeSubgraph {
+        graph,
+        to_parent_edge,
+    }
 }
 
 /// Removes the listed edges, keeping everything else (complement of
@@ -154,10 +157,7 @@ where
         assert!(e.index() < parent.edge_count(), "edge out of range");
         drop[e.index()] = true;
     }
-    edge_subgraph(
-        parent,
-        parent.edge_ids().filter(|e| !drop[e.index()]),
-    )
+    edge_subgraph(parent, parent.edge_ids().filter(|e| !drop[e.index()]))
 }
 
 #[cfg(test)]
@@ -166,7 +166,8 @@ mod tests {
     use crate::Weight;
 
     fn square_with_diagonal() -> Graph {
-        Graph::from_weighted_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)]).unwrap()
+        Graph::from_weighted_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)])
+            .unwrap()
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub fn complement(graph: &Graph) -> Graph {
 /// Disjoint union: `b`'s vertices are appended after `a`'s.
 pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
     let offset = a.node_count();
-    let mut out = Graph::with_edge_capacity(offset + b.node_count(), a.edge_count() + b.edge_count());
+    let mut out =
+        Graph::with_edge_capacity(offset + b.node_count(), a.edge_count() + b.edge_count());
     for (_, e) in a.edges() {
         out.add_edge_unchecked(e.u(), e.v(), e.weight());
     }
@@ -164,7 +165,15 @@ mod tests {
         mask.fault_edge(EdgeId::new(4)); // edge 4-0
         let (c, kept) = compact(&g, &mask);
         assert_eq!(c.node_count(), 4);
-        assert_eq!(kept, vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(4)]);
+        assert_eq!(
+            kept,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(4)
+            ]
+        );
         // Surviving edges: (0,1) and (3,4): edges through vertex 2 and the
         // faulted edge are gone.
         assert_eq!(c.edge_count(), 2);

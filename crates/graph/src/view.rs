@@ -186,8 +186,14 @@ mod tests {
         mask.fault_vertex(NodeId::new(0));
         mask.fault_edge(EdgeId::new(2));
         assert_eq!(mask.fault_count(), 2);
-        assert_eq!(mask.faulted_vertices().collect::<Vec<_>>(), vec![NodeId::new(0)]);
-        assert_eq!(mask.faulted_edges().collect::<Vec<_>>(), vec![EdgeId::new(2)]);
+        assert_eq!(
+            mask.faulted_vertices().collect::<Vec<_>>(),
+            vec![NodeId::new(0)]
+        );
+        assert_eq!(
+            mask.faulted_edges().collect::<Vec<_>>(),
+            vec![EdgeId::new(2)]
+        );
     }
 
     #[test]

@@ -38,7 +38,14 @@ fn brute_min_edge_cut(g: &Graph, s: NodeId, t: NodeId) -> u32 {
     m as u32
 }
 
-fn try_edge_subsets(g: &Graph, s: NodeId, t: NodeId, from: usize, remaining: usize, chosen: &mut Vec<usize>) -> bool {
+fn try_edge_subsets(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    from: usize,
+    remaining: usize,
+    chosen: &mut Vec<usize>,
+) -> bool {
     if remaining == 0 {
         let mut mask = FaultMask::for_graph(g);
         for e in chosen.iter() {
@@ -176,7 +183,13 @@ proptest! {
 /// Max edge weight on the unique forest path between u and v.
 fn forest_path_max_weight(forest: &Graph, u: NodeId, v: NodeId) -> u64 {
     // DFS from u to v tracking the max weight.
-    fn dfs(g: &Graph, cur: NodeId, target: NodeId, prev: Option<EdgeId>, max_w: u64) -> Option<u64> {
+    fn dfs(
+        g: &Graph,
+        cur: NodeId,
+        target: NodeId,
+        prev: Option<EdgeId>,
+        max_w: u64,
+    ) -> Option<u64> {
         if cur == target {
             return Some(max_w);
         }

@@ -40,9 +40,9 @@ fn arb_graph(max_n: usize, max_w: u64) -> impl Strategy<Value = Graph> {
 fn floyd_warshall(graph: &Graph, mask: &FaultMask) -> Vec<Vec<Dist>> {
     let n = graph.node_count();
     let mut d = vec![vec![Dist::INFINITE; n]; n];
-    for v in 0..n {
+    for (v, row) in d.iter_mut().enumerate() {
         if !mask.is_vertex_faulted(NodeId::new(v)) {
-            d[v][v] = Dist::ZERO;
+            row[v] = Dist::ZERO;
         }
     }
     for (id, e) in graph.edges() {

@@ -1,9 +1,7 @@
 //! Property tests for transforms, APSP, serialization, and generators.
 
 use proptest::prelude::*;
-use spanner_graph::{
-    apsp, io, transform, FaultMask, Graph, NodeId, Weight,
-};
+use spanner_graph::{apsp, io, transform, FaultMask, Graph, NodeId, Weight};
 
 fn arb_graph(max_n: usize, max_w: u64) -> impl Strategy<Value = Graph> {
     (2..=max_n).prop_flat_map(move |n| {

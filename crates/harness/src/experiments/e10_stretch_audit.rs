@@ -63,7 +63,12 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         fnum(plain.max_stretch),
         sampled.violations.to_string(),
         adversarial.violations.to_string(),
-        if certificate.is_none() { "clean" } else { "VIOLATION" }.to_string(),
+        if certificate.is_none() {
+            "clean"
+        } else {
+            "VIOLATION"
+        }
+        .to_string(),
     ]);
 
     // FT-greedy, edge model.
@@ -101,7 +106,12 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         fnum(plain.max_stretch),
         sampled.violations.to_string(),
         "-".to_string(),
-        if dk_certificate.is_none() { "clean" } else { "VIOLATION" }.to_string(),
+        if dk_certificate.is_none() {
+            "clean"
+        } else {
+            "VIOLATION"
+        }
+        .to_string(),
     ]);
 
     // Union baseline (edge model).

@@ -30,7 +30,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut notes = Vec::new();
     let mut figures = Vec::new();
     for &stretch in stretches {
-        let kappa = (stretch + 1) / 2;
+        let kappa = stretch.div_ceil(2);
         let cells: Vec<(usize, u64)> = (0..=max_f)
             .flat_map(|f| (0..seeds).map(move |s| (f, s)))
             .collect();
@@ -72,9 +72,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             // Scale the reference curve through the first measured point so
             // shapes (slopes) are comparable on the same log-log canvas.
             let scale = first_y / corollary2_bound(n as f64, *first_x as u64, kappa);
-            reference.points(xs.iter().map(|f| {
-                (*f, scale * corollary2_bound(n as f64, *f as u64, kappa))
-            }));
+            reference.points(
+                xs.iter()
+                    .map(|f| (*f, scale * corollary2_bound(n as f64, *f as u64, kappa))),
+            );
         }
         figures.push(
             Plot::new(

@@ -16,7 +16,11 @@ use spanner_graph::generators::erdos_renyi;
 
 /// Runs E2. See the module docs.
 pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
-    let ns: Vec<usize> = ctx.pick(vec![24, 36, 48], vec![40, 60, 90, 130], vec![60, 90, 130, 180, 250]);
+    let ns: Vec<usize> = ctx.pick(
+        vec![24, 36, 48],
+        vec![40, 60, 90, 130],
+        vec![60, 90, 130, 180, 250],
+    );
     let p = 0.3;
     let stretches: &[u64] = ctx.pick(&[3][..], &[3], &[3, 5]);
     let fs: &[usize] = ctx.pick(&[1][..], &[0, 2], &[0, 2]);
@@ -27,12 +31,12 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         ["stretch", "f", "n", "|E(G)|", "|E(H)|"],
     );
     let mut notes = Vec::new();
-    let mut figure = Plot::new("Figure E2: |E(H)| vs n, log-log", 56, 14)
-        .scale(AxisScale::Log, AxisScale::Log);
+    let mut figure =
+        Plot::new("Figure E2: |E(H)| vs n, log-log", 56, 14).scale(AxisScale::Log, AxisScale::Log);
     let markers = ['#', 'o', '+', 'x'];
     let mut marker_idx = 0usize;
     for &stretch in stretches {
-        let kappa = (stretch + 1) / 2;
+        let kappa = stretch.div_ceil(2);
         for &f in fs {
             let cells: Vec<(usize, u64)> = ns
                 .iter()

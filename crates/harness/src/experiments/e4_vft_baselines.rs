@@ -62,8 +62,14 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
                 &mut rng,
             );
             let dk_ms = t1.elapsed().as_secs_f64() * 1e3;
-            let greedy_audit =
-                verify_ft_sampled(&g, greedy.spanner(), f, FaultModel::Vertex, audit_trials, &mut rng);
+            let greedy_audit = verify_ft_sampled(
+                &g,
+                greedy.spanner(),
+                f,
+                FaultModel::Vertex,
+                audit_trials,
+                &mut rng,
+            );
             let dk_audit =
                 verify_ft_sampled(&g, &dk, f, FaultModel::Vertex, audit_trials, &mut rng);
             (

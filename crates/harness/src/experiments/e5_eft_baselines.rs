@@ -16,6 +16,9 @@ use spanner_faults::FaultModel;
 use spanner_graph::generators::{erdos_renyi, grid, watts_strogatz};
 use spanner_graph::Graph;
 
+/// A named seeded graph family compared by the experiment.
+type GraphFamily<'a> = (&'a str, Box<dyn Fn(u64) -> Graph + Sync>);
+
 /// Runs E5. See the module docs.
 pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let n = ctx.pick(28, 60, 100);
@@ -28,11 +31,18 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
 
     let mut table = Table::new(
         format!("E5: EFT greedy vs union baseline  (stretch {stretch}, mean over {seeds} seeds)"),
-        ["graph", "f", "greedy |E(H)|", "union |E(H)|", "union/greedy", "audits"],
+        [
+            "graph",
+            "f",
+            "greedy |E(H)|",
+            "union |E(H)|",
+            "union/greedy",
+            "audits",
+        ],
     );
     let mut notes = Vec::new();
     let mut greedy_never_larger = true;
-    let families: Vec<(&str, Box<dyn Fn(u64) -> Graph + Sync>)> = vec![
+    let families: Vec<GraphFamily> = vec![
         (
             "G(n,p)",
             Box::new(move |seed| {

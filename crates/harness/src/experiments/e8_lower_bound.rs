@@ -60,10 +60,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut blocking_all_valid = true;
     let cells: Vec<(String, Graph, usize)> = bases
         .iter()
-        .flat_map(|(name, base)| {
-            fs.iter()
-                .map(move |&f| (name.clone(), base.clone(), f))
-        })
+        .flat_map(|(name, base)| fs.iter().map(move |&f| (name.clone(), base.clone(), f)))
         .collect();
     let results = parallel_map(cells, ctx.threads, |(name, base, f)| {
         let t = f / 2 + 1; // criticality budget 2(t-1) = f

@@ -99,7 +99,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut search_series = Series::new("pure search (packing+memo)", '#');
     let mut naive_series = Series::new("naive search", 'o');
     let mut cut_series = Series::new("with min-cut shortcut", '+');
-    for (f, pruned_nodes, pruned_ms, noprune_nodes, exhaustive_nodes, full_nodes, cut_hits) in results {
+    for (f, pruned_nodes, pruned_ms, noprune_nodes, exhaustive_nodes, full_nodes, cut_hits) in
+        results
+    {
         search_series.point(f as f64, pruned_nodes as f64);
         if let Some(v) = noprune_nodes {
             naive_series.point(f as f64, v as f64);
@@ -124,9 +126,8 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
         prev = Some(pruned_nodes);
     }
     if !growth_ratios.is_empty() {
-        let geo_mean = (growth_ratios.iter().map(|r| r.ln()).sum::<f64>()
-            / growth_ratios.len() as f64)
-            .exp();
+        let geo_mean =
+            (growth_ratios.iter().map(|r| r.ln()).sum::<f64>() / growth_ratios.len() as f64).exp();
         notes.push(format!(
             "work grows ×{geo_mean:.2} per extra fault on average (exponential, as the open problem states)"
         ));

@@ -17,6 +17,10 @@
 //! | e9 | oracle cost exponential in `f`     | Figure 4 |
 //! | e10| fault-injection stretch audit      | Table 6 |
 
+pub mod e10_stretch_audit;
+pub mod e11_heuristic;
+pub mod e12_lightness;
+pub mod e13_simulation;
 pub mod e1_size_vs_f;
 pub mod e2_size_vs_n;
 pub mod e3_size_vs_k;
@@ -26,10 +30,6 @@ pub mod e6_blocking;
 pub mod e7_peeling;
 pub mod e8_lower_bound;
 pub mod e9_oracle_cost;
-pub mod e10_stretch_audit;
-pub mod e11_heuristic;
-pub mod e12_lightness;
-pub mod e13_simulation;
 
 use crate::Table;
 
@@ -89,10 +89,13 @@ pub struct ExperimentOutput {
     pub notes: Vec<String>,
 }
 
+/// An experiment entry point, as stored in the [`registry`].
+pub type ExperimentFn = fn(&ExperimentContext) -> ExperimentOutput;
+
 /// The full registry in canonical order.
-pub fn registry() -> Vec<(&'static str, fn(&ExperimentContext) -> ExperimentOutput)> {
+pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("e1", e1_size_vs_f::run as fn(&ExperimentContext) -> ExperimentOutput),
+        ("e1", e1_size_vs_f::run as ExperimentFn),
         ("e2", e2_size_vs_n::run),
         ("e3", e3_size_vs_k::run),
         ("e4", e4_vft_baselines::run),
@@ -117,10 +120,7 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|(id, _)| *id).collect();
         assert_eq!(
             ids,
-            vec![
-                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
-                "e13"
-            ]
+            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"]
         );
     }
 

@@ -132,7 +132,10 @@ impl Plot {
             out.push_str("(no plottable points)\n");
             return out;
         }
-        let all: Vec<(f64, f64)> = transformed.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = transformed
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
         let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
         for (x, y) in &all {
@@ -152,7 +155,8 @@ impl Plot {
             let marker = self.series[*si].marker;
             for (x, y) in pts {
                 let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy;
                 grid[row][cx] = marker;
             }
@@ -221,7 +225,7 @@ mod tests {
         let out = plot.render();
         assert!(out.contains("=== demo ==="));
         assert!(out.contains("# = s"));
-        assert!(out.matches('#').count() >= 2 + 1); // 2 points + legend
+        assert!(out.matches('#').count() >= 3); // 2 points + legend
     }
 
     #[test]
@@ -245,7 +249,7 @@ mod tests {
         let out = plot.render();
         // Only the two positive-x points plot; they form a straight
         // diagonal in log-log space (visual check: both corners present).
-        assert!(out.matches('x').count() >= 2 + 1);
+        assert!(out.matches('x').count() >= 3);
     }
 
     #[test]

@@ -39,7 +39,7 @@ impl Table {
         Table {
             title: title.into(),
             headers: headers.into_iter().map(Into::into).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn fnum_ranges() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(2.34567), "2.346");
         assert_eq!(fnum(42.5), "42.5");
         assert_eq!(fnum(12345.6), "12346");
         assert_eq!(fnum(f64::INFINITY), "inf");

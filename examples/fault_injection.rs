@@ -74,9 +74,7 @@ fn main() {
                 worst = report.max_stretch;
             }
         }
-        println!(
-            "  {name}: worst stretch {worst:.3} (target {stretch}), violations {violations}"
-        );
+        println!("  {name}: worst stretch {worst:.3} (target {stretch}), violations {violations}");
         assert_eq!(violations, 0);
     }
 

@@ -31,7 +31,11 @@ fn show(name: &str, g: &Graph, girth_above: usize) {
 
 fn main() {
     println!("girth > 3 (triangle-free; Mantel says n^2/4 is exact):");
-    show("K_{16,16} (extremal)", &generators::complete_bipartite(16, 16), 3);
+    show(
+        "K_{16,16} (extremal)",
+        &generators::complete_bipartite(16, 16),
+        3,
+    );
 
     println!();
     println!("girth > 4 and > 5 (Moore: ~n^{{3/2}}; projective planes meet it):");
@@ -47,7 +51,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     for girth_above in [6usize, 8, 10] {
         let g = high_girth_graph(200, girth_above, &mut rng);
-        show(&format!("deletion method, girth>{girth_above}"), &g, girth_above);
+        show(
+            &format!("deletion method, girth>{girth_above}"),
+            &g,
+            girth_above,
+        );
     }
 
     println!();

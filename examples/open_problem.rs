@@ -20,8 +20,12 @@ fn main() {
         g.edge_count()
     );
     println!();
-    println!("  f | exact search nodes | exact ms | heuristic ms | sizes (exact/heur) | heur audit");
-    println!("  --|--------------------|----------|--------------|--------------------|-----------");
+    println!(
+        "  f | exact search nodes | exact ms | heuristic ms | sizes (exact/heur) | heur audit"
+    );
+    println!(
+        "  --|--------------------|----------|--------------|--------------------|-----------"
+    );
     for f in 0..=5usize {
         let t0 = Instant::now();
         let exact = FtGreedy::new(&g, 3).faults(f).run();
@@ -33,7 +37,14 @@ fn main() {
             .run();
         let heur_ms = t1.elapsed().as_secs_f64() * 1e3;
         let mut audit_rng = StdRng::seed_from_u64(99 + f as u64);
-        let audit = verify_ft_sampled(&g, heur.spanner(), f, FaultModel::Vertex, 30, &mut audit_rng);
+        let audit = verify_ft_sampled(
+            &g,
+            heur.spanner(),
+            f,
+            FaultModel::Vertex,
+            30,
+            &mut audit_rng,
+        );
         println!(
             "  {f} | {:>18} | {:>8.2} | {:>12.2} | {:>9}/{:<8} | {} viol/30",
             exact.stats().nodes_explored,

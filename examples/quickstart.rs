@@ -10,7 +10,11 @@ fn main() {
     // A dense random network: 60 nodes, ~530 links.
     let mut rng = StdRng::seed_from_u64(2019);
     let g = generators::erdos_renyi(60, 0.3, &mut rng);
-    println!("input graph:   {} nodes, {} edges", g.node_count(), g.edge_count());
+    println!(
+        "input graph:   {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
 
     // The paper's Algorithm 1: a 2-vertex-fault-tolerant 3-spanner.
     let f = 2;
@@ -25,9 +29,11 @@ fn main() {
 
     // Compare with the non-fault-tolerant greedy.
     let plain = greedy_spanner(&g, 3);
-    println!("plain 3-spanner: {} edges (fault tolerance costs x{:.2})",
+    println!(
+        "plain 3-spanner: {} edges (fault tolerance costs x{:.2})",
         plain.edge_count(),
-        h.edge_count() as f64 / plain.edge_count() as f64);
+        h.edge_count() as f64 / plain.edge_count() as f64
+    );
 
     // Now break things: every pair of vertices, exhaustively.
     let audit = verify_ft_exhaustive(&g, h, f, FaultModel::Vertex);

@@ -53,14 +53,14 @@ pub use spanner_graph as graph;
 pub mod prelude {
     pub use rand::{rngs::StdRng, Rng, SeedableRng};
     pub use spanner_core::baselines::{dk_spanner, union_eft_spanner, DkParams};
-    pub use spanner_core::verify::{
-        certify_vft_exact, verify_ft_adaptive, verify_ft_adversarial, verify_ft_exhaustive,
-        verify_ft_sampled, verify_spanner, verify_under_faults,
-    };
     pub use spanner_core::metrics::{spanner_metrics, SpannerMetrics};
     pub use spanner_core::report::ConstructionReport;
     pub use spanner_core::routing::{ResilientRouter, Route, RouteError};
     pub use spanner_core::simulation::{simulate, SimulationConfig, SimulationOutcome};
+    pub use spanner_core::verify::{
+        certify_vft_exact, verify_ft_adaptive, verify_ft_adversarial, verify_ft_exhaustive,
+        verify_ft_sampled, verify_spanner, verify_under_faults,
+    };
     pub use spanner_core::{
         greedy_spanner, peel, verify_blocking_set, BlockingSet, FtGreedy, FtSpanner, OracleKind,
         Spanner,

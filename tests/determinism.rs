@@ -41,8 +41,20 @@ fn dk_and_peeling_are_seed_deterministic() {
 
     let ft = FtGreedy::new(&g, 3).faults(2).run();
     let blocking = BlockingSet::from_witnesses(&ft);
-    let o1 = peel(ft.spanner().graph(), &blocking, 2, 4, &mut StdRng::seed_from_u64(3));
-    let o2 = peel(ft.spanner().graph(), &blocking, 2, 4, &mut StdRng::seed_from_u64(3));
+    let o1 = peel(
+        ft.spanner().graph(),
+        &blocking,
+        2,
+        4,
+        &mut StdRng::seed_from_u64(3),
+    );
+    let o2 = peel(
+        ft.spanner().graph(),
+        &blocking,
+        2,
+        4,
+        &mut StdRng::seed_from_u64(3),
+    );
     assert_eq!(o1.final_edges(), o2.final_edges());
     assert_eq!(o1.sampled_nodes, o2.sampled_nodes);
 }

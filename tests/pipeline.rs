@@ -34,7 +34,10 @@ fn theorem1_pipeline_end_to_end() {
         let mut peel_rng = StdRng::seed_from_u64(seed);
         let outcome = peel(h.graph(), &b, f, (stretch + 1) as usize, &mut peel_rng);
         assert!(outcome.girth_ok, "seed {seed}");
-        assert_eq!(outcome.sampled_nodes, h.graph().node_count().div_ceil(2 * f));
+        assert_eq!(
+            outcome.sampled_nodes,
+            h.graph().node_count().div_ceil(2 * f)
+        );
     }
 }
 
@@ -85,10 +88,7 @@ fn baselines_compose_with_verification() {
     // Greedy is the smallest of the three.
     let greedy = FtGreedy::new(&g, 3).faults(f).run();
     assert!(greedy.spanner().edge_count() <= dk.edge_count());
-    let greedy_eft = FtGreedy::new(&g, 3)
-        .faults(f)
-        .model(FaultModel::Edge)
-        .run();
+    let greedy_eft = FtGreedy::new(&g, 3).faults(f).model(FaultModel::Edge).run();
     assert!(greedy_eft.spanner().edge_count() <= union.edge_count());
 }
 
@@ -147,10 +147,7 @@ fn spanner_io_round_trip_preserves_verification() {
     let back = io::from_edge_list(&text).expect("parse back");
     assert_eq!(back.edge_count(), ft.spanner().edge_count());
     // Rebuild a spanner object over the same parent via matching edges.
-    let kept: Vec<EdgeId> = ft
-        .spanner()
-        .parent_edge_ids()
-        .to_vec();
+    let kept: Vec<EdgeId> = ft.spanner().parent_edge_ids().to_vec();
     let rebuilt = Spanner::from_parent_edges(&g, kept, 3);
     assert!(verify_spanner(&g, &rebuilt).satisfied);
 }

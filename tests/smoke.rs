@@ -1,0 +1,43 @@
+//! Workspace smoke test: the facade quickstart, end to end.
+//!
+//! Mirrors the `src/lib.rs` crate-level example — build an FT spanner of
+//! a seeded Erdős–Rényi graph through the prelude, then certify it
+//! exhaustively against every single-vertex fault — so the public entry
+//! path can't rot even if the doctest is skipped.
+
+use vft_spanner::prelude::*;
+
+#[test]
+fn facade_quickstart_end_to_end() {
+    // Fixed seed: the graph, the spanner, and the audit are deterministic.
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::erdos_renyi(40, 0.3, &mut rng);
+    assert!(g.edge_count() > 0, "seeded G(40, 0.3) must have edges");
+
+    let ft = FtGreedy::new(&g, 3).faults(1).run();
+    assert!(
+        ft.spanner().edge_count() <= g.edge_count(),
+        "a spanner never has more edges than its input"
+    );
+
+    // The paper's guarantee, checked exhaustively: for EVERY fault set F
+    // with |F| <= 1, H \ F is a 3-spanner of G \ F.
+    let audit = verify_ft_exhaustive(&g, ft.spanner(), 1, FaultModel::Vertex);
+    assert!(
+        audit.satisfied(),
+        "FT guarantee violated: {}/{} fault sets failed",
+        audit.violations,
+        audit.trials
+    );
+}
+
+#[test]
+fn facade_quickstart_is_deterministic() {
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::erdos_renyi(40, 0.3, &mut rng);
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        (g.edge_count(), ft.spanner().edge_count())
+    };
+    assert_eq!(build(), build(), "same seed must give the same spanner");
+}

@@ -63,10 +63,7 @@ fn weighted_geometric_eft_with_all_baselines() {
     let mut rng = StdRng::seed_from_u64(3);
     let g = generators::random_geometric(250, 0.15, &mut rng);
     let f = 2usize;
-    let greedy = FtGreedy::new(&g, 3)
-        .faults(f)
-        .model(FaultModel::Edge)
-        .run();
+    let greedy = FtGreedy::new(&g, 3).faults(f).model(FaultModel::Edge).run();
     let union = union_eft_spanner(&g, 3, f);
     assert!(greedy.spanner().edge_count() <= union.edge_count());
     for s in [&greedy.into_spanner(), &union] {

@@ -1,0 +1,30 @@
+//! Offline shim for the subset of [`proptest` 1.x](https://docs.rs/proptest)
+//! used by the `vft-spanner` workspace.
+//!
+//! Implements the same module paths and macro surface (`proptest!`,
+//! `prop_assert*!`, strategies with `prop_map`/`prop_flat_map`/
+//! `prop_filter`, `any::<T>()`, `collection::vec`, `ProptestConfig`,
+//! `TestCaseError`) with matching semantics, so it can be swapped for the
+//! real crate without source changes.
+//!
+//! Differences from upstream: no shrinking — a failing case reports its
+//! case index, per-case seed, and assertion message instead of a
+//! minimized input. Generation is deterministic per (test name, case
+//! index), so failures reproduce on the next run.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+mod macros;
+
+/// The `proptest::prelude`, mirroring upstream's re-exports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

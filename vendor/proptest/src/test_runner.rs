@@ -1,0 +1,123 @@
+//! Config, error type, RNG, and the case-running loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (assumed-away) cases tolerated before
+    /// the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case violated an assertion — the property is false.
+    Fail(String),
+    /// The case was rejected (e.g. by `prop_assume!`) — try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected case with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to strategies during generation.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator for one test case.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying `rand` generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from the test name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for `config.cases` deterministic cases. Called by the
+/// `proptest!` macro expansion; not part of the upstream API surface.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(test_name);
+    let mut rejects = 0u32;
+    let mut case = 0u64;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!("{test_name}: too many rejected cases ({rejects}); last: {reason}");
+                }
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!("{test_name}: case #{case} (seed {seed:#018x}) failed: {reason}");
+            }
+        }
+        case += 1;
+    }
+}
