@@ -22,7 +22,7 @@ use spanner_faults::{
     BranchingConfig, BranchingOracle, ExhaustiveOracle, FaultModel, FaultOracle, FaultSet,
     GreedyHeuristicOracle, HittingSetOracle, OracleQuery, OracleStats, ParallelBranchingOracle,
 };
-use spanner_graph::Graph;
+use spanner_graph::{EdgeId, Graph};
 
 /// Which oracle implementation FT-greedy should use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -125,32 +125,107 @@ impl<'a> FtGreedy<'a> {
         self
     }
 
+    /// The oracle query for a parent edge at this run's parameters.
+    fn query_for(&self, parent_id: EdgeId) -> OracleQuery {
+        let e = self.graph.edge(parent_id);
+        OracleQuery {
+            u: e.u(),
+            v: e.v(),
+            bound: e.weight().stretched(self.stretch),
+            budget: self.faults,
+            model: self.model,
+        }
+    }
+
     /// Runs Algorithm 1 and returns the fault tolerant spanner with its
     /// recorded witnesses.
+    ///
+    /// The default branching oracle (and its `BranchingWith`/`Parallel`
+    /// variants) runs through a monomorphized hot loop over the spanner's
+    /// incremental CSR view — no `Box<dyn>` dispatch, no per-query
+    /// allocation. The remaining oracle kinds go through the generic
+    /// [`FtGreedy::run_with_oracle`] path.
     pub fn run(&self) -> FtSpanner {
-        let mut oracle = self.oracle.instantiate();
+        match self.oracle {
+            OracleKind::Branching => self.run_branching(BranchingConfig::default()),
+            OracleKind::BranchingWith(config) => self.run_branching(config),
+            OracleKind::Parallel(threads) => self.run_pooled(threads),
+            kind => {
+                let mut oracle = kind.instantiate();
+                self.run_with_oracle(oracle.as_mut())
+            }
+        }
+    }
+
+    /// Runs Algorithm 1 with a caller-provided oracle, querying the
+    /// growing spanner's [`Graph`]. Monomorphized over the oracle type;
+    /// useful for custom oracles and for pinning the optimized paths to
+    /// [`spanner_faults::reference::ReferenceBranchingOracle`] in tests
+    /// and benchmarks.
+    pub fn run_with_oracle<O: FaultOracle + ?Sized>(&self, oracle: &mut O) -> FtSpanner {
         let mut spanner = Spanner::empty(self.graph, self.stretch);
         let mut witnesses = Vec::new();
+        // The (weight, id) scan order is computed exactly once per run.
         for parent_id in self.graph.edges_by_weight() {
-            let e = self.graph.edge(parent_id);
-            let query = OracleQuery {
-                u: e.u(),
-                v: e.v(),
-                bound: e.weight().stretched(self.stretch),
-                budget: self.faults,
-                model: self.model,
-            };
+            let query = self.query_for(parent_id);
             if let Some(found) = oracle.find_blocking_faults(spanner.graph(), query) {
+                let e = self.graph.edge(parent_id);
                 spanner.push_edge(parent_id, e.u(), e.v(), e.weight());
                 witnesses.push(found);
             }
         }
+        self.finish(spanner, witnesses, oracle.stats())
+    }
+
+    /// The optimized sequential path: one [`BranchingOracle`] whose
+    /// scratch lives for the whole construction, querying the spanner's
+    /// flat CSR view.
+    fn run_branching(&self, config: BranchingConfig) -> FtSpanner {
+        let mut oracle = BranchingOracle::with_config(config);
+        let mut spanner = Spanner::empty(self.graph, self.stretch);
+        let mut witnesses = Vec::new();
+        for parent_id in self.graph.edges_by_weight() {
+            let query = self.query_for(parent_id);
+            if let Some(found) = oracle.find_blocking_faults_in(spanner.view(), query) {
+                let e = self.graph.edge(parent_id);
+                spanner.push_edge(parent_id, e.u(), e.v(), e.weight());
+                witnesses.push(found);
+            }
+        }
+        self.finish(spanner, witnesses, oracle.stats())
+    }
+
+    /// The optimized parallel path: a persistent worker pool sharing an
+    /// incremental CSR view of the spanner, alive for the whole run
+    /// (the pre-PR-2 implementation spawned threads per query).
+    fn run_pooled(&self, threads: usize) -> FtSpanner {
+        let mut oracle = ParallelBranchingOracle::new(threads);
+        oracle.view_reset(self.graph.node_count());
+        // During the run the oracle's shared view *is* the growing
+        // spanner; the `Spanner` (with its own CSR mirror) is assembled
+        // once at the end rather than maintained redundantly per edge.
+        let mut kept = Vec::new();
+        let mut witnesses = Vec::new();
+        for parent_id in self.graph.edges_by_weight() {
+            let query = self.query_for(parent_id);
+            if let Some(found) = oracle.find_blocking_faults_in_view(query) {
+                let e = self.graph.edge(parent_id);
+                oracle.view_push_edge(e.u(), e.v(), e.weight());
+                kept.push(parent_id);
+                witnesses.push(found);
+            }
+        }
+        let spanner = Spanner::from_kept_edges_in_order(self.graph, kept, self.stretch);
+        self.finish(spanner, witnesses, oracle.stats())
+    }
+
+    fn finish(&self, spanner: Spanner, witnesses: Vec<FaultSet>, stats: OracleStats) -> FtSpanner {
         FtSpanner {
             spanner,
             witnesses,
             model: self.model,
             faults: self.faults,
-            stats: oracle.stats(),
+            stats,
         }
     }
 }

@@ -20,10 +20,37 @@
 //! This is still exponential in `f` — the paper explicitly leaves a faster
 //! FT-greedy as an open problem, and experiment E9 measures exactly this
 //! growth.
+//!
+//! # Scratch-reuse contract
+//!
+//! One oracle instance is meant to serve a whole FT-greedy construction
+//! (thousands of queries against a growing spanner). Everything the
+//! search needs lives in a per-oracle [`SearchScratch`]:
+//!
+//! * the working [`FaultMask`] is cleared in place per query
+//!   ([`FaultMask::reset_for`]) — growth is counted in
+//!   [`OracleStats::scratch_rebuilds`] and goes flat after warm-up;
+//! * branching candidates go into a segmented arena (one `Vec`, ranges
+//!   per recursion level) instead of a fresh `Vec` per search node;
+//! * path extraction reuses [`PathScratch`] buffers
+//!   ([`DijkstraEngine::shortest_path_bounded_into`]);
+//! * the memo keys are order-independent 128-bit Zobrist fingerprints of
+//!   the current fault set, maintained incrementally on push/pop — the
+//!   pre-PR-2 clone + sort of the fault vector per search node is gone.
+//!
+//! Queries are generic over [`GraphView`], so FT-greedy points the oracle
+//! at the spanner's flat [`IncrementalCsr`](spanner_graph::IncrementalCsr)
+//! view while one-off callers keep passing a [`Graph`]. The frozen
+//! pre-optimization implementation survives as
+//! [`crate::reference::ReferenceBranchingOracle`] and the equivalence
+//! property tests pin this oracle's output (spanner and witnesses) to it.
 
-use crate::packing::disjoint_path_packing;
+use crate::packing::{disjoint_path_packing_counted, PackingScratch};
 use crate::{FaultModel, FaultOracle, FaultSet, OracleQuery, OracleStats};
-use spanner_graph::{DijkstraEngine, EdgeId, FaultMask, Graph, NodeId};
+use spanner_graph::connectivity::CutScratch;
+use spanner_graph::{
+    DijkstraEngine, Dist, EdgeId, FaultMask, Graph, GraphView, NodeId, PathScratch,
+};
 use std::collections::HashSet;
 
 /// Feature toggles for [`BranchingOracle`] (used by the ablation benches).
@@ -77,6 +104,47 @@ pub struct BranchingOracle {
     engine: DijkstraEngine,
     config: BranchingConfig,
     stats: OracleStats,
+    scratch: SearchScratch,
+}
+
+/// Per-oracle reusable state (see the module docs). Everything here is
+/// cleared — not reallocated — between queries.
+#[derive(Debug, Default)]
+struct SearchScratch {
+    /// Working fault mask the DFS toggles in place.
+    mask: FaultMask,
+    /// The fault set along the current DFS root-to-node path.
+    current: Vec<usize>,
+    /// Order-independent fingerprints of visited fault sets.
+    memo: HashSet<(u64, u64)>,
+    /// Segmented candidate arena: each recursion level appends its
+    /// candidates and truncates back on exit.
+    cand: Vec<usize>,
+    /// Incremental Zobrist fingerprint (xor half) of `current`.
+    key_xor: u64,
+    /// Incremental Zobrist fingerprint (sum half) of `current`.
+    key_sum: u64,
+    /// Shortest-path buffer for the node's witness path.
+    path: PathScratch,
+    /// Buffers for the packing probe.
+    packing: PackingScratch,
+    /// Flow network + residual buffers for the min-cut shortcut.
+    cuts: CutScratch,
+}
+
+/// SplitMix64 finalizer: the per-element hash both fingerprint halves are
+/// built from. Candidates are tagged with the fault model so a vertex id
+/// and an equal edge id can never collide.
+#[inline]
+fn zobrist(model: FaultModel, c: usize) -> u64 {
+    let tag = match model {
+        FaultModel::Vertex => 0x517C_C1B7_2722_0A95u64,
+        FaultModel::Edge => 0x2545_F491_4F6C_DD1Du64,
+    };
+    let mut z = (c as u64 ^ tag).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl BranchingOracle {
@@ -91,6 +159,7 @@ impl BranchingOracle {
             engine: DijkstraEngine::new(),
             config,
             stats: OracleStats::default(),
+            scratch: SearchScratch::default(),
         }
     }
 
@@ -99,58 +168,120 @@ impl BranchingOracle {
         self.config
     }
 
-    fn search(
-        &mut self,
-        graph: &Graph,
-        q: &OracleQuery,
-        mask: &mut FaultMask,
-        current: &mut Vec<usize>,
-        memo: &mut HashSet<Vec<usize>>,
-    ) -> bool {
+    /// Clears the per-query scratch (keeping allocations) and sizes the
+    /// working mask for `view`. Counts a scratch rebuild when the mask
+    /// storage genuinely grew.
+    fn begin_query<V: GraphView>(&mut self, view: &V) {
+        if self
+            .scratch
+            .mask
+            .reset_for(view.node_count(), view.edge_count())
+        {
+            self.stats.scratch_rebuilds += 1;
+        }
+        self.scratch.current.clear();
+        self.scratch.memo.clear();
+        self.scratch.cand.clear();
+        self.scratch.key_xor = 0;
+        self.scratch.key_sum = 0;
+    }
+
+    /// Applies fault `c`: mask bit, DFS path, fingerprint.
+    fn push_fault(&mut self, model: FaultModel, c: usize) {
+        match model {
+            FaultModel::Vertex => {
+                self.scratch.mask.fault_vertex(NodeId::new(c));
+            }
+            FaultModel::Edge => {
+                self.scratch.mask.fault_edge(EdgeId::new(c));
+            }
+        }
+        self.scratch.current.push(c);
+        let h = zobrist(model, c);
+        self.scratch.key_xor ^= h;
+        self.scratch.key_sum = self.scratch.key_sum.wrapping_add(h);
+    }
+
+    /// Reverts [`BranchingOracle::push_fault`].
+    fn pop_fault(&mut self, model: FaultModel) {
+        let c = self.scratch.current.pop().expect("pop without push");
+        match model {
+            FaultModel::Vertex => {
+                self.scratch.mask.restore_vertex(NodeId::new(c));
+            }
+            FaultModel::Edge => {
+                self.scratch.mask.restore_edge(EdgeId::new(c));
+            }
+        }
+        let h = zobrist(model, c);
+        self.scratch.key_xor ^= h;
+        self.scratch.key_sum = self.scratch.key_sum.wrapping_sub(h);
+    }
+
+    /// The bounded-search-tree DFS. On success (`true`) the blocking set
+    /// is left applied in `scratch.current`/`scratch.mask`; on failure all
+    /// faults pushed at this level are reverted.
+    fn search<V: GraphView>(&mut self, view: &V, q: &OracleQuery) -> bool {
         self.stats.nodes_explored += 1;
         self.stats.shortest_path_queries += 1;
-        let Some(path) = self
-            .engine
-            .shortest_path_bounded(graph, q.u, q.v, q.bound, mask)
-        else {
+        if !self.engine.shortest_path_bounded_into(
+            view,
+            q.u,
+            q.v,
+            q.bound,
+            &self.scratch.mask,
+            &mut self.scratch.path,
+        ) {
             return true; // dist already exceeds the bound
-        };
-        let remaining = q.budget - current.len();
+        }
+        let remaining = q.budget - self.scratch.current.len();
         if remaining == 0 {
             return false;
         }
-        let candidates: Vec<usize> = match q.model {
-            FaultModel::Vertex => path.interior_nodes().iter().map(|n| n.index()).collect(),
-            FaultModel::Edge => path.edges.iter().map(|e| e.index()).collect(),
-        };
-        if candidates.is_empty() {
+        let cand_start = self.scratch.cand.len();
+        match q.model {
+            FaultModel::Vertex => {
+                for n in self.scratch.path.interior_nodes() {
+                    self.scratch.cand.push(n.index());
+                }
+            }
+            FaultModel::Edge => {
+                for e in self.scratch.path.edges() {
+                    self.scratch.cand.push(e.index());
+                }
+            }
+        }
+        let cand_end = self.scratch.cand.len();
+        if cand_end == cand_start {
             // Vertex model, direct u-v edge: unblockable.
             return false;
         }
         if self.config.use_packing {
-            let pack = disjoint_path_packing(
-                graph,
+            let probe = disjoint_path_packing_counted(
+                view,
                 &mut self.engine,
-                mask,
+                &self.scratch.mask,
                 q.u,
                 q.v,
                 q.bound,
                 q.model,
                 remaining + 1,
+                &mut self.scratch.packing,
             );
-            self.stats.shortest_path_queries += pack as u64 + 1;
-            if pack > remaining {
+            self.stats.shortest_path_queries += probe.queries;
+            if probe.packed > remaining {
                 self.stats.packing_prunes += 1;
+                self.scratch.cand.truncate(cand_start);
                 return false;
             }
         }
-        for c in candidates {
-            self.fault(q.model, mask, c);
-            current.push(c);
+        let mut found = false;
+        for i in cand_start..cand_end {
+            let c = self.scratch.cand[i];
+            self.push_fault(q.model, c);
             let skip = if self.config.use_memo {
-                let mut key = current.clone();
-                key.sort_unstable();
-                if memo.insert(key) {
+                let key = (self.scratch.key_xor, self.scratch.key_sum);
+                if self.scratch.memo.insert(key) {
                     false
                 } else {
                     self.stats.memo_hits += 1;
@@ -159,41 +290,59 @@ impl BranchingOracle {
             } else {
                 false
             };
-            if !skip && self.search(graph, q, mask, current, memo) {
-                return true;
+            if !skip && self.search(view, q) {
+                found = true;
+                break;
             }
-            current.pop();
-            self.restore(q.model, mask, c);
+            self.pop_fault(q.model);
         }
-        false
+        self.scratch.cand.truncate(cand_start);
+        found
     }
 
-    fn fault(&self, model: FaultModel, mask: &mut FaultMask, c: usize) {
+    /// Builds the result fault set from the DFS path left in scratch.
+    fn collect_current(&self, model: FaultModel) -> FaultSet {
         match model {
             FaultModel::Vertex => {
-                mask.fault_vertex(NodeId::new(c));
+                FaultSet::vertices(self.scratch.current.iter().map(|c| NodeId::new(*c)))
             }
             FaultModel::Edge => {
-                mask.fault_edge(EdgeId::new(c));
+                FaultSet::edges(self.scratch.current.iter().map(|c| EdgeId::new(*c)))
             }
         }
     }
 
-    fn restore(&self, model: FaultModel, mask: &mut FaultMask, c: usize) {
-        match model {
-            FaultModel::Vertex => {
-                mask.restore_vertex(NodeId::new(c));
-            }
-            FaultModel::Edge => {
-                mask.restore_edge(EdgeId::new(c));
+    /// Like [`FaultOracle::find_blocking_faults`] but generic over the
+    /// graph layout — FT-greedy points this at the spanner's incremental
+    /// CSR view so the whole oracle loop runs over flat memory.
+    pub fn find_blocking_faults_in<V: GraphView>(
+        &mut self,
+        view: &V,
+        query: OracleQuery,
+    ) -> Option<FaultSet> {
+        self.begin_query(view);
+        if self.config.use_cut_shortcut && query.budget > 0 {
+            if let Some(cut) = cut_shortcut_with_prefilter(
+                view,
+                &mut self.engine,
+                &self.scratch.mask,
+                &mut self.scratch.packing,
+                &mut self.scratch.cuts,
+                &mut self.stats,
+                query,
+            ) {
+                return Some(cut);
             }
         }
+        if self.search(view, &query) {
+            Some(self.collect_current(query.model))
+        } else {
+            None
+        }
     }
-}
 
-impl BranchingOracle {
-    /// Like [`FaultOracle::find_blocking_faults`], but starts the search
-    /// from a pre-committed partial fault set (counted against the
+    /// Like [`BranchingOracle::find_blocking_faults_in`], but starts the
+    /// search from a pre-committed partial fault set (counted against the
     /// budget). Used by the parallel oracle to fan the root branches out
     /// across workers; also handy for "what if X were already down?"
     /// analyses.
@@ -202,9 +351,9 @@ impl BranchingOracle {
     ///
     /// Panics if `initial` is larger than the budget or disagrees with the
     /// query's fault model.
-    pub fn find_blocking_faults_with_initial(
+    pub fn find_blocking_faults_with_initial_in<V: GraphView>(
         &mut self,
-        graph: &Graph,
+        view: &V,
         query: OracleQuery,
         initial: &FaultSet,
     ) -> Option<FaultSet> {
@@ -213,66 +362,107 @@ impl BranchingOracle {
             initial.is_empty() || initial.model() == query.model,
             "initial set model mismatch"
         );
-        let mut mask = FaultMask::for_graph(graph);
-        initial.apply_to(&mut mask);
-        let mut current: Vec<usize> = match initial {
-            FaultSet::Vertices(v) => v.iter().map(|n| n.index()).collect(),
-            FaultSet::Edges(e) => e.iter().map(|id| id.index()).collect(),
-        };
-        let mut memo: HashSet<Vec<usize>> = HashSet::new();
-        if self.search(graph, &query, &mut mask, &mut current, &mut memo) {
-            Some(match query.model {
-                FaultModel::Vertex => FaultSet::vertices(current.into_iter().map(NodeId::new)),
-                FaultModel::Edge => FaultSet::edges(current.into_iter().map(EdgeId::new)),
-            })
+        self.begin_query(view);
+        match initial {
+            FaultSet::Vertices(v) => {
+                for n in v.iter() {
+                    self.push_fault(FaultModel::Vertex, n.index());
+                }
+            }
+            FaultSet::Edges(e) => {
+                for id in e.iter() {
+                    self.push_fault(FaultModel::Edge, id.index());
+                }
+            }
+        }
+        if self.search(view, &query) {
+            Some(self.collect_current(query.model))
         } else {
             None
         }
     }
+
+    /// [`BranchingOracle::find_blocking_faults_with_initial_in`] over a
+    /// plain [`Graph`] (kept for API compatibility).
+    pub fn find_blocking_faults_with_initial(
+        &mut self,
+        graph: &Graph,
+        query: OracleQuery,
+        initial: &FaultSet,
+    ) -> Option<FaultSet> {
+        self.find_blocking_faults_with_initial_in(graph, query, initial)
+    }
+}
+
+/// The shared front of both exact oracles: a Menger disjoint-path
+/// pre-filter followed — only when the pre-filter proves nothing — by the
+/// exact min-cut shortcut. One implementation serves the sequential and
+/// the pooled parallel oracle so their root phases cannot drift apart
+/// (their outputs are contractually identical).
+///
+/// The pre-filter greedily packs `budget + 1` pairwise disjoint `u–v`
+/// paths of *unbounded* length. Any such family is a Menger certificate
+/// that every `u–v` cut exceeds the budget, so the exact max-flow — which
+/// would build and solve a network only to answer "no cut" — is skipped
+/// with byte-identical output. Greedy packing is not Menger-optimal, so a
+/// short family proves nothing and the exact cut runs.
+///
+/// `mask` must be the query's (empty) base mask. Returns `Some(witness)`
+/// when a cut within budget decides the query; `None` means "no shortcut
+/// — run the branching search".
+pub(crate) fn cut_shortcut_with_prefilter<V: GraphView>(
+    view: &V,
+    engine: &mut DijkstraEngine,
+    mask: &FaultMask,
+    packing: &mut PackingScratch,
+    cuts: &mut CutScratch,
+    stats: &mut OracleStats,
+    query: OracleQuery,
+) -> Option<FaultSet> {
+    let probe = disjoint_path_packing_counted(
+        view,
+        engine,
+        mask,
+        query.u,
+        query.v,
+        Dist::INFINITE,
+        query.model,
+        query.budget + 1,
+        packing,
+    );
+    stats.shortest_path_queries += probe.queries;
+    if probe.packed > query.budget {
+        return None; // certified: no cut within budget exists
+    }
+    let witness = match query.model {
+        FaultModel::Vertex => spanner_graph::connectivity::min_vertex_cut_st_with(
+            view,
+            mask,
+            query.u,
+            query.v,
+            query.budget as u32,
+            cuts,
+        )
+        .map(FaultSet::vertices),
+        FaultModel::Edge => spanner_graph::connectivity::min_edge_cut_st_with(
+            view,
+            mask,
+            query.u,
+            query.v,
+            query.budget as u32,
+            cuts,
+        )
+        .map(FaultSet::edges),
+    };
+    if witness.is_some() {
+        stats.cut_shortcuts += 1;
+    }
+    witness
 }
 
 impl FaultOracle for BranchingOracle {
     fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
-        let mut mask = FaultMask::for_graph(graph);
-        if self.config.use_cut_shortcut && query.budget > 0 {
-            // A global cut within budget blocks all paths, short or long.
-            match query.model {
-                FaultModel::Vertex => {
-                    if let Some(cut) = spanner_graph::connectivity::min_vertex_cut_st(
-                        graph,
-                        &mask,
-                        query.u,
-                        query.v,
-                        query.budget as u32,
-                    ) {
-                        self.stats.cut_shortcuts += 1;
-                        return Some(FaultSet::vertices(cut));
-                    }
-                }
-                FaultModel::Edge => {
-                    if let Some(cut) = spanner_graph::connectivity::min_edge_cut_st(
-                        graph,
-                        &mask,
-                        query.u,
-                        query.v,
-                        query.budget as u32,
-                    ) {
-                        self.stats.cut_shortcuts += 1;
-                        return Some(FaultSet::edges(cut));
-                    }
-                }
-            }
-        }
-        let mut current = Vec::with_capacity(query.budget);
-        let mut memo: HashSet<Vec<usize>> = HashSet::new();
-        if self.search(graph, &query, &mut mask, &mut current, &mut memo) {
-            Some(match query.model {
-                FaultModel::Vertex => FaultSet::vertices(current.into_iter().map(NodeId::new)),
-                FaultModel::Edge => FaultSet::edges(current.into_iter().map(EdgeId::new)),
-            })
-        } else {
-            None
-        }
+        self.find_blocking_faults_in(graph, query)
     }
 
     fn stats(&self) -> OracleStats {
@@ -400,6 +590,27 @@ mod tests {
         let mask = f.to_mask(g.node_count(), g.edge_count());
         let d = dijkstra::dist(&g, NodeId::new(0), NodeId::new(5), &mask);
         assert!(d > Dist::finite(2));
+    }
+
+    #[test]
+    fn scratch_rebuilds_go_flat_after_first_query() {
+        // The mask/memo/arena reuse contract: the first query on a graph
+        // of a given size may grow scratch; repeats must not.
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]).unwrap();
+        let mut o = BranchingOracle::new();
+        let query = q(0, 5, 2, 2, FaultModel::Vertex);
+        let _ = o.find_blocking_faults(&g, query);
+        let after_first = o.stats().scratch_rebuilds;
+        assert!(after_first >= 1, "first query must size the scratch");
+        for _ in 0..50 {
+            let _ = o.find_blocking_faults(&g, query);
+        }
+        assert_eq!(
+            o.stats().scratch_rebuilds,
+            after_first,
+            "steady-state queries must not rebuild scratch"
+        );
     }
 
     #[test]

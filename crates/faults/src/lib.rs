@@ -18,6 +18,9 @@
 //! * [`HittingSetOracle`] — an independent exact formulation via explicit
 //!   short-path enumeration ([`paths`]) and hitting-set branch & bound,
 //!   used to cross-validate the branching oracle;
+//! * [`reference::ReferenceBranchingOracle`] — the frozen pre-optimization
+//!   branching implementation, kept as the equivalence and benchmark
+//!   baseline for the zero-allocation hot path;
 //! * [`GreedyHeuristicOracle`] — a *polynomial-time, inexact* oracle
 //!   probing the paper's open problem: its witnesses are always genuine,
 //!   but it may miss blocking sets (ablation experiment E11).
@@ -54,6 +57,7 @@ mod parallel;
 
 pub mod packing;
 pub mod paths;
+pub mod reference;
 
 pub use branching::{BranchingConfig, BranchingOracle};
 pub use exhaustive::ExhaustiveOracle;

@@ -40,6 +40,11 @@ pub struct OracleStats {
     pub memo_hits: u64,
     /// Number of queries answered directly by a global min-cut witness.
     pub cut_shortcuts: u64,
+    /// Number of times reusable scratch (fault mask words, memo table,
+    /// candidate arena) had to be allocated or grown. After the first
+    /// query on a graph of a given size this stays flat — the regression
+    /// tests assert exactly that.
+    pub scratch_rebuilds: u64,
 }
 
 impl OracleStats {
@@ -50,6 +55,7 @@ impl OracleStats {
         self.packing_prunes += other.packing_prunes;
         self.memo_hits += other.memo_hits;
         self.cut_shortcuts += other.cut_shortcuts;
+        self.scratch_rebuilds += other.scratch_rebuilds;
     }
 }
 
@@ -57,12 +63,13 @@ impl fmt::Display for OracleStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes={} sp-queries={} packing-prunes={} memo-hits={} cut-shortcuts={}",
+            "nodes={} sp-queries={} packing-prunes={} memo-hits={} cut-shortcuts={} scratch-rebuilds={}",
             self.nodes_explored,
             self.shortest_path_queries,
             self.packing_prunes,
             self.memo_hits,
-            self.cut_shortcuts
+            self.cut_shortcuts,
+            self.scratch_rebuilds
         )
     }
 }
@@ -95,6 +102,7 @@ mod tests {
             packing_prunes: 3,
             memo_hits: 4,
             cut_shortcuts: 5,
+            scratch_rebuilds: 6,
         };
         a.absorb(OracleStats {
             nodes_explored: 10,
@@ -102,12 +110,14 @@ mod tests {
             packing_prunes: 30,
             memo_hits: 40,
             cut_shortcuts: 50,
+            scratch_rebuilds: 60,
         });
         assert_eq!(a.nodes_explored, 11);
         assert_eq!(a.shortest_path_queries, 22);
         assert_eq!(a.packing_prunes, 33);
         assert_eq!(a.memo_hits, 44);
         assert_eq!(a.cut_shortcuts, 55);
+        assert_eq!(a.scratch_rebuilds, 66);
     }
 
     #[test]

@@ -9,7 +9,89 @@
 //! lower bound for pruning, never a decision procedure.
 
 use crate::FaultModel;
-use spanner_graph::{DijkstraEngine, Dist, FaultMask, Graph, NodeId};
+use spanner_graph::{DijkstraEngine, Dist, FaultMask, Graph, GraphView, NodeId, PathScratch};
+
+/// The outcome of a packing probe: how many disjoint paths were packed
+/// and how many bounded Dijkstras that actually took.
+///
+/// The query count is exact (one per loop iteration, including the final
+/// miss), so [`crate::OracleStats::shortest_path_queries`] charged from it
+/// reflects real work — the pre-PR-2 accounting over-charged a flat
+/// `packed + 1` even when the probe stopped early at its cap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackingProbe {
+    /// Number of pairwise disjoint short paths found (at most the cap).
+    pub packed: usize,
+    /// Number of bounded shortest-path queries the probe issued.
+    pub queries: u64,
+}
+
+/// Reusable buffers for [`disjoint_path_packing_counted`]: the working
+/// fault mask (a copy of the caller's mask that the probe extends) and the
+/// path extraction buffer. Owned by long-lived oracles so the probe
+/// allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct PackingScratch {
+    mask: FaultMask,
+    path: PathScratch,
+}
+
+impl PackingScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        PackingScratch::default()
+    }
+}
+
+/// Like [`disjoint_path_packing`], but generic over the graph layout,
+/// allocation-free via `scratch`, and reporting its true query count.
+#[allow(clippy::too_many_arguments)]
+pub fn disjoint_path_packing_counted<V: GraphView>(
+    view: &V,
+    engine: &mut DijkstraEngine,
+    mask: &FaultMask,
+    u: NodeId,
+    v: NodeId,
+    bound: Dist,
+    model: FaultModel,
+    cap: usize,
+    scratch: &mut PackingScratch,
+) -> PackingProbe {
+    let mut probe = PackingProbe::default();
+    if cap == 0 {
+        return probe;
+    }
+    scratch.mask.copy_from(mask);
+    while probe.packed < cap {
+        probe.queries += 1;
+        if !engine.shortest_path_bounded_into(view, u, v, bound, &scratch.mask, &mut scratch.path) {
+            break;
+        }
+        probe.packed += 1;
+        if probe.packed >= cap {
+            break;
+        }
+        match model {
+            FaultModel::Vertex => {
+                let interior = scratch.path.interior_nodes();
+                if interior.is_empty() {
+                    // Direct edge: no vertex fault can ever block it.
+                    probe.packed = cap;
+                    return probe;
+                }
+                for n in interior {
+                    scratch.mask.fault_vertex(*n);
+                }
+            }
+            FaultModel::Edge => {
+                for e in scratch.path.edges() {
+                    scratch.mask.fault_edge(*e);
+                }
+            }
+        }
+    }
+    probe
+}
 
 /// Greedily packs pairwise disjoint `u→v` paths of weight at most `bound`
 /// in `graph ∖ mask`, stopping at `cap`.
@@ -47,38 +129,8 @@ pub fn disjoint_path_packing(
     model: FaultModel,
     cap: usize,
 ) -> usize {
-    if cap == 0 {
-        return 0;
-    }
-    let mut scratch = mask.clone();
-    let mut count = 0;
-    while count < cap {
-        let Some(path) = engine.shortest_path_bounded(graph, u, v, bound, &scratch) else {
-            break;
-        };
-        count += 1;
-        if count >= cap {
-            break;
-        }
-        match model {
-            FaultModel::Vertex => {
-                let interior = path.interior_nodes();
-                if interior.is_empty() {
-                    // Direct edge: no vertex fault can ever block it.
-                    return cap;
-                }
-                for n in interior {
-                    scratch.fault_vertex(*n);
-                }
-            }
-            FaultModel::Edge => {
-                for e in &path.edges {
-                    scratch.fault_edge(*e);
-                }
-            }
-        }
-    }
-    count
+    let mut scratch = PackingScratch::new();
+    disjoint_path_packing_counted(graph, engine, mask, u, v, bound, model, cap, &mut scratch).packed
 }
 
 #[cfg(test)]
@@ -206,6 +258,75 @@ mod tests {
             10,
         );
         assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn counted_probe_reports_true_query_count() {
+        // 3 disjoint routes, cap 10: probe packs 3 then misses once — the
+        // true cost is 4 queries (the flat pre-fix accounting said 3 + 1
+        // here, but over-charged whenever the cap truncated the loop).
+        let g = theta(3, 3);
+        let mut engine = DijkstraEngine::new();
+        let mask = FaultMask::for_graph(&g);
+        let mut scratch = PackingScratch::new();
+        let probe = disjoint_path_packing_counted(
+            &g,
+            &mut engine,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(3),
+            FaultModel::Vertex,
+            10,
+            &mut scratch,
+        );
+        assert_eq!(
+            probe,
+            PackingProbe {
+                packed: 3,
+                queries: 4
+            }
+        );
+        // Cap truncation: stops right at the cap, no trailing miss query.
+        let probe = disjoint_path_packing_counted(
+            &g,
+            &mut engine,
+            &mask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(3),
+            FaultModel::Vertex,
+            2,
+            &mut scratch,
+        );
+        assert_eq!(
+            probe,
+            PackingProbe {
+                packed: 2,
+                queries: 2
+            }
+        );
+        // Direct-edge saturation costs exactly one query.
+        let direct = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let dmask = FaultMask::for_graph(&direct);
+        let probe = disjoint_path_packing_counted(
+            &direct,
+            &mut engine,
+            &dmask,
+            NodeId::new(0),
+            NodeId::new(1),
+            Dist::finite(1),
+            FaultModel::Vertex,
+            7,
+            &mut scratch,
+        );
+        assert_eq!(
+            probe,
+            PackingProbe {
+                packed: 7,
+                queries: 1
+            }
+        );
     }
 
     #[test]

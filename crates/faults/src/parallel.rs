@@ -1,23 +1,64 @@
-//! A parallel exact fault oracle.
+//! A parallel exact fault oracle with a persistent worker pool.
 //!
 //! The branching search is embarrassingly parallel at the root: any
 //! blocking fault set must contain one of the current shortest path's
 //! candidates, and the per-candidate subtrees are independent. This
-//! oracle fans those subtrees out over scoped worker threads, each running
-//! a sequential [`BranchingOracle`], and keeps the answer deterministic by
-//! preferring the lowest-index successful candidate regardless of thread
-//! timing.
+//! oracle fans those subtrees out over a pool of long-lived worker
+//! threads, each running a sequential [`BranchingOracle`] whose scratch
+//! (mask, memo, Dijkstra arrays) persists across *all* queries of a
+//! construction — the pre-PR-2 implementation spawned fresh
+//! `std::thread::scope` threads (and fresh oracle state) per query, which
+//! dominated small-query workloads.
 //!
-//! Memoization cannot be shared across workers (it would race and the
-//! subtrees rarely overlap at the root split), so each worker memoizes
-//! locally; the packing and min-cut prunes run once, up front.
+//! The pool cannot borrow a caller's graph (workers outlive any one
+//! query), so workers share an [`IncrementalCsr`] spanner view behind an
+//! `Arc<RwLock<…>>`. FT-greedy drives that view directly: it appends each
+//! kept edge via [`ParallelBranchingOracle::view_push_edge`] and queries
+//! via [`ParallelBranchingOracle::find_blocking_faults_in_view`], so the
+//! view stays current for the whole run with no per-query setup. The
+//! plain [`FaultOracle`] entry point remains correct for arbitrary graphs
+//! by resynchronizing the view (O(n + m)) before querying — still cheaper
+//! than the thread spawns it replaced.
+//!
+//! Determinism: workers report per-candidate results which are re-ordered
+//! by candidate index, and the lowest-index success wins regardless of
+//! thread timing — the same answer the sequential oracle's DFS returns.
+//! Memoization stays worker-local (sharing it would race and the root
+//! subtrees rarely overlap); the packing and min-cut prunes run once, up
+//! front, on the main thread.
 
-use crate::packing::disjoint_path_packing;
+use crate::packing::{disjoint_path_packing_counted, PackingScratch};
 use crate::{
     BranchingConfig, BranchingOracle, FaultModel, FaultOracle, FaultSet, OracleQuery, OracleStats,
 };
-use spanner_graph::{DijkstraEngine, EdgeId, FaultMask, Graph, NodeId};
-use std::sync::Mutex;
+use spanner_graph::connectivity::CutScratch;
+use spanner_graph::{
+    DijkstraEngine, EdgeId, FaultMask, Graph, GraphView, IncrementalCsr, NodeId, PathScratch,
+    Weight,
+};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One root-candidate search job handed to a pool worker.
+struct Job {
+    seq: u64,
+    index: usize,
+    candidate: usize,
+    query: OracleQuery,
+}
+
+/// A worker's answer for one job.
+type JobResult = (u64, usize, Option<FaultSet>, OracleStats);
+
+/// The long-lived worker pool: a shared job queue, a result channel and
+/// the thread handles (joined on drop).
+struct Pool {
+    jobs: mpsc::Sender<Job>,
+    results: mpsc::Receiver<JobResult>,
+    handles: Vec<JoinHandle<()>>,
+}
 
 /// Parallel exact oracle. Agrees with [`BranchingOracle`] on every query
 /// (property-tested); worthwhile when single queries dominate, e.g. large
@@ -47,130 +88,225 @@ pub struct ParallelBranchingOracle {
     config: BranchingConfig,
     engine: DijkstraEngine,
     stats: OracleStats,
+    view: Arc<RwLock<IncrementalCsr>>,
+    // Root-phase scratch, reused across queries.
+    root_mask: FaultMask,
+    root_path: PathScratch,
+    root_candidates: Vec<usize>,
+    packing: PackingScratch,
+    cuts: CutScratch,
+    pool: Option<PoolHandle>,
+    seq: u64,
+}
+
+/// Wrapper so the pool (whose channels are not `Debug`) can live inside a
+/// `#[derive(Debug)]` struct.
+struct PoolHandle(Pool);
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.0.handles.len())
+            .finish()
+    }
 }
 
 impl ParallelBranchingOracle {
-    /// Creates an oracle using up to `threads` workers (at least 1).
+    /// Creates an oracle using `threads` persistent workers (at least 1).
+    /// Workers are spawned lazily on the first query, so configuring the
+    /// oracle first costs nothing.
     pub fn new(threads: usize) -> Self {
         ParallelBranchingOracle {
             threads: threads.max(1),
             config: BranchingConfig::default(),
             engine: DijkstraEngine::new(),
             stats: OracleStats::default(),
+            view: Arc::new(RwLock::new(IncrementalCsr::new(0))),
+            root_mask: FaultMask::default(),
+            root_path: PathScratch::new(),
+            root_candidates: Vec::new(),
+            packing: PackingScratch::new(),
+            cuts: CutScratch::new(),
+            pool: None,
+            seq: 0,
         }
     }
 
     /// Sets the per-worker branching configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool already started working (workers bake the
+    /// configuration in at spawn time).
     pub fn with_config(mut self, config: BranchingConfig) -> Self {
+        assert!(
+            self.pool.is_none(),
+            "configure the oracle before its first query"
+        );
         self.config = config;
         self
     }
-}
 
-impl FaultOracle for ParallelBranchingOracle {
-    fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
-        let mask = FaultMask::for_graph(graph);
-        // Root-level shortcuts, identical to the sequential oracle.
+    /// Resets the shared spanner view to `node_count` isolated vertices.
+    /// FT-greedy calls this once per construction, then grows the view
+    /// with [`ParallelBranchingOracle::view_push_edge`].
+    pub fn view_reset(&mut self, node_count: usize) {
+        self.view.write().expect("view lock").reset(node_count);
+    }
+
+    /// Appends a kept edge to the shared spanner view, returning its
+    /// dense id (which matches the spanner's own edge id).
+    pub fn view_push_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
+        self.view
+            .write()
+            .expect("view lock")
+            .push_edge(u, v, weight)
+    }
+
+    /// Answers a query against the shared spanner view (the hot path —
+    /// no per-query graph sync). Root shortcuts run on the calling
+    /// thread; candidate subtrees fan out across the pool.
+    pub fn find_blocking_faults_in_view(&mut self, query: OracleQuery) -> Option<FaultSet> {
+        self.ensure_pool();
+        let view = Arc::clone(&self.view);
+        let guard = view.read().expect("view lock");
+        match self.root_phase(&guard, query) {
+            Some(answer) => answer,
+            None => {
+                // Release the read lock before blocking on worker
+                // results: workers take their own read locks, and a
+                // queued writer must never find this thread holding one
+                // while it waits on the pool (reader-writer deadlock).
+                drop(guard);
+                self.fan_out(query)
+            }
+        }
+    }
+
+    /// The sequential root of the search: min-cut shortcut, root shortest
+    /// path, packing prune, candidate extraction. Returns `Some(answer)`
+    /// when the query is decided without fanning out; on `None` the
+    /// candidates are staged in `self.root_candidates`.
+    fn root_phase(
+        &mut self,
+        view: &IncrementalCsr,
+        query: OracleQuery,
+    ) -> Option<Option<FaultSet>> {
+        if self
+            .root_mask
+            .reset_for(view.node_count(), view.edge_count())
+        {
+            self.stats.scratch_rebuilds += 1;
+        }
+        self.root_candidates.clear();
+        // Root-level shortcuts: the exact same Menger-prefiltered min-cut
+        // front the sequential oracle runs (shared implementation, so the
+        // two paths cannot drift).
         if self.config.use_cut_shortcut && query.budget > 0 {
-            match query.model {
-                FaultModel::Vertex => {
-                    if let Some(cut) = spanner_graph::connectivity::min_vertex_cut_st(
-                        graph,
-                        &mask,
-                        query.u,
-                        query.v,
-                        query.budget as u32,
-                    ) {
-                        self.stats.cut_shortcuts += 1;
-                        return Some(FaultSet::vertices(cut));
-                    }
-                }
-                FaultModel::Edge => {
-                    if let Some(cut) = spanner_graph::connectivity::min_edge_cut_st(
-                        graph,
-                        &mask,
-                        query.u,
-                        query.v,
-                        query.budget as u32,
-                    ) {
-                        self.stats.cut_shortcuts += 1;
-                        return Some(FaultSet::edges(cut));
-                    }
-                }
+            if let Some(cut) = crate::branching::cut_shortcut_with_prefilter(
+                view,
+                &mut self.engine,
+                &self.root_mask,
+                &mut self.packing,
+                &mut self.cuts,
+                &mut self.stats,
+                query,
+            ) {
+                return Some(Some(cut));
             }
         }
         self.stats.nodes_explored += 1;
         self.stats.shortest_path_queries += 1;
-        let Some(path) =
-            self.engine
-                .shortest_path_bounded(graph, query.u, query.v, query.bound, &mask)
-        else {
-            return Some(FaultSet::empty(query.model));
-        };
-        if query.budget == 0 {
-            return None;
+        if !self.engine.shortest_path_bounded_into(
+            view,
+            query.u,
+            query.v,
+            query.bound,
+            &self.root_mask,
+            &mut self.root_path,
+        ) {
+            return Some(Some(FaultSet::empty(query.model)));
         }
-        let candidates: Vec<usize> = match query.model {
-            FaultModel::Vertex => path.interior_nodes().iter().map(|n| n.index()).collect(),
-            FaultModel::Edge => path.edges.iter().map(|e| e.index()).collect(),
-        };
-        if candidates.is_empty() {
-            return None;
+        if query.budget == 0 {
+            return Some(None);
+        }
+        match query.model {
+            FaultModel::Vertex => {
+                for n in self.root_path.interior_nodes() {
+                    self.root_candidates.push(n.index());
+                }
+            }
+            FaultModel::Edge => {
+                for e in self.root_path.edges() {
+                    self.root_candidates.push(e.index());
+                }
+            }
+        }
+        if self.root_candidates.is_empty() {
+            return Some(None);
         }
         if self.config.use_packing {
-            let pack = disjoint_path_packing(
-                graph,
+            let probe = disjoint_path_packing_counted(
+                view,
                 &mut self.engine,
-                &mask,
+                &self.root_mask,
                 query.u,
                 query.v,
                 query.bound,
                 query.model,
                 query.budget + 1,
+                &mut self.packing,
             );
-            self.stats.shortest_path_queries += pack as u64 + 1;
-            if pack > query.budget {
+            self.stats.shortest_path_queries += probe.queries;
+            if probe.packed > query.budget {
                 self.stats.packing_prunes += 1;
-                return None;
+                return Some(None);
             }
         }
-        // Fan the root candidates out; keep (index, result, stats) records.
-        let results: Mutex<Vec<(usize, Option<FaultSet>, OracleStats)>> =
-            Mutex::new(Vec::with_capacity(candidates.len()));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let workers = self.threads.min(candidates.len());
-        let config = self.config;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut worker = BranchingOracle::with_config(BranchingConfig {
-                        // The root-level cut shortcut already ran; workers
-                        // skip it (per-subtree cuts rarely pay off).
-                        use_cut_shortcut: false,
-                        ..config
-                    });
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= candidates.len() {
-                            break;
-                        }
-                        let initial = match query.model {
-                            FaultModel::Vertex => FaultSet::vertices([NodeId::new(candidates[i])]),
-                            FaultModel::Edge => FaultSet::edges([EdgeId::new(candidates[i])]),
-                        };
-                        let found =
-                            worker.find_blocking_faults_with_initial(graph, query, &initial);
-                        results
-                            .lock()
-                            .expect("results lock")
-                            .push((i, found, worker.stats()));
-                        worker.reset_stats();
-                    }
-                });
+        None
+    }
+
+    /// Distributes the staged root candidates over the pool and reduces
+    /// the answers deterministically (lowest candidate index wins).
+    fn fan_out(&mut self, query: OracleQuery) -> Option<FaultSet> {
+        let pool = &self.pool.as_ref().expect("pool spawned").0;
+        self.seq += 1;
+        for (index, &candidate) in self.root_candidates.iter().enumerate() {
+            pool.jobs
+                .send(Job {
+                    seq: self.seq,
+                    index,
+                    candidate,
+                    query,
+                })
+                .expect("worker pool alive");
+        }
+        let mut records: Vec<(usize, Option<FaultSet>, OracleStats)> =
+            Vec::with_capacity(self.root_candidates.len());
+        while records.len() < self.root_candidates.len() {
+            // recv_timeout + liveness check rather than a bare recv: if a
+            // worker dies mid-job (panic), its result never arrives but
+            // the channel stays open through the survivors' senders — a
+            // bare recv would hang the whole construction. The old
+            // thread::scope design re-raised worker panics; this restores
+            // that loud failure.
+            match pool.results.recv_timeout(Duration::from_millis(100)) {
+                Ok((seq, index, found, stats)) => {
+                    debug_assert_eq!(seq, self.seq, "stale job result");
+                    records.push((index, found, stats));
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !pool.handles.iter().any(|h| h.is_finished()),
+                        "a pool worker died mid-query"
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("worker pool shut down mid-query");
+                }
             }
-        });
-        let mut records = results.into_inner().expect("results lock");
-        records.sort_by_key(|(i, _, _)| *i);
+        }
+        records.sort_by_key(|(index, _, _)| *index);
         let mut answer = None;
         for (_, found, stats) in records {
             self.stats.absorb(stats);
@@ -181,6 +317,83 @@ impl FaultOracle for ParallelBranchingOracle {
             }
         }
         answer
+    }
+
+    /// Spawns the persistent workers on first use.
+    fn ensure_pool(&mut self) {
+        if self.pool.is_some() {
+            return;
+        }
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (result_tx, result_rx) = mpsc::channel::<JobResult>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let config = BranchingConfig {
+            // The root-level cut shortcut already ran; workers skip it
+            // (per-subtree cuts rarely pay off).
+            use_cut_shortcut: false,
+            ..self.config
+        };
+        let mut handles = Vec::with_capacity(self.threads);
+        for _ in 0..self.threads {
+            let jobs = Arc::clone(&job_rx);
+            let results = result_tx.clone();
+            let view = Arc::clone(&self.view);
+            handles.push(std::thread::spawn(move || {
+                // One sequential oracle per worker, alive for the whole
+                // pool lifetime: its scratch persists across every query
+                // of the construction.
+                let mut oracle = BranchingOracle::with_config(config);
+                loop {
+                    let job = {
+                        let rx = jobs.lock().expect("job queue lock");
+                        match rx.recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // pool dropped
+                        }
+                    };
+                    let initial = match job.query.model {
+                        FaultModel::Vertex => FaultSet::vertices([NodeId::new(job.candidate)]),
+                        FaultModel::Edge => FaultSet::edges([EdgeId::new(job.candidate)]),
+                    };
+                    let found = {
+                        let guard = view.read().expect("view lock");
+                        oracle.find_blocking_faults_with_initial_in(&*guard, job.query, &initial)
+                    };
+                    let stats = oracle.stats();
+                    oracle.reset_stats();
+                    if results.send((job.seq, job.index, found, stats)).is_err() {
+                        return; // pool dropped mid-flight
+                    }
+                }
+            }));
+        }
+        self.pool = Some(PoolHandle(Pool {
+            jobs: job_tx,
+            results: result_rx,
+            handles,
+        }));
+    }
+}
+
+impl Drop for ParallelBranchingOracle {
+    fn drop(&mut self) {
+        if let Some(PoolHandle(pool)) = self.pool.take() {
+            drop(pool.jobs); // closes the queue; workers exit their loop
+            drop(pool.results);
+            for handle in pool.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl FaultOracle for ParallelBranchingOracle {
+    fn find_blocking_faults(&mut self, graph: &Graph, query: OracleQuery) -> Option<FaultSet> {
+        // Arbitrary-graph entry point: resynchronize the shared view
+        // (reusing its allocations), then query it. FT-greedy avoids this
+        // O(n + m) sync by growing the view incrementally instead.
+        self.view.write().expect("view lock").sync_from_graph(graph);
+        self.find_blocking_faults_in_view(query)
     }
 
     fn stats(&self) -> OracleStats {
@@ -275,5 +488,54 @@ mod tests {
         assert!(o.stats().shortest_path_queries > 0);
         o.reset_stats();
         assert_eq!(o.stats(), OracleStats::default());
+    }
+
+    #[test]
+    fn pool_persists_across_queries() {
+        // Many queries through one oracle: the same workers serve all of
+        // them (the pool is spawned once), and the shared view keeps up
+        // with incremental growth.
+        let mut o = ParallelBranchingOracle::new(2);
+        o.view_reset(4);
+        let g = diamond();
+        let mut seq = BranchingOracle::new();
+        let mut view_edges = 0usize;
+        for (_, e) in g.edges() {
+            o.view_push_edge(e.u(), e.v(), e.weight());
+            view_edges += 1;
+            for budget in 0..3 {
+                let query = q(0, 3, 2, budget, FaultModel::Vertex);
+                // Compare against a sequential oracle over the same prefix.
+                let mut prefix = Graph::new(4);
+                for (_, pe) in g.edges().take(view_edges) {
+                    prefix.add_edge_unchecked(pe.u(), pe.v(), pe.weight());
+                }
+                assert_eq!(
+                    o.find_blocking_faults_in_view(query),
+                    seq.find_blocking_faults(&prefix, query),
+                    "prefix of {view_edges} edges, budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn view_reset_starts_fresh_construction() {
+        let mut o = ParallelBranchingOracle::new(2);
+        o.view_reset(3);
+        o.view_push_edge(NodeId::new(0), NodeId::new(1), Weight::UNIT);
+        o.view_push_edge(NodeId::new(1), NodeId::new(2), Weight::UNIT);
+        // 0-2 runs through vertex 1 only: one fault blocks it.
+        let found = o.find_blocking_faults_in_view(q(0, 2, 2, 1, FaultModel::Vertex));
+        assert_eq!(found, Some(FaultSet::vertices([NodeId::new(1)])));
+        // Reset and rebuild a triangle: now 0-2 is direct, unblockable.
+        o.view_reset(3);
+        o.view_push_edge(NodeId::new(0), NodeId::new(1), Weight::UNIT);
+        o.view_push_edge(NodeId::new(1), NodeId::new(2), Weight::UNIT);
+        o.view_push_edge(NodeId::new(0), NodeId::new(2), Weight::UNIT);
+        assert_eq!(
+            o.find_blocking_faults_in_view(q(0, 2, 2, 1, FaultModel::Vertex)),
+            None
+        );
     }
 }

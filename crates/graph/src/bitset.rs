@@ -125,6 +125,31 @@ impl BitSet {
         }
     }
 
+    /// Grows to at least `capacity`, returning `true` if the backing word
+    /// array actually grew (capacity bumps within the same word are free
+    /// and report `false`). Scratch owners use this to count genuine
+    /// reallocation/zeroing work.
+    pub fn grow_tracked(&mut self, capacity: usize) -> bool {
+        let new_words = capacity.div_ceil(WORD_BITS);
+        let grew = new_words > self.words.len();
+        if capacity > self.capacity {
+            self.capacity = capacity;
+        }
+        if grew {
+            self.words.resize(new_words, 0);
+        }
+        grew
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the existing word
+    /// allocation when it is large enough.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.capacity = other.capacity;
+        self.len = other.len;
+    }
+
     /// Iterates over the values in the set in increasing order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {

@@ -8,22 +8,57 @@
 //! ground truth that the length-bounded greedy packing in
 //! `spanner-faults` is validated against.
 
+use crate::adjacency::GraphView;
 use crate::flow::FlowNetwork;
-use crate::{FaultMask, Graph, NodeId};
+use crate::{EdgeId, FaultMask, NodeId};
 
-/// Builds the unit-capacity network of `graph ∖ mask` for edge cuts.
-fn edge_network(graph: &Graph, mask: &FaultMask) -> FlowNetwork {
-    let mut net = FlowNetwork::new(graph.node_count());
-    for (id, e) in graph.edges() {
-        if mask.is_edge_faulted(id)
-            || mask.is_vertex_faulted(e.u())
-            || mask.is_vertex_faulted(e.v())
-        {
+/// Iterates live (unmasked) edges of a view in edge-id order — the shared
+/// scan of every network builder, kept deterministic across graph layouts
+/// so cut witnesses are identical on the adjacency-list and CSR paths.
+fn for_each_live_edge<V: GraphView>(
+    view: &V,
+    mask: &FaultMask,
+    mut f: impl FnMut(EdgeId, NodeId, NodeId),
+) {
+    for i in 0..view.edge_count() {
+        let id = EdgeId::new(i);
+        let (u, v) = view.edge_endpoints(id);
+        if mask.is_edge_faulted(id) || mask.is_vertex_faulted(u) || mask.is_vertex_faulted(v) {
             continue;
         }
-        net.add_undirected_unit(e.u().index(), e.v().index());
+        f(id, u, v);
     }
+}
+
+/// Builds the unit-capacity network of `graph ∖ mask` for edge cuts.
+fn edge_network<V: GraphView>(graph: &V, mask: &FaultMask) -> FlowNetwork {
+    let mut net = FlowNetwork::new(graph.node_count());
+    edge_network_into(&mut net, graph, mask);
     net
+}
+
+/// [`edge_network`] into a reset, allocation-reusing network.
+fn edge_network_into<V: GraphView>(net: &mut FlowNetwork, graph: &V, mask: &FaultMask) {
+    net.reset(graph.node_count());
+    for_each_live_edge(graph, mask, |_, u, v| {
+        net.add_undirected_unit(u.index(), v.index());
+    });
+}
+
+/// Reusable state for the `_with` cut extractors: the flow network and
+/// the residual-side buffer, recycled across the thousands of cut
+/// shortcut probes a single FT-greedy run issues.
+#[derive(Debug, Default)]
+pub struct CutScratch {
+    net: FlowNetwork,
+    side: Vec<bool>,
+}
+
+impl CutScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        CutScratch::default()
+    }
 }
 
 /// Maximum number of edge-disjoint `s–t` paths in `graph ∖ mask`
@@ -45,8 +80,8 @@ fn edge_network(graph: &Graph, mask: &FaultMask) -> FlowNetwork {
 /// assert_eq!(lambda, 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn edge_connectivity_st(
-    graph: &Graph,
+pub fn edge_connectivity_st<V: GraphView>(
+    graph: &V,
     mask: &FaultMask,
     s: NodeId,
     t: NodeId,
@@ -58,9 +93,9 @@ pub fn edge_connectivity_st(
 /// Global edge connectivity `λ(G ∖ mask)`: the minimum over all vertices
 /// `t ≠ s` of `λ(s, t)` for a fixed live `s`. Returns 0 for graphs with
 /// fewer than two live vertices or disconnected graphs.
-pub fn edge_connectivity(graph: &Graph, mask: &FaultMask) -> u32 {
-    let live: Vec<NodeId> = graph
-        .nodes()
+pub fn edge_connectivity<V: GraphView>(graph: &V, mask: &FaultMask) -> u32 {
+    let live: Vec<NodeId> = (0..graph.node_count())
+        .map(NodeId::new)
         .filter(|v| !mask.is_vertex_faulted(*v))
         .collect();
     if live.len() < 2 {
@@ -89,8 +124,8 @@ pub fn edge_connectivity(graph: &Graph, mask: &FaultMask) -> u32 {
 /// # Panics
 ///
 /// Panics if `s == t` or either vertex is out of range or faulted.
-pub fn vertex_connectivity_st(
-    graph: &Graph,
+pub fn vertex_connectivity_st<V: GraphView>(
+    graph: &V,
     mask: &FaultMask,
     s: NodeId,
     t: NodeId,
@@ -101,7 +136,7 @@ pub fn vertex_connectivity_st(
         "terminal is faulted"
     );
     if graph
-        .contains_edge(s, t)
+        .find_edge(s, t)
         .is_some_and(|e| !mask.is_edge_faulted(e))
     {
         return None;
@@ -115,11 +150,25 @@ pub fn vertex_connectivity_st(
 /// joined by a capacity-1 arc (terminals collapsed to a single node). Edge
 /// arcs get effectively infinite capacity so that *every* minimum cut
 /// consists of split arcs only — required for cut extraction.
-fn split_network(graph: &Graph, mask: &FaultMask, s: NodeId, t: NodeId) -> FlowNetwork {
+fn split_network<V: GraphView>(graph: &V, mask: &FaultMask, s: NodeId, t: NodeId) -> FlowNetwork {
+    let mut net = FlowNetwork::new(2 * graph.node_count());
+    split_network_into(&mut net, graph, mask, s, t);
+    net
+}
+
+/// [`split_network`] into a reset, allocation-reusing network.
+fn split_network_into<V: GraphView>(
+    net: &mut FlowNetwork,
+    graph: &V,
+    mask: &FaultMask,
+    s: NodeId,
+    t: NodeId,
+) {
     let n = graph.node_count();
     let big = n as u32 + 1; // no s-t flow can exceed n
-    let mut net = FlowNetwork::new(2 * n);
-    for v in graph.nodes() {
+    net.reset(2 * n);
+    for i in 0..n {
+        let v = NodeId::new(i);
         if v == s || v == t || mask.is_vertex_faulted(v) {
             continue;
         }
@@ -133,47 +182,49 @@ fn split_network(graph: &Graph, mask: &FaultMask, s: NodeId, t: NodeId) -> FlowN
         }
     };
     let in_of = |v: NodeId| v.index();
-    for (id, e) in graph.edges() {
-        if mask.is_edge_faulted(id)
-            || mask.is_vertex_faulted(e.u())
-            || mask.is_vertex_faulted(e.v())
-        {
-            continue;
-        }
-        net.add_arc(out_of(e.u()), in_of(e.v()), big);
-        net.add_arc(out_of(e.v()), in_of(e.u()), big);
-    }
-    net
+    for_each_live_edge(graph, mask, |_, u, v| {
+        net.add_arc(out_of(u), in_of(v), big);
+        net.add_arc(out_of(v), in_of(u), big);
+    });
 }
 
 /// Extracts a minimum `s–t` *edge* cut of size at most `limit`, or `None`
 /// if every cut is larger. The returned edges disconnect `s` from `t`.
-pub fn min_edge_cut_st(
-    graph: &Graph,
+pub fn min_edge_cut_st<V: GraphView>(
+    graph: &V,
     mask: &FaultMask,
     s: NodeId,
     t: NodeId,
     limit: u32,
 ) -> Option<Vec<crate::EdgeId>> {
-    let mut net = edge_network(graph, mask);
-    let flow = net.max_flow(s.index(), t.index(), limit.saturating_add(1));
+    min_edge_cut_st_with(graph, mask, s, t, limit, &mut CutScratch::new())
+}
+
+/// [`min_edge_cut_st`] with caller-owned scratch: identical answers, no
+/// per-call network allocation (the FT-greedy oracle hot path).
+pub fn min_edge_cut_st_with<V: GraphView>(
+    graph: &V,
+    mask: &FaultMask,
+    s: NodeId,
+    t: NodeId,
+    limit: u32,
+    scratch: &mut CutScratch,
+) -> Option<Vec<crate::EdgeId>> {
+    edge_network_into(&mut scratch.net, graph, mask);
+    let flow = scratch
+        .net
+        .max_flow(s.index(), t.index(), limit.saturating_add(1));
     if flow > limit {
         return None;
     }
-    let side = net.min_cut_side(s.index());
+    scratch.net.min_cut_side_into(s.index(), &mut scratch.side);
+    let side = &scratch.side;
     let mut cut = Vec::new();
-    for (id, e) in graph.edges() {
-        if mask.is_edge_faulted(id)
-            || mask.is_vertex_faulted(e.u())
-            || mask.is_vertex_faulted(e.v())
-        {
-            continue;
-        }
-        let (a, b) = (side[e.u().index()], side[e.v().index()]);
-        if a != b {
+    for_each_live_edge(graph, mask, |id, u, v| {
+        if side[u.index()] != side[v.index()] {
             cut.push(id);
         }
-    }
+    });
     debug_assert_eq!(cut.len() as u32, flow, "cut size must equal flow value");
     Some(cut)
 }
@@ -181,32 +232,53 @@ pub fn min_edge_cut_st(
 /// Extracts a minimum `s–t` *vertex* cut of size at most `limit`, or
 /// `None` if `s, t` are adjacent or every cut is larger. The returned
 /// vertices (disjoint from `{s, t}`) disconnect `s` from `t`.
-pub fn min_vertex_cut_st(
-    graph: &Graph,
+pub fn min_vertex_cut_st<V: GraphView>(
+    graph: &V,
     mask: &FaultMask,
     s: NodeId,
     t: NodeId,
     limit: u32,
+) -> Option<Vec<NodeId>> {
+    min_vertex_cut_st_with(graph, mask, s, t, limit, &mut CutScratch::new())
+}
+
+/// [`min_vertex_cut_st`] with caller-owned scratch: identical answers, no
+/// per-call network allocation (the FT-greedy oracle hot path).
+///
+/// # Panics
+///
+/// Same conditions as [`min_vertex_cut_st`].
+pub fn min_vertex_cut_st_with<V: GraphView>(
+    graph: &V,
+    mask: &FaultMask,
+    s: NodeId,
+    t: NodeId,
+    limit: u32,
+    scratch: &mut CutScratch,
 ) -> Option<Vec<NodeId>> {
     assert!(
         !mask.is_vertex_faulted(s) && !mask.is_vertex_faulted(t),
         "terminal is faulted"
     );
     if graph
-        .contains_edge(s, t)
+        .find_edge(s, t)
         .is_some_and(|e| !mask.is_edge_faulted(e))
     {
         return None;
     }
     let n = graph.node_count();
-    let mut net = split_network(graph, mask, s, t);
-    let flow = net.max_flow(s.index(), t.index(), limit.saturating_add(1));
+    split_network_into(&mut scratch.net, graph, mask, s, t);
+    let flow = scratch
+        .net
+        .max_flow(s.index(), t.index(), limit.saturating_add(1));
     if flow > limit {
         return None;
     }
-    let side = net.min_cut_side(s.index());
+    scratch.net.min_cut_side_into(s.index(), &mut scratch.side);
+    let side = &scratch.side;
     let mut cut = Vec::new();
-    for v in graph.nodes() {
+    for i in 0..n {
+        let v = NodeId::new(i);
         if v == s || v == t || mask.is_vertex_faulted(v) {
             continue;
         }
@@ -225,12 +297,12 @@ pub fn min_vertex_cut_st(
 ///
 /// Cost: O(n²) bounded max-flows in the worst case; intended for
 /// moderate-size feasibility checks and tests.
-pub fn is_k_vertex_connected(graph: &Graph, mask: &FaultMask, k: u32) -> bool {
+pub fn is_k_vertex_connected<V: GraphView>(graph: &V, mask: &FaultMask, k: u32) -> bool {
     if k == 0 {
         return true;
     }
-    let live: Vec<NodeId> = graph
-        .nodes()
+    let live: Vec<NodeId> = (0..graph.node_count())
+        .map(NodeId::new)
         .filter(|v| !mask.is_vertex_faulted(*v))
         .collect();
     if (live.len() as u32) < k + 1 {
@@ -255,9 +327,9 @@ pub fn is_k_vertex_connected(graph: &Graph, mask: &FaultMask, k: u32) -> bool {
 /// [`is_k_vertex_connected`] holds; complete live subgraphs report
 /// `live − 1`. Intended for small graphs (binary search over `k` with
 /// O(n²) flows per probe).
-pub fn vertex_connectivity(graph: &Graph, mask: &FaultMask) -> u32 {
-    let live = graph
-        .nodes()
+pub fn vertex_connectivity<V: GraphView>(graph: &V, mask: &FaultMask) -> u32 {
+    let live = (0..graph.node_count())
+        .map(NodeId::new)
         .filter(|v| !mask.is_vertex_faulted(*v))
         .count() as u32;
     if live < 2 {
@@ -280,7 +352,7 @@ pub fn vertex_connectivity(graph: &Graph, mask: &FaultMask) -> u32 {
 mod tests {
     use super::*;
     use crate::generators;
-    use crate::EdgeId;
+    use crate::{EdgeId, Graph};
 
     fn no_faults(g: &Graph) -> FaultMask {
         FaultMask::for_graph(g)

@@ -1,4 +1,4 @@
-//! A frozen compressed-sparse-row graph view.
+//! Compressed-sparse-row graph views, frozen and incremental.
 //!
 //! [`Graph`] optimizes for growth (FT-greedy appends edges constantly);
 //! its `Vec<Vec<…>>` adjacency pays a pointer chase per vertex. Once a
@@ -7,9 +7,17 @@
 //! friendlier to the cache. [`CsrGraph`] is that view: immutable, same
 //! vertex/edge ids, with its own fault-masked bounded Dijkstra.
 //!
-//! The `substrate` bench compares the two layouts on identical query
+//! [`IncrementalCsr`] covers the in-between case that dominates spanner
+//! construction: a graph that *grows* (one kept edge at a time) but is
+//! *queried* thousands of times between appends. It keeps a frozen CSR
+//! snapshot plus a small append buffer, folding the buffer back into the
+//! snapshot once it exceeds a fixed threshold, so queries stay within a
+//! few dozen extra scans of flat memory and appends stay amortized O(1).
+//!
+//! The `substrate` bench compares the layouts on identical query
 //! workloads.
 
+use crate::adjacency::GraphView;
 use crate::{Dist, EdgeId, FaultMask, Graph, IndexedHeap, NodeId, Weight};
 
 /// An immutable CSR snapshot of a [`Graph`] (same node and edge ids).
@@ -174,6 +182,262 @@ impl From<&Graph> for CsrGraph {
     }
 }
 
+/// How many appended edges [`IncrementalCsr`] tolerates before folding
+/// them back into the frozen CSR arrays. Traversals scan the whole append
+/// buffer once per visited vertex, so the buffer is kept small; rebuilds
+/// reuse the existing allocations and cost O(n + m).
+const PENDING_REBUILD_LIMIT: usize = 32;
+
+/// A growable CSR view: a frozen snapshot plus a bounded append buffer.
+///
+/// Node and edge ids match the [`Graph`] the view mirrors (edges get dense
+/// ids in append order). [`IncrementalCsr::push_edge`] is amortized O(1);
+/// neighbor iteration touches the frozen contiguous slice for the vertex
+/// plus at most [`PENDING_REBUILD_LIMIT`] buffered entries. This is the
+/// structure the FT-greedy oracle hot loop runs its Dijkstras over.
+///
+/// Neighbor order follows the [`GraphView`] determinism contract
+/// (increasing edge id), so traversals over the view tie-break exactly
+/// like traversals over the mirrored [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{GraphView, IncrementalCsr, NodeId, Weight};
+///
+/// let mut view = IncrementalCsr::new(3);
+/// view.push_edge(NodeId::new(0), NodeId::new(1), Weight::UNIT);
+/// view.push_edge(NodeId::new(1), NodeId::new(2), Weight::UNIT);
+/// assert_eq!(view.edge_count(), 2);
+/// let mut around_one = Vec::new();
+/// view.for_each_neighbor(NodeId::new(1), |to, _, _| around_one.push(to.index()));
+/// assert_eq!(around_one, vec![0, 2]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalCsr {
+    node_count: usize,
+    /// Frozen CSR arrays covering edge ids `0..frozen`.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    via_edges: Vec<u32>,
+    csr_weights: Vec<Weight>,
+    frozen: usize,
+    /// Per-edge stores covering *all* edges (frozen and pending alike).
+    edge_u: Vec<u32>,
+    edge_v: Vec<u32>,
+    edge_w: Vec<Weight>,
+    /// Rebuild counter (exposed for the scratch-reuse regression tests).
+    rebuilds: u64,
+    /// Reused cursor array for counting-sort rebuilds.
+    cursor: Vec<u32>,
+}
+
+impl IncrementalCsr {
+    /// Creates an empty view over `node_count` isolated vertices.
+    pub fn new(node_count: usize) -> Self {
+        IncrementalCsr {
+            node_count,
+            offsets: vec![0; node_count + 1],
+            ..IncrementalCsr::default()
+        }
+    }
+
+    /// Builds a view mirroring `graph` (same node and edge ids), fully
+    /// frozen into CSR form.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut view = IncrementalCsr::new(graph.node_count());
+        view.sync_from_graph(graph);
+        view
+    }
+
+    /// Resets to `node_count` isolated vertices, keeping allocations.
+    pub fn reset(&mut self, node_count: usize) {
+        self.node_count = node_count;
+        self.offsets.clear();
+        self.offsets.resize(node_count + 1, 0);
+        self.targets.clear();
+        self.via_edges.clear();
+        self.csr_weights.clear();
+        self.frozen = 0;
+        self.edge_u.clear();
+        self.edge_v.clear();
+        self.edge_w.clear();
+    }
+
+    /// Re-mirrors `graph` from scratch (reusing allocations) and freezes
+    /// the whole edge set into CSR form. Used by oracles that accept an
+    /// arbitrary [`Graph`] per query and must resynchronize their view.
+    pub fn sync_from_graph(&mut self, graph: &Graph) {
+        self.reset(graph.node_count());
+        for (_, e) in graph.edges() {
+            self.edge_u.push(e.u().raw());
+            self.edge_v.push(e.v().raw());
+            self.edge_w.push(e.weight());
+        }
+        if !self.edge_u.is_empty() {
+            self.rebuild();
+        }
+    }
+
+    /// Appends an edge, returning its dense id. Amortized O(1): every
+    /// [`PENDING_REBUILD_LIMIT`] appends trigger an O(n + m) fold of the
+    /// append buffer into the frozen arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`. Duplicates are
+    /// not detected (mirroring [`Graph::add_edge_unchecked`]).
+    pub fn push_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
+        assert!(
+            u.index() < self.node_count && v.index() < self.node_count,
+            "edge endpoint out of range"
+        );
+        assert!(u != v, "self-loop at {u}");
+        let id = EdgeId::new(self.edge_u.len());
+        self.edge_u.push(u.raw());
+        self.edge_v.push(v.raw());
+        self.edge_w.push(weight);
+        if self.edge_u.len() - self.frozen > PENDING_REBUILD_LIMIT {
+            self.rebuild();
+        }
+        id
+    }
+
+    /// Folds the append buffer into the frozen CSR arrays (counting sort
+    /// by endpoint, filling in edge-id order so per-node neighbor lists
+    /// stay sorted by edge id). Reuses all allocations.
+    fn rebuild(&mut self) {
+        self.rebuilds += 1;
+        let n = self.node_count;
+        let m = self.edge_u.len();
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+        for i in 0..m {
+            self.cursor[self.edge_u[i] as usize] += 1;
+            self.cursor[self.edge_v[i] as usize] += 1;
+        }
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.offsets.push(0);
+        let mut running = 0u32;
+        for v in 0..n {
+            running += self.cursor[v];
+            self.offsets.push(running);
+        }
+        self.targets.clear();
+        self.targets.resize(2 * m, 0);
+        self.via_edges.clear();
+        self.via_edges.resize(2 * m, 0);
+        self.csr_weights.clear();
+        self.csr_weights.resize(2 * m, Weight::UNIT);
+        // Reuse `cursor` as per-node write positions.
+        self.cursor.copy_from_slice(&self.offsets[..n]);
+        for i in 0..m {
+            let (u, v, w) = (self.edge_u[i], self.edge_v[i], self.edge_w[i]);
+            let pu = self.cursor[u as usize] as usize;
+            self.targets[pu] = v;
+            self.via_edges[pu] = i as u32;
+            self.csr_weights[pu] = w;
+            self.cursor[u as usize] += 1;
+            let pv = self.cursor[v as usize] as usize;
+            self.targets[pv] = u;
+            self.via_edges[pv] = i as u32;
+            self.csr_weights[pv] = w;
+            self.cursor[v as usize] += 1;
+        }
+        self.frozen = m;
+    }
+
+    /// Number of buffer folds performed so far (a reuse diagnostic: after
+    /// warm-up the count advances once per [`PENDING_REBUILD_LIMIT`]
+    /// appends, never per query).
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Number of edges still in the append buffer (bounded by
+    /// [`PENDING_REBUILD_LIMIT`]).
+    pub fn pending_len(&self) -> usize {
+        self.edge_u.len() - self.frozen
+    }
+}
+
+impl GraphView for IncrementalCsr {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_u.len()
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        (
+            NodeId::from(self.edge_u[edge.index()]),
+            NodeId::from(self.edge_v[edge.index()]),
+        )
+    }
+
+    #[inline]
+    fn edge_weight(&self, edge: EdgeId) -> Weight {
+        self.edge_w[edge.index()]
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, node: NodeId, mut f: impl FnMut(NodeId, EdgeId, Weight)) {
+        let i = node.index();
+        assert!(i < self.node_count, "node out of range");
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        for p in lo..hi {
+            f(
+                NodeId::from(self.targets[p]),
+                EdgeId::from(self.via_edges[p]),
+                self.csr_weights[p],
+            );
+        }
+        let node = node.raw();
+        for e in self.frozen..self.edge_u.len() {
+            if self.edge_u[e] == node {
+                f(NodeId::from(self.edge_v[e]), EdgeId::new(e), self.edge_w[e]);
+            } else if self.edge_v[e] == node {
+                f(NodeId::from(self.edge_u[e]), EdgeId::new(e), self.edge_w[e]);
+            }
+        }
+    }
+
+    fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        assert!(
+            u.index() < self.node_count && v.index() < self.node_count,
+            "node out of range"
+        );
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        for p in lo..hi {
+            if self.targets[p] == v.raw() {
+                return Some(EdgeId::from(self.via_edges[p]));
+            }
+        }
+        for e in self.frozen..self.edge_u.len() {
+            if (self.edge_u[e] == u.raw() && self.edge_v[e] == v.raw())
+                || (self.edge_u[e] == v.raw() && self.edge_v[e] == u.raw())
+            {
+                return Some(EdgeId::new(e));
+            }
+        }
+        None
+    }
+}
+
+impl From<&Graph> for IncrementalCsr {
+    fn from(graph: &Graph) -> Self {
+        IncrementalCsr::from_graph(graph)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +521,118 @@ mod tests {
         let g = generators::cycle(5);
         let csr: CsrGraph = (&g).into();
         assert_eq!(csr.edge_count(), 5);
+    }
+
+    fn view_neighbors(view: &impl GraphView, v: NodeId) -> Vec<(NodeId, EdgeId, Weight)> {
+        let mut out = Vec::new();
+        view.for_each_neighbor(v, |n, e, w| out.push((n, e, w)));
+        out
+    }
+
+    #[test]
+    fn incremental_view_tracks_growing_graph() {
+        // Grow a graph and its view in lockstep; adjacency must agree at
+        // every step — including mid-buffer, straddling rebuilds.
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = generators::erdos_renyi(30, 0.25, &mut rng);
+        let mut mirror = Graph::new(30);
+        let mut view = IncrementalCsr::new(30);
+        for (i, (_, e)) in g.edges().enumerate() {
+            mirror.add_edge_unchecked(e.u(), e.v(), e.weight());
+            let id = view.push_edge(e.u(), e.v(), e.weight());
+            assert_eq!(id.index(), i);
+            if i % 7 == 0 || i + 1 == g.edge_count() {
+                assert_eq!(view.edge_count(), mirror.edge_count());
+                for v in mirror.nodes() {
+                    assert_eq!(
+                        view_neighbors(&view, v),
+                        view_neighbors(&mirror, v),
+                        "adjacency diverged at vertex {v} after {} edges",
+                        i + 1
+                    );
+                }
+            }
+        }
+        assert!(view.rebuild_count() > 0, "workload should cross the limit");
+        assert!(view.pending_len() <= 32);
+    }
+
+    #[test]
+    fn incremental_view_endpoints_weights_find_edge() {
+        let g =
+            Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 2), (0, 3, 1), (3, 2, 3)]).unwrap();
+        let view = IncrementalCsr::from_graph(&g);
+        for (id, e) in g.edges() {
+            assert_eq!(view.edge_endpoints(id), e.endpoints());
+            assert_eq!(view.edge_weight(id), e.weight());
+        }
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u != v {
+                    assert_eq!(view.find_edge(u, v), g.contains_edge(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_view_dijkstra_matches_graph_under_faults() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let g = generators::erdos_renyi(40, 0.12, &mut rng);
+        let mut view = IncrementalCsr::new(40);
+        for (_, e) in g.edges() {
+            view.push_edge(e.u(), e.v(), e.weight());
+        }
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(5));
+        if g.edge_count() > 2 {
+            mask.fault_edge(EdgeId::new(2));
+        }
+        let mut engine = dijkstra::DijkstraEngine::new();
+        for (src, dst) in [(0usize, 39usize), (3, 17), (11, 30)] {
+            for bound in [2u64, 5, 100] {
+                assert_eq!(
+                    engine.dist_bounded(
+                        &view,
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        Dist::finite(bound),
+                        &mask
+                    ),
+                    engine.dist_bounded(
+                        &g,
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        Dist::finite(bound),
+                        &mask
+                    ),
+                    "pair ({src},{dst}) bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_view_reset_reuses() {
+        let g = generators::cycle(6);
+        let mut view = IncrementalCsr::from_graph(&g);
+        view.reset(3);
+        assert_eq!(GraphView::node_count(&view), 3);
+        assert_eq!(GraphView::edge_count(&view), 0);
+        view.push_edge(NodeId::new(0), NodeId::new(2), Weight::UNIT);
+        assert_eq!(view_neighbors(&view, NodeId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn incremental_sync_from_graph_mirrors() {
+        let g = generators::grid(3, 4);
+        let mut view = IncrementalCsr::new(1);
+        view.sync_from_graph(&g);
+        assert_eq!(GraphView::node_count(&view), g.node_count());
+        assert_eq!(GraphView::edge_count(&view), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(view_neighbors(&view, v), view_neighbors(&g, v));
+        }
+        assert_eq!(view.pending_len(), 0, "sync must freeze everything");
     }
 }

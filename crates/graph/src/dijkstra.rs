@@ -13,8 +13,25 @@
 //! reuses them across queries via epoch stamping, so a query allocates
 //! nothing after warm-up. The fault-set search oracles issue up to `O(k^f)`
 //! queries per greedy edge; this reuse is what keeps them tractable.
+//!
+//! # Scratch-reuse contract
+//!
+//! The engine is generic over [`GraphView`], so the same monomorphized
+//! loop serves both the growable [`Graph`] and the flat
+//! [`IncrementalCsr`](crate::IncrementalCsr) layouts. Two rules keep the
+//! hot path allocation-free:
+//!
+//! 1. **Engine scratch grows, never shrinks.** `prepare` resizes the
+//!    distance/parent/epoch arrays only when a larger graph appears;
+//!    steady-state queries recycle them via epoch stamping.
+//! 2. **Path extraction writes into caller buffers.**
+//!    [`DijkstraEngine::shortest_path_bounded_into`] fills a caller-owned
+//!    [`PathScratch`] (clearing, not reallocating, its vectors).
+//!    [`DijkstraEngine::shortest_path_bounded`] is the allocating
+//!    convenience wrapper; loops should prefer the `_into` form.
 
-use crate::{Dist, EdgeId, FaultMask, Graph, IndexedHeap, NodeId, Weight};
+use crate::adjacency::GraphView;
+use crate::{Dist, EdgeId, FaultMask, IndexedHeap, NodeId, Weight};
 
 /// A shortest path found by [`DijkstraEngine::shortest_path_bounded`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,6 +49,61 @@ impl ShortestPath {
     ///
     /// These are the branching candidates for vertex fault search: any fault
     /// set that blocks this path must contain one of them (or an edge).
+    pub fn interior_nodes(&self) -> &[NodeId] {
+        if self.nodes.len() <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..self.nodes.len() - 1]
+        }
+    }
+
+    /// Number of edges on the path.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the path is a single vertex (source == target).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// A reusable shortest-path buffer for
+/// [`DijkstraEngine::shortest_path_bounded_into`].
+///
+/// Holds the same data as [`ShortestPath`] but is designed to be owned by
+/// a long-lived caller (a fault oracle's per-construction scratch) and
+/// refilled on every query without reallocating.
+#[derive(Clone, Debug, Default)]
+pub struct PathScratch {
+    dist: Dist,
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl PathScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        PathScratch::default()
+    }
+
+    /// Total weight of the last extracted path.
+    pub fn dist(&self) -> Dist {
+        self.dist
+    }
+
+    /// Vertices from source to target, inclusive.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Edges in path order (`nodes().len() - 1` of them).
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// The vertices strictly between source and target (the vertex-model
+    /// branching candidates).
     pub fn interior_nodes(&self) -> &[NodeId] {
         if self.nodes.len() <= 2 {
             &[]
@@ -141,9 +213,9 @@ impl DijkstraEngine {
     /// `bound`. Returns `None` when the distance exceeds `bound` (including
     /// unreachable). `src == dst` always yields `Some(Dist::ZERO)` unless the
     /// vertex itself is faulted.
-    pub fn dist_bounded(
+    pub fn dist_bounded<V: GraphView>(
         &mut self,
-        graph: &Graph,
+        graph: &V,
         src: NodeId,
         dst: NodeId,
         bound: Dist,
@@ -155,41 +227,72 @@ impl DijkstraEngine {
     }
 
     /// Like [`DijkstraEngine::dist_bounded`], but also reconstructs one
-    /// shortest path.
-    pub fn shortest_path_bounded(
+    /// shortest path into the reusable `out` buffer. Returns `true` (with
+    /// `out` filled) when a path within `bound` exists; on `false`, `out`
+    /// is cleared.
+    ///
+    /// This is the zero-allocation form the oracle hot loop uses; see the
+    /// module docs for the scratch-reuse contract.
+    pub fn shortest_path_bounded_into<V: GraphView>(
         &mut self,
-        graph: &Graph,
+        graph: &V,
         src: NodeId,
         dst: NodeId,
         bound: Dist,
         mask: &FaultMask,
-    ) -> Option<ShortestPath> {
+        out: &mut PathScratch,
+    ) -> bool {
         self.run(graph, src, Some(dst), bound, mask);
+        out.nodes.clear();
+        out.edges.clear();
         let dist = self.query_dist(dst);
         if !dist.is_finite() || dist > bound {
-            return None;
+            return false;
         }
-        let mut nodes = vec![dst];
-        let mut edges = Vec::new();
+        out.dist = dist;
+        out.nodes.push(dst);
         let mut cur = dst;
         while cur != src {
             let pn = self.parent_node[cur.index()];
             let pe = self.parent_edge[cur.index()];
             debug_assert!(pn != NO_PARENT, "parent chain broken");
-            edges.push(EdgeId::new(pe as usize));
+            out.edges.push(EdgeId::new(pe as usize));
             cur = NodeId::new(pn as usize);
-            nodes.push(cur);
+            out.nodes.push(cur);
         }
-        nodes.reverse();
-        edges.reverse();
-        Some(ShortestPath { dist, nodes, edges })
+        out.nodes.reverse();
+        out.edges.reverse();
+        true
+    }
+
+    /// Like [`DijkstraEngine::dist_bounded`], but also reconstructs one
+    /// shortest path. Allocates the result; loops should prefer
+    /// [`DijkstraEngine::shortest_path_bounded_into`].
+    pub fn shortest_path_bounded<V: GraphView>(
+        &mut self,
+        graph: &V,
+        src: NodeId,
+        dst: NodeId,
+        bound: Dist,
+        mask: &FaultMask,
+    ) -> Option<ShortestPath> {
+        let mut out = PathScratch::new();
+        if self.shortest_path_bounded_into(graph, src, dst, bound, mask, &mut out) {
+            Some(ShortestPath {
+                dist: out.dist,
+                nodes: out.nodes,
+                edges: out.edges,
+            })
+        } else {
+            None
+        }
     }
 
     /// Single-source shortest distances in `graph ∖ mask`, stopping at
     /// `bound` (vertices farther than `bound` report `Dist::INFINITE`).
-    pub fn sssp_bounded(
+    pub fn sssp_bounded<V: GraphView>(
         &mut self,
-        graph: &Graph,
+        graph: &V,
         src: NodeId,
         bound: Dist,
         mask: &FaultMask,
@@ -208,7 +311,7 @@ impl DijkstraEngine {
     }
 
     /// Unbounded single-source shortest distances in `graph ∖ mask`.
-    pub fn sssp(&mut self, graph: &Graph, src: NodeId, mask: &FaultMask) -> Vec<Dist> {
+    pub fn sssp<V: GraphView>(&mut self, graph: &V, src: NodeId, mask: &FaultMask) -> Vec<Dist> {
         self.sssp_bounded(graph, src, Dist::INFINITE, mask)
     }
 
@@ -220,9 +323,9 @@ impl DijkstraEngine {
         }
     }
 
-    fn run(
+    fn run<V: GraphView>(
         &mut self,
-        graph: &Graph,
+        graph: &V,
         src: NodeId,
         dst: Option<NodeId>,
         bound: Dist,
@@ -255,14 +358,13 @@ impl DijkstraEngine {
             if dv > bound {
                 break;
             }
-            for (to, eid) in graph.neighbors(NodeId::new(v)) {
+            graph.for_each_neighbor(NodeId::new(v), |to, eid, w: Weight| {
                 if !mask.allows(to, eid) {
-                    continue;
+                    return;
                 }
-                let w: Weight = graph.weight(eid);
                 let cand = dv + w;
                 if cand > bound {
-                    continue;
+                    return;
                 }
                 self.touch(to.index());
                 if cand < self.dist[to.index()] {
@@ -271,7 +373,7 @@ impl DijkstraEngine {
                     self.parent_edge[to.index()] = eid.raw();
                     heap.push_or_decrease(to.index(), cand.value().expect("finite"));
                 }
-            }
+            });
         }
         self.heap = Some(heap);
     }
@@ -292,8 +394,8 @@ impl DijkstraEngine {
 /// assert_eq!(d, Some(Dist::finite(2)));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn dist_bounded(
-    graph: &Graph,
+pub fn dist_bounded<V: GraphView>(
+    graph: &V,
     src: NodeId,
     dst: NodeId,
     bound: Dist,
@@ -303,13 +405,14 @@ pub fn dist_bounded(
 }
 
 /// One-shot convenience: unbounded distance, `Dist::INFINITE` if unreachable.
-pub fn dist(graph: &Graph, src: NodeId, dst: NodeId, mask: &FaultMask) -> Dist {
+pub fn dist<V: GraphView>(graph: &V, src: NodeId, dst: NodeId, mask: &FaultMask) -> Dist {
     dist_bounded(graph, src, dst, Dist::INFINITE, mask).unwrap_or(Dist::INFINITE)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     fn weighted_diamond() -> Graph {
         // 0 -1- 1 -1- 2  and  0 -1- 3 -5- 2

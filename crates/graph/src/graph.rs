@@ -369,9 +369,15 @@ impl Graph {
     /// Returns edge ids sorted by `(weight, id)` — the scan order of greedy
     /// spanner algorithms ("in order of increasing weight", ties broken by
     /// insertion order for determinism).
+    ///
+    /// The result is freshly allocated and sorted on every call; greedy
+    /// runners compute it once per construction rather than per query.
     pub fn edges_by_weight(&self) -> Vec<EdgeId> {
         let mut ids: Vec<EdgeId> = self.edge_ids().collect();
-        ids.sort_by_key(|e| (self.weight(*e), *e));
+        // `sort_unstable` is safe despite the documented tie-break: the id
+        // is part of the key, so the comparator is already a total order
+        // and stability adds nothing but overhead.
+        ids.sort_unstable_by_key(|e| (self.weight(*e), *e));
         ids
     }
 

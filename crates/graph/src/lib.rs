@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adjacency;
 mod bitset;
 mod error;
 mod graph;
@@ -69,8 +70,10 @@ pub mod mst;
 pub mod subgraph;
 pub mod transform;
 
+pub use adjacency::GraphView;
 pub use bitset::BitSet;
-pub use dijkstra::{DijkstraEngine, ShortestPath};
+pub use csr::IncrementalCsr;
+pub use dijkstra::{DijkstraEngine, PathScratch, ShortestPath};
 pub use error::GraphError;
 pub use graph::{Edge, Graph};
 pub use heap::IndexedHeap;

@@ -111,6 +111,24 @@ impl FaultMask {
         self.edges.clear();
     }
 
+    /// Clears all faults and guarantees capacity for a graph of
+    /// `node_count` vertices and `edge_count` edges, reusing the existing
+    /// allocation whenever possible. Returns `true` if backing storage had
+    /// to grow — the "scratch rebuild" signal long-lived oracles count to
+    /// prove their masks are recycled rather than rebuilt per query.
+    pub fn reset_for(&mut self, node_count: usize, edge_count: usize) -> bool {
+        let grew = self.vertices.grow_tracked(node_count) | self.edges.grow_tracked(edge_count);
+        self.clear();
+        grew
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing allocations (the
+    /// in-place analogue of `clone` for packing scratch masks).
+    pub fn copy_from(&mut self, other: &FaultMask) {
+        self.vertices.copy_from(&other.vertices);
+        self.edges.copy_from(&other.edges);
+    }
+
     /// Iterates over faulted vertices in increasing id order.
     pub fn faulted_vertices(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.vertices.iter().map(NodeId::new)
@@ -204,6 +222,32 @@ mod tests {
         assert!(!mask.is_vertex_faulted(NodeId::new(99)));
         mask.fault_edge(EdgeId::new(50));
         assert!(mask.is_edge_faulted(EdgeId::new(50)));
+    }
+
+    #[test]
+    fn reset_for_reports_growth_only_once() {
+        let mut mask = FaultMask::with_capacity(0, 0);
+        assert!(mask.reset_for(100, 100), "first sizing must grow");
+        mask.fault_vertex(NodeId::new(3));
+        assert!(!mask.reset_for(100, 100), "same size must reuse");
+        assert!(mask.is_empty(), "reset_for must clear faults");
+        // Word-granular: +1 bit within the same word is not a rebuild.
+        assert!(!mask.reset_for(101, 101));
+        assert!(mask.reset_for(1000, 10));
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let g = c4();
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(1));
+        mask.fault_edge(EdgeId::new(2));
+        let mut copy = FaultMask::with_capacity(0, 0);
+        copy.copy_from(&mask);
+        assert_eq!(copy, mask);
+        assert_eq!(copy.fault_count(), 2);
+        assert!(copy.is_vertex_faulted(NodeId::new(1)));
+        assert!(copy.is_edge_faulted(EdgeId::new(2)));
     }
 
     #[test]

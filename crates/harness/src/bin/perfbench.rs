@@ -1,0 +1,377 @@
+//! `perfbench` — the FT-greedy perf trajectory, as a committed artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfbench [--smoke | --quick | --full] [--threads N] [--repeats R] [--out PATH]
+//! perfbench --check PATH
+//! ```
+//!
+//! Runs the E1-style workload (random geometric and complete graphs,
+//! stretch 3, f ∈ {1, 2}) through three FT-greedy oracle paths —
+//!
+//! * `reference`: the frozen pre-optimization branching oracle
+//!   (fresh allocations per query, adjacency-list Dijkstra),
+//! * `optimized`: the default branching path (incremental CSR view,
+//!   per-construction scratch, Zobrist memo),
+//! * `pooled`: the persistent-worker-pool parallel path,
+//!
+//! — and writes one JSON document (`BENCH_2.json` by default) with
+//! per-cell wall times, oracle work counters and speedups vs the
+//! reference, after asserting that all three paths produced identical
+//! spanners. `--check` re-reads any such artifact with the strict parser
+//! in [`spanner_harness::json`] and verifies the schema, which is what
+//! the CI bench-smoke job runs so the pipeline cannot silently rot.
+
+use spanner_core::{FtGreedy, FtSpanner, OracleKind};
+use spanner_faults::reference::ReferenceBranchingOracle;
+use spanner_faults::OracleStats;
+use spanner_graph::generators::{complete, random_geometric, with_uniform_weights};
+use spanner_graph::Graph;
+use spanner_harness::json::{self, num, obj, s, JsonValue};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The artifact schema tag; bump when the layout changes.
+const SCHEMA: &str = "vft-spanner/bench-2";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    Smoke,
+    Quick,
+    Full,
+}
+
+impl Scale {
+    fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+struct Args {
+    scale: Scale,
+    out: PathBuf,
+    threads: usize,
+    repeats: usize,
+    check: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: perfbench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       perfbench --check PATH"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Full,
+        out: PathBuf::from("BENCH_2.json"),
+        threads: 4,
+        repeats: 0, // 0 = scale default
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.scale = Scale::Smoke,
+            "--quick" => args.scale = Scale::Quick,
+            "--full" => args.scale = Scale::Full,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
+            "--check" => args.check = Some(PathBuf::from(it.next().ok_or("--check needs a path")?)),
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a number")?;
+                args.threads = n.parse().map_err(|_| format!("bad thread count: {n}"))?;
+            }
+            "--repeats" => {
+                let r = it.next().ok_or("--repeats needs a number")?;
+                args.repeats = r.parse().map_err(|_| format!("bad repeat count: {r}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => {
+                return Err(format!(
+                    "unknown argument {other}\n{usage}",
+                    usage = usage()
+                ))
+            }
+        }
+    }
+    if args.repeats == 0 {
+        args.repeats = match args.scale {
+            Scale::Smoke => 1,
+            Scale::Quick => 2,
+            Scale::Full => 3,
+        };
+    }
+    args.threads = args.threads.max(1);
+    Ok(args)
+}
+
+/// One workload cell: a graph family instance at one fault budget.
+struct Cell {
+    family: &'static str,
+    n: usize,
+    f: usize,
+    graph: Graph,
+}
+
+fn workload(scale: Scale) -> Vec<Cell> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let (n_complete, n_geometric, radius, budgets): (usize, usize, f64, &[usize]) = match scale {
+        Scale::Smoke => (10, 24, 0.45, &[1]),
+        Scale::Quick => (18, 48, 0.32, &[1, 2]),
+        Scale::Full => (24, 64, 0.28, &[1, 2]),
+    };
+    let mut cells = Vec::new();
+    for &f in budgets {
+        // Fresh deterministic generators per cell: every oracle path sees
+        // the exact same instance.
+        let mut rng = StdRng::seed_from_u64(2);
+        cells.push(Cell {
+            family: "complete",
+            n: n_complete,
+            f,
+            graph: with_uniform_weights(&complete(n_complete), 1, 32, &mut rng),
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        cells.push(Cell {
+            family: "geometric",
+            n: n_geometric,
+            f,
+            graph: random_geometric(n_geometric, radius, &mut rng),
+        });
+    }
+    cells
+}
+
+struct Measurement {
+    wall_ms: f64,
+    edges_kept: usize,
+    stats: OracleStats,
+}
+
+/// Runs one construction `repeats` times, keeping the minimum wall time
+/// (the standard "least noisy sample" estimator for short benchmarks).
+fn measure(repeats: usize, mut run: impl FnMut() -> FtSpanner) -> (Measurement, FtSpanner) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let ft = run();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(elapsed);
+        last = Some(ft);
+    }
+    let ft = last.expect("at least one repeat");
+    (
+        Measurement {
+            wall_ms: best_ms,
+            edges_kept: ft.spanner().edge_count(),
+            stats: ft.stats(),
+        },
+        ft,
+    )
+}
+
+fn stats_json(stats: OracleStats) -> JsonValue {
+    obj([
+        ("nodes_explored", num(stats.nodes_explored as f64)),
+        (
+            "shortest_path_queries",
+            num(stats.shortest_path_queries as f64),
+        ),
+        ("packing_prunes", num(stats.packing_prunes as f64)),
+        ("memo_hits", num(stats.memo_hits as f64)),
+        ("cut_shortcuts", num(stats.cut_shortcuts as f64)),
+        ("scratch_rebuilds", num(stats.scratch_rebuilds as f64)),
+    ])
+}
+
+fn record_json(cell: &Cell, oracle: &str, m: &Measurement) -> JsonValue {
+    obj([
+        ("family", s(cell.family)),
+        ("n", num(cell.n as f64)),
+        ("m_input", num(cell.graph.edge_count() as f64)),
+        ("f", num(cell.f as f64)),
+        ("stretch", num(3.0)),
+        ("oracle", s(oracle)),
+        ("wall_ms", num((m.wall_ms * 1000.0).round() / 1000.0)),
+        ("edges_kept", num(m.edges_kept as f64)),
+        ("stats", stats_json(m.stats)),
+    ])
+}
+
+fn run_bench(args: &Args) -> Result<(), String> {
+    let mut records = Vec::new();
+    let mut summary = Vec::new();
+    println!(
+        "perfbench: scale={} repeats={} threads={} -> {}",
+        args.scale.name(),
+        args.repeats,
+        args.threads,
+        args.out.display()
+    );
+    for cell in workload(args.scale) {
+        let stretch = 3u64;
+        let (reference, ref_ft) = measure(args.repeats, || {
+            let mut oracle = ReferenceBranchingOracle::new();
+            FtGreedy::new(&cell.graph, stretch)
+                .faults(cell.f)
+                .run_with_oracle(&mut oracle)
+        });
+        let (optimized, opt_ft) = measure(args.repeats, || {
+            FtGreedy::new(&cell.graph, stretch).faults(cell.f).run()
+        });
+        let (pooled, pool_ft) = measure(args.repeats, || {
+            FtGreedy::new(&cell.graph, stretch)
+                .faults(cell.f)
+                .oracle(OracleKind::Parallel(args.threads))
+                .run()
+        });
+        // The perf claim is only meaningful if the outputs are identical.
+        for (label, ft) in [("optimized", &opt_ft), ("pooled", &pool_ft)] {
+            if ft.spanner().parent_edge_ids() != ref_ft.spanner().parent_edge_ids()
+                || ft.witnesses() != ref_ft.witnesses()
+            {
+                return Err(format!(
+                    "{label} path diverged from reference on {} n={} f={}",
+                    cell.family, cell.n, cell.f
+                ));
+            }
+        }
+        let speedup_optimized = reference.wall_ms / optimized.wall_ms;
+        let speedup_pooled = reference.wall_ms / pooled.wall_ms;
+        println!(
+            "  {:<10} n={:<3} m={:<4} f={}  reference {:>9.2} ms | optimized {:>9.2} ms ({:>4.2}x) | pooled {:>9.2} ms ({:>4.2}x)",
+            cell.family,
+            cell.n,
+            cell.graph.edge_count(),
+            cell.f,
+            reference.wall_ms,
+            optimized.wall_ms,
+            speedup_optimized,
+            pooled.wall_ms,
+            speedup_pooled,
+        );
+        records.push(record_json(&cell, "reference", &reference));
+        records.push(record_json(&cell, "optimized", &optimized));
+        records.push(record_json(&cell, "pooled", &pooled));
+        summary.push(obj([
+            ("family", s(cell.family)),
+            ("n", num(cell.n as f64)),
+            ("f", num(cell.f as f64)),
+            (
+                "speedup_optimized",
+                num((speedup_optimized * 100.0).round() / 100.0),
+            ),
+            (
+                "speedup_pooled",
+                num((speedup_pooled * 100.0).round() / 100.0),
+            ),
+            ("outputs_identical", JsonValue::Bool(true)),
+        ]));
+    }
+    let doc = obj([
+        ("schema", s(SCHEMA)),
+        (
+            "generated_by",
+            s("cargo run --release -p spanner-harness --bin perfbench"),
+        ),
+        ("scale", s(args.scale.name())),
+        ("stretch", num(3.0)),
+        ("repeats", num(args.repeats as f64)),
+        ("pooled_threads", num(args.threads as f64)),
+        ("records", JsonValue::Array(records)),
+        ("summary", JsonValue::Array(summary)),
+    ]);
+    let text = format!("{doc}\n");
+    // Self-check before writing: the artifact must parse with the same
+    // strict parser CI uses.
+    json::parse(&text).map_err(|e| format!("internal error: emitted invalid JSON: {e}"))?;
+    std::fs::write(&args.out, &text)
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    println!("wrote {}", args.out.display());
+    Ok(())
+}
+
+/// `--check`: parse the artifact and verify the bench-2 schema shape.
+fn run_check(path: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let records = doc
+        .get("records")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing records array")?;
+    if records.is_empty() {
+        return Err("empty records array".into());
+    }
+    for (i, record) in records.iter().enumerate() {
+        for key in [
+            "family",
+            "n",
+            "f",
+            "oracle",
+            "wall_ms",
+            "edges_kept",
+            "stats",
+        ] {
+            if record.get(key).is_none() {
+                return Err(format!("record {i} missing key {key:?}"));
+            }
+        }
+        match record.get("wall_ms").and_then(JsonValue::as_f64) {
+            Some(ms) if ms.is_finite() && ms >= 0.0 => {}
+            _ => return Err(format!("record {i} has a bad wall_ms")),
+        }
+    }
+    let summary = doc
+        .get("summary")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing summary array")?;
+    for (i, row) in summary.iter().enumerate() {
+        if row.get("outputs_identical") != Some(&JsonValue::Bool(true)) {
+            return Err(format!(
+                "summary row {i} does not certify identical outputs"
+            ));
+        }
+    }
+    println!(
+        "{}: ok ({} records, {} summary rows)",
+        path.display(),
+        records.len(),
+        summary.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &args.check {
+        Some(path) => run_check(path),
+        None => run_bench(&args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("perfbench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

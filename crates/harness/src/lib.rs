@@ -5,6 +5,8 @@
 //! crate also provides the measurement plumbing:
 //!
 //! * [`Table`] — aligned ASCII tables with CSV export;
+//! * [`json`] — serde-free JSON emission/validation for the perf
+//!   artifacts (`BENCH_*.json`, written by the `perfbench` binary);
 //! * [`fit_power_law`] — log–log exponent fits (the "shape" checks);
 //! * [`parallel_map`] — ordered parallel parameter sweeps;
 //! * [`cell_seed`] — deterministic per-cell seeding.
@@ -15,6 +17,14 @@
 //! cargo run --release -p spanner-harness --bin repro -- all
 //! cargo run --release -p spanner-harness --bin repro -- --quick e1 e6
 //! ```
+//!
+//! Track the FT-greedy construction cost (the perf trajectory behind the
+//! committed `BENCH_2.json`) with the `perfbench` binary:
+//!
+//! ```text
+//! cargo run --release -p spanner-harness --bin perfbench -- --out BENCH_2.json
+//! cargo run --release -p spanner-harness --bin perfbench -- --check BENCH_2.json
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +34,7 @@ mod sweep;
 mod table;
 
 pub mod experiments;
+pub mod json;
 pub mod plot;
 
 pub use fit::{fit_power_law, mean, std_dev, PowerFit};
