@@ -19,7 +19,10 @@
 //! * [`verify`] — stretch verification (plain, per fault set, exhaustive
 //!   over all fault sets, sampled, and adversarial);
 //! * [`baselines`] — the DK11-style random-subset construction and the
-//!   union-of-spanners EFT construction for comparisons.
+//!   union-of-spanners EFT construction for comparisons;
+//! * [`simulation`] — the resilience engine: pluggable failure scenarios
+//!   (Bernoulli, regional, witness replay, bursts, scripted traces) with
+//!   exact per-query contract accounting over [`routing`].
 //!
 //! # Quickstart
 //!

@@ -1,11 +1,14 @@
-//! Human-readable construction reports.
+//! Human-readable construction and scenario reports.
 //!
 //! One call summarizes everything an operator wants to know about a
-//! constructed fault tolerant spanner: sizes, weight/lightness, degrees,
-//! witness statistics, and (optionally) audit outcomes — rendered as
-//! plain text for logs and example output.
+//! constructed fault tolerant spanner ([`ConstructionReport`]: sizes,
+//! weight/lightness, degrees, witness statistics, audit outcomes) or
+//! about a failure-scenario run ([`ScenarioReport`]: SLO-style rates,
+//! contract violations, the worst logged events) — rendered as plain
+//! text for logs and example output.
 
 use crate::metrics::spanner_metrics;
+use crate::simulation::ScenarioOutcome;
 use crate::verify::FaultAudit;
 use crate::FtSpanner;
 use spanner_graph::Graph;
@@ -112,13 +115,132 @@ impl fmt::Display for ConstructionReport {
     }
 }
 
+/// An SLO-style summary of one scenario run, rendered like a
+/// [`ConstructionReport`] section.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_core::report::ScenarioReport;
+/// use spanner_core::simulation::{
+///     run_scenario, IndependentBernoulli, ScenarioConfig,
+/// };
+/// use spanner_core::FtGreedy;
+/// use spanner_graph::generators::complete;
+///
+/// let g = complete(10);
+/// let ft = FtGreedy::new(&g, 3).faults(1).run();
+/// let mut process = IndependentBernoulli {
+///     failure_probability: 0.05,
+///     repair_probability: 0.5,
+/// };
+/// let outcome = run_scenario(
+///     &g,
+///     ft.into_spanner(),
+///     1,
+///     &ScenarioConfig::default(),
+///     &mut process,
+///     7,
+/// );
+/// let text = ScenarioReport::new(1, 3, &outcome).to_string();
+/// assert!(text.contains("independent-bernoulli"));
+/// assert!(text.contains("contract"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioReport<'a> {
+    budget: usize,
+    stretch: u64,
+    outcome: &'a ScenarioOutcome,
+    /// How many logged events to render (worst-first is the log order
+    /// only when violations are rare; we render the first few).
+    max_shown_events: usize,
+}
+
+impl<'a> ScenarioReport<'a> {
+    /// Wraps a scenario outcome for rendering.
+    pub fn new(budget: usize, stretch: u64, outcome: &'a ScenarioOutcome) -> Self {
+        ScenarioReport {
+            budget,
+            stretch,
+            outcome,
+            max_shown_events: 5,
+        }
+    }
+
+    /// Caps how many logged contract events the rendering includes.
+    pub fn show_events(mut self, count: usize) -> Self {
+        self.max_shown_events = count;
+        self
+    }
+}
+
+impl fmt::Display for ScenarioReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.outcome;
+        writeln!(
+            f,
+            "scenario {} (budget {}, stretch target {})",
+            o.scenario, self.budget, self.stretch
+        )?;
+        writeln!(
+            f,
+            "  process:  {}/{} steps in budget, peak {} down",
+            o.steps_within_budget, o.steps, o.peak_failures
+        )?;
+        writeln!(
+            f,
+            "  queries:  {} issued ({} in budget), {} routed",
+            o.queries, o.in_budget_queries, o.routed
+        )?;
+        writeln!(
+            f,
+            "  slo:      in-budget hit {:.2}%, overall hit {:.2}%, availability {:.2}%",
+            100.0 * o.in_budget_hit_rate(),
+            100.0 * o.overall_hit_rate(),
+            100.0 * o.availability()
+        )?;
+        writeln!(
+            f,
+            "  contract: {} violations (must be 0), worst in-budget stretch {:.3}",
+            o.contract_violations, o.worst_stretch_within_budget
+        )?;
+        let shown = o.events.iter().take(self.max_shown_events);
+        for event in shown {
+            let (a, b) = event.pair;
+            writeln!(
+                f,
+                "    event: step {} {a}->{b} achieved {} bound {:.1}{}",
+                event.step,
+                if event.achieved.is_finite() {
+                    format!("{:.1}", event.achieved)
+                } else {
+                    "unreachable".to_string()
+                },
+                event.bound,
+                if event.in_budget {
+                    " [IN BUDGET: violation]"
+                } else {
+                    " [over budget]"
+                }
+            )?;
+        }
+        let hidden = (o.events.len().saturating_sub(self.max_shown_events)) + o.events_dropped;
+        if hidden > 0 {
+            writeln!(f, "    ... {hidden} more event(s) not shown")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulation::{run_scripted_scenario, ScenarioConfig, Trace};
     use crate::verify::verify_ft_exhaustive;
-    use crate::FtGreedy;
+    use crate::{FtGreedy, Spanner};
     use spanner_faults::FaultModel;
     use spanner_graph::generators::complete;
+    use spanner_graph::{EdgeId, Graph, NodeId};
 
     #[test]
     fn report_contains_all_sections() {
@@ -143,6 +265,60 @@ mod tests {
         let total: usize = report.witness_histogram().iter().sum();
         assert_eq!(total, ft.spanner().edge_count());
         assert_eq!(report.witness_histogram().len(), 3);
+    }
+
+    #[test]
+    fn scenario_report_shows_violation_events() {
+        // Unit triangle, path "spanner" claiming stretch 1: the pair
+        // (0, 2) is over-stretched, so the report must show the event.
+        let g = Graph::from_weighted_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 1)]).unwrap();
+        let spanner = Spanner::from_parent_edges(&g, [EdgeId::new(0), EdgeId::new(1)], 1);
+        let script = vec![vec![(NodeId::new(0), NodeId::new(2))]];
+        let outcome = run_scripted_scenario(
+            &g,
+            spanner,
+            1,
+            &ScenarioConfig {
+                steps: 1,
+                model: FaultModel::Vertex,
+                ..ScenarioConfig::default()
+            },
+            &mut Trace::new(Vec::new()),
+            &script,
+            0,
+        );
+        let text = ScenarioReport::new(1, 1, &outcome).to_string();
+        assert!(text.contains("scenario trace"));
+        assert!(text.contains("1 violations (must be 0)"));
+        assert!(text.contains("[IN BUDGET: violation]"));
+        assert!(text.contains("in-budget hit 0.00%"));
+    }
+
+    #[test]
+    fn scenario_report_caps_shown_events() {
+        let g = Graph::from_weighted_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 1)]).unwrap();
+        let spanner = Spanner::from_parent_edges(&g, [EdgeId::new(0), EdgeId::new(1)], 1);
+        let script: Vec<Vec<(NodeId, NodeId)>> = (0..4)
+            .map(|_| vec![(NodeId::new(0), NodeId::new(2))])
+            .collect();
+        let outcome = run_scripted_scenario(
+            &g,
+            spanner,
+            1,
+            &ScenarioConfig {
+                steps: 4,
+                model: FaultModel::Vertex,
+                ..ScenarioConfig::default()
+            },
+            &mut Trace::new(Vec::new()),
+            &script,
+            0,
+        );
+        let text = ScenarioReport::new(1, 1, &outcome)
+            .show_events(1)
+            .to_string();
+        assert_eq!(text.matches("event: step").count(), 1);
+        assert!(text.contains("3 more event(s) not shown"));
     }
 
     #[test]

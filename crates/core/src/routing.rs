@@ -126,6 +126,34 @@ impl ResilientRouter {
         }
     }
 
+    /// Costs `from → to` against a prebuilt fault mask over the
+    /// *spanner's* graph (see [`Spanner::fault_mask`]) without extracting
+    /// the path — no allocation at all, which is what query-heavy loops
+    /// like the failure scenario engine need. The mask is taken per call
+    /// (rather than per query set) so callers serving many queries under
+    /// one failure set translate the faults once per step, not per query.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ResilientRouter::route`]:
+    /// [`RouteError::EndpointFailed`] if an endpoint is masked out,
+    /// [`RouteError::Unreachable`] if the survivors are disconnected.
+    pub fn route_cost(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        mask: &FaultMask,
+    ) -> Result<Dist, RouteError> {
+        for v in [from, to] {
+            if mask.is_vertex_faulted(v) {
+                return Err(RouteError::EndpointFailed(v));
+            }
+        }
+        self.engine
+            .dist_bounded(self.spanner.graph(), from, to, Dist::INFINITE, mask)
+            .ok_or(RouteError::Unreachable { from, to })
+    }
+
     /// The achieved stretch of a route against the parent graph under the
     /// same failures (`1.0` means the route is optimal; `None` if the
     /// parent itself has no surviving path — then any route is a bonus).
@@ -241,6 +269,35 @@ mod tests {
             saw_unreachable,
             "under-built spanner must disconnect somewhere"
         );
+    }
+
+    #[test]
+    fn route_cost_matches_route_dist() {
+        let (_, mut router) = router_over_complete(9, 1);
+        for failed in 0..9usize {
+            let failures = FaultSet::vertices([NodeId::new(failed)]);
+            let mask = router.spanner().fault_mask(&failures);
+            for u in 0..9 {
+                for v in (u + 1)..9 {
+                    let (u, v) = (NodeId::new(u), NodeId::new(v));
+                    let by_route = router.route(u, v, &failures).map(|r| r.dist);
+                    let by_cost = router.route_cost(u, v, &mask);
+                    assert_eq!(by_route, by_cost, "{u}->{v} failing v{failed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_cost_reports_masked_endpoint() {
+        let (_, mut router) = router_over_complete(6, 1);
+        let mask = router
+            .spanner()
+            .fault_mask(&FaultSet::vertices([NodeId::new(2)]));
+        let err = router
+            .route_cost(NodeId::new(2), NodeId::new(4), &mask)
+            .unwrap_err();
+        assert_eq!(err, RouteError::EndpointFailed(NodeId::new(2)));
     }
 
     #[test]

@@ -117,9 +117,15 @@ proptest! {
         prop_assert_eq!(outcome.steps, steps);
         prop_assert!(outcome.steps_within_budget <= steps);
         prop_assert!(outcome.routed <= outcome.queries);
-        prop_assert!(outcome.routed_within_stretch <= outcome.routed);
-        prop_assert!(outcome.contract_hit_rate() <= 1.0 + 1e-9);
-        // FT contract: a correct f-FT spanner never violates in budget.
+        prop_assert!(outcome.served_within_stretch <= outcome.routed);
+        prop_assert!(outcome.in_budget_queries <= outcome.queries);
+        prop_assert!(outcome.in_budget_served_within_stretch <= outcome.in_budget_queries);
+        prop_assert!(outcome.in_budget_hit_rate() <= 1.0 + 1e-9);
+        prop_assert!(outcome.overall_hit_rate() <= 1.0 + 1e-9);
+        // FT contract: a correct f-FT spanner never violates in budget,
+        // so its in-budget hit rate is exactly 1.
         prop_assert_eq!(outcome.contract_violations, 0);
+        prop_assert_eq!(outcome.in_budget_hit_rate(), 1.0);
+        prop_assert!(outcome.events.iter().all(|e| !e.in_budget));
     }
 }

@@ -1,0 +1,330 @@
+//! Regression and property tests for the failure scenario engine —
+//! in particular the contract-accounting fixes:
+//!
+//! * the pre-engine simulator compared a *running maximum* stretch
+//!   against the bound at the end of every step, so a single over-stretch
+//!   query kept incrementing `contract_violations` on all later in-budget
+//!   steps (and attributed them to the wrong steps). The engine counts
+//!   each violating query exactly once, at the step and query where it
+//!   occurred — pinned here with scripted `Trace` schedules;
+//! * `contract_hit_rate` divided in-budget serves by *all* queries; the
+//!   split `in_budget_hit_rate`/`overall_hit_rate` invariants are pinned
+//!   across every process and both fault models;
+//! * `IndependentBernoulli` must reproduce the pre-engine fault
+//!   trajectory for a fixed seed, and the trajectory must not depend on
+//!   the query plan (dedicated RNG streams).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spanner_core::simulation::{
+    run_scenario, run_scripted_scenario, AdversarialWitnessReplay, BurstCascade,
+    CorrelatedRegional, FailureProcess, IndependentBernoulli, ScenarioConfig, Trace,
+};
+use spanner_core::{FtGreedy, Spanner};
+use spanner_faults::FaultModel;
+use spanner_graph::generators::{complete, random_geometric};
+use spanner_graph::{EdgeId, Graph, NodeId};
+
+/// Unit triangle with the 0-2 edge dropped from the "spanner", which
+/// claims stretch 1 — so exactly the scripted pair (0, 2) over-stretches
+/// (achieved 2 > bound 1) and every other pair is served exactly.
+fn planted_instance() -> (Graph, Spanner) {
+    let g = Graph::from_weighted_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 1)]).unwrap();
+    let spanner = Spanner::from_parent_edges(&g, [EdgeId::new(0), EdgeId::new(1)], 1);
+    (g, spanner)
+}
+
+#[test]
+fn planted_over_stretch_query_counts_exactly_once() {
+    let (g, spanner) = planted_instance();
+    // One violating query at step 3, then 20 more steps of clean
+    // in-budget queries. The pre-engine accounting would have counted
+    // the stale worst-stretch maximum again on every one of those steps.
+    let mut script: Vec<Vec<(NodeId, NodeId)>> = (0..24)
+        .map(|_| {
+            vec![
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(1), NodeId::new(2)),
+            ]
+        })
+        .collect();
+    script[3].push((NodeId::new(0), NodeId::new(2)));
+    let outcome = run_scripted_scenario(
+        &g,
+        spanner,
+        1,
+        &ScenarioConfig {
+            steps: 24,
+            model: FaultModel::Vertex,
+            ..ScenarioConfig::default()
+        },
+        &mut Trace::new(Vec::new()),
+        &script,
+        0,
+    );
+    assert_eq!(
+        outcome.contract_violations, 1,
+        "the single planted over-stretch query must count exactly once"
+    );
+    assert_eq!(outcome.queries, 49);
+    assert_eq!(outcome.served_within_stretch, 48);
+    assert_eq!(outcome.events.len(), 1);
+    assert_eq!(
+        outcome.events[0].step, 3,
+        "attributed to the step it occurred"
+    );
+    assert_eq!(outcome.events[0].pair, (NodeId::new(0), NodeId::new(2)));
+    assert!(outcome.events[0].in_budget);
+    // The worst in-budget stretch still remembers the excursion even
+    // though the violation count does not keep growing.
+    assert!(outcome.worst_stretch_within_budget > 1.0);
+}
+
+#[test]
+fn violations_attributed_to_in_budget_steps_only() {
+    let (g, spanner) = planted_instance();
+    // Fail vertex 1 on even steps (budget 0 -> over budget there); query
+    // the bad pair every step. Only odd (in-budget) steps may violate.
+    let steps = 10usize;
+    let frames: Vec<Vec<usize>> = (0..steps)
+        .map(|t| if t % 2 == 0 { vec![1] } else { vec![] })
+        .collect();
+    let script: Vec<Vec<(NodeId, NodeId)>> = (0..steps)
+        .map(|_| vec![(NodeId::new(0), NodeId::new(2))])
+        .collect();
+    let outcome = run_scripted_scenario(
+        &g,
+        spanner,
+        0,
+        &ScenarioConfig {
+            steps,
+            model: FaultModel::Vertex,
+            ..ScenarioConfig::default()
+        },
+        &mut Trace::new(frames),
+        &script,
+        0,
+    );
+    // Even steps: vertex 1 down, over budget — the parent still serves
+    // (0, 2) through its direct edge, so the query counts, goes
+    // unreachable in the path spanner, and is logged as an over-budget
+    // event, NOT a violation. Odd steps: in budget, over-stretch, one
+    // violation each.
+    assert_eq!(outcome.queries, 10);
+    assert_eq!(outcome.in_budget_queries, 5);
+    assert_eq!(outcome.contract_violations, 5);
+    assert_eq!(outcome.events.len(), 10);
+    assert!(outcome
+        .events
+        .iter()
+        .all(|e| e.in_budget == (e.step % 2 == 1)));
+    assert_eq!(outcome.steps_within_budget, 5);
+    assert_eq!(outcome.routed, 5, "unreachable on every over-budget step");
+}
+
+/// The pre-engine per-component transition loop, verbatim: down
+/// components repair with `repair_probability`, live ones fail with
+/// `failure_probability`, visited in index order on a single stream.
+fn reference_trajectory(
+    seed: u64,
+    components: usize,
+    steps: usize,
+    failure_probability: f64,
+    repair_probability: f64,
+) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut down = vec![false; components];
+    let mut frames = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        for state in down.iter_mut() {
+            if *state {
+                if rng.gen_bool(repair_probability) {
+                    *state = false;
+                }
+            } else if rng.gen_bool(failure_probability) {
+                *state = true;
+            }
+        }
+        frames.push(down.clone());
+    }
+    frames
+}
+
+#[test]
+fn bernoulli_reproduces_the_pre_engine_trajectory() {
+    for seed in [0u64, 7, 365, 0xDEAD_BEEF] {
+        let reference = reference_trajectory(seed, 40, 120, 0.05, 0.3);
+        let mut process = IndependentBernoulli {
+            failure_probability: 0.05,
+            repair_probability: 0.3,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut down = vec![false; 40];
+        process.begin(down.len());
+        for (step, expected) in reference.iter().enumerate() {
+            process.step(step, &mut down, &mut rng);
+            assert_eq!(&down, expected, "seed {seed} diverged at step {step}");
+        }
+    }
+}
+
+#[test]
+fn fault_trajectory_is_independent_of_the_query_plan() {
+    // The engine derives a dedicated process stream from the seed, so
+    // changing the query load must not change the fault path (this is
+    // what makes budget sweeps paired comparisons).
+    let mut rng = StdRng::seed_from_u64(12);
+    let g = random_geometric(30, 0.4, &mut rng);
+    let ft = FtGreedy::new(&g, 3).faults(1).run();
+    let config = |queries| ScenarioConfig {
+        steps: 80,
+        queries_per_step: queries,
+        model: FaultModel::Vertex,
+        ..ScenarioConfig::default()
+    };
+    let run_with = |queries: usize| {
+        let mut process = IndependentBernoulli {
+            failure_probability: 0.04,
+            repair_probability: 0.3,
+        };
+        run_scenario(
+            &g,
+            ft.spanner().clone(),
+            1,
+            &config(queries),
+            &mut process,
+            55,
+        )
+    };
+    let light = run_with(0);
+    let heavy = run_with(12);
+    assert_eq!(light.peak_failures, heavy.peak_failures);
+    assert_eq!(light.steps_within_budget, heavy.steps_within_budget);
+    assert_eq!(light.queries, 0);
+    assert!(heavy.queries > 0);
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = random_geometric(30, 0.4, &mut rng);
+    let ft = FtGreedy::new(&g, 3).faults(2).run();
+    let config = ScenarioConfig {
+        steps: 60,
+        queries_per_step: 6,
+        model: FaultModel::Vertex,
+        ..ScenarioConfig::default()
+    };
+    let processes: Vec<Box<dyn Fn() -> Box<dyn FailureProcess>>> = vec![
+        Box::new(|| {
+            Box::new(IndependentBernoulli {
+                failure_probability: 0.05,
+                repair_probability: 0.3,
+            })
+        }),
+        Box::new(|| {
+            Box::new(CorrelatedRegional::new(
+                &g,
+                FaultModel::Vertex,
+                1,
+                0.06,
+                0.3,
+            ))
+        }),
+        Box::new(|| Box::new(AdversarialWitnessReplay::from_witnesses(&ft, 4))),
+        Box::new(|| Box::new(BurstCascade::new(0.05, 4, 0.15))),
+        Box::new(|| Box::new(Trace::new(vec![vec![0], vec![1, 2], vec![]]))),
+    ];
+    for make in &processes {
+        let run = |seed| run_scenario(&g, ft.spanner().clone(), 2, &config, make().as_mut(), seed);
+        let a = run(1234);
+        let b = run(1234);
+        assert_eq!(
+            a, b,
+            "{}: same seed must give the same outcome struct",
+            a.scenario
+        );
+        // And the full struct, events included, is part of the equality.
+        assert_eq!(a.events, b.events);
+    }
+}
+
+fn process_under_test(
+    index: usize,
+    g: &Graph,
+    ft: &spanner_core::FtSpanner,
+    model: FaultModel,
+) -> Box<dyn FailureProcess> {
+    match index {
+        0 => Box::new(IndependentBernoulli {
+            failure_probability: 0.08,
+            repair_probability: 0.3,
+        }),
+        1 => Box::new(CorrelatedRegional::new(g, model, 1, 0.1, 0.3)),
+        2 => Box::new(AdversarialWitnessReplay::from_witnesses(ft, 3)),
+        3 => Box::new(BurstCascade::new(0.1, 3, 0.2)),
+        _ => Box::new(Trace::new(vec![vec![0], vec![], vec![0, 1]])),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Counter consistency holds for every process and both fault
+    /// models, and the event log reconciles exactly with the aggregate
+    /// violation counter (each violating query once — the accounting
+    /// contract the engine was rebuilt for).
+    #[test]
+    fn counters_consistent_across_processes_and_models(
+        n in 6usize..12,
+        process_index in 0usize..5,
+        vertex_model in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let model = if vertex_model { FaultModel::Vertex } else { FaultModel::Edge };
+        let g = complete(n);
+        let f = 1usize;
+        let ft = FtGreedy::new(&g, 3).faults(f).model(model).run();
+        let mut process = process_under_test(process_index, &g, &ft, model);
+        let outcome = run_scenario(
+            &g,
+            ft.spanner().clone(),
+            f,
+            &ScenarioConfig {
+                steps: 30,
+                queries_per_step: 4,
+                model,
+                // Large enough that nothing is dropped: the log must
+                // then reconcile exactly.
+                max_logged_events: 10_000,
+            },
+            process.as_mut(),
+            seed,
+        );
+        prop_assert_eq!(outcome.steps, 30);
+        prop_assert!(outcome.steps_within_budget <= outcome.steps);
+        prop_assert!(outcome.routed <= outcome.queries);
+        prop_assert!(outcome.in_budget_queries <= outcome.queries);
+        prop_assert!(outcome.served_within_stretch <= outcome.routed);
+        prop_assert!(outcome.in_budget_served_within_stretch <= outcome.served_within_stretch);
+        prop_assert!(outcome.in_budget_served_within_stretch <= outcome.in_budget_queries);
+        prop_assert!(outcome.contract_violations <= outcome.in_budget_queries);
+        // Violations are exactly the unserved in-budget queries...
+        prop_assert_eq!(
+            outcome.contract_violations,
+            outcome.in_budget_queries - outcome.in_budget_served_within_stretch
+        );
+        // ...and (with an unbounded log) exactly the in-budget events.
+        prop_assert_eq!(outcome.events_dropped, 0);
+        prop_assert_eq!(
+            outcome.contract_violations,
+            outcome.events.iter().filter(|e| e.in_budget).count()
+        );
+        // A correct f-FT spanner at its own budget never violates.
+        prop_assert_eq!(outcome.contract_violations, 0);
+        prop_assert_eq!(outcome.in_budget_hit_rate(), 1.0);
+        prop_assert!(outcome.overall_hit_rate() <= 1.0 + 1e-9);
+        prop_assert!(outcome.availability() >= outcome.overall_hit_rate() - 1e-9);
+    }
+}

@@ -108,6 +108,22 @@ impl FaultSet {
         }
     }
 
+    /// The raw component indices of this set under its own model: node
+    /// indices for vertex faults, edge indices for edge faults. This is
+    /// the bridge to component-indexed consumers (the failure scenario
+    /// engine's per-component `down` state, witness replay schedules).
+    pub fn component_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        let (vertices, edges) = match self {
+            FaultSet::Vertices(v) => (Some(v), None),
+            FaultSet::Edges(e) => (None, Some(e)),
+        };
+        vertices
+            .into_iter()
+            .flatten()
+            .map(|n| n.index())
+            .chain(edges.into_iter().flatten().map(|e| e.index()))
+    }
+
     /// Applies this fault set to a mask.
     pub fn apply_to(&self, mask: &mut FaultMask) {
         match self {
@@ -214,6 +230,20 @@ mod tests {
         let mask = f.to_mask(5, 4);
         assert!(mask.is_edge_faulted(EdgeId::new(2)));
         assert_eq!(mask.fault_count(), 1);
+    }
+
+    #[test]
+    fn component_indices_match_model() {
+        let v = FaultSet::vertices([NodeId::new(4), NodeId::new(1)]);
+        assert_eq!(v.component_indices().collect::<Vec<_>>(), vec![1, 4]);
+        let e = FaultSet::edges([EdgeId::new(7), EdgeId::new(0)]);
+        assert_eq!(e.component_indices().collect::<Vec<_>>(), vec![0, 7]);
+        assert_eq!(
+            FaultSet::empty(FaultModel::Vertex)
+                .component_indices()
+                .count(),
+            0
+        );
     }
 
     #[test]

@@ -1,22 +1,29 @@
 //! E13 / Table 9 — the motivation, simulated: sporadic failures over time.
 //!
 //! The paper opens with: "spanners are often applied to systems whose
-//! parts are prone to sporadic failures". We run a discrete failure/repair
-//! process over a geometric network and route traffic through spanners
-//! built for budgets `f = 0..3`. Claims measured:
+//! parts are prone to sporadic failures". We run the scenario engine's
+//! [`IndependentBernoulli`] failure/repair process over a geometric
+//! network and route traffic through spanners built for budgets
+//! `f = 0..3` (E14 sweeps the *adversarial* scenarios over the same
+//! engine). Claims measured:
 //!
 //! * **contract**: while the number of simultaneous failures stays within
-//!   the budget, connectivity + stretch never break (0 violations);
-//! * **graceful degradation**: beyond the budget the hit rate decays with
-//!   the budget gap instead of collapsing;
+//!   the budget, connectivity + stretch never break — exactly 0
+//!   violations, equivalently a 100% **in-budget** hit rate;
+//! * **graceful degradation**: the **overall** hit rate (which also
+//!   counts queries issued beyond the budget, where the contract is
+//!   suspended) decays with the budget gap instead of collapsing;
 //! * the failure process itself (peak concurrency, in-budget fraction) is
 //!   reported so the contract columns can be interpreted.
+//!
+//! The table shows both rates and labels them honestly: "in-budget hit"
+//! is the contract's own rate, "overall hit" is the degradation story.
 
 use super::{ExperimentContext, ExperimentOutput};
 use crate::{cell_seed, fnum, parallel_map, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spanner_core::simulation::{simulate, SimulationConfig};
+use spanner_core::simulation::{run_scenario, IndependentBernoulli, ScenarioConfig};
 use spanner_core::FtGreedy;
 use spanner_faults::FaultModel;
 use spanner_graph::generators::random_geometric;
@@ -43,48 +50,61 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
             "in-budget ticks",
             "peak down",
             "contract violations",
-            "hit rate",
+            "in-budget hit",
+            "overall hit",
             "worst in-budget stretch",
         ],
     );
     let mut notes = Vec::new();
-    let config = SimulationConfig {
+    let config = ScenarioConfig {
         steps,
-        failure_probability: 0.02,
-        repair_probability: 0.25,
         queries_per_step: ctx.pick(4, 8, 10),
         model: FaultModel::Vertex,
+        ..ScenarioConfig::default()
     };
     let graph = g.clone();
     let outcomes = parallel_map(fs.clone(), ctx.threads, |f| {
         let ft = FtGreedy::new(&graph, stretch).faults(f).run();
         let edges = ft.spanner().edge_count();
-        // Same process seed for every budget: paired comparison.
-        let mut rng = StdRng::seed_from_u64(cell_seed(13, 1, 0));
-        let outcome = simulate(&graph, ft.into_spanner(), f, config, &mut rng);
+        let mut process = IndependentBernoulli {
+            failure_probability: 0.02,
+            repair_probability: 0.25,
+        };
+        // Same process seed for every budget: paired comparison (the
+        // engine's dedicated process stream makes the fault trajectory
+        // identical across budgets).
+        let outcome = run_scenario(
+            &graph,
+            ft.into_spanner(),
+            f,
+            &config,
+            &mut process,
+            cell_seed(13, 1, 0),
+        );
         (f, edges, outcome)
     });
     let mut violations_total = 0usize;
-    let mut hit_rates = Vec::new();
+    let mut overall_hit_rates = Vec::new();
     for (f, edges, outcome) in outcomes {
         violations_total += outcome.contract_violations;
-        hit_rates.push(outcome.contract_hit_rate());
+        overall_hit_rates.push(outcome.overall_hit_rate());
         table.row([
             f.to_string(),
             edges.to_string(),
             format!("{}/{}", outcome.steps_within_budget, outcome.steps),
             outcome.peak_failures.to_string(),
             outcome.contract_violations.to_string(),
-            format!("{:.1}%", 100.0 * outcome.contract_hit_rate()),
+            format!("{:.1}%", 100.0 * outcome.in_budget_hit_rate()),
+            format!("{:.1}%", 100.0 * outcome.overall_hit_rate()),
             fnum(outcome.worst_stretch_within_budget),
         ]);
     }
     notes.push(format!(
         "contract violations while within budget: {violations_total} (must be 0)"
     ));
-    let monotone = hit_rates.windows(2).all(|w| w[1] >= w[0] - 0.02);
+    let monotone = overall_hit_rates.windows(2).all(|w| w[1] >= w[0] - 0.02);
     notes.push(format!(
-        "hit rate improves (2% tolerance) with the budget: {}",
+        "overall hit rate improves (2% tolerance) with the budget: {}",
         if monotone { "yes" } else { "NO" }
     ));
     ExperimentOutput {

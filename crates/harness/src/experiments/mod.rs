@@ -16,11 +16,14 @@
 //! | e8 | lower-bound family tightness       | Figure 3 |
 //! | e9 | oracle cost exponential in `f`     | Figure 4 |
 //! | e10| fault-injection stretch audit      | Table 6 |
+//! | e13| sporadic-failure simulation        | Table 9 |
+//! | e14| failure-scenario resilience engine | Table 10 |
 
 pub mod e10_stretch_audit;
 pub mod e11_heuristic;
 pub mod e12_lightness;
 pub mod e13_simulation;
+pub mod e14_scenarios;
 pub mod e1_size_vs_f;
 pub mod e2_size_vs_n;
 pub mod e3_size_vs_k;
@@ -108,6 +111,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("e11", e11_heuristic::run),
         ("e12", e12_lightness::run),
         ("e13", e13_simulation::run),
+        ("e14", e14_scenarios::run),
     ]
 }
 
@@ -120,7 +124,10 @@ mod tests {
         let ids: Vec<&str> = registry().iter().map(|(id, _)| *id).collect();
         assert_eq!(
             ids,
-            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"]
+            vec![
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+                "e14"
+            ]
         );
     }
 

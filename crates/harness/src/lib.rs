@@ -1,7 +1,7 @@
 //! Experiment harness for the `vft-spanner` reproduction.
 //!
 //! The paper is a theory paper; EXPERIMENTS.md defines the tables and
-//! figures this harness regenerates (E1–E10, see [`experiments`]). The
+//! figures this harness regenerates (E1–E14, see [`experiments`]). The
 //! crate also provides the measurement plumbing:
 //!
 //! * [`Table`] — aligned ASCII tables with CSV export;
@@ -24,6 +24,14 @@
 //! ```text
 //! cargo run --release -p spanner-harness --bin perfbench -- --out BENCH_2.json
 //! cargo run --release -p spanner-harness --bin perfbench -- --check BENCH_2.json
+//! ```
+//!
+//! Run the failure-scenario resilience sweep (E14's engine) and emit /
+//! schema-check its JSON artifact with the `scenarios` binary:
+//!
+//! ```text
+//! cargo run --release -p spanner-harness --bin scenarios -- --out SCENARIOS.json
+//! cargo run --release -p spanner-harness --bin scenarios -- --check SCENARIOS.json
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,10 +1,16 @@
-//! A week in the life of a fault tolerant network.
+//! A week in the life of a fault tolerant network — under five weathers.
 //!
 //! The paper's opening motivation — "systems whose parts are prone to
-//! sporadic failures" — as a discrete simulation: routers fail and get
-//! repaired over time while traffic keeps flowing over a static spanner.
-//! We compare spanners built for different fault budgets under the same
-//! failure process.
+//! sporadic failures" — as a discrete simulation, now driven by the
+//! resilience engine's pluggable failure scenarios: independent
+//! Bernoulli coin flips (the benign baseline), correlated regional
+//! outages, adversarial replay of the construction's own witness fault
+//! sets, failure bursts with slow repair, and a scripted maintenance
+//! trace. The same process seed drives every (scenario, budget) cell;
+//! for the budget-independent scenarios (Bernoulli, regional) that makes
+//! the budget comparison fully paired — one fault trajectory faced by
+//! every spanner — while the replay/burst/trace processes scale their
+//! adversity with `f` by design.
 //!
 //! ```text
 //! cargo run --release --example failure_timeline
@@ -12,50 +18,97 @@
 
 use vft_spanner::prelude::*;
 
+fn scenario_process(
+    name: &str,
+    g: &Graph,
+    ft: &FtSpanner,
+    f: usize,
+    steps: usize,
+) -> Box<dyn FailureProcess> {
+    match name {
+        "independent-bernoulli" => Box::new(IndependentBernoulli {
+            failure_probability: 0.02,
+            repair_probability: 0.25,
+        }),
+        "correlated-regional" => {
+            Box::new(CorrelatedRegional::new(g, FaultModel::Vertex, 1, 0.04, 0.3))
+        }
+        "witness-replay" => Box::new(AdversarialWitnessReplay::from_witnesses(ft, 5)),
+        "burst-cascade" => Box::new(BurstCascade::new(0.03, 2 * f + 1, 0.1)),
+        // Rolling maintenance window: exactly f routers down at a time.
+        "trace" => Box::new(Trace::new(
+            (0..steps)
+                .map(|t| (0..f).map(|i| (t / 4 + i) % g.node_count()).collect())
+                .collect(),
+        )),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(365);
     let g = generators::random_geometric(80, 0.3, &mut rng);
     let mask = FaultMask::for_graph(&g);
     assert!(bfs::is_connected(&g, &mask));
     println!(
-        "network: {} routers, {} links; failure process: 2% fail rate, 25% repair rate per tick",
+        "network: {} routers, {} links; one paired fault trajectory per scenario",
         g.node_count(),
         g.edge_count()
     );
-    println!();
-    println!("  built for | links | in-budget ticks | peak down | contract violations | hit rate | worst stretch");
-    println!("  ----------|-------|-----------------|-----------|---------------------|----------|--------------");
-    for f in 0..=3usize {
-        let ft = FtGreedy::new(&g, 3).faults(f).run();
-        let links = ft.spanner().edge_count();
-        let mut sim_rng = StdRng::seed_from_u64(777); // same process for all f
-        let outcome = simulate(
-            &g,
-            ft.into_spanner(),
-            f,
-            SimulationConfig {
-                steps: 400,
-                failure_probability: 0.02,
-                repair_probability: 0.25,
-                queries_per_step: 10,
-                model: FaultModel::Vertex,
-            },
-            &mut sim_rng,
+    let config = ScenarioConfig {
+        steps: 400,
+        queries_per_step: 10,
+        model: FaultModel::Vertex,
+        ..ScenarioConfig::default()
+    };
+    let budgets = [0usize, 1, 2, 3];
+    let spanners: Vec<FtSpanner> = budgets
+        .iter()
+        .map(|f| FtGreedy::new(&g, 3).faults(*f).run())
+        .collect();
+    for scenario in [
+        "independent-bernoulli",
+        "correlated-regional",
+        "witness-replay",
+        "burst-cascade",
+        "trace",
+    ] {
+        println!();
+        println!("=== scenario: {scenario} ===");
+        println!(
+            "  built for | links | in-budget ticks | peak down | violations | in-budget hit | overall hit | worst stretch"
         );
         println!(
-            "  f = {f}     | {links:>5} | {:>11}/{:<3} | {:>9} | {:>19} | {:>7.1}% | {:.3}",
-            outcome.steps_within_budget,
-            outcome.steps,
-            outcome.peak_failures,
-            outcome.contract_violations,
-            100.0 * outcome.contract_hit_rate(),
-            outcome.worst_stretch_within_budget,
+            "  ----------|-------|-----------------|-----------|------------|---------------|-------------|--------------"
         );
+        for (f, ft) in budgets.iter().zip(&spanners) {
+            let mut process = scenario_process(scenario, &g, ft, *f, config.steps);
+            // Same seed for every cell: paired comparison.
+            let outcome =
+                run_scenario(&g, ft.spanner().clone(), *f, &config, process.as_mut(), 777);
+            assert_eq!(
+                outcome.contract_violations, 0,
+                "{scenario}: an in-budget query went unserved — the contract is broken"
+            );
+            println!(
+                "  f = {f}     | {:>5} | {:>11}/{:<3} | {:>9} | {:>10} | {:>12.1}% | {:>10.1}% | {:.3}",
+                ft.spanner().edge_count(),
+                outcome.steps_within_budget,
+                outcome.steps,
+                outcome.peak_failures,
+                outcome.contract_violations,
+                100.0 * outcome.in_budget_hit_rate(),
+                100.0 * outcome.overall_hit_rate(),
+                outcome.worst_stretch_within_budget,
+            );
+        }
     }
     println!();
-    println!("reading: while simultaneous failures stay within the budget the spanner");
-    println!("was built for, the contract (connected + stretch <= 3) never breaks —");
-    println!("violations only appear for budgets smaller than the failure process's");
-    println!("typical concurrency. Peak concurrency here exceeds every budget, so the");
-    println!("hit-rate column shows how gracefully each spanner degrades beyond it.");
+    println!("reading: whatever the weather — independent flips, regional outages,");
+    println!("the construction's own recorded witness sets, bursts, or a scripted");
+    println!("maintenance trace — queries issued while at most f components are down");
+    println!("are always served within stretch 3 (0 violations, 100% in-budget hit).");
+    println!("The overall hit rate is the graceful-degradation story: it counts the");
+    println!("over-budget steps too, where the contract is suspended and bigger");
+    println!("budgets simply keep more of the network reachable.");
 }

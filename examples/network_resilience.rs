@@ -2,8 +2,11 @@
 //!
 //! A geometric random graph stands in for a physical fiber layout (edge
 //! weights = scaled Euclidean distances). We size VFT spanners at several
-//! fault budgets, then run a failure drill: knock out random routers and
-//! measure the worst route inflation the survivors actually suffer.
+//! fault budgets, run a static failure drill (knock out random routers,
+//! measure the worst route inflation), then put the sized spanner through
+//! the resilience engine's live drills: a correlated regional blackout
+//! and an adversarial replay of the construction's own witness fault
+//! sets.
 //!
 //! ```text
 //! cargo run --release --example network_resilience
@@ -65,4 +68,40 @@ fn main() {
     println!("reading: each +1 fault budget buys survivability for one more");
     println!("simultaneous router loss; Corollary 2 says the cost grows only");
     println!("as f^(1-1/2) = sqrt(f) at stretch 3 — check the 'links kept' column.");
+
+    // Live drills on the f = 2 build: the scenario engine runs a
+    // correlated district blackout and then replays the witness fault
+    // sets FT-greedy itself recorded (the sharpest in-budget adversary).
+    let f = 2usize;
+    let ft = FtGreedy::new(&g, stretch).faults(f).run();
+    let config = ScenarioConfig {
+        steps: 200,
+        queries_per_step: 8,
+        model: FaultModel::Vertex,
+        ..ScenarioConfig::default()
+    };
+    println!();
+    println!(
+        "live drills on the f = {f} build ({} links):",
+        ft.spanner().edge_count()
+    );
+    println!();
+    let mut regional = CorrelatedRegional::new(&g, FaultModel::Vertex, 1, 0.04, 0.3);
+    let blackout = run_scenario(&g, ft.spanner().clone(), f, &config, &mut regional, 4242);
+    print!("{}", ScenarioReport::new(f, stretch, &blackout));
+    println!();
+    let mut replay = AdversarialWitnessReplay::from_witnesses(&ft, 5);
+    let adversarial = run_scenario(&g, ft.spanner().clone(), f, &config, &mut replay, 4242);
+    print!("{}", ScenarioReport::new(f, stretch, &adversarial));
+    assert_eq!(
+        adversarial.contract_violations, 0,
+        "witness replay stays within budget, so the contract must hold"
+    );
+    assert_eq!(adversarial.steps_within_budget, adversarial.steps);
+    println!();
+    println!("reading: the witness replay never leaves the budget (every recorded");
+    println!("witness has size <= f), so its violation count must be exactly 0 —");
+    println!("the spanner survives the very fault sets that shaped it. The regional");
+    println!("blackout does overshoot the budget; there the overall hit rate shows");
+    println!("what degradation beyond the contract actually looks like.");
 }

@@ -55,8 +55,13 @@ pub mod prelude {
     pub use spanner_core::baselines::{dk_spanner, union_eft_spanner, DkParams};
     pub use spanner_core::metrics::{spanner_metrics, SpannerMetrics};
     pub use spanner_core::report::ConstructionReport;
+    pub use spanner_core::report::ScenarioReport;
     pub use spanner_core::routing::{ResilientRouter, Route, RouteError};
-    pub use spanner_core::simulation::{simulate, SimulationConfig, SimulationOutcome};
+    pub use spanner_core::simulation::{
+        run_scenario, run_scripted_scenario, simulate, AdversarialWitnessReplay, BurstCascade,
+        ContractEvent, CorrelatedRegional, FailureProcess, IndependentBernoulli, ScenarioConfig,
+        ScenarioOutcome, SimulationConfig, SimulationOutcome, Trace,
+    };
     pub use spanner_core::verify::{
         certify_vft_exact, verify_ft_adaptive, verify_ft_adversarial, verify_ft_exhaustive,
         verify_ft_sampled, verify_spanner, verify_under_faults,
