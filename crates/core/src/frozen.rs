@@ -1,0 +1,266 @@
+//! The frozen spanner artifact: the construction's output, sealed for
+//! serving.
+//!
+//! A [`Spanner`](crate::Spanner) is a *construction-time* object: it
+//! grows edge by edge and keeps an incremental CSR view so the fault
+//! oracle can query it mid-build. Once the construction finishes, the
+//! consumer-facing problem inverts — the spanner never changes again,
+//! but it is read by every query of every epoch, possibly from many
+//! threads at once. [`FrozenSpanner`] is the artifact for that phase:
+//!
+//! * the adjacency is finalized into a cache-packed, immutable
+//!   [`FrozenCsr`] (one contiguous record per neighbor slot);
+//! * the bookkeeping a serving layer needs travels with it — the
+//!   spanner-edge → parent-edge map *and* its precomputed inverse (so
+//!   translating a parent-id fault set costs O(|F|), not O(|E(H)|) as
+//!   [`Spanner::fault_mask`](crate::Spanner::fault_mask) pays), the
+//!   stretch target, and optionally the parent graph handle, the fault
+//!   budget/model it was built for, and the recorded witness fault sets;
+//! * the whole structure is immutable and `Send + Sync`: share one
+//!   artifact across any number of [`QueryEngine`](crate::QueryEngine)s
+//!   via `Arc` and serve from every core at once.
+//!
+//! Freeze from either layer: [`Spanner::freeze`](crate::Spanner::freeze)
+//! seals the subgraph alone; [`FtSpanner::freeze`](crate::FtSpanner::freeze)
+//! additionally records the parent handle, budget, model and witnesses
+//! (the metadata adversarial replay and stretch audits feed on).
+
+use crate::Spanner;
+use spanner_faults::{FaultModel, FaultSet};
+use spanner_graph::{EdgeId, FaultMask, FrozenCsr, Graph, GraphView};
+use std::sync::Arc;
+
+/// Sentinel in the parent→spanner edge map for "not kept".
+const NOT_KEPT: u32 = u32::MAX;
+
+/// An immutable, shareable spanner artifact (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use spanner_core::FtGreedy;
+/// use spanner_graph::generators::complete;
+/// use std::sync::Arc;
+///
+/// let g = complete(8);
+/// let ft = FtGreedy::new(&g, 3).faults(1).run();
+/// let frozen = Arc::new(ft.freeze(&g));
+/// assert_eq!(frozen.stretch(), 3);
+/// assert_eq!(frozen.budget(), Some(1));
+/// assert_eq!(frozen.witnesses().len(), frozen.edge_count());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrozenSpanner {
+    csr: FrozenCsr,
+    parent: Option<Arc<Graph>>,
+    parent_edges: Vec<EdgeId>,
+    /// Inverse of `parent_edges`, indexed by parent edge id (`NOT_KEPT`
+    /// where the parent edge did not survive into the spanner).
+    spanner_of_parent: Vec<u32>,
+    stretch: u64,
+    budget: Option<usize>,
+    model: FaultModel,
+    witnesses: Vec<FaultSet>,
+}
+
+impl FrozenSpanner {
+    /// Seals a bare spanner (no parent handle, no budget metadata, no
+    /// witnesses); the artifact [`Spanner::freeze`](crate::Spanner::freeze)
+    /// builds.
+    pub fn from_spanner(spanner: &Spanner) -> Self {
+        FrozenSpanner::assemble(spanner, None, None, FaultModel::Vertex, Vec::new())
+    }
+
+    /// Seals a spanner together with its construction metadata; the
+    /// artifact [`FtSpanner::freeze`](crate::FtSpanner::freeze) builds.
+    pub(crate) fn assemble(
+        spanner: &Spanner,
+        parent: Option<Arc<Graph>>,
+        budget: Option<usize>,
+        model: FaultModel,
+        witnesses: Vec<FaultSet>,
+    ) -> Self {
+        let parent_edges = spanner.parent_edge_ids().to_vec();
+        let slots = parent.as_ref().map(|p| p.edge_count()).unwrap_or(0).max(
+            parent_edges
+                .iter()
+                .map(|e| e.index() + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let mut spanner_of_parent = vec![NOT_KEPT; slots];
+        for (own, parent_id) in parent_edges.iter().enumerate() {
+            spanner_of_parent[parent_id.index()] = own as u32;
+        }
+        FrozenSpanner {
+            csr: FrozenCsr::from_view(spanner.graph()),
+            parent,
+            parent_edges,
+            spanner_of_parent,
+            stretch: spanner.stretch(),
+            budget,
+            model,
+            witnesses,
+        }
+    }
+
+    /// The packed adjacency queries run over.
+    pub fn csr(&self) -> &FrozenCsr {
+        &self.csr
+    }
+
+    /// Number of vertices (same ids as the parent graph).
+    pub fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    /// Number of spanner edges.
+    pub fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+
+    /// The stretch target the spanner was built for.
+    pub fn stretch(&self) -> u64 {
+        self.stretch
+    }
+
+    /// The fault budget the spanner was built for (`None` when frozen
+    /// from a bare [`Spanner`](crate::Spanner), which records none).
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// The fault model of the construction (meaningful when
+    /// [`FrozenSpanner::budget`] is set).
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// The parent graph handle, when the artifact carries one.
+    pub fn parent(&self) -> Option<&Arc<Graph>> {
+        self.parent.as_ref()
+    }
+
+    /// The recorded witness fault sets, indexed by spanner edge id
+    /// (empty when frozen from a bare spanner).
+    pub fn witnesses(&self) -> &[FaultSet] {
+        &self.witnesses
+    }
+
+    /// Parent edge id of a spanner edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn parent_edge(&self, edge: EdgeId) -> EdgeId {
+        self.parent_edges[edge.index()]
+    }
+
+    /// All kept parent edge ids, in spanner edge-id order.
+    pub fn parent_edge_ids(&self) -> &[EdgeId] {
+        &self.parent_edges
+    }
+
+    /// The spanner copy of a parent edge, if it was kept (O(1), unlike
+    /// the linear scan a construction-time
+    /// [`Spanner`](crate::Spanner) would need).
+    pub fn spanner_edge_of_parent(&self, parent_edge: EdgeId) -> Option<EdgeId> {
+        match self.spanner_of_parent.get(parent_edge.index()) {
+            Some(&own) if own != NOT_KEPT => Some(EdgeId::new(own as usize)),
+            _ => None,
+        }
+    }
+
+    /// Applies a fault set expressed in *parent* ids into a mask over
+    /// the spanner: vertex faults carry over unchanged, edge faults hit
+    /// the spanner copies of those parent edges (absent copies are
+    /// no-ops). The mask is the caller's reusable epoch scratch; this
+    /// method only adds faults, it never clears.
+    pub fn apply_faults(&self, faults: &FaultSet, mask: &mut FaultMask) {
+        for v in faults.vertex_faults() {
+            mask.fault_vertex(*v);
+        }
+        for e in faults.edge_faults() {
+            if let Some(own) = self.spanner_edge_of_parent(*e) {
+                mask.fault_edge(own);
+            }
+        }
+    }
+}
+
+/// Compile-time proof of the serving contract: one artifact, any number
+/// of threads.
+#[allow(dead_code)]
+fn frozen_spanner_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<FrozenSpanner>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FtGreedy;
+    use spanner_graph::generators::{complete, cycle};
+    use spanner_graph::NodeId;
+
+    #[test]
+    fn freeze_preserves_structure_and_metadata() {
+        let g = complete(10);
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        let frozen = ft.freeze(&g);
+        assert_eq!(frozen.node_count(), 10);
+        assert_eq!(frozen.edge_count(), ft.spanner().edge_count());
+        assert_eq!(frozen.stretch(), 3);
+        assert_eq!(frozen.budget(), Some(1));
+        assert_eq!(frozen.model(), FaultModel::Vertex);
+        assert_eq!(frozen.witnesses(), ft.witnesses());
+        assert_eq!(frozen.parent_edge_ids(), ft.spanner().parent_edge_ids());
+        assert_eq!(frozen.parent().unwrap().edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn bare_freeze_has_no_metadata() {
+        let g = cycle(6);
+        let s = Spanner::from_parent_edges(&g, g.edge_ids(), 3);
+        let frozen = s.freeze();
+        assert_eq!(frozen.budget(), None);
+        assert!(frozen.parent().is_none());
+        assert!(frozen.witnesses().is_empty());
+        assert_eq!(frozen.edge_count(), 6);
+    }
+
+    #[test]
+    fn parent_edge_translation_round_trips() {
+        let g = cycle(4);
+        let s = Spanner::from_parent_edges(&g, [EdgeId::new(1), EdgeId::new(3)], 3);
+        let frozen = s.freeze();
+        assert_eq!(
+            frozen.spanner_edge_of_parent(EdgeId::new(1)),
+            Some(EdgeId::new(0))
+        );
+        assert_eq!(
+            frozen.spanner_edge_of_parent(EdgeId::new(3)),
+            Some(EdgeId::new(1))
+        );
+        assert_eq!(frozen.spanner_edge_of_parent(EdgeId::new(0)), None);
+        assert_eq!(frozen.spanner_edge_of_parent(EdgeId::new(99)), None);
+        assert_eq!(frozen.parent_edge(EdgeId::new(1)), EdgeId::new(3));
+    }
+
+    #[test]
+    fn apply_faults_matches_spanner_fault_mask() {
+        let g = cycle(5);
+        let s = Spanner::from_parent_edges(&g, [EdgeId::new(0), EdgeId::new(2), EdgeId::new(4)], 3);
+        let frozen = s.freeze();
+        for faults in [
+            FaultSet::vertices([NodeId::new(2), NodeId::new(4)]),
+            FaultSet::edges([EdgeId::new(0), EdgeId::new(1), EdgeId::new(4)]),
+            FaultSet::empty(FaultModel::Vertex),
+        ] {
+            let reference = s.fault_mask(&faults);
+            let mut mask = FaultMask::with_capacity(frozen.node_count(), frozen.edge_count());
+            frozen.apply_faults(&faults, &mut mask);
+            assert_eq!(mask, reference, "faults {faults:?}");
+        }
+    }
+}

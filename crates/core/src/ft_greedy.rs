@@ -276,6 +276,21 @@ impl FtSpanner {
     pub fn stats(&self) -> OracleStats {
         self.stats
     }
+
+    /// Seals the construction into an immutable
+    /// [`FrozenSpanner`](crate::FrozenSpanner) serving artifact carrying
+    /// the full metadata: a handle on `parent` (cloned once, shared via
+    /// `Arc` from then on), the fault budget and model it was built for,
+    /// and the recorded witness fault sets.
+    pub fn freeze(&self, parent: &Graph) -> crate::FrozenSpanner {
+        crate::FrozenSpanner::assemble(
+            &self.spanner,
+            Some(std::sync::Arc::new(parent.clone())),
+            Some(self.faults),
+            self.model,
+            self.witnesses.clone(),
+        )
+    }
 }
 
 #[cfg(test)]

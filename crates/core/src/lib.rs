@@ -22,7 +22,10 @@
 //!   union-of-spanners EFT construction for comparisons;
 //! * [`simulation`] — the resilience engine: pluggable failure scenarios
 //!   (Bernoulli, regional, witness replay, bursts, scripted traces) with
-//!   exact per-query contract accounting over [`routing`].
+//!   exact per-query contract accounting over [`routing`];
+//! * [`frozen`] / [`query`] — the serving side: freeze the construction
+//!   into an immutable [`FrozenSpanner`] artifact, share it via `Arc`,
+//!   and answer batched queries per fault epoch with [`QueryEngine`].
 //!
 //! # Quickstart
 //!
@@ -48,14 +51,18 @@ mod peeling;
 mod spanner;
 
 pub mod baselines;
+pub mod frozen;
 pub mod metrics;
+pub mod query;
 pub mod report;
 pub mod routing;
 pub mod simulation;
 pub mod verify;
 
 pub use blocking::{verify_blocking_set, BlockingReport, BlockingSet};
+pub use frozen::FrozenSpanner;
 pub use ft_greedy::{FtGreedy, FtSpanner, OracleKind};
 pub use greedy::{greedy_spanner, greedy_spanner_masked};
 pub use peeling::{expected_yield, peel, PeelOutcome};
+pub use query::QueryEngine;
 pub use spanner::Spanner;

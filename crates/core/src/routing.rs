@@ -3,13 +3,19 @@
 //! This is the consumer-facing payoff of the whole construction: route
 //! queries against the *sparse* spanner instead of the full graph, survive
 //! up to `f` component failures, and know the worst-case price (`k×` route
-//! inflation) in advance. The router keeps reusable query state, accepts
-//! the current failure set per query, and reports the achieved stretch
-//! against the parent graph when asked.
+//! inflation) in advance.
+//!
+//! [`ResilientRouter`] is the one-query-at-a-time compatibility surface:
+//! a thin shim over a [`QueryEngine`](crate::QueryEngine) that opens a
+//! fresh fault epoch per call. Serving loops that answer many queries
+//! under one failure state — or want batched / parallel answers — should
+//! freeze the spanner ([`Spanner::freeze`]) and drive the engine's epoch
+//! API directly; the results are bit-identical.
 
-use crate::Spanner;
+use crate::{QueryEngine, Spanner};
 use spanner_faults::FaultSet;
 use spanner_graph::{DijkstraEngine, Dist, EdgeId, FaultMask, Graph, NodeId};
+use std::sync::Arc;
 
 /// A route served by [`ResilientRouter`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,24 +69,36 @@ impl std::error::Error for RouteError {}
 /// let ft = FtGreedy::new(&g, 3).faults(1).run();
 /// let mut router = ResilientRouter::new(ft.into_spanner());
 ///
-/// // Any single vertex may fail; routes still exist with stretch <= 3.
+/// // Any single vertex may fail; the surviving route costs at most 3×
+/// // what the surviving *parent* would charge — that is the contract
+/// // (the absolute distance depends on the instance's weights).
 /// let failed = FaultSet::vertices([NodeId::new(3)]);
 /// let route = router.route(NodeId::new(0), NodeId::new(7), &failed)?;
-/// assert!(route.dist.value().unwrap() <= 3);
+/// let stretch = router.stretch_against(&g, &route, &failed).unwrap();
+/// assert!(stretch <= 3.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct ResilientRouter {
     spanner: Spanner,
-    engine: DijkstraEngine,
+    engine: QueryEngine,
+    aux_engine: DijkstraEngine,
 }
 
 impl ResilientRouter {
-    /// Wraps a spanner for querying.
+    /// Wraps a spanner for querying: freezes a serving artifact from it
+    /// and keeps the spanner itself for [`ResilientRouter::spanner`].
+    /// That retention means the adjacency lives twice (construction-time
+    /// `Spanner` + frozen artifact) — the price of the compatibility
+    /// surface; serving code that doesn't need the `Spanner` back should
+    /// freeze once and hold only an `Arc<FrozenSpanner>` +
+    /// [`QueryEngine`].
     pub fn new(spanner: Spanner) -> Self {
+        let engine = QueryEngine::new(Arc::new(spanner.freeze()));
         ResilientRouter {
             spanner,
-            engine: DijkstraEngine::new(),
+            engine,
+            aux_engine: DijkstraEngine::new(),
         }
     }
 
@@ -90,7 +108,7 @@ impl ResilientRouter {
     }
 
     /// Routes `from → to` avoiding `failures` (vertex faults and/or parent
-    /// edge faults).
+    /// edge faults) — one fresh fault epoch per call.
     ///
     /// # Errors
     ///
@@ -104,34 +122,16 @@ impl ResilientRouter {
         to: NodeId,
         failures: &FaultSet,
     ) -> Result<Route, RouteError> {
-        for v in failures.vertex_faults() {
-            if *v == from || *v == to {
-                return Err(RouteError::EndpointFailed(*v));
-            }
-        }
-        let mask = self.spanner.fault_mask(failures);
-        match self.engine.shortest_path_bounded(
-            self.spanner.graph(),
-            from,
-            to,
-            Dist::INFINITE,
-            &mask,
-        ) {
-            Some(path) => Ok(Route {
-                nodes: path.nodes,
-                edges: path.edges,
-                dist: path.dist,
-            }),
-            None => Err(RouteError::Unreachable { from, to }),
-        }
+        self.engine.epoch(failures);
+        self.engine.route(from, to)
     }
 
     /// Costs `from → to` against a prebuilt fault mask over the
     /// *spanner's* graph (see [`Spanner::fault_mask`]) without extracting
-    /// the path — no allocation at all, which is what query-heavy loops
-    /// like the failure scenario engine need. The mask is taken per call
-    /// (rather than per query set) so callers serving many queries under
-    /// one failure set translate the faults once per step, not per query.
+    /// the path — no allocation and no per-call mask work at all: the
+    /// caller's mask is queried directly (over the frozen CSR), so
+    /// callers serving many queries under one failure set still translate
+    /// the faults once per step, not per query.
     ///
     /// # Errors
     ///
@@ -149,8 +149,8 @@ impl ResilientRouter {
                 return Err(RouteError::EndpointFailed(v));
             }
         }
-        self.engine
-            .dist_bounded(self.spanner.graph(), from, to, Dist::INFINITE, mask)
+        self.aux_engine
+            .dist_bounded(self.engine.artifact().csr(), from, to, Dist::INFINITE, mask)
             .ok_or(RouteError::Unreachable { from, to })
     }
 
@@ -172,7 +172,7 @@ impl ResilientRouter {
             parent_mask.fault_edge(*e);
         }
         let best = self
-            .engine
+            .aux_engine
             .dist_bounded(parent, from, to, Dist::INFINITE, &parent_mask)?;
         let achieved = route.dist.value()? as f64;
         Some(achieved / best.value().max(Some(1))? as f64)

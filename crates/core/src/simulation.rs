@@ -50,18 +50,24 @@
 //! end-to-end trajectories are reproduced by calling [`run_scenario`]
 //! with the process stream's seed, not through the wrapper.
 //!
-//! The query hot path performs no per-query allocation: endpoints are
-//! index-sampled from a per-step live list, the parent and spanner fault
-//! masks are reused across steps, ground-truth distances come from a
-//! persistent [`DijkstraEngine`], and routes are costed without path
-//! extraction via [`ResilientRouter::route_cost`].
+//! The query hot path runs on the freeze-and-serve read path: the
+//! spanner is sealed once into a [`FrozenSpanner`](crate::FrozenSpanner)
+//! artifact and each simulation step is **one fault epoch** of a
+//! [`QueryEngine`] — the step's failure state is applied once
+//! ([`QueryEngine::begin_epoch`] + per-component faults, parent edge ids
+//! translated through the artifact's O(1) map), and every query of the
+//! step is costed against that epoch without path extraction or
+//! per-query allocation. Endpoints are index-sampled from a per-step
+//! live list and ground-truth parent distances come from a persistent
+//! [`DijkstraEngine`].
 
-use crate::routing::{ResilientRouter, RouteError};
-use crate::{FtSpanner, Spanner};
+use crate::routing::RouteError;
+use crate::{FtSpanner, QueryEngine, Spanner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spanner_faults::{FaultModel, FaultSet};
 use spanner_graph::{bfs, DijkstraEngine, Dist, EdgeId, FaultMask, Graph, NodeId};
+use std::sync::Arc;
 
 /// Scenario-engine parameters (process-independent knobs).
 #[derive(Clone, Copy, Debug)]
@@ -524,14 +530,14 @@ impl ScenarioOutcome {
 }
 
 /// The per-query serving machinery shared by random and scripted runs.
-/// Owns the per-step fault masks (updated once per step, read by every
-/// query of that step) alongside the reusable routing/distance engines.
+/// The spanner side is a [`QueryEngine`] whose epoch is advanced once
+/// per step; the parent side (ground truth for the contract) keeps its
+/// own reusable mask and Dijkstra engine.
 struct QueryServer<'a> {
     parent: &'a Graph,
-    router: ResilientRouter,
+    engine: QueryEngine,
     parent_engine: DijkstraEngine,
     parent_mask: FaultMask,
-    spanner_mask: FaultMask,
     stretch: f64,
     max_events: usize,
 }
@@ -561,7 +567,7 @@ impl QueryServer<'_> {
         }
         let best = best.value().unwrap_or(1).max(1) as f64;
         let bound = self.stretch * best;
-        match self.router.route_cost(a, b, &self.spanner_mask) {
+        match self.engine.route_cost(a, b) {
             Ok(dist) => {
                 out.routed += 1;
                 let achieved = dist.value().unwrap_or(u64::MAX) as f64;
@@ -718,25 +724,18 @@ fn run_engine(
         FaultModel::Vertex => parent.node_count(),
         FaultModel::Edge => parent.edge_count(),
     };
-    // Parent edge id -> spanner edge id, for edge-fault translation
-    // without a per-step FaultSet allocation.
-    let parent_to_spanner: Vec<Option<EdgeId>> = {
-        let mut map = vec![None; parent.edge_count()];
-        for (own, parent_id) in spanner.parent_edge_ids().iter().enumerate() {
-            map[parent_id.index()] = Some(EdgeId::new(own));
-        }
-        map
-    };
-    let spanner_mask = FaultMask::for_graph(spanner.graph());
+    // Freeze once: the run serves every step's queries from the same
+    // immutable artifact, one fault epoch per step (the artifact's
+    // parent→spanner edge map replaces the old ad-hoc translation table).
     let mut server = QueryServer {
         parent,
         stretch: spanner.stretch() as f64,
         max_events: config.max_logged_events,
-        router: ResilientRouter::new(spanner),
+        engine: QueryEngine::new(Arc::new(spanner.freeze())),
         parent_engine: DijkstraEngine::new(),
         parent_mask: FaultMask::for_graph(parent),
-        spanner_mask,
     };
+    drop(spanner);
     let mut outcome = ScenarioOutcome {
         scenario: process.name(),
         steps: config.steps,
@@ -750,7 +749,7 @@ fn run_engine(
     for step in 0..config.steps {
         process.step(step, &mut down, &mut process_rng);
         server.parent_mask.clear();
-        server.spanner_mask.clear();
+        server.engine.begin_epoch();
         let mut failed = 0usize;
         for (component, state) in down.iter().enumerate() {
             if !*state {
@@ -761,13 +760,11 @@ fn run_engine(
                 FaultModel::Vertex => {
                     let v = NodeId::new(component);
                     server.parent_mask.fault_vertex(v);
-                    server.spanner_mask.fault_vertex(v);
+                    server.engine.fault_vertex(v);
                 }
                 FaultModel::Edge => {
                     server.parent_mask.fault_edge(EdgeId::new(component));
-                    if let Some(own) = parent_to_spanner[component] {
-                        server.spanner_mask.fault_edge(own);
-                    }
+                    server.engine.fault_parent_edge(EdgeId::new(component));
                 }
             }
         }

@@ -179,6 +179,16 @@ impl Spanner {
         }
     }
 
+    /// Seals this spanner into an immutable, `Send + Sync`
+    /// [`FrozenSpanner`](crate::FrozenSpanner) serving artifact: packed
+    /// CSR adjacency, O(1) parent-edge translation, shareable via `Arc`.
+    /// Construction metadata (parent handle, budget, witnesses) is only
+    /// recorded by [`FtSpanner::freeze`](crate::FtSpanner::freeze); a bare
+    /// spanner has none to give.
+    pub fn freeze(&self) -> crate::FrozenSpanner {
+        crate::FrozenSpanner::from_spanner(self)
+    }
+
     /// Translates a fault set expressed in *parent* ids into a mask over
     /// the spanner's graph: vertex faults carry over unchanged; edge faults
     /// hit the spanner copies of those parent edges.

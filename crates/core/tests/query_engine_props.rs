@@ -1,0 +1,174 @@
+//! The freeze-and-serve read path must be invisible in the answers.
+//!
+//! PR 4 rebuilt query serving around an immutable [`FrozenSpanner`]
+//! artifact and an epoch-based [`QueryEngine`] with sequential and
+//! pooled batch entry points. None of that is allowed to change a single
+//! bit of what a query returns: these property tests pin
+//! [`QueryEngine::route_batch`] and [`QueryEngine::par_route_batch`] to
+//! the one-query-per-epoch [`ResilientRouter`] — identical routes
+//! (nodes *and* edges), identical distances, identical errors, in the
+//! same order — across random weighted graphs, fault budgets `f ∈
+//! {0, 1, 2}`, both fault models, and failure sets both within and
+//! beyond the budget.
+
+use proptest::prelude::*;
+use spanner_core::routing::{ResilientRouter, Route, RouteError};
+use spanner_core::{FtGreedy, QueryEngine};
+use spanner_faults::{FaultModel, FaultSet};
+use spanner_graph::{EdgeId, Graph, NodeId, Weight};
+use std::sync::Arc;
+
+fn arb_graph(max_n: usize, max_w: u64) -> impl Strategy<Value = Graph> {
+    (5..=max_n).prop_flat_map(move |n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let m = pairs.len();
+        (
+            proptest::collection::vec(0..10u32, m),
+            proptest::collection::vec(1..=max_w, m),
+        )
+            .prop_map(move |(keep, ws)| {
+                let mut g = Graph::new(n);
+                for (i, &(u, v)) in pairs.iter().enumerate() {
+                    if keep[i] < 7 {
+                        g.add_edge_unchecked(
+                            NodeId::new(u),
+                            NodeId::new(v),
+                            Weight::new(ws[i]).unwrap(),
+                        );
+                    }
+                }
+                g
+            })
+    })
+}
+
+fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+    (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (NodeId::new(u), NodeId::new(v))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batch_paths_match_sequential_router(
+        g in arb_graph(9, 4),
+        f in 0usize..3,
+        edge_model in any::<bool>(),
+        fault_raw in proptest::collection::vec(any::<u32>(), 0..4),
+    ) {
+        let model = if edge_model { FaultModel::Edge } else { FaultModel::Vertex };
+        let ft = FtGreedy::new(&g, 3).faults(f).model(model).run();
+        let spanner = ft.into_spanner();
+        // Failure sets in *parent* ids, sized 0..4 — within and beyond
+        // the budget alike (serving must agree either way; only the
+        // in-budget case additionally guarantees reachability).
+        let failures = match model {
+            FaultModel::Vertex => FaultSet::vertices(
+                fault_raw.iter().map(|r| NodeId::new(*r as usize % g.node_count())),
+            ),
+            FaultModel::Edge => FaultSet::edges(
+                fault_raw
+                    .iter()
+                    .filter(|_| g.edge_count() > 0)
+                    .map(|r| EdgeId::new(*r as usize % g.edge_count().max(1))),
+            ),
+        };
+        let pairs = all_pairs(g.node_count());
+        // Reference: the one-query-per-epoch compatibility router.
+        let mut router = ResilientRouter::new(spanner.clone());
+        let expected: Vec<Result<Route, RouteError>> = pairs
+            .iter()
+            .map(|&(u, v)| router.route(u, v, &failures))
+            .collect();
+        // Candidate 1: sequential batch over one shared frozen artifact.
+        let frozen = Arc::new(spanner.freeze());
+        let mut engine = QueryEngine::new(Arc::clone(&frozen));
+        engine.epoch(&failures);
+        prop_assert_eq!(&engine.route_batch(&pairs), &expected);
+        // Candidate 2: pooled batch over the same artifact.
+        let mut pooled = QueryEngine::new(frozen).with_threads(3);
+        pooled.epoch(&failures);
+        prop_assert_eq!(&pooled.par_route_batch(&pairs), &expected);
+    }
+
+    #[test]
+    fn epoch_reuse_cannot_leak_between_fault_sets(
+        g in arb_graph(8, 3),
+        faults_a in proptest::collection::vec(any::<u32>(), 0..3),
+        faults_b in proptest::collection::vec(any::<u32>(), 0..3),
+    ) {
+        let ft = FtGreedy::new(&g, 3).faults(1).run();
+        let frozen = Arc::new(ft.into_spanner().freeze());
+        let set_of = |raw: &[u32]| FaultSet::vertices(
+            raw.iter().map(|r| NodeId::new(*r as usize % g.node_count())),
+        );
+        let pairs = all_pairs(g.node_count());
+        // One long-lived engine cycling epochs A then B must answer B
+        // exactly like a fresh engine that only ever saw B.
+        let mut cycled = QueryEngine::new(Arc::clone(&frozen));
+        cycled.epoch(&set_of(&faults_a));
+        let _ = cycled.route_batch(&pairs);
+        cycled.epoch(&set_of(&faults_b));
+        let mut fresh = QueryEngine::new(frozen);
+        fresh.epoch(&set_of(&faults_b));
+        prop_assert_eq!(cycled.route_batch(&pairs), fresh.route_batch(&pairs));
+    }
+}
+
+/// Regression: a poisoned (failed-endpoint) pair inside a batch yields
+/// [`RouteError::EndpointFailed`] for exactly that slot, and every other
+/// answer of the batch is exactly what it would have been without the
+/// poisoned pair present.
+#[test]
+fn failed_endpoint_in_batch_is_isolated() {
+    let g = spanner_graph::generators::complete(9);
+    let ft = FtGreedy::new(&g, 3).faults(1).run();
+    let frozen = Arc::new(ft.into_spanner().freeze());
+    let failures = FaultSet::vertices([NodeId::new(4)]);
+
+    let clean: Vec<(NodeId, NodeId)> = all_pairs(9)
+        .into_iter()
+        .filter(|&(u, v)| u.index() != 4 && v.index() != 4)
+        .collect();
+    let mut poisoned: Vec<(NodeId, NodeId)> = clean.clone();
+    // Plant failed-endpoint pairs at the front, middle and back.
+    poisoned.insert(0, (NodeId::new(4), NodeId::new(0)));
+    poisoned.insert(poisoned.len() / 2, (NodeId::new(7), NodeId::new(4)));
+    poisoned.push((NodeId::new(4), NodeId::new(8)));
+
+    for threads in [1usize, 3] {
+        let mut engine = QueryEngine::new(Arc::clone(&frozen)).with_threads(threads);
+        engine.epoch(&failures);
+        let with_poison = if threads == 1 {
+            engine.route_batch(&poisoned)
+        } else {
+            engine.par_route_batch(&poisoned)
+        };
+        engine.epoch(&failures);
+        let without = if threads == 1 {
+            engine.route_batch(&clean)
+        } else {
+            engine.par_route_batch(&clean)
+        };
+        let mut clean_answers = with_poison.clone();
+        for (slot, answer) in with_poison.iter().enumerate() {
+            let (u, v) = poisoned[slot];
+            if u.index() == 4 || v.index() == 4 {
+                assert_eq!(
+                    answer,
+                    &Err(RouteError::EndpointFailed(NodeId::new(4))),
+                    "threads={threads} slot {slot}"
+                );
+            }
+        }
+        clean_answers.retain(|a| a != &Err(RouteError::EndpointFailed(NodeId::new(4))));
+        assert_eq!(
+            clean_answers, without,
+            "threads={threads}: poisoned pairs disturbed their neighbors"
+        );
+    }
+}

@@ -14,6 +14,16 @@
 //! snapshot once it exceeds a fixed threshold, so queries stay within a
 //! few dozen extra scans of flat memory and appends stay amortized O(1).
 //!
+//! [`FrozenCsr`] is the end state of that life cycle: a construction has
+//! finished, the graph will never change again, and from now on it is
+//! only *served* — shared across query threads behind an `Arc`. Unlike
+//! [`CsrGraph`] it implements [`GraphView`] (so the generic
+//! [`DijkstraEngine`](crate::DijkstraEngine) runs over it unchanged, with
+//! identical tie-breaks), packs each adjacency slot's `(target, via-edge,
+//! weight)` into one contiguous record (one cache line touch per
+//! neighbor instead of three parallel-array touches), and is immutable by
+//! construction, hence trivially `Send + Sync`.
+//!
 //! The `substrate` bench compares the layouts on identical query
 //! workloads.
 
@@ -360,6 +370,14 @@ impl IncrementalCsr {
     pub fn pending_len(&self) -> usize {
         self.edge_u.len() - self.frozen
     }
+
+    /// Finalizes this view into an immutable [`FrozenCsr`] (folding any
+    /// pending appends into the packed layout). The view itself is left
+    /// untouched; freezing is the hand-off point from construction to
+    /// serving.
+    pub fn freeze(&self) -> FrozenCsr {
+        FrozenCsr::from_view(self)
+    }
 }
 
 impl GraphView for IncrementalCsr {
@@ -436,6 +454,163 @@ impl From<&Graph> for IncrementalCsr {
     fn from(graph: &Graph) -> Self {
         IncrementalCsr::from_graph(graph)
     }
+}
+
+/// One packed adjacency slot of a [`FrozenCsr`]: the neighbor, the edge
+/// crossed to reach it, and that edge's weight, side by side so a
+/// traversal touches one record instead of three parallel arrays.
+#[derive(Clone, Copy, Debug)]
+struct PackedAdj {
+    to: u32,
+    via: u32,
+    weight: Weight,
+}
+
+/// A read-only, cache-packed CSR snapshot — the serving layout.
+///
+/// Built once from any [`GraphView`] (a [`Graph`], an [`IncrementalCsr`]
+/// via [`IncrementalCsr::freeze`], …) with the same node and edge ids and
+/// the same neighbor order, so traversals over the frozen layout
+/// tie-break exactly like traversals over the source. The structure is
+/// immutable after construction and holds no interior mutability, so it
+/// is `Send + Sync` and cheap to share across query threads behind an
+/// `Arc` — this is what the freeze-and-serve read path
+/// (`spanner_core`'s `FrozenSpanner`/`QueryEngine`) hands to its workers.
+///
+/// # Examples
+///
+/// ```
+/// use spanner_graph::{
+///     csr::FrozenCsr, generators, DijkstraEngine, Dist, FaultMask, GraphView, NodeId,
+/// };
+///
+/// let g = generators::complete(8);
+/// let frozen = FrozenCsr::from_view(&g);
+/// let mask = FaultMask::with_capacity(8, frozen.edge_count());
+/// let mut engine = DijkstraEngine::new();
+/// let d = engine.dist_bounded(&frozen, NodeId::new(0), NodeId::new(5), Dist::finite(3), &mask);
+/// assert_eq!(d, Some(Dist::finite(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrozenCsr {
+    node_count: usize,
+    offsets: Vec<u32>,
+    adj: Vec<PackedAdj>,
+    edge_u: Vec<u32>,
+    edge_v: Vec<u32>,
+    edge_w: Vec<Weight>,
+}
+
+impl FrozenCsr {
+    /// Snapshots any graph view into the packed frozen layout (same node
+    /// and edge ids, same neighbor order).
+    pub fn from_view<V: GraphView>(view: &V) -> Self {
+        let n = view.node_count();
+        let m = view.edge_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(2 * m);
+        offsets.push(0);
+        for v in 0..n {
+            view.for_each_neighbor(NodeId::new(v), |to, eid, w| {
+                adj.push(PackedAdj {
+                    to: to.raw(),
+                    via: eid.raw(),
+                    weight: w,
+                });
+            });
+            offsets.push(adj.len() as u32);
+        }
+        let mut edge_u = Vec::with_capacity(m);
+        let mut edge_v = Vec::with_capacity(m);
+        let mut edge_w = Vec::with_capacity(m);
+        for e in 0..m {
+            let (u, v) = view.edge_endpoints(EdgeId::new(e));
+            edge_u.push(u.raw());
+            edge_v.push(v.raw());
+            edge_w.push(view.edge_weight(EdgeId::new(e)));
+        }
+        FrozenCsr {
+            node_count: n,
+            offsets,
+            adj,
+            edge_u,
+            edge_v,
+            edge_w,
+        }
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+}
+
+impl GraphView for FrozenCsr {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_u.len()
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        (
+            NodeId::from(self.edge_u[edge.index()]),
+            NodeId::from(self.edge_v[edge.index()]),
+        )
+    }
+
+    #[inline]
+    fn edge_weight(&self, edge: EdgeId) -> Weight {
+        self.edge_w[edge.index()]
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, node: NodeId, mut f: impl FnMut(NodeId, EdgeId, Weight)) {
+        let i = node.index();
+        assert!(i < self.node_count, "node out of range");
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        for slot in &self.adj[lo..hi] {
+            f(NodeId::from(slot.to), EdgeId::from(slot.via), slot.weight);
+        }
+    }
+
+    fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        assert!(
+            u.index() < self.node_count && v.index() < self.node_count,
+            "node out of range"
+        );
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        self.adj[lo..hi]
+            .iter()
+            .find(|slot| slot.to == v.raw())
+            .map(|slot| EdgeId::from(slot.via))
+    }
+}
+
+impl From<&Graph> for FrozenCsr {
+    fn from(graph: &Graph) -> Self {
+        FrozenCsr::from_view(graph)
+    }
+}
+
+/// Compile-time proof of the serving contract: the frozen layout can be
+/// shared across threads as-is.
+#[allow(dead_code)]
+fn frozen_csr_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<FrozenCsr>();
 }
 
 #[cfg(test)]
@@ -621,6 +796,82 @@ mod tests {
         assert_eq!(GraphView::edge_count(&view), 0);
         view.push_edge(NodeId::new(0), NodeId::new(2), Weight::UNIT);
         assert_eq!(view_neighbors(&view, NodeId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn frozen_view_mirrors_source_adjacency() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let g = generators::erdos_renyi(30, 0.2, &mut rng);
+        let inc = IncrementalCsr::from_graph(&g);
+        for frozen in [FrozenCsr::from_view(&g), inc.freeze(), (&g).into()] {
+            assert_eq!(GraphView::node_count(&frozen), g.node_count());
+            assert_eq!(GraphView::edge_count(&frozen), g.edge_count());
+            for v in g.nodes() {
+                assert_eq!(frozen.degree(v), g.degree(v));
+                assert_eq!(view_neighbors(&frozen, v), view_neighbors(&g, v));
+            }
+            for (id, e) in g.edges() {
+                assert_eq!(frozen.edge_endpoints(id), e.endpoints());
+                assert_eq!(frozen.edge_weight(id), e.weight());
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_view_includes_pending_appends() {
+        // Freeze mid-buffer: edges still in the append buffer must land
+        // in the packed layout too, in the same edge-id order.
+        let mut view = IncrementalCsr::new(5);
+        let mut mirror = Graph::new(5);
+        for (u, v) in [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)] {
+            view.push_edge(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+            mirror.add_edge_unchecked(NodeId::new(u), NodeId::new(v), Weight::UNIT);
+        }
+        assert!(view.pending_len() > 0, "buffer must be mid-flight");
+        let frozen = view.freeze();
+        assert_eq!(GraphView::edge_count(&frozen), 6);
+        for v in mirror.nodes() {
+            assert_eq!(view_neighbors(&frozen, v), view_neighbors(&mirror, v));
+        }
+        assert_eq!(
+            frozen.find_edge(NodeId::new(1), NodeId::new(3)),
+            Some(EdgeId::new(5))
+        );
+        assert_eq!(frozen.find_edge(NodeId::new(0), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn frozen_dijkstra_matches_graph_under_faults() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let g = generators::erdos_renyi(40, 0.12, &mut rng);
+        let frozen = FrozenCsr::from_view(&g);
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(5));
+        if g.edge_count() > 2 {
+            mask.fault_edge(EdgeId::new(2));
+        }
+        let mut engine = dijkstra::DijkstraEngine::new();
+        for (src, dst) in [(0usize, 39usize), (3, 17), (11, 30)] {
+            for bound in [2u64, 5, 100] {
+                let over_frozen = engine.shortest_path_bounded(
+                    &frozen,
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    Dist::finite(bound),
+                    &mask,
+                );
+                let over_graph = engine.shortest_path_bounded(
+                    &g,
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    Dist::finite(bound),
+                    &mask,
+                );
+                // Not just equal distances: identical node/edge sequences
+                // (the determinism contract the serving layer relies on).
+                assert_eq!(over_frozen, over_graph, "pair ({src},{dst}) bound {bound}");
+            }
+        }
     }
 
     #[test]

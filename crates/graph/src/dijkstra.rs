@@ -125,6 +125,9 @@ impl PathScratch {
 
 const NO_PARENT: u32 = u32::MAX;
 
+/// Sentinel for "the last search had no early-stop target".
+const NO_TARGET: u32 = u32::MAX;
+
 /// Reusable Dijkstra scratch space for one graph size.
 ///
 /// The engine is sized lazily to the largest graph it has seen; it can be
@@ -142,7 +145,7 @@ const NO_PARENT: u32 = u32::MAX;
 /// assert_eq!(d, Some(Dist::finite(2)));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DijkstraEngine {
     dist: Vec<Dist>,
     parent_node: Vec<u32>,
@@ -150,9 +153,31 @@ pub struct DijkstraEngine {
     epoch: Vec<u32>,
     current_epoch: u32,
     heap: Option<IndexedHeap<u64>>,
+    /// The last search's early-stop target ([`NO_TARGET`] for a full
+    /// [`DijkstraEngine::search_from`]-style run) and bound — what
+    /// [`DijkstraEngine::extract_path_into`] needs to tell settled
+    /// distances from tentative ones.
+    last_dst: u32,
+    last_bound: Dist,
     /// Number of heap pops across all queries (exposed for experiments that
     /// measure oracle work in machine-independent units).
     pops: u64,
+}
+
+impl Default for DijkstraEngine {
+    fn default() -> Self {
+        DijkstraEngine {
+            dist: Vec::new(),
+            parent_node: Vec::new(),
+            parent_edge: Vec::new(),
+            epoch: Vec::new(),
+            current_epoch: 0,
+            heap: None,
+            last_dst: NO_TARGET,
+            last_bound: Dist::INFINITE,
+            pops: 0,
+        }
+    }
 }
 
 impl DijkstraEngine {
@@ -243,19 +268,73 @@ impl DijkstraEngine {
         out: &mut PathScratch,
     ) -> bool {
         self.run(graph, src, Some(dst), bound, mask);
+        self.extract_path_into(dst, bound, out)
+    }
+
+    /// Runs a full single-source search (no target early-stop), leaving
+    /// the settled distances and parent links in the engine for
+    /// subsequent [`DijkstraEngine::extract_path_into`] calls. This is
+    /// the batch-serving amortization: queries sharing a source share one
+    /// search and pay only per-target extraction.
+    pub fn search_from<V: GraphView>(
+        &mut self,
+        graph: &V,
+        src: NodeId,
+        bound: Dist,
+        mask: &FaultMask,
+    ) {
+        self.run(graph, src, None, bound, mask);
+    }
+
+    /// Extracts the shortest path to `dst` from the engine's most recent
+    /// search. Returns `true` with `out` filled iff `dst` was **settled**
+    /// within `bound` by that search; on `false`, `out` is cleared.
+    ///
+    /// Dijkstra settles a vertex exactly once, and everything on the
+    /// shortest path to `dst` settles before `dst` does — so the
+    /// extracted path is **bit-identical** to what a dedicated
+    /// `src → dst` query (which stops early at `dst`) would return. The
+    /// batch query engine relies on this equivalence.
+    ///
+    /// Only settled values are trusted: after a target-less search
+    /// ([`DijkstraEngine::search_from`]) every vertex within the
+    /// *search's* bound is settled, so anything beyond that bound
+    /// reports `false` even when a (tentative, possibly suboptimal)
+    /// distance exists. After a pair query, only that query's own target
+    /// is settled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the most recent search was a pair query for a different
+    /// target — its other vertices may hold tentative, suboptimal
+    /// distances, so extracting them would be silently wrong.
+    pub fn extract_path_into(&self, dst: NodeId, bound: Dist, out: &mut PathScratch) -> bool {
+        assert!(
+            self.last_dst == NO_TARGET || self.last_dst == dst.raw(),
+            "extract_path_into needs a full search (search_from) or the pair query's own target"
+        );
         out.nodes.clear();
         out.edges.clear();
         let dist = self.query_dist(dst);
-        if !dist.is_finite() || dist > bound {
+        // For a target-less search, distances beyond the search bound are
+        // tentative (the vertex never settled) — refuse them.
+        let settled_bound = if self.last_dst == NO_TARGET {
+            bound.min(self.last_bound)
+        } else {
+            bound
+        };
+        if !dist.is_finite() || dist > settled_bound {
             return false;
         }
         out.dist = dist;
         out.nodes.push(dst);
         let mut cur = dst;
-        while cur != src {
+        loop {
             let pn = self.parent_node[cur.index()];
+            if pn == NO_PARENT {
+                break; // reached the search source
+            }
             let pe = self.parent_edge[cur.index()];
-            debug_assert!(pn != NO_PARENT, "parent chain broken");
             out.edges.push(EdgeId::new(pe as usize));
             cur = NodeId::new(pn as usize);
             out.nodes.push(cur);
@@ -333,6 +412,8 @@ impl DijkstraEngine {
     ) {
         let n = graph.node_count();
         self.prepare(n);
+        self.last_dst = dst.map(NodeId::raw).unwrap_or(NO_TARGET);
+        self.last_bound = bound;
         if mask.is_vertex_faulted(src) {
             return;
         }
@@ -575,6 +656,78 @@ mod tests {
         assert_eq!(
             dist_bounded(&g, NodeId::new(0), NodeId::new(2), Dist::finite(1), &mask),
             None
+        );
+    }
+
+    #[test]
+    fn shared_search_extraction_matches_pair_queries() {
+        // One search_from, many extractions — each must be bit-identical
+        // to a dedicated early-stopped pair query (the batch-serving
+        // equivalence the query engine relies on).
+        use crate::generators;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = generators::erdos_renyi(30, 0.15, &mut rng);
+        let mut mask = FaultMask::for_graph(&g);
+        mask.fault_vertex(NodeId::new(7));
+        let mut shared = DijkstraEngine::new();
+        let mut dedicated = DijkstraEngine::new();
+        for src in [0usize, 11, 23] {
+            shared.search_from(&g, NodeId::new(src), Dist::INFINITE, &mask);
+            for dst in 0..30usize {
+                let mut from_shared = PathScratch::new();
+                let found =
+                    shared.extract_path_into(NodeId::new(dst), Dist::INFINITE, &mut from_shared);
+                let direct = dedicated.shortest_path_bounded(
+                    &g,
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    Dist::INFINITE,
+                    &mask,
+                );
+                assert_eq!(found, direct.is_some(), "{src}->{dst} reachability");
+                if let Some(p) = direct {
+                    assert_eq!(from_shared.dist(), p.dist, "{src}->{dst} dist");
+                    assert_eq!(from_shared.nodes(), &p.nodes[..], "{src}->{dst} nodes");
+                    assert_eq!(from_shared.edges(), &p.edges[..], "{src}->{dst} edges");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pair query's own target")]
+    fn extraction_after_pair_query_rejects_other_targets() {
+        // s-t (1), s-x (5), t-x (1): the early-stopped s→t query leaves x
+        // with a tentative dist of 5 (true dist 2). Extracting x would be
+        // silently wrong — it must panic instead.
+        let g = Graph::from_weighted_edges(3, [(0, 1, 1), (0, 2, 5), (1, 2, 1)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        assert!(e
+            .dist_bounded(&g, NodeId::new(0), NodeId::new(1), Dist::INFINITE, &mask)
+            .is_some());
+        let mut out = PathScratch::new();
+        let _ = e.extract_path_into(NodeId::new(2), Dist::INFINITE, &mut out);
+    }
+
+    #[test]
+    fn bounded_search_extraction_refuses_unsettled_frontier() {
+        // Path 0-1-2-3 (unit weights), search bounded at 1: vertex 2 may
+        // carry a tentative distance but was never settled — extraction
+        // must refuse it rather than trust it, even with a larger
+        // extraction bound.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mask = FaultMask::for_graph(&g);
+        let mut e = DijkstraEngine::new();
+        e.search_from(&g, NodeId::new(0), Dist::finite(1), &mask);
+        let mut out = PathScratch::new();
+        assert!(e.extract_path_into(NodeId::new(1), Dist::INFINITE, &mut out));
+        assert_eq!(out.dist(), Dist::finite(1));
+        assert!(
+            !e.extract_path_into(NodeId::new(2), Dist::INFINITE, &mut out),
+            "beyond the search bound nothing is settled"
         );
     }
 

@@ -72,7 +72,7 @@ pub mod transform;
 
 pub use adjacency::GraphView;
 pub use bitset::BitSet;
-pub use csr::IncrementalCsr;
+pub use csr::{FrozenCsr, IncrementalCsr};
 pub use dijkstra::{DijkstraEngine, PathScratch, ShortestPath};
 pub use error::GraphError;
 pub use graph::{Edge, Graph};

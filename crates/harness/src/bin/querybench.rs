@@ -1,0 +1,183 @@
+//! `querybench` — the serving-side perf trajectory, as a committed
+//! artifact (the query-path analogue of `perfbench`).
+//!
+//! Usage:
+//!
+//! ```text
+//! querybench [--smoke | --quick | --full] [--threads N] [--repeats R] [--out PATH]
+//! querybench --check PATH
+//! ```
+//!
+//! Runs the E15 workload — epoch scenarios (no failures, `f` random
+//! failures, witness replay) × fault budgets × batch sizes over an FT
+//! spanner of a geometric network — through three read paths: the
+//! one-query-per-epoch `ResilientRouter` (the compatibility shim, every
+//! call re-applies the failure set), sequential `QueryEngine` epoch
+//! batches, and the pooled `par_route_batch` worker-pool path. Writes
+//! one JSON document (`BENCH_4.json` by default) with per-cell
+//! queries/second and speedups vs the router baseline, **after**
+//! asserting all three paths returned bit-identical answers — the run
+//! fails on any sequential-vs-parallel (or router) mismatch.
+//!
+//! `--check` re-reads any such artifact with the strict parser in
+//! [`spanner_harness::json`] and validates the `querybench-1` schema
+//! (including every record's identity certification), which is what the
+//! CI bench-smoke job runs so the serving pipeline cannot silently rot.
+
+use spanner_harness::experiments::{e15_throughput, ExperimentContext, Scale};
+use spanner_harness::json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scale: Scale,
+    out: PathBuf,
+    threads: usize,
+    repeats: usize,
+    check: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: querybench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       querybench --check PATH"
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Full,
+        out: PathBuf::from("BENCH_4.json"),
+        threads: 4,
+        repeats: 0, // 0 = scale default
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.scale = Scale::Smoke,
+            "--quick" => args.scale = Scale::Quick,
+            "--full" => args.scale = Scale::Full,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
+            "--check" => args.check = Some(PathBuf::from(it.next().ok_or("--check needs a path")?)),
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a number")?;
+                args.threads = n.parse().map_err(|_| format!("bad thread count: {n}"))?;
+            }
+            "--repeats" => {
+                let r = it.next().ok_or("--repeats needs a number")?;
+                args.repeats = r.parse().map_err(|_| format!("bad repeat count: {r}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => {
+                return Err(format!(
+                    "unknown argument {other}\n{usage}",
+                    usage = usage()
+                ))
+            }
+        }
+    }
+    if args.repeats == 0 {
+        args.repeats = match args.scale {
+            Scale::Smoke => 1,
+            Scale::Quick => 2,
+            Scale::Full => 3,
+        };
+    }
+    args.threads = args.threads.max(2);
+    Ok(args)
+}
+
+fn run_bench(args: &Args) -> Result<(), String> {
+    let ctx = ExperimentContext::new(args.scale);
+    println!(
+        "querybench: scale={} repeats={} threads={} -> {}",
+        scale_name(args.scale),
+        args.repeats,
+        args.threads,
+        args.out.display()
+    );
+    let cells = e15_throughput::sweep(&ctx, args.threads, args.repeats);
+    let mut mismatches = 0usize;
+    for cell in &cells {
+        if !cell.identical {
+            mismatches += 1;
+        }
+        println!(
+            "  {:<15} f={} batch={:<4}  router {:>9.0} q/s | batch {:>9.0} q/s ({:>5.2}x) | par(x{}) {:>9.0} q/s ({:>5.2}x)  identical={}",
+            cell.scenario,
+            cell.f,
+            cell.batch,
+            cell.router_qps,
+            cell.batch_qps,
+            cell.speedup_batch(),
+            cell.threads,
+            cell.par_qps,
+            cell.speedup_par(),
+            cell.identical,
+        );
+    }
+    let doc = e15_throughput::artifact(scale_name(args.scale), args.threads, args.repeats, &cells);
+    let text = format!("{doc}\n");
+    // Self-check before writing: the artifact must parse with the same
+    // strict parser CI uses and satisfy its own schema. A mismatch cell
+    // makes this fail too, but report it with the sharper message below.
+    let parsed =
+        json::parse(&text).map_err(|e| format!("internal error: emitted invalid JSON: {e}"))?;
+    if mismatches == 0 {
+        e15_throughput::check_artifact(&parsed)
+            .map_err(|e| format!("internal error: emitted off-schema artifact: {e}"))?;
+    }
+    std::fs::write(&args.out, &text)
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    println!("wrote {}", args.out.display());
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} cell(s) returned different answers across read paths — serving must be bit-identical"
+        ));
+    }
+    Ok(())
+}
+
+fn run_check(path: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    e15_throughput::check_artifact(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    let records = doc
+        .get("records")
+        .and_then(json::JsonValue::as_array)
+        .expect("checked above");
+    println!(
+        "{}: ok ({} throughput records)",
+        path.display(),
+        records.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &args.check {
+        Some(path) => run_check(path),
+        None => run_bench(&args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("querybench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! E15 / Table 11 — serving throughput: the freeze-and-serve read path.
+//!
+//! The ROADMAP's north star is a spanner you *serve queries against*
+//! under failures (Bodwin–Dinitz–Parter–Vassilevska Williams frame
+//! exactly this spanner-as-distance-oracle use case). E13/E14 measure
+//! *correctness* of that serving under scenarios; E15 measures its
+//! *speed*. Three read paths answer identical workloads over the same
+//! FT spanner of a geometric network:
+//!
+//! * `router` — the one-query-per-epoch [`ResilientRouter`]: every call
+//!   re-applies the failure set (the pre-PR-4 consumer path, kept as the
+//!   compatibility shim);
+//! * `batch` — a [`QueryEngine`] over the shared frozen artifact: the
+//!   failure set is applied **once** per epoch, the batch served against
+//!   the reusable masked view;
+//! * `par` — the same engine's pooled batch entry point
+//!   ([`QueryEngine::par_route_batch`]), persistent workers, answers
+//!   reassembled in input order.
+//!
+//! Grid: failure scenario (`clear` / `random-f` / `witness-replay`) ×
+//! fault budget × batch size, at a fixed worker-pool width. Every cell
+//! first asserts all three paths returned **bit-identical answers**
+//! (routes, edges, distances, errors — the property the proptest suite
+//! pins), then reports queries/second and speedups vs the router
+//! baseline. The same sweep backs the `querybench` binary, which emits
+//! the machine-readable `BENCH_4.json` artifact CI schema-checks.
+
+use super::{ExperimentContext, ExperimentOutput};
+use crate::json::{num, obj, s, JsonValue};
+use crate::{cell_seed, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spanner_core::routing::{ResilientRouter, Route, RouteError};
+use spanner_core::{FtGreedy, QueryEngine};
+use spanner_faults::FaultSet;
+use spanner_graph::generators::random_geometric;
+use spanner_graph::NodeId;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The query-bench artifact schema tag; bump when the layout changes.
+pub const SCHEMA: &str = "vft-spanner/querybench-1";
+
+/// The stretch target every E15 spanner is built for.
+pub const STRETCH: u64 = 3;
+
+/// The epoch scenarios E15 sweeps, in table order: no failures, `f`
+/// random vertex failures per epoch (exactly the budget), and replay of
+/// the construction's own recorded witness fault sets.
+pub const SCENARIOS: [&str; 3] = ["clear", "random-f", "witness-replay"];
+
+/// One cell of the sweep: one scenario × budget × batch size, measured
+/// over all three read paths.
+#[derive(Clone, Debug)]
+pub struct ThroughputCell {
+    /// The scenario name (one of [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Network size.
+    pub n: usize,
+    /// Spanner size.
+    pub edges: usize,
+    /// The fault budget the spanner was built for (= faults per epoch in
+    /// `random-f`).
+    pub f: usize,
+    /// Queries per epoch.
+    pub batch: usize,
+    /// Fault epochs served.
+    pub epochs: usize,
+    /// Total queries per path (`epochs × batch`).
+    pub queries: usize,
+    /// Worker-pool width of the `par` path.
+    pub threads: usize,
+    /// Single-query router throughput (queries/second).
+    pub router_qps: f64,
+    /// Sequential epoch-batch throughput.
+    pub batch_qps: f64,
+    /// Pooled epoch-batch throughput.
+    pub par_qps: f64,
+    /// Whether all three paths returned bit-identical answers.
+    pub identical: bool,
+}
+
+impl ThroughputCell {
+    /// Sequential-batch speedup over the router baseline, rounded the
+    /// way the artifact records it.
+    pub fn speedup_batch(&self) -> f64 {
+        round2(self.batch_qps / self.router_qps)
+    }
+
+    /// Pooled-batch speedup over the router baseline, rounded the way
+    /// the artifact records it.
+    pub fn speedup_par(&self) -> f64 {
+        round2(self.par_qps / self.router_qps)
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// One epoch's workload: the failure set and the batch of live pairs.
+struct EpochPlan {
+    failures: FaultSet,
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// Builds the per-epoch failure sets + query batches for one cell,
+/// deterministically from the cell seed. Pairs have live, distinct
+/// endpoints (as the scenario engine samples them), so the only errors
+/// serving can return are genuine disconnections.
+fn plan_epochs(
+    n: usize,
+    f: usize,
+    scenario: &str,
+    witnesses: &[FaultSet],
+    epochs: usize,
+    batch: usize,
+    seed: u64,
+) -> Vec<EpochPlan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nonempty: Vec<&FaultSet> = witnesses.iter().filter(|w| !w.is_empty()).collect();
+    (0..epochs)
+        .map(|epoch| {
+            let failures = match scenario {
+                "clear" => FaultSet::vertices([]),
+                "random-f" => {
+                    let mut down = Vec::with_capacity(f);
+                    while down.len() < f {
+                        let v = NodeId::new(rng.gen_range(0..n));
+                        if !down.contains(&v) {
+                            down.push(v);
+                        }
+                    }
+                    FaultSet::vertices(down)
+                }
+                "witness-replay" => {
+                    if nonempty.is_empty() {
+                        FaultSet::vertices([])
+                    } else {
+                        (*nonempty[epoch % nonempty.len()]).clone()
+                    }
+                }
+                other => unreachable!("unknown scenario {other}"),
+            };
+            let live: Vec<NodeId> = (0..n)
+                .map(NodeId::new)
+                .filter(|v| !failures.vertex_faults().contains(v))
+                .collect();
+            let pairs = (0..batch)
+                .map(|_| {
+                    let i = rng.gen_range(0..live.len());
+                    let mut j = rng.gen_range(0..live.len() - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    (live[i], live[j])
+                })
+                .collect();
+            EpochPlan { failures, pairs }
+        })
+        .collect()
+}
+
+type Answers = Vec<Vec<Result<Route, RouteError>>>;
+
+/// Times `serve` over the whole epoch plan `repeats` times, keeping the
+/// minimum wall time (least-noisy sample) and the last run's answers.
+fn measure(
+    repeats: usize,
+    plan: &[EpochPlan],
+    mut serve: impl FnMut(&EpochPlan) -> Vec<Result<Route, RouteError>>,
+) -> (f64, Answers) {
+    let mut best = f64::INFINITY;
+    let mut answers = Vec::new();
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let run: Answers = plan.iter().map(&mut serve).collect();
+        best = best.min(start.elapsed().as_secs_f64());
+        answers = run;
+    }
+    (best, answers)
+}
+
+/// Runs the scenario × budget × batch sweep and returns every cell
+/// (table rendering and JSON emission both feed off this). `threads` is
+/// the pooled path's worker count; `repeats` the min-of-N methodology.
+pub fn sweep(ctx: &ExperimentContext, threads: usize, repeats: usize) -> Vec<ThroughputCell> {
+    let n = ctx.pick(24, 64, 96);
+    let radius = ctx.pick(0.5, 0.3, 0.27);
+    let epochs = ctx.pick(4, 6, 8);
+    let fs: Vec<usize> = ctx.pick(vec![1], vec![1, 2], vec![1, 2]);
+    let batches: Vec<usize> = ctx.pick(vec![8], vec![16, 256], vec![16, 1024]);
+    let threads = threads.max(2);
+
+    let mut graph_rng = StdRng::seed_from_u64(cell_seed(15, 0, 0));
+    let g = random_geometric(n, radius, &mut graph_rng);
+
+    let mut cells = Vec::new();
+    for &f in &fs {
+        // One construction per budget; every path serves the same
+        // artifact data.
+        let ft = FtGreedy::new(&g, STRETCH).faults(f).run();
+        let frozen = Arc::new(ft.freeze(&g));
+        let witnesses = ft.witnesses().to_vec();
+        let spanner = ft.into_spanner();
+        for (s_idx, scenario) in SCENARIOS.iter().enumerate() {
+            for &batch in &batches {
+                let seed = cell_seed(15, (f * 16 + s_idx * 4) as u64, batch as u64);
+                let plan = plan_epochs(n, f, scenario, &witnesses, epochs, batch, seed);
+
+                // Path 1: the one-query-per-epoch router (failure set
+                // re-applied on every single call).
+                let mut router = ResilientRouter::new(spanner.clone());
+                let (router_secs, router_answers) = measure(repeats, &plan, |epoch| {
+                    epoch
+                        .pairs
+                        .iter()
+                        .map(|&(u, v)| router.route(u, v, &epoch.failures))
+                        .collect()
+                });
+
+                // Path 2: sequential epoch batches over the frozen
+                // artifact (failure set applied once per epoch).
+                let mut engine = QueryEngine::new(Arc::clone(&frozen));
+                let (batch_secs, batch_answers) = measure(repeats, &plan, |epoch| {
+                    engine.epoch(&epoch.failures);
+                    engine.route_batch(&epoch.pairs)
+                });
+
+                // Path 3: pooled epoch batches. Warm the pool outside the
+                // timed region (worker spawn is a one-off cost).
+                let mut pooled = QueryEngine::new(Arc::clone(&frozen)).with_threads(threads);
+                pooled.epoch(&plan[0].failures);
+                let _ = pooled.par_route_batch(&plan[0].pairs);
+                let (par_secs, par_answers) = measure(repeats, &plan, |epoch| {
+                    pooled.epoch(&epoch.failures);
+                    pooled.par_route_batch(&epoch.pairs)
+                });
+
+                let identical = router_answers == batch_answers && batch_answers == par_answers;
+                let queries = epochs * batch;
+                cells.push(ThroughputCell {
+                    scenario,
+                    n,
+                    edges: spanner.edge_count(),
+                    f,
+                    batch,
+                    epochs,
+                    queries,
+                    threads,
+                    router_qps: queries as f64 / router_secs.max(1e-9),
+                    batch_qps: queries as f64 / batch_secs.max(1e-9),
+                    par_qps: queries as f64 / par_secs.max(1e-9),
+                    identical,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn cell_json(cell: &ThroughputCell) -> JsonValue {
+    obj([
+        ("scenario", s(cell.scenario)),
+        ("n", num(cell.n as f64)),
+        ("edges_kept", num(cell.edges as f64)),
+        ("f", num(cell.f as f64)),
+        ("batch", num(cell.batch as f64)),
+        ("epochs", num(cell.epochs as f64)),
+        ("queries", num(cell.queries as f64)),
+        ("threads", num(cell.threads as f64)),
+        ("router_qps", num(cell.router_qps.round())),
+        ("batch_qps", num(cell.batch_qps.round())),
+        ("par_qps", num(cell.par_qps.round())),
+        ("speedup_batch", num(cell.speedup_batch())),
+        ("speedup_par", num(cell.speedup_par())),
+        ("identical", JsonValue::Bool(cell.identical)),
+    ])
+}
+
+/// Builds the machine-readable query-bench artifact (the document the
+/// `querybench` binary writes as `BENCH_4.json` and CI schema-checks).
+pub fn artifact(
+    scale_name: &str,
+    threads: usize,
+    repeats: usize,
+    cells: &[ThroughputCell],
+) -> JsonValue {
+    let all_identical = cells.iter().all(|c| c.identical);
+    let best_batch = cells
+        .iter()
+        .map(ThroughputCell::speedup_batch)
+        .fold(0.0, f64::max);
+    let best_par = cells
+        .iter()
+        .map(ThroughputCell::speedup_par)
+        .fold(0.0, f64::max);
+    obj([
+        ("schema", s(SCHEMA)),
+        (
+            "generated_by",
+            s("cargo run --release -p spanner-harness --bin querybench"),
+        ),
+        ("scale", s(scale_name)),
+        ("stretch", num(STRETCH as f64)),
+        ("repeats", num(repeats as f64)),
+        ("pooled_threads", num(threads as f64)),
+        (
+            "records",
+            JsonValue::Array(cells.iter().map(cell_json).collect()),
+        ),
+        (
+            "summary",
+            obj([
+                ("cells", num(cells.len() as f64)),
+                ("results_identical_all", JsonValue::Bool(all_identical)),
+                ("best_speedup_batch", num(best_batch)),
+                ("best_speedup_par", num(best_par)),
+            ]),
+        ),
+    ])
+}
+
+/// Validates a parsed query-bench artifact against the `querybench-1`
+/// schema: tag, per-record keys and sanity, the hard requirement that
+/// **every** record certifies bit-identical answers across the three
+/// read paths, and the summary's agreement with its records.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation found.
+pub fn check_artifact(doc: &JsonValue) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let records = doc
+        .get("records")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing records array")?;
+    if records.is_empty() {
+        return Err("empty records array".into());
+    }
+    let mut best_batch = 0.0f64;
+    let mut best_par = 0.0f64;
+    for (i, record) in records.iter().enumerate() {
+        if record.get("scenario").and_then(JsonValue::as_str).is_none() {
+            return Err(format!("record {i} missing scenario name"));
+        }
+        let field = |key: &str| -> Result<f64, String> {
+            record
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("record {i} missing numeric key {key:?}"))
+        };
+        for key in [
+            "n",
+            "edges_kept",
+            "f",
+            "batch",
+            "epochs",
+            "queries",
+            "threads",
+        ] {
+            field(key)?;
+        }
+        for key in ["router_qps", "batch_qps", "par_qps"] {
+            let qps = field(key)?;
+            if !qps.is_finite() || qps <= 0.0 {
+                return Err(format!("record {i} has a bad {key}: {qps}"));
+            }
+        }
+        best_batch = best_batch.max(field("speedup_batch")?);
+        best_par = best_par.max(field("speedup_par")?);
+        // The hard gate: a single sequential-vs-parallel (or router)
+        // mismatch fails the whole artifact.
+        if record.get("identical") != Some(&JsonValue::Bool(true)) {
+            return Err(format!(
+                "record {i} does not certify identical answers across read paths"
+            ));
+        }
+    }
+    let summary = doc.get("summary").ok_or("missing summary")?;
+    if summary.get("results_identical_all") != Some(&JsonValue::Bool(true)) {
+        return Err("summary does not certify identical answers".into());
+    }
+    for (key, want) in [
+        ("best_speedup_batch", best_batch),
+        ("best_speedup_par", best_par),
+    ] {
+        let claimed = summary
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("summary missing {key}"))?;
+        if (claimed - want).abs() > 1e-9 {
+            return Err(format!(
+                "summary claims {key}={claimed}, records say {want}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs E15. See the module docs.
+pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+    let threads = ctx.threads.clamp(2, 4);
+    let cells = sweep(ctx, threads, ctx.pick(1, 2, 3));
+    let mut table = Table::new(
+        "E15: serving throughput  (freeze-and-serve epochs vs one-query-per-epoch router)",
+        [
+            "scenario",
+            "f",
+            "batch",
+            "queries",
+            "router q/s",
+            "batch q/s",
+            "batch x",
+            "par q/s",
+            "par x",
+            "identical",
+        ],
+    );
+    let mut all_identical = true;
+    let mut best = 0.0f64;
+    for cell in &cells {
+        all_identical &= cell.identical;
+        best = best.max(cell.speedup_batch()).max(cell.speedup_par());
+        table.row([
+            cell.scenario.to_string(),
+            cell.f.to_string(),
+            cell.batch.to_string(),
+            cell.queries.to_string(),
+            format!("{:.0}", cell.router_qps),
+            format!("{:.0}", cell.batch_qps),
+            format!("{:.2}x", cell.speedup_batch()),
+            format!("{:.0}", cell.par_qps),
+            format!("{:.2}x", cell.speedup_par()),
+            if cell.identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let notes = vec![
+        format!(
+            "all read paths bit-identical (routes, edges, dists, errors): {}",
+            if all_identical { "yes" } else { "NO" }
+        ),
+        format!("best epoch-serving speedup vs single-query router: {best:.2}x"),
+    ];
+    ExperimentOutput {
+        id: "e15",
+        title: "Table 11: serving throughput over the frozen artifact",
+        tables: vec![table],
+        figures: Vec::new(),
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+    use crate::json;
+
+    #[test]
+    fn smoke_sweep_is_identical_and_covers_the_grid() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let cells = sweep(&ctx, 2, 1);
+        assert_eq!(
+            cells.len(),
+            SCENARIOS.len(),
+            "3 scenarios x 1 budget x 1 batch"
+        );
+        for cell in &cells {
+            assert!(
+                cell.identical,
+                "{} f={} batch={}: read paths diverged",
+                cell.scenario, cell.f, cell.batch
+            );
+            assert!(cell.router_qps > 0.0 && cell.batch_qps > 0.0 && cell.par_qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn smoke_run_reports_identity() {
+        let out = run(&ExperimentContext::new(Scale::Smoke));
+        assert_eq!(out.id, "e15");
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.contains("bit-identical") && n.contains("yes")));
+        assert_eq!(out.tables[0].row_count(), SCENARIOS.len());
+    }
+
+    #[test]
+    fn artifact_round_trips_and_checks() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let cells = sweep(&ctx, 2, 1);
+        let doc = artifact("smoke", 2, 1, &cells);
+        let text = doc.to_string();
+        let back = json::parse(&text).expect("artifact must be valid JSON");
+        check_artifact(&back).expect("artifact must satisfy its own schema");
+    }
+
+    #[test]
+    fn check_rejects_tampered_artifacts() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let cells = sweep(&ctx, 2, 1);
+        let doc = artifact("smoke", 2, 1, &cells);
+        // Flip one identity certification: must be caught.
+        let text = doc
+            .to_string()
+            .replacen("\"identical\": true", "\"identical\": false", 1);
+        let back = json::parse(&text).unwrap();
+        assert!(check_artifact(&back).is_err());
+        assert!(check_artifact(&json::parse("{\"schema\": \"nope\"}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn epoch_plans_are_deterministic_and_live() {
+        let witnesses = vec![FaultSet::vertices([NodeId::new(3)])];
+        for scenario in SCENARIOS {
+            let a = plan_epochs(20, 2, scenario, &witnesses, 4, 8, 77);
+            let b = plan_epochs(20, 2, scenario, &witnesses, 4, 8, 77);
+            assert_eq!(a.len(), 4);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.failures, y.failures, "{scenario}: fault sets drifted");
+                assert_eq!(x.pairs, y.pairs, "{scenario}: pairs drifted");
+                for &(u, v) in &x.pairs {
+                    assert_ne!(u, v);
+                    assert!(!x.failures.vertex_faults().contains(&u));
+                    assert!(!x.failures.vertex_faults().contains(&v));
+                }
+            }
+        }
+    }
+}

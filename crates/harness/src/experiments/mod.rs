@@ -18,12 +18,14 @@
 //! | e10| fault-injection stretch audit      | Table 6 |
 //! | e13| sporadic-failure simulation        | Table 9 |
 //! | e14| failure-scenario resilience engine | Table 10 |
+//! | e15| freeze-and-serve query throughput  | Table 11 |
 
 pub mod e10_stretch_audit;
 pub mod e11_heuristic;
 pub mod e12_lightness;
 pub mod e13_simulation;
 pub mod e14_scenarios;
+pub mod e15_throughput;
 pub mod e1_size_vs_f;
 pub mod e2_size_vs_n;
 pub mod e3_size_vs_k;
@@ -112,6 +114,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("e12", e12_lightness::run),
         ("e13", e13_simulation::run),
         ("e14", e14_scenarios::run),
+        ("e15", e15_throughput::run),
     ]
 }
 
@@ -126,7 +129,7 @@ mod tests {
             ids,
             vec![
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14"
+                "e14", "e15"
             ]
         );
     }

@@ -33,6 +33,15 @@
 //! cargo run --release -p spanner-harness --bin scenarios -- --out SCENARIOS.json
 //! cargo run --release -p spanner-harness --bin scenarios -- --check SCENARIOS.json
 //! ```
+//!
+//! Track the serving-side throughput trajectory (E15: epoch batches vs
+//! the single-query router, behind the committed `BENCH_4.json`) with
+//! the `querybench` binary:
+//!
+//! ```text
+//! cargo run --release -p spanner-harness --bin querybench -- --out BENCH_4.json
+//! cargo run --release -p spanner-harness --bin querybench -- --check BENCH_4.json
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

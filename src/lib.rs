@@ -39,6 +39,17 @@
 //! // Knock out any single vertex: the survivor still 3-spans.
 //! let audit = verify_ft_exhaustive(&g, ft.spanner(), 1, FaultModel::Vertex);
 //! assert!(audit.satisfied());
+//!
+//! // Serve it: freeze the construction into an immutable artifact and
+//! // answer a batch of queries under one failure epoch.
+//! let artifact = std::sync::Arc::new(ft.freeze(&g));
+//! let mut engine = QueryEngine::new(artifact);
+//! engine.epoch(&FaultSet::vertices([NodeId::new(3)]));
+//! let answers = engine.route_batch(&[
+//!     (NodeId::new(0), NodeId::new(7)),
+//!     (NodeId::new(1), NodeId::new(9)),
+//! ]);
+//! assert!(answers.iter().all(|a| a.is_ok()));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -67,8 +78,8 @@ pub mod prelude {
         verify_ft_sampled, verify_spanner, verify_under_faults,
     };
     pub use spanner_core::{
-        greedy_spanner, peel, verify_blocking_set, BlockingSet, FtGreedy, FtSpanner, OracleKind,
-        Spanner,
+        greedy_spanner, peel, verify_blocking_set, BlockingSet, FrozenSpanner, FtGreedy, FtSpanner,
+        OracleKind, QueryEngine, Spanner,
     };
     pub use spanner_faults::{
         BranchingOracle, ExhaustiveOracle, FaultModel, FaultOracle, FaultSet,

@@ -1,10 +1,12 @@
 //! Workspace smoke test: the facade quickstart, end to end.
 //!
 //! Mirrors the `src/lib.rs` crate-level example — build an FT spanner of
-//! a seeded Erdős–Rényi graph through the prelude, then certify it
-//! exhaustively against every single-vertex fault — so the public entry
-//! path can't rot even if the doctest is skipped.
+//! a seeded Erdős–Rényi graph through the prelude, certify it
+//! exhaustively against every single-vertex fault, then freeze it and
+//! serve a fault epoch through the batch query engine — so the public
+//! entry path can't rot even if the doctest is skipped.
 
+use std::sync::Arc;
 use vft_spanner::prelude::*;
 
 #[test]
@@ -28,6 +30,32 @@ fn facade_quickstart_end_to_end() {
         "FT guarantee violated: {}/{} fault sets failed",
         audit.violations,
         audit.trials
+    );
+
+    // Freeze and serve: one immutable artifact, one fault epoch, a batch
+    // of queries answered identically to the one-at-a-time router.
+    let artifact = Arc::new(ft.freeze(&g));
+    let mut engine = QueryEngine::new(Arc::clone(&artifact)).with_threads(2);
+    let mut router = ResilientRouter::new(ft.into_spanner());
+    let failures = FaultSet::vertices([NodeId::new(3)]);
+    let pairs: Vec<(NodeId, NodeId)> = (0..g.node_count())
+        .filter(|v| *v != 3)
+        .map(|v| (NodeId::new(v), NodeId::new((v + 7) % g.node_count())))
+        .filter(|(u, v)| u != v && v.index() != 3)
+        .collect();
+    engine.epoch(&failures);
+    let batched = engine.route_batch(&pairs);
+    engine.epoch(&failures);
+    let pooled = engine.par_route_batch(&pairs);
+    let one_by_one: Vec<_> = pairs
+        .iter()
+        .map(|&(u, v)| router.route(u, v, &failures))
+        .collect();
+    assert_eq!(batched, one_by_one, "epoch batch must match the router");
+    assert_eq!(pooled, one_by_one, "pooled batch must match the router");
+    assert!(
+        batched.iter().all(|a| a.is_ok()),
+        "a 1-FT spanner serves every live pair under one failure"
     );
 }
 
