@@ -1,7 +1,7 @@
 //! The frozen spanner artifact: the construction's output, sealed for
 //! serving.
 //!
-//! A [`Spanner`](crate::Spanner) is a *construction-time* object: it
+//! A [`Spanner`] is a *construction-time* object: it
 //! grows edge by edge and keeps an incremental CSR view so the fault
 //! oracle can query it mid-build. Once the construction finishes, the
 //! consumer-facing problem inverts — the spanner never changes again,
@@ -24,11 +24,114 @@
 //! seals the subgraph alone; [`FtSpanner::freeze`](crate::FtSpanner::freeze)
 //! additionally records the parent handle, budget, model and witnesses
 //! (the metadata adversarial replay and stretch audits feed on).
+//!
+//! # Persistence: build once, serve many
+//!
+//! The expensive half of the Bodwin–Patel story is *construction* (every
+//! kept edge pays an exact fault-oracle decision); serving is cheap.
+//! [`FrozenSpanner::encode`] therefore turns the artifact into a
+//! versioned binary document (the `VFTSPANR` container of
+//! [`spanner_graph::io::binary`]; byte-level spec in
+//! `docs/ARTIFACT_FORMAT.md`) and [`FrozenSpanner::decode`] loads it
+//! back — in another process, on another machine — without re-running
+//! FT-greedy. Everything a serving replica needs travels in the bytes:
+//! the packed adjacency, stretch/budget/model metadata, the witness
+//! map, both parent↔spanner edge translation tables (the inverse stored
+//! rather than re-derived, so decode's allocations stay bounded by the
+//! input — and revalidated element-wise against the forward table), and
+//! optionally the parent graph itself.
+//!
+//! The codec's contract, pinned by `tests/artifact_props.rs`:
+//!
+//! * `decode(encode(a))` re-encodes **byte-identically** and serves
+//!   every epoch'd query batch **bit-identically** to `a`;
+//! * truncated, corrupt, or crafted input returns a typed
+//!   [`ArtifactError`] — decoding never panics;
+//! * unknown format versions and unknown sections are rejected with
+//!   typed errors, never misread (the compatibility policy).
+//!
+//! The `spanner-artifact` harness binary wraps the codec for the shell
+//! (`build` / `inspect` / `serve`), and CI round-trips an artifact
+//! through a fresh process on every push.
 
 use crate::Spanner;
 use spanner_faults::{FaultModel, FaultSet};
-use spanner_graph::{EdgeId, FaultMask, FrozenCsr, Graph, GraphView};
+use spanner_graph::io::binary::{self, put_u32, put_u64, BinaryError, ByteReader, ContainerWriter};
+use spanner_graph::{EdgeId, FaultMask, FrozenCsr, Graph, GraphView, NodeId};
+use std::error::Error;
+use std::fmt;
 use std::sync::Arc;
+
+/// Magic bytes of a persisted [`FrozenSpanner`] container.
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"VFTSPANR";
+
+/// Format version [`FrozenSpanner::encode`] writes and
+/// [`FrozenSpanner::decode`] requires (exact match; unknown versions are
+/// a typed error, never a guess).
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Construction metadata: stretch, model, budget, counts.
+pub const SECTION_META: u32 = 1;
+/// The spanner adjacency (graph payload, edge ids = spanner edge ids).
+pub const SECTION_SPANNER: u32 = 2;
+/// Spanner-edge → parent-edge id map, in spanner edge-id order.
+pub const SECTION_PARENT_EDGES: u32 = 3;
+/// Recorded witness fault sets, indexed by spanner edge id.
+pub const SECTION_WITNESSES: u32 = 4;
+/// The parent graph (graph payload), present iff the artifact carries
+/// the handle.
+pub const SECTION_PARENT: u32 = 5;
+
+/// Errors from [`FrozenSpanner::decode`]: either the container itself is
+/// bad, or it parsed but describes an inconsistent artifact. Hostile
+/// input always lands here — never in a panic.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The binary container was malformed (truncation, corruption, bad
+    /// magic/version/section framing, invalid graph payload).
+    Format(BinaryError),
+    /// The container parsed, but its sections contradict each other
+    /// (counts disagree, translation table out of range, spanner edges
+    /// absent from the parent, …).
+    Inconsistent {
+        /// What was being cross-checked.
+        context: &'static str,
+        /// The contradiction found.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Format(e) => write!(f, "invalid artifact container: {e}"),
+            ArtifactError::Inconsistent { context, detail } => {
+                write!(f, "inconsistent artifact ({context}): {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArtifactError::Format(e) => Some(e),
+            ArtifactError::Inconsistent { .. } => None,
+        }
+    }
+}
+
+impl From<BinaryError> for ArtifactError {
+    fn from(e: BinaryError) -> Self {
+        ArtifactError::Format(e)
+    }
+}
+
+/// Shorthand for building [`ArtifactError::Inconsistent`].
+fn inconsistent(context: &'static str, detail: String) -> ArtifactError {
+    ArtifactError::Inconsistent { context, detail }
+}
 
 /// Sentinel in the parent→spanner edge map for "not kept".
 const NOT_KEPT: u32 = u32::MAX;
@@ -81,17 +184,8 @@ impl FrozenSpanner {
         witnesses: Vec<FaultSet>,
     ) -> Self {
         let parent_edges = spanner.parent_edge_ids().to_vec();
-        let slots = parent.as_ref().map(|p| p.edge_count()).unwrap_or(0).max(
-            parent_edges
-                .iter()
-                .map(|e| e.index() + 1)
-                .max()
-                .unwrap_or(0),
-        );
-        let mut spanner_of_parent = vec![NOT_KEPT; slots];
-        for (own, parent_id) in parent_edges.iter().enumerate() {
-            spanner_of_parent[parent_id.index()] = own as u32;
-        }
+        let spanner_of_parent =
+            inverse_translation(parent.as_ref().map(|p| p.edge_count()), &parent_edges);
         FrozenSpanner {
             csr: FrozenCsr::from_view(spanner.graph()),
             parent,
@@ -125,7 +219,7 @@ impl FrozenSpanner {
     }
 
     /// The fault budget the spanner was built for (`None` when frozen
-    /// from a bare [`Spanner`](crate::Spanner), which records none).
+    /// from a bare [`Spanner`], which records none).
     pub fn budget(&self) -> Option<usize> {
         self.budget
     }
@@ -163,7 +257,7 @@ impl FrozenSpanner {
 
     /// The spanner copy of a parent edge, if it was kept (O(1), unlike
     /// the linear scan a construction-time
-    /// [`Spanner`](crate::Spanner) would need).
+    /// [`Spanner`] would need).
     pub fn spanner_edge_of_parent(&self, parent_edge: EdgeId) -> Option<EdgeId> {
         match self.spanner_of_parent.get(parent_edge.index()) {
             Some(&own) if own != NOT_KEPT => Some(EdgeId::new(own as usize)),
@@ -185,6 +279,366 @@ impl FrozenSpanner {
                 mask.fault_edge(own);
             }
         }
+    }
+}
+
+/// Builds the parent→spanner inverse of a `parent_edges` table: one slot
+/// per parent edge id (the parent's edge count when the handle is
+/// available, otherwise just enough to cover the referenced ids),
+/// `NOT_KEPT` where the parent edge did not survive. Shared by
+/// [`FrozenSpanner::assemble`] and [`FrozenSpanner::decode`] so the two
+/// construction paths cannot drift.
+fn inverse_translation(parent_edge_count: Option<usize>, parent_edges: &[EdgeId]) -> Vec<u32> {
+    let slots = parent_edge_count.unwrap_or(0).max(
+        parent_edges
+            .iter()
+            .map(|e| e.index() + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    let mut spanner_of_parent = vec![NOT_KEPT; slots];
+    for (own, parent_id) in parent_edges.iter().enumerate() {
+        spanner_of_parent[parent_id.index()] = own as u32;
+    }
+    spanner_of_parent
+}
+
+impl FrozenSpanner {
+    /// Serializes the artifact into the versioned `VFTSPANR` binary
+    /// container (spec: `docs/ARTIFACT_FORMAT.md`). The encoding is
+    /// canonical — the same artifact always yields the same bytes — and
+    /// self-contained: [`FrozenSpanner::decode`] rebuilds an artifact
+    /// that serves bit-identically, in any process, with no access to
+    /// the construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spanner_core::{FrozenSpanner, FtGreedy};
+    /// use spanner_graph::generators::complete;
+    ///
+    /// let g = complete(8);
+    /// let frozen = FtGreedy::new(&g, 3).faults(1).run().freeze(&g);
+    /// let bytes = frozen.encode();
+    /// let back = FrozenSpanner::decode(&bytes)?;
+    /// assert_eq!(back.encode(), bytes); // canonical roundtrip
+    /// # Ok::<(), spanner_core::frozen::ArtifactError>(())
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut meta = Vec::with_capacity(35);
+        put_u64(&mut meta, self.stretch);
+        meta.push(match self.model {
+            FaultModel::Vertex => 0,
+            FaultModel::Edge => 1,
+        });
+        meta.push(self.budget.is_some() as u8);
+        put_u64(&mut meta, self.budget.unwrap_or(0) as u64);
+        put_u64(&mut meta, self.node_count() as u64);
+        put_u64(&mut meta, self.edge_count() as u64);
+
+        let mut spanner = Vec::new();
+        binary::write_view_payload(&self.csr, &mut spanner);
+
+        // Both translation directions travel in the bytes. The inverse
+        // is derivable from the forward table, but *storing* it is what
+        // keeps decode's allocations bounded by the input: its length is
+        // then guarded against the bytes actually present, where a
+        // re-derived table would be sized by an attacker-controlled
+        // maximum id (a crafted 100-byte file claiming parent edge
+        // 0xfffffffe must not conjure a 16 GiB allocation).
+        let mut parent_edges =
+            Vec::with_capacity(16 + 4 * (self.parent_edges.len() + self.spanner_of_parent.len()));
+        put_u64(&mut parent_edges, self.parent_edges.len() as u64);
+        for id in &self.parent_edges {
+            put_u32(&mut parent_edges, id.raw());
+        }
+        put_u64(&mut parent_edges, self.spanner_of_parent.len() as u64);
+        for own in &self.spanner_of_parent {
+            put_u32(&mut parent_edges, *own);
+        }
+
+        let mut witnesses = Vec::new();
+        put_u64(&mut witnesses, self.witnesses.len() as u64);
+        for set in &self.witnesses {
+            witnesses.push(match set.model() {
+                FaultModel::Vertex => 0,
+                FaultModel::Edge => 1,
+            });
+            let (vs, es) = (set.vertex_faults(), set.edge_faults());
+            put_u64(&mut witnesses, set.len() as u64);
+            for v in vs {
+                put_u32(&mut witnesses, v.raw());
+            }
+            for e in es {
+                put_u32(&mut witnesses, e.raw());
+            }
+        }
+
+        let mut w = ContainerWriter::new(ARTIFACT_MAGIC, ARTIFACT_VERSION);
+        w.section(SECTION_META, &meta)
+            .section(SECTION_SPANNER, &spanner)
+            .section(SECTION_PARENT_EDGES, &parent_edges)
+            .section(SECTION_WITNESSES, &witnesses);
+        if let Some(parent) = &self.parent {
+            let mut payload = Vec::new();
+            binary::write_view_payload(parent.as_ref(), &mut payload);
+            w.section(SECTION_PARENT, &payload);
+        }
+        w.finish()
+    }
+
+    /// Deserializes an artifact previously produced by
+    /// [`FrozenSpanner::encode`], revalidating every invariant the
+    /// serving layer relies on (translation tables in range, witness map
+    /// sized to the edge set, spanner edges present in the parent with
+    /// identical endpoints and weights).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] on any defect — truncation, corruption, an
+    /// unknown version or section, or internally contradictory sections.
+    /// No input, however hostile, can cause a panic.
+    pub fn decode(bytes: &[u8]) -> Result<FrozenSpanner, ArtifactError> {
+        let container = binary::parse_container(bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION)?;
+        for section in &container.sections {
+            if !matches!(
+                section.tag,
+                SECTION_META
+                    | SECTION_SPANNER
+                    | SECTION_PARENT_EDGES
+                    | SECTION_WITNESSES
+                    | SECTION_PARENT
+            ) {
+                return Err(BinaryError::UnknownSection { tag: section.tag }.into());
+            }
+        }
+        let require = |tag: u32, name: &'static str| {
+            container
+                .section(tag)
+                .ok_or(BinaryError::MissingSection { name })
+        };
+
+        // META: the declared shape everything else is checked against.
+        let mut r = ByteReader::new(require(SECTION_META, "meta")?);
+        let stretch = r.u64("stretch")?;
+        let model = match r.u8("fault model")? {
+            0 => FaultModel::Vertex,
+            1 => FaultModel::Edge,
+            other => {
+                return Err(BinaryError::Malformed {
+                    context: "fault model",
+                    detail: format!("unknown tag {other}"),
+                }
+                .into())
+            }
+        };
+        let has_budget = match r.u8("budget flag")? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(BinaryError::Malformed {
+                    context: "budget flag",
+                    detail: format!("expected 0 or 1, found {other}"),
+                }
+                .into())
+            }
+        };
+        let budget_raw = r.u64("budget")?;
+        if !has_budget && budget_raw != 0 {
+            return Err(BinaryError::Malformed {
+                context: "budget",
+                detail: format!("flag says absent but value is {budget_raw}"),
+            }
+            .into());
+        }
+        let budget = has_budget.then_some(budget_raw as usize);
+        let node_count = r.u64("node count")? as usize;
+        let edge_count = r.u64("edge count")? as usize;
+        r.expect_drained("meta")?;
+
+        // SPANNER: the packed adjacency, cross-checked against META.
+        let mut r = ByteReader::new(require(SECTION_SPANNER, "spanner adjacency")?);
+        let csr = binary::read_frozen_csr_payload(&mut r)?;
+        r.expect_drained("spanner adjacency")?;
+        if csr.node_count() != node_count || csr.edge_count() != edge_count {
+            return Err(inconsistent(
+                "spanner shape",
+                format!(
+                    "meta declares {node_count} nodes / {edge_count} edges, adjacency holds {} / {}",
+                    csr.node_count(),
+                    csr.edge_count()
+                ),
+            ));
+        }
+
+        // PARENT (optional): full simple-graph invariants re-enforced.
+        let parent = match container.section(SECTION_PARENT) {
+            None => None,
+            Some(payload) => {
+                let mut r = ByteReader::new(payload);
+                let graph = binary::read_graph_payload(&mut r)?;
+                r.expect_drained("parent graph")?;
+                if graph.node_count() != node_count {
+                    return Err(inconsistent(
+                        "parent shape",
+                        format!(
+                            "parent has {} nodes, spanner has {node_count}",
+                            graph.node_count()
+                        ),
+                    ));
+                }
+                Some(Arc::new(graph))
+            }
+        };
+
+        // PARENT_EDGES: both translation directions. The stored inverse
+        // is read first under the bytes-present allocation guard
+        // (`ByteReader::count`), then proven equal to what the freezing
+        // path would have derived — never re-derived from the forward
+        // ids, whose attacker-controlled maximum would otherwise size
+        // the table (and the allocation) unboundedly.
+        let mut r = ByteReader::new(require(SECTION_PARENT_EDGES, "parent-edge table")?);
+        let count = r.count(4, "parent-edge count")?;
+        if count != edge_count {
+            return Err(inconsistent(
+                "parent-edge table",
+                format!("{count} entries for {edge_count} spanner edges"),
+            ));
+        }
+        let mut parent_edges = Vec::with_capacity(count);
+        for _ in 0..count {
+            parent_edges.push(EdgeId::from(r.u32("parent edge id")?));
+        }
+        let slots = r.count(4, "parent-edge slot count")?;
+        let mut spanner_of_parent = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            spanner_of_parent.push(r.u32("parent-edge slot")?);
+        }
+        r.expect_drained("parent-edge table")?;
+        if let Some(&widest) = parent_edges.iter().max() {
+            if widest.index() >= slots {
+                return Err(inconsistent(
+                    "parent-edge table",
+                    format!(
+                        "forward table references parent edge {widest} outside the {slots}-slot inverse"
+                    ),
+                ));
+            }
+        }
+        let expected = inverse_translation(parent.as_ref().map(|p| p.edge_count()), &parent_edges);
+        if expected != spanner_of_parent {
+            return Err(inconsistent(
+                "parent-edge table",
+                format!(
+                    "stored inverse ({} slots) disagrees with the forward table (expect {} slots)",
+                    spanner_of_parent.len(),
+                    expected.len()
+                ),
+            ));
+        }
+        // Injectivity: two spanner edges claiming the same parent edge
+        // would let `apply_faults` mask only one copy of a failed link,
+        // serving routes over the other. The inverse keeps one entry per
+        // distinct parent id, so a simple census detects collisions.
+        let kept = spanner_of_parent.iter().filter(|&&s| s != NOT_KEPT).count();
+        if kept != edge_count {
+            return Err(inconsistent(
+                "parent-edge table",
+                format!(
+                    "forward table is not injective: {edge_count} spanner edges share {kept} parent edges"
+                ),
+            ));
+        }
+        if let Some(parent) = &parent {
+            for (own, parent_id) in parent_edges.iter().enumerate() {
+                if parent_id.index() >= parent.edge_count() {
+                    return Err(inconsistent(
+                        "parent-edge table",
+                        format!(
+                            "spanner edge {own} maps to parent edge {parent_id} but the parent has {} edges",
+                            parent.edge_count()
+                        ),
+                    ));
+                }
+                let own_id = EdgeId::new(own);
+                let e = parent.edge(*parent_id);
+                if csr.edge_endpoints(own_id) != e.endpoints()
+                    || csr.edge_weight(own_id) != e.weight()
+                {
+                    return Err(inconsistent(
+                        "parent-edge table",
+                        format!("spanner edge {own} disagrees with parent edge {parent_id}"),
+                    ));
+                }
+            }
+        }
+
+        // WITNESSES: indexed by spanner edge id; ids validated against
+        // the id spaces they reference (vertex ids over the shared
+        // vertex set, edge ids over the partial spanner, matching
+        // `FtSpanner::witnesses`).
+        let mut r = ByteReader::new(require(SECTION_WITNESSES, "witness map")?);
+        let count = r.count(9, "witness count")?;
+        if count != 0 && count != edge_count {
+            return Err(inconsistent(
+                "witness map",
+                format!("{count} witness sets for {edge_count} spanner edges"),
+            ));
+        }
+        let mut witnesses = Vec::with_capacity(count);
+        for i in 0..count {
+            let model_tag = r.u8("witness model")?;
+            let len = r.count(4, "witness length")?;
+            let mut ids = Vec::with_capacity(len);
+            for _ in 0..len {
+                ids.push(r.u32("witness component id")? as usize);
+            }
+            let bound = match model_tag {
+                0 => node_count,
+                1 => edge_count,
+                other => {
+                    return Err(BinaryError::Malformed {
+                        context: "witness model",
+                        detail: format!("unknown tag {other}"),
+                    }
+                    .into())
+                }
+            };
+            if let Some(&bad) = ids.iter().find(|&&id| id >= bound) {
+                return Err(inconsistent(
+                    "witness map",
+                    format!("witness {i} references component {bad}, id space is {bound}"),
+                ));
+            }
+            // The format stores witness ids normalized (sorted ascending,
+            // deduplicated). The FaultSet constructors would silently
+            // renormalize a crafted record — and then the artifact would
+            // no longer re-encode to the bytes that were accepted, so
+            // reject denormalized input here with a typed error instead.
+            if ids.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(inconsistent(
+                    "witness map",
+                    format!("witness {i} ids are not sorted and deduplicated"),
+                ));
+            }
+            witnesses.push(if model_tag == 0 {
+                FaultSet::vertices(ids.into_iter().map(NodeId::new))
+            } else {
+                FaultSet::edges(ids.into_iter().map(EdgeId::new))
+            });
+        }
+        r.expect_drained("witness map")?;
+
+        Ok(FrozenSpanner {
+            csr,
+            parent,
+            parent_edges,
+            spanner_of_parent,
+            stretch,
+            budget,
+            model,
+            witnesses,
+        })
     }
 }
 
@@ -245,6 +699,250 @@ mod tests {
         assert_eq!(frozen.spanner_edge_of_parent(EdgeId::new(0)), None);
         assert_eq!(frozen.spanner_edge_of_parent(EdgeId::new(99)), None);
         assert_eq!(frozen.parent_edge(EdgeId::new(1)), EdgeId::new(3));
+    }
+
+    #[test]
+    fn codec_round_trips_full_artifact() {
+        let g = complete(10);
+        let ft = FtGreedy::new(&g, 3).faults(2).run();
+        let frozen = ft.freeze(&g);
+        let bytes = frozen.encode();
+        let back = FrozenSpanner::decode(&bytes).unwrap();
+        assert_eq!(back.encode(), bytes, "re-encoding must be byte-identical");
+        assert_eq!(back.node_count(), frozen.node_count());
+        assert_eq!(back.edge_count(), frozen.edge_count());
+        assert_eq!(back.stretch(), frozen.stretch());
+        assert_eq!(back.budget(), frozen.budget());
+        assert_eq!(back.model(), frozen.model());
+        assert_eq!(back.witnesses(), frozen.witnesses());
+        assert_eq!(back.parent_edge_ids(), frozen.parent_edge_ids());
+        assert_eq!(back.spanner_of_parent, frozen.spanner_of_parent);
+        let p = back.parent().unwrap();
+        assert_eq!(p.edge_count(), g.edge_count());
+        for (id, e) in g.edges() {
+            assert_eq!(p.endpoints(id), e.endpoints());
+            assert_eq!(p.weight(id), e.weight());
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_bare_artifact() {
+        let g = cycle(6);
+        let s = Spanner::from_parent_edges(&g, [EdgeId::new(1), EdgeId::new(4)], 5);
+        let frozen = s.freeze();
+        let bytes = frozen.encode();
+        let back = FrozenSpanner::decode(&bytes).unwrap();
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.budget(), None);
+        assert!(back.parent().is_none());
+        assert!(back.witnesses().is_empty());
+        assert_eq!(
+            back.spanner_edge_of_parent(EdgeId::new(4)),
+            Some(EdgeId::new(1))
+        );
+        assert_eq!(back.spanner_edge_of_parent(EdgeId::new(0)), None);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_corruption_everywhere() {
+        let g = complete(7);
+        let bytes = FtGreedy::new(&g, 3).faults(1).run().freeze(&g).encode();
+        for len in 0..bytes.len() {
+            assert!(
+                FrozenSpanner::decode(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must fail"
+            );
+        }
+        for i in (0..bytes.len()).step_by(3) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x2a;
+            assert!(
+                FrozenSpanner::decode(&corrupt).is_err(),
+                "flipping byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_cross_section_contradictions() {
+        use spanner_graph::io::binary::{put_u32, put_u64, write_view_payload, ContainerWriter};
+        let g = cycle(5);
+        let frozen = Spanner::from_parent_edges(&g, g.edge_ids(), 3).freeze();
+        // Rebuild the container by hand with a parent-edge table that is
+        // one entry short: the count cross-check must catch it.
+        let mut meta = Vec::new();
+        put_u64(&mut meta, frozen.stretch());
+        meta.push(0); // vertex model
+        meta.push(0); // no budget
+        put_u64(&mut meta, 0);
+        put_u64(&mut meta, frozen.node_count() as u64);
+        put_u64(&mut meta, frozen.edge_count() as u64);
+        let mut spanner = Vec::new();
+        write_view_payload(frozen.csr(), &mut spanner);
+        let mut short_table = Vec::new();
+        put_u64(&mut short_table, (frozen.edge_count() - 1) as u64);
+        for id in frozen.parent_edge_ids().iter().skip(1) {
+            put_u32(&mut short_table, id.raw());
+        }
+        let mut witnesses = Vec::new();
+        put_u64(&mut witnesses, 0);
+        let mut w = ContainerWriter::new(ARTIFACT_MAGIC, ARTIFACT_VERSION);
+        w.section(SECTION_META, &meta)
+            .section(SECTION_SPANNER, &spanner)
+            .section(SECTION_PARENT_EDGES, &short_table)
+            .section(SECTION_WITNESSES, &witnesses);
+        let err = FrozenSpanner::decode(&w.finish()).unwrap_err();
+        assert!(
+            matches!(err, ArtifactError::Inconsistent { .. }),
+            "want Inconsistent, got {err}"
+        );
+        assert!(err.to_string().contains("parent-edge table"), "{err}");
+    }
+
+    #[test]
+    fn huge_parent_edge_ids_cannot_force_allocations() {
+        use spanner_graph::io::binary::{put_u32, put_u64, write_view_payload, ContainerWriter};
+        // A crafted *bare* artifact (no parent section) whose one
+        // spanner edge claims parent edge id 0xfffffffe. The inverse
+        // table that id implies would be ~16 GiB; decode must reject the
+        // file from its stored (bytes-bounded) sections instead of ever
+        // sizing an allocation from the id.
+        let g = cycle(3);
+        let frozen = Spanner::from_parent_edges(&g, [EdgeId::new(0)], 3).freeze();
+        let mut meta = Vec::new();
+        put_u64(&mut meta, 3);
+        meta.push(0);
+        meta.push(0);
+        put_u64(&mut meta, 0);
+        put_u64(&mut meta, frozen.node_count() as u64);
+        put_u64(&mut meta, 1);
+        let mut spanner = Vec::new();
+        write_view_payload(frozen.csr(), &mut spanner);
+        let mut witnesses = Vec::new();
+        put_u64(&mut witnesses, 0);
+        // Case A: the inverse claims u64::MAX slots — the bytes-present
+        // guard rejects the count before any allocation.
+        // Case B: the inverse is tiny — the forward id falls outside it.
+        for inverse_slots in [u64::MAX, 1] {
+            let mut table = Vec::new();
+            put_u64(&mut table, 1);
+            put_u32(&mut table, 0xffff_fffe);
+            put_u64(&mut table, inverse_slots);
+            if inverse_slots == 1 {
+                put_u32(&mut table, 0);
+            }
+            let mut w = ContainerWriter::new(ARTIFACT_MAGIC, ARTIFACT_VERSION);
+            w.section(SECTION_META, &meta)
+                .section(SECTION_SPANNER, &spanner)
+                .section(SECTION_PARENT_EDGES, &table)
+                .section(SECTION_WITNESSES, &witnesses);
+            let err = FrozenSpanner::decode(&w.finish()).unwrap_err();
+            assert!(
+                err.to_string().contains("parent-edge"),
+                "slots={inverse_slots}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn noninjective_forward_table_rejected() {
+        use spanner_graph::io::binary::{put_u32, put_u64, ContainerWriter};
+        // Two spanner copies of the same physical link, both mapped to
+        // parent edge 2: epoching {e2} would mask only one copy, so the
+        // decoder must refuse the artifact outright.
+        let mut meta = Vec::new();
+        put_u64(&mut meta, 3);
+        meta.push(0);
+        meta.push(0);
+        put_u64(&mut meta, 0);
+        put_u64(&mut meta, 3); // nodes
+        put_u64(&mut meta, 2); // edges
+        let mut spanner = Vec::new();
+        put_u64(&mut spanner, 3);
+        put_u64(&mut spanner, 2);
+        for _ in 0..2 {
+            put_u32(&mut spanner, 0);
+            put_u32(&mut spanner, 1);
+            put_u64(&mut spanner, 1);
+        }
+        let mut table = Vec::new();
+        put_u64(&mut table, 2);
+        put_u32(&mut table, 2);
+        put_u32(&mut table, 2);
+        put_u64(&mut table, 3); // slots 0..=2
+        put_u32(&mut table, NOT_KEPT);
+        put_u32(&mut table, NOT_KEPT);
+        put_u32(&mut table, 1); // later claimant wins, as derivation does
+        let mut witnesses = Vec::new();
+        put_u64(&mut witnesses, 0);
+        let mut w = ContainerWriter::new(ARTIFACT_MAGIC, ARTIFACT_VERSION);
+        w.section(SECTION_META, &meta)
+            .section(SECTION_SPANNER, &spanner)
+            .section(SECTION_PARENT_EDGES, &table)
+            .section(SECTION_WITNESSES, &witnesses);
+        let err = FrozenSpanner::decode(&w.finish()).unwrap_err();
+        assert!(err.to_string().contains("not injective"), "{err}");
+    }
+
+    #[test]
+    fn denormalized_witness_ids_rejected() {
+        use spanner_graph::io::binary::{put_u32, put_u64, write_view_payload, ContainerWriter};
+        // Witness ids arrive unsorted: FaultSet would silently
+        // renormalize them, breaking re-encode byte identity — so decode
+        // must reject them with a typed error instead.
+        let g = cycle(4);
+        let frozen = Spanner::from_parent_edges(&g, [EdgeId::new(0)], 3).freeze();
+        let mut meta = Vec::new();
+        put_u64(&mut meta, 3);
+        meta.push(0);
+        meta.push(0);
+        put_u64(&mut meta, 0);
+        put_u64(&mut meta, frozen.node_count() as u64);
+        put_u64(&mut meta, 1);
+        let mut spanner = Vec::new();
+        write_view_payload(frozen.csr(), &mut spanner);
+        let mut table = Vec::new();
+        put_u64(&mut table, 1);
+        put_u32(&mut table, 0);
+        put_u64(&mut table, 1);
+        put_u32(&mut table, 0);
+        for bad_ids in [[3u32, 1], [2, 2]] {
+            let mut witnesses = Vec::new();
+            put_u64(&mut witnesses, 1);
+            witnesses.push(0); // vertex model
+            put_u64(&mut witnesses, 2);
+            for id in bad_ids {
+                put_u32(&mut witnesses, id);
+            }
+            let mut w = ContainerWriter::new(ARTIFACT_MAGIC, ARTIFACT_VERSION);
+            w.section(SECTION_META, &meta)
+                .section(SECTION_SPANNER, &spanner)
+                .section(SECTION_PARENT_EDGES, &table)
+                .section(SECTION_WITNESSES, &witnesses);
+            let err = FrozenSpanner::decode(&w.finish()).unwrap_err();
+            assert!(
+                err.to_string().contains("sorted and deduplicated"),
+                "{bad_ids:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_version_and_section() {
+        let g = cycle(4);
+        let frozen = Spanner::from_parent_edges(&g, g.edge_ids(), 3).freeze();
+        let bytes = frozen.encode();
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = future.len() - 8;
+        let sum = spanner_graph::io::binary::fnv1a64(&future[..body_len]).to_le_bytes();
+        future[body_len..].copy_from_slice(&sum);
+        assert!(matches!(
+            FrozenSpanner::decode(&future),
+            Err(ArtifactError::Format(
+                spanner_graph::io::binary::BinaryError::UnsupportedVersion { found: 99, .. }
+            ))
+        ));
     }
 
     #[test]

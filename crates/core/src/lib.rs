@@ -25,7 +25,10 @@
 //!   exact per-query contract accounting over [`routing`];
 //! * [`frozen`] / [`query`] — the serving side: freeze the construction
 //!   into an immutable [`FrozenSpanner`] artifact, share it via `Arc`,
-//!   and answer batched queries per fault epoch with [`QueryEngine`].
+//!   and answer batched queries per fault epoch with [`QueryEngine`];
+//!   persist the artifact with [`FrozenSpanner::encode`] and load it in
+//!   a serving replica with [`FrozenSpanner::decode`] — build once,
+//!   serve many, never reconstruct.
 //!
 //! # Quickstart
 //!
@@ -60,7 +63,7 @@ pub mod simulation;
 pub mod verify;
 
 pub use blocking::{verify_blocking_set, BlockingReport, BlockingSet};
-pub use frozen::FrozenSpanner;
+pub use frozen::{ArtifactError, FrozenSpanner};
 pub use ft_greedy::{FtGreedy, FtSpanner, OracleKind};
 pub use greedy::{greedy_spanner, greedy_spanner_masked};
 pub use peeling::{expected_yield, peel, PeelOutcome};

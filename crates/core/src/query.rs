@@ -47,6 +47,15 @@
 //! the same monomorphized Dijkstra over the same frozen adjacency with
 //! the same tie-breaks as the sequential path, so thread count and
 //! scheduling cannot influence a single bit of the output.
+//!
+//! The engine does not care where its artifact came from: one built in
+//! this process ([`Spanner::freeze`](crate::Spanner::freeze) /
+//! [`FtSpanner::freeze`](crate::FtSpanner::freeze)) and one loaded from
+//! a persisted file
+//! ([`FrozenSpanner::decode`](crate::FrozenSpanner::decode), see the
+//! [`frozen`](crate::frozen) module docs) serve bit-identical answers —
+//! that is the build-once/serve-many contract, property-tested in
+//! `tests/artifact_props.rs`.
 
 use crate::routing::{Route, RouteError};
 use crate::FrozenSpanner;
@@ -364,7 +373,7 @@ impl QueryEngine {
 
     /// Serves a whole batch against the current epoch, one answer per
     /// pair in input order, amortizing one Dijkstra search per distinct
-    /// query source (see [`serve_batch`]'s bit-identity note). A failed
+    /// query source (see `serve_batch`'s bit-identity note). A failed
     /// or unreachable pair yields its error in its own slot without
     /// disturbing the rest of the batch.
     pub fn route_batch(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<Result<Route, RouteError>> {

@@ -6,7 +6,7 @@
 //! inflation) in advance.
 //!
 //! [`ResilientRouter`] is the one-query-at-a-time compatibility surface:
-//! a thin shim over a [`QueryEngine`](crate::QueryEngine) that opens a
+//! a thin shim over a [`QueryEngine`] that opens a
 //! fresh fault epoch per call. Serving loops that answer many queries
 //! under one failure state — or want batched / parallel answers — should
 //! freeze the spanner ([`Spanner::freeze`]) and drive the engine's epoch

@@ -59,7 +59,11 @@
 //! step is costed against that epoch without path extraction or
 //! per-query allocation. Endpoints are index-sampled from a per-step
 //! live list and ground-truth parent distances come from a persistent
-//! [`DijkstraEngine`].
+//! [`DijkstraEngine`]. Because the engine layer is indifferent to where
+//! its artifact came from, the same drills run against a spanner frozen
+//! in-process or one loaded from a persisted artifact file
+//! ([`FrozenSpanner::decode`](crate::FrozenSpanner::decode)) — the
+//! `network_resilience` example does exactly that.
 
 use crate::routing::RouteError;
 use crate::{FtSpanner, QueryEngine, Spanner};

@@ -28,7 +28,7 @@ pub struct Spanner {
     graph: Graph,
     /// Flat CSR mirror of `graph`, materialized lazily on the first
     /// [`Spanner::view`] call and from then on kept current by
-    /// [`Spanner::push_edge`], so shortest-path-heavy construction loops
+    /// `Spanner::push_edge`, so shortest-path-heavy construction loops
     /// (the FT-greedy fault oracle, the classic greedy test) traverse
     /// contiguous memory instead of the Vec-of-Vec adjacency — while
     /// spanners that never query the view (baseline constructions,
@@ -94,7 +94,7 @@ impl Spanner {
     }
 
     /// Creates an empty spanner over `parent`'s vertex set, to be grown with
-    /// [`Spanner::push_edge`] (used by the greedy constructions).
+    /// `Spanner::push_edge` (used by the greedy constructions).
     pub(crate) fn empty(parent: &Graph, stretch: u64) -> Self {
         Spanner {
             graph: Graph::new(parent.node_count()),
@@ -129,7 +129,7 @@ impl Spanner {
 
     /// The spanner as a flat CSR view (same vertex and edge ids as
     /// [`Spanner::graph`], same adjacency order). Built from the graph on
-    /// first call, then kept incremental by [`Spanner::push_edge`]; this
+    /// first call, then kept incremental by `Spanner::push_edge`; this
     /// is what the construction hot loops run their bounded Dijkstras
     /// over.
     pub fn view(&self) -> &IncrementalCsr {

@@ -1,0 +1,180 @@
+//! The persisted artifact must be invisible in the answers.
+//!
+//! PR 5 gave [`FrozenSpanner`] a versioned binary codec
+//! ([`FrozenSpanner::encode`] / [`FrozenSpanner::decode`]) so serving
+//! replicas can load an artifact instead of re-running FT-greedy. These
+//! property tests pin the codec's whole contract, across random weighted
+//! graphs, both fault models, and budgets `f ∈ {0, 1, 2}`:
+//!
+//! * **Canonical roundtrip** — `decode(encode(a))` re-encodes to the
+//!   exact original bytes (so artifacts can be content-addressed);
+//! * **Serving bit-identity** — a [`QueryEngine`] over the decoded
+//!   artifact answers every epoch'd `route_batch` identically (routes,
+//!   edges, distances, errors) to an engine over the original, for
+//!   failure epochs within and beyond the budget, including replays of
+//!   the artifact's own witness fault sets;
+//! * **Hostile-input safety** — truncating the byte stream at any point
+//!   or flipping any byte yields a typed error, never a panic.
+
+use proptest::prelude::*;
+use spanner_core::routing::{Route, RouteError};
+use spanner_core::{FrozenSpanner, FtGreedy, QueryEngine};
+use spanner_faults::{FaultModel, FaultSet};
+use spanner_graph::{EdgeId, Graph, NodeId, Weight};
+use std::sync::Arc;
+
+fn arb_graph(max_n: usize, max_w: u64) -> impl Strategy<Value = Graph> {
+    (5..=max_n).prop_flat_map(move |n| {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let m = pairs.len();
+        (
+            proptest::collection::vec(0..10u32, m),
+            proptest::collection::vec(1..=max_w, m),
+        )
+            .prop_map(move |(keep, ws)| {
+                let mut g = Graph::new(n);
+                for (i, &(u, v)) in pairs.iter().enumerate() {
+                    if keep[i] < 7 {
+                        g.add_edge_unchecked(
+                            NodeId::new(u),
+                            NodeId::new(v),
+                            Weight::new(ws[i]).unwrap(),
+                        );
+                    }
+                }
+                g
+            })
+    })
+}
+
+fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+    (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (NodeId::new(u), NodeId::new(v))))
+        .collect()
+}
+
+/// Serves one epoch'd batch: apply `failures` once, answer all pairs.
+fn serve(
+    engine: &mut QueryEngine,
+    failures: &FaultSet,
+    pairs: &[(NodeId, NodeId)],
+) -> Vec<Result<Route, RouteError>> {
+    engine.epoch(failures);
+    engine.route_batch(pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn decoded_artifact_reencodes_and_serves_bit_identically(
+        g in arb_graph(9, 4),
+        f in 0usize..3,
+        edge_model in any::<bool>(),
+        fault_raw in proptest::collection::vec(any::<u32>(), 0..4),
+    ) {
+        let model = if edge_model { FaultModel::Edge } else { FaultModel::Vertex };
+        let ft = FtGreedy::new(&g, 3).faults(f).model(model).run();
+        let original = Arc::new(ft.freeze(&g));
+
+        // Canonical roundtrip: decode, then re-encode byte-identically.
+        let bytes = original.encode();
+        let decoded = Arc::new(FrozenSpanner::decode(&bytes).expect("own encoding must decode"));
+        prop_assert_eq!(decoded.encode(), bytes);
+
+        // Serving bit-identity over a schedule of epochs: the random
+        // failure set (within or beyond budget), the empty epoch, and a
+        // replay of every nonempty recorded witness set.
+        let random_set = match model {
+            FaultModel::Vertex => FaultSet::vertices(
+                fault_raw.iter().map(|r| NodeId::new(*r as usize % g.node_count())),
+            ),
+            FaultModel::Edge => FaultSet::edges(
+                fault_raw
+                    .iter()
+                    .filter(|_| g.edge_count() > 0)
+                    .map(|r| EdgeId::new(*r as usize % g.edge_count().max(1))),
+            ),
+        };
+        let mut epochs = vec![random_set, FaultSet::empty(model)];
+        epochs.extend(
+            original
+                .witnesses()
+                .iter()
+                .filter(|w| !w.is_empty() && w.model() == FaultModel::Vertex)
+                .take(4)
+                .cloned(),
+        );
+        let pairs = all_pairs(g.node_count());
+        let mut served_original = QueryEngine::new(Arc::clone(&original));
+        let mut served_decoded = QueryEngine::new(Arc::clone(&decoded));
+        for failures in &epochs {
+            prop_assert_eq!(
+                serve(&mut served_decoded, failures, &pairs),
+                serve(&mut served_original, failures, &pairs),
+                "decoded artifact diverged under epoch {}",
+                failures
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_bytes_error_and_never_panic(
+        g in arb_graph(7, 3),
+        f in 0usize..2,
+        cut_raw in any::<u32>(),
+        flip_at_raw in any::<u32>(),
+        flip_with_raw in any::<u32>(),
+    ) {
+        let ft = FtGreedy::new(&g, 3).faults(f).run();
+        let bytes = ft.freeze(&g).encode();
+        // Any truncation point: typed error, no panic.
+        let cut = cut_raw as usize % bytes.len();
+        prop_assert!(FrozenSpanner::decode(&bytes[..cut]).is_err());
+        // Any single-byte corruption: typed error, no panic.
+        let mut corrupt = bytes.clone();
+        let at = flip_at_raw as usize % corrupt.len();
+        corrupt[at] ^= (flip_with_raw % 255 + 1) as u8;
+        prop_assert!(FrozenSpanner::decode(&corrupt).is_err());
+    }
+}
+
+/// The decoded artifact also plugs into the *pooled* batch path
+/// unchanged — `Arc`-shared into a multi-threaded engine with answers
+/// bit-identical to the original's sequential batches.
+#[test]
+fn decoded_artifact_drives_the_worker_pool() {
+    let g = spanner_graph::generators::complete(10);
+    let ft = FtGreedy::new(&g, 3).faults(1).run();
+    let original = Arc::new(ft.freeze(&g));
+    let decoded = Arc::new(FrozenSpanner::decode(&original.encode()).unwrap());
+    let pairs = all_pairs(10);
+    for failed in [0usize, 3, 9] {
+        let failures = FaultSet::vertices([NodeId::new(failed)]);
+        let mut seq = QueryEngine::new(Arc::clone(&original));
+        let mut pooled = QueryEngine::new(Arc::clone(&decoded)).with_threads(3);
+        pooled.epoch(&failures);
+        assert_eq!(
+            pooled.par_route_batch(&pairs),
+            serve(&mut seq, &failures, &pairs),
+            "pooled decoded artifact diverged failing v{failed}"
+        );
+    }
+}
+
+/// A v1 decoder must refuse, with a typed error, an artifact whose
+/// header claims a future version — even when everything else is valid.
+#[test]
+fn future_versions_are_refused_not_guessed() {
+    let g = spanner_graph::generators::cycle(5);
+    let ft = FtGreedy::new(&g, 3).faults(1).run();
+    let mut bytes = ft.freeze(&g).encode();
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let body = bytes.len() - 8;
+    let sum = spanner_graph::io::binary::fnv1a64(&bytes[..body]).to_le_bytes();
+    bytes[body..].copy_from_slice(&sum);
+    let err = FrozenSpanner::decode(&bytes).unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+}

@@ -1,7 +1,7 @@
 //! The Bodwin–Patel / BDPW18 lower-bound family.
 //!
 //! The paper's closing remark describes the vertex-fault-tolerance lower
-//! bound graph of [BDPW18]: combine "an arbitrary graph of girth > k+1 with
+//! bound graph of BDPW18: combine "an arbitrary graph of girth > k+1 with
 //! a biclique on ⌊f/2⌋ nodes" — i.e. *blow up* every base vertex into an
 //! independent set of `t ≈ f/2` copies and every base edge into a complete
 //! bipartite `K_{t,t}` between the copy sets. The result:

@@ -9,7 +9,7 @@
 //! * **Theorem 1**: greedy output has `O(f² · b(n/f, k+1))` edges;
 //! * **Corollary 2** (stretch `2k−1`, Moore plugged in):
 //!   `O(n^{1+1/k} · f^{1−1/k})`;
-//! * prior work [BDPW18] proved the same shape with an extra `exp(k)`
+//! * prior work BDPW18 proved the same shape with an extra `exp(k)`
 //!   factor — the curve kept here for comparison plots.
 
 /// Moore bound: an upper estimate of `b(n, k)`, the max edge count at girth
@@ -54,7 +54,7 @@ pub fn corollary2_bound(n: f64, f: u64, k: u64) -> f64 {
     n.powf(1.0 + 1.0 / kf) * f_eff.powf(1.0 - 1.0 / kf)
 }
 
-/// The prior state of the art [BDPW18] for stretch `2k − 1`:
+/// The prior state of the art BDPW18 for stretch `2k − 1`:
 /// `exp(k) · n^{1+1/k} · f^{1−1/k}` (the paper's Corollary 2 removes the
 /// `exp(k)` factor).
 pub fn bdpw18_bound(n: f64, f: u64, k: u64) -> f64 {

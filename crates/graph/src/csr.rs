@@ -203,7 +203,7 @@ const PENDING_REBUILD_LIMIT: usize = 32;
 /// Node and edge ids match the [`Graph`] the view mirrors (edges get dense
 /// ids in append order). [`IncrementalCsr::push_edge`] is amortized O(1);
 /// neighbor iteration touches the frozen contiguous slice for the vertex
-/// plus at most [`PENDING_REBUILD_LIMIT`] buffered entries. This is the
+/// plus at most `PENDING_REBUILD_LIMIT` buffered entries. This is the
 /// structure the FT-greedy oracle hot loop runs its Dijkstras over.
 ///
 /// Neighbor order follows the [`GraphView`] determinism contract
@@ -290,7 +290,7 @@ impl IncrementalCsr {
     }
 
     /// Appends an edge, returning its dense id. Amortized O(1): every
-    /// [`PENDING_REBUILD_LIMIT`] appends trigger an O(n + m) fold of the
+    /// `PENDING_REBUILD_LIMIT` appends trigger an O(n + m) fold of the
     /// append buffer into the frozen arrays.
     ///
     /// # Panics
@@ -359,14 +359,14 @@ impl IncrementalCsr {
     }
 
     /// Number of buffer folds performed so far (a reuse diagnostic: after
-    /// warm-up the count advances once per [`PENDING_REBUILD_LIMIT`]
+    /// warm-up the count advances once per `PENDING_REBUILD_LIMIT`
     /// appends, never per query).
     pub fn rebuild_count(&self) -> u64 {
         self.rebuilds
     }
 
     /// Number of edges still in the append buffer (bounded by
-    /// [`PENDING_REBUILD_LIMIT`]).
+    /// `PENDING_REBUILD_LIMIT`).
     pub fn pending_len(&self) -> usize {
         self.edge_u.len() - self.frozen
     }

@@ -17,7 +17,7 @@
 //! # Scratch-reuse contract
 //!
 //! The engine is generic over [`GraphView`], so the same monomorphized
-//! loop serves both the growable [`Graph`] and the flat
+//! loop serves both the growable [`Graph`](crate::Graph) and the flat
 //! [`IncrementalCsr`](crate::IncrementalCsr) layouts. Two rules keep the
 //! hot path allocation-free:
 //!

@@ -1,16 +1,33 @@
-//! Plain-text edge-list serialization.
+//! Graph serialization: text edge lists and versioned binary containers.
 //!
-//! Format (one record per line, `#` comments allowed):
+//! Two formats with two audiences live here:
 //!
-//! ```text
-//! # nodes <n>
-//! nodes 7
-//! 0 1 5      # u v weight
-//! 1 2        # weight omitted = 1
-//! ```
+//! * **This module** — the plain-text edge list: how experiment
+//!   artifacts are dumped for external plotting and how test fixtures
+//!   are checked in. One record per line, `#` comments allowed:
 //!
-//! The format is deliberately trivial: it is how experiment artifacts are
-//! dumped for external plotting and how test fixtures are checked in.
+//!   ```text
+//!   # nodes <n>
+//!   nodes 7
+//!   0 1 5      # u v weight
+//!   1 2        # weight omitted = 1
+//!   ```
+//!
+//! * **[`binary`]** — the versioned binary container (magic bytes,
+//!   format version, length-prefixed sections, trailing checksum) that
+//!   frozen serving artifacts persist through: the [`FrozenCsr`]
+//!   codec here, and `spanner_core`'s `FrozenSpanner::encode`/`decode`
+//!   built on the same primitives. Byte-level spec in
+//!   `docs/ARTIFACT_FORMAT.md`.
+//!
+//! Both decoders share the same safety contract: malformed input — a
+//! typo'd fixture or a truncated/corrupt/hostile artifact — returns a
+//! typed error ([`ParseGraphError`] / [`binary::BinaryError`]), never a
+//! panic.
+//!
+//! [`FrozenCsr`]: crate::FrozenCsr
+
+pub mod binary;
 
 use crate::{Graph, GraphError, NodeId, Weight};
 use std::error::Error;

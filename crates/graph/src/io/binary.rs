@@ -1,0 +1,811 @@
+//! Versioned binary containers — the persistence substrate for frozen
+//! artifacts.
+//!
+//! The text edge list ([`io::to_edge_list`](crate::io::to_edge_list)) is
+//! for humans and fixtures; serving replicas ship *binary* artifacts.
+//! This module defines the container layout every `vft-spanner` binary
+//! artifact uses (byte-level spec in `docs/ARTIFACT_FORMAT.md`):
+//!
+//! ```text
+//! magic: [u8; 8]                      file-type tag, e.g. b"VFTGRAPH"
+//! version: u32 LE                     format version (exact match required)
+//! sections: repeated
+//!     tag: u32 LE                     section identifier
+//!     len: u64 LE                     payload length in bytes
+//!     payload: [u8; len]
+//! checksum: u64 LE                    FNV-1a 64 over all preceding bytes
+//! ```
+//!
+//! Three properties the serving story depends on:
+//!
+//! * **Decoding never panics.** Every read is bounds-checked through
+//!   [`ByteReader`]; truncated, corrupt, or crafted input surfaces as a
+//!   typed [`BinaryError`] (the binary sibling of
+//!   [`ParseGraphError`](crate::io::ParseGraphError)), never a panic or
+//!   an abort — and claimed lengths are validated against the bytes
+//!   actually present *before* any allocation is sized from them.
+//! * **Version compatibility is explicit.** A decoder accepts exactly
+//!   the versions it knows ([`BinaryError::UnsupportedVersion`]
+//!   otherwise) and rejects section tags it does not recognize: a v1
+//!   reader refuses v2 files with a typed error instead of
+//!   misinterpreting them.
+//! * **Encoding is canonical.** The same value always encodes to the
+//!   same bytes (sections in fixed order, adjacency derived from the
+//!   edge list), so `encode ∘ decode ∘ encode` is byte-identical and
+//!   artifacts can be compared or content-addressed by hash.
+//!
+//! On top of the container sit the graph payload codecs:
+//! [`write_view_payload`] serializes any [`GraphView`] as `node_count,
+//! edge_count, (u, v, w)*`; [`read_frozen_csr_payload`] rebuilds a
+//! packed [`FrozenCsr`] from it (adjacency reconstructed in the
+//! [`GraphView`] determinism order — increasing edge id per vertex — so
+//! the rebuilt layout traverses and tie-breaks exactly like the
+//! original); [`read_graph_payload`] rebuilds a [`Graph`] enforcing the
+//! simple-graph invariants. [`encode_frozen_csr`] / [`decode_frozen_csr`]
+//! wrap the payload in a standalone `VFTGRAPH` container;
+//! `spanner_core`'s `FrozenSpanner::encode`/`decode` embed the same
+//! payloads as sections of the richer `VFTSPANR` artifact.
+//!
+//! # Examples
+//!
+//! ```
+//! use spanner_graph::io::binary;
+//! use spanner_graph::{generators, FrozenCsr, GraphView};
+//!
+//! let g = generators::petersen();
+//! let frozen = FrozenCsr::from_view(&g);
+//! let bytes = binary::encode_frozen_csr(&frozen);
+//! let back = binary::decode_frozen_csr(&bytes)?;
+//! assert_eq!(back.edge_count(), 15);
+//! // Canonical: re-encoding reproduces the bytes exactly.
+//! assert_eq!(binary::encode_frozen_csr(&back), bytes);
+//! // Hostile input fails loudly, never panics.
+//! assert!(binary::decode_frozen_csr(&bytes[..bytes.len() - 1]).is_err());
+//! # Ok::<(), spanner_graph::io::binary::BinaryError>(())
+//! ```
+
+use crate::{FrozenCsr, Graph, GraphError, GraphView, NodeId, Weight};
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes of a standalone frozen-graph container
+/// ([`encode_frozen_csr`]).
+pub const FROZEN_CSR_MAGIC: [u8; 8] = *b"VFTGRAPH";
+
+/// Current version of the binary container format this module reads and
+/// writes. Decoders require an exact match; see the compatibility policy
+/// in `docs/ARTIFACT_FORMAT.md`.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tag of the adjacency payload in a [`FROZEN_CSR_MAGIC`] file.
+const SECTION_ADJACENCY: u32 = 1;
+
+/// Byte width of the container's header (magic + version).
+const HEADER_LEN: usize = 8 + 4;
+
+/// Byte width of the trailing checksum.
+const CHECKSUM_LEN: usize = 8;
+
+/// Errors from decoding a binary container. Every malformed input maps
+/// to one of these — decoding never panics.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BinaryError {
+    /// The input ended before the field named by `context` was complete.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// The first eight bytes are not the expected file-type magic.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 8],
+        /// The magic this decoder expected.
+        expected: [u8; 8],
+    },
+    /// The header names a format version this decoder does not speak.
+    UnsupportedVersion {
+        /// The version in the file.
+        found: u32,
+        /// The version this decoder supports.
+        supported: u32,
+    },
+    /// The trailing checksum does not match the content (corruption).
+    ChecksumMismatch {
+        /// The checksum stored in the file.
+        stored: u64,
+        /// The checksum recomputed from the content.
+        computed: u64,
+    },
+    /// A section tag this decoder does not recognize.
+    UnknownSection {
+        /// The offending tag.
+        tag: u32,
+    },
+    /// The same section tag appeared twice.
+    DuplicateSection {
+        /// The offending tag.
+        tag: u32,
+    },
+    /// A section the format requires was absent.
+    MissingSection {
+        /// Human name of the missing section.
+        name: &'static str,
+    },
+    /// A field parsed but its value violates the format's invariants.
+    Malformed {
+        /// What was being validated.
+        context: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The decoded edge list violated graph invariants
+    /// (range/loops/duplicates), reported by the graph layer.
+    Graph(GraphError),
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryError::Truncated { context } => {
+                write!(f, "input truncated while reading {context}")
+            }
+            BinaryError::BadMagic { found, expected } => write!(
+                f,
+                "bad magic {found:?} (expected {:?})",
+                String::from_utf8_lossy(expected)
+            ),
+            BinaryError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this decoder speaks version {supported})"
+            ),
+            BinaryError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            BinaryError::UnknownSection { tag } => write!(f, "unknown section tag {tag}"),
+            BinaryError::DuplicateSection { tag } => write!(f, "duplicate section tag {tag}"),
+            BinaryError::MissingSection { name } => write!(f, "missing required {name} section"),
+            BinaryError::Malformed { context, detail } => {
+                write!(f, "malformed {context}: {detail}")
+            }
+            BinaryError::Graph(e) => write!(f, "invalid graph payload: {e}"),
+        }
+    }
+}
+
+impl Error for BinaryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BinaryError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for BinaryError {
+    fn from(e: GraphError) -> Self {
+        BinaryError::Graph(e)
+    }
+}
+
+/// FNV-1a 64-bit hash — the container's integrity checksum. Not
+/// cryptographic; it detects truncation and accidental corruption, which
+/// is the contract (artifacts are trusted content once verified).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// A bounds-checked cursor over untrusted bytes: every read either
+/// yields a value or a typed [`BinaryError::Truncated`] — no panics, no
+/// silent wraparound.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice for reading from the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes, or reports what was being read.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], BinaryError> {
+        if self.remaining() < n {
+            return Err(BinaryError::Truncated { context });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, BinaryError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, BinaryError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, BinaryError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Rejects trailing bytes after a fully parsed payload: a section
+    /// that decodes but leaves unread bytes is malformed, not merely
+    /// padded.
+    pub fn expect_drained(&self, context: &'static str) -> Result<(), BinaryError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(BinaryError::Malformed {
+                context,
+                detail: format!("{} trailing bytes", self.remaining()),
+            })
+        }
+    }
+
+    /// Reads a length-like `u64` and proves it fits in memory here and
+    /// now: the claimed `count` of `item_width`-byte items must not
+    /// exceed the bytes actually remaining. This is what makes it safe
+    /// to size allocations from decoded counts — a crafted
+    /// `count = u64::MAX` fails the comparison instead of aborting the
+    /// process in `Vec::with_capacity`.
+    pub fn count(
+        &mut self,
+        item_width: usize,
+        context: &'static str,
+    ) -> Result<usize, BinaryError> {
+        let raw = self.u64(context)?;
+        let fits = usize::try_from(raw)
+            .ok()
+            .and_then(|c| c.checked_mul(item_width))
+            .is_some_and(|total| total <= self.remaining());
+        if !fits {
+            return Err(BinaryError::Malformed {
+                context,
+                detail: format!(
+                    "claimed count {raw} x {item_width} bytes exceeds the {} bytes present",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(raw as usize)
+    }
+}
+
+/// Builds a container: magic + version, then sections in call order,
+/// sealed by [`ContainerWriter::finish`] with the trailing checksum.
+#[derive(Debug)]
+pub struct ContainerWriter {
+    buf: Vec<u8>,
+}
+
+impl ContainerWriter {
+    /// Starts a container with the given magic and version.
+    pub fn new(magic: [u8; 8], version: u32) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&magic);
+        put_u32(&mut buf, version);
+        ContainerWriter { buf }
+    }
+
+    /// Appends one length-prefixed section.
+    pub fn section(&mut self, tag: u32, payload: &[u8]) -> &mut Self {
+        put_u32(&mut self.buf, tag);
+        put_u64(&mut self.buf, payload.len() as u64);
+        self.buf.extend_from_slice(payload);
+        self
+    }
+
+    /// Seals the container: computes the checksum over everything
+    /// written so far and appends it.
+    pub fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv1a64(&self.buf);
+        put_u64(&mut self.buf, checksum);
+        self.buf
+    }
+}
+
+/// One decoded (but not yet interpreted) section of a container.
+#[derive(Debug)]
+pub struct Section<'a> {
+    /// The section's tag.
+    pub tag: u32,
+    /// The section's raw payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// A structurally valid container: magic matched, checksum verified,
+/// version accepted, sections split. Interpreting the payloads is the
+/// caller's job.
+#[derive(Debug)]
+pub struct Container<'a> {
+    /// The format version the file declares.
+    pub version: u32,
+    /// The sections in file order (tags verified unique).
+    pub sections: Vec<Section<'a>>,
+}
+
+impl<'a> Container<'a> {
+    /// The payload of the section with `tag`, if present.
+    pub fn section(&self, tag: u32) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.tag == tag)
+            .map(|s| s.payload)
+    }
+}
+
+/// Parses and verifies a container envelope: magic, version (exact
+/// match), trailing checksum (verified *before* any section is
+/// interpreted, so corruption is reported as corruption rather than as
+/// whatever field it happened to land in), and the section framing.
+///
+/// # Errors
+///
+/// Any structural defect maps to the matching [`BinaryError`] variant;
+/// no input can cause a panic.
+pub fn parse_container<'a>(
+    bytes: &'a [u8],
+    magic: [u8; 8],
+    supported_version: u32,
+) -> Result<Container<'a>, BinaryError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(BinaryError::Truncated {
+            context: "container header",
+        });
+    }
+    let body = &bytes[..bytes.len() - CHECKSUM_LEN];
+    let mut tail = ByteReader::new(&bytes[bytes.len() - CHECKSUM_LEN..]);
+    let stored = tail.u64("checksum")?;
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(BinaryError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = ByteReader::new(body);
+    let found = r.take(8, "magic")?;
+    if found != magic {
+        let mut found_arr = [0u8; 8];
+        found_arr.copy_from_slice(found);
+        return Err(BinaryError::BadMagic {
+            found: found_arr,
+            expected: magic,
+        });
+    }
+    let version = r.u32("version")?;
+    if version != supported_version {
+        return Err(BinaryError::UnsupportedVersion {
+            found: version,
+            supported: supported_version,
+        });
+    }
+    let mut sections = Vec::new();
+    while !r.is_empty() {
+        let tag = r.u32("section tag")?;
+        let len = r.count(1, "section length")?;
+        let payload = r.take(len, "section payload")?;
+        if sections.iter().any(|s: &Section<'_>| s.tag == tag) {
+            return Err(BinaryError::DuplicateSection { tag });
+        }
+        sections.push(Section { tag, payload });
+    }
+    Ok(Container { version, sections })
+}
+
+/// Serializes any graph view as the canonical edge-list payload:
+/// `node_count u64, edge_count u64`, then one `(u u32, v u32, w u64)`
+/// record per edge in edge-id order. Adjacency is *not* stored — it is
+/// derivable (and re-derived on decode) from the edge list under the
+/// [`GraphView`] neighbor-order contract, which keeps the payload
+/// minimal and the encoding canonical.
+pub fn write_view_payload<V: GraphView>(view: &V, out: &mut Vec<u8>) {
+    put_u64(out, view.node_count() as u64);
+    put_u64(out, view.edge_count() as u64);
+    for e in 0..view.edge_count() {
+        let id = crate::EdgeId::new(e);
+        let (u, v) = view.edge_endpoints(id);
+        put_u32(out, u.raw());
+        put_u32(out, v.raw());
+        put_u64(out, view.edge_weight(id).get());
+    }
+}
+
+/// Byte width of one `(u, v, w)` edge record in a graph payload.
+const EDGE_RECORD_LEN: usize = 4 + 4 + 8;
+
+/// Node counts a decoder accepts unconditionally, regardless of payload
+/// size (see [`read_graph_header`]).
+const NODE_COUNT_FLOOR: usize = 1 << 16;
+
+/// Above [`NODE_COUNT_FLOOR`], every claimed node must be backed by at
+/// least `1/NODE_BYTES_FACTOR` payload bytes.
+const NODE_BYTES_FACTOR: usize = 64;
+
+/// Reads the `(node_count, edge_count)` header of a graph payload and
+/// validates both against the id width and the bytes present.
+///
+/// The node count is the one length a graph structure allocates by
+/// directly (adjacency headers, CSR offsets), so it gets the same
+/// input-proportionality guard as every other count: beyond a floor of
+/// 2^16, each claimed node must be backed by payload bytes
+/// (`n ≤ max(65 536, 64 × payload length)`). Any graph that is not
+/// overwhelmingly isolated vertices satisfies this trivially — a
+/// connected graph carries 16 bytes per edge with `m ≥ n − 1` — while a
+/// 100-byte hostile file can no longer claim 2^32 nodes and force a
+/// ~100 GiB adjacency allocation.
+fn read_graph_header(r: &mut ByteReader<'_>) -> Result<(usize, usize), BinaryError> {
+    let payload_len = r.remaining();
+    let n = r.u64("node count")?;
+    let bound = NODE_COUNT_FLOOR.max(payload_len.saturating_mul(NODE_BYTES_FACTOR));
+    if n > u32::MAX as u64 || n > bound as u64 {
+        return Err(BinaryError::Malformed {
+            context: "node count",
+            detail: format!(
+                "claimed {n} nodes exceeds the decoder bound ({bound}) for a {payload_len}-byte payload"
+            ),
+        });
+    }
+    let m = r.count(EDGE_RECORD_LEN, "edge count")?;
+    Ok((n as usize, m))
+}
+
+/// Reads one validated edge record: endpoints in range, no self-loop,
+/// positive weight.
+fn read_edge_record(
+    r: &mut ByteReader<'_>,
+    n: usize,
+) -> Result<(NodeId, NodeId, Weight), BinaryError> {
+    let u = r.u32("edge endpoint")? as usize;
+    let v = r.u32("edge endpoint")? as usize;
+    let w = r.u64("edge weight")?;
+    if u >= n || v >= n {
+        return Err(BinaryError::Malformed {
+            context: "edge endpoint",
+            detail: format!("endpoint out of range for {n} nodes"),
+        });
+    }
+    if u == v {
+        return Err(BinaryError::Malformed {
+            context: "edge record",
+            detail: format!("self-loop at vertex {u}"),
+        });
+    }
+    let weight = Weight::new(w).ok_or(BinaryError::Malformed {
+        context: "edge weight",
+        detail: "zero weight".to_string(),
+    })?;
+    Ok((NodeId::new(u), NodeId::new(v), weight))
+}
+
+/// Rebuilds a packed [`FrozenCsr`] from a graph payload. The adjacency
+/// is reconstructed in the [`GraphView`] determinism order (increasing
+/// edge id per vertex), which is exactly the order every view in this
+/// workspace produces — so a decoded artifact traverses, and therefore
+/// tie-breaks, bit-identically to the one that was encoded.
+///
+/// # Errors
+///
+/// [`BinaryError`] on truncation or any record violating the payload
+/// invariants (range, self-loops, zero weights). Duplicate edges are
+/// *not* rejected: the payload mirrors whatever multigraph-agnostic
+/// view was encoded, byte for byte.
+pub fn read_frozen_csr_payload(r: &mut ByteReader<'_>) -> Result<FrozenCsr, BinaryError> {
+    let (n, m) = read_graph_header(r)?;
+    let mut staging = Graph::with_edge_capacity(n, m);
+    for _ in 0..m {
+        let (u, v, w) = read_edge_record(r, n)?;
+        staging.add_edge_unchecked(u, v, w);
+    }
+    Ok(FrozenCsr::from_view(&staging))
+}
+
+/// Rebuilds a [`Graph`] from a graph payload, enforcing the full
+/// simple-graph invariants (so duplicate edges are rejected here, unlike
+/// in [`read_frozen_csr_payload`]).
+///
+/// # Errors
+///
+/// [`BinaryError`] on truncation, malformed records, or structural
+/// violations surfaced as [`BinaryError::Graph`].
+pub fn read_graph_payload(r: &mut ByteReader<'_>) -> Result<Graph, BinaryError> {
+    let (n, m) = read_graph_header(r)?;
+    let mut graph = Graph::with_edge_capacity(n, m);
+    for _ in 0..m {
+        let (u, v, w) = read_edge_record(r, n)?;
+        graph.try_add_edge(u, v, w)?;
+    }
+    Ok(graph)
+}
+
+/// Encodes a [`FrozenCsr`] as a standalone [`FROZEN_CSR_MAGIC`]
+/// container (see the module docs for the layout and the example for a
+/// roundtrip).
+pub fn encode_frozen_csr(csr: &FrozenCsr) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 + EDGE_RECORD_LEN * csr.edge_count());
+    write_view_payload(csr, &mut payload);
+    let mut w = ContainerWriter::new(FROZEN_CSR_MAGIC, FORMAT_VERSION);
+    w.section(SECTION_ADJACENCY, &payload);
+    w.finish()
+}
+
+/// Decodes a standalone [`FROZEN_CSR_MAGIC`] container back into a
+/// packed [`FrozenCsr`].
+///
+/// # Errors
+///
+/// [`BinaryError`] on any structural or payload defect; hostile input
+/// cannot cause a panic.
+pub fn decode_frozen_csr(bytes: &[u8]) -> Result<FrozenCsr, BinaryError> {
+    let container = parse_container(bytes, FROZEN_CSR_MAGIC, FORMAT_VERSION)?;
+    for section in &container.sections {
+        if section.tag != SECTION_ADJACENCY {
+            return Err(BinaryError::UnknownSection { tag: section.tag });
+        }
+    }
+    let payload = container
+        .section(SECTION_ADJACENCY)
+        .ok_or(BinaryError::MissingSection { name: "adjacency" })?;
+    let mut r = ByteReader::new(payload);
+    let csr = read_frozen_csr_payload(&mut r)?;
+    r.expect_drained("adjacency section")?;
+    Ok(csr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, EdgeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn view_neighbors(view: &impl GraphView, v: NodeId) -> Vec<(NodeId, EdgeId, Weight)> {
+        let mut out = Vec::new();
+        view.for_each_neighbor(v, |n, e, w| out.push((n, e, w)));
+        out
+    }
+
+    #[test]
+    fn frozen_csr_round_trips_structure() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let g = generators::erdos_renyi(30, 0.2, &mut rng);
+        let frozen = FrozenCsr::from_view(&g);
+        let bytes = encode_frozen_csr(&frozen);
+        let back = decode_frozen_csr(&bytes).unwrap();
+        assert_eq!(back.node_count(), frozen.node_count());
+        assert_eq!(back.edge_count(), frozen.edge_count());
+        for v in 0..frozen.node_count() {
+            assert_eq!(
+                view_neighbors(&back, NodeId::new(v)),
+                view_neighbors(&frozen, NodeId::new(v))
+            );
+        }
+        assert_eq!(
+            encode_frozen_csr(&back),
+            bytes,
+            "re-encoding must be canonical"
+        );
+    }
+
+    #[test]
+    fn weighted_and_empty_graphs_round_trip() {
+        let g =
+            Graph::from_weighted_edges(4, [(0, 1, 5), (1, 2, 2), (0, 3, u64::MAX - 1)]).unwrap();
+        let bytes = encode_frozen_csr(&FrozenCsr::from_view(&g));
+        let back = decode_frozen_csr(&bytes).unwrap();
+        assert_eq!(back.edge_weight(EdgeId::new(2)).get(), u64::MAX - 1);
+        let empty = encode_frozen_csr(&FrozenCsr::from_view(&Graph::new(0)));
+        assert_eq!(decode_frozen_csr(&empty).unwrap().node_count(), 0);
+    }
+
+    #[test]
+    fn graph_payload_enforces_simple_graph() {
+        let g = generators::cycle(5);
+        let mut payload = Vec::new();
+        write_view_payload(&g, &mut payload);
+        let back = read_graph_payload(&mut ByteReader::new(&payload)).unwrap();
+        assert_eq!(back.edge_count(), 5);
+        // A duplicate edge passes the CSR reader but not the Graph reader.
+        let mut dup = Vec::new();
+        put_u64(&mut dup, 3);
+        put_u64(&mut dup, 2);
+        for _ in 0..2 {
+            put_u32(&mut dup, 0);
+            put_u32(&mut dup, 1);
+            put_u64(&mut dup, 1);
+        }
+        assert!(read_frozen_csr_payload(&mut ByteReader::new(&dup)).is_ok());
+        assert!(matches!(
+            read_graph_payload(&mut ByteReader::new(&dup)),
+            Err(BinaryError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panicking() {
+        let g = generators::petersen();
+        let bytes = encode_frozen_csr(&FrozenCsr::from_view(&g));
+        for len in 0..bytes.len() {
+            assert!(
+                decode_frozen_csr(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_errors() {
+        let g = generators::cycle(6);
+        let bytes = encode_frozen_csr(&FrozenCsr::from_view(&g));
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x41;
+            assert!(
+                decode_frozen_csr(&corrupt).is_err(),
+                "flipping byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_version_and_checksum_are_typed() {
+        let g = generators::cycle(4);
+        let bytes = encode_frozen_csr(&FrozenCsr::from_view(&g));
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        // Fix the checksum so the magic check itself is reached.
+        let len = wrong_magic.len();
+        let sum = fnv1a64(&wrong_magic[..len - 8]).to_le_bytes();
+        wrong_magic[len - 8..].copy_from_slice(&sum);
+        assert!(matches!(
+            decode_frozen_csr(&wrong_magic),
+            Err(BinaryError::BadMagic { .. })
+        ));
+
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let sum = fnv1a64(&future[..len - 8]).to_le_bytes();
+        future[len - 8..].copy_from_slice(&sum);
+        assert!(matches!(
+            decode_frozen_csr(&future),
+            Err(BinaryError::UnsupportedVersion {
+                found: 2,
+                supported: FORMAT_VERSION
+            })
+        ));
+
+        let mut bad_sum = bytes.clone();
+        let last = bad_sum.len() - 1;
+        bad_sum[last] ^= 0xff;
+        assert!(matches!(
+            decode_frozen_csr(&bad_sum),
+            Err(BinaryError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_counts_rejected_before_allocation() {
+        // A payload claiming u64::MAX edges in a 16-byte body must fail
+        // the count check, not abort in Vec::with_capacity.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 4);
+        put_u64(&mut payload, u64::MAX);
+        let mut w = ContainerWriter::new(FROZEN_CSR_MAGIC, FORMAT_VERSION);
+        w.section(SECTION_ADJACENCY, &payload);
+        let bytes = w.finish();
+        assert!(matches!(
+            decode_frozen_csr(&bytes),
+            Err(BinaryError::Malformed { .. })
+        ));
+        // The node count allocates adjacency headers directly, so a tiny
+        // payload claiming ~2^32 nodes (and 0 edges, passing the edge
+        // guard) must be rejected by the proportionality bound too.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, u32::MAX as u64);
+        put_u64(&mut payload, 0);
+        let mut w = ContainerWriter::new(FROZEN_CSR_MAGIC, FORMAT_VERSION);
+        w.section(SECTION_ADJACENCY, &payload);
+        assert!(matches!(
+            decode_frozen_csr(&w.finish()),
+            Err(BinaryError::Malformed { .. })
+        ));
+        // While the floor keeps small isolated-vertex graphs legal.
+        let sparse = FrozenCsr::from_view(&Graph::new(50_000));
+        let bytes = encode_frozen_csr(&sparse);
+        assert_eq!(decode_frozen_csr(&bytes).unwrap().node_count(), 50_000);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_sections_rejected() {
+        let mut payload = Vec::new();
+        write_view_payload(&generators::cycle(3), &mut payload);
+        let mut w = ContainerWriter::new(FROZEN_CSR_MAGIC, FORMAT_VERSION);
+        w.section(SECTION_ADJACENCY, &payload);
+        w.section(99, &[]);
+        assert!(matches!(
+            decode_frozen_csr(&w.finish()),
+            Err(BinaryError::UnknownSection { tag: 99 })
+        ));
+        let mut w = ContainerWriter::new(FROZEN_CSR_MAGIC, FORMAT_VERSION);
+        w.section(SECTION_ADJACENCY, &payload);
+        w.section(SECTION_ADJACENCY, &payload);
+        assert!(matches!(
+            decode_frozen_csr(&w.finish()),
+            Err(BinaryError::DuplicateSection { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        // (u, v, w) records for a 3-node payload, each invalid.
+        let cases = [
+            ("self-loop", (1u32, 1u32, 1u64)),
+            ("out of range", (9, 0, 1)),
+            ("zero weight", (0, 1, 0)),
+        ];
+        for (what, (u, v, w)) in cases {
+            let mut payload = Vec::new();
+            put_u64(&mut payload, 3);
+            put_u64(&mut payload, 1);
+            put_u32(&mut payload, u);
+            put_u32(&mut payload, v);
+            put_u64(&mut payload, w);
+            let mut w = ContainerWriter::new(FROZEN_CSR_MAGIC, FORMAT_VERSION);
+            w.section(SECTION_ADJACENCY, &payload);
+            assert!(
+                matches!(
+                    decode_frozen_csr(&w.finish()),
+                    Err(BinaryError::Malformed { .. })
+                ),
+                "{what} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = BinaryError::Truncated { context: "header" };
+        assert!(e.to_string().contains("header"));
+        let g = BinaryError::from(GraphError::SelfLoop {
+            node: NodeId::new(1),
+        });
+        assert!(g.source().is_some());
+        assert!(BinaryError::MissingSection { name: "meta" }
+            .to_string()
+            .contains("meta"));
+    }
+}

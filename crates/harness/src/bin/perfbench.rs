@@ -28,6 +28,7 @@ use spanner_faults::reference::ReferenceBranchingOracle;
 use spanner_faults::OracleStats;
 use spanner_graph::generators::{complete, random_geometric, with_uniform_weights};
 use spanner_graph::Graph;
+use spanner_harness::cli::{self, Parsed};
 use spanner_harness::json::{self, num, obj, s, JsonValue};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -61,11 +62,9 @@ struct Args {
     check: Option<PathBuf>,
 }
 
-fn usage() -> &'static str {
-    "usage: perfbench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       perfbench --check PATH"
-}
+const USAGE: &str = "usage: perfbench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       perfbench --check PATH";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Parsed<Args>, String> {
     let mut args = Args {
         scale: Scale::Full,
         out: PathBuf::from("BENCH_2.json"),
@@ -79,23 +78,14 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.scale = Scale::Smoke,
             "--quick" => args.scale = Scale::Quick,
             "--full" => args.scale = Scale::Full,
-            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
-            "--check" => args.check = Some(PathBuf::from(it.next().ok_or("--check needs a path")?)),
-            "--threads" => {
-                let n = it.next().ok_or("--threads needs a number")?;
-                args.threads = n.parse().map_err(|_| format!("bad thread count: {n}"))?;
+            "--out" => args.out = PathBuf::from(cli::value_for(&mut it, "--out")?),
+            "--check" => {
+                args.check = Some(PathBuf::from(cli::value_for(&mut it, "--check")?));
             }
-            "--repeats" => {
-                let r = it.next().ok_or("--repeats needs a number")?;
-                args.repeats = r.parse().map_err(|_| format!("bad repeat count: {r}"))?;
-            }
-            "--help" | "-h" => return Err(usage().to_string()),
-            other => {
-                return Err(format!(
-                    "unknown argument {other}\n{usage}",
-                    usage = usage()
-                ))
-            }
+            "--threads" => args.threads = cli::parsed_value(&mut it, "--threads")?,
+            "--repeats" => args.repeats = cli::parsed_value(&mut it, "--repeats")?,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if args.repeats == 0 {
@@ -106,7 +96,7 @@ fn parse_args() -> Result<Args, String> {
         };
     }
     args.threads = args.threads.max(1);
-    Ok(args)
+    Ok(Parsed::Run(args))
 }
 
 /// One workload cell: a graph family instance at one fault budget.
@@ -356,22 +346,8 @@ fn run_check(path: &PathBuf) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match &args.check {
+    cli::run_main("perfbench", USAGE, parse_args, |args| match &args.check {
         Some(path) => run_check(path),
         None => run_bench(&args),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("perfbench: {msg}");
-            ExitCode::FAILURE
-        }
-    }
+    })
 }

@@ -24,6 +24,7 @@
 //! (including every record's identity certification), which is what the
 //! CI bench-smoke job runs so the serving pipeline cannot silently rot.
 
+use spanner_harness::cli::{self, Parsed};
 use spanner_harness::experiments::{e15_throughput, ExperimentContext, Scale};
 use spanner_harness::json;
 use std::path::PathBuf;
@@ -37,9 +38,7 @@ struct Args {
     check: Option<PathBuf>,
 }
 
-fn usage() -> &'static str {
-    "usage: querybench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       querybench --check PATH"
-}
+const USAGE: &str = "usage: querybench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       querybench --check PATH";
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -49,7 +48,7 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Parsed<Args>, String> {
     let mut args = Args {
         scale: Scale::Full,
         out: PathBuf::from("BENCH_4.json"),
@@ -63,23 +62,14 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.scale = Scale::Smoke,
             "--quick" => args.scale = Scale::Quick,
             "--full" => args.scale = Scale::Full,
-            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
-            "--check" => args.check = Some(PathBuf::from(it.next().ok_or("--check needs a path")?)),
-            "--threads" => {
-                let n = it.next().ok_or("--threads needs a number")?;
-                args.threads = n.parse().map_err(|_| format!("bad thread count: {n}"))?;
+            "--out" => args.out = PathBuf::from(cli::value_for(&mut it, "--out")?),
+            "--check" => {
+                args.check = Some(PathBuf::from(cli::value_for(&mut it, "--check")?));
             }
-            "--repeats" => {
-                let r = it.next().ok_or("--repeats needs a number")?;
-                args.repeats = r.parse().map_err(|_| format!("bad repeat count: {r}"))?;
-            }
-            "--help" | "-h" => return Err(usage().to_string()),
-            other => {
-                return Err(format!(
-                    "unknown argument {other}\n{usage}",
-                    usage = usage()
-                ))
-            }
+            "--threads" => args.threads = cli::parsed_value(&mut it, "--threads")?,
+            "--repeats" => args.repeats = cli::parsed_value(&mut it, "--repeats")?,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if args.repeats == 0 {
@@ -90,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
         };
     }
     args.threads = args.threads.max(2);
-    Ok(args)
+    Ok(Parsed::Run(args))
 }
 
 fn run_bench(args: &Args) -> Result<(), String> {
@@ -162,22 +152,8 @@ fn run_check(path: &PathBuf) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match &args.check {
+    cli::run_main("querybench", USAGE, parse_args, |args| match &args.check {
         Some(path) => run_check(path),
         None => run_bench(&args),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("querybench: {msg}");
-            ExitCode::FAILURE
-        }
-    }
+    })
 }

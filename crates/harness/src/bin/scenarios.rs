@@ -23,6 +23,7 @@
 //! certification), which is what the CI bench-smoke job runs so the
 //! scenario pipeline cannot silently rot.
 
+use spanner_harness::cli::{self, Parsed};
 use spanner_harness::experiments::{e14_scenarios, ExperimentContext, Scale};
 use spanner_harness::json;
 use std::path::PathBuf;
@@ -35,9 +36,7 @@ struct Args {
     check: Option<PathBuf>,
 }
 
-fn usage() -> &'static str {
-    "usage: scenarios [--smoke|--quick|--full] [--threads N] [--out PATH]\n       scenarios --check PATH"
-}
+const USAGE: &str = "usage: scenarios [--smoke|--quick|--full] [--threads N] [--out PATH]\n       scenarios --check PATH";
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -47,7 +46,7 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Parsed<Args>, String> {
     let mut args = Args {
         scale: Scale::Full,
         out: PathBuf::from("SCENARIOS.json"),
@@ -60,22 +59,16 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.scale = Scale::Smoke,
             "--quick" => args.scale = Scale::Quick,
             "--full" => args.scale = Scale::Full,
-            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
-            "--check" => args.check = Some(PathBuf::from(it.next().ok_or("--check needs a path")?)),
-            "--threads" => {
-                let n = it.next().ok_or("--threads needs a number")?;
-                args.threads = Some(n.parse().map_err(|_| format!("bad thread count: {n}"))?);
+            "--out" => args.out = PathBuf::from(cli::value_for(&mut it, "--out")?),
+            "--check" => {
+                args.check = Some(PathBuf::from(cli::value_for(&mut it, "--check")?));
             }
-            "--help" | "-h" => return Err(usage().to_string()),
-            other => {
-                return Err(format!(
-                    "unknown argument {other}\n{usage}",
-                    usage = usage()
-                ))
-            }
+            "--threads" => args.threads = Some(cli::parsed_value(&mut it, "--threads")?),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(args)
+    Ok(Parsed::Run(args))
 }
 
 fn run_sweep(args: &Args) -> Result<(), String> {
@@ -144,22 +137,8 @@ fn run_check(path: &PathBuf) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match &args.check {
+    cli::run_main("scenarios", USAGE, parse_args, |args| match &args.check {
         Some(path) => run_check(path),
         None => run_sweep(&args),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("scenarios: {msg}");
-            ExitCode::FAILURE
-        }
-    }
+    })
 }

@@ -1,0 +1,470 @@
+//! `spanner-artifact` — build, inspect, and serve persistent
+//! `FrozenSpanner` artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! spanner-artifact build [--family geometric|complete|grid|erdos-renyi]
+//!                        [--n N] [--radius R] [--p P] [--rows R --cols C]
+//!                        [--edges PATH] [--seed S] [--stretch K] [--f F]
+//!                        [--model vertex|edge] [--out PATH]
+//! spanner-artifact inspect PATH
+//! spanner-artifact serve PATH [--epochs N] [--batch B] [--threads T] [--seed S]
+//! ```
+//!
+//! The build-once / serve-many pipeline, end to end:
+//!
+//! * `build` constructs an FT spanner (FT-greedy over the chosen graph
+//!   family or a text edge-list file), freezes it with full metadata
+//!   (parent graph, budget, model, witnesses), and writes the versioned
+//!   `VFTSPANR` binary artifact (`docs/ARTIFACT_FORMAT.md`).
+//! * `inspect` dumps the container header — version, checksum, section
+//!   table — and the decoded artifact's stats, without serving anything.
+//! * `serve` is the roundtrip proof: it decodes the artifact in *this*
+//!   process (built, typically, by another), re-runs the construction
+//!   from the embedded parent graph, and drives an E15-style epoch/batch
+//!   query workload through both artifacts — sequential and pooled —
+//!   failing unless every answer is bit-identical and the rebuilt
+//!   artifact re-encodes to the exact bytes on disk. CI runs
+//!   build → inspect → serve as separate processes on every push.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spanner_core::frozen::{
+    ARTIFACT_MAGIC, ARTIFACT_VERSION, SECTION_META, SECTION_PARENT, SECTION_PARENT_EDGES,
+    SECTION_SPANNER, SECTION_WITNESSES,
+};
+use spanner_core::routing::{Route, RouteError};
+use spanner_core::{FrozenSpanner, FtGreedy, QueryEngine};
+use spanner_faults::{FaultModel, FaultSet};
+use spanner_graph::io::binary::{fnv1a64, parse_container};
+use spanner_graph::{generators, io, Graph, NodeId};
+use spanner_harness::cli::{self, Parsed};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: spanner-artifact build [--family geometric|complete|grid|erdos-renyi]
+                              [--n N] [--radius R] [--p P] [--rows R --cols C]
+                              [--edges PATH] [--seed S] [--stretch K] [--f F]
+                              [--model vertex|edge] [--out PATH]
+       spanner-artifact inspect PATH
+       spanner-artifact serve PATH [--epochs N] [--batch B] [--threads T] [--seed S]";
+
+/// The graph the `build` subcommand constructs over.
+enum GraphSpec {
+    Geometric { n: usize, radius: f64, seed: u64 },
+    Complete { n: usize },
+    Grid { rows: usize, cols: usize },
+    ErdosRenyi { n: usize, p: f64, seed: u64 },
+    EdgeList { path: PathBuf },
+}
+
+struct BuildArgs {
+    spec: GraphSpec,
+    stretch: u64,
+    faults: usize,
+    model: FaultModel,
+    out: PathBuf,
+}
+
+struct ServeArgs {
+    path: PathBuf,
+    epochs: usize,
+    batch: usize,
+    threads: usize,
+    seed: u64,
+}
+
+enum Command {
+    Build(BuildArgs),
+    Inspect(PathBuf),
+    Serve(ServeArgs),
+}
+
+fn parse_args() -> Result<Parsed<Command>, String> {
+    let mut it = std::env::args().skip(1);
+    let sub = match it.next() {
+        None => return Err("missing subcommand (build, inspect, or serve)".into()),
+        Some(s) if s == "--help" || s == "-h" => return Ok(Parsed::Help),
+        Some(s) => s,
+    };
+    match sub.as_str() {
+        "build" => parse_build(&mut it),
+        "inspect" => {
+            let path = positional_path(&mut it, "inspect")?;
+            reject_extra(&mut it)?;
+            Ok(Parsed::Run(Command::Inspect(path)))
+        }
+        "serve" => parse_serve(&mut it),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn positional_path(it: &mut impl Iterator<Item = String>, sub: &str) -> Result<PathBuf, String> {
+    match it.next() {
+        None => Err(format!("{sub} needs an artifact path")),
+        Some(s) if s == "--help" || s == "-h" => Err(format!("{sub} needs an artifact path")),
+        Some(s) => Ok(PathBuf::from(s)),
+    }
+}
+
+fn reject_extra(it: &mut impl Iterator<Item = String>) -> Result<(), String> {
+    match it.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument {extra:?}")),
+    }
+}
+
+fn parse_build(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>, String> {
+    let mut family = "geometric".to_string();
+    let mut n = 64usize;
+    let mut radius = 0.3f64;
+    let mut p = 0.15f64;
+    let mut rows = 8usize;
+    let mut cols = 8usize;
+    let mut edges: Option<PathBuf> = None;
+    let mut seed = 7u64;
+    let mut stretch = 3u64;
+    let mut faults = 1usize;
+    let mut model = FaultModel::Vertex;
+    let mut out = PathBuf::from("spanner.vfts");
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--family" => family = cli::value_for(it, "--family")?,
+            "--n" => n = cli::parsed_value(it, "--n")?,
+            "--radius" => radius = cli::parsed_value(it, "--radius")?,
+            "--p" => p = cli::parsed_value(it, "--p")?,
+            "--rows" => rows = cli::parsed_value(it, "--rows")?,
+            "--cols" => cols = cli::parsed_value(it, "--cols")?,
+            "--edges" => edges = Some(PathBuf::from(cli::value_for(it, "--edges")?)),
+            "--seed" => seed = cli::parsed_value(it, "--seed")?,
+            "--stretch" => stretch = cli::parsed_value(it, "--stretch")?,
+            "--f" => faults = cli::parsed_value(it, "--f")?,
+            "--model" => model = parse_model(&cli::value_for(it, "--model")?)?,
+            "--out" => out = PathBuf::from(cli::value_for(it, "--out")?),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if stretch == 0 {
+        return Err("--stretch must be positive".into());
+    }
+    let spec = match edges {
+        Some(path) => GraphSpec::EdgeList { path },
+        None => match family.as_str() {
+            "geometric" => GraphSpec::Geometric { n, radius, seed },
+            "complete" => GraphSpec::Complete { n },
+            "grid" => GraphSpec::Grid { rows, cols },
+            "erdos-renyi" => GraphSpec::ErdosRenyi { n, p, seed },
+            other => {
+                return Err(format!(
+                    "unknown graph family {other:?} (geometric, complete, grid, erdos-renyi)"
+                ))
+            }
+        },
+    };
+    Ok(Parsed::Run(Command::Build(BuildArgs {
+        spec,
+        stretch,
+        faults,
+        model,
+        out,
+    })))
+}
+
+fn parse_serve(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>, String> {
+    let path = positional_path(it, "serve")?;
+    let mut args = ServeArgs {
+        path,
+        epochs: 8,
+        batch: 64,
+        threads: 2,
+        seed: 99,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--epochs" => args.epochs = cli::parsed_value(it, "--epochs")?,
+            "--batch" => args.batch = cli::parsed_value(it, "--batch")?,
+            "--threads" => args.threads = cli::parsed_value(it, "--threads")?,
+            "--seed" => args.seed = cli::parsed_value(it, "--seed")?,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.epochs == 0 || args.batch == 0 || args.threads == 0 {
+        return Err("--epochs, --batch and --threads must be positive".into());
+    }
+    Ok(Parsed::Run(Command::Serve(args)))
+}
+
+fn parse_model(raw: &str) -> Result<FaultModel, String> {
+    match raw {
+        "vertex" => Ok(FaultModel::Vertex),
+        "edge" => Ok(FaultModel::Edge),
+        other => Err(format!("bad value for --model: {other:?} (vertex or edge)")),
+    }
+}
+
+fn build_graph(spec: &GraphSpec) -> Result<Graph, String> {
+    Ok(match spec {
+        GraphSpec::Geometric { n, radius, seed } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            generators::random_geometric(*n, *radius, &mut rng)
+        }
+        GraphSpec::Complete { n } => generators::complete(*n),
+        GraphSpec::Grid { rows, cols } => generators::grid(*rows, *cols),
+        GraphSpec::ErdosRenyi { n, p, seed } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            generators::erdos_renyi(*n, *p, &mut rng)
+        }
+        GraphSpec::EdgeList { path } => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            io::from_edge_list(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+    })
+}
+
+fn run_build(args: BuildArgs) -> Result<(), String> {
+    let g = build_graph(&args.spec)?;
+    if g.node_count() == 0 {
+        return Err("refusing to build an artifact over an empty graph".into());
+    }
+    println!(
+        "building: {} nodes, {} edges, stretch {}, f = {}, {} faults",
+        g.node_count(),
+        g.edge_count(),
+        args.stretch,
+        args.faults,
+        args.model
+    );
+    let ft = FtGreedy::new(&g, args.stretch)
+        .faults(args.faults)
+        .model(args.model)
+        .run();
+    let frozen = ft.freeze(&g);
+    let bytes = frozen.encode();
+    // Sanity: our own encoding must decode before it ships.
+    FrozenSpanner::decode(&bytes)
+        .map_err(|e| format!("internal error: emitted an undecodable artifact: {e}"))?;
+    std::fs::write(&args.out, &bytes)
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    println!(
+        "kept {} / {} edges ({:.1}%), {} witness sets",
+        frozen.edge_count(),
+        g.edge_count(),
+        100.0 * frozen.edge_count() as f64 / g.edge_count().max(1) as f64,
+        frozen.witnesses().len()
+    );
+    println!("wrote {} ({} bytes)", args.out.display(), bytes.len());
+    Ok(())
+}
+
+/// Human name of an artifact section tag (tags owned by
+/// `spanner_core::frozen`, so a future renumbering shows up here as a
+/// compile-time pattern overlap rather than a silently wrong label).
+fn section_name(tag: u32) -> &'static str {
+    match tag {
+        SECTION_META => "meta",
+        SECTION_SPANNER => "spanner-adjacency",
+        SECTION_PARENT_EDGES => "parent-edge-table",
+        SECTION_WITNESSES => "witness-map",
+        SECTION_PARENT => "parent-graph",
+        _ => "unknown",
+    }
+}
+
+fn run_inspect(path: PathBuf) -> Result<(), String> {
+    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let container = parse_container(&bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("{}: {} bytes", path.display(), bytes.len());
+    println!(
+        "  magic    {:?}  version {}",
+        String::from_utf8_lossy(&ARTIFACT_MAGIC),
+        container.version
+    );
+    println!(
+        "  checksum {:#018x} (fnv1a-64, verified)",
+        fnv1a64(&bytes[..bytes.len() - 8])
+    );
+    println!("  sections:");
+    for section in &container.sections {
+        println!(
+            "    tag {}  {:<18} {:>9} bytes",
+            section.tag,
+            section_name(section.tag),
+            section.payload.len()
+        );
+    }
+    let frozen = FrozenSpanner::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("  artifact:");
+    println!(
+        "    spanner    {} nodes, {} edges, stretch {}",
+        frozen.node_count(),
+        frozen.edge_count(),
+        frozen.stretch()
+    );
+    match frozen.budget() {
+        Some(f) => println!("    built for  f = {f} {} faults", frozen.model()),
+        None => println!("    built for  (no construction metadata: bare freeze)"),
+    }
+    match frozen.parent() {
+        Some(p) => println!(
+            "    parent     {} nodes, {} edges ({:.1}% kept)",
+            p.node_count(),
+            p.edge_count(),
+            100.0 * frozen.edge_count() as f64 / p.edge_count().max(1) as f64
+        ),
+        None => println!("    parent     not embedded"),
+    }
+    let nonempty = frozen.witnesses().iter().filter(|w| !w.is_empty()).count();
+    println!(
+        "    witnesses  {} sets ({} nonempty)",
+        frozen.witnesses().len(),
+        nonempty
+    );
+    Ok(())
+}
+
+/// One serve-workload epoch: a failure set plus a batch of live pairs
+/// (the E15 shape: clear / random-f / witness-replay, round-robin).
+fn plan_epochs(frozen: &FrozenSpanner, args: &ServeArgs) -> Vec<(FaultSet, Vec<(NodeId, NodeId)>)> {
+    let n = frozen.node_count();
+    let f = frozen.budget().unwrap_or(0);
+    let witnesses: Vec<&FaultSet> = frozen
+        .witnesses()
+        .iter()
+        .filter(|w| !w.is_empty() && w.model() == FaultModel::Vertex)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    (0..args.epochs)
+        .map(|epoch| {
+            let failures = match epoch % 3 {
+                0 => FaultSet::vertices([]),
+                1 => {
+                    let mut down = Vec::with_capacity(f);
+                    while down.len() < f.min(n.saturating_sub(2)) {
+                        let v = NodeId::new(rng.gen_range(0..n));
+                        if !down.contains(&v) {
+                            down.push(v);
+                        }
+                    }
+                    FaultSet::vertices(down)
+                }
+                _ if !witnesses.is_empty() => witnesses[epoch % witnesses.len()].clone(),
+                _ => FaultSet::vertices([]),
+            };
+            let live: Vec<NodeId> = (0..n)
+                .map(NodeId::new)
+                .filter(|v| !failures.vertex_faults().contains(v))
+                .collect();
+            let pairs = (0..args.batch)
+                .map(|_| {
+                    let i = rng.gen_range(0..live.len());
+                    let mut j = rng.gen_range(0..live.len() - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    (live[i], live[j])
+                })
+                .collect();
+            (failures, pairs)
+        })
+        .collect()
+}
+
+fn run_serve(args: ServeArgs) -> Result<(), String> {
+    let bytes = std::fs::read(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path.display()))?;
+    let loaded = Arc::new(
+        FrozenSpanner::decode(&bytes).map_err(|e| format!("{}: {e}", args.path.display()))?,
+    );
+    let parent = loaded
+        .parent()
+        .ok_or("artifact carries no parent graph; rebuild cross-check needs one (use `spanner-artifact build`)")?
+        .clone();
+    let budget = loaded
+        .budget()
+        .ok_or("artifact carries no fault budget; rebuild cross-check needs one")?;
+    if loaded.node_count() < 3 {
+        return Err("artifact too small for a serve workload (need >= 3 vertices)".into());
+    }
+    println!(
+        "loaded {}: {} nodes, {} edges, stretch {}, f = {}, {} model",
+        args.path.display(),
+        loaded.node_count(),
+        loaded.edge_count(),
+        loaded.stretch(),
+        budget,
+        loaded.model()
+    );
+
+    // In-memory rebuild from the embedded parent: same construction, so
+    // the artifact on disk must be its canonical encoding, byte for byte.
+    let rebuilt = Arc::new(
+        FtGreedy::new(parent.as_ref(), loaded.stretch())
+            .faults(budget)
+            .model(loaded.model())
+            .run()
+            .freeze(parent.as_ref()),
+    );
+    if rebuilt.encode() != bytes {
+        return Err(
+            "rebuilt construction does not re-encode to the artifact's bytes — \
+             the file does not describe this parent/stretch/budget construction"
+                .into(),
+        );
+    }
+    println!("rebuild cross-check: construction re-encodes byte-identically");
+
+    let plan = plan_epochs(&loaded, &args);
+    let mut from_disk = QueryEngine::new(Arc::clone(&loaded));
+    let mut from_disk_pooled = QueryEngine::new(Arc::clone(&loaded)).with_threads(args.threads);
+    let mut from_memory = QueryEngine::new(Arc::clone(&rebuilt));
+    let mut served = 0usize;
+    let mut errors = 0usize;
+    for (epoch, (failures, pairs)) in plan.iter().enumerate() {
+        from_memory.epoch(failures);
+        let reference: Vec<Result<Route, RouteError>> = from_memory.route_batch(pairs);
+        from_disk.epoch(failures);
+        if from_disk.route_batch(pairs) != reference {
+            return Err(format!(
+                "epoch {epoch}: decoded artifact's sequential batch diverged from the in-memory rebuild"
+            ));
+        }
+        from_disk_pooled.epoch(failures);
+        if from_disk_pooled.par_route_batch(pairs) != reference {
+            return Err(format!(
+                "epoch {epoch}: decoded artifact's pooled batch diverged from the in-memory rebuild"
+            ));
+        }
+        served += reference.len();
+        errors += reference.iter().filter(|a| a.is_err()).count();
+        println!(
+            "  epoch {epoch}: {} faults, {} queries, {} unreachable/failed — bit-identical across disk/memory/pool",
+            failures.len(),
+            pairs.len(),
+            reference.iter().filter(|a| a.is_err()).count()
+        );
+    }
+    println!(
+        "served {served} queries over {} epochs ({errors} error answers), all bit-identical to the in-memory rebuild",
+        plan.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    cli::run_main(
+        "spanner-artifact",
+        USAGE,
+        parse_args,
+        |command| match command {
+            Command::Build(args) => run_build(args),
+            Command::Inspect(path) => run_inspect(path),
+            Command::Serve(args) => run_serve(args),
+        },
+    )
+}

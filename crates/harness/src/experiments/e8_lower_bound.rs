@@ -1,7 +1,7 @@
 //! E8 / Figure 3 — tightness: the lower-bound family is incompressible.
 //!
 //! The biclique blow-up of a girth-(>k+1) base (paper's closing remark,
-//! after [BDPW18]) makes every single edge critical for some fault set of
+//! after BDPW18) makes every single edge critical for some fault set of
 //! `2(t−1) ≤ f` vertices. Claims measured here:
 //!
 //! * FT-greedy at budget `f` retains **100%** of the blow-up's edges —

@@ -42,6 +42,21 @@
 //! cargo run --release -p spanner-harness --bin querybench -- --out BENCH_4.json
 //! cargo run --release -p spanner-harness --bin querybench -- --check BENCH_4.json
 //! ```
+//!
+//! Persist, inspect, and serve frozen spanner artifacts (the binary
+//! documents specified in `docs/ARTIFACT_FORMAT.md`) with the
+//! `spanner-artifact` binary — build once, ship the file, serve without
+//! reconstruction:
+//!
+//! ```text
+//! cargo run --release -p spanner-harness --bin spanner-artifact -- \
+//!     build --family geometric --n 64 --f 1 --out spanner.vfts
+//! cargo run --release -p spanner-harness --bin spanner-artifact -- inspect spanner.vfts
+//! cargo run --release -p spanner-harness --bin spanner-artifact -- serve spanner.vfts
+//! ```
+//!
+//! All binaries share the [`cli`] conventions: `--help` on stdout with
+//! exit 0, bad arguments and failures on stderr with a non-zero exit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +65,7 @@ mod fit;
 mod sweep;
 mod table;
 
+pub mod cli;
 pub mod experiments;
 pub mod json;
 pub mod plot;

@@ -108,11 +108,32 @@ fn main() {
     println!("blackout does overshoot the budget; there the overall hit rate shows");
     println!("what degradation beyond the contract actually looks like.");
 
-    // Freeze and serve: the construction becomes an immutable artifact,
-    // each witness outage becomes one fault epoch, and whole batches of
-    // route queries are answered against it — identically to the
+    // Freeze, persist, reload, serve: the construction becomes an
+    // immutable artifact, the artifact becomes a file (the versioned
+    // binary format of docs/ARTIFACT_FORMAT.md), and the serving side
+    // works from the *loaded* copy — exactly what a replica that never
+    // ran FT-greedy would do. Each witness outage becomes one fault
+    // epoch; whole batches are answered identically to the
     // one-query-at-a-time router, sequential or pooled.
-    let artifact = Arc::new(ft.freeze(&g));
+    let bytes = ft.freeze(&g).encode();
+    // Per-process filename: concurrent runs (or a stale file owned by
+    // another user of a shared temp dir) must not collide.
+    let artifact_path =
+        std::env::temp_dir().join(format!("network_resilience-{}.vfts", std::process::id()));
+    std::fs::write(&artifact_path, &bytes).expect("write artifact");
+    let shipped = std::fs::read(&artifact_path).expect("read artifact back");
+    let artifact = Arc::new(FrozenSpanner::decode(&shipped).expect("shipped artifact must decode"));
+    assert_eq!(
+        artifact.encode(),
+        bytes,
+        "decode/encode must round-trip byte-identically"
+    );
+    println!();
+    println!(
+        "persisted the frozen artifact to {} ({} bytes) and reloaded it",
+        artifact_path.display(),
+        bytes.len()
+    );
     let mut engine = QueryEngine::new(Arc::clone(&artifact)).with_threads(4);
     let mut router = ResilientRouter::new(ft.spanner().clone());
     let mut served = 0usize;
@@ -152,6 +173,7 @@ fn main() {
         served += batched.len();
     }
     println!();
-    println!("frozen-artifact serving: {served} queries over {epochs} witness epochs, batched and");
-    println!("pooled answers bit-identical to the single-query router (asserted).");
+    println!("loaded-artifact serving: {served} queries over {epochs} witness epochs, batched and");
+    println!("pooled answers bit-identical to the single-query router (asserted) — served");
+    println!("entirely from the reloaded file, without re-running the construction.");
 }

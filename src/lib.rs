@@ -51,6 +51,44 @@
 //! ]);
 //! assert!(answers.iter().all(|a| a.is_ok()));
 //! ```
+//!
+//! # Build once, serve many
+//!
+//! Construction is the expensive half (every kept edge pays an exact
+//! fault-oracle decision); serving is cheap. The frozen artifact
+//! therefore persists: [`FrozenSpanner::encode`](core::FrozenSpanner::encode)
+//! writes a versioned binary document (spec: `docs/ARTIFACT_FORMAT.md`)
+//! and [`FrozenSpanner::decode`](core::FrozenSpanner::decode) loads it
+//! back in any process — a serving replica never re-runs FT-greedy, and
+//! the loaded artifact answers bit-identically to the one it was encoded
+//! from:
+//!
+//! ```
+//! use vft_spanner::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = generators::erdos_renyi(24, 0.35, &mut rng);
+//! let original = Arc::new(FtGreedy::new(&g, 3).faults(1).run().freeze(&g));
+//!
+//! // Encode → (ship the bytes to a replica) → decode.
+//! let bytes = original.encode();
+//! let loaded = Arc::new(FrozenSpanner::decode(&bytes)?);
+//! assert_eq!(loaded.encode(), bytes); // canonical roundtrip
+//!
+//! // The replica serves the same epochs with bit-identical answers.
+//! let outage = FaultSet::vertices([NodeId::new(5)]);
+//! let pairs = [(NodeId::new(0), NodeId::new(9)), (NodeId::new(2), NodeId::new(17))];
+//! let mut here = QueryEngine::new(original);
+//! let mut there = QueryEngine::new(loaded);
+//! here.epoch(&outage);
+//! there.epoch(&outage);
+//! assert_eq!(here.route_batch(&pairs), there.route_batch(&pairs));
+//!
+//! // Hostile bytes are rejected with a typed error, never a panic.
+//! assert!(FrozenSpanner::decode(&bytes[..bytes.len() / 2]).is_err());
+//! # Ok::<(), vft_spanner::core::ArtifactError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
