@@ -102,6 +102,19 @@ pub enum ArtifactError {
     },
 }
 
+impl ArtifactError {
+    /// A stable, machine-readable error code (part of the public error
+    /// taxonomy: codes never change meaning; new variants get new
+    /// codes). Match on codes, not on variants, when forward
+    /// compatibility matters — the enum is `#[non_exhaustive]`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ArtifactError::Format(_) => "artifact/format",
+            ArtifactError::Inconsistent { .. } => "artifact/inconsistent",
+        }
+    }
+}
+
 impl fmt::Display for ArtifactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

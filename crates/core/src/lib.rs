@@ -23,12 +23,16 @@
 //! * [`simulation`] — the resilience engine: pluggable failure scenarios
 //!   (Bernoulli, regional, witness replay, bursts, scripted traces) with
 //!   exact per-query contract accounting over [`routing`];
-//! * [`frozen`] / [`query`] — the serving side: freeze the construction
+//! * [`frozen`] / [`serve`] — the serving side: freeze the construction
 //!   into an immutable [`FrozenSpanner`] artifact, share it via `Arc`,
-//!   and answer batched queries per fault epoch with [`QueryEngine`];
-//!   persist the artifact with [`FrozenSpanner::encode`] and load it in
-//!   a serving replica with [`FrozenSpanner::decode`] — build once,
-//!   serve many, never reconstruct.
+//!   and serve any number of concurrent tenants through an
+//!   [`EpochServer`] — interned fault views, independent
+//!   [`EpochHandle`] sessions, O(Δ) epoch deltas, and a coalescing
+//!   batch front-end; persist the artifact with
+//!   [`FrozenSpanner::encode`] and load it in a serving replica with
+//!   [`FrozenSpanner::decode`] — build once, serve many, never
+//!   reconstruct. ([`query`] keeps the original single-tenant
+//!   [`QueryEngine`] surface as a deprecated shim over the server.)
 //!
 //! # Quickstart
 //!
@@ -59,6 +63,7 @@ pub mod metrics;
 pub mod query;
 pub mod report;
 pub mod routing;
+pub mod serve;
 pub mod simulation;
 pub mod verify;
 
@@ -68,4 +73,7 @@ pub use ft_greedy::{FtGreedy, FtSpanner, OracleKind};
 pub use greedy::{greedy_spanner, greedy_spanner_masked};
 pub use peeling::{expected_yield, peel, PeelOutcome};
 pub use query::QueryEngine;
+pub use serve::{
+    BatchCoalescer, EpochDelta, EpochHandle, EpochServer, EpochView, ServerStats, Ticket,
+};
 pub use spanner::Spanner;

@@ -1,197 +1,49 @@
-//! The epoch-based query engine: batch serving over a frozen spanner.
+//! The epoch-based query engine — now a thin compatibility shim over
+//! the concurrent serving layer in [`serve`](crate::serve).
 //!
-//! [`ResilientRouter`](crate::routing::ResilientRouter) answers one
-//! query at a time and re-applies the failure set on every call — the
-//! right shape for a one-off lookup, the wrong one for a serving loop
-//! where thousands of queries arrive under the *same* failure state.
-//! [`QueryEngine`] restructures the read path around **fault epochs**:
+//! [`QueryEngine`] was the first epoch-serving surface: apply a failure
+//! set once ([`QueryEngine::epoch`]), then serve batches against the
+//! masked view. Its limitation is structural: `epoch()` /
+//! `begin_epoch()` / `route_batch()` all take `&mut self`, so one
+//! engine serves exactly one tenant's fault view at a time. The
+//! redesigned entry point is [`EpochServer`]
+//! — `Send + Sync`, sharable across tenants, with interned fault views,
+//! a shared worker pool, and O(Δ) epoch deltas
+//! ([`EpochHandle::derive`](crate::serve::EpochHandle::derive)).
 //!
-//! * [`QueryEngine::epoch`] applies a failure set **once** into a
-//!   reusable masked view of the shared [`FrozenSpanner`] artifact
-//!   (vertex faults directly, parent-edge faults through the artifact's
-//!   O(1) translation map);
-//! * every subsequent [`QueryEngine::route`] /
-//!   [`QueryEngine::route_cost`] / [`QueryEngine::route_batch`] call is
-//!   answered against that epoch with zero per-query setup;
-//! * [`QueryEngine::route_batch`] additionally amortizes one Dijkstra
-//!   search per **distinct query source**: since Dijkstra settles each
-//!   vertex exactly once, a settled target's path is the same whether
-//!   the search stopped at that target or ran on, so same-source
-//!   queries can share a single [`DijkstraEngine::search_from`] and pay
-//!   only per-target extraction — without changing a bit of any answer;
-//! * [`QueryEngine::par_route_batch`] fans a batch out over a persistent
-//!   worker pool (the same pattern as the construction-side
-//!   `ParallelBranchingOracle`) and reassembles the answers in input
-//!   order — **bit-identical** to the sequential batch, routes, edges,
-//!   distances and errors alike (property-tested).
+//! Every `QueryEngine` now *is* an `EpochServer` session underneath:
+//! the mutate-then-query surface is kept (and deprecated) purely so
+//! existing callers keep compiling and keep getting bit-identical
+//! answers, because the shim funnels into the exact same
+//! `serve`-module implementations. Migration map:
 //!
-//! # Scratch-reuse contract
+//! | old (`QueryEngine`)             | new ([`serve`](crate::serve))                     |
+//! |---------------------------------|---------------------------------------------------|
+//! | `new(artifact).with_threads(n)` | `EpochServer::new(artifact).with_threads(n)`      |
+//! | `engine.epoch(&faults)`         | `let mut h = server.epoch(&faults)`               |
+//! | `engine.begin_epoch()`          | `let mut h = server.epoch_clear()`                |
+//! | `….fault_vertex(v)` re-epoch    | `h = h.step(EpochDelta::new().fault_vertex(v))`   |
+//! | `engine.route_batch(&pairs)`    | `h.route_batch(&pairs)`                           |
+//! | `engine.par_route_batch(…)`     | `h.par_route_batch(…)` (pool shared server-wide)  |
+//! | `engine.epoch_count()`          | `server.stats().epochs_opened`                    |
 //!
-//! Mirroring the construction-side oracles, the engine's hot state is
-//! allocated once and recycled:
-//!
-//! 1. **The epoch mask grows, never shrinks.** [`QueryEngine::begin_epoch`]
-//!    clears the mask in place ([`FaultMask::reset_for`]); steady-state
-//!    epochs perform no allocation.
-//! 2. **One Dijkstra engine + path scratch per serving thread.** The
-//!    sequential path owns one pair; every pool worker owns its own,
-//!    alive for the engine's whole lifetime. Query results are pure
-//!    functions of `(artifact, mask, pair)`, so per-thread scratch never
-//!    leaks into answers.
-//! 3. **Workers read, never write.** The artifact is shared as
-//!    `Arc<FrozenSpanner>` and the epoch mask crosses to the pool as an
-//!    `Arc<FaultMask>` snapshot taken at most once per epoch.
-//!
-//! Determinism: the pool chunks the batch by index and sorts the
-//! per-chunk answers back into input order; each answer is computed by
-//! the same monomorphized Dijkstra over the same frozen adjacency with
-//! the same tie-breaks as the sequential path, so thread count and
-//! scheduling cannot influence a single bit of the output.
-//!
-//! The engine does not care where its artifact came from: one built in
-//! this process ([`Spanner::freeze`](crate::Spanner::freeze) /
-//! [`FtSpanner::freeze`](crate::FtSpanner::freeze)) and one loaded from
-//! a persisted file
-//! ([`FrozenSpanner::decode`](crate::FrozenSpanner::decode), see the
-//! [`frozen`](crate::frozen) module docs) serve bit-identical answers —
-//! that is the build-once/serve-many contract, property-tested in
-//! `tests/artifact_props.rs`.
+//! The serving semantics (epoch model, batch amortization,
+//! bit-identical pooled batches, scratch-reuse contract, artifact
+//! provenance independence) are documented once, on
+//! [`serve`](crate::serve).
 
 use crate::routing::{Route, RouteError};
+use crate::serve::{EpochHandle, EpochServer};
 use crate::FrozenSpanner;
 use spanner_faults::FaultSet;
-use spanner_graph::{DijkstraEngine, Dist, EdgeId, FaultMask, NodeId, PathScratch};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use spanner_graph::{Dist, EdgeId, FaultMask, NodeId};
+use std::sync::Arc;
 
-/// Serves one pair against the frozen artifact under `mask`. The single
-/// implementation every path (sequential, batch, pool worker) routes
-/// through, so they cannot drift.
-fn route_one(
-    frozen: &FrozenSpanner,
-    engine: &mut DijkstraEngine,
-    scratch: &mut PathScratch,
-    mask: &FaultMask,
-    from: NodeId,
-    to: NodeId,
-) -> Result<Route, RouteError> {
-    for v in [from, to] {
-        if mask.is_vertex_faulted(v) {
-            return Err(RouteError::EndpointFailed(v));
-        }
-    }
-    if engine.shortest_path_bounded_into(frozen.csr(), from, to, Dist::INFINITE, mask, scratch) {
-        Ok(route_from_scratch(scratch))
-    } else {
-        Err(RouteError::Unreachable { from, to })
-    }
-}
-
-/// Converts the freshly extracted scratch into an owned [`Route`].
-fn route_from_scratch(scratch: &PathScratch) -> Route {
-    Route {
-        nodes: scratch.nodes().to_vec(),
-        edges: scratch.edges().to_vec(),
-        dist: scratch.dist(),
-    }
-}
-
-/// Serves a whole batch under `mask`, amortizing one Dijkstra search per
-/// **distinct source**: queries sharing a source are answered by a single
-/// [`DijkstraEngine::search_from`] plus per-target extraction, singleton
-/// sources by an early-stopped pair query. Answers land in input order
-/// and are bit-identical to serving every pair through [`route_one`]
-/// (Dijkstra settles each vertex once, so a settled target's path does
-/// not depend on where the search stopped — pinned by the property
-/// tests). Shared by the sequential batch path and every pool worker.
-fn serve_batch(
-    frozen: &FrozenSpanner,
-    engine: &mut DijkstraEngine,
-    scratch: &mut PathScratch,
-    mask: &FaultMask,
-    pairs: &[(NodeId, NodeId)],
-) -> Vec<Result<Route, RouteError>> {
-    let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
-    order.sort_unstable_by_key(|&i| pairs[i as usize].0);
-    let mut out: Vec<Option<Result<Route, RouteError>>> = vec![None; pairs.len()];
-    let mut at = 0usize;
-    while at < order.len() {
-        let from = pairs[order[at] as usize].0;
-        let mut end = at + 1;
-        while end < order.len() && pairs[order[end] as usize].0 == from {
-            end += 1;
-        }
-        let group = &order[at..end];
-        at = end;
-        if group.len() == 1 {
-            let i = group[0] as usize;
-            let (from, to) = pairs[i];
-            out[i] = Some(route_one(frozen, engine, scratch, mask, from, to));
-            continue;
-        }
-        if mask.is_vertex_faulted(from) {
-            for &i in group {
-                out[i as usize] = Some(Err(RouteError::EndpointFailed(from)));
-            }
-            continue;
-        }
-        engine.search_from(frozen.csr(), from, Dist::INFINITE, mask);
-        for &i in group {
-            let to = pairs[i as usize].1;
-            out[i as usize] = Some(if mask.is_vertex_faulted(to) {
-                Err(RouteError::EndpointFailed(to))
-            } else if engine.extract_path_into(to, Dist::INFINITE, scratch) {
-                Ok(route_from_scratch(scratch))
-            } else {
-                Err(RouteError::Unreachable { from, to })
-            });
-        }
-    }
-    out.into_iter()
-        .map(|answer| answer.expect("every index served"))
-        .collect()
-}
-
-/// One contiguous slice of a parallel batch, handed to a pool worker.
-struct BatchJob {
-    seq: u64,
-    chunk: usize,
-    pairs: Vec<(NodeId, NodeId)>,
-    mask: Arc<FaultMask>,
-}
-
-/// A worker's answers for one chunk, in the chunk's own order.
-type BatchAnswer = (u64, usize, Vec<Result<Route, RouteError>>);
-
-/// The persistent batch pool: shared job queue, result channel, joined
-/// on drop.
-struct BatchPool {
-    jobs: mpsc::Sender<BatchJob>,
-    results: mpsc::Receiver<BatchAnswer>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-/// Wrapper so the pool (whose channels are not `Debug`) can live inside
-/// a `#[derive(Debug)]` struct.
-struct BatchPoolHandle(BatchPool);
-
-impl std::fmt::Debug for BatchPoolHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BatchPool")
-            .field("workers", &self.0.handles.len())
-            .finish()
-    }
-}
-
-/// Chunks outstanding per worker in a parallel batch (finer than one
-/// chunk per thread so an unlucky chunk of long queries cannot straggle
-/// the whole batch).
-const CHUNKS_PER_THREAD: usize = 4;
-
-/// An epoch-based query engine over a shared [`FrozenSpanner`] (see the
-/// module docs for the epoch model and the scratch-reuse contract).
+/// An epoch-based query engine over a shared [`FrozenSpanner`] — a
+/// single-tenant compatibility shim over
+/// [`EpochServer`] (see the module docs for
+/// the migration map). Answers are bit-identical to the serving layer's
+/// because they *are* the serving layer's.
 ///
 /// # Examples
 ///
@@ -208,6 +60,7 @@ const CHUNKS_PER_THREAD: usize = 4;
 ///
 /// let mut engine = QueryEngine::new(artifact);
 /// // Apply the failure set once, then serve the whole batch against it.
+/// # #[allow(deprecated)]
 /// engine.epoch(&FaultSet::vertices([NodeId::new(3)]));
 /// let routes = engine.route_batch(&[
 ///     (NodeId::new(0), NodeId::new(7)),
@@ -217,92 +70,116 @@ const CHUNKS_PER_THREAD: usize = 4;
 /// ```
 #[derive(Debug)]
 pub struct QueryEngine {
-    frozen: Arc<FrozenSpanner>,
+    server: EpochServer,
     /// The current epoch's fault state over the spanner (reused across
-    /// epochs; see the scratch contract).
+    /// epochs, grown never shrunk — the original scratch contract).
     mask: FaultMask,
-    /// Lazily taken `Arc` snapshot of `mask` for the pool, invalidated
-    /// by any epoch mutation (at most one snapshot per epoch).
-    snapshot: Option<Arc<FaultMask>>,
-    engine: DijkstraEngine,
-    path: PathScratch,
+    /// The server session serving the current epoch, materialized
+    /// lazily on the first query after a mutation.
+    session: Option<EpochHandle>,
     epochs: u64,
-    threads: usize,
-    pool: Option<BatchPoolHandle>,
-    seq: u64,
 }
 
 impl QueryEngine {
-    /// Creates a sequential engine over the artifact. Add worker threads
-    /// with [`QueryEngine::with_threads`] to enable
+    /// Creates a sequential engine over the artifact (its own private
+    /// [`EpochServer`]). Add worker threads with
+    /// [`QueryEngine::with_threads`] to enable
     /// [`QueryEngine::par_route_batch`].
     pub fn new(frozen: Arc<FrozenSpanner>) -> Self {
+        QueryEngine::over(EpochServer::new(frozen))
+    }
+
+    /// Creates an engine serving through an existing (possibly shared)
+    /// [`EpochServer`] — the bridge form: the engine's epochs intern
+    /// into, and its pooled batches run on, the shared server state.
+    pub fn over(server: EpochServer) -> Self {
+        let frozen = server.artifact();
         let mask = FaultMask::with_capacity(frozen.node_count(), frozen.edge_count());
         QueryEngine {
-            frozen,
+            server,
             mask,
-            snapshot: None,
-            engine: DijkstraEngine::new(),
-            path: PathScratch::new(),
+            session: None,
             epochs: 0,
-            threads: 1,
-            pool: None,
-            seq: 0,
         }
     }
 
-    /// Sets the worker-pool size for parallel batches (at least 1; with
-    /// 1, [`QueryEngine::par_route_batch`] degrades to the sequential
-    /// batch). Workers are spawned lazily on the first parallel batch.
+    /// Sets the worker-pool width for parallel batches, delegating to
+    /// [`EpochServer::with_threads`] — **the** definition of the thread
+    /// convention (`0` = auto, `1` = sequential, `n` = exactly `n`).
+    /// The pool belongs to the underlying server, so engines sharing a
+    /// server (via [`QueryEngine::over`]) share one set of workers.
     ///
     /// # Panics
     ///
-    /// Panics if the pool already started working (workers bake the
-    /// artifact in at spawn time).
+    /// Panics if the server's pool already started working.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(
-            self.pool.is_none(),
-            "configure the engine before its first parallel batch"
-        );
-        self.threads = threads.max(1);
+        self.server = self.server.with_threads(threads);
         self
+    }
+
+    /// The underlying epoch server (shared state: view intern table,
+    /// worker pool, [`ServerStats`](crate::serve::ServerStats)).
+    pub fn server(&self) -> &EpochServer {
+        &self.server
     }
 
     /// The shared artifact this engine serves.
     pub fn artifact(&self) -> &Arc<FrozenSpanner> {
-        &self.frozen
+        self.server.artifact()
     }
 
-    /// Number of epochs applied so far (a reuse diagnostic: mask work is
-    /// proportional to epochs, never to queries).
+    /// Number of epochs applied through this engine (a reuse
+    /// diagnostic: mask work is proportional to epochs, never to
+    /// queries). Server-wide counters live in
+    /// [`EpochServer::stats`](crate::serve::EpochServer::stats).
     pub fn epoch_count(&self) -> u64 {
         self.epochs
+    }
+
+    fn begin_epoch_impl(&mut self) {
+        let frozen = self.server.artifact();
+        self.mask
+            .reset_for(frozen.node_count(), frozen.edge_count());
+        self.session = None;
+        self.epochs += 1;
     }
 
     /// Starts a fresh, failure-free epoch (clears the mask in place).
     /// Compose the failure state with [`QueryEngine::fault_vertex`] /
     /// [`QueryEngine::fault_parent_edge`], or use [`QueryEngine::epoch`]
     /// to do both in one call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "QueryEngine is a compatibility shim; open an EpochServer session instead \
+                (see the migration table in spanner_core::query)"
+    )]
     pub fn begin_epoch(&mut self) -> &mut Self {
-        self.mask
-            .reset_for(self.frozen.node_count(), self.frozen.edge_count());
-        self.snapshot = None;
-        self.epochs += 1;
+        self.begin_epoch_impl();
         self
     }
 
     /// Fails a vertex for the current epoch.
+    #[deprecated(
+        since = "0.1.0",
+        note = "QueryEngine is a compatibility shim; open an EpochServer session instead \
+                (see the migration table in spanner_core::query)"
+    )]
     pub fn fault_vertex(&mut self, v: NodeId) -> &mut Self {
-        self.snapshot = None;
+        self.session = None;
         self.mask.fault_vertex(v);
         self
     }
 
     /// Fails a *parent* edge for the current epoch (translated through
     /// the artifact's map; a no-op when the spanner did not keep it).
+    #[deprecated(
+        since = "0.1.0",
+        note = "QueryEngine is a compatibility shim; open an EpochServer session instead \
+                (see the migration table in spanner_core::query)"
+    )]
     pub fn fault_parent_edge(&mut self, parent_edge: EdgeId) -> &mut Self {
-        if let Some(own) = self.frozen.spanner_edge_of_parent(parent_edge) {
-            self.snapshot = None;
+        if let Some(own) = self.server.artifact().spanner_edge_of_parent(parent_edge) {
+            self.session = None;
             self.mask.fault_edge(own);
         }
         self
@@ -311,20 +188,28 @@ impl QueryEngine {
     /// Starts a new epoch under `failures` (vertex faults and/or parent
     /// edge faults): the failure set is applied **once**, here, and every
     /// query until the next epoch reads the resulting masked view.
+    #[deprecated(
+        since = "0.1.0",
+        note = "QueryEngine is a compatibility shim; open an EpochServer session instead \
+                (see the migration table in spanner_core::query)"
+    )]
     pub fn epoch(&mut self, failures: &FaultSet) -> &mut Self {
-        self.begin_epoch();
-        self.frozen.apply_faults(failures, &mut self.mask);
+        self.begin_epoch_impl();
+        let frozen = self.server.artifact();
+        frozen.apply_faults(failures, &mut self.mask);
         self
     }
 
     /// Starts a new epoch from a prebuilt mask over the *spanner's*
     /// graph (the [`Spanner::fault_mask`](crate::Spanner::fault_mask)
-    /// form), copied in place — the compatibility entrance for callers
-    /// that already hold spanner-id masks rather than parent-id fault
-    /// sets. Costs one mask copy per call; prefer [`QueryEngine::epoch`]
-    /// when the failure state is a [`FaultSet`].
+    /// form), copied in place.
+    #[deprecated(
+        since = "0.1.0",
+        note = "QueryEngine is a compatibility shim; open an EpochServer session instead \
+                (see the migration table in spanner_core::query)"
+    )]
     pub fn epoch_from_spanner_mask(&mut self, mask: &FaultMask) -> &mut Self {
-        self.begin_epoch();
+        self.begin_epoch_impl();
         self.mask.copy_from(mask);
         self
     }
@@ -332,6 +217,15 @@ impl QueryEngine {
     /// The current epoch's fault mask over the spanner.
     pub fn epoch_mask(&self) -> &FaultMask {
         &self.mask
+    }
+
+    /// The server session for the current epoch state, (re)opened
+    /// lazily so that a burst of mutator calls costs one view build.
+    fn session(&mut self) -> &mut EpochHandle {
+        if self.session.is_none() {
+            self.session = Some(self.server.epoch_from_spanner_mask(&self.mask));
+        }
+        self.session.as_mut().expect("materialized above")
     }
 
     /// Routes `from → to` in the current epoch.
@@ -344,14 +238,7 @@ impl QueryEngine {
     /// while at most `f` components are down and the parent stays
     /// connected).
     pub fn route(&mut self, from: NodeId, to: NodeId) -> Result<Route, RouteError> {
-        route_one(
-            &self.frozen,
-            &mut self.engine,
-            &mut self.path,
-            &self.mask,
-            from,
-            to,
-        )
+        self.session().route(from, to)
     }
 
     /// Costs `from → to` in the current epoch without extracting the
@@ -361,159 +248,33 @@ impl QueryEngine {
     ///
     /// Same contract as [`QueryEngine::route`].
     pub fn route_cost(&mut self, from: NodeId, to: NodeId) -> Result<Dist, RouteError> {
-        for v in [from, to] {
-            if self.mask.is_vertex_faulted(v) {
-                return Err(RouteError::EndpointFailed(v));
-            }
-        }
-        self.engine
-            .dist_bounded(self.frozen.csr(), from, to, Dist::INFINITE, &self.mask)
-            .ok_or(RouteError::Unreachable { from, to })
+        self.session().route_cost(from, to)
     }
 
     /// Serves a whole batch against the current epoch, one answer per
     /// pair in input order, amortizing one Dijkstra search per distinct
-    /// query source (see `serve_batch`'s bit-identity note). A failed
+    /// query source (see the [`serve`](crate::serve) module's
+    /// bit-identity notes). A failed
     /// or unreachable pair yields its error in its own slot without
     /// disturbing the rest of the batch.
     pub fn route_batch(&mut self, pairs: &[(NodeId, NodeId)]) -> Vec<Result<Route, RouteError>> {
-        serve_batch(
-            &self.frozen,
-            &mut self.engine,
-            &mut self.path,
-            &self.mask,
-            pairs,
-        )
+        self.session().route_batch(pairs)
     }
 
-    /// Like [`QueryEngine::route_batch`], fanned out over the persistent
-    /// worker pool — and bit-identical to it: same routes, same edges,
-    /// same distances, same errors, in the same order, regardless of
-    /// thread count or scheduling.
+    /// Like [`QueryEngine::route_batch`], fanned out over the server's
+    /// shared worker pool — and bit-identical to it: same routes, same
+    /// edges, same distances, same errors, in the same order, regardless
+    /// of thread count or scheduling.
     pub fn par_route_batch(
         &mut self,
         pairs: &[(NodeId, NodeId)],
     ) -> Vec<Result<Route, RouteError>> {
-        if self.threads <= 1 || pairs.len() <= 1 {
-            return self.route_batch(pairs);
-        }
-        self.ensure_pool();
-        if self.snapshot.is_none() {
-            self.snapshot = Some(Arc::new(self.mask.clone()));
-        }
-        let mask = Arc::clone(self.snapshot.as_ref().expect("taken above"));
-        self.seq += 1;
-        let chunk_size = pairs
-            .len()
-            .div_ceil(self.threads * CHUNKS_PER_THREAD)
-            .max(1);
-        let pool = &self.pool.as_ref().expect("pool spawned").0;
-        let mut chunks = 0usize;
-        for (chunk, slice) in pairs.chunks(chunk_size).enumerate() {
-            pool.jobs
-                .send(BatchJob {
-                    seq: self.seq,
-                    chunk,
-                    pairs: slice.to_vec(),
-                    mask: Arc::clone(&mask),
-                })
-                .expect("batch pool alive");
-            chunks += 1;
-        }
-        let mut records: Vec<(usize, Vec<Result<Route, RouteError>>)> = Vec::with_capacity(chunks);
-        while records.len() < chunks {
-            // recv_timeout + liveness check rather than a bare recv: if a
-            // worker dies mid-chunk (panic), its answer never arrives but
-            // the channel stays open through the survivors — a bare recv
-            // would hang the serving loop instead of failing loudly.
-            match pool.results.recv_timeout(Duration::from_millis(100)) {
-                Ok((seq, chunk, answers)) => {
-                    // Drop answers from an earlier batch that aborted
-                    // mid-drain (a caught worker panic): counting them
-                    // toward this batch's quota would attribute routes to
-                    // the wrong pairs.
-                    if seq == self.seq {
-                        records.push((chunk, answers));
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    assert!(
-                        !pool.handles.iter().any(|h| h.is_finished()),
-                        "a batch worker died mid-query"
-                    );
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    panic!("batch pool shut down mid-query");
-                }
-            }
-        }
-        records.sort_by_key(|(chunk, _)| *chunk);
-        records
-            .into_iter()
-            .flat_map(|(_, answers)| answers)
-            .collect()
-    }
-
-    /// Spawns the persistent workers on first use.
-    fn ensure_pool(&mut self) {
-        if self.pool.is_some() {
-            return;
-        }
-        let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
-        let (result_tx, result_rx) = mpsc::channel::<BatchAnswer>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let mut handles = Vec::with_capacity(self.threads);
-        for _ in 0..self.threads {
-            let jobs = Arc::clone(&job_rx);
-            let results = result_tx.clone();
-            let frozen = Arc::clone(&self.frozen);
-            handles.push(std::thread::spawn(move || {
-                // One Dijkstra engine + path scratch per worker, alive for
-                // the pool's lifetime: scratch persists across every batch
-                // of every epoch.
-                let mut engine = DijkstraEngine::new();
-                let mut path = PathScratch::new();
-                loop {
-                    let job = {
-                        let rx = jobs.lock().expect("job queue lock");
-                        match rx.recv() {
-                            Ok(job) => job,
-                            Err(_) => return, // pool dropped
-                        }
-                    };
-                    let answers =
-                        serve_batch(&frozen, &mut engine, &mut path, &job.mask, &job.pairs);
-                    let (seq, chunk) = (job.seq, job.chunk);
-                    // Release the mask snapshot before reporting, so the
-                    // epoch that follows a drained batch sees it freed.
-                    drop(job);
-                    if results.send((seq, chunk, answers)).is_err() {
-                        return; // pool dropped mid-flight
-                    }
-                }
-            }));
-        }
-        self.pool = Some(BatchPoolHandle(BatchPool {
-            jobs: job_tx,
-            results: result_rx,
-            handles,
-        }));
-    }
-}
-
-impl Drop for QueryEngine {
-    fn drop(&mut self) {
-        if let Some(BatchPoolHandle(pool)) = self.pool.take() {
-            drop(pool.jobs); // closes the queue; workers exit their loop
-            drop(pool.results);
-            for handle in pool.handles {
-                let _ = handle.join();
-            }
-        }
+        self.session().par_route_batch(pairs)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shim's own tests deliberately pin the deprecated surface
 mod tests {
     use super::*;
     use crate::routing::ResilientRouter;
@@ -595,6 +356,20 @@ mod tests {
             );
         }
         assert_eq!(engine.epoch_count(), 8);
+    }
+
+    #[test]
+    fn engines_sharing_a_server_share_views_and_pool() {
+        let server = EpochServer::new(artifact(8, 1)).with_threads(2);
+        let pairs = all_pairs(8);
+        let faults = FaultSet::vertices([NodeId::new(3)]);
+        let mut a = QueryEngine::over(server.clone());
+        let mut b = QueryEngine::over(server.clone());
+        a.epoch(&faults);
+        b.epoch(&faults);
+        assert_eq!(a.par_route_batch(&pairs), b.route_batch(&pairs));
+        let stats = server.stats();
+        assert_eq!(stats.views_shared, 1, "the two engines share one view");
     }
 
     #[test]

@@ -6,15 +6,18 @@
 //! inflation) in advance.
 //!
 //! [`ResilientRouter`] is the one-query-at-a-time compatibility surface:
-//! a thin shim over a [`QueryEngine`] that opens a
-//! fresh fault epoch per call. Serving loops that answer many queries
-//! under one failure state — or want batched / parallel answers — should
-//! freeze the spanner ([`Spanner::freeze`]) and drive the engine's epoch
-//! API directly; the results are bit-identical.
+//! a thin shim over the [`serve`] layer that applies the
+//! failure set afresh per call. Serving loops that answer many queries
+//! under one failure state — or want concurrent tenants, batched /
+//! pooled answers, or O(Δ) epoch deltas — should freeze the spanner
+//! ([`Spanner::freeze`]) and open [`EpochServer`] sessions directly;
+//! the results are bit-identical (the router routes through the very
+//! same implementation).
 
-use crate::{QueryEngine, Spanner};
+use crate::serve::{self, EpochServer};
+use crate::Spanner;
 use spanner_faults::FaultSet;
-use spanner_graph::{DijkstraEngine, Dist, EdgeId, FaultMask, Graph, NodeId};
+use spanner_graph::{DijkstraEngine, Dist, EdgeId, FaultMask, Graph, NodeId, PathScratch};
 use std::sync::Arc;
 
 /// A route served by [`ResilientRouter`].
@@ -41,6 +44,19 @@ pub enum RouteError {
         /// The query target.
         to: NodeId,
     },
+}
+
+impl RouteError {
+    /// A stable, machine-readable error code (part of the public error
+    /// taxonomy: codes never change meaning; new variants get new
+    /// codes). Match on codes, not on variants, when forward
+    /// compatibility matters — the enum is `#[non_exhaustive]`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RouteError::EndpointFailed(_) => "route/endpoint-failed",
+            RouteError::Unreachable { .. } => "route/unreachable",
+        }
+    }
 }
 
 impl std::fmt::Display for RouteError {
@@ -81,7 +97,12 @@ impl std::error::Error for RouteError {}
 #[derive(Debug)]
 pub struct ResilientRouter {
     spanner: Spanner,
-    engine: QueryEngine,
+    server: EpochServer,
+    /// Per-call fault state over the spanner (reused, grown never
+    /// shrunk).
+    mask: FaultMask,
+    engine: DijkstraEngine,
+    path: PathScratch,
     aux_engine: DijkstraEngine,
 }
 
@@ -91,13 +112,18 @@ impl ResilientRouter {
     /// That retention means the adjacency lives twice (construction-time
     /// `Spanner` + frozen artifact) — the price of the compatibility
     /// surface; serving code that doesn't need the `Spanner` back should
-    /// freeze once and hold only an `Arc<FrozenSpanner>` +
-    /// [`QueryEngine`].
+    /// freeze once and hold only an [`EpochServer`] over the
+    /// `Arc<FrozenSpanner>`.
     pub fn new(spanner: Spanner) -> Self {
-        let engine = QueryEngine::new(Arc::new(spanner.freeze()));
+        let server = EpochServer::new(Arc::new(spanner.freeze()));
+        let frozen = server.artifact();
+        let mask = FaultMask::with_capacity(frozen.node_count(), frozen.edge_count());
         ResilientRouter {
             spanner,
-            engine,
+            server,
+            mask,
+            engine: DijkstraEngine::new(),
+            path: PathScratch::new(),
             aux_engine: DijkstraEngine::new(),
         }
     }
@@ -105,6 +131,15 @@ impl ResilientRouter {
     /// The underlying spanner.
     pub fn spanner(&self) -> &Spanner {
         &self.spanner
+    }
+
+    /// The epoch server over this router's frozen artifact — the
+    /// concurrent serving surface ([`EpochServer::epoch`] /
+    /// [`EpochHandle`](crate::serve::EpochHandle)) for callers that
+    /// outgrow one-query-at-a-time routing. Sessions opened here answer
+    /// bit-identically to [`ResilientRouter::route`].
+    pub fn server(&self) -> &EpochServer {
+        &self.server
     }
 
     /// Routes `from → to` avoiding `failures` (vertex faults and/or parent
@@ -122,8 +157,18 @@ impl ResilientRouter {
         to: NodeId,
         failures: &FaultSet,
     ) -> Result<Route, RouteError> {
-        self.engine.epoch(failures);
-        self.engine.route(from, to)
+        let frozen = self.server.artifact();
+        self.mask
+            .reset_for(frozen.node_count(), frozen.edge_count());
+        frozen.apply_faults(failures, &mut self.mask);
+        serve::route_one(
+            frozen,
+            &mut self.engine,
+            &mut self.path,
+            &self.mask,
+            from,
+            to,
+        )
     }
 
     /// Costs `from → to` against a prebuilt fault mask over the
@@ -150,7 +195,7 @@ impl ResilientRouter {
             }
         }
         self.aux_engine
-            .dist_bounded(self.engine.artifact().csr(), from, to, Dist::INFINITE, mask)
+            .dist_bounded(self.server.artifact().csr(), from, to, Dist::INFINITE, mask)
             .ok_or(RouteError::Unreachable { from, to })
     }
 

@@ -50,23 +50,26 @@
 //! end-to-end trajectories are reproduced by calling [`run_scenario`]
 //! with the process stream's seed, not through the wrapper.
 //!
-//! The query hot path runs on the freeze-and-serve read path: the
-//! spanner is sealed once into a [`FrozenSpanner`](crate::FrozenSpanner)
-//! artifact and each simulation step is **one fault epoch** of a
-//! [`QueryEngine`] — the step's failure state is applied once
-//! ([`QueryEngine::begin_epoch`] + per-component faults, parent edge ids
-//! translated through the artifact's O(1) map), and every query of the
-//! step is costed against that epoch without path extraction or
-//! per-query allocation. Endpoints are index-sampled from a per-step
-//! live list and ground-truth parent distances come from a persistent
-//! [`DijkstraEngine`]. Because the engine layer is indifferent to where
-//! its artifact came from, the same drills run against a spanner frozen
-//! in-process or one loaded from a persisted artifact file
-//! ([`FrozenSpanner::decode`](crate::FrozenSpanner::decode)) — the
-//! `network_resilience` example does exactly that.
+//! The query hot path runs on the concurrent serving layer
+//! ([`serve`](crate::serve)): the spanner is sealed once into a
+//! [`FrozenSpanner`](crate::FrozenSpanner) artifact served by an
+//! [`EpochServer`], and each simulation step advances **one epoch
+//! session** by an [`EpochDelta`] listing only the components that
+//! changed state this step — O(Δ) serving-side work per step
+//! ([`EpochHandle::advance`]), not O(|F|), with parent edge ids
+//! translated through the artifact's O(1) map. Every query of the step
+//! is costed against the step's immutable fault view without path
+//! extraction or per-query allocation. Endpoints are index-sampled from
+//! a per-step live list and ground-truth parent distances come from a
+//! persistent [`DijkstraEngine`]. Because the serving layer is
+//! indifferent to where its artifact came from, the same drills run
+//! against a spanner frozen in-process or one loaded from a persisted
+//! artifact file ([`FrozenSpanner::decode`](crate::FrozenSpanner::decode))
+//! — the `network_resilience` example does exactly that.
 
 use crate::routing::RouteError;
-use crate::{FtSpanner, QueryEngine, Spanner};
+use crate::serve::{EpochDelta, EpochHandle, EpochServer};
+use crate::{FtSpanner, Spanner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spanner_faults::{FaultModel, FaultSet};
@@ -534,12 +537,12 @@ impl ScenarioOutcome {
 }
 
 /// The per-query serving machinery shared by random and scripted runs.
-/// The spanner side is a [`QueryEngine`] whose epoch is advanced once
-/// per step; the parent side (ground truth for the contract) keeps its
-/// own reusable mask and Dijkstra engine.
+/// The spanner side is an [`EpochHandle`] advanced by one
+/// [`EpochDelta`] per step; the parent side (ground truth for the
+/// contract) keeps its own reusable mask and Dijkstra engine.
 struct QueryServer<'a> {
     parent: &'a Graph,
-    engine: QueryEngine,
+    handle: EpochHandle,
     parent_engine: DijkstraEngine,
     parent_mask: FaultMask,
     stretch: f64,
@@ -571,7 +574,7 @@ impl QueryServer<'_> {
         }
         let best = best.value().unwrap_or(1).max(1) as f64;
         let bound = self.stretch * best;
-        match self.engine.route_cost(a, b) {
+        match self.handle.route_cost(a, b) {
             Ok(dist) => {
                 out.routed += 1;
                 let achieved = dist.value().unwrap_or(u64::MAX) as f64;
@@ -729,13 +732,15 @@ fn run_engine(
         FaultModel::Edge => parent.edge_count(),
     };
     // Freeze once: the run serves every step's queries from the same
-    // immutable artifact, one fault epoch per step (the artifact's
-    // parent→spanner edge map replaces the old ad-hoc translation table).
+    // immutable artifact, one epoch session advanced by per-step deltas
+    // (the artifact's parent→spanner edge map replaces the old ad-hoc
+    // translation table).
+    let epoch_server = EpochServer::new(Arc::new(spanner.freeze()));
     let mut server = QueryServer {
         parent,
         stretch: spanner.stretch() as f64,
         max_events: config.max_logged_events,
-        engine: QueryEngine::new(Arc::new(spanner.freeze())),
+        handle: epoch_server.epoch_clear(),
         parent_engine: DijkstraEngine::new(),
         parent_mask: FaultMask::for_graph(parent),
     };
@@ -748,29 +753,53 @@ fn run_engine(
     let mut process_rng = StdRng::seed_from_u64(seed);
     let mut query_rng = StdRng::seed_from_u64(seed ^ QUERY_STREAM_SALT);
     let mut down = vec![false; component_count];
+    // Previously applied component states + running failure count: each
+    // step translates the *diff* against them into one EpochDelta, so
+    // the serving layer does O(Δ) work per step instead of re-applying
+    // the whole failure set.
+    let mut applied = vec![false; component_count];
+    let mut failed = 0usize;
+    let mut delta = EpochDelta::new();
     process.begin(component_count);
     let mut live: Vec<NodeId> = Vec::with_capacity(parent.node_count());
     for step in 0..config.steps {
         process.step(step, &mut down, &mut process_rng);
-        server.parent_mask.clear();
-        server.engine.begin_epoch();
-        let mut failed = 0usize;
-        for (component, state) in down.iter().enumerate() {
-            if !*state {
+        delta.clear();
+        for component in 0..component_count {
+            if down[component] == applied[component] {
                 continue;
             }
-            failed += 1;
-            match config.model {
-                FaultModel::Vertex => {
-                    let v = NodeId::new(component);
-                    server.parent_mask.fault_vertex(v);
-                    server.engine.fault_vertex(v);
+            applied[component] = down[component];
+            if down[component] {
+                failed += 1;
+                match config.model {
+                    FaultModel::Vertex => {
+                        let v = NodeId::new(component);
+                        server.parent_mask.fault_vertex(v);
+                        delta.fault_vertex(v);
+                    }
+                    FaultModel::Edge => {
+                        server.parent_mask.fault_edge(EdgeId::new(component));
+                        delta.fault_parent_edge(EdgeId::new(component));
+                    }
                 }
-                FaultModel::Edge => {
-                    server.parent_mask.fault_edge(EdgeId::new(component));
-                    server.engine.fault_parent_edge(EdgeId::new(component));
+            } else {
+                failed -= 1;
+                match config.model {
+                    FaultModel::Vertex => {
+                        let v = NodeId::new(component);
+                        server.parent_mask.restore_vertex(v);
+                        delta.restore_vertex(v);
+                    }
+                    FaultModel::Edge => {
+                        server.parent_mask.restore_edge(EdgeId::new(component));
+                        delta.restore_parent_edge(EdgeId::new(component));
+                    }
                 }
             }
+        }
+        if !delta.is_empty() {
+            server.handle.advance(&delta);
         }
         outcome.peak_failures = outcome.peak_failures.max(failed);
         let within_budget = failed <= budget;

@@ -8,7 +8,7 @@
 //!
 //! * **Canonical roundtrip** — `decode(encode(a))` re-encodes to the
 //!   exact original bytes (so artifacts can be content-addressed);
-//! * **Serving bit-identity** — a [`QueryEngine`] over the decoded
+//! * **Serving bit-identity** — an [`EpochServer`] over the decoded
 //!   artifact answers every epoch'd `route_batch` identically (routes,
 //!   edges, distances, errors) to an engine over the original, for
 //!   failure epochs within and beyond the budget, including replays of
@@ -18,7 +18,7 @@
 
 use proptest::prelude::*;
 use spanner_core::routing::{Route, RouteError};
-use spanner_core::{FrozenSpanner, FtGreedy, QueryEngine};
+use spanner_core::{EpochServer, FrozenSpanner, FtGreedy};
 use spanner_faults::{FaultModel, FaultSet};
 use spanner_graph::{EdgeId, Graph, NodeId, Weight};
 use std::sync::Arc;
@@ -57,12 +57,11 @@ fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
 
 /// Serves one epoch'd batch: apply `failures` once, answer all pairs.
 fn serve(
-    engine: &mut QueryEngine,
+    server: &EpochServer,
     failures: &FaultSet,
     pairs: &[(NodeId, NodeId)],
 ) -> Vec<Result<Route, RouteError>> {
-    engine.epoch(failures);
-    engine.route_batch(pairs)
+    server.epoch(failures).route_batch(pairs)
 }
 
 proptest! {
@@ -108,12 +107,12 @@ proptest! {
                 .cloned(),
         );
         let pairs = all_pairs(g.node_count());
-        let mut served_original = QueryEngine::new(Arc::clone(&original));
-        let mut served_decoded = QueryEngine::new(Arc::clone(&decoded));
+        let served_original = EpochServer::new(Arc::clone(&original));
+        let served_decoded = EpochServer::new(Arc::clone(&decoded));
         for failures in &epochs {
             prop_assert_eq!(
-                serve(&mut served_decoded, failures, &pairs),
-                serve(&mut served_original, failures, &pairs),
+                serve(&served_decoded, failures, &pairs),
+                serve(&served_original, failures, &pairs),
                 "decoded artifact diverged under epoch {}",
                 failures
             );
@@ -142,7 +141,7 @@ proptest! {
 }
 
 /// The decoded artifact also plugs into the *pooled* batch path
-/// unchanged — `Arc`-shared into a multi-threaded engine with answers
+/// unchanged — `Arc`-shared into a multi-threaded server with answers
 /// bit-identical to the original's sequential batches.
 #[test]
 fn decoded_artifact_drives_the_worker_pool() {
@@ -151,14 +150,13 @@ fn decoded_artifact_drives_the_worker_pool() {
     let original = Arc::new(ft.freeze(&g));
     let decoded = Arc::new(FrozenSpanner::decode(&original.encode()).unwrap());
     let pairs = all_pairs(10);
+    let seq = EpochServer::new(Arc::clone(&original));
+    let pooled = EpochServer::new(Arc::clone(&decoded)).with_threads(3);
     for failed in [0usize, 3, 9] {
         let failures = FaultSet::vertices([NodeId::new(failed)]);
-        let mut seq = QueryEngine::new(Arc::clone(&original));
-        let mut pooled = QueryEngine::new(Arc::clone(&decoded)).with_threads(3);
-        pooled.epoch(&failures);
         assert_eq!(
-            pooled.par_route_batch(&pairs),
-            serve(&mut seq, &failures, &pairs),
+            pooled.epoch(&failures).par_route_batch(&pairs),
+            serve(&seq, &failures, &pairs),
             "pooled decoded artifact diverged failing v{failed}"
         );
     }

@@ -10,6 +10,12 @@
 //! same order — across random weighted graphs, fault budgets `f ∈
 //! {0, 1, 2}`, both fault models, and failure sets both within and
 //! beyond the budget.
+//!
+//! `QueryEngine`'s mutate-then-query surface is deprecated in favor of
+//! `EpochServer` sessions (`tests/epoch_server_props.rs` pins those);
+//! this suite deliberately keeps exercising the deprecated shim so the
+//! compatibility surface stays bit-identical for as long as it exists.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use spanner_core::routing::{ResilientRouter, Route, RouteError};

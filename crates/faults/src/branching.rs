@@ -45,6 +45,7 @@
 //! [`crate::reference::ReferenceBranchingOracle`] and the equivalence
 //! property tests pin this oracle's output (spanner and witnesses) to it.
 
+use crate::fingerprint::{component_hash, SetFingerprint};
 use crate::packing::{disjoint_path_packing_counted, PackingScratch};
 use crate::{FaultModel, FaultOracle, FaultSet, OracleQuery, OracleStats};
 use spanner_graph::connectivity::CutScratch;
@@ -120,31 +121,15 @@ struct SearchScratch {
     /// Segmented candidate arena: each recursion level appends its
     /// candidates and truncates back on exit.
     cand: Vec<usize>,
-    /// Incremental Zobrist fingerprint (xor half) of `current`.
-    key_xor: u64,
-    /// Incremental Zobrist fingerprint (sum half) of `current`.
-    key_sum: u64,
+    /// Incremental Zobrist fingerprint of `current` (shared scheme:
+    /// [`crate::fingerprint`]).
+    key: SetFingerprint,
     /// Shortest-path buffer for the node's witness path.
     path: PathScratch,
     /// Buffers for the packing probe.
     packing: PackingScratch,
     /// Flow network + residual buffers for the min-cut shortcut.
     cuts: CutScratch,
-}
-
-/// SplitMix64 finalizer: the per-element hash both fingerprint halves are
-/// built from. Candidates are tagged with the fault model so a vertex id
-/// and an equal edge id can never collide.
-#[inline]
-fn zobrist(model: FaultModel, c: usize) -> u64 {
-    let tag = match model {
-        FaultModel::Vertex => 0x517C_C1B7_2722_0A95u64,
-        FaultModel::Edge => 0x2545_F491_4F6C_DD1Du64,
-    };
-    let mut z = (c as u64 ^ tag).wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl BranchingOracle {
@@ -182,8 +167,7 @@ impl BranchingOracle {
         self.scratch.current.clear();
         self.scratch.memo.clear();
         self.scratch.cand.clear();
-        self.scratch.key_xor = 0;
-        self.scratch.key_sum = 0;
+        self.scratch.key = SetFingerprint::EMPTY;
     }
 
     /// Applies fault `c`: mask bit, DFS path, fingerprint.
@@ -197,9 +181,7 @@ impl BranchingOracle {
             }
         }
         self.scratch.current.push(c);
-        let h = zobrist(model, c);
-        self.scratch.key_xor ^= h;
-        self.scratch.key_sum = self.scratch.key_sum.wrapping_add(h);
+        self.scratch.key.add(component_hash(model, c));
     }
 
     /// Reverts [`BranchingOracle::push_fault`].
@@ -213,9 +195,7 @@ impl BranchingOracle {
                 self.scratch.mask.restore_edge(EdgeId::new(c));
             }
         }
-        let h = zobrist(model, c);
-        self.scratch.key_xor ^= h;
-        self.scratch.key_sum = self.scratch.key_sum.wrapping_sub(h);
+        self.scratch.key.remove(component_hash(model, c));
     }
 
     /// The bounded-search-tree DFS. On success (`true`) the blocking set
@@ -280,7 +260,7 @@ impl BranchingOracle {
             let c = self.scratch.cand[i];
             self.push_fault(q.model, c);
             let skip = if self.config.use_memo {
-                let key = (self.scratch.key_xor, self.scratch.key_sum);
+                let key = self.scratch.key.pair();
                 if self.scratch.memo.insert(key) {
                     false
                 } else {

@@ -23,7 +23,10 @@
 //!   baseline for the zero-allocation hot path;
 //! * [`GreedyHeuristicOracle`] — a *polynomial-time, inexact* oracle
 //!   probing the paper's open problem: its witnesses are always genuine,
-//!   but it may miss blocking sets (ablation experiment E11).
+//!   but it may miss blocking sets (ablation experiment E11);
+//! * [`fingerprint`] — the order-independent Zobrist set fingerprints
+//!   shared by the branching oracle's memoization and the serving side's
+//!   epoch-view interning (`spanner_core::serve`).
 //!
 //! # Example
 //!
@@ -55,6 +58,7 @@ mod model;
 mod oracle;
 mod parallel;
 
+pub mod fingerprint;
 pub mod packing;
 pub mod paths;
 pub mod reference;

@@ -5,40 +5,50 @@
 //!
 //! ```text
 //! querybench [--smoke | --quick | --full] [--threads N] [--repeats R] [--out PATH]
+//! querybench --tenants [--smoke | --quick | --full] [--repeats R] [--out PATH]
 //! querybench --check PATH
 //! ```
 //!
-//! Runs the E15 workload — epoch scenarios (no failures, `f` random
-//! failures, witness replay) × fault budgets × batch sizes over an FT
-//! spanner of a geometric network — through three read paths: the
-//! one-query-per-epoch `ResilientRouter` (the compatibility shim, every
-//! call re-applies the failure set), sequential `QueryEngine` epoch
-//! batches, and the pooled `par_route_batch` worker-pool path. Writes
-//! one JSON document (`BENCH_4.json` by default) with per-cell
+//! The default family runs the E15 workload — epoch scenarios (no
+//! failures, `f` random failures, witness replay) × fault budgets ×
+//! batch sizes over an FT spanner of a geometric network — through
+//! three read paths: the one-query-per-epoch `ResilientRouter`,
+//! sequential `EpochServer` session batches, and the pooled
+//! `par_route_batch` worker-pool path. Writes one JSON document
+//! (`BENCH_4.json` by default, schema `querybench-1`) with per-cell
 //! queries/second and speedups vs the router baseline, **after**
 //! asserting all three paths returned bit-identical answers — the run
 //! fails on any sequential-vs-parallel (or router) mismatch.
 //!
+//! `--tenants` runs the E16 workload instead — tenants × serving
+//! threads × batch over one shared `EpochServer` — through the
+//! per-tenant router reference, shared scoped-thread sessions, and the
+//! `BatchCoalescer` flush path; `BENCH_6.json` by default, schema
+//! `querybench-2`, with the additional hard gate that tenant sessions
+//! certifiably shared interned fault views.
+//!
 //! `--check` re-reads any such artifact with the strict parser in
-//! [`spanner_harness::json`] and validates the `querybench-1` schema
-//! (including every record's identity certification), which is what the
-//! CI bench-smoke job runs so the serving pipeline cannot silently rot.
+//! [`spanner_harness::json`], dispatches on the document's schema tag,
+//! and validates the matching schema (including every record's
+//! identity certification), which is what the CI bench-smoke job runs
+//! so the serving pipeline cannot silently rot.
 
 use spanner_harness::cli::{self, Parsed};
-use spanner_harness::experiments::{e15_throughput, ExperimentContext, Scale};
+use spanner_harness::experiments::{e15_throughput, e16_tenants, ExperimentContext, Scale};
 use spanner_harness::json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     scale: Scale,
-    out: PathBuf,
+    tenants: bool,
+    out: Option<PathBuf>,
     threads: usize,
     repeats: usize,
     check: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: querybench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       querybench --check PATH";
+const USAGE: &str = "usage: querybench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       querybench --tenants [--smoke|--quick|--full] [--repeats R] [--out PATH]\n       querybench --check PATH";
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -51,7 +61,8 @@ fn scale_name(scale: Scale) -> &'static str {
 fn parse_args() -> Result<Parsed<Args>, String> {
     let mut args = Args {
         scale: Scale::Full,
-        out: PathBuf::from("BENCH_4.json"),
+        tenants: false,
+        out: None, // None = family default (BENCH_4.json / BENCH_6.json)
         threads: 4,
         repeats: 0, // 0 = scale default
         check: None,
@@ -62,7 +73,8 @@ fn parse_args() -> Result<Parsed<Args>, String> {
             "--smoke" => args.scale = Scale::Smoke,
             "--quick" => args.scale = Scale::Quick,
             "--full" => args.scale = Scale::Full,
-            "--out" => args.out = PathBuf::from(cli::value_for(&mut it, "--out")?),
+            "--tenants" => args.tenants = true,
+            "--out" => args.out = Some(PathBuf::from(cli::value_for(&mut it, "--out")?)),
             "--check" => {
                 args.check = Some(PathBuf::from(cli::value_for(&mut it, "--check")?));
             }
@@ -85,14 +97,49 @@ fn parse_args() -> Result<Parsed<Args>, String> {
 
 fn run_bench(args: &Args) -> Result<(), String> {
     let ctx = ExperimentContext::new(args.scale);
+    let out = args.out.clone().unwrap_or_else(|| {
+        PathBuf::from(if args.tenants {
+            "BENCH_6.json"
+        } else {
+            "BENCH_4.json"
+        })
+    });
     println!(
-        "querybench: scale={} repeats={} threads={} -> {}",
+        "querybench{}: scale={} repeats={} threads={} -> {}",
+        if args.tenants { " --tenants" } else { "" },
         scale_name(args.scale),
         args.repeats,
         args.threads,
-        args.out.display()
+        out.display()
     );
-    let cells = e15_throughput::sweep(&ctx, args.threads, args.repeats);
+    let (doc, mismatches) = if args.tenants {
+        tenants_doc(&ctx, args)
+    } else {
+        throughput_doc(&ctx, args)
+    };
+    let text = format!("{doc}\n");
+    // Self-check before writing: the artifact must parse with the same
+    // strict parser CI uses and satisfy its own schema. A mismatch cell
+    // makes this fail too, but report it with the sharper message below.
+    let parsed =
+        json::parse(&text).map_err(|e| format!("internal error: emitted invalid JSON: {e}"))?;
+    if mismatches == 0 {
+        check_by_schema(&parsed)
+            .map_err(|e| format!("internal error: emitted off-schema artifact: {e}"))?;
+    }
+    std::fs::write(&out, &text).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} cell(s) returned different answers across read paths — serving must be bit-identical"
+        ));
+    }
+    Ok(())
+}
+
+/// The default (E15) family: scenarios × budgets × batch sizes.
+fn throughput_doc(ctx: &ExperimentContext, args: &Args) -> (json::JsonValue, usize) {
+    let cells = e15_throughput::sweep(ctx, args.threads, args.repeats);
     let mut mismatches = 0usize;
     for cell in &cells {
         if !cell.identical {
@@ -113,38 +160,64 @@ fn run_bench(args: &Args) -> Result<(), String> {
         );
     }
     let doc = e15_throughput::artifact(scale_name(args.scale), args.threads, args.repeats, &cells);
-    let text = format!("{doc}\n");
-    // Self-check before writing: the artifact must parse with the same
-    // strict parser CI uses and satisfy its own schema. A mismatch cell
-    // makes this fail too, but report it with the sharper message below.
-    let parsed =
-        json::parse(&text).map_err(|e| format!("internal error: emitted invalid JSON: {e}"))?;
-    if mismatches == 0 {
-        e15_throughput::check_artifact(&parsed)
-            .map_err(|e| format!("internal error: emitted off-schema artifact: {e}"))?;
+    (doc, mismatches)
+}
+
+/// The `--tenants` (E16) family: tenants × serving threads × batch.
+fn tenants_doc(ctx: &ExperimentContext, args: &Args) -> (json::JsonValue, usize) {
+    let cells = e16_tenants::sweep(ctx, args.repeats);
+    let mut mismatches = 0usize;
+    for cell in &cells {
+        if !cell.identical {
+            mismatches += 1;
+        }
+        println!(
+            "  tenants={:<3} views={:<2} threads={} batch={:<4}  router {:>9.0} q/s | shared {:>9.0} q/s ({:>5.2}x) | coalesced {:>9.0} q/s ({:>5.2}x)  identical={}",
+            cell.tenants,
+            cell.views,
+            cell.threads,
+            cell.batch,
+            cell.router_qps,
+            cell.shared_qps,
+            cell.speedup_shared(),
+            cell.coalesced_qps,
+            cell.speedup_coalesced(),
+            cell.identical,
+        );
     }
-    std::fs::write(&args.out, &text)
-        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
-    println!("wrote {}", args.out.display());
-    if mismatches > 0 {
-        return Err(format!(
-            "{mismatches} cell(s) returned different answers across read paths — serving must be bit-identical"
-        ));
+    let doc = e16_tenants::artifact(scale_name(args.scale), args.repeats, &cells);
+    (doc, mismatches)
+}
+
+/// Dispatches a parsed artifact to the checker matching its schema tag.
+fn check_by_schema(doc: &json::JsonValue) -> Result<(), String> {
+    match doc.get("schema").and_then(json::JsonValue::as_str) {
+        Some(e15_throughput::SCHEMA) => e15_throughput::check_artifact(doc),
+        Some(e16_tenants::SCHEMA) => e16_tenants::check_artifact(doc),
+        Some(other) => Err(format!(
+            "unknown schema {other:?} (want {:?} or {:?})",
+            e15_throughput::SCHEMA,
+            e16_tenants::SCHEMA
+        )),
+        None => Err("missing schema tag".into()),
     }
-    Ok(())
 }
 
 fn run_check(path: &PathBuf) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    e15_throughput::check_artifact(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    check_by_schema(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = doc
+        .get("schema")
+        .and_then(json::JsonValue::as_str)
+        .expect("checked above");
     let records = doc
         .get("records")
         .and_then(json::JsonValue::as_array)
         .expect("checked above");
     println!(
-        "{}: ok ({} throughput records)",
+        "{}: ok ({} records, schema {schema})",
         path.display(),
         records.len()
     );

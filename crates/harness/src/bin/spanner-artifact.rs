@@ -35,7 +35,7 @@ use spanner_core::frozen::{
     SECTION_SPANNER, SECTION_WITNESSES,
 };
 use spanner_core::routing::{Route, RouteError};
-use spanner_core::{FrozenSpanner, FtGreedy, QueryEngine};
+use spanner_core::{EpochServer, FrozenSpanner, FtGreedy};
 use spanner_faults::{FaultModel, FaultSet};
 use spanner_graph::io::binary::{fnv1a64, parse_container};
 use spanner_graph::{generators, io, Graph, NodeId};
@@ -420,22 +420,20 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
     println!("rebuild cross-check: construction re-encodes byte-identically");
 
     let plan = plan_epochs(&loaded, &args);
-    let mut from_disk = QueryEngine::new(Arc::clone(&loaded));
-    let mut from_disk_pooled = QueryEngine::new(Arc::clone(&loaded)).with_threads(args.threads);
-    let mut from_memory = QueryEngine::new(Arc::clone(&rebuilt));
+    let from_disk = EpochServer::new(Arc::clone(&loaded));
+    let from_disk_pooled = EpochServer::new(Arc::clone(&loaded)).with_threads(args.threads);
+    let from_memory = EpochServer::new(Arc::clone(&rebuilt));
     let mut served = 0usize;
     let mut errors = 0usize;
     for (epoch, (failures, pairs)) in plan.iter().enumerate() {
-        from_memory.epoch(failures);
-        let reference: Vec<Result<Route, RouteError>> = from_memory.route_batch(pairs);
-        from_disk.epoch(failures);
-        if from_disk.route_batch(pairs) != reference {
+        let reference: Vec<Result<Route, RouteError>> =
+            from_memory.epoch(failures).route_batch(pairs);
+        if from_disk.epoch(failures).route_batch(pairs) != reference {
             return Err(format!(
                 "epoch {epoch}: decoded artifact's sequential batch diverged from the in-memory rebuild"
             ));
         }
-        from_disk_pooled.epoch(failures);
-        if from_disk_pooled.par_route_batch(pairs) != reference {
+        if from_disk_pooled.epoch(failures).par_route_batch(pairs) != reference {
             return Err(format!(
                 "epoch {epoch}: decoded artifact's pooled batch diverged from the in-memory rebuild"
             ));

@@ -10,12 +10,12 @@
 //! * `router` — the one-query-per-epoch [`ResilientRouter`]: every call
 //!   re-applies the failure set (the pre-PR-4 consumer path, kept as the
 //!   compatibility shim);
-//! * `batch` — a [`QueryEngine`] over the shared frozen artifact: the
-//!   failure set is applied **once** per epoch, the batch served against
-//!   the reusable masked view;
-//! * `par` — the same engine's pooled batch entry point
-//!   ([`QueryEngine::par_route_batch`]), persistent workers, answers
-//!   reassembled in input order.
+//! * `batch` — an [`EpochServer`] session over the shared frozen
+//!   artifact: the failure set is applied **once** per epoch, the batch
+//!   served against the interned fault view;
+//! * `par` — the same server's pooled batch entry point
+//!   ([`EpochHandle::par_route_batch`](spanner_core::EpochHandle::par_route_batch)),
+//!   persistent workers, answers reassembled in input order.
 //!
 //! Grid: failure scenario (`clear` / `random-f` / `witness-replay`) ×
 //! fault budget × batch size, at a fixed worker-pool width. Every cell
@@ -31,7 +31,7 @@ use crate::{cell_seed, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spanner_core::routing::{ResilientRouter, Route, RouteError};
-use spanner_core::{FtGreedy, QueryEngine};
+use spanner_core::{EpochServer, FtGreedy};
 use spanner_faults::FaultSet;
 use spanner_graph::generators::random_geometric;
 use spanner_graph::NodeId;
@@ -220,21 +220,22 @@ pub fn sweep(ctx: &ExperimentContext, threads: usize, repeats: usize) -> Vec<Thr
                 });
 
                 // Path 2: sequential epoch batches over the frozen
-                // artifact (failure set applied once per epoch).
-                let mut engine = QueryEngine::new(Arc::clone(&frozen));
+                // artifact (failure set applied once per epoch; one
+                // server session per epoch).
+                let server = EpochServer::new(Arc::clone(&frozen));
                 let (batch_secs, batch_answers) = measure(repeats, &plan, |epoch| {
-                    engine.epoch(&epoch.failures);
-                    engine.route_batch(&epoch.pairs)
+                    server.epoch(&epoch.failures).route_batch(&epoch.pairs)
                 });
 
-                // Path 3: pooled epoch batches. Warm the pool outside the
-                // timed region (worker spawn is a one-off cost).
-                let mut pooled = QueryEngine::new(Arc::clone(&frozen)).with_threads(threads);
-                pooled.epoch(&plan[0].failures);
-                let _ = pooled.par_route_batch(&plan[0].pairs);
+                // Path 3: pooled epoch batches over a shared server.
+                // Warm the pool outside the timed region (worker spawn
+                // is a one-off cost).
+                let pooled = EpochServer::new(Arc::clone(&frozen)).with_threads(threads);
+                let _ = pooled
+                    .epoch(&plan[0].failures)
+                    .par_route_batch(&plan[0].pairs);
                 let (par_secs, par_answers) = measure(repeats, &plan, |epoch| {
-                    pooled.epoch(&epoch.failures);
-                    pooled.par_route_batch(&epoch.pairs)
+                    pooled.epoch(&epoch.failures).par_route_batch(&epoch.pairs)
                 });
 
                 let identical = router_answers == batch_answers && batch_answers == par_answers;

@@ -1,0 +1,612 @@
+//! E16 / Table 12 — concurrent multi-tenant epoch serving.
+//!
+//! E15 measures the single-tenant read paths; E16 measures the PR-6
+//! serving layer doing what it was built for: **many tenants, one
+//! frozen artifact, one shared [`EpochServer`]**. Tenants are assigned
+//! fault views so that pairs of tenants share a view (tenant `t` uses
+//! view `t mod v`, `v = max(1, tenants/2)`), which exercises the
+//! server's view interning — the second tenant of a view must reuse the
+//! first tenant's masked state, not rebuild it. Three serving
+//! strategies answer identical per-tenant workloads:
+//!
+//! * `router` — the reference: one fresh [`ResilientRouter`] per
+//!   tenant, every query re-applies the tenant's failure set;
+//! * `shared` — one `EpochServer`, one [`EpochHandle`] session per
+//!   tenant, tenants partitioned across `threads` OS threads
+//!   (`std::thread::scope`), each thread serving its tenants'
+//!   `route_batch` calls against the shared interned views;
+//! * `coalesced` — the [`BatchCoalescer`] front-end: every tenant
+//!   submits its batch, one `flush` serves each distinct fault view in
+//!   a single amortized pass (pooled over the server's worker pool when
+//!   `threads > 1`).
+//!
+//! Grid: tenants × serving threads × batch size at a fixed budget
+//! `f = 1`. Every cell asserts all three strategies returned
+//! **bit-identical answers** per tenant (routes, edges, distances,
+//! errors — the property `epoch_server_props` pins), then reports
+//! queries/second. An untimed stats pass additionally certifies the
+//! sharing claim itself: opening all tenant sessions builds exactly `v`
+//! fault views (`views_built == views`, `epochs_opened == tenants`) —
+//! the interning table, not the tenant count, pays the mask work. The
+//! same sweep backs `querybench --tenants`, which emits the
+//! machine-readable `BENCH_6.json` artifact CI schema-checks.
+
+use super::{ExperimentContext, ExperimentOutput};
+use crate::json::{num, obj, s, JsonValue};
+use crate::{cell_seed, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spanner_core::routing::{ResilientRouter, Route, RouteError};
+use spanner_core::{BatchCoalescer, EpochHandle, EpochServer, FtGreedy, Ticket};
+use spanner_faults::FaultSet;
+use spanner_graph::generators::random_geometric;
+use spanner_graph::NodeId;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The tenants-bench artifact schema tag; bump when the layout changes.
+pub const SCHEMA: &str = "vft-spanner/querybench-2";
+
+/// The stretch target every E16 spanner is built for.
+pub const STRETCH: u64 = 3;
+
+/// The fault budget (and per-view failure count) of the sweep.
+pub const BUDGET: usize = 1;
+
+/// One cell of the sweep: one tenants × threads × batch configuration,
+/// measured over all three serving strategies.
+#[derive(Clone, Debug)]
+pub struct TenantsCell {
+    /// Network size.
+    pub n: usize,
+    /// Spanner size.
+    pub edges: usize,
+    /// Concurrent tenant sessions.
+    pub tenants: usize,
+    /// Distinct fault views among the tenants (`max(1, tenants/2)`).
+    pub views: usize,
+    /// OS threads (shared path) / worker-pool width (coalesced path).
+    pub threads: usize,
+    /// Queries per tenant.
+    pub batch: usize,
+    /// Total queries per strategy (`tenants × batch`).
+    pub queries: usize,
+    /// Per-tenant fresh-router reference throughput (queries/second).
+    pub router_qps: f64,
+    /// Shared-server scoped-thread throughput.
+    pub shared_qps: f64,
+    /// Coalesced-flush throughput.
+    pub coalesced_qps: f64,
+    /// Fault views actually built when all tenant sessions were open
+    /// (must equal [`TenantsCell::views`] — the interning certificate).
+    pub views_built: u64,
+    /// Epoch sessions opened in the stats pass (must equal `tenants`).
+    pub epochs_opened: u64,
+    /// Sessions that reused an interned view (`tenants − views`).
+    pub views_shared: u64,
+    /// Whether all three strategies returned bit-identical answers.
+    pub identical: bool,
+}
+
+impl TenantsCell {
+    /// Shared-path speedup over the per-tenant router reference,
+    /// rounded the way the artifact records it.
+    pub fn speedup_shared(&self) -> f64 {
+        round2(self.shared_qps / self.router_qps)
+    }
+
+    /// Coalesced-path speedup over the per-tenant router reference,
+    /// rounded the way the artifact records it.
+    pub fn speedup_coalesced(&self) -> f64 {
+        round2(self.coalesced_qps / self.router_qps)
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// One tenant's workload: its fault view and its batch of live pairs.
+struct TenantPlan {
+    failures: FaultSet,
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// Builds the per-tenant workloads for one cell, deterministically from
+/// the cell seed. The `views` fault sets are pairwise disjoint (so the
+/// cell has exactly `views` distinct fault sets); tenant `t` is
+/// assigned view `t mod views`, so assignments wrap and every view
+/// (when `tenants >= 2 × views`) serves at least two tenants. Pairs
+/// have live, distinct endpoints.
+fn plan_tenants(
+    n: usize,
+    tenants: usize,
+    views: usize,
+    batch: usize,
+    seed: u64,
+) -> Vec<TenantPlan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Views draw disjoint vertex sets: the cell's distinct-fault-set
+    // count must be exactly `views`, or the interning certificate
+    // (`views_built == views`) would be ruined by a random collision.
+    assert!(views * BUDGET < n, "not enough vertices for disjoint views");
+    let mut used: Vec<NodeId> = Vec::new();
+    let view_sets: Vec<FaultSet> = (0..views)
+        .map(|_| {
+            let mut down = Vec::with_capacity(BUDGET);
+            while down.len() < BUDGET {
+                let v = NodeId::new(rng.gen_range(0..n));
+                if !down.contains(&v) && !used.contains(&v) {
+                    down.push(v);
+                }
+            }
+            used.extend(down.iter().copied());
+            FaultSet::vertices(down)
+        })
+        .collect();
+    (0..tenants)
+        .map(|t| {
+            let failures = view_sets[t % views].clone();
+            let live: Vec<NodeId> = (0..n)
+                .map(NodeId::new)
+                .filter(|v| !failures.vertex_faults().contains(v))
+                .collect();
+            let pairs = (0..batch)
+                .map(|_| {
+                    let i = rng.gen_range(0..live.len());
+                    let mut j = rng.gen_range(0..live.len() - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    (live[i], live[j])
+                })
+                .collect();
+            TenantPlan { failures, pairs }
+        })
+        .collect()
+}
+
+type Answers = Vec<Vec<Result<Route, RouteError>>>;
+
+/// Times `serve_all` (one call answers every tenant) `repeats` times,
+/// keeping the minimum wall time and the last run's answers.
+fn measure(repeats: usize, mut serve_all: impl FnMut() -> Answers) -> (f64, Answers) {
+    let mut best = f64::INFINITY;
+    let mut answers = Vec::new();
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let run = serve_all();
+        best = best.min(start.elapsed().as_secs_f64());
+        answers = run;
+    }
+    (best, answers)
+}
+
+/// Serves every tenant through one shared server, tenants partitioned
+/// across `threads` scoped OS threads.
+fn serve_shared(server: &EpochServer, plan: &[TenantPlan], threads: usize) -> Answers {
+    let mut results: Answers = vec![Vec::new(); plan.len()];
+    let per_thread = plan.len().div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        for (slots, tenants) in results.chunks_mut(per_thread).zip(plan.chunks(per_thread)) {
+            scope.spawn(move || {
+                for (out, tenant) in slots.iter_mut().zip(tenants) {
+                    *out = server.epoch(&tenant.failures).route_batch(&tenant.pairs);
+                }
+            });
+        }
+    });
+    results
+}
+
+/// Serves every tenant through one coalesced flush: all batches
+/// submitted up front, one amortized pass per distinct fault view.
+fn serve_coalesced(server: &EpochServer, plan: &[TenantPlan]) -> Answers {
+    let sessions: Vec<EpochHandle> = plan.iter().map(|t| server.epoch(&t.failures)).collect();
+    let mut coalescer = BatchCoalescer::new(server);
+    let tickets: Vec<Ticket> = sessions
+        .iter()
+        .zip(plan)
+        .map(|(session, tenant)| coalescer.submit(session, &tenant.pairs))
+        .collect();
+    let mut answers = coalescer.flush();
+    tickets
+        .into_iter()
+        .map(|t| std::mem::take(&mut answers[t.index()]))
+        .collect()
+}
+
+/// Runs the tenants × threads × batch sweep and returns every cell
+/// (table rendering and JSON emission both feed off this). `repeats` is
+/// the min-of-N methodology.
+pub fn sweep(ctx: &ExperimentContext, repeats: usize) -> Vec<TenantsCell> {
+    let n = ctx.pick(24, 64, 96);
+    let radius = ctx.pick(0.5, 0.3, 0.27);
+    let tenant_counts: Vec<usize> = ctx.pick(vec![4], vec![4, 16], vec![4, 16, 64]);
+    let thread_counts: Vec<usize> = ctx.pick(vec![2], vec![1, 2], vec![1, 2, 4]);
+    let batches: Vec<usize> = ctx.pick(vec![8], vec![16, 128], vec![16, 256]);
+
+    let mut graph_rng = StdRng::seed_from_u64(cell_seed(16, 0, 0));
+    let g = random_geometric(n, radius, &mut graph_rng);
+    let ft = FtGreedy::new(&g, STRETCH).faults(BUDGET).run();
+    let frozen = Arc::new(ft.freeze(&g));
+    let spanner = ft.into_spanner();
+
+    let mut cells = Vec::new();
+    for &tenants in &tenant_counts {
+        let views = (tenants / 2).max(1);
+        for &threads in &thread_counts {
+            for &batch in &batches {
+                let seed = cell_seed(16, (tenants * 8 + threads) as u64, batch as u64);
+                let plan = plan_tenants(n, tenants, views, batch, seed);
+
+                // Strategy 1: the reference — a fresh router per
+                // tenant, every query re-applying the failure set.
+                let (router_secs, router_answers) = measure(repeats, || {
+                    plan.iter()
+                        .map(|tenant| {
+                            let mut router = ResilientRouter::new(spanner.clone());
+                            tenant
+                                .pairs
+                                .iter()
+                                .map(|&(u, v)| router.route(u, v, &tenant.failures))
+                                .collect()
+                        })
+                        .collect()
+                });
+
+                // Strategy 2: one shared server, tenant sessions
+                // served across scoped OS threads.
+                let shared = EpochServer::new(Arc::clone(&frozen));
+                let (shared_secs, shared_answers) =
+                    measure(repeats, || serve_shared(&shared, &plan, threads));
+
+                // Strategy 3: the coalescer — every tenant submits,
+                // one flush serves each distinct view in one pass,
+                // pooled when the server has workers. Warm the pool
+                // outside the timed region (spawn is a one-off cost).
+                let pooled = EpochServer::new(Arc::clone(&frozen)).with_threads(threads);
+                let _ = serve_coalesced(&pooled, &plan[..1]);
+                let (coalesced_secs, coalesced_answers) =
+                    measure(repeats, || serve_coalesced(&pooled, &plan));
+
+                // Untimed stats pass on a fresh server: with every
+                // tenant session held open, the interning table must
+                // have built exactly one view per distinct fault set.
+                let audit = EpochServer::new(Arc::clone(&frozen));
+                let held: Vec<EpochHandle> =
+                    plan.iter().map(|t| audit.epoch(&t.failures)).collect();
+                let stats = audit.stats();
+                drop(held);
+
+                let identical =
+                    router_answers == shared_answers && shared_answers == coalesced_answers;
+                let queries = tenants * batch;
+                cells.push(TenantsCell {
+                    n,
+                    edges: spanner.edge_count(),
+                    tenants,
+                    views,
+                    threads,
+                    batch,
+                    queries,
+                    router_qps: queries as f64 / router_secs.max(1e-9),
+                    shared_qps: queries as f64 / shared_secs.max(1e-9),
+                    coalesced_qps: queries as f64 / coalesced_secs.max(1e-9),
+                    views_built: stats.views_built,
+                    epochs_opened: stats.epochs_opened,
+                    views_shared: stats.views_shared,
+                    identical,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn cell_json(cell: &TenantsCell) -> JsonValue {
+    obj([
+        ("n", num(cell.n as f64)),
+        ("edges_kept", num(cell.edges as f64)),
+        ("f", num(BUDGET as f64)),
+        ("tenants", num(cell.tenants as f64)),
+        ("views", num(cell.views as f64)),
+        ("threads", num(cell.threads as f64)),
+        ("batch", num(cell.batch as f64)),
+        ("queries", num(cell.queries as f64)),
+        ("router_qps", num(cell.router_qps.round())),
+        ("shared_qps", num(cell.shared_qps.round())),
+        ("coalesced_qps", num(cell.coalesced_qps.round())),
+        ("speedup_shared", num(cell.speedup_shared())),
+        ("speedup_coalesced", num(cell.speedup_coalesced())),
+        ("views_built", num(cell.views_built as f64)),
+        ("epochs_opened", num(cell.epochs_opened as f64)),
+        ("views_shared", num(cell.views_shared as f64)),
+        ("identical", JsonValue::Bool(cell.identical)),
+    ])
+}
+
+/// Builds the machine-readable tenants-bench artifact (the document
+/// `querybench --tenants` writes as `BENCH_6.json` and CI
+/// schema-checks).
+pub fn artifact(scale_name: &str, repeats: usize, cells: &[TenantsCell]) -> JsonValue {
+    let all_identical = cells.iter().all(|c| c.identical);
+    let best_shared = cells
+        .iter()
+        .map(TenantsCell::speedup_shared)
+        .fold(0.0, f64::max);
+    let best_coalesced = cells
+        .iter()
+        .map(TenantsCell::speedup_coalesced)
+        .fold(0.0, f64::max);
+    obj([
+        ("schema", s(SCHEMA)),
+        (
+            "generated_by",
+            s("cargo run --release -p spanner-harness --bin querybench -- --tenants"),
+        ),
+        ("scale", s(scale_name)),
+        ("stretch", num(STRETCH as f64)),
+        ("f", num(BUDGET as f64)),
+        ("repeats", num(repeats as f64)),
+        (
+            "records",
+            JsonValue::Array(cells.iter().map(cell_json).collect()),
+        ),
+        (
+            "summary",
+            obj([
+                ("cells", num(cells.len() as f64)),
+                ("results_identical_all", JsonValue::Bool(all_identical)),
+                ("best_speedup_shared", num(best_shared)),
+                ("best_speedup_coalesced", num(best_coalesced)),
+            ]),
+        ),
+    ])
+}
+
+/// Validates a parsed tenants-bench artifact against the `querybench-2`
+/// schema: tag, per-record keys and sanity, the hard requirement that
+/// **every** record certifies bit-identical answers across the three
+/// serving strategies **and** certifies view interning (`views_built ==
+/// views`, `epochs_opened == tenants`), and the summary's agreement
+/// with its records.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation found.
+pub fn check_artifact(doc: &JsonValue) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let records = doc
+        .get("records")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing records array")?;
+    if records.is_empty() {
+        return Err("empty records array".into());
+    }
+    let mut best_shared = 0.0f64;
+    let mut best_coalesced = 0.0f64;
+    for (i, record) in records.iter().enumerate() {
+        let field = |key: &str| -> Result<f64, String> {
+            record
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("record {i} missing numeric key {key:?}"))
+        };
+        for key in ["n", "edges_kept", "f", "batch", "queries", "threads"] {
+            field(key)?;
+        }
+        for key in ["router_qps", "shared_qps", "coalesced_qps"] {
+            let qps = field(key)?;
+            if !qps.is_finite() || qps <= 0.0 {
+                return Err(format!("record {i} has a bad {key}: {qps}"));
+            }
+        }
+        best_shared = best_shared.max(field("speedup_shared")?);
+        best_coalesced = best_coalesced.max(field("speedup_coalesced")?);
+        // Hard gate 1: a single cross-strategy mismatch fails the
+        // whole artifact.
+        if record.get("identical") != Some(&JsonValue::Bool(true)) {
+            return Err(format!(
+                "record {i} does not certify identical answers across serving strategies"
+            ));
+        }
+        // Hard gate 2: the sharing certificate. With all tenant
+        // sessions open, the server must have built exactly one view
+        // per distinct fault set and opened one epoch per tenant.
+        let tenants = field("tenants")?;
+        let views = field("views")?;
+        if field("views_built")? != views {
+            return Err(format!(
+                "record {i}: views_built != views — tenant sessions did not share interned views"
+            ));
+        }
+        if field("epochs_opened")? != tenants {
+            return Err(format!(
+                "record {i}: epochs_opened != tenants in the stats pass"
+            ));
+        }
+        if field("views_shared")? != tenants - views {
+            return Err(format!(
+                "record {i}: views_shared != tenants - views in the stats pass"
+            ));
+        }
+    }
+    let summary = doc.get("summary").ok_or("missing summary")?;
+    if summary.get("results_identical_all") != Some(&JsonValue::Bool(true)) {
+        return Err("summary does not certify identical answers".into());
+    }
+    for (key, want) in [
+        ("best_speedup_shared", best_shared),
+        ("best_speedup_coalesced", best_coalesced),
+    ] {
+        let claimed = summary
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("summary missing {key}"))?;
+        if (claimed - want).abs() > 1e-9 {
+            return Err(format!(
+                "summary claims {key}={claimed}, records say {want}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs E16. See the module docs.
+pub fn run(ctx: &ExperimentContext) -> ExperimentOutput {
+    let cells = sweep(ctx, ctx.pick(1, 2, 3));
+    let mut table = Table::new(
+        "E16: multi-tenant serving  (shared EpochServer / coalesced flush vs per-tenant routers)",
+        [
+            "tenants",
+            "views",
+            "threads",
+            "batch",
+            "queries",
+            "router q/s",
+            "shared q/s",
+            "shared x",
+            "coalesced q/s",
+            "coalesced x",
+            "identical",
+        ],
+    );
+    let mut all_identical = true;
+    let mut all_interned = true;
+    let mut best = 0.0f64;
+    for cell in &cells {
+        all_identical &= cell.identical;
+        all_interned &=
+            cell.views_built == cell.views as u64 && cell.epochs_opened == cell.tenants as u64;
+        best = best
+            .max(cell.speedup_shared())
+            .max(cell.speedup_coalesced());
+        table.row([
+            cell.tenants.to_string(),
+            cell.views.to_string(),
+            cell.threads.to_string(),
+            cell.batch.to_string(),
+            cell.queries.to_string(),
+            format!("{:.0}", cell.router_qps),
+            format!("{:.0}", cell.shared_qps),
+            format!("{:.2}x", cell.speedup_shared()),
+            format!("{:.0}", cell.coalesced_qps),
+            format!("{:.2}x", cell.speedup_coalesced()),
+            if cell.identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let notes = vec![
+        format!(
+            "all serving strategies bit-identical per tenant (routes, edges, dists, errors): {}",
+            if all_identical { "yes" } else { "NO" }
+        ),
+        format!(
+            "view interning certified (views_built == distinct fault sets, every cell): {}",
+            if all_interned { "yes" } else { "NO" }
+        ),
+        format!("best multi-tenant speedup vs per-tenant routers: {best:.2}x"),
+    ];
+    ExperimentOutput {
+        id: "e16",
+        title: "Table 12: concurrent multi-tenant epoch serving",
+        tables: vec![table],
+        figures: Vec::new(),
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+    use crate::json;
+
+    #[test]
+    fn smoke_sweep_is_identical_and_certifies_sharing() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let cells = sweep(&ctx, 1);
+        assert_eq!(cells.len(), 1, "1 tenant count x 1 thread count x 1 batch");
+        for cell in &cells {
+            assert!(
+                cell.identical,
+                "tenants={} threads={} batch={}: strategies diverged",
+                cell.tenants, cell.threads, cell.batch
+            );
+            assert!(cell.router_qps > 0.0 && cell.shared_qps > 0.0 && cell.coalesced_qps > 0.0);
+            assert_eq!(cell.views_built, cell.views as u64);
+            assert_eq!(cell.epochs_opened, cell.tenants as u64);
+            assert_eq!(cell.views_shared, (cell.tenants - cell.views) as u64);
+        }
+    }
+
+    #[test]
+    fn smoke_run_reports_identity_and_interning() {
+        let out = run(&ExperimentContext::new(Scale::Smoke));
+        assert_eq!(out.id, "e16");
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.contains("bit-identical") && n.contains("yes")));
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.contains("interning") && n.contains("yes")));
+    }
+
+    #[test]
+    fn artifact_round_trips_and_checks() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let cells = sweep(&ctx, 1);
+        let doc = artifact("smoke", 1, &cells);
+        let text = doc.to_string();
+        let back = json::parse(&text).expect("artifact must be valid JSON");
+        check_artifact(&back).expect("artifact must satisfy its own schema");
+    }
+
+    #[test]
+    fn check_rejects_tampered_artifacts() {
+        let ctx = ExperimentContext::new(Scale::Smoke);
+        let cells = sweep(&ctx, 1);
+        let doc = artifact("smoke", 1, &cells);
+        let text = doc
+            .to_string()
+            .replacen("\"identical\": true", "\"identical\": false", 1);
+        assert!(check_artifact(&json::parse(&text).unwrap()).is_err());
+        // A sharing regression (views_built drifting up to the tenant
+        // count) must also be caught.
+        let cheat = doc.to_string().replacen(
+            &format!("\"views_built\": {}", cells[0].views),
+            &format!("\"views_built\": {}", cells[0].tenants),
+            1,
+        );
+        assert!(check_artifact(&json::parse(&cheat).unwrap()).is_err());
+        assert!(check_artifact(&json::parse("{\"schema\": \"nope\"}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn tenant_plans_are_deterministic_live_and_view_shared() {
+        let a = plan_tenants(20, 6, 3, 8, 77);
+        let b = plan_tenants(20, 6, 3, 8, 77);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.failures, y.failures, "fault sets drifted");
+            assert_eq!(x.pairs, y.pairs, "pairs drifted");
+            for &(u, v) in &x.pairs {
+                assert_ne!(u, v);
+                assert!(!x.failures.vertex_faults().contains(&u));
+                assert!(!x.failures.vertex_faults().contains(&v));
+            }
+        }
+        // Tenant t and tenant t + views share a fault view.
+        for t in 0..3 {
+            assert_eq!(a[t].failures, a[t + 3].failures);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! | e13| sporadic-failure simulation        | Table 9 |
 //! | e14| failure-scenario resilience engine | Table 10 |
 //! | e15| freeze-and-serve query throughput  | Table 11 |
+//! | e16| concurrent multi-tenant serving    | Table 12 |
 
 pub mod e10_stretch_audit;
 pub mod e11_heuristic;
@@ -26,6 +27,7 @@ pub mod e12_lightness;
 pub mod e13_simulation;
 pub mod e14_scenarios;
 pub mod e15_throughput;
+pub mod e16_tenants;
 pub mod e1_size_vs_f;
 pub mod e2_size_vs_n;
 pub mod e3_size_vs_k;
@@ -115,6 +117,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("e13", e13_simulation::run),
         ("e14", e14_scenarios::run),
         ("e15", e15_throughput::run),
+        ("e16", e16_tenants::run),
     ]
 }
 
@@ -129,7 +132,7 @@ mod tests {
             ids,
             vec![
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15"
+                "e14", "e15", "e16"
             ]
         );
     }

@@ -12,11 +12,12 @@
 //! every spanner — while the replay/burst/trace processes scale their
 //! adversity with `f` by design.
 //!
-//! Under the hood every simulation step is one fault epoch of the
-//! freeze-and-serve query engine (the spanner is sealed once, each
-//! step's failure state applied once, every query of the step costed
-//! against the masked view); the epilogue drives that engine directly
-//! to show the serving API itself.
+//! Under the hood every simulation step advances one epoch session of
+//! the concurrent serving layer by an O(Δ) delta (the spanner is sealed
+//! once, each step applies only the components that changed state,
+//! every query of the step is costed against the step's immutable fault
+//! view); the epilogue drives that API directly — an `EpochServer` over
+//! the reloaded artifact, stepped window to window by `EpochDelta`s.
 //!
 //! ```text
 //! cargo run --release --example failure_timeline
@@ -140,13 +141,27 @@ fn main() {
         artifact_path.display(),
         bytes.len()
     );
-    let mut engine = QueryEngine::new(artifact);
+    let server = EpochServer::new(artifact);
+    let mut session = server.epoch_clear();
     let mut answered = 0usize;
+    let mut previous: Option<(usize, usize)> = None;
+    let mut delta = EpochDelta::new();
     for window_start in (0..g.node_count()).step_by(13) {
-        engine
-            .begin_epoch()
-            .fault_vertex(NodeId::new(window_start))
-            .fault_vertex(NodeId::new((window_start + 1) % g.node_count()));
+        // Advance the session by what *changed*: yesterday's window
+        // comes back up, today's goes down — 4 delta operations per
+        // step, however many routers the network has.
+        let window = (window_start, (window_start + 1) % g.node_count());
+        delta.clear();
+        if let Some((a, b)) = previous {
+            delta
+                .restore_vertex(NodeId::new(a))
+                .restore_vertex(NodeId::new(b));
+        }
+        delta
+            .fault_vertex(NodeId::new(window.0))
+            .fault_vertex(NodeId::new(window.1));
+        session.advance(&delta);
+        previous = Some(window);
         let pairs: Vec<(NodeId, NodeId)> = (0..g.node_count())
             .filter(|v| *v != window_start && *v != (window_start + 1) % g.node_count())
             .map(|v| (NodeId::new(v), NodeId::new((v + 5) % g.node_count())))
@@ -156,17 +171,18 @@ fn main() {
                     && v.index() != (window_start + 1) % g.node_count()
             })
             .collect();
-        let answers = engine.route_batch(&pairs);
+        let answers = session.route_batch(&pairs);
         assert!(
             answers.iter().all(|a| a.is_ok()),
             "two faults are within the f = 2 budget: every live pair is served"
         );
         answered += answers.len();
     }
+    let stats = server.stats();
     println!();
     println!(
         "epilogue: {answered} routes served across {} epochs from the artifact file — \
-no reconstruction",
-        engine.epoch_count()
+no reconstruction, {} delta operations total (O(changes) per window, not O(n))",
+        stats.epochs_opened, stats.delta_component_ops
     );
 }

@@ -6,9 +6,9 @@
 //! measure the worst route inflation), put the sized spanner through
 //! the resilience engine's live drills — a correlated regional blackout
 //! and an adversarial replay of the construction's own witness fault
-//! sets — and finally serve query traffic from the frozen artifact:
-//! one fault epoch per outage, batches answered bit-identically to the
-//! one-query-at-a-time router.
+//! sets — and finally serve query traffic from the frozen artifact
+//! through a shared `EpochServer`: one epoch session per outage,
+//! batches answered bit-identically to the one-query-at-a-time router.
 //!
 //! ```text
 //! cargo run --release --example network_resilience
@@ -112,9 +112,10 @@ fn main() {
     // immutable artifact, the artifact becomes a file (the versioned
     // binary format of docs/ARTIFACT_FORMAT.md), and the serving side
     // works from the *loaded* copy — exactly what a replica that never
-    // ran FT-greedy would do. Each witness outage becomes one fault
-    // epoch; whole batches are answered identically to the
-    // one-query-at-a-time router, sequential or pooled.
+    // ran FT-greedy would do. Each witness outage becomes one epoch
+    // session of a shared EpochServer; whole batches are answered
+    // identically to the one-query-at-a-time router, sequential or
+    // pooled over the server's worker pool.
     let bytes = ft.freeze(&g).encode();
     // Per-process filename: concurrent runs (or a stale file owned by
     // another user of a shared temp dir) must not collide.
@@ -134,7 +135,7 @@ fn main() {
         artifact_path.display(),
         bytes.len()
     );
-    let mut engine = QueryEngine::new(Arc::clone(&artifact)).with_threads(4);
+    let server = EpochServer::new(Arc::clone(&artifact)).with_threads(4);
     let mut router = ResilientRouter::new(ft.spanner().clone());
     let mut served = 0usize;
     let mut epochs = 0usize;
@@ -145,7 +146,7 @@ fn main() {
         .filter(|w| !w.is_empty())
         .take(8)
     {
-        engine.epoch(witness);
+        let mut session = server.epoch(witness);
         epochs += 1;
         let pairs: Vec<(NodeId, NodeId)> = (0..64)
             .map(|_| loop {
@@ -157,9 +158,8 @@ fn main() {
                 }
             })
             .collect();
-        let batched = engine.route_batch(&pairs);
-        engine.epoch(witness);
-        let pooled = engine.par_route_batch(&pairs);
+        let batched = session.route_batch(&pairs);
+        let pooled = session.par_route_batch(&pairs);
         let reference: Vec<_> = pairs
             .iter()
             .map(|&(u, v)| router.route(u, v, witness))

@@ -41,15 +41,50 @@
 //! assert!(audit.satisfied());
 //!
 //! // Serve it: freeze the construction into an immutable artifact and
-//! // answer a batch of queries under one failure epoch.
-//! let artifact = std::sync::Arc::new(ft.freeze(&g));
-//! let mut engine = QueryEngine::new(artifact);
-//! engine.epoch(&FaultSet::vertices([NodeId::new(3)]));
-//! let answers = engine.route_batch(&[
+//! // open an epoch session under one failure view.
+//! let server = EpochServer::new(std::sync::Arc::new(ft.freeze(&g)));
+//! let mut session = server.epoch(&FaultSet::vertices([NodeId::new(3)]));
+//! let answers = session.route_batch(&[
 //!     (NodeId::new(0), NodeId::new(7)),
 //!     (NodeId::new(1), NodeId::new(9)),
 //! ]);
 //! assert!(answers.iter().all(|a| a.is_ok()));
+//! ```
+//!
+//! # Concurrent multi-tenant serving
+//!
+//! One [`EpochServer`](core::EpochServer) serves any number of tenants
+//! from one frozen artifact: each [`epoch`](core::EpochServer::epoch)
+//! call opens an independent, `Send` [`EpochHandle`](core::EpochHandle)
+//! session; tenants asking for the same fault set share one interned
+//! fault view. Answers are bit-identical to the sequential reference no
+//! matter how sessions interleave:
+//!
+//! ```
+//! use vft_spanner::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let g = generators::complete(10);
+//! let ft = FtGreedy::new(&g, 3).faults(1).run();
+//! let server = EpochServer::new(Arc::new(ft.freeze(&g)));
+//!
+//! // Two tenants, two different fault views, served concurrently.
+//! let mut tenant_a = server.epoch(&FaultSet::vertices([NodeId::new(3)]));
+//! let mut tenant_b = server.epoch(&FaultSet::vertices([NodeId::new(7)]));
+//! let (a, b) = std::thread::scope(|scope| {
+//!     let a = scope.spawn(|| tenant_a.route_batch(&[(NodeId::new(0), NodeId::new(7))]));
+//!     let b = scope.spawn(|| tenant_b.route_batch(&[(NodeId::new(0), NodeId::new(3))]));
+//!     (a.join().unwrap(), b.join().unwrap())
+//! });
+//! assert!(a[0].is_ok() && b[0].is_ok());
+//!
+//! // O(Δ) epoch transitions: derive tenant A's next view by listing
+//! // only what changed, instead of re-applying the whole fault set.
+//! let mut delta = EpochDelta::new();
+//! delta.restore_vertex(NodeId::new(3)).fault_vertex(NodeId::new(4));
+//! let mut next = server.epoch(&FaultSet::vertices([NodeId::new(3)])).step(&delta);
+//! assert!(next.route(NodeId::new(0), NodeId::new(3)).is_ok());
+//! assert_eq!(server.stats().delta_component_ops, 2);
 //! ```
 //!
 //! # Build once, serve many
@@ -79,10 +114,8 @@
 //! // The replica serves the same epochs with bit-identical answers.
 //! let outage = FaultSet::vertices([NodeId::new(5)]);
 //! let pairs = [(NodeId::new(0), NodeId::new(9)), (NodeId::new(2), NodeId::new(17))];
-//! let mut here = QueryEngine::new(original);
-//! let mut there = QueryEngine::new(loaded);
-//! here.epoch(&outage);
-//! there.epoch(&outage);
+//! let mut here = EpochServer::new(original).epoch(&outage);
+//! let mut there = EpochServer::new(loaded).epoch(&outage);
 //! assert_eq!(here.route_batch(&pairs), there.route_batch(&pairs));
 //!
 //! // Hostile bytes are rejected with a typed error, never a panic.
@@ -116,8 +149,9 @@ pub mod prelude {
         verify_ft_sampled, verify_spanner, verify_under_faults,
     };
     pub use spanner_core::{
-        greedy_spanner, peel, verify_blocking_set, BlockingSet, FrozenSpanner, FtGreedy, FtSpanner,
-        OracleKind, QueryEngine, Spanner,
+        greedy_spanner, peel, verify_blocking_set, BatchCoalescer, BlockingSet, EpochDelta,
+        EpochHandle, EpochServer, EpochView, FrozenSpanner, FtGreedy, FtSpanner, OracleKind,
+        QueryEngine, ServerStats, Spanner, Ticket,
     };
     pub use spanner_faults::{
         BranchingOracle, ExhaustiveOracle, FaultModel, FaultOracle, FaultSet,

@@ -3,8 +3,8 @@
 //! Mirrors the `src/lib.rs` crate-level example — build an FT spanner of
 //! a seeded Erdős–Rényi graph through the prelude, certify it
 //! exhaustively against every single-vertex fault, then freeze it and
-//! serve a fault epoch through the batch query engine — so the public
-//! entry path can't rot even if the doctest is skipped.
+//! serve concurrent epoch sessions through the `EpochServer` — so the
+//! public entry path can't rot even if the doctest is skipped.
 
 use std::sync::Arc;
 use vft_spanner::prelude::*;
@@ -32,10 +32,11 @@ fn facade_quickstart_end_to_end() {
         audit.trials
     );
 
-    // Freeze and serve: one immutable artifact, one fault epoch, a batch
-    // of queries answered identically to the one-at-a-time router.
+    // Freeze and serve: one immutable artifact, one shared server, two
+    // tenant sessions under the same fault view (interned once), each
+    // answered identically to the one-at-a-time router.
     let artifact = Arc::new(ft.freeze(&g));
-    let mut engine = QueryEngine::new(Arc::clone(&artifact)).with_threads(2);
+    let server = EpochServer::new(Arc::clone(&artifact)).with_threads(2);
     let mut router = ResilientRouter::new(ft.into_spanner());
     let failures = FaultSet::vertices([NodeId::new(3)]);
     let pairs: Vec<(NodeId, NodeId)> = (0..g.node_count())
@@ -43,10 +44,14 @@ fn facade_quickstart_end_to_end() {
         .map(|v| (NodeId::new(v), NodeId::new((v + 7) % g.node_count())))
         .filter(|(u, v)| u != v && v.index() != 3)
         .collect();
-    engine.epoch(&failures);
-    let batched = engine.route_batch(&pairs);
-    engine.epoch(&failures);
-    let pooled = engine.par_route_batch(&pairs);
+    let mut tenant_a = server.epoch(&failures);
+    let mut tenant_b = server.epoch(&failures);
+    assert!(
+        Arc::ptr_eq(tenant_a.view(), tenant_b.view()),
+        "tenants under one fault set share one interned view"
+    );
+    let batched = tenant_a.route_batch(&pairs);
+    let pooled = tenant_b.par_route_batch(&pairs);
     let one_by_one: Vec<_> = pairs
         .iter()
         .map(|&(u, v)| router.route(u, v, &failures))
