@@ -102,16 +102,36 @@ pub enum ArtifactError {
     },
 }
 
+/// Stable error codes [`ArtifactError`] adds on top of the
+/// [`BinaryError`] taxonomy
+/// ([`BINARY_ERROR_CODES`](spanner_graph::io::binary::BINARY_ERROR_CODES)).
+/// The full decode-path code set is the union of the two; the snapshot
+/// test in `tests/error_taxonomy.rs` pins it.
+pub const ARTIFACT_ERROR_CODES: &[&str] = &["artifact/cross-section"];
+
 impl ArtifactError {
     /// A stable, machine-readable error code (part of the public error
     /// taxonomy: codes never change meaning; new variants get new
     /// codes). Match on codes, not on variants, when forward
     /// compatibility matters — the enum is `#[non_exhaustive]`.
+    ///
+    /// [`ArtifactError::Format`] routes straight through
+    /// [`BinaryError::code`] so the container-level taxonomy has one
+    /// source of truth; the only code added at this layer is
+    /// `artifact/cross-section` for sections that parse individually
+    /// but contradict each other.
     pub fn code(&self) -> &'static str {
         match self {
-            ArtifactError::Format(_) => "artifact/format",
-            ArtifactError::Inconsistent { .. } => "artifact/inconsistent",
+            ArtifactError::Format(e) => e.code(),
+            ArtifactError::Inconsistent { .. } => "artifact/cross-section",
         }
+    }
+
+    /// The operator-facing remediation hint for this error's code (one
+    /// source of truth with the container layer:
+    /// [`binary::remediation_for_code`]).
+    pub fn remediation(&self) -> &'static str {
+        binary::remediation_for_code(self.code())
     }
 }
 

@@ -46,6 +46,10 @@ pub enum RouteError {
     },
 }
 
+/// Every stable [`RouteError`] code, one per variant; pinned together
+/// with the decode-path codes by `tests/error_taxonomy.rs`.
+pub const ROUTE_ERROR_CODES: &[&str] = &["route/endpoint-failed", "route/unreachable"];
+
 impl RouteError {
     /// A stable, machine-readable error code (part of the public error
     /// taxonomy: codes never change meaning; new variants get new

@@ -1,0 +1,128 @@
+//! A counting global allocator: the measurement half of the decode
+//! allocation budget.
+//!
+//! The decoders promise input-proportional allocations (every count is
+//! validated against the bytes actually present before it sizes a
+//! buffer — `ByteReader::count`, the node-count bound). A promise like
+//! that rots silently unless something *measures* it, so the
+//! `spanner-fuzz` binary and the `alloc_budget` test install
+//! [`CountingAlloc`] as their `#[global_allocator]` and wrap each
+//! decode in [`measure`], which reports the largest single allocation
+//! the decode requested. The fuzz runner then fails any mutant whose
+//! peak exceeds [`decode_alloc_budget`] for its input length.
+//!
+//! The tracker is a pair of process-global atomics (no thread-locals:
+//! TLS access from inside a `GlobalAlloc` can recurse during thread
+//! teardown). That makes [`measure`] accurate only while no *other*
+//! thread allocates concurrently — exactly the single-threaded shape of
+//! the fuzz loop and the dedicated single-`#[test]` binaries that use
+//! it. In binaries that never install the allocator, [`measure`]
+//! reports `None` and callers skip the budget check rather than
+//! asserting on garbage.
+
+// The one unsafe surface of the crate (see lib.rs): forwarding
+// GlobalAlloc to System while recording sizes.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Whether any [`CountingAlloc`] call has ever run in this process —
+/// i.e. whether the binary actually installed it as the global
+/// allocator. (Reaching `main` without allocating is not a thing in
+/// practice; argument handling alone allocates.)
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a [`measure`] window is open.
+static WATCHING: AtomicBool = AtomicBool::new(false);
+
+/// Largest single allocation requested inside the open window.
+static PEAK_SINGLE: AtomicUsize = AtomicUsize::new(0);
+
+/// A `#[global_allocator]` that forwards to [`System`] and records the
+/// largest single allocation requested inside a [`measure`] window.
+pub struct CountingAlloc;
+
+fn record(size: usize) {
+    INSTALLED.store(true, Ordering::Relaxed);
+    if WATCHING.load(Ordering::Relaxed) {
+        PEAK_SINGLE.fetch_max(size, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: pure pass-through to `System` for every method; the atomics
+// never allocate, so there is no recursion into the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Runs `f` and reports the largest single allocation it requested, or
+/// `None` when [`CountingAlloc`] is not this process's global allocator
+/// (so callers can skip, rather than fake, the budget check).
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Option<usize>) {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        return (f(), None);
+    }
+    PEAK_SINGLE.store(0, Ordering::Relaxed);
+    WATCHING.store(true, Ordering::Relaxed);
+    let value = f();
+    WATCHING.store(false, Ordering::Relaxed);
+    (value, Some(PEAK_SINGLE.load(Ordering::Relaxed)))
+}
+
+/// The decode allocation budget for an `input_len`-byte input: the
+/// largest single allocation a decode may request.
+///
+/// The bound mirrors the decoder's own documented proportionality
+/// guarantee (`docs/ARTIFACT_FORMAT.md` §2): counts are validated
+/// against bytes present (≤ 64 in-memory bytes per input byte covers
+/// the widest expansion, a 16-byte edge record becoming adjacency slots
+/// plus translation entries), and node counts enjoy a floor of 2^16
+/// regardless of payload, whose adjacency headers the constant term
+/// covers. A regression that sizes an allocation from an
+/// attacker-controlled field (the 16 GiB inverse-table class of bug)
+/// lands orders of magnitude above this line.
+pub fn decode_alloc_budget(input_len: usize) -> usize {
+    64 * input_len + (1 << 22)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_monotone_and_covers_the_node_floor() {
+        assert!(decode_alloc_budget(0) >= (1 << 22));
+        assert!(decode_alloc_budget(100) < decode_alloc_budget(10_000));
+        // The floor: a 50k-isolated-vertex artifact is ~36 bytes of
+        // payload but allocates ~24 bytes per node of adjacency
+        // headers; the constant term must absorb that.
+        assert!(decode_alloc_budget(64) > 50_000 * 24);
+    }
+
+    #[test]
+    fn measure_without_installation_reports_none() {
+        // This test binary does not install CountingAlloc, so the
+        // tracker must say so instead of reporting 0.
+        let (value, peak) = measure(|| vec![0u8; 4096].len());
+        assert_eq!(value, 4096);
+        assert_eq!(peak, None);
+    }
+}

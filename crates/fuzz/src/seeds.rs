@@ -1,0 +1,246 @@
+//! Seed artifacts for the fuzzer: small, varied, legitimately-encoded
+//! containers the [`Mutator`](crate::mutate::Mutator) corrupts.
+//!
+//! Structure-aware fuzzing is only as good as its seeds: a mutant of a
+//! bare freeze can never exercise the witness-map cross-checks, and a
+//! mutant of a vertex-model artifact never walks the edge-model decode
+//! arm. So the seed set deliberately spans both container kinds
+//! (`VFTSPANR` spanner artifacts, `VFTGRAPH` standalone graphs), both
+//! fault models, budgets f ∈ {0, 1, 2}, with-parent and bare freezes,
+//! and empty through moderately-sized graphs — every decode arm has at
+//! least one seed whose mutants reach it.
+//!
+//! Seeds are deterministic (fixed generator seeds, no clocks), so the
+//! corpus files derived from them are stable across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spanner_core::{greedy_spanner, FtGreedy};
+use spanner_faults::FaultModel;
+use spanner_graph::io::binary::encode_frozen_csr;
+use spanner_graph::{generators, FrozenCsr, Graph};
+
+/// One seed: a short stable name (used in logs and corpus filenames)
+/// plus the encoded container bytes.
+pub struct Seed {
+    /// Stable kebab-case name of the seed construction.
+    pub name: &'static str,
+    /// The legitimately-encoded container bytes.
+    pub bytes: Vec<u8>,
+}
+
+fn ft_artifact(g: &Graph, stretch: u64, f: usize, model: FaultModel) -> Vec<u8> {
+    FtGreedy::new(g, stretch)
+        .faults(f)
+        .model(model)
+        .run()
+        .freeze(g)
+        .encode()
+}
+
+/// `VFTSPANR` spanner-artifact seeds: both fault models, f ∈ {0, 1, 2},
+/// with-parent and bare freezes.
+pub fn spanner_seeds() -> Vec<Seed> {
+    let mut rng = StdRng::seed_from_u64(1009);
+    let geometric = generators::random_geometric(12, 0.6, &mut rng);
+    vec![
+        Seed {
+            name: "complete6-f1-vertex",
+            bytes: ft_artifact(&generators::complete(6), 3, 1, FaultModel::Vertex),
+        },
+        Seed {
+            name: "cycle8-f0-vertex",
+            bytes: ft_artifact(&generators::cycle(8), 3, 0, FaultModel::Vertex),
+        },
+        Seed {
+            name: "geometric12-f2-edge",
+            bytes: ft_artifact(&geometric, 3, 2, FaultModel::Edge),
+        },
+        Seed {
+            name: "grid3x3-f1-vertex",
+            bytes: ft_artifact(&generators::grid(3, 3), 5, 1, FaultModel::Vertex),
+        },
+        Seed {
+            // Bare freeze: no parent, no budget, no witnesses — the
+            // optional-section decode arms.
+            name: "petersen-bare",
+            bytes: greedy_spanner(&generators::petersen(), 3).freeze().encode(),
+        },
+    ]
+}
+
+/// `VFTGRAPH` standalone frozen-graph seeds, including the empty graph
+/// (zero sections of payload is itself an edge case worth mutating).
+pub fn graph_seeds() -> Vec<Seed> {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let sparse = generators::erdos_renyi(10, 0.3, &mut rng);
+    vec![
+        Seed {
+            name: "petersen-graph",
+            bytes: encode_frozen_csr(&FrozenCsr::from_view(&generators::petersen())),
+        },
+        Seed {
+            name: "cycle5-graph",
+            bytes: encode_frozen_csr(&FrozenCsr::from_view(&generators::cycle(5))),
+        },
+        Seed {
+            name: "empty-graph",
+            bytes: encode_frozen_csr(&FrozenCsr::from_view(&Graph::new(0))),
+        },
+        Seed {
+            name: "erdos10-graph",
+            bytes: encode_frozen_csr(&FrozenCsr::from_view(&sparse)),
+        },
+    ]
+}
+
+/// All seeds, spanner artifacts first — the order is part of the
+/// determinism contract (mutant streams index into it).
+pub fn all_seeds() -> Vec<Seed> {
+    let mut seeds = spanner_seeds();
+    seeds.extend(graph_seeds());
+    seeds
+}
+
+/// One hand-aimed hostile input: a deterministic byte surgery designed
+/// to surface a *specific* decoder defect.
+pub struct Probe {
+    /// The attack class the surgery belongs to (a
+    /// [`crate::mutate::AttackClass`] name, used in the corpus file
+    /// name).
+    pub class: &'static str,
+    /// The hostile bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Directed probes: where the random mutator *samples* the attack
+/// surface, these aim one input at each decoder gate the sampler may
+/// miss in a small committed corpus — wrong magic, wrong version,
+/// unknown tag, dropped required section, simple-graph violation, raw
+/// truncation, unsealed corruption. `spanner-fuzz corpus` labels each
+/// with its observed stable code and then *requires* the combined
+/// corpus to cover the whole decode taxonomy, so a code silently
+/// becoming unreachable fails corpus regeneration.
+pub fn directed_probes() -> Vec<Probe> {
+    use crate::mutate::{fix_checksum, frame_sections};
+
+    // The richest seed: all five VFTSPANR sections present.
+    let seed = spanner_seeds().swap_remove(0).bytes;
+    let sections = frame_sections(&seed);
+    let tag_of = |s: &crate::mutate::FrameSection| {
+        u32::from_le_bytes(seed[s.start..s.start + 4].try_into().unwrap())
+    };
+    let mut probes = Vec::new();
+
+    // Raw truncation: too short to even carry a header.
+    probes.push(Probe {
+        class: "truncation",
+        bytes: seed[..6].to_vec(),
+    });
+
+    // Unsealed corruption: one flipped payload bit, checksum left
+    // stale — the integrity gate itself.
+    let mut unsealed = seed.clone();
+    unsealed[16] ^= 0x01;
+    probes.push(Probe {
+        class: "bit-flip",
+        bytes: unsealed,
+    });
+
+    // Wrong magic, resealed so only the magic is at fault.
+    let mut magic = seed.clone();
+    magic[0] ^= 0xFF;
+    fix_checksum(&mut magic);
+    probes.push(Probe {
+        class: "bit-flip",
+        bytes: magic,
+    });
+
+    // Unsupported version, resealed.
+    let mut version = seed.clone();
+    version[8..12].copy_from_slice(&99u32.to_le_bytes());
+    fix_checksum(&mut version);
+    probes.push(Probe {
+        class: "bit-flip",
+        bytes: version,
+    });
+
+    // Unknown section tag, resealed.
+    let mut unknown = seed.clone();
+    unknown[12..16].copy_from_slice(&0xBEEFu32.to_le_bytes());
+    fix_checksum(&mut unknown);
+    probes.push(Probe {
+        class: "bit-flip",
+        bytes: unknown,
+    });
+
+    // A required section dropped: rebuild the container without the
+    // spanner adjacency (tag 2), every remaining length still honest.
+    let mut dropped = seed[..12].to_vec();
+    for s in &sections {
+        if tag_of(s) == 2 {
+            continue;
+        }
+        dropped.extend_from_slice(&seed[s.start..s.end()]);
+    }
+    dropped.extend_from_slice(&[0u8; 8]);
+    fix_checksum(&mut dropped);
+    probes.push(Probe {
+        class: "section-splice",
+        bytes: dropped,
+    });
+
+    // Simple-graph violation: duplicate an edge in the parent graph.
+    // (Self-loops and range violations are caught per-record as
+    // `artifact/malformed`; a *parallel edge* is only detectable by the
+    // graph structure itself, surfacing as `BinaryError::Graph` —
+    // `artifact/graph-invariant`.) Payload layout per §2: node_count
+    // u64, edge_count u64, then 16-byte (u: u32, v: u32, w: u64)
+    // records.
+    if let Some(parent) = sections.iter().find(|s| tag_of(s) == 5) {
+        if parent.len >= 16 + 32 {
+            let mut duplicated = seed.clone();
+            let edges = parent.payload + 16;
+            let first: [u8; 16] = duplicated[edges..edges + 16].try_into().unwrap();
+            duplicated[edges + 16..edges + 32].copy_from_slice(&first);
+            fix_checksum(&mut duplicated);
+            probes.push(Probe {
+                class: "cross-section",
+                bytes: duplicated,
+            });
+        }
+    }
+    probes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_harness::corpus::{decode_outcome, DecodeOutcome};
+
+    #[test]
+    fn every_seed_decodes_cleanly_and_deterministically() {
+        let seeds = all_seeds();
+        assert!(seeds.len() >= 9);
+        for seed in &seeds {
+            let outcome = decode_outcome(&seed.bytes)
+                .unwrap_or_else(|why| panic!("seed {}: {why}", seed.name));
+            assert_eq!(
+                outcome,
+                DecodeOutcome::Accepted,
+                "seed {} must decode",
+                seed.name
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        let a = all_seeds();
+        let b = all_seeds();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.bytes, y.bytes, "seed {} must be deterministic", x.name);
+        }
+    }
+}

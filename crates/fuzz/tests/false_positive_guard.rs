@@ -1,0 +1,93 @@
+//! The false-positive guard: hardening must not reject legitimate work.
+//!
+//! A fail-closed decoder that starts failing *closed on honest input*
+//! is a different bug with the same severity. This test encodes 50+
+//! legitimately-built artifacts — across graph families, both fault
+//! models, budgets f ∈ {0, 1, 2} — and requires every one to decode,
+//! re-encode byte-identically (canonical acceptance from the honest
+//! side), and serve epoch'd route batches bit-identically to the
+//! original in-memory construction.
+
+use spanner_core::routing::{Route, RouteError};
+use spanner_core::{EpochServer, FrozenSpanner, FtGreedy};
+use spanner_faults::{FaultModel, FaultSet};
+use spanner_graph::{generators, Graph, NodeId};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn families() -> Vec<(String, Graph)> {
+    let mut graphs = vec![
+        ("complete6".to_string(), generators::complete(6)),
+        ("complete8".to_string(), generators::complete(8)),
+        ("cycle9".to_string(), generators::cycle(9)),
+        ("grid3x4".to_string(), generators::grid(3, 4)),
+        ("petersen".to_string(), generators::petersen()),
+    ];
+    for seed in [11u64, 12, 13] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        graphs.push((
+            format!("geometric-{seed}"),
+            generators::random_geometric(10, 0.6, &mut rng),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(21);
+    graphs.push((
+        "erdos10".to_string(),
+        generators::erdos_renyi(10, 0.4, &mut rng),
+    ));
+    graphs
+}
+
+fn batch(n: usize) -> Vec<(NodeId, NodeId)> {
+    (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (NodeId::new(u), NodeId::new(v))))
+        .take(12)
+        .collect()
+}
+
+#[test]
+fn legitimate_artifacts_decode_and_serve_bit_identically() {
+    let mut checked = 0usize;
+    for (name, g) in families() {
+        for model in [FaultModel::Vertex, FaultModel::Edge] {
+            for f in [0usize, 1, 2] {
+                let built = FtGreedy::new(&g, 3).faults(f).model(model).run().freeze(&g);
+                let bytes = built.encode();
+                let decoded = FrozenSpanner::decode(&bytes).unwrap_or_else(|e| {
+                    panic!("{name} ({model}, f={f}): legitimate artifact rejected: {e}")
+                });
+                assert_eq!(
+                    decoded.encode(),
+                    bytes,
+                    "{name} ({model}, f={f}): decode→encode is not the identity"
+                );
+
+                // Serving bit-identity: the decoded artifact must be
+                // indistinguishable from the original construction,
+                // fault-free and under a fault.
+                let from_memory = EpochServer::new(Arc::new(built));
+                let from_bytes = EpochServer::new(Arc::new(decoded));
+                let pairs = batch(g.node_count());
+                for faults in [
+                    FaultSet::vertices([]),
+                    FaultSet::vertices([NodeId::new(g.node_count() - 1)]),
+                ] {
+                    let want: Vec<Result<Route, RouteError>> =
+                        from_memory.epoch(&faults).route_batch(&pairs);
+                    let got = from_bytes.epoch(&faults).route_batch(&pairs);
+                    assert_eq!(
+                        got, want,
+                        "{name} ({model}, f={f}): decoded artifact served differently"
+                    );
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked >= 50,
+        "only {checked} artifacts checked, need >= 50"
+    );
+}

@@ -1,0 +1,144 @@
+//! End-to-end smoke of the `spanner-fuzz` binary — the same surface the
+//! CI `fuzz-smoke` job drives, pinned here so a broken gate cannot
+//! reach CI green.
+//!
+//! Covers: a clean fixed-iteration run emitting a schema-valid
+//! `vft-spanner/fuzz-1` artifact, run-to-run determinism of the
+//! per-class tallies (same seed ⇒ identical `by_class`), loud
+//! reporting of time-budget skips, replay of the committed corpus
+//! through the binary, and the CLI error contract.
+
+use spanner_harness::json::{self, JsonValue};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_spanner-fuzz")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spanner-fuzz must spawn")
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(rel)
+}
+
+fn artifact_for(seed: &str, out: &Path) -> JsonValue {
+    let out_str = out.to_str().unwrap();
+    let result = run(&[
+        "run",
+        "--iterations",
+        "200",
+        "--seed",
+        seed,
+        "--out",
+        out_str,
+    ]);
+    assert!(
+        result.status.success(),
+        "clean run must exit 0\nstderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    // No silent caps: the skip count is printed even when zero.
+    assert!(
+        stdout.contains("skipped by time budget: 0 of 200"),
+        "skip count missing from output:\n{stdout}"
+    );
+    json::parse(&std::fs::read_to_string(out).expect("artifact written"))
+        .expect("artifact must be valid JSON")
+}
+
+#[test]
+fn clean_run_emits_a_checkable_artifact_and_is_deterministic() {
+    let dir = std::env::temp_dir().join(format!("fuzz-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let a = artifact_for("7", &dir.join("a.json"));
+    let b = artifact_for("7", &dir.join("b.json"));
+
+    // `--check` accepts what `run` emitted (the CI handshake).
+    let checked = run(&["--check", dir.join("a.json").to_str().unwrap()]);
+    assert!(checked.status.success());
+
+    // Same seed ⇒ byte-identical tallies; wall_ms is the only field
+    // allowed to differ.
+    assert_eq!(
+        a.get("by_class"),
+        b.get("by_class"),
+        "per-class tallies must be deterministic for a fixed seed"
+    );
+    assert_eq!(a.get("executed"), b.get("executed"));
+    assert_eq!(a.get("findings"), b.get("findings"));
+    assert_eq!(
+        a.get("findings")
+            .and_then(JsonValue::as_array)
+            .map(<[_]>::len),
+        Some(0),
+        "smoke run must be finding-free"
+    );
+    // The binary installs the counting allocator, so the alloc budget
+    // must actually have been enforced, not skipped.
+    assert_eq!(a.get("alloc_checked"), Some(&JsonValue::Bool(true)));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_of_the_committed_corpus_exits_zero() {
+    let result = run(&["replay", repo_path("fuzz/corpus").to_str().unwrap()]);
+    assert!(
+        result.status.success(),
+        "committed corpus must replay clean\nstderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("replay clean"));
+}
+
+#[test]
+fn replay_fails_on_a_mislabeled_entry() {
+    let dir = std::env::temp_dir().join(format!("fuzz-mislabel-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A name promising artifact/bad-magic over bytes that are pure
+    // truncation garbage: replay must catch the lie and exit non-zero.
+    std::fs::write(
+        dir.join("bit-flip__artifact.bad-magic__0000000000000000.bin"),
+        b"tiny",
+    )
+    .unwrap();
+    let result = run(&["replay", dir.to_str().unwrap()]);
+    assert!(
+        !result.status.success(),
+        "mislabeled corpus must fail replay"
+    );
+    assert!(String::from_utf8_lossy(&result.stderr).contains("MISMATCH"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_contract_help_and_errors() {
+    let help = run(&["--help"]);
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("usage: spanner-fuzz"));
+
+    for bad in [
+        vec!["frobnicate"],
+        vec!["run", "--iterations", "0"],
+        vec!["run", "--iterations", "nope"],
+        vec!["corpus"],
+        vec!["replay"],
+        vec!["--check", "/definitely/not/a/file.json"],
+    ] {
+        let result = run(&bad);
+        assert!(!result.status.success(), "{bad:?} must fail");
+        assert!(
+            String::from_utf8_lossy(&result.stderr).contains("spanner-fuzz:"),
+            "{bad:?} must report through the bin-name stderr contract"
+        );
+    }
+}

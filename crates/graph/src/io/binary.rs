@@ -144,6 +144,77 @@ pub enum BinaryError {
     Graph(GraphError),
 }
 
+/// Every stable error code a [`BinaryError`] can carry, one per variant.
+/// The snapshot test in `crates/core/tests/error_taxonomy.rs` pins this
+/// list against the constructed variants and against the taxonomy
+/// appendix in `docs/ARTIFACT_FORMAT.md`: adding a variant without
+/// updating both is a test failure, not a silent taxonomy drift.
+pub const BINARY_ERROR_CODES: &[&str] = &[
+    "artifact/truncation",
+    "artifact/bad-magic",
+    "artifact/bad-version",
+    "artifact/bit-flip",
+    "artifact/unknown-section",
+    "artifact/section-replay",
+    "artifact/missing-section",
+    "artifact/malformed",
+    "artifact/graph-invariant",
+];
+
+impl BinaryError {
+    /// A stable, machine-readable error code (part of the public error
+    /// taxonomy: codes never change meaning; new variants get new
+    /// codes). Match on codes, not on variants, when forward
+    /// compatibility matters — the enum is `#[non_exhaustive]`.
+    ///
+    /// Each code doubles as the attack class the decoder fails closed
+    /// on (`docs/ARTIFACT_FORMAT.md`, "Attack classes & error
+    /// taxonomy"): the checksum gate reports `artifact/bit-flip`, a
+    /// duplicated section reports `artifact/section-replay`, an
+    /// inflated length claim reports `artifact/malformed` or
+    /// `artifact/truncation`, and so on.
+    pub fn code(&self) -> &'static str {
+        match self {
+            BinaryError::Truncated { .. } => "artifact/truncation",
+            BinaryError::BadMagic { .. } => "artifact/bad-magic",
+            BinaryError::UnsupportedVersion { .. } => "artifact/bad-version",
+            BinaryError::ChecksumMismatch { .. } => "artifact/bit-flip",
+            BinaryError::UnknownSection { .. } => "artifact/unknown-section",
+            BinaryError::DuplicateSection { .. } => "artifact/section-replay",
+            BinaryError::MissingSection { .. } => "artifact/missing-section",
+            BinaryError::Malformed { .. } => "artifact/malformed",
+            BinaryError::Graph(_) => "artifact/graph-invariant",
+        }
+    }
+
+    /// The operator-facing remediation hint for this error's code
+    /// (printed by `spanner-artifact` next to the code, documented in
+    /// the taxonomy appendix). Stable like the code itself.
+    pub fn remediation(&self) -> &'static str {
+        remediation_for_code(self.code())
+    }
+}
+
+/// Remediation hint for a stable error code, shared by every layer that
+/// reports codes (one source of truth for the CLI and the docs). An
+/// unknown code gets the generic hint rather than a panic, so forward
+/// compatibility holds here too.
+pub fn remediation_for_code(code: &str) -> &'static str {
+    match code {
+        "artifact/truncation" => "re-transfer the artifact; the byte stream ended early",
+        "artifact/bad-magic" => "check the file type; this is not the expected container",
+        "artifact/bad-version" => "re-encode with this decoder's format version or upgrade the decoder",
+        "artifact/bit-flip" => "re-transfer or rebuild the artifact from a trusted source; content does not match its checksum",
+        "artifact/unknown-section" => "upgrade the decoder or re-encode without the unrecognized section",
+        "artifact/section-replay" => "rebuild the artifact from a trusted source; a section tag appears more than once",
+        "artifact/missing-section" => "rebuild the artifact from a trusted source; a required section is absent",
+        "artifact/malformed" => "rebuild the artifact from a trusted source; a field violates the format invariants",
+        "artifact/graph-invariant" => "rebuild the artifact from a trusted source; the graph payload violates simple-graph invariants",
+        "artifact/cross-section" => "rebuild the artifact from a trusted source; its sections contradict each other",
+        _ => "rebuild the artifact from a trusted source",
+    }
+}
+
 impl fmt::Display for BinaryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -794,6 +865,46 @@ mod tests {
                 "{what} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn every_variant_has_a_listed_code_and_remediation() {
+        let variants = [
+            BinaryError::Truncated { context: "x" },
+            BinaryError::BadMagic {
+                found: [0; 8],
+                expected: FROZEN_CSR_MAGIC,
+            },
+            BinaryError::UnsupportedVersion {
+                found: 2,
+                supported: 1,
+            },
+            BinaryError::ChecksumMismatch {
+                stored: 0,
+                computed: 1,
+            },
+            BinaryError::UnknownSection { tag: 9 },
+            BinaryError::DuplicateSection { tag: 1 },
+            BinaryError::MissingSection { name: "meta" },
+            BinaryError::Malformed {
+                context: "x",
+                detail: String::new(),
+            },
+            BinaryError::Graph(GraphError::SelfLoop {
+                node: NodeId::new(0),
+            }),
+        ];
+        let codes: Vec<&str> = variants.iter().map(BinaryError::code).collect();
+        assert_eq!(codes, BINARY_ERROR_CODES, "taxonomy snapshot drifted");
+        for e in &variants {
+            assert!(
+                !e.remediation().is_empty(),
+                "{} has no remediation",
+                e.code()
+            );
+        }
+        // Unknown codes degrade to the generic hint, never panic.
+        assert!(!remediation_for_code("artifact/not-a-code").is_empty());
     }
 
     #[test]

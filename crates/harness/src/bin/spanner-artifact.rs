@@ -27,6 +27,18 @@
 //!   failing unless every answer is bit-identical and the rebuilt
 //!   artifact re-encodes to the exact bytes on disk. CI runs
 //!   build → inspect → serve as separate processes on every push.
+//! * `replay` re-decodes every entry of one or more fuzz-corpus
+//!   directories (`fuzz/corpus/`, `fuzz/crashes/`) under the decode
+//!   contract — fail-closed, deterministic, canonical — and verifies
+//!   each file's outcome against the expectation encoded in its name.
+//!
+//! `inspect`, `serve` and `replay` treat their input as **hostile**:
+//! a malformed artifact never panics the process — it prints the
+//! stable error code (`error[artifact/...]`, the taxonomy of
+//! `docs/ARTIFACT_FORMAT.md` §8) plus a remediation hint on stderr and
+//! exits non-zero, byte-identically for the same input every time
+//! (the cross-process leg of the decode determinism contract,
+//! pinned by `tests/artifact_cli.rs`).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +52,7 @@ use spanner_faults::{FaultModel, FaultSet};
 use spanner_graph::io::binary::{fnv1a64, parse_container};
 use spanner_graph::{generators, io, Graph, NodeId};
 use spanner_harness::cli::{self, Parsed};
+use spanner_harness::corpus;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -49,7 +62,8 @@ const USAGE: &str = "usage: spanner-artifact build [--family geometric|complete|
                               [--edges PATH] [--seed S] [--stretch K] [--f F]
                               [--model vertex|edge] [--out PATH]
        spanner-artifact inspect PATH
-       spanner-artifact serve PATH [--epochs N] [--batch B] [--threads T] [--seed S]";
+       spanner-artifact serve PATH [--epochs N] [--batch B] [--threads T] [--seed S]
+       spanner-artifact replay DIR...";
 
 /// The graph the `build` subcommand constructs over.
 enum GraphSpec {
@@ -80,6 +94,19 @@ enum Command {
     Build(BuildArgs),
     Inspect(PathBuf),
     Serve(ServeArgs),
+    Replay(Vec<PathBuf>),
+}
+
+/// Renders a decode failure of a hostile file: the stable error code
+/// first (machines match on `error[...]`), then the message, then the
+/// remediation hint. Deterministic for a given input — this string is
+/// the cross-process half of the decode determinism contract.
+fn hostile(path: &std::path::Path, code: &str, error: impl std::fmt::Display) -> String {
+    format!(
+        "error[{code}] {}: {error}\nremediation: {}",
+        path.display(),
+        spanner_graph::io::binary::remediation_for_code(code)
+    )
 }
 
 fn parse_args() -> Result<Parsed<Command>, String> {
@@ -97,6 +124,19 @@ fn parse_args() -> Result<Parsed<Command>, String> {
             Ok(Parsed::Run(Command::Inspect(path)))
         }
         "serve" => parse_serve(&mut it),
+        "replay" => {
+            let dirs: Vec<PathBuf> = it.by_ref().map(PathBuf::from).collect();
+            if dirs
+                .iter()
+                .any(|d| d.as_os_str() == "--help" || d.as_os_str() == "-h")
+            {
+                return Ok(Parsed::Help);
+            }
+            if dirs.is_empty() {
+                return Err("replay needs at least one corpus directory".into());
+            }
+            Ok(Parsed::Run(Command::Replay(dirs)))
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -278,7 +318,7 @@ fn section_name(tag: u32) -> &'static str {
 fn run_inspect(path: PathBuf) -> Result<(), String> {
     let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let container = parse_container(&bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+        .map_err(|e| hostile(&path, e.code(), &e))?;
     println!("{}: {} bytes", path.display(), bytes.len());
     println!(
         "  magic    {:?}  version {}",
@@ -298,7 +338,7 @@ fn run_inspect(path: PathBuf) -> Result<(), String> {
             section.payload.len()
         );
     }
-    let frozen = FrozenSpanner::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    let frozen = FrozenSpanner::decode(&bytes).map_err(|e| hostile(&path, e.code(), &e))?;
     println!("  artifact:");
     println!(
         "    spanner    {} nodes, {} edges, stretch {}",
@@ -378,9 +418,8 @@ fn plan_epochs(frozen: &FrozenSpanner, args: &ServeArgs) -> Vec<(FaultSet, Vec<(
 fn run_serve(args: ServeArgs) -> Result<(), String> {
     let bytes = std::fs::read(&args.path)
         .map_err(|e| format!("cannot read {}: {e}", args.path.display()))?;
-    let loaded = Arc::new(
-        FrozenSpanner::decode(&bytes).map_err(|e| format!("{}: {e}", args.path.display()))?,
-    );
+    let loaded =
+        Arc::new(FrozenSpanner::decode(&bytes).map_err(|e| hostile(&args.path, e.code(), &e))?);
     let parent = loaded
         .parent()
         .ok_or("artifact carries no parent graph; rebuild cross-check needs one (use `spanner-artifact build`)")?
@@ -454,6 +493,29 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
     Ok(())
 }
 
+fn run_replay(dirs: Vec<PathBuf>) -> Result<(), String> {
+    let mut clean = true;
+    for dir in &dirs {
+        let report = corpus::replay_dir(dir, true)?;
+        println!("{}: {} entries", dir.display(), report.files);
+        for line in report.count_lines() {
+            println!("  {line}");
+        }
+        for mismatch in &report.mismatches {
+            eprintln!("MISMATCH {}: {mismatch}", dir.display());
+        }
+        for failure in &report.failures {
+            eprintln!("CONTRACT {}: {failure}", dir.display());
+        }
+        clean &= report.is_clean();
+    }
+    if !clean {
+        return Err("corpus replay found mismatches or contract violations".into());
+    }
+    println!("replay clean: every entry matched its expected outcome");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     cli::run_main(
         "spanner-artifact",
@@ -463,6 +525,7 @@ fn main() -> ExitCode {
             Command::Build(args) => run_build(args),
             Command::Inspect(path) => run_inspect(path),
             Command::Serve(args) => run_serve(args),
+            Command::Replay(dirs) => run_replay(dirs),
         },
     )
 }

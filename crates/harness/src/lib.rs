@@ -66,6 +66,7 @@ mod sweep;
 mod table;
 
 pub mod cli;
+pub mod corpus;
 pub mod experiments;
 pub mod json;
 pub mod plot;
