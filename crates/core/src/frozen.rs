@@ -17,8 +17,9 @@
 //!   stretch target, and optionally the parent graph handle, the fault
 //!   budget/model it was built for, and the recorded witness fault sets;
 //! * the whole structure is immutable and `Send + Sync`: share one
-//!   artifact across any number of [`QueryEngine`](crate::QueryEngine)s
-//!   via `Arc` and serve from every core at once.
+//!   artifact across any number of
+//!   [`EpochServer`](crate::serve::EpochServer) sessions via `Arc` and
+//!   serve from every core at once.
 //!
 //! Freeze from either layer: [`Spanner::freeze`](crate::Spanner::freeze)
 //! seals the subgraph alone; [`FtSpanner::freeze`](crate::FtSpanner::freeze)
@@ -56,19 +57,30 @@
 
 use crate::Spanner;
 use spanner_faults::{FaultModel, FaultSet};
+use spanner_graph::bytes::{read_u32_at, read_u64_at, SharedBytes};
 use spanner_graph::io::binary::{self, put_u32, put_u64, BinaryError, ByteReader, ContainerWriter};
 use spanner_graph::{EdgeId, FaultMask, FrozenCsr, Graph, GraphView, NodeId};
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Magic bytes of a persisted [`FrozenSpanner`] container.
 pub const ARTIFACT_MAGIC: [u8; 8] = *b"VFTSPANR";
 
-/// Format version [`FrozenSpanner::encode`] writes and
-/// [`FrozenSpanner::decode`] requires (exact match; unknown versions are
-/// a typed error, never a guess).
+/// The v1 container format: tag/length section framing, eager decode.
+/// This is what freeze paths write by default; [`FrozenSpanner::decode`]
+/// accepts it forever.
 pub const ARTIFACT_VERSION: u32 = 1;
+
+/// The v2 container format: alignment-padded sections behind a 64-bit
+/// section table, readable **in place** via [`FrozenSpanner::open`].
+/// Produced by [`FrozenSpanner::to_v2`] / `spanner-artifact migrate`.
+pub const ARTIFACT_VERSION_V2: u32 = 2;
+
+/// v2 header flag: the artifact is routing-only — the witness section
+/// was detached at build time and witness accessors return
+/// [`ArtifactError::WitnessesDetached`].
+pub const FLAG_WITNESSES_DETACHED: u32 = 1;
 
 /// Construction metadata: stretch, model, budget, counts.
 pub const SECTION_META: u32 = 1;
@@ -82,10 +94,15 @@ pub const SECTION_WITNESSES: u32 = 4;
 /// the handle.
 pub const SECTION_PARENT: u32 = 5;
 
-/// Errors from [`FrozenSpanner::decode`]: either the container itself is
-/// bad, or it parsed but describes an inconsistent artifact. Hostile
-/// input always lands here — never in a panic.
-#[derive(Debug)]
+/// Errors from [`FrozenSpanner::decode`] / [`FrozenSpanner::open`]:
+/// either the container itself is bad, it parsed but describes an
+/// inconsistent artifact, or an accessor asked for data the artifact was
+/// deliberately built without. Hostile input always lands here — never
+/// in a panic.
+///
+/// `Clone` so lazily-decoded sections can memoize a failure and return
+/// it verbatim on every subsequent access.
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub enum ArtifactError {
     /// The binary container was malformed (truncation, corruption, bad
@@ -100,6 +117,10 @@ pub enum ArtifactError {
         /// The contradiction found.
         detail: String,
     },
+    /// The artifact is a routing-only replica: its witness section was
+    /// detached at build time ([`FLAG_WITNESSES_DETACHED`]), so witness
+    /// queries cannot be served from it.
+    WitnessesDetached,
 }
 
 /// Stable error codes [`ArtifactError`] adds on top of the
@@ -107,7 +128,8 @@ pub enum ArtifactError {
 /// ([`BINARY_ERROR_CODES`](spanner_graph::io::binary::BINARY_ERROR_CODES)).
 /// The full decode-path code set is the union of the two; the snapshot
 /// test in `tests/error_taxonomy.rs` pins it.
-pub const ARTIFACT_ERROR_CODES: &[&str] = &["artifact/cross-section"];
+pub const ARTIFACT_ERROR_CODES: &[&str] =
+    &["artifact/cross-section", "artifact/witnesses-detached"];
 
 impl ArtifactError {
     /// A stable, machine-readable error code (part of the public error
@@ -124,6 +146,7 @@ impl ArtifactError {
         match self {
             ArtifactError::Format(e) => e.code(),
             ArtifactError::Inconsistent { .. } => "artifact/cross-section",
+            ArtifactError::WitnessesDetached => "artifact/witnesses-detached",
         }
     }
 
@@ -142,6 +165,9 @@ impl fmt::Display for ArtifactError {
             ArtifactError::Inconsistent { context, detail } => {
                 write!(f, "inconsistent artifact ({context}): {detail}")
             }
+            ArtifactError::WitnessesDetached => {
+                write!(f, "witnesses are detached from this routing-only artifact")
+            }
         }
     }
 }
@@ -150,7 +176,7 @@ impl Error for ArtifactError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ArtifactError::Format(e) => Some(e),
-            ArtifactError::Inconsistent { .. } => None,
+            _ => None,
         }
     }
 }
@@ -169,6 +195,135 @@ fn inconsistent(context: &'static str, detail: String) -> ArtifactError {
 /// Sentinel in the parent→spanner edge map for "not kept".
 const NOT_KEPT: u32 = u32::MAX;
 
+/// The spanner↔parent edge translation tables: owned `Vec`s (freeze and
+/// v1 decode) or in-place reads over a shared v2 buffer (the open path).
+/// Both store the forward table (spanner edge → parent edge id) and the
+/// precomputed inverse, in the same canonical byte format.
+#[derive(Clone, Debug)]
+enum TranslationTables {
+    Owned {
+        parent_edges: Vec<EdgeId>,
+        spanner_of_parent: Vec<u32>,
+    },
+    Bytes {
+        bytes: SharedBytes,
+        /// Absolute section range inside `bytes` (raw re-encode).
+        at: usize,
+        len: usize,
+        fwd_count: usize,
+        inv_count: usize,
+    },
+}
+
+impl TranslationTables {
+    fn fwd_len(&self) -> usize {
+        match self {
+            TranslationTables::Owned { parent_edges, .. } => parent_edges.len(),
+            TranslationTables::Bytes { fwd_count, .. } => *fwd_count,
+        }
+    }
+
+    /// Parent edge id of spanner edge `i`. Panics if `i` is out of range.
+    fn fwd(&self, i: usize) -> EdgeId {
+        match self {
+            TranslationTables::Owned { parent_edges, .. } => parent_edges[i],
+            TranslationTables::Bytes {
+                bytes,
+                at,
+                fwd_count,
+                ..
+            } => {
+                assert!(i < *fwd_count, "spanner edge out of range");
+                EdgeId::from(read_u32_at(bytes.as_slice(), at + 8 + 4 * i))
+            }
+        }
+    }
+
+    fn inv_len(&self) -> usize {
+        match self {
+            TranslationTables::Owned {
+                spanner_of_parent, ..
+            } => spanner_of_parent.len(),
+            TranslationTables::Bytes { inv_count, .. } => *inv_count,
+        }
+    }
+
+    /// Inverse slot of parent edge `s` (`NOT_KEPT` when not kept).
+    /// Panics if `s` is out of range.
+    fn inv(&self, s: usize) -> u32 {
+        match self {
+            TranslationTables::Owned {
+                spanner_of_parent, ..
+            } => spanner_of_parent[s],
+            TranslationTables::Bytes {
+                bytes,
+                at,
+                fwd_count,
+                inv_count,
+                ..
+            } => {
+                assert!(s < *inv_count, "parent edge slot out of range");
+                read_u32_at(bytes.as_slice(), at + 16 + 4 * fwd_count + 4 * s)
+            }
+        }
+    }
+
+    /// The canonical `PARENT_EDGES` section payload.
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            TranslationTables::Owned {
+                parent_edges,
+                spanner_of_parent,
+            } => {
+                let mut out =
+                    Vec::with_capacity(16 + 4 * (parent_edges.len() + spanner_of_parent.len()));
+                put_u64(&mut out, parent_edges.len() as u64);
+                for id in parent_edges {
+                    put_u32(&mut out, id.raw());
+                }
+                put_u64(&mut out, spanner_of_parent.len() as u64);
+                for own in spanner_of_parent {
+                    put_u32(&mut out, *own);
+                }
+                out
+            }
+            TranslationTables::Bytes { bytes, at, len, .. } => {
+                bytes.as_slice()[*at..*at + *len].to_vec()
+            }
+        }
+    }
+}
+
+/// Where the parent graph lives: absent, decoded (freeze / v1 decode),
+/// or raw v2 section bytes decoded lazily on first use and memoized —
+/// clones share the memo cell, so one decode serves every handle.
+#[derive(Clone, Debug)]
+enum ParentStore {
+    None,
+    Eager(Arc<Graph>),
+    Lazy {
+        bytes: SharedBytes,
+        at: usize,
+        len: usize,
+        cell: Arc<OnceLock<Result<Arc<Graph>, ArtifactError>>>,
+    },
+}
+
+/// Where the witness map lives: decoded, raw v2 section bytes decoded
+/// lazily on first use (memoized, shared across clones), or detached at
+/// build time (routing-only replica).
+#[derive(Clone, Debug)]
+enum WitnessStore {
+    Eager(Vec<FaultSet>),
+    Lazy {
+        bytes: SharedBytes,
+        at: usize,
+        len: usize,
+        cell: Arc<OnceLock<Result<Vec<FaultSet>, ArtifactError>>>,
+    },
+    Detached,
+}
+
 /// An immutable, shareable spanner artifact (see the module docs).
 ///
 /// # Examples
@@ -183,20 +338,22 @@ const NOT_KEPT: u32 = u32::MAX;
 /// let frozen = Arc::new(ft.freeze(&g));
 /// assert_eq!(frozen.stretch(), 3);
 /// assert_eq!(frozen.budget(), Some(1));
-/// assert_eq!(frozen.witnesses().len(), frozen.edge_count());
+/// assert_eq!(frozen.witnesses().unwrap().len(), frozen.edge_count());
 /// ```
 #[derive(Clone, Debug)]
 pub struct FrozenSpanner {
     csr: FrozenCsr,
-    parent: Option<Arc<Graph>>,
-    parent_edges: Vec<EdgeId>,
-    /// Inverse of `parent_edges`, indexed by parent edge id (`NOT_KEPT`
-    /// where the parent edge did not survive into the spanner).
-    spanner_of_parent: Vec<u32>,
+    parent: ParentStore,
+    tables: TranslationTables,
     stretch: u64,
     budget: Option<usize>,
     model: FaultModel,
-    witnesses: Vec<FaultSet>,
+    witnesses: WitnessStore,
+    /// The container version this artifact round-trips through:
+    /// [`FrozenSpanner::encode`] re-emits the version the artifact was
+    /// decoded from (or built as), so canonical re-encode holds for both
+    /// formats.
+    version: u32,
 }
 
 impl FrozenSpanner {
@@ -221,13 +378,16 @@ impl FrozenSpanner {
             inverse_translation(parent.as_ref().map(|p| p.edge_count()), &parent_edges);
         FrozenSpanner {
             csr: FrozenCsr::from_view(spanner.graph()),
-            parent,
-            parent_edges,
-            spanner_of_parent,
+            parent: parent.map_or(ParentStore::None, ParentStore::Eager),
+            tables: TranslationTables::Owned {
+                parent_edges,
+                spanner_of_parent,
+            },
             stretch: spanner.stretch(),
             budget,
             model,
-            witnesses,
+            witnesses: WitnessStore::Eager(witnesses),
+            version: ARTIFACT_VERSION,
         }
     }
 
@@ -263,15 +423,90 @@ impl FrozenSpanner {
         self.model
     }
 
+    /// The container version this artifact round-trips through
+    /// ([`ARTIFACT_VERSION`] or [`ARTIFACT_VERSION_V2`]).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Whether this artifact serves its packed tables in place from a
+    /// shared buffer (the [`FrozenSpanner::open`] path).
+    pub fn is_in_place(&self) -> bool {
+        self.csr.is_in_place()
+    }
+
+    /// Whether the witness section was detached at build time
+    /// (routing-only replica).
+    pub fn witnesses_detached(&self) -> bool {
+        matches!(self.witnesses, WitnessStore::Detached)
+    }
+
     /// The parent graph handle, when the artifact carries one.
-    pub fn parent(&self) -> Option<&Arc<Graph>> {
-        self.parent.as_ref()
+    ///
+    /// On an artifact loaded via [`FrozenSpanner::open`] the parent
+    /// section is decoded (and fully cross-checked against the spanner)
+    /// on first use, then memoized — including a memoized failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] when the lazily-decoded parent section is
+    /// corrupt or contradicts the spanner sections. Artifacts built in
+    /// process or decoded eagerly never fail here.
+    pub fn parent(&self) -> Result<Option<&Arc<Graph>>, ArtifactError> {
+        match &self.parent {
+            ParentStore::None => Ok(None),
+            ParentStore::Eager(g) => Ok(Some(g)),
+            ParentStore::Lazy {
+                bytes,
+                at,
+                len,
+                cell,
+            } => {
+                let res = cell.get_or_init(|| {
+                    let payload = &bytes.as_slice()[*at..*at + *len];
+                    let parent = parse_parent_payload(payload)?;
+                    self.check_parent_consistency(&parent)?;
+                    Ok(Arc::new(parent))
+                });
+                match res {
+                    Ok(g) => Ok(Some(g)),
+                    Err(e) => Err(e.clone()),
+                }
+            }
+        }
     }
 
     /// The recorded witness fault sets, indexed by spanner edge id
     /// (empty when frozen from a bare spanner).
-    pub fn witnesses(&self) -> &[FaultSet] {
-        &self.witnesses
+    ///
+    /// On an artifact loaded via [`FrozenSpanner::open`] the witness
+    /// section is decoded on first use, then memoized.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::WitnessesDetached`] on a routing-only replica;
+    /// otherwise an [`ArtifactError`] when the lazily-decoded witness
+    /// section is corrupt.
+    pub fn witnesses(&self) -> Result<&[FaultSet], ArtifactError> {
+        match &self.witnesses {
+            WitnessStore::Eager(w) => Ok(w),
+            WitnessStore::Detached => Err(ArtifactError::WitnessesDetached),
+            WitnessStore::Lazy {
+                bytes,
+                at,
+                len,
+                cell,
+            } => {
+                let res = cell.get_or_init(|| {
+                    let payload = &bytes.as_slice()[*at..*at + *len];
+                    parse_witness_payload(payload, self.node_count(), self.edge_count())
+                });
+                match res {
+                    Ok(w) => Ok(w),
+                    Err(e) => Err(e.clone()),
+                }
+            }
+        }
     }
 
     /// Parent edge id of a spanner edge.
@@ -280,21 +515,25 @@ impl FrozenSpanner {
     ///
     /// Panics if `edge` is out of range.
     pub fn parent_edge(&self, edge: EdgeId) -> EdgeId {
-        self.parent_edges[edge.index()]
+        self.tables.fwd(edge.index())
     }
 
     /// All kept parent edge ids, in spanner edge-id order.
-    pub fn parent_edge_ids(&self) -> &[EdgeId] {
-        &self.parent_edges
+    pub fn parent_edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.tables.fwd_len()).map(move |i| self.tables.fwd(i))
     }
 
     /// The spanner copy of a parent edge, if it was kept (O(1), unlike
     /// the linear scan a construction-time
     /// [`Spanner`] would need).
     pub fn spanner_edge_of_parent(&self, parent_edge: EdgeId) -> Option<EdgeId> {
-        match self.spanner_of_parent.get(parent_edge.index()) {
-            Some(&own) if own != NOT_KEPT => Some(EdgeId::new(own as usize)),
-            _ => None,
+        let s = parent_edge.index();
+        if s >= self.tables.inv_len() {
+            return None;
+        }
+        match self.tables.inv(s) {
+            NOT_KEPT => None,
+            own => Some(EdgeId::new(own as usize)),
         }
     }
 
@@ -336,6 +575,259 @@ fn inverse_translation(parent_edge_count: Option<usize>, parent_edges: &[EdgeId]
     spanner_of_parent
 }
 
+/// The fields of a parsed `META` section.
+struct MetaFields {
+    stretch: u64,
+    model: FaultModel,
+    budget: Option<usize>,
+    node_count: usize,
+    edge_count: usize,
+}
+
+/// Parses the 35-byte `META` payload (identical in v1 and v2).
+fn parse_meta_payload(payload: &[u8]) -> Result<MetaFields, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let stretch = r.u64("stretch")?;
+    let model = match r.u8("fault model")? {
+        0 => FaultModel::Vertex,
+        1 => FaultModel::Edge,
+        other => {
+            return Err(BinaryError::Malformed {
+                context: "fault model",
+                detail: format!("unknown tag {other}"),
+            }
+            .into())
+        }
+    };
+    let has_budget = match r.u8("budget flag")? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(BinaryError::Malformed {
+                context: "budget flag",
+                detail: format!("expected 0 or 1, found {other}"),
+            }
+            .into())
+        }
+    };
+    let budget_raw = r.u64("budget")?;
+    if !has_budget && budget_raw != 0 {
+        return Err(BinaryError::Malformed {
+            context: "budget",
+            detail: format!("flag says absent but value is {budget_raw}"),
+        }
+        .into());
+    }
+    let budget = has_budget.then_some(budget_raw as usize);
+    let node_count = r.u64("node count")? as usize;
+    let edge_count = r.u64("edge count")? as usize;
+    r.expect_drained("meta")?;
+    Ok(MetaFields {
+        stretch,
+        model,
+        budget,
+        node_count,
+        edge_count,
+    })
+}
+
+/// Serializes the `WITNESSES` section payload (identical in v1 and v2).
+fn witness_payload(sets: &[FaultSet]) -> Vec<u8> {
+    let mut witnesses = Vec::new();
+    put_u64(&mut witnesses, sets.len() as u64);
+    for set in sets {
+        witnesses.push(match set.model() {
+            FaultModel::Vertex => 0,
+            FaultModel::Edge => 1,
+        });
+        let (vs, es) = (set.vertex_faults(), set.edge_faults());
+        put_u64(&mut witnesses, set.len() as u64);
+        for v in vs {
+            put_u32(&mut witnesses, v.raw());
+        }
+        for e in es {
+            put_u32(&mut witnesses, e.raw());
+        }
+    }
+    witnesses
+}
+
+/// Parses and validates a `WITNESSES` payload: ids in range for their
+/// model's id space, stored normalized (sorted, deduplicated) so accept
+/// implies canonical re-encode. Shared by v1 decode and the v2 lazy
+/// store.
+fn parse_witness_payload(
+    payload: &[u8],
+    node_count: usize,
+    edge_count: usize,
+) -> Result<Vec<FaultSet>, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.count(9, "witness count")?;
+    if count != 0 && count != edge_count {
+        return Err(inconsistent(
+            "witness map",
+            format!("{count} witness sets for {edge_count} spanner edges"),
+        ));
+    }
+    let mut witnesses = Vec::with_capacity(count);
+    for i in 0..count {
+        let model_tag = r.u8("witness model")?;
+        let len = r.count(4, "witness length")?;
+        let mut ids = Vec::with_capacity(len);
+        for _ in 0..len {
+            ids.push(r.u32("witness component id")? as usize);
+        }
+        let bound = match model_tag {
+            0 => node_count,
+            1 => edge_count,
+            other => {
+                return Err(BinaryError::Malformed {
+                    context: "witness model",
+                    detail: format!("unknown tag {other}"),
+                }
+                .into())
+            }
+        };
+        if let Some(&bad) = ids.iter().find(|&&id| id >= bound) {
+            return Err(inconsistent(
+                "witness map",
+                format!("witness {i} references component {bad}, id space is {bound}"),
+            ));
+        }
+        // The format stores witness ids normalized (sorted ascending,
+        // deduplicated). The FaultSet constructors would silently
+        // renormalize a crafted record — and then the artifact would
+        // no longer re-encode to the bytes that were accepted, so
+        // reject denormalized input here with a typed error instead.
+        if ids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(inconsistent(
+                "witness map",
+                format!("witness {i} ids are not sorted and deduplicated"),
+            ));
+        }
+        witnesses.push(if model_tag == 0 {
+            FaultSet::vertices(ids.into_iter().map(NodeId::new))
+        } else {
+            FaultSet::edges(ids.into_iter().map(EdgeId::new))
+        });
+    }
+    r.expect_drained("witness map")?;
+    Ok(witnesses)
+}
+
+/// Parses a `PARENT` payload into a [`Graph`] (full simple-graph
+/// invariants re-enforced). Cross-checks against the spanner happen in
+/// `FrozenSpanner::check_parent_consistency` / the v1 decode body.
+fn parse_parent_payload(payload: &[u8]) -> Result<Graph, ArtifactError> {
+    let mut r = ByteReader::new(payload);
+    let graph = binary::read_graph_payload(&mut r)?;
+    r.expect_drained("parent graph")?;
+    Ok(graph)
+}
+
+/// Validates a v2 `PARENT_EDGES` section **in place** and returns a
+/// borrowed table view. O(fwd + inv) scans, no allocation sized by the
+/// input. The checks pin the stored inverse to exactly the inverse
+/// function of the forward table (back-pointer agreement + a kept-slot
+/// census that also proves the forward table injective), and — when no
+/// parent travels with the artifact — the canonical slot count
+/// `max(fwd) + 1`; with a parent, the slot count is checked against the
+/// parent's edge count when the parent is decoded.
+fn validate_tables_v2(
+    bytes: &SharedBytes,
+    at: usize,
+    len: usize,
+    edge_count: usize,
+    parent_present: bool,
+) -> Result<TranslationTables, ArtifactError> {
+    let data = bytes.as_slice();
+    if len < 16 {
+        return Err(BinaryError::Truncated {
+            context: "parent-edge table",
+        }
+        .into());
+    }
+    let fwd_count_raw = read_u64_at(data, at);
+    if fwd_count_raw != edge_count as u64 {
+        return Err(inconsistent(
+            "parent-edge table",
+            format!("{fwd_count_raw} entries for {edge_count} spanner edges"),
+        ));
+    }
+    let fwd_count = edge_count;
+    let inv_header = 8 + 4 * fwd_count;
+    let Some(inv_bytes) = len.checked_sub(inv_header + 8) else {
+        return Err(BinaryError::Truncated {
+            context: "parent-edge table",
+        }
+        .into());
+    };
+    let inv_count_raw = read_u64_at(data, at + inv_header);
+    if inv_bytes % 4 != 0 || inv_count_raw != (inv_bytes / 4) as u64 {
+        return Err(BinaryError::Malformed {
+            context: "parent-edge table",
+            detail: format!(
+                "{inv_count_raw} inverse slots declared, {inv_bytes} payload bytes present"
+            ),
+        }
+        .into());
+    }
+    let inv_count = inv_count_raw as usize;
+    let fwd = |i: usize| read_u32_at(data, at + 8 + 4 * i) as usize;
+    let inv = |s: usize| read_u32_at(data, at + inv_header + 8 + 4 * s);
+    let mut max_fwd_plus1 = 0usize;
+    for own in 0..fwd_count {
+        let pid = fwd(own);
+        if pid >= inv_count {
+            return Err(inconsistent(
+                "parent-edge table",
+                format!("forward table references parent edge {pid} outside the {inv_count}-slot inverse"),
+            ));
+        }
+        max_fwd_plus1 = max_fwd_plus1.max(pid + 1);
+    }
+    let mut kept = 0usize;
+    for s in 0..inv_count {
+        let own = inv(s);
+        if own == NOT_KEPT {
+            continue;
+        }
+        kept += 1;
+        if own as usize >= fwd_count || fwd(own as usize) != s {
+            return Err(inconsistent(
+                "parent-edge table",
+                format!("stored inverse disagrees with the forward table at slot {s}"),
+            ));
+        }
+    }
+    // kept == edge_count, with every kept slot pointing at a distinct
+    // forward entry that points back, makes slot↔entry a bijection:
+    // the stored inverse IS the inverse function, and the forward table
+    // is injective (two spanner copies of one parent edge would let
+    // `apply_faults` mask only one of them).
+    if kept != edge_count {
+        return Err(inconsistent(
+            "parent-edge table",
+            format!(
+                "forward table is not injective: {edge_count} spanner edges share {kept} parent edges"
+            ),
+        ));
+    }
+    if !parent_present && inv_count != max_fwd_plus1 {
+        return Err(inconsistent(
+            "parent-edge table",
+            format!("inverse has {inv_count} slots, canonical is {max_fwd_plus1}"),
+        ));
+    }
+    Ok(TranslationTables::Bytes {
+        bytes: bytes.clone(),
+        at,
+        len,
+        fwd_count,
+        inv_count,
+    })
+}
+
 impl FrozenSpanner {
     /// Serializes the artifact into the versioned `VFTSPANR` binary
     /// container (spec: `docs/ARTIFACT_FORMAT.md`). The encoding is
@@ -358,6 +850,14 @@ impl FrozenSpanner {
     /// # Ok::<(), spanner_core::frozen::ArtifactError>(())
     /// ```
     pub fn encode(&self) -> Vec<u8> {
+        match self.version {
+            ARTIFACT_VERSION_V2 => self.encode_v2(),
+            _ => self.encode_v1(),
+        }
+    }
+
+    /// The 35-byte `META` section payload (shared by both versions).
+    fn meta_payload(&self) -> Vec<u8> {
         let mut meta = Vec::with_capacity(35);
         put_u64(&mut meta, self.stretch);
         meta.push(match self.model {
@@ -368,7 +868,10 @@ impl FrozenSpanner {
         put_u64(&mut meta, self.budget.unwrap_or(0) as u64);
         put_u64(&mut meta, self.node_count() as u64);
         put_u64(&mut meta, self.edge_count() as u64);
+        meta
+    }
 
+    fn encode_v1(&self) -> Vec<u8> {
         let mut spanner = Vec::new();
         binary::write_view_payload(&self.csr, &mut spanner);
 
@@ -379,45 +882,91 @@ impl FrozenSpanner {
         // re-derived table would be sized by an attacker-controlled
         // maximum id (a crafted 100-byte file claiming parent edge
         // 0xfffffffe must not conjure a 16 GiB allocation).
-        let mut parent_edges =
-            Vec::with_capacity(16 + 4 * (self.parent_edges.len() + self.spanner_of_parent.len()));
-        put_u64(&mut parent_edges, self.parent_edges.len() as u64);
-        for id in &self.parent_edges {
-            put_u32(&mut parent_edges, id.raw());
-        }
-        put_u64(&mut parent_edges, self.spanner_of_parent.len() as u64);
-        for own in &self.spanner_of_parent {
-            put_u32(&mut parent_edges, *own);
-        }
+        let parent_edges = self.tables.payload();
 
-        let mut witnesses = Vec::new();
-        put_u64(&mut witnesses, self.witnesses.len() as u64);
-        for set in &self.witnesses {
-            witnesses.push(match set.model() {
-                FaultModel::Vertex => 0,
-                FaultModel::Edge => 1,
-            });
-            let (vs, es) = (set.vertex_faults(), set.edge_faults());
-            put_u64(&mut witnesses, set.len() as u64);
-            for v in vs {
-                put_u32(&mut witnesses, v.raw());
-            }
-            for e in es {
-                put_u32(&mut witnesses, e.raw());
-            }
-        }
+        let sets = match &self.witnesses {
+            WitnessStore::Eager(sets) => sets,
+            // v1 artifacts are always eagerly decoded; lazy or detached
+            // stores only arise behind `version == 2`.
+            _ => unreachable!("v1 artifacts hold eager witness stores"),
+        };
+        let witnesses = witness_payload(sets);
 
         let mut w = ContainerWriter::new(ARTIFACT_MAGIC, ARTIFACT_VERSION);
-        w.section(SECTION_META, &meta)
+        w.section(SECTION_META, &self.meta_payload())
             .section(SECTION_SPANNER, &spanner)
             .section(SECTION_PARENT_EDGES, &parent_edges)
             .section(SECTION_WITNESSES, &witnesses);
-        if let Some(parent) = &self.parent {
+        if let ParentStore::Eager(parent) = &self.parent {
             let mut payload = Vec::new();
             binary::write_view_payload(parent.as_ref(), &mut payload);
             w.section(SECTION_PARENT, &payload);
         }
         w.finish()
+    }
+
+    fn encode_v2(&self) -> Vec<u8> {
+        let flags = if self.witnesses_detached() {
+            FLAG_WITNESSES_DETACHED
+        } else {
+            0
+        };
+        let mut w = binary::ContainerWriterV2::new(ARTIFACT_MAGIC, ARTIFACT_VERSION_V2, flags);
+        w.section(SECTION_META, self.meta_payload());
+        let mut spanner = Vec::with_capacity(self.csr.payload_v2_len());
+        self.csr.write_payload_v2(&mut spanner);
+        w.section(SECTION_SPANNER, spanner);
+        w.section(SECTION_PARENT_EDGES, self.tables.payload());
+        match &self.witnesses {
+            WitnessStore::Eager(sets) => {
+                w.section(SECTION_WITNESSES, witness_payload(sets));
+            }
+            // Lazily-held sections re-emit their raw (validated) bytes,
+            // so re-encoding never forces a decode and stays canonical.
+            WitnessStore::Lazy { bytes, at, len, .. } => {
+                w.section(
+                    SECTION_WITNESSES,
+                    bytes.as_slice()[*at..*at + *len].to_vec(),
+                );
+            }
+            WitnessStore::Detached => {}
+        }
+        match &self.parent {
+            ParentStore::None => {}
+            ParentStore::Eager(parent) => {
+                let mut payload = Vec::new();
+                binary::write_view_payload(parent.as_ref(), &mut payload);
+                w.section(SECTION_PARENT, payload);
+            }
+            ParentStore::Lazy { bytes, at, len, .. } => {
+                w.section(SECTION_PARENT, bytes.as_slice()[*at..*at + *len].to_vec());
+            }
+        }
+        w.finish()
+    }
+
+    /// Re-versions this artifact as a v2 (in-place layout) container:
+    /// [`FrozenSpanner::encode`] then writes the alignment-padded v2
+    /// format [`FrozenSpanner::open`] reads in place. Content is
+    /// unchanged — this is the `spanner-artifact migrate` primitive, and
+    /// it is byte-canonical: the same artifact always yields the same
+    /// v2 bytes, and re-migrating a v2 artifact is the identity.
+    pub fn to_v2(&self) -> FrozenSpanner {
+        let mut out = self.clone();
+        out.version = ARTIFACT_VERSION_V2;
+        out
+    }
+
+    /// A routing-only copy of this artifact: the witness section (which
+    /// dominates artifact size) is dropped, the v2 header carries
+    /// [`FLAG_WITNESSES_DETACHED`], and [`FrozenSpanner::witnesses`]
+    /// returns [`ArtifactError::WitnessesDetached`]. Always a v2
+    /// artifact — v1 has no flag field to mark the absence.
+    pub fn detach_witnesses(&self) -> FrozenSpanner {
+        let mut out = self.clone();
+        out.witnesses = WitnessStore::Detached;
+        out.version = ARTIFACT_VERSION_V2;
+        out
     }
 
     /// Deserializes an artifact previously produced by
@@ -432,6 +981,17 @@ impl FrozenSpanner {
     /// unknown version or section, or internally contradictory sections.
     /// No input, however hostile, can cause a panic.
     pub fn decode(bytes: &[u8]) -> Result<FrozenSpanner, ArtifactError> {
+        // Dispatch on the declared version field; each branch then
+        // re-validates the whole container (checksum first) for its
+        // format, so a lying version field still fails closed.
+        if bytes.len() >= 12 && bytes[8..12] == ARTIFACT_VERSION_V2.to_le_bytes() {
+            Self::decode_v2(SharedBytes::copy_aligned(bytes), true)
+        } else {
+            Self::decode_v1(bytes)
+        }
+    }
+
+    fn decode_v1(bytes: &[u8]) -> Result<FrozenSpanner, ArtifactError> {
         let container = binary::parse_container(bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION)?;
         for section in &container.sections {
             if !matches!(
@@ -452,42 +1012,9 @@ impl FrozenSpanner {
         };
 
         // META: the declared shape everything else is checked against.
-        let mut r = ByteReader::new(require(SECTION_META, "meta")?);
-        let stretch = r.u64("stretch")?;
-        let model = match r.u8("fault model")? {
-            0 => FaultModel::Vertex,
-            1 => FaultModel::Edge,
-            other => {
-                return Err(BinaryError::Malformed {
-                    context: "fault model",
-                    detail: format!("unknown tag {other}"),
-                }
-                .into())
-            }
-        };
-        let has_budget = match r.u8("budget flag")? {
-            0 => false,
-            1 => true,
-            other => {
-                return Err(BinaryError::Malformed {
-                    context: "budget flag",
-                    detail: format!("expected 0 or 1, found {other}"),
-                }
-                .into())
-            }
-        };
-        let budget_raw = r.u64("budget")?;
-        if !has_budget && budget_raw != 0 {
-            return Err(BinaryError::Malformed {
-                context: "budget",
-                detail: format!("flag says absent but value is {budget_raw}"),
-            }
-            .into());
-        }
-        let budget = has_budget.then_some(budget_raw as usize);
-        let node_count = r.u64("node count")? as usize;
-        let edge_count = r.u64("edge count")? as usize;
-        r.expect_drained("meta")?;
+        let meta = parse_meta_payload(require(SECTION_META, "meta")?)?;
+        let (stretch, model, budget) = (meta.stretch, meta.model, meta.budget);
+        let (node_count, edge_count) = (meta.node_count, meta.edge_count);
 
         // SPANNER: the packed adjacency, cross-checked against META.
         let mut r = ByteReader::new(require(SECTION_SPANNER, "spanner adjacency")?);
@@ -610,68 +1137,251 @@ impl FrozenSpanner {
         // the id spaces they reference (vertex ids over the shared
         // vertex set, edge ids over the partial spanner, matching
         // `FtSpanner::witnesses`).
-        let mut r = ByteReader::new(require(SECTION_WITNESSES, "witness map")?);
-        let count = r.count(9, "witness count")?;
-        if count != 0 && count != edge_count {
-            return Err(inconsistent(
-                "witness map",
-                format!("{count} witness sets for {edge_count} spanner edges"),
-            ));
-        }
-        let mut witnesses = Vec::with_capacity(count);
-        for i in 0..count {
-            let model_tag = r.u8("witness model")?;
-            let len = r.count(4, "witness length")?;
-            let mut ids = Vec::with_capacity(len);
-            for _ in 0..len {
-                ids.push(r.u32("witness component id")? as usize);
-            }
-            let bound = match model_tag {
-                0 => node_count,
-                1 => edge_count,
-                other => {
-                    return Err(BinaryError::Malformed {
-                        context: "witness model",
-                        detail: format!("unknown tag {other}"),
-                    }
-                    .into())
-                }
-            };
-            if let Some(&bad) = ids.iter().find(|&&id| id >= bound) {
-                return Err(inconsistent(
-                    "witness map",
-                    format!("witness {i} references component {bad}, id space is {bound}"),
-                ));
-            }
-            // The format stores witness ids normalized (sorted ascending,
-            // deduplicated). The FaultSet constructors would silently
-            // renormalize a crafted record — and then the artifact would
-            // no longer re-encode to the bytes that were accepted, so
-            // reject denormalized input here with a typed error instead.
-            if ids.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(inconsistent(
-                    "witness map",
-                    format!("witness {i} ids are not sorted and deduplicated"),
-                ));
-            }
-            witnesses.push(if model_tag == 0 {
-                FaultSet::vertices(ids.into_iter().map(NodeId::new))
-            } else {
-                FaultSet::edges(ids.into_iter().map(EdgeId::new))
-            });
-        }
-        r.expect_drained("witness map")?;
+        let witnesses = parse_witness_payload(
+            require(SECTION_WITNESSES, "witness map")?,
+            node_count,
+            edge_count,
+        )?;
 
         Ok(FrozenSpanner {
             csr,
-            parent,
-            parent_edges,
-            spanner_of_parent,
+            parent: parent.map_or(ParentStore::None, ParentStore::Eager),
+            tables: TranslationTables::Owned {
+                parent_edges,
+                spanner_of_parent,
+            },
             stretch,
             budget,
             model,
-            witnesses,
+            witnesses: WitnessStore::Eager(witnesses),
+            version: ARTIFACT_VERSION,
         })
+    }
+
+    /// Parses a v2 container over `shared`. With `eager` set (the
+    /// [`FrozenSpanner::decode`] path) the witness and parent sections
+    /// are forced immediately, so the call validates the whole file;
+    /// without it (the [`FrozenSpanner::open`] path) they stay raw bytes
+    /// until first use and open cost is O(sections + tables scan), with
+    /// no per-record materialization of the packed CSR.
+    fn decode_v2(shared: SharedBytes, eager: bool) -> Result<FrozenSpanner, ArtifactError> {
+        let container = binary::parse_container_v2(
+            shared.as_slice(),
+            ARTIFACT_MAGIC,
+            ARTIFACT_VERSION_V2,
+            FLAG_WITNESSES_DETACHED,
+        )?;
+        let detached = container.flags & FLAG_WITNESSES_DETACHED != 0;
+        for section in &container.sections {
+            match section.tag {
+                SECTION_META | SECTION_SPANNER | SECTION_PARENT_EDGES | SECTION_PARENT => {}
+                SECTION_WITNESSES if !detached => {}
+                SECTION_WITNESSES => {
+                    return Err(BinaryError::Malformed {
+                        context: "witness map",
+                        detail: "detached artifact carries a witness section".to_string(),
+                    }
+                    .into())
+                }
+                tag => return Err(BinaryError::UnknownSection { tag }.into()),
+            }
+        }
+        // Canonical section order: ascending tags, the order the writer
+        // emits. Anything else would decode fine but re-encode to
+        // different bytes, breaking the canonical-roundtrip oracle.
+        if container.sections.windows(2).any(|w| w[0].tag >= w[1].tag) {
+            return Err(BinaryError::Malformed {
+                context: "section table",
+                detail: "sections are not in canonical tag order".to_string(),
+            }
+            .into());
+        }
+        let require = |tag: u32, name: &'static str| {
+            container
+                .section(tag)
+                .ok_or(BinaryError::MissingSection { name })
+        };
+        let data = shared.as_slice();
+        let section_bytes = |s: binary::SectionV2| &data[s.offset..s.offset + s.len];
+
+        let meta = parse_meta_payload(section_bytes(require(SECTION_META, "meta")?))?;
+
+        // SPANNER: validated in place — alignment, counts, ranges, and
+        // adjacency ≡ canonical derivation — then *borrowed*, not
+        // rebuilt.
+        let sp = require(SECTION_SPANNER, "spanner adjacency")?;
+        let csr = FrozenCsr::from_bytes(shared.clone(), sp.offset, sp.len)?;
+        if csr.node_count() != meta.node_count || csr.edge_count() != meta.edge_count {
+            return Err(inconsistent(
+                "spanner shape",
+                format!(
+                    "meta declares {} nodes / {} edges, adjacency holds {} / {}",
+                    meta.node_count,
+                    meta.edge_count,
+                    csr.node_count(),
+                    csr.edge_count()
+                ),
+            ));
+        }
+
+        let parent_section = container.section(SECTION_PARENT);
+        let pe = require(SECTION_PARENT_EDGES, "parent-edge table")?;
+        let tables = validate_tables_v2(
+            &shared,
+            pe.offset,
+            pe.len,
+            meta.edge_count,
+            parent_section.is_some(),
+        )?;
+
+        let parent = match parent_section {
+            None => ParentStore::None,
+            Some(p) => ParentStore::Lazy {
+                bytes: shared.clone(),
+                at: p.offset,
+                len: p.len,
+                cell: Arc::new(OnceLock::new()),
+            },
+        };
+        let witnesses = if detached {
+            WitnessStore::Detached
+        } else {
+            let w = require(SECTION_WITNESSES, "witness map")?;
+            WitnessStore::Lazy {
+                bytes: shared.clone(),
+                at: w.offset,
+                len: w.len,
+                cell: Arc::new(OnceLock::new()),
+            }
+        };
+
+        let frozen = FrozenSpanner {
+            csr,
+            parent,
+            tables,
+            stretch: meta.stretch,
+            budget: meta.budget,
+            model: meta.model,
+            witnesses,
+            version: ARTIFACT_VERSION_V2,
+        };
+        if eager {
+            // Force (and memoize) the lazy sections so decode() means
+            // "the whole file is valid", exactly as it does for v1. A
+            // detached witness store is not an invalid file.
+            frozen.parent()?;
+            match frozen.witnesses() {
+                Ok(_) | Err(ArtifactError::WitnessesDetached) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(frozen)
+    }
+
+    /// Opens a v2 artifact **in place**: the packed adjacency and
+    /// translation tables are validated and then *borrowed* from
+    /// `bytes` (an mmap'd file, an aligned heap buffer, …) with no `Vec`
+    /// rebuild; the witness map and parent graph are decoded lazily on
+    /// first use. Open cost is O(header + validation scans) — the
+    /// cold-start path for "build once, serve from thousands of
+    /// replicas".
+    ///
+    /// v1 artifacts are rejected with a typed
+    /// [`BinaryError::UnsupportedVersion`] (run `spanner-artifact
+    /// migrate` first); [`FrozenSpanner::decode`] keeps accepting them
+    /// forever.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] on any structural defect, including a buffer
+    /// that misses the 8-byte base alignment
+    /// (`artifact/misaligned-section`). Hostile input cannot panic and
+    /// cannot size an allocation beyond the bytes present.
+    pub fn open(bytes: SharedBytes) -> Result<MappedSpanner, ArtifactError> {
+        Ok(MappedSpanner {
+            inner: Self::decode_v2(bytes, false)?,
+        })
+    }
+
+    /// Full parent cross-checks, shared by the lazy (v2) decode path:
+    /// the parent must agree with the spanner and translation tables in
+    /// shape, ids, endpoints, and weights.
+    fn check_parent_consistency(&self, parent: &Graph) -> Result<(), ArtifactError> {
+        if parent.node_count() != self.node_count() {
+            return Err(inconsistent(
+                "parent shape",
+                format!(
+                    "parent has {} nodes, spanner has {}",
+                    parent.node_count(),
+                    self.node_count()
+                ),
+            ));
+        }
+        // Canonical inverse size when a parent travels with the
+        // artifact: one slot per parent edge.
+        if self.tables.inv_len() != parent.edge_count() {
+            return Err(inconsistent(
+                "parent-edge table",
+                format!(
+                    "inverse has {} slots, parent has {} edges",
+                    self.tables.inv_len(),
+                    parent.edge_count()
+                ),
+            ));
+        }
+        for own in 0..self.tables.fwd_len() {
+            let parent_id = self.tables.fwd(own);
+            if parent_id.index() >= parent.edge_count() {
+                return Err(inconsistent(
+                    "parent-edge table",
+                    format!(
+                        "spanner edge {own} maps to parent edge {parent_id} but the parent has {} edges",
+                        parent.edge_count()
+                    ),
+                ));
+            }
+            let own_id = EdgeId::new(own);
+            let e = parent.edge(parent_id);
+            if self.csr.edge_endpoints(own_id) != e.endpoints()
+                || self.csr.edge_weight(own_id) != e.weight()
+            {
+                return Err(inconsistent(
+                    "parent-edge table",
+                    format!("spanner edge {own} disagrees with parent edge {parent_id}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An artifact opened in place over a shared byte buffer — the result
+/// of [`FrozenSpanner::open`]. Derefs to [`FrozenSpanner`], so every
+/// serving API works unchanged; the wrapper exists to make "this came
+/// from the zero-copy path" explicit in signatures like
+/// `EpochServer::from_mapped`.
+#[derive(Clone, Debug)]
+pub struct MappedSpanner {
+    inner: FrozenSpanner,
+}
+
+impl MappedSpanner {
+    /// The underlying artifact.
+    pub fn spanner(&self) -> &FrozenSpanner {
+        &self.inner
+    }
+
+    /// Unwraps into the underlying artifact.
+    pub fn into_inner(self) -> FrozenSpanner {
+        self.inner
+    }
+}
+
+impl std::ops::Deref for MappedSpanner {
+    type Target = FrozenSpanner;
+
+    fn deref(&self) -> &FrozenSpanner {
+        &self.inner
     }
 }
 
@@ -700,9 +1410,16 @@ mod tests {
         assert_eq!(frozen.stretch(), 3);
         assert_eq!(frozen.budget(), Some(1));
         assert_eq!(frozen.model(), FaultModel::Vertex);
-        assert_eq!(frozen.witnesses(), ft.witnesses());
-        assert_eq!(frozen.parent_edge_ids(), ft.spanner().parent_edge_ids());
-        assert_eq!(frozen.parent().unwrap().edge_count(), g.edge_count());
+        assert_eq!(frozen.version(), ARTIFACT_VERSION);
+        assert_eq!(frozen.witnesses().unwrap(), ft.witnesses());
+        assert_eq!(
+            frozen.parent_edge_ids().collect::<Vec<_>>(),
+            ft.spanner().parent_edge_ids()
+        );
+        assert_eq!(
+            frozen.parent().unwrap().unwrap().edge_count(),
+            g.edge_count()
+        );
     }
 
     #[test]
@@ -711,8 +1428,8 @@ mod tests {
         let s = Spanner::from_parent_edges(&g, g.edge_ids(), 3);
         let frozen = s.freeze();
         assert_eq!(frozen.budget(), None);
-        assert!(frozen.parent().is_none());
-        assert!(frozen.witnesses().is_empty());
+        assert!(frozen.parent().unwrap().is_none());
+        assert!(frozen.witnesses().unwrap().is_empty());
         assert_eq!(frozen.edge_count(), 6);
     }
 
@@ -747,10 +1464,18 @@ mod tests {
         assert_eq!(back.stretch(), frozen.stretch());
         assert_eq!(back.budget(), frozen.budget());
         assert_eq!(back.model(), frozen.model());
-        assert_eq!(back.witnesses(), frozen.witnesses());
-        assert_eq!(back.parent_edge_ids(), frozen.parent_edge_ids());
-        assert_eq!(back.spanner_of_parent, frozen.spanner_of_parent);
-        let p = back.parent().unwrap();
+        assert_eq!(back.witnesses().unwrap(), frozen.witnesses().unwrap());
+        assert_eq!(
+            back.parent_edge_ids().collect::<Vec<_>>(),
+            frozen.parent_edge_ids().collect::<Vec<_>>()
+        );
+        for pe in 0..g.edge_count() {
+            assert_eq!(
+                back.spanner_edge_of_parent(EdgeId::new(pe)),
+                frozen.spanner_edge_of_parent(EdgeId::new(pe))
+            );
+        }
+        let p = back.parent().unwrap().unwrap();
         assert_eq!(p.edge_count(), g.edge_count());
         for (id, e) in g.edges() {
             assert_eq!(p.endpoints(id), e.endpoints());
@@ -767,8 +1492,8 @@ mod tests {
         let back = FrozenSpanner::decode(&bytes).unwrap();
         assert_eq!(back.encode(), bytes);
         assert_eq!(back.budget(), None);
-        assert!(back.parent().is_none());
-        assert!(back.witnesses().is_empty());
+        assert!(back.parent().unwrap().is_none());
+        assert!(back.witnesses().unwrap().is_empty());
         assert_eq!(
             back.spanner_edge_of_parent(EdgeId::new(4)),
             Some(EdgeId::new(1))
@@ -814,7 +1539,7 @@ mod tests {
         write_view_payload(frozen.csr(), &mut spanner);
         let mut short_table = Vec::new();
         put_u64(&mut short_table, (frozen.edge_count() - 1) as u64);
-        for id in frozen.parent_edge_ids().iter().skip(1) {
+        for id in frozen.parent_edge_ids().skip(1) {
             put_u32(&mut short_table, id.raw());
         }
         let mut witnesses = Vec::new();

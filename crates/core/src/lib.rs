@@ -30,9 +30,9 @@
 //!   [`EpochHandle`] sessions, O(Δ) epoch deltas, and a coalescing
 //!   batch front-end; persist the artifact with
 //!   [`FrozenSpanner::encode`] and load it in a serving replica with
-//!   [`FrozenSpanner::decode`] — build once, serve many, never
-//!   reconstruct. ([`query`] keeps the original single-tenant
-//!   [`QueryEngine`] surface as a deprecated shim over the server.)
+//!   [`FrozenSpanner::decode`] — or map a v2 artifact **in place** with
+//!   [`FrozenSpanner::open`] ([`MappedSpanner`]) and serve it without
+//!   decoding — build once, serve many, never reconstruct.
 //!
 //! # Quickstart
 //!
@@ -60,7 +60,6 @@ mod spanner;
 pub mod baselines;
 pub mod frozen;
 pub mod metrics;
-pub mod query;
 pub mod report;
 pub mod routing;
 pub mod serve;
@@ -68,11 +67,10 @@ pub mod simulation;
 pub mod verify;
 
 pub use blocking::{verify_blocking_set, BlockingReport, BlockingSet};
-pub use frozen::{ArtifactError, FrozenSpanner};
+pub use frozen::{ArtifactError, FrozenSpanner, MappedSpanner};
 pub use ft_greedy::{FtGreedy, FtSpanner, OracleKind};
 pub use greedy::{greedy_spanner, greedy_spanner_masked};
 pub use peeling::{expected_yield, peel, PeelOutcome};
-pub use query::QueryEngine;
 pub use serve::{
     BatchCoalescer, EpochDelta, EpochHandle, EpochServer, EpochView, ServerStats, Ticket,
 };

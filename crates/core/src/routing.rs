@@ -1,26 +1,25 @@
-//! Resilient routing on top of a fault tolerant spanner.
+//! Route values, routing errors, and stretch auditing.
 //!
-//! This is the consumer-facing payoff of the whole construction: route
-//! queries against the *sparse* spanner instead of the full graph, survive
-//! up to `f` component failures, and know the worst-case price (`k×` route
-//! inflation) in advance.
+//! Serving happens in [`serve`](crate::serve): freeze the spanner
+//! ([`Spanner::freeze`](crate::Spanner::freeze)), open
+//! [`EpochServer`](crate::serve::EpochServer) sessions, and answer
+//! queries through them (or through the primitive
+//! [`serve::route_one`](crate::serve::route_one) reference). This
+//! module holds what those answers are made of — [`Route`] and
+//! [`RouteError`], with the stable error-code taxonomy — plus
+//! [`stretch_against`], the audit that prices a served route against
+//! the surviving *parent* graph.
 //!
-//! [`ResilientRouter`] is the one-query-at-a-time compatibility surface:
-//! a thin shim over the [`serve`] layer that applies the
-//! failure set afresh per call. Serving loops that answer many queries
-//! under one failure state — or want concurrent tenants, batched /
-//! pooled answers, or O(Δ) epoch deltas — should freeze the spanner
-//! ([`Spanner::freeze`]) and open [`EpochServer`] sessions directly;
-//! the results are bit-identical (the router routes through the very
-//! same implementation).
+//! (The one-query-at-a-time `ResilientRouter` and the mutate-then-query
+//! `QueryEngine` shims that used to live here and in `query` were
+//! deprecated in PR 6 and are gone; every caller speaks to the serving
+//! layer directly and gets bit-identical answers, because the shims
+//! were already routing through it.)
 
-use crate::serve::{self, EpochServer};
-use crate::Spanner;
 use spanner_faults::FaultSet;
-use spanner_graph::{DijkstraEngine, Dist, EdgeId, FaultMask, Graph, NodeId, PathScratch};
-use std::sync::Arc;
+use spanner_graph::{DijkstraEngine, Dist, EdgeId, FaultMask, Graph, NodeId};
 
-/// A route served by [`ResilientRouter`].
+/// A route served from a frozen spanner artifact.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Route {
     /// Vertices from source to target inclusive.
@@ -76,182 +75,73 @@ impl std::fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
-/// A query engine over a spanner, tolerant to per-query failure sets.
+/// The achieved stretch of a route against the parent graph under the
+/// same failures: `1.0` means the route is optimal; `None` if the
+/// parent itself has no surviving path (then any route is a bonus) or
+/// the route is empty.
+///
+/// This is the audit side of the spanner contract — an `f`-FT
+/// `k`-spanner promises every in-budget answer stays within `k×` of
+/// what the surviving *parent* would charge.
 ///
 /// # Examples
 ///
 /// ```
-/// use spanner_core::{routing::ResilientRouter, FtGreedy};
+/// use spanner_core::{routing::stretch_against, serve::EpochServer, FtGreedy};
 /// use spanner_faults::FaultSet;
 /// use spanner_graph::{generators::complete, NodeId};
+/// use std::sync::Arc;
 ///
 /// let g = complete(8);
 /// let ft = FtGreedy::new(&g, 3).faults(1).run();
-/// let mut router = ResilientRouter::new(ft.into_spanner());
+/// let server = EpochServer::new(Arc::new(ft.freeze(&g)));
 ///
-/// // Any single vertex may fail; the surviving route costs at most 3×
-/// // what the surviving *parent* would charge — that is the contract
-/// // (the absolute distance depends on the instance's weights).
 /// let failed = FaultSet::vertices([NodeId::new(3)]);
-/// let route = router.route(NodeId::new(0), NodeId::new(7), &failed)?;
-/// let stretch = router.stretch_against(&g, &route, &failed).unwrap();
+/// let route = server.epoch(&failed).route(NodeId::new(0), NodeId::new(7))?;
+/// let stretch = stretch_against(&g, &route, &failed).unwrap();
 /// assert!(stretch <= 3.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
-pub struct ResilientRouter {
-    spanner: Spanner,
-    server: EpochServer,
-    /// Per-call fault state over the spanner (reused, grown never
-    /// shrunk).
-    mask: FaultMask,
-    engine: DijkstraEngine,
-    path: PathScratch,
-    aux_engine: DijkstraEngine,
-}
-
-impl ResilientRouter {
-    /// Wraps a spanner for querying: freezes a serving artifact from it
-    /// and keeps the spanner itself for [`ResilientRouter::spanner`].
-    /// That retention means the adjacency lives twice (construction-time
-    /// `Spanner` + frozen artifact) — the price of the compatibility
-    /// surface; serving code that doesn't need the `Spanner` back should
-    /// freeze once and hold only an [`EpochServer`] over the
-    /// `Arc<FrozenSpanner>`.
-    pub fn new(spanner: Spanner) -> Self {
-        let server = EpochServer::new(Arc::new(spanner.freeze()));
-        let frozen = server.artifact();
-        let mask = FaultMask::with_capacity(frozen.node_count(), frozen.edge_count());
-        ResilientRouter {
-            spanner,
-            server,
-            mask,
-            engine: DijkstraEngine::new(),
-            path: PathScratch::new(),
-            aux_engine: DijkstraEngine::new(),
-        }
+pub fn stretch_against(parent: &Graph, route: &Route, failures: &FaultSet) -> Option<f64> {
+    let (from, to) = (*route.nodes.first()?, *route.nodes.last()?);
+    let mut parent_mask = FaultMask::for_graph(parent);
+    for v in failures.vertex_faults() {
+        parent_mask.fault_vertex(*v);
     }
-
-    /// The underlying spanner.
-    pub fn spanner(&self) -> &Spanner {
-        &self.spanner
+    for e in failures.edge_faults() {
+        parent_mask.fault_edge(*e);
     }
-
-    /// The epoch server over this router's frozen artifact — the
-    /// concurrent serving surface ([`EpochServer::epoch`] /
-    /// [`EpochHandle`](crate::serve::EpochHandle)) for callers that
-    /// outgrow one-query-at-a-time routing. Sessions opened here answer
-    /// bit-identically to [`ResilientRouter::route`].
-    pub fn server(&self) -> &EpochServer {
-        &self.server
-    }
-
-    /// Routes `from → to` avoiding `failures` (vertex faults and/or parent
-    /// edge faults) — one fresh fault epoch per call.
-    ///
-    /// # Errors
-    ///
-    /// [`RouteError::EndpointFailed`] if an endpoint is in the failure
-    /// set; [`RouteError::Unreachable`] if the survivors are disconnected
-    /// (which an `f`-FT spanner guarantees cannot happen while
-    /// `|failures| ≤ f` and the *parent* stays connected).
-    pub fn route(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        failures: &FaultSet,
-    ) -> Result<Route, RouteError> {
-        let frozen = self.server.artifact();
-        self.mask
-            .reset_for(frozen.node_count(), frozen.edge_count());
-        frozen.apply_faults(failures, &mut self.mask);
-        serve::route_one(
-            frozen,
-            &mut self.engine,
-            &mut self.path,
-            &self.mask,
-            from,
-            to,
-        )
-    }
-
-    /// Costs `from → to` against a prebuilt fault mask over the
-    /// *spanner's* graph (see [`Spanner::fault_mask`]) without extracting
-    /// the path — no allocation and no per-call mask work at all: the
-    /// caller's mask is queried directly (over the frozen CSR), so
-    /// callers serving many queries under one failure set still translate
-    /// the faults once per step, not per query.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`ResilientRouter::route`]:
-    /// [`RouteError::EndpointFailed`] if an endpoint is masked out,
-    /// [`RouteError::Unreachable`] if the survivors are disconnected.
-    pub fn route_cost(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        mask: &FaultMask,
-    ) -> Result<Dist, RouteError> {
-        for v in [from, to] {
-            if mask.is_vertex_faulted(v) {
-                return Err(RouteError::EndpointFailed(v));
-            }
-        }
-        self.aux_engine
-            .dist_bounded(self.server.artifact().csr(), from, to, Dist::INFINITE, mask)
-            .ok_or(RouteError::Unreachable { from, to })
-    }
-
-    /// The achieved stretch of a route against the parent graph under the
-    /// same failures (`1.0` means the route is optimal; `None` if the
-    /// parent itself has no surviving path — then any route is a bonus).
-    pub fn stretch_against(
-        &mut self,
-        parent: &Graph,
-        route: &Route,
-        failures: &FaultSet,
-    ) -> Option<f64> {
-        let (from, to) = (*route.nodes.first()?, *route.nodes.last()?);
-        let mut parent_mask = FaultMask::for_graph(parent);
-        for v in failures.vertex_faults() {
-            parent_mask.fault_vertex(*v);
-        }
-        for e in failures.edge_faults() {
-            parent_mask.fault_edge(*e);
-        }
-        let best = self
-            .aux_engine
-            .dist_bounded(parent, from, to, Dist::INFINITE, &parent_mask)?;
-        let achieved = route.dist.value()? as f64;
-        Some(achieved / best.value().max(Some(1))? as f64)
-    }
+    let best =
+        DijkstraEngine::new().dist_bounded(parent, from, to, Dist::INFINITE, &parent_mask)?;
+    let achieved = route.dist.value()? as f64;
+    Some(achieved / best.value().max(Some(1))? as f64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serve::EpochServer;
     use crate::FtGreedy;
     use spanner_graph::generators::{complete, cycle};
+    use std::sync::Arc;
 
-    fn router_over_complete(n: usize, f: usize) -> (Graph, ResilientRouter) {
+    fn server_over_complete(n: usize, f: usize) -> (Graph, EpochServer) {
         let g = complete(n);
         let ft = FtGreedy::new(&g, 3).faults(f).run();
-        let r = ResilientRouter::new(ft.into_spanner());
-        (g, r)
+        let server = EpochServer::new(Arc::new(ft.freeze(&g)));
+        (g, server)
     }
 
     #[test]
     fn routes_within_stretch_with_no_failures() {
-        let (g, mut router) = router_over_complete(10, 1);
+        let (g, server) = server_over_complete(10, 1);
         let empty = FaultSet::vertices([]);
+        let mut session = server.epoch(&empty);
         for u in 0..10 {
             for v in (u + 1)..10 {
-                let route = router
-                    .route(NodeId::new(u), NodeId::new(v), &empty)
-                    .unwrap();
+                let route = session.route(NodeId::new(u), NodeId::new(v)).unwrap();
                 assert!(route.dist <= Dist::finite(3));
-                let stretch = router.stretch_against(&g, &route, &empty).unwrap();
+                let stretch = stretch_against(&g, &route, &empty).unwrap();
                 assert!(stretch <= 3.0);
             }
         }
@@ -259,18 +149,17 @@ mod tests {
 
     #[test]
     fn survives_every_single_vertex_failure() {
-        let (g, mut router) = router_over_complete(9, 1);
+        let (g, server) = server_over_complete(9, 1);
         for failed in 0..9usize {
             let failures = FaultSet::vertices([NodeId::new(failed)]);
+            let mut session = server.epoch(&failures);
             for u in 0..9 {
                 for v in (u + 1)..9 {
                     if u == failed || v == failed {
                         continue;
                     }
-                    let route = router
-                        .route(NodeId::new(u), NodeId::new(v), &failures)
-                        .unwrap();
-                    let stretch = router.stretch_against(&g, &route, &failures).unwrap();
+                    let route = session.route(NodeId::new(u), NodeId::new(v)).unwrap();
+                    let stretch = stretch_against(&g, &route, &failures).unwrap();
                     assert!(stretch <= 3.0, "stretch {stretch} after failing v{failed}");
                 }
             }
@@ -279,10 +168,11 @@ mod tests {
 
     #[test]
     fn endpoint_failure_is_reported() {
-        let (_, mut router) = router_over_complete(6, 1);
+        let (_, server) = server_over_complete(6, 1);
         let failures = FaultSet::vertices([NodeId::new(2)]);
-        let err = router
-            .route(NodeId::new(2), NodeId::new(4), &failures)
+        let err = server
+            .epoch(&failures)
+            .route(NodeId::new(2), NodeId::new(4))
             .unwrap_err();
         assert_eq!(err, RouteError::EndpointFailed(NodeId::new(2)));
         assert!(err.to_string().contains("v2"));
@@ -296,18 +186,19 @@ mod tests {
         let g = cycle(4);
         let plain = crate::greedy_spanner(&g, 3);
         assert!(plain.edge_count() < 4);
-        let mut router = ResilientRouter::new(plain);
+        let server = EpochServer::new(Arc::new(plain.freeze()));
         // Find some failure that disconnects a pair.
         let mut saw_unreachable = false;
         for failed in 0..4usize {
             let failures = FaultSet::vertices([NodeId::new(failed)]);
+            let mut session = server.epoch(&failures);
             for u in 0..4 {
                 for v in (u + 1)..4 {
                     if u == failed || v == failed {
                         continue;
                     }
                     if let Err(RouteError::Unreachable { .. }) =
-                        router.route(NodeId::new(u), NodeId::new(v), &failures)
+                        session.route(NodeId::new(u), NodeId::new(v))
                     {
                         saw_unreachable = true;
                     }
@@ -322,15 +213,15 @@ mod tests {
 
     #[test]
     fn route_cost_matches_route_dist() {
-        let (_, mut router) = router_over_complete(9, 1);
+        let (_, server) = server_over_complete(9, 1);
         for failed in 0..9usize {
             let failures = FaultSet::vertices([NodeId::new(failed)]);
-            let mask = router.spanner().fault_mask(&failures);
+            let mut session = server.epoch(&failures);
             for u in 0..9 {
                 for v in (u + 1)..9 {
                     let (u, v) = (NodeId::new(u), NodeId::new(v));
-                    let by_route = router.route(u, v, &failures).map(|r| r.dist);
-                    let by_cost = router.route_cost(u, v, &mask);
+                    let by_route = session.route(u, v).map(|r| r.dist);
+                    let by_cost = session.route_cost(u, v);
                     assert_eq!(by_route, by_cost, "{u}->{v} failing v{failed}");
                 }
             }
@@ -339,12 +230,10 @@ mod tests {
 
     #[test]
     fn route_cost_reports_masked_endpoint() {
-        let (_, mut router) = router_over_complete(6, 1);
-        let mask = router
-            .spanner()
-            .fault_mask(&FaultSet::vertices([NodeId::new(2)]));
-        let err = router
-            .route_cost(NodeId::new(2), NodeId::new(4), &mask)
+        let (_, server) = server_over_complete(6, 1);
+        let err = server
+            .epoch(&FaultSet::vertices([NodeId::new(2)]))
+            .route_cost(NodeId::new(2), NodeId::new(4))
             .unwrap_err();
         assert_eq!(err, RouteError::EndpointFailed(NodeId::new(2)));
     }
@@ -352,22 +241,24 @@ mod tests {
     #[test]
     fn parent_edge_failures_translate() {
         let g = cycle(6);
-        let full = Spanner::from_parent_edges(&g, g.edge_ids(), 3);
-        let mut router = ResilientRouter::new(full);
+        let full = crate::Spanner::from_parent_edges(&g, g.edge_ids(), 3);
+        let server = EpochServer::new(Arc::new(full.freeze()));
         // Fail one parent edge; the route detours the long way.
         let failures = FaultSet::edges([EdgeId::new(0)]);
-        let route = router
-            .route(NodeId::new(0), NodeId::new(1), &failures)
+        let route = server
+            .epoch(&failures)
+            .route(NodeId::new(0), NodeId::new(1))
             .unwrap();
         assert_eq!(route.dist, Dist::finite(5));
     }
 
     #[test]
     fn route_structure_is_consistent() {
-        let (_, mut router) = router_over_complete(8, 1);
+        let (_, server) = server_over_complete(8, 1);
         let failures = FaultSet::vertices([NodeId::new(5)]);
-        let route = router
-            .route(NodeId::new(0), NodeId::new(7), &failures)
+        let route = server
+            .epoch(&failures)
+            .route(NodeId::new(0), NodeId::new(7))
             .unwrap();
         assert_eq!(*route.nodes.first().unwrap(), NodeId::new(0));
         assert_eq!(*route.nodes.last().unwrap(), NodeId::new(7));

@@ -1,9 +1,8 @@
 //! Concurrent multi-tenant epoch serving over one frozen artifact.
 //!
-//! The epoch-based [`QueryEngine`](crate::QueryEngine) made serving
-//! cheap, but its mutate-then-query surface (`epoch()` / `route_batch()`
-//! both take `&mut self`) means one engine serves exactly one tenant's
-//! fault view at a time. This module redesigns the read path around a
+//! Earlier mutate-then-query engines (`epoch()` / `route_batch()` both
+//! taking `&mut self`) meant one engine served exactly one tenant's
+//! fault view at a time. This module designs the read path around a
 //! **session-object** shape:
 //!
 //! * [`EpochServer`] — the shared, `Send + Sync`, cheaply clonable entry
@@ -22,8 +21,8 @@
 //!   private Dijkstra scratch. Handles are independent (`Send`), so any
 //!   number of them serve concurrently against one server; every route
 //!   is a pure function of `(artifact, view, pair)`, so the answers are
-//!   bit-identical to a sequential [`ResilientRouter`](crate::routing::ResilientRouter) no matter how
-//!   many tenants interleave (property-tested in
+//!   bit-identical to serving each pair alone through [`route_one`] no
+//!   matter how many tenants interleave (property-tested in
 //!   `tests/epoch_server_props.rs`).
 //! * [`EpochDelta`] — the O(Δ) epoch transition: derive a child epoch
 //!   from a parent by listing only the components that *changed*
@@ -63,6 +62,7 @@
 //! `route_one` / `serve_batch` implementations the sequential reference
 //! uses.
 
+use crate::frozen::MappedSpanner;
 use crate::routing::{Route, RouteError};
 use crate::FrozenSpanner;
 use spanner_faults::fingerprint::{component_hash, SetFingerprint};
@@ -74,10 +74,21 @@ use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Serves one pair against the frozen artifact under `mask`. The single
-/// implementation every path (handle, batch, pool worker, router,
-/// deprecated engine shim) routes through, so they cannot drift.
-pub(crate) fn route_one(
+/// Serves one pair against the frozen artifact under `mask`.
+///
+/// This is the **reference implementation**: every serving path —
+/// [`EpochHandle::route`], sequential and pooled batches, the
+/// coalescer — funnels into it (directly or per settled source), so
+/// they cannot drift from it. It is public so harnesses and tests can
+/// serve a pair without opening a session: bring your own
+/// [`DijkstraEngine`], [`PathScratch`], and a mask over the *spanner's*
+/// ids (see [`FrozenSpanner::apply_faults`]).
+///
+/// # Errors
+///
+/// [`RouteError::EndpointFailed`] if an endpoint is masked out;
+/// [`RouteError::Unreachable`] if the survivors are disconnected.
+pub fn route_one(
     frozen: &FrozenSpanner,
     engine: &mut DijkstraEngine,
     scratch: &mut PathScratch,
@@ -447,6 +458,17 @@ impl EpochServer {
         }
     }
 
+    /// Creates a server over an artifact opened **in place** with
+    /// [`FrozenSpanner::open`] — the zero-copy serving entrance: the
+    /// adjacency keeps living in the mapped (or aligned, borrowed)
+    /// buffer, witnesses and the parent stay undecoded until asked for,
+    /// and every session answers bit-identically to a server over the
+    /// same artifact's eager [`FrozenSpanner::decode`] (pinned by
+    /// `tests/mapped_serving_props.rs`).
+    pub fn from_mapped(mapped: MappedSpanner) -> Self {
+        EpochServer::new(Arc::new(mapped.into_inner()))
+    }
+
     /// Sets the shared worker-pool width for pooled batches. **This is
     /// the thread-count convention, defined once:** `0` = auto (one
     /// worker per available CPU), `1` = sequential (pooled entry points
@@ -534,8 +556,7 @@ impl EpochServer {
 /// One fault-or-restore operation of an [`EpochDelta`]. Edge operations
 /// name *parent* edge ids (translated through the artifact's map when
 /// the delta is applied; parent edges the spanner did not keep are
-/// no-ops, exactly like
-/// [`QueryEngine::fault_parent_edge`](crate::QueryEngine::fault_parent_edge)).
+/// no-ops).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum DeltaOp {
     FaultVertex(NodeId),
@@ -1031,7 +1052,6 @@ impl BatchCoalescer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::routing::ResilientRouter;
     use crate::FtGreedy;
     use spanner_graph::generators::{complete, cycle};
 
@@ -1039,6 +1059,27 @@ mod tests {
         let g = complete(n);
         let ft = FtGreedy::new(&g, 3).faults(f).run();
         Arc::new(ft.freeze(&g))
+    }
+
+    /// Serves one pair the most primitive way — a fresh mask plus the
+    /// public reference implementation, no session machinery at all —
+    /// so the session paths have something independent to agree with.
+    fn reference_route(
+        frozen: &FrozenSpanner,
+        failures: &FaultSet,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Route, RouteError> {
+        let mut mask = FaultMask::with_capacity(frozen.node_count(), frozen.edge_count());
+        frozen.apply_faults(failures, &mut mask);
+        route_one(
+            frozen,
+            &mut DijkstraEngine::new(),
+            &mut PathScratch::new(),
+            &mask,
+            from,
+            to,
+        )
     }
 
     fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
@@ -1070,19 +1111,16 @@ mod tests {
     }
 
     #[test]
-    fn handle_matches_router_per_query() {
+    fn handle_matches_reference_per_query() {
         let frozen = artifact(9, 1);
-        let g = complete(9);
-        let ft = FtGreedy::new(&g, 3).faults(1).run();
-        let mut router = ResilientRouter::new(ft.into_spanner());
-        let server = EpochServer::new(frozen);
+        let server = EpochServer::new(Arc::clone(&frozen));
         for failed in 0..9usize {
             let failures = FaultSet::vertices([NodeId::new(failed)]);
             let mut handle = server.epoch(&failures);
             for &(u, v) in &all_pairs(9) {
                 assert_eq!(
                     handle.route(u, v),
-                    router.route(u, v, &failures),
+                    reference_route(&frozen, &failures, u, v),
                     "{u}->{v} failing v{failed}"
                 );
                 assert_eq!(
@@ -1096,11 +1134,8 @@ mod tests {
 
     #[test]
     fn concurrent_tenants_match_sequential_reference() {
-        let g = complete(10);
-        let ft = FtGreedy::new(&g, 3).faults(1).run();
-        let frozen = Arc::new(ft.freeze(&g));
-        let spanner = ft.into_spanner();
-        let server = EpochServer::new(frozen);
+        let frozen = artifact(10, 1);
+        let server = EpochServer::new(Arc::clone(&frozen));
         let pairs = all_pairs(10);
         let tenants: Vec<FaultSet> = (0..6)
             .map(|i| FaultSet::vertices([NodeId::new(i)]))
@@ -1116,11 +1151,10 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        let mut router = ResilientRouter::new(spanner);
         for (faults, answers) in tenants.iter().zip(&concurrent) {
             let reference: Vec<_> = pairs
                 .iter()
-                .map(|&(u, v)| router.route(u, v, faults))
+                .map(|&(u, v)| reference_route(&frozen, faults, u, v))
                 .collect();
             assert_eq!(answers, &reference, "tenant {faults:?} diverged");
         }

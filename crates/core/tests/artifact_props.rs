@@ -101,6 +101,7 @@ proptest! {
         epochs.extend(
             original
                 .witnesses()
+                .unwrap()
                 .iter()
                 .filter(|w| !w.is_empty() && w.model() == FaultModel::Vertex)
                 .take(4)
@@ -162,17 +163,105 @@ fn decoded_artifact_drives_the_worker_pool() {
     }
 }
 
-/// A v1 decoder must refuse, with a typed error, an artifact whose
+/// The decoder must refuse, with a typed error, an artifact whose
 /// header claims a future version — even when everything else is valid.
+/// And v1 bytes relabeled as v2 must fail the v2 structural checks,
+/// never be misread as v1.
 #[test]
 fn future_versions_are_refused_not_guessed() {
     let g = spanner_graph::generators::cycle(5);
     let ft = FtGreedy::new(&g, 3).faults(1).run();
-    let mut bytes = ft.freeze(&g).encode();
-    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
-    let body = bytes.len() - 8;
-    let sum = spanner_graph::io::binary::fnv1a64(&bytes[..body]).to_le_bytes();
-    bytes[body..].copy_from_slice(&sum);
-    let err = FrozenSpanner::decode(&bytes).unwrap_err();
+    let v1 = ft.freeze(&g).encode();
+    // Reseal with the checksum the declared version's parser will
+    // verify (byte-wise for the v1 lineage, word-wise for v2), so the
+    // *version/framing* gate is what trips, not the checksum.
+    let reseal = |mut bytes: Vec<u8>, version: u32| {
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        let body = bytes.len() - 8;
+        let sum = if version == 2 {
+            spanner_graph::io::binary::fnv1a64_words(&bytes[..body])
+        } else {
+            spanner_graph::io::binary::fnv1a64(&bytes[..body])
+        }
+        .to_le_bytes();
+        bytes[body..].copy_from_slice(&sum);
+        bytes
+    };
+    let err = FrozenSpanner::decode(&reseal(v1.clone(), 3)).unwrap_err();
     assert!(err.to_string().contains("version"), "{err}");
+    // v1 section framing is not a valid v2 section table: typed error,
+    // and decidedly not a silent fallback to the v1 parser.
+    let err = FrozenSpanner::decode(&reseal(v1, 2)).unwrap_err();
+    assert_eq!(err.code(), "artifact/malformed", "{err}");
+}
+
+/// Exhaustive single-corruption sweep over a complete v2 artifact:
+/// *every* truncation point and *every* single-bit flip must yield a
+/// typed error — never a panic, never an accept. The proptests above
+/// sample this space; for the v2 envelope the artifact is small enough
+/// to sweep it whole.
+#[test]
+fn v2_rejects_every_truncation_and_every_bit_flip() {
+    let g = spanner_graph::generators::complete(6);
+    let v2 = FtGreedy::new(&g, 3)
+        .faults(1)
+        .run()
+        .freeze(&g)
+        .to_v2()
+        .encode();
+    FrozenSpanner::decode(&v2).expect("the uncorrupted artifact decodes");
+    for cut in 0..v2.len() {
+        assert!(
+            FrozenSpanner::decode(&v2[..cut]).is_err(),
+            "truncation to {cut} bytes was accepted"
+        );
+    }
+    for at in 0..v2.len() {
+        for bit in 0..8 {
+            let mut corrupt = v2.clone();
+            corrupt[at] ^= 1 << bit;
+            assert!(
+                FrozenSpanner::decode(&corrupt).is_err(),
+                "flipping bit {bit} of byte {at} was accepted"
+            );
+        }
+    }
+}
+
+/// The in-place open path must refuse a buffer whose *base* misses the
+/// 8-byte alignment — same bytes, wrong address — with the typed
+/// alignment code, instead of reading the packed tables misaligned.
+#[test]
+fn open_rejects_an_offset_by_one_buffer() {
+    use spanner_graph::SharedBytes;
+
+    /// Serves its content from one byte past the first aligned position
+    /// of its backing buffer, so the slice base is ≡ 1 (mod 8) wherever
+    /// the allocator put the buffer.
+    struct OffsetByOne {
+        buf: Vec<u8>,
+        len: usize,
+    }
+    impl AsRef<[u8]> for OffsetByOne {
+        fn as_ref(&self) -> &[u8] {
+            let start = (8 - self.buf.as_ptr() as usize % 8) % 8 + 1;
+            &self.buf[start..start + self.len]
+        }
+    }
+
+    let g = spanner_graph::generators::complete(6);
+    let v2 = FtGreedy::new(&g, 3)
+        .faults(1)
+        .run()
+        .freeze(&g)
+        .to_v2()
+        .encode();
+    let mut buf = vec![0u8; v2.len() + 16];
+    let start = (8 - buf.as_ptr() as usize % 8) % 8 + 1;
+    buf[start..start + v2.len()].copy_from_slice(&v2);
+    let shared = SharedBytes::from_source(Arc::new(OffsetByOne { buf, len: v2.len() }));
+    // The bytes are pristine — only the base address is hostile.
+    assert_eq!(shared.as_slice(), &v2[..]);
+    let err = FrozenSpanner::open(shared).unwrap_err();
+    assert_eq!(err.code(), "artifact/misaligned-section", "{err}");
 }

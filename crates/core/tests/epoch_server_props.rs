@@ -5,8 +5,9 @@
 //! O(Δ) epoch deltas. None of that machinery — view sharing between
 //! tenants, per-handle scratch, delta derivation, batch coalescing — is
 //! allowed to change a single bit of any answer: these property tests
-//! pin N *interleaved* sessions with distinct fault sets to fresh
-//! sequential [`ResilientRouter`]s (identical routes, distances and
+//! pin N *interleaved* sessions with distinct fault sets to the
+//! primitive [`route_one`] reference served pair by pair over a fresh
+//! artifact (identical routes, distances and
 //! errors across both fault models and `f ∈ {0, 1, 2}`), pin a
 //! delta-derived epoch to the from-scratch epoch of the same final
 //! fault set, and pin the instrumented delta counter to Σ|Δ| — the
@@ -14,11 +15,30 @@
 //! `n`.
 
 use proptest::prelude::*;
-use spanner_core::routing::{ResilientRouter, Route, RouteError};
-use spanner_core::{BatchCoalescer, EpochDelta, EpochServer, FtGreedy};
+use spanner_core::routing::{Route, RouteError};
+use spanner_core::serve::route_one;
+use spanner_core::{BatchCoalescer, EpochDelta, EpochServer, FrozenSpanner, FtGreedy};
 use spanner_faults::{FaultModel, FaultSet};
-use spanner_graph::{EdgeId, Graph, NodeId, Weight};
+use spanner_graph::{DijkstraEngine, EdgeId, FaultMask, Graph, NodeId, PathScratch, Weight};
 use std::sync::Arc;
+
+/// Serves every pair alone through the primitive reference — one fresh
+/// mask plus [`route_one`], no session machinery — the independent
+/// answer the server sessions must agree with bit for bit.
+fn reference_answers(
+    frozen: &FrozenSpanner,
+    failures: &FaultSet,
+    pairs: &[(NodeId, NodeId)],
+) -> Vec<Result<Route, RouteError>> {
+    let mut mask = FaultMask::with_capacity(frozen.node_count(), frozen.edge_count());
+    frozen.apply_faults(failures, &mut mask);
+    let mut engine = DijkstraEngine::new();
+    let mut scratch = PathScratch::new();
+    pairs
+        .iter()
+        .map(|&(u, v)| route_one(frozen, &mut engine, &mut scratch, &mask, u, v))
+        .collect()
+}
 
 fn arb_graph(max_n: usize, max_w: u64) -> impl Strategy<Value = Graph> {
     (5..=max_n).prop_flat_map(move |n| {
@@ -75,10 +95,10 @@ proptest! {
     /// each under its own fault set, answering with their queries
     /// *interleaved* round-robin (so any state leak between handles or
     /// through the shared view table would surface), must each be
-    /// bit-identical to a fresh sequential router that only ever saw
-    /// that tenant's faults.
+    /// bit-identical to the primitive reference served over a fresh
+    /// artifact that only ever saw that tenant's faults.
     #[test]
-    fn interleaved_tenants_match_fresh_sequential_routers(
+    fn interleaved_tenants_match_fresh_sequential_reference(
         g in arb_graph(8, 4),
         f in 0usize..3,
         edge_model in any::<bool>(),
@@ -88,7 +108,8 @@ proptest! {
         let model = if edge_model { FaultModel::Edge } else { FaultModel::Vertex };
         let ft = FtGreedy::new(&g, 3).faults(f).model(model).run();
         let spanner = ft.into_spanner();
-        let server = EpochServer::new(Arc::new(spanner.clone().freeze()));
+        let fresh = spanner.freeze();
+        let server = EpochServer::new(Arc::new(spanner.freeze()));
         let tenants: Vec<FaultSet> = tenant_raw
             .iter()
             .map(|raw| fault_set(model, raw, &g))
@@ -105,11 +126,7 @@ proptest! {
             }
         }
         for (tenant, faults) in tenants.iter().enumerate() {
-            let mut router = ResilientRouter::new(spanner.clone());
-            let expected: Vec<Result<Route, RouteError>> = pairs
-                .iter()
-                .map(|&(u, v)| router.route(u, v, faults))
-                .collect();
+            let expected = reference_answers(&fresh, faults, &pairs);
             prop_assert_eq!(&answers[tenant], &expected, "tenant {}", tenant);
         }
     }

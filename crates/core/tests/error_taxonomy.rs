@@ -25,10 +25,12 @@ const SNAPSHOT: &[&str] = &[
     "artifact/cross-section",
     "artifact/graph-invariant",
     "artifact/malformed",
+    "artifact/misaligned-section",
     "artifact/missing-section",
     "artifact/section-replay",
     "artifact/truncation",
     "artifact/unknown-section",
+    "artifact/witnesses-detached",
     "route/endpoint-failed",
     "route/unreachable",
 ];
@@ -62,6 +64,10 @@ fn constructed_codes() -> BTreeSet<&'static str> {
         BinaryError::Graph(GraphError::SelfLoop {
             node: NodeId::new(0),
         }),
+        BinaryError::MisalignedSection {
+            context: "c",
+            offset: 1,
+        },
     ];
     let artifact = [
         ArtifactError::Format(BinaryError::Truncated { context: "t" }),
@@ -69,6 +75,7 @@ fn constructed_codes() -> BTreeSet<&'static str> {
             context: "c",
             detail: String::new(),
         },
+        ArtifactError::WitnessesDetached,
     ];
     let route = [
         RouteError::EndpointFailed(NodeId::new(0)),

@@ -3,11 +3,12 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spanner_core::routing::{ResilientRouter, RouteError};
+use spanner_core::routing::RouteError;
 use spanner_core::simulation::{simulate, SimulationConfig};
-use spanner_core::FtGreedy;
+use spanner_core::{EpochServer, FtGreedy};
 use spanner_faults::{FaultModel, FaultSet};
 use spanner_graph::{Graph, NodeId, Weight};
+use std::sync::Arc;
 
 fn arb_graph(max_n: usize, max_w: u64) -> impl Strategy<Value = Graph> {
     (5..=max_n).prop_flat_map(move |n| {
@@ -38,9 +39,9 @@ fn arb_graph(max_n: usize, max_w: u64) -> impl Strategy<Value = Graph> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Every route the router returns is structurally valid: consecutive
-    /// nodes joined by the listed spanner edges, no faulted component
-    /// used, weight adds up.
+    /// Every route a serving session returns is structurally valid:
+    /// consecutive nodes joined by the listed spanner edges, no faulted
+    /// component used, weight adds up.
     #[test]
     fn routes_are_structurally_valid(
         g in arb_graph(9, 4),
@@ -49,14 +50,15 @@ proptest! {
         let ft = FtGreedy::new(&g, 3).faults(faults.len()).run();
         let spanner = ft.into_spanner();
         let h = spanner.graph().clone();
-        let mut router = ResilientRouter::new(spanner);
+        let server = EpochServer::new(Arc::new(spanner.freeze()));
         let fault_set = FaultSet::vertices(
             faults.iter().map(|f| NodeId::new(*f as usize % g.node_count())),
         );
+        let mut session = server.epoch(&fault_set);
         for u in 0..g.node_count() {
             for v in (u + 1)..g.node_count() {
                 let (u, v) = (NodeId::new(u), NodeId::new(v));
-                match router.route(u, v, &fault_set) {
+                match session.route(u, v) {
                     Ok(route) => {
                         prop_assert_eq!(*route.nodes.first().unwrap(), u);
                         prop_assert_eq!(*route.nodes.last().unwrap(), v);

@@ -4,11 +4,14 @@
 //! verifies its trailing FNV-1a checksum *before* parsing any section,
 //! so random corruption almost always lands in the `artifact/bit-flip`
 //! bucket and the section parsers never see a hostile byte. The
-//! [`Mutator`] therefore understands the container frame — magic,
-//! version, `(tag, len, payload)` records, trailing checksum — and
-//! reseals most mutants with a recomputed checksum
+//! [`Mutator`] therefore understands both container frames — the v1
+//! `(tag, len, payload)` record stream and the v2 alignment-padded
+//! section table — and reseals most mutants with a recomputed checksum
 //! ([`Mutant::checksum_fixed`]) so the mutation reaches the decode
-//! logic it is aimed at.
+//! logic it is aimed at. Resealing is version-aware: a container whose
+//! header declares v2 is sealed with the word-wise
+//! [`fnv1a64_words`] the v2 parser verifies, everything else with the
+//! byte-wise [`fnv1a64`].
 //!
 //! Each [`AttackClass`] names a *mutation strategy*, not a decoder
 //! outcome: a truncation can surface as `artifact/truncation` or (when
@@ -23,16 +26,26 @@
 //! CI.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use spanner_graph::io::binary::{fnv1a64, put_u64};
+use spanner_graph::io::binary::{
+    fnv1a64, fnv1a64_words, put_u64, ContainerWriterV2, V2_HEADER_LEN, V2_SECTION_ENTRY_LEN,
+};
 
-/// Byte width of the container header (magic[8] + version u32).
+/// Byte width of the v1 container header (magic[8] + version u32).
 const HEADER_LEN: usize = 12;
 
 /// Byte width of the trailing checksum.
 const CHECKSUM_LEN: usize = 8;
 
-/// Byte width of a section's `(tag: u32, len: u64)` record header.
+/// Byte width of a v1 section's `(tag: u32, len: u64)` record header.
 const SECTION_HEADER_LEN: usize = 4 + 8;
+
+/// Whether these bytes declare the v2 in-place layout — the same
+/// dispatch `FrozenSpanner::decode` uses (version field 2), minus the
+/// `VFTGRAPH` magic, which routes to the v1-framed graph codec
+/// regardless of its version field.
+pub(crate) fn is_v2(bytes: &[u8]) -> bool {
+    bytes.len() >= HEADER_LEN && bytes[..8] != *b"VFTGRAPH" && bytes[8..12] == 2u32.to_le_bytes()
+}
 
 /// The mutation strategies the fuzzer applies, one per adversarial
 /// capability we defend against. See the taxonomy appendix in
@@ -47,8 +60,9 @@ pub enum AttackClass {
     /// corruption reaches the section parsers; left unsealed some of the
     /// time to keep the checksum gate itself under test.
     BitFlip,
-    /// Duplicate a complete `(tag, len, payload)` section record
-    /// (a replayed/spliced-in section from another copy of the file).
+    /// Duplicate a section: a complete `(tag, len, payload)` v1 record,
+    /// or a v2 re-lay with one tag appearing twice in the table (a
+    /// replayed/spliced-in section from another copy of the file).
     SectionReplay,
     /// Transplant one section's payload into another section's frame,
     /// keeping the frame lengths self-consistent (well-formed container,
@@ -108,12 +122,20 @@ pub struct Mutant {
 }
 
 /// One section located by the lenient frame parser: byte offsets into
-/// the original container.
+/// the original container. v1 records are contiguous
+/// (`start..payload..end`); v2 sections split across the table entry
+/// (`start`) and the padded payload region they point at.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FrameSection {
-    /// Offset of the `tag` u32.
+    /// Offset of the record header: the `tag` u32 of a v1 record, or a
+    /// v2 table entry.
     pub(crate) start: usize,
-    /// Offset of the payload (start + SECTION_HEADER_LEN).
+    /// The section tag.
+    pub(crate) tag: u32,
+    /// Offset of the `len` u64 field (inside the v1 record header or
+    /// the v2 table entry).
+    pub(crate) len_at: usize,
+    /// Offset of the payload.
     pub(crate) payload: usize,
     /// Payload byte length as claimed by the len field (and verified to
     /// fit, else the parser stops).
@@ -126,13 +148,18 @@ impl FrameSection {
     }
 }
 
-/// Lenient section-frame recovery: walks `(tag, len, payload)` records
-/// between the header and the trailing checksum, stopping (not failing)
-/// at the first record that does not fit. Unlike the real parser it
-/// tolerates unknown tags and duplicate sections — mutants of mutants
-/// must still be mutable. Also used by [`crate::seeds::directed_probes`]
-/// to aim byte surgery at a specific section.
+/// Lenient section-frame recovery, dispatching on the declared version:
+/// v1 containers are walked as `(tag, len, payload)` records, v2
+/// containers through their section table, stopping (not failing) at
+/// the first record that does not fit. Unlike the real parsers it
+/// tolerates unknown tags, duplicates, and broken padding — mutants of
+/// mutants must still be mutable. Also used by
+/// [`crate::seeds::directed_probes`] to aim byte surgery at a specific
+/// section.
 pub(crate) fn frame_sections(bytes: &[u8]) -> Vec<FrameSection> {
+    if is_v2(bytes) {
+        return frame_sections_v2(bytes);
+    }
     let mut sections = Vec::new();
     if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
         return sections;
@@ -140,6 +167,7 @@ pub(crate) fn frame_sections(bytes: &[u8]) -> Vec<FrameSection> {
     let body_end = bytes.len() - CHECKSUM_LEN;
     let mut at = HEADER_LEN;
     while at + SECTION_HEADER_LEN <= body_end {
+        let tag = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
         let len_bytes: [u8; 8] = bytes[at + 4..at + SECTION_HEADER_LEN].try_into().unwrap();
         let len = u64::from_le_bytes(len_bytes);
         let payload = at + SECTION_HEADER_LEN;
@@ -151,6 +179,8 @@ pub(crate) fn frame_sections(bytes: &[u8]) -> Vec<FrameSection> {
         }
         sections.push(FrameSection {
             start: at,
+            tag,
+            len_at: at + 4,
             payload,
             len: len as usize,
         });
@@ -159,17 +189,74 @@ pub(crate) fn frame_sections(bytes: &[u8]) -> Vec<FrameSection> {
     sections
 }
 
+/// The v2 half of [`frame_sections`]: reads the section table leniently
+/// (count bounded by the bytes present, entries kept only while their
+/// payloads fit), ignoring reserved fields, alignment, and padding —
+/// those are the parser's gates, and mutants that break them are still
+/// frames worth mutating further.
+fn frame_sections_v2(bytes: &[u8]) -> Vec<FrameSection> {
+    let mut sections = Vec::new();
+    if bytes.len() < V2_HEADER_LEN + CHECKSUM_LEN {
+        return sections;
+    }
+    let body_end = bytes.len() - CHECKSUM_LEN;
+    let claimed = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let fits = ((body_end - V2_HEADER_LEN) / V2_SECTION_ENTRY_LEN) as u64;
+    for i in 0..claimed.min(fits) as usize {
+        let entry = V2_HEADER_LEN + i * V2_SECTION_ENTRY_LEN;
+        let tag = u32::from_le_bytes(bytes[entry..entry + 4].try_into().unwrap());
+        let offset = u64::from_le_bytes(bytes[entry + 8..entry + 16].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[entry + 16..entry + 24].try_into().unwrap());
+        let (Ok(payload), Ok(len)) = (usize::try_from(offset), usize::try_from(len)) else {
+            break;
+        };
+        if payload < V2_HEADER_LEN || !payload.checked_add(len).is_some_and(|end| end <= body_end) {
+            break;
+        }
+        sections.push(FrameSection {
+            start: entry,
+            tag,
+            len_at: entry + 16,
+            payload,
+            len,
+        });
+    }
+    sections
+}
+
 /// Recomputes and rewrites the trailing checksum so the mutant passes
-/// the integrity gate. No-op on inputs too short to carry one.
+/// the integrity gate, with the checksum the declared version's parser
+/// verifies (word-wise for v2, byte-wise otherwise). No-op on inputs
+/// too short to carry one.
 pub fn fix_checksum(bytes: &mut Vec<u8>) -> bool {
     if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
         return false;
     }
     let body = bytes.len() - CHECKSUM_LEN;
-    let sum = fnv1a64(&bytes[..body]);
+    let sum = if is_v2(bytes) {
+        fnv1a64_words(&bytes[..body])
+    } else {
+        fnv1a64(&bytes[..body])
+    };
     bytes.truncate(body);
     put_u64(bytes, sum);
     true
+}
+
+/// Re-lays a v2 container from `(tag, payload)` parts with the seed's
+/// magic, version, and flags — canonical framing (honest table, correct
+/// padding, fresh word-wise checksum) around whatever hostile content
+/// the parts carry.
+fn rebuild_v2(seed: &[u8], parts: Vec<(u32, Vec<u8>)>) -> Vec<u8> {
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&seed[..8]);
+    let version = u32::from_le_bytes(seed[8..12].try_into().unwrap());
+    let flags = u32::from_le_bytes(seed[12..16].try_into().unwrap());
+    let mut w = ContainerWriterV2::new(magic, version, flags);
+    for (tag, payload) in parts {
+        w.section(tag, payload);
+    }
+    w.finish()
 }
 
 /// The seeded structure-aware mutation engine.
@@ -265,11 +352,28 @@ impl Mutator {
         if sections.is_empty() {
             return self.degrade(seed);
         }
-        let s = sections[self.rng.gen_range(0..sections.len())];
-        let mut bytes = Vec::with_capacity(seed.len() + (s.end() - s.start));
-        bytes.extend_from_slice(&seed[..s.end()]);
-        bytes.extend_from_slice(&seed[s.start..s.end()]);
-        bytes.extend_from_slice(&seed[s.end()..]);
+        let dup = self.rng.gen_range(0..sections.len());
+        let bytes = if is_v2(seed) {
+            // v2 sections are not contiguous records; replay the chosen
+            // one through the canonical writer instead — honest framing
+            // carrying a duplicated tag.
+            let mut parts = Vec::with_capacity(sections.len() + 1);
+            for (i, s) in sections.iter().enumerate() {
+                parts.push((s.tag, seed[s.payload..s.end()].to_vec()));
+                if i == dup {
+                    parts.push((s.tag, seed[s.payload..s.end()].to_vec()));
+                }
+            }
+            rebuild_v2(seed, parts)
+        } else {
+            let s = sections[dup];
+            let mut bytes = Vec::with_capacity(seed.len() + (s.end() - s.start));
+            bytes.extend_from_slice(&seed[..s.end()]);
+            bytes.extend_from_slice(&seed[s.start..s.end()]);
+            bytes.extend_from_slice(&seed[s.end()..]);
+            bytes
+        };
+        let mut bytes = bytes;
         let checksum_fixed = fix_checksum(&mut bytes);
         Mutant {
             class: AttackClass::SectionReplay,
@@ -294,18 +398,35 @@ impl Mutator {
         } else {
             &[]
         };
-        let mut bytes = seed[..HEADER_LEN.min(seed.len())].to_vec();
-        for (i, s) in sections.iter().enumerate() {
-            let payload = if i == dst {
-                donor
-            } else {
-                &seed[s.payload..s.end()]
-            };
-            bytes.extend_from_slice(&seed[s.start..s.start + 4]);
-            put_u64(&mut bytes, payload.len() as u64);
-            bytes.extend_from_slice(payload);
-        }
-        bytes.extend_from_slice(&[0u8; CHECKSUM_LEN]);
+        let mut bytes = if is_v2(seed) {
+            let parts = sections
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let payload = if i == dst {
+                        donor
+                    } else {
+                        &seed[s.payload..s.end()]
+                    };
+                    (s.tag, payload.to_vec())
+                })
+                .collect();
+            rebuild_v2(seed, parts)
+        } else {
+            let mut bytes = seed[..HEADER_LEN.min(seed.len())].to_vec();
+            for (i, s) in sections.iter().enumerate() {
+                let payload = if i == dst {
+                    donor
+                } else {
+                    &seed[s.payload..s.end()]
+                };
+                bytes.extend_from_slice(&seed[s.start..s.start + 4]);
+                put_u64(&mut bytes, payload.len() as u64);
+                bytes.extend_from_slice(payload);
+            }
+            bytes.extend_from_slice(&[0u8; CHECKSUM_LEN]);
+            bytes
+        };
         let checksum_fixed = fix_checksum(&mut bytes);
         Mutant {
             class: AttackClass::SectionSplice,
@@ -328,7 +449,7 @@ impl Mutator {
         } else {
             self.rng.gen_range(u64::from(u32::MAX)..u64::MAX / 2)
         };
-        bytes[s.start + 4..s.start + SECTION_HEADER_LEN].copy_from_slice(&inflated.to_le_bytes());
+        bytes[s.len_at..s.len_at + 8].copy_from_slice(&inflated.to_le_bytes());
         let checksum_fixed = fix_checksum(&mut bytes);
         Mutant {
             class: AttackClass::LengthInflation,
@@ -379,12 +500,21 @@ mod tests {
     use super::*;
     use spanner_graph::io::binary::ContainerWriter;
 
-    /// A tiny well-formed container with three sections to mutate.
+    /// A tiny well-formed v1 container with three sections to mutate.
     fn sample() -> Vec<u8> {
         let mut w = ContainerWriter::new(*b"VFTSPANR", 1);
         w.section(1, &[7u8; 34]);
         w.section(2, &42u64.to_le_bytes());
         w.section(3, &[1, 2, 3, 4, 5]);
+        w.finish()
+    }
+
+    /// The same three sections in the v2 alignment-padded layout.
+    fn sample_v2() -> Vec<u8> {
+        let mut w = ContainerWriterV2::new(*b"VFTSPANR", 2, 0);
+        w.section(1, vec![7u8; 34]);
+        w.section(2, 42u64.to_le_bytes().to_vec());
+        w.section(3, vec![1, 2, 3, 4, 5]);
         w.finish()
     }
 
@@ -411,6 +541,57 @@ mod tests {
         let body = bytes.len() - CHECKSUM_LEN;
         let stored = u64::from_le_bytes(bytes[body..].try_into().unwrap());
         assert_eq!(stored, fnv1a64(&bytes[..body]));
+    }
+
+    #[test]
+    fn framing_recovers_v2_sections_from_the_table() {
+        let bytes = sample_v2();
+        let sections = frame_sections(&bytes);
+        assert_eq!(sections.len(), 3);
+        assert_eq!(
+            sections.iter().map(|s| s.tag).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        assert_eq!(sections[0].len, 34);
+        assert_eq!(sections[1].len, 8);
+        assert_eq!(sections[2].len, 5);
+        // Table entries sit in the header region; payloads are 8-aligned
+        // except possibly the last (nothing follows it to misalign).
+        for s in &sections[..2] {
+            assert_eq!(s.payload % 8, 0, "payload at {}", s.payload);
+        }
+        assert_eq!(
+            sections[0].payload,
+            V2_HEADER_LEN + 3 * V2_SECTION_ENTRY_LEN
+        );
+        assert_eq!(
+            sections[2].end(),
+            bytes.len() - CHECKSUM_LEN,
+            "last payload must run to the checksum"
+        );
+    }
+
+    #[test]
+    fn fix_checksum_reseals_v2_with_the_word_checksum() {
+        let mut bytes = sample_v2();
+        let payload = frame_sections(&bytes)[0].payload;
+        bytes[payload] ^= 0xFF;
+        assert!(fix_checksum(&mut bytes));
+        let body = bytes.len() - CHECKSUM_LEN;
+        let stored = u64::from_le_bytes(bytes[body..].try_into().unwrap());
+        assert_eq!(stored, fnv1a64_words(&bytes[..body]));
+        assert_ne!(stored, fnv1a64(&bytes[..body]), "must not seal byte-wise");
+    }
+
+    #[test]
+    fn every_class_mutates_a_well_formed_v2_container() {
+        let seed = sample_v2();
+        let mut m = Mutator::new(9);
+        for class in AttackClass::ALL {
+            let mutant = m.mutate_class(class, &seed);
+            assert_eq!(mutant.class, class, "v2 framing present, no degrade");
+            assert_ne!(mutant.bytes, seed, "mutant must differ from seed");
+        }
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! mutant of a vertex-model artifact never walks the edge-model decode
 //! arm. So the seed set deliberately spans both container kinds
 //! (`VFTSPANR` spanner artifacts, `VFTGRAPH` standalone graphs), both
-//! fault models, budgets f ∈ {0, 1, 2}, with-parent and bare freezes,
-//! and empty through moderately-sized graphs — every decode arm has at
-//! least one seed whose mutants reach it.
+//! container versions (v1 record framing and the v2 in-place section
+//! table), both fault models, budgets f ∈ {0, 1, 2}, with-parent and
+//! bare freezes, and empty through moderately-sized graphs — every
+//! decode arm has at least one seed whose mutants reach it.
 //!
 //! Seeds are deterministic (fixed generator seeds, no clocks), so the
 //! corpus files derived from them are stable across runs and machines.
@@ -94,11 +95,43 @@ pub fn graph_seeds() -> Vec<Seed> {
     ]
 }
 
-/// All seeds, spanner artifacts first — the order is part of the
-/// determinism contract (mutant streams index into it).
+/// v2 (in-place layout) re-encodings of representative spanner seeds:
+/// one with every section present, one bare. Mutants of these reach the
+/// v2 envelope gates — section-table bounds, alignment, canonical
+/// offsets, padding — that no v1 seed can exercise. Witnesses stay
+/// attached: every seed must decode cleanly.
+pub fn v2_seeds() -> Vec<Seed> {
+    use spanner_core::FrozenSpanner;
+    let migrate = |bytes: Vec<u8>| {
+        FrozenSpanner::decode(&bytes)
+            .expect("own seed bytes decode")
+            .to_v2()
+            .encode()
+    };
+    vec![
+        Seed {
+            name: "complete6-f1-vertex-v2",
+            bytes: migrate(ft_artifact(
+                &generators::complete(6),
+                3,
+                1,
+                FaultModel::Vertex,
+            )),
+        },
+        Seed {
+            name: "petersen-bare-v2",
+            bytes: migrate(greedy_spanner(&generators::petersen(), 3).freeze().encode()),
+        },
+    ]
+}
+
+/// All seeds, spanner artifacts first, v2 re-encodings last — the order
+/// is part of the determinism contract (mutant streams index into it),
+/// which is why the v2 seeds were *appended* rather than interleaved.
 pub fn all_seeds() -> Vec<Seed> {
     let mut seeds = spanner_seeds();
     seeds.extend(graph_seeds());
+    seeds.extend(v2_seeds());
     seeds
 }
 
@@ -117,19 +150,18 @@ pub struct Probe {
 /// surface, these aim one input at each decoder gate the sampler may
 /// miss in a small committed corpus — wrong magic, wrong version,
 /// unknown tag, dropped required section, simple-graph violation, raw
-/// truncation, unsealed corruption. `spanner-fuzz corpus` labels each
-/// with its observed stable code and then *requires* the combined
-/// corpus to cover the whole decode taxonomy, so a code silently
-/// becoming unreachable fails corpus regeneration.
+/// truncation, unsealed corruption, a v2 payload off the 8-byte grid,
+/// and a routing-only (witnesses-detached) artifact. `spanner-fuzz
+/// corpus` labels each with its observed stable code and then
+/// *requires* the combined corpus to cover the whole decode taxonomy,
+/// so a code silently becoming unreachable fails corpus regeneration.
 pub fn directed_probes() -> Vec<Probe> {
     use crate::mutate::{fix_checksum, frame_sections};
 
     // The richest seed: all five VFTSPANR sections present.
     let seed = spanner_seeds().swap_remove(0).bytes;
     let sections = frame_sections(&seed);
-    let tag_of = |s: &crate::mutate::FrameSection| {
-        u32::from_le_bytes(seed[s.start..s.start + 4].try_into().unwrap())
-    };
+    let tag_of = |s: &crate::mutate::FrameSection| s.tag;
     let mut probes = Vec::new();
 
     // Raw truncation: too short to even carry a header.
@@ -210,6 +242,38 @@ pub fn directed_probes() -> Vec<Probe> {
             });
         }
     }
+
+    // v2 misaligned payload: nudge one section offset off the 8-byte
+    // grid in the richest seed's v2 re-encoding, resealed (word-wise,
+    // via the version-aware `fix_checksum`) so the alignment gate —
+    // checked before the canonical-position gate — is what trips:
+    // `artifact/misaligned-section`.
+    let v2 = v2_seeds().swap_remove(0).bytes;
+    let v2_sections = frame_sections(&v2);
+    let off_at = v2_sections[1].start + 8;
+    let mut misaligned = v2.clone();
+    let old = u64::from_le_bytes(misaligned[off_at..off_at + 8].try_into().unwrap());
+    misaligned[off_at..off_at + 8].copy_from_slice(&(old + 1).to_le_bytes());
+    fix_checksum(&mut misaligned);
+    probes.push(Probe {
+        class: "bit-flip",
+        bytes: misaligned,
+    });
+
+    // Routing-only artifact: legitimately built with the witness
+    // section detached. The container decodes, but serving witness
+    // queries from it refuses with `artifact/witnesses-detached` — the
+    // replay harness probes that accessor, and the corpus pins the
+    // refusal. Classed as a splice: operationally this is a witness
+    // section gone missing relative to what the consumer expected.
+    let detached = spanner_core::FrozenSpanner::decode(&seed)
+        .expect("own seed bytes decode")
+        .detach_witnesses()
+        .encode();
+    probes.push(Probe {
+        class: "section-splice",
+        bytes: detached,
+    });
     probes
 }
 
@@ -221,7 +285,10 @@ mod tests {
     #[test]
     fn every_seed_decodes_cleanly_and_deterministically() {
         let seeds = all_seeds();
-        assert!(seeds.len() >= 9);
+        assert!(
+            seeds.len() >= 11,
+            "v1, graph, and v2 seeds must all be present"
+        );
         for seed in &seeds {
             let outcome = decode_outcome(&seed.bytes)
                 .unwrap_or_else(|why| panic!("seed {}: {why}", seed.name));

@@ -88,7 +88,11 @@ const CHECKSUM_LEN: usize = 8;
 
 /// Errors from decoding a binary container. Every malformed input maps
 /// to one of these — decoding never panics.
-#[derive(Debug)]
+///
+/// The enum is `Clone` so layers that decode lazily (the v2 in-place
+/// open path) can memoize a failure once and hand it back verbatim on
+/// every subsequent access.
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub enum BinaryError {
     /// The input ended before the field named by `context` was complete.
@@ -127,6 +131,14 @@ pub enum BinaryError {
         /// The offending tag.
         tag: u32,
     },
+    /// A v2 section (or the buffer backing it) missed the 8-byte
+    /// alignment the in-place layout requires.
+    MisalignedSection {
+        /// What was misaligned (a table entry, a payload, a buffer base).
+        context: &'static str,
+        /// The offending byte offset.
+        offset: u64,
+    },
     /// A section the format requires was absent.
     MissingSection {
         /// Human name of the missing section.
@@ -156,6 +168,7 @@ pub const BINARY_ERROR_CODES: &[&str] = &[
     "artifact/bit-flip",
     "artifact/unknown-section",
     "artifact/section-replay",
+    "artifact/misaligned-section",
     "artifact/missing-section",
     "artifact/malformed",
     "artifact/graph-invariant",
@@ -181,6 +194,7 @@ impl BinaryError {
             BinaryError::ChecksumMismatch { .. } => "artifact/bit-flip",
             BinaryError::UnknownSection { .. } => "artifact/unknown-section",
             BinaryError::DuplicateSection { .. } => "artifact/section-replay",
+            BinaryError::MisalignedSection { .. } => "artifact/misaligned-section",
             BinaryError::MissingSection { .. } => "artifact/missing-section",
             BinaryError::Malformed { .. } => "artifact/malformed",
             BinaryError::Graph(_) => "artifact/graph-invariant",
@@ -207,6 +221,8 @@ pub fn remediation_for_code(code: &str) -> &'static str {
         "artifact/bit-flip" => "re-transfer or rebuild the artifact from a trusted source; content does not match its checksum",
         "artifact/unknown-section" => "upgrade the decoder or re-encode without the unrecognized section",
         "artifact/section-replay" => "rebuild the artifact from a trusted source; a section tag appears more than once",
+        "artifact/misaligned-section" => "rebuild or re-migrate the artifact; a v2 section or buffer misses the 8-byte alignment the in-place layout requires",
+        "artifact/witnesses-detached" => "this artifact was built routing-only; rebuild without --detach-witnesses to serve witness queries",
         "artifact/missing-section" => "rebuild the artifact from a trusted source; a required section is absent",
         "artifact/malformed" => "rebuild the artifact from a trusted source; a field violates the format invariants",
         "artifact/graph-invariant" => "rebuild the artifact from a trusted source; the graph payload violates simple-graph invariants",
@@ -236,6 +252,10 @@ impl fmt::Display for BinaryError {
             ),
             BinaryError::UnknownSection { tag } => write!(f, "unknown section tag {tag}"),
             BinaryError::DuplicateSection { tag } => write!(f, "duplicate section tag {tag}"),
+            BinaryError::MisalignedSection { context, offset } => write!(
+                f,
+                "misaligned {context}: byte offset {offset} is not 8-byte aligned"
+            ),
             BinaryError::MissingSection { name } => write!(f, "missing required {name} section"),
             BinaryError::Malformed { context, detail } => {
                 write!(f, "malformed {context}: {detail}")
@@ -270,6 +290,34 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// FNV-1a 64-bit folded 8 little-endian bytes per round — the **v2**
+/// container's integrity checksum. Same error-detection contract as
+/// [`fnv1a64`] (non-cryptographic; every input byte perturbs the
+/// state, so truncation and accidental corruption are caught) at ~8x
+/// the scan speed — the byte-wise v1 checksum alone would dominate the
+/// zero-copy `open` path, whose whole point is that validating the
+/// envelope costs far less than materializing it. The trailing partial
+/// word is zero-padded and the total length is folded in last, so
+/// buffers differing only in trailing zero bytes still hash apart.
+pub fn fnv1a64_words(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        hash ^= u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+        hash = hash.wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        hash ^= u64::from_le_bytes(tail);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash ^= bytes.len() as u64;
+    hash.wrapping_mul(PRIME)
 }
 
 /// Appends a little-endian `u32`.
@@ -498,6 +546,267 @@ pub fn parse_container<'a>(
     Ok(Container { version, sections })
 }
 
+/// Byte width of the v2 container header (magic + version + flags +
+/// section count).
+pub const V2_HEADER_LEN: usize = 8 + 4 + 4 + 8;
+
+/// Byte width of one v2 section-table entry
+/// (`tag u32, reserved u32, offset u64, len u64`).
+pub const V2_SECTION_ENTRY_LEN: usize = 24;
+
+/// Alignment every v2 section payload offset must satisfy, so packed
+/// tables inside the payloads can be read in place.
+pub const V2_SECTION_ALIGN: usize = 8;
+
+/// Rounds `len` up to the next [`V2_SECTION_ALIGN`] boundary.
+pub const fn align8(len: usize) -> usize {
+    (len + (V2_SECTION_ALIGN - 1)) & !(V2_SECTION_ALIGN - 1)
+}
+
+/// One entry of a parsed v2 section table: where the payload lives
+/// inside the container bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct SectionV2 {
+    /// The section's tag.
+    pub tag: u32,
+    /// Absolute byte offset of the payload inside the container.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// A structurally valid v2 container: checksum verified, magic and
+/// version matched, flags known, section table parsed and proven
+/// aligned, ordered, in-bounds, and zero-padded. Payload interpretation
+/// is the caller's job — crucially, payloads can now be interpreted *in
+/// place*, because every offset here has already been validated.
+#[derive(Debug)]
+pub struct ContainerV2 {
+    /// The format version the file declares.
+    pub version: u32,
+    /// The header flag bits (all within the caller's known mask).
+    pub flags: u32,
+    /// The sections in file order (tags verified unique).
+    pub sections: Vec<SectionV2>,
+}
+
+impl ContainerV2 {
+    /// The location of the section with `tag`, if present.
+    pub fn section(&self, tag: u32) -> Option<SectionV2> {
+        self.sections.iter().find(|s| s.tag == tag).copied()
+    }
+}
+
+/// Builds a v2 container: a fixed header (`magic, version u32, flags
+/// u32, section_count u64`), a 24-byte-per-entry section table, then
+/// the payloads — each starting on an 8-byte boundary with zero padding
+/// between them and none after the last — sealed by a trailing
+/// word-wise FNV-1a-64 checksum ([`fnv1a64_words`]; v1 keeps the
+/// byte-wise [`fnv1a64`]).
+///
+/// The layout is canonical: given the same `(tag, payload)` sequence
+/// the writer produces exactly one byte string, and
+/// [`parse_container_v2`] accepts no other encoding of it (padding must
+/// be zero, offsets are forced, trailing bytes are rejected).
+#[derive(Debug)]
+pub struct ContainerWriterV2 {
+    magic: [u8; 8],
+    version: u32,
+    flags: u32,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl ContainerWriterV2 {
+    /// Starts a v2 container with the given magic, version, and header
+    /// flags.
+    pub fn new(magic: [u8; 8], version: u32, flags: u32) -> Self {
+        ContainerWriterV2 {
+            magic,
+            version,
+            flags,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends one section in file order. Duplicate tags are not
+    /// rejected here (the fuzzer uses this writer to build hostile
+    /// replays); [`parse_container_v2`] rejects them.
+    pub fn section(&mut self, tag: u32, payload: Vec<u8>) -> &mut Self {
+        self.sections.push((tag, payload));
+        self
+    }
+
+    /// Seals the container: lays out the table and padded payloads,
+    /// computes the checksum, and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let table_len = self.sections.len() * V2_SECTION_ENTRY_LEN;
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        let mut cursor = V2_HEADER_LEN + table_len;
+        for (i, (_, payload)) in self.sections.iter().enumerate() {
+            offsets.push(cursor);
+            cursor += payload.len();
+            if i + 1 < self.sections.len() {
+                cursor = align8(cursor);
+            }
+        }
+        let mut buf = Vec::with_capacity(cursor + CHECKSUM_LEN);
+        buf.extend_from_slice(&self.magic);
+        put_u32(&mut buf, self.version);
+        put_u32(&mut buf, self.flags);
+        put_u64(&mut buf, self.sections.len() as u64);
+        for ((tag, payload), offset) in self.sections.iter().zip(&offsets) {
+            put_u32(&mut buf, *tag);
+            put_u32(&mut buf, 0); // reserved
+            put_u64(&mut buf, *offset as u64);
+            put_u64(&mut buf, payload.len() as u64);
+        }
+        for (i, (_, payload)) in self.sections.iter().enumerate() {
+            debug_assert_eq!(buf.len(), offsets[i]);
+            buf.extend_from_slice(payload);
+            if i + 1 < self.sections.len() {
+                buf.resize(align8(buf.len()), 0);
+            }
+        }
+        let checksum = fnv1a64_words(&buf);
+        put_u64(&mut buf, checksum);
+        buf
+    }
+}
+
+/// Parses and verifies a v2 container envelope.
+///
+/// Validation order (each gate fully decided before the next): overall
+/// length, trailing checksum, magic, version (exact match), header
+/// flags (`flags & !known_flags` must be zero), section count (bounded
+/// by the bytes present before any allocation), then each table entry
+/// in order — reserved field zero, payload offset 8-byte aligned
+/// ([`BinaryError::MisalignedSection`]), strictly increasing and
+/// non-overlapping, in bounds, tag unique, and every padding byte
+/// between payloads zero. Trailing bytes after the last payload are
+/// rejected, which makes the encoding canonical.
+///
+/// # Errors
+///
+/// Any structural defect maps to the matching [`BinaryError`] variant;
+/// no input can cause a panic.
+pub fn parse_container_v2(
+    bytes: &[u8],
+    magic: [u8; 8],
+    supported_version: u32,
+    known_flags: u32,
+) -> Result<ContainerV2, BinaryError> {
+    if bytes.len() < V2_HEADER_LEN + CHECKSUM_LEN {
+        return Err(BinaryError::Truncated {
+            context: "container header",
+        });
+    }
+    let body_end = bytes.len() - CHECKSUM_LEN;
+    let mut tail = ByteReader::new(&bytes[body_end..]);
+    let stored = tail.u64("checksum")?;
+    let computed = fnv1a64_words(&bytes[..body_end]);
+    if stored != computed {
+        return Err(BinaryError::ChecksumMismatch { stored, computed });
+    }
+    if bytes[..8] != magic {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(BinaryError::BadMagic {
+            found,
+            expected: magic,
+        });
+    }
+    let version = crate::bytes::read_u32_at(bytes, 8);
+    if version != supported_version {
+        return Err(BinaryError::UnsupportedVersion {
+            found: version,
+            supported: supported_version,
+        });
+    }
+    let flags = crate::bytes::read_u32_at(bytes, 12);
+    if flags & !known_flags != 0 {
+        return Err(BinaryError::Malformed {
+            context: "container flags",
+            detail: format!("unknown flag bits {:#010x}", flags & !known_flags),
+        });
+    }
+    let count_raw = crate::bytes::read_u64_at(bytes, 16);
+    let table_avail = body_end - V2_HEADER_LEN;
+    let count = usize::try_from(count_raw)
+        .ok()
+        .filter(|c| c.checked_mul(V2_SECTION_ENTRY_LEN).is_some_and(|t| t <= table_avail))
+        .ok_or_else(|| BinaryError::Malformed {
+            context: "section table",
+            detail: format!(
+                "claimed count {count_raw} x {V2_SECTION_ENTRY_LEN} bytes exceeds the {table_avail} bytes present"
+            ),
+        })?;
+    let mut sections: Vec<SectionV2> = Vec::with_capacity(count);
+    let mut cursor = V2_HEADER_LEN + count * V2_SECTION_ENTRY_LEN;
+    for i in 0..count {
+        let at = V2_HEADER_LEN + i * V2_SECTION_ENTRY_LEN;
+        let tag = crate::bytes::read_u32_at(bytes, at);
+        let reserved = crate::bytes::read_u32_at(bytes, at + 4);
+        let offset_raw = crate::bytes::read_u64_at(bytes, at + 8);
+        let len_raw = crate::bytes::read_u64_at(bytes, at + 16);
+        if reserved != 0 {
+            return Err(BinaryError::Malformed {
+                context: "section table",
+                detail: format!("entry {i}: reserved field is {reserved:#x}, expected zero"),
+            });
+        }
+        if offset_raw % V2_SECTION_ALIGN as u64 != 0 {
+            return Err(BinaryError::MisalignedSection {
+                context: "section payload",
+                offset: offset_raw,
+            });
+        }
+        let (offset, len) = match (usize::try_from(offset_raw), usize::try_from(len_raw)) {
+            (Ok(o), Ok(l)) if o.checked_add(l).is_some_and(|end| end <= body_end) => (o, l),
+            _ => {
+                return Err(BinaryError::Truncated {
+                    context: "section payload",
+                })
+            }
+        };
+        // Exactly the minimum alignment padding is legal: anything else
+        // would give one value two encodings and break canonicality.
+        if offset != align8(cursor) {
+            return Err(BinaryError::Malformed {
+                context: "section table",
+                detail: format!(
+                    "entry {i}: offset {offset} is not the canonical position {}",
+                    align8(cursor)
+                ),
+            });
+        }
+        if let Some(pos) = bytes[cursor..offset].iter().position(|&b| b != 0) {
+            return Err(BinaryError::Malformed {
+                context: "section padding",
+                detail: format!("nonzero pad byte at offset {}", cursor + pos),
+            });
+        }
+        if sections.iter().any(|s| s.tag == tag) {
+            return Err(BinaryError::DuplicateSection { tag });
+        }
+        sections.push(SectionV2 { tag, offset, len });
+        cursor = offset + len;
+    }
+    if cursor != body_end {
+        return Err(BinaryError::Malformed {
+            context: "container body",
+            detail: format!(
+                "{} trailing bytes after the last section",
+                body_end - cursor
+            ),
+        });
+    }
+    Ok(ContainerV2 {
+        version,
+        flags,
+        sections,
+    })
+}
+
 /// Serializes any graph view as the canonical edge-list payload:
 /// `node_count u64, edge_count u64`, then one `(u u32, v u32, w u64)`
 /// record per edge in edge-id order. Adjacency is *not* stored — it is
@@ -520,12 +829,14 @@ pub fn write_view_payload<V: GraphView>(view: &V, out: &mut Vec<u8>) {
 const EDGE_RECORD_LEN: usize = 4 + 4 + 8;
 
 /// Node counts a decoder accepts unconditionally, regardless of payload
-/// size (see [`read_graph_header`]).
-const NODE_COUNT_FLOOR: usize = 1 << 16;
+/// size (the allocation guard in the graph-payload header read). Public
+/// because the v2 in-place CSR validator applies the identical
+/// proportionality guard.
+pub const NODE_COUNT_FLOOR: usize = 1 << 16;
 
 /// Above [`NODE_COUNT_FLOOR`], every claimed node must be backed by at
 /// least `1/NODE_BYTES_FACTOR` payload bytes.
-const NODE_BYTES_FACTOR: usize = 64;
+pub const NODE_BYTES_FACTOR: usize = 64;
 
 /// Reads the `(node_count, edge_count)` header of a graph payload and
 /// validates both against the id width and the bytes present.
@@ -660,6 +971,7 @@ pub fn decode_frozen_csr(bytes: &[u8]) -> Result<FrozenCsr, BinaryError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::read_u64_at;
     use crate::{generators, EdgeId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -840,6 +1152,180 @@ mod tests {
         ));
     }
 
+    const TEST_MAGIC: [u8; 8] = *b"VFTTESTC";
+
+    fn v2_two_sections() -> Vec<u8> {
+        let mut w = ContainerWriterV2::new(TEST_MAGIC, 2, 0);
+        w.section(1, vec![0xAA; 5]); // 5 bytes: forces 3 pad bytes
+        w.section(2, vec![0xBB; 8]);
+        w.finish()
+    }
+
+    fn reseal(bytes: &mut [u8]) {
+        let end = bytes.len() - CHECKSUM_LEN;
+        let sum = fnv1a64_words(&bytes[..end]).to_le_bytes();
+        bytes[end..].copy_from_slice(&sum);
+    }
+
+    #[test]
+    fn v2_envelope_round_trips_and_is_canonical() {
+        let bytes = v2_two_sections();
+        let c = parse_container_v2(&bytes, TEST_MAGIC, 2, 0).unwrap();
+        assert_eq!(c.version, 2);
+        assert_eq!(c.flags, 0);
+        assert_eq!(c.sections.len(), 2);
+        let s1 = c.section(1).unwrap();
+        assert_eq!(&bytes[s1.offset..s1.offset + s1.len], &[0xAA; 5]);
+        let s2 = c.section(2).unwrap();
+        assert_eq!(s2.offset % V2_SECTION_ALIGN, 0);
+        assert_eq!(&bytes[s2.offset..s2.offset + s2.len], &[0xBB; 8]);
+        // Re-emitting the same sections reproduces the bytes exactly.
+        let mut again = ContainerWriterV2::new(TEST_MAGIC, 2, 0);
+        again.section(1, vec![0xAA; 5]);
+        again.section(2, vec![0xBB; 8]);
+        assert_eq!(again.finish(), bytes);
+    }
+
+    #[test]
+    fn v2_every_truncation_and_flip_errors() {
+        let bytes = v2_two_sections();
+        for len in 0..bytes.len() {
+            assert!(
+                parse_container_v2(&bytes[..len], TEST_MAGIC, 2, 0).is_err(),
+                "truncation to {len} must fail"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x41;
+            assert!(
+                parse_container_v2(&corrupt, TEST_MAGIC, 2, 0).is_err(),
+                "flipping byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_misaligned_offset_is_typed() {
+        let mut bytes = v2_two_sections();
+        // Bump section 0's table offset by one: no longer 8-byte aligned.
+        let entry = V2_HEADER_LEN + 8;
+        let offset = read_u64_at(&bytes, entry) + 1;
+        bytes[entry..entry + 8].copy_from_slice(&offset.to_le_bytes());
+        reseal(&mut bytes);
+        assert!(matches!(
+            parse_container_v2(&bytes, TEST_MAGIC, 2, 0),
+            Err(BinaryError::MisalignedSection { offset: o, .. }) if o == offset
+        ));
+    }
+
+    #[test]
+    fn v2_rejects_nonzero_padding_reserved_and_trailing() {
+        // Nonzero pad byte between the sections.
+        let mut bytes = v2_two_sections();
+        let c = parse_container_v2(&bytes, TEST_MAGIC, 2, 0).unwrap();
+        let pad_at = c.section(1).unwrap().offset + 5; // first pad byte
+        bytes[pad_at] = 1;
+        reseal(&mut bytes);
+        assert!(matches!(
+            parse_container_v2(&bytes, TEST_MAGIC, 2, 0),
+            Err(BinaryError::Malformed {
+                context: "section padding",
+                ..
+            })
+        ));
+        // Nonzero reserved field in a table entry.
+        let mut bytes = v2_two_sections();
+        bytes[V2_HEADER_LEN + 4] = 7;
+        reseal(&mut bytes);
+        assert!(matches!(
+            parse_container_v2(&bytes, TEST_MAGIC, 2, 0),
+            Err(BinaryError::Malformed {
+                context: "section table",
+                ..
+            })
+        ));
+        // A non-canonical (over-padded) section offset.
+        let mut w = ContainerWriterV2::new(TEST_MAGIC, 2, 0);
+        w.section(1, vec![0xAA; 5]);
+        let mut bytes = w.finish();
+        // Grow the file by 8 zero bytes before the checksum and shift the
+        // (single) section 8 bytes right: still aligned, still zero
+        // padding, but not the canonical position.
+        let entry = V2_HEADER_LEN + 8;
+        let old_offset = read_u64_at(&bytes, entry) as usize;
+        let mut grown = bytes[..old_offset].to_vec();
+        grown.extend_from_slice(&[0u8; 8]);
+        grown.extend_from_slice(&bytes[old_offset..bytes.len() - CHECKSUM_LEN]);
+        grown.extend_from_slice(&[0u8; CHECKSUM_LEN]);
+        grown[entry..entry + 8].copy_from_slice(&((old_offset + 8) as u64).to_le_bytes());
+        reseal(&mut grown);
+        assert!(matches!(
+            parse_container_v2(&grown, TEST_MAGIC, 2, 0),
+            Err(BinaryError::Malformed {
+                context: "section table",
+                ..
+            })
+        ));
+        // Trailing bytes after the last section.
+        bytes.truncate(bytes.len() - CHECKSUM_LEN);
+        bytes.extend_from_slice(&[0u8; 4]);
+        let sum = fnv1a64_words(&bytes).to_le_bytes();
+        bytes.extend_from_slice(&sum);
+        assert!(matches!(
+            parse_container_v2(&bytes, TEST_MAGIC, 2, 0),
+            Err(BinaryError::Malformed {
+                context: "container body",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn v2_rejects_unknown_flags_version_and_oversized_count() {
+        let mut w = ContainerWriterV2::new(TEST_MAGIC, 2, 0b10);
+        w.section(1, vec![1, 2, 3]);
+        let bytes = w.finish();
+        // Flag bit 1 is unknown to a decoder that only knows bit 0.
+        assert!(matches!(
+            parse_container_v2(&bytes, TEST_MAGIC, 2, 0b1),
+            Err(BinaryError::Malformed {
+                context: "container flags",
+                ..
+            })
+        ));
+        // But fine for a decoder that knows it.
+        assert!(parse_container_v2(&bytes, TEST_MAGIC, 2, 0b11).is_ok());
+        // Wrong version is typed.
+        assert!(matches!(
+            parse_container_v2(&bytes, TEST_MAGIC, 3, 0b11),
+            Err(BinaryError::UnsupportedVersion {
+                found: 2,
+                supported: 3
+            })
+        ));
+        // A section count that cannot fit in the file fails before any
+        // table-sized allocation.
+        let mut huge = v2_two_sections();
+        huge[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        reseal(&mut huge);
+        assert!(matches!(
+            parse_container_v2(&huge, TEST_MAGIC, 2, 0),
+            Err(BinaryError::Malformed {
+                context: "section table",
+                ..
+            })
+        ));
+        // Duplicate tags are replay, like v1.
+        let mut w = ContainerWriterV2::new(TEST_MAGIC, 2, 0);
+        w.section(1, vec![1]);
+        w.section(1, vec![2]);
+        assert!(matches!(
+            parse_container_v2(&w.finish(), TEST_MAGIC, 2, 0),
+            Err(BinaryError::DuplicateSection { tag: 1 })
+        ));
+    }
+
     #[test]
     fn malformed_records_rejected() {
         // (u, v, w) records for a 3-node payload, each invalid.
@@ -885,6 +1371,10 @@ mod tests {
             },
             BinaryError::UnknownSection { tag: 9 },
             BinaryError::DuplicateSection { tag: 1 },
+            BinaryError::MisalignedSection {
+                context: "section payload",
+                offset: 1,
+            },
             BinaryError::MissingSection { name: "meta" },
             BinaryError::Malformed {
                 context: "x",

@@ -56,6 +56,7 @@ mod weight;
 
 pub mod apsp;
 pub mod bfs;
+pub mod bytes;
 pub mod connectivity;
 pub mod csr;
 pub mod cycles;
@@ -72,7 +73,8 @@ pub mod transform;
 
 pub use adjacency::GraphView;
 pub use bitset::BitSet;
-pub use csr::{FrozenCsr, IncrementalCsr};
+pub use bytes::SharedBytes;
+pub use csr::{CsrStorage, FrozenCsr, IncrementalCsr};
 pub use dijkstra::{DijkstraEngine, PathScratch, ShortestPath};
 pub use error::GraphError;
 pub use graph::{Edge, Graph};

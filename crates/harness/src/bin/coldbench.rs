@@ -1,0 +1,155 @@
+//! `coldbench` — the cold-start perf trajectory, as a committed
+//! artifact (the replica-spin-up analogue of `querybench`).
+//!
+//! Usage:
+//!
+//! ```text
+//! coldbench [--smoke | --quick | --full] [--repeats R] [--out PATH]
+//! coldbench --check PATH
+//! ```
+//!
+//! Measures open-to-first-route on deterministically rebuilt artifacts
+//! of increasing size, through both open paths: v1 full `decode`
+//! (every section materialized before the first answer) and v2
+//! in-place `open` (envelope validated, serving tables pointed at the
+//! buffer, parent and witnesses deferred). Writes one JSON document
+//! (`BENCH_8.json` by default, schema `coldbench-1`) **after**
+//! asserting both paths returned bit-identical first answers in every
+//! cell.
+//!
+//! `--check` re-reads any such artifact with the strict parser in
+//! [`spanner_harness::json`] and validates the schema, including — for
+//! full-scale documents, i.e. the committed `BENCH_8.json` — the
+//! committed gate: the largest artifact's in-place speedup must reach
+//! the 10x cold-start floor. CI's bench-smoke job runs a smoke
+//! emission plus that check so the zero-copy open path cannot
+//! silently rot.
+
+use spanner_harness::cli::{self, Parsed};
+use spanner_harness::coldstart;
+use spanner_harness::experiments::{ExperimentContext, Scale};
+use spanner_harness::json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scale: Scale,
+    out: PathBuf,
+    repeats: usize,
+    check: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: coldbench [--smoke|--quick|--full] [--repeats R] [--out PATH]\n       coldbench --check PATH";
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    }
+}
+
+fn parse_args() -> Result<Parsed<Args>, String> {
+    let mut args = Args {
+        scale: Scale::Full,
+        out: PathBuf::from("BENCH_8.json"),
+        repeats: 0, // 0 = scale default
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.scale = Scale::Smoke,
+            "--quick" => args.scale = Scale::Quick,
+            "--full" => args.scale = Scale::Full,
+            "--out" => args.out = PathBuf::from(cli::value_for(&mut it, "--out")?),
+            "--check" => {
+                args.check = Some(PathBuf::from(cli::value_for(&mut it, "--check")?));
+            }
+            "--repeats" => args.repeats = cli::parsed_value(&mut it, "--repeats")?,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.repeats == 0 {
+        args.repeats = match args.scale {
+            Scale::Smoke => 1,
+            Scale::Quick => 3,
+            Scale::Full => 5,
+        };
+    }
+    Ok(Parsed::Run(args))
+}
+
+fn run_bench(args: &Args) -> Result<(), String> {
+    let ctx = ExperimentContext::new(args.scale);
+    println!(
+        "coldbench: scale={} repeats={} -> {}",
+        scale_name(args.scale),
+        args.repeats,
+        args.out.display()
+    );
+    let cells = coldstart::sweep(&ctx, args.repeats);
+    let mut mismatches = 0usize;
+    for cell in &cells {
+        if !cell.identical {
+            mismatches += 1;
+        }
+        println!(
+            "  n={:<4} edges={:<5} v1 {:>7} B  v2 {:>7} B  decode {:>9.1} us | open {:>8.1} us  ({:>6.2}x)  identical={}",
+            cell.n,
+            cell.edges,
+            cell.v1_bytes,
+            cell.v2_bytes,
+            cell.decode_secs * 1e6,
+            cell.open_secs * 1e6,
+            cell.speedup(),
+            cell.identical,
+        );
+    }
+    let doc = coldstart::artifact(scale_name(args.scale), args.repeats, &cells);
+    let text = format!("{doc}\n");
+    // Self-check before writing: the artifact must parse with the same
+    // strict parser CI uses and satisfy its own schema (the 10x gate
+    // included — a regression fails here, before anything is written).
+    let parsed =
+        json::parse(&text).map_err(|e| format!("internal error: emitted invalid JSON: {e}"))?;
+    if mismatches == 0 {
+        coldstart::check_artifact(&parsed)
+            .map_err(|e| format!("emitted artifact fails its own schema: {e}"))?;
+    }
+    std::fs::write(&args.out, &text)
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    println!("wrote {}", args.out.display());
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} cell(s) returned different first answers across open paths — serving must be bit-identical"
+        ));
+    }
+    Ok(())
+}
+
+fn run_check(path: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    coldstart::check_artifact(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    let records = doc
+        .get("records")
+        .and_then(json::JsonValue::as_array)
+        .expect("checked above");
+    println!(
+        "{}: ok ({} records, schema {})",
+        path.display(),
+        records.len(),
+        coldstart::SCHEMA
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    cli::run_main("coldbench", USAGE, parse_args, |args| match &args.check {
+        Some(path) => run_check(path),
+        None => run_bench(&args),
+    })
+}

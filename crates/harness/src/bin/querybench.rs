@@ -12,9 +12,10 @@
 //! The default family runs the E15 workload — epoch scenarios (no
 //! failures, `f` random failures, witness replay) × fault budgets ×
 //! batch sizes over an FT spanner of a geometric network — through
-//! three read paths: the one-query-per-epoch `ResilientRouter`,
-//! sequential `EpochServer` session batches, and the pooled
-//! `par_route_batch` worker-pool path. Writes one JSON document
+//! three read paths: the one-query-per-epoch `route_one` reference
+//! (fresh fault mask per query), sequential `EpochServer` session
+//! batches, and the pooled `par_route_batch` worker-pool path. Writes
+//! one JSON document
 //! (`BENCH_4.json` by default, schema `querybench-1`) with per-cell
 //! queries/second and speedups vs the router baseline, **after**
 //! asserting all three paths returned bit-identical answers — the run

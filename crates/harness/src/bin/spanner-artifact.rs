@@ -7,9 +7,12 @@
 //! spanner-artifact build [--family geometric|complete|grid|erdos-renyi]
 //!                        [--n N] [--radius R] [--p P] [--rows R --cols C]
 //!                        [--edges PATH] [--seed S] [--stretch K] [--f F]
-//!                        [--model vertex|edge] [--out PATH]
+//!                        [--model vertex|edge] [--v2] [--detach-witnesses]
+//!                        [--out PATH]
 //! spanner-artifact inspect PATH
-//! spanner-artifact serve PATH [--epochs N] [--batch B] [--threads T] [--seed S]
+//! spanner-artifact migrate PATH [--out PATH]
+//! spanner-artifact serve PATH [--in-place] [--epochs N] [--batch B]
+//!                        [--threads T] [--seed S]
 //! ```
 //!
 //! The build-once / serve-many pipeline, end to end:
@@ -17,16 +20,28 @@
 //! * `build` constructs an FT spanner (FT-greedy over the chosen graph
 //!   family or a text edge-list file), freezes it with full metadata
 //!   (parent graph, budget, model, witnesses), and writes the versioned
-//!   `VFTSPANR` binary artifact (`docs/ARTIFACT_FORMAT.md`).
-//! * `inspect` dumps the container header — version, checksum, section
-//!   table — and the decoded artifact's stats, without serving anything.
+//!   `VFTSPANR` binary artifact (`docs/ARTIFACT_FORMAT.md`). `--v2`
+//!   emits the alignment-padded in-place layout; `--detach-witnesses`
+//!   (implies `--v2`) drops the witness section for a routing-only
+//!   replica artifact.
+//! * `inspect` dumps the container header — version, flags, checksum,
+//!   section table — and the decoded artifact's stats, without serving
+//!   anything.
+//! * `migrate` re-lays a v1 artifact out as v2, byte-canonically: the
+//!   output is exactly what `build --v2` of the same construction would
+//!   have written, and migrating an already-v2 artifact is a verified
+//!   no-op (idempotent, byte for byte).
 //! * `serve` is the roundtrip proof: it decodes the artifact in *this*
 //!   process (built, typically, by another), re-runs the construction
 //!   from the embedded parent graph, and drives an E15-style epoch/batch
 //!   query workload through both artifacts — sequential and pooled —
 //!   failing unless every answer is bit-identical and the rebuilt
-//!   artifact re-encodes to the exact bytes on disk. CI runs
-//!   build → inspect → serve as separate processes on every push.
+//!   artifact re-encodes to the exact bytes on disk. `--in-place` (v2
+//!   artifacts only) opens the file zero-copy — `mmap(2)` where the
+//!   platform has it, an aligned heap copy otherwise — and serves
+//!   straight out of the buffer through the same gates. CI runs
+//!   build → inspect → migrate → serve as separate processes on every
+//!   push.
 //! * `replay` re-decodes every entry of one or more fuzz-corpus
 //!   directories (`fuzz/corpus/`, `fuzz/crashes/`) under the decode
 //!   contract — fail-closed, deterministic, canonical — and verifies
@@ -43,14 +58,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spanner_core::frozen::{
-    ARTIFACT_MAGIC, ARTIFACT_VERSION, SECTION_META, SECTION_PARENT, SECTION_PARENT_EDGES,
-    SECTION_SPANNER, SECTION_WITNESSES,
+    ARTIFACT_MAGIC, ARTIFACT_VERSION, ARTIFACT_VERSION_V2, FLAG_WITNESSES_DETACHED, SECTION_META,
+    SECTION_PARENT, SECTION_PARENT_EDGES, SECTION_SPANNER, SECTION_WITNESSES,
 };
 use spanner_core::routing::{Route, RouteError};
 use spanner_core::{EpochServer, FrozenSpanner, FtGreedy};
 use spanner_faults::{FaultModel, FaultSet};
-use spanner_graph::io::binary::{fnv1a64, parse_container};
-use spanner_graph::{generators, io, Graph, NodeId};
+use spanner_graph::io::binary::{fnv1a64, fnv1a64_words, parse_container, parse_container_v2};
+use spanner_graph::{generators, io, Graph, NodeId, SharedBytes};
 use spanner_harness::cli::{self, Parsed};
 use spanner_harness::corpus;
 use std::path::PathBuf;
@@ -60,9 +75,11 @@ use std::sync::Arc;
 const USAGE: &str = "usage: spanner-artifact build [--family geometric|complete|grid|erdos-renyi]
                               [--n N] [--radius R] [--p P] [--rows R --cols C]
                               [--edges PATH] [--seed S] [--stretch K] [--f F]
-                              [--model vertex|edge] [--out PATH]
+                              [--model vertex|edge] [--v2] [--detach-witnesses]
+                              [--out PATH]
        spanner-artifact inspect PATH
-       spanner-artifact serve PATH [--epochs N] [--batch B] [--threads T] [--seed S]
+       spanner-artifact migrate PATH [--out PATH]
+       spanner-artifact serve PATH [--in-place] [--epochs N] [--batch B] [--threads T] [--seed S]
        spanner-artifact replay DIR...";
 
 /// The graph the `build` subcommand constructs over.
@@ -79,20 +96,29 @@ struct BuildArgs {
     stretch: u64,
     faults: usize,
     model: FaultModel,
+    v2: bool,
+    detach: bool,
     out: PathBuf,
 }
 
 struct ServeArgs {
     path: PathBuf,
+    in_place: bool,
     epochs: usize,
     batch: usize,
     threads: usize,
     seed: u64,
 }
 
+struct MigrateArgs {
+    path: PathBuf,
+    out: Option<PathBuf>,
+}
+
 enum Command {
     Build(BuildArgs),
     Inspect(PathBuf),
+    Migrate(MigrateArgs),
     Serve(ServeArgs),
     Replay(Vec<PathBuf>),
 }
@@ -123,6 +149,7 @@ fn parse_args() -> Result<Parsed<Command>, String> {
             reject_extra(&mut it)?;
             Ok(Parsed::Run(Command::Inspect(path)))
         }
+        "migrate" => parse_migrate(&mut it),
         "serve" => parse_serve(&mut it),
         "replay" => {
             let dirs: Vec<PathBuf> = it.by_ref().map(PathBuf::from).collect();
@@ -168,9 +195,13 @@ fn parse_build(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>,
     let mut stretch = 3u64;
     let mut faults = 1usize;
     let mut model = FaultModel::Vertex;
+    let mut v2 = false;
+    let mut detach = false;
     let mut out = PathBuf::from("spanner.vfts");
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--v2" => v2 = true,
+            "--detach-witnesses" => detach = true,
             "--family" => family = cli::value_for(it, "--family")?,
             "--n" => n = cli::parsed_value(it, "--n")?,
             "--radius" => radius = cli::parsed_value(it, "--radius")?,
@@ -209,14 +240,30 @@ fn parse_build(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>,
         stretch,
         faults,
         model,
+        v2: v2 || detach, // detaching is a v2-only layout feature
+        detach,
         out,
     })))
+}
+
+fn parse_migrate(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>, String> {
+    let path = positional_path(it, "migrate")?;
+    let mut out = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(cli::value_for(it, "--out")?)),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Parsed::Run(Command::Migrate(MigrateArgs { path, out })))
 }
 
 fn parse_serve(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>, String> {
     let path = positional_path(it, "serve")?;
     let mut args = ServeArgs {
         path,
+        in_place: false,
         epochs: 8,
         batch: 64,
         threads: 2,
@@ -224,6 +271,7 @@ fn parse_serve(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--in-place" => args.in_place = true,
             "--epochs" => args.epochs = cli::parsed_value(it, "--epochs")?,
             "--batch" => args.batch = cli::parsed_value(it, "--batch")?,
             "--threads" => args.threads = cli::parsed_value(it, "--threads")?,
@@ -283,21 +331,34 @@ fn run_build(args: BuildArgs) -> Result<(), String> {
         .faults(args.faults)
         .model(args.model)
         .run();
-    let frozen = ft.freeze(&g);
+    let mut frozen = ft.freeze(&g);
+    if args.detach {
+        frozen = frozen.detach_witnesses();
+    } else if args.v2 {
+        frozen = frozen.to_v2();
+    }
     let bytes = frozen.encode();
     // Sanity: our own encoding must decode before it ships.
     FrozenSpanner::decode(&bytes)
         .map_err(|e| format!("internal error: emitted an undecodable artifact: {e}"))?;
     std::fs::write(&args.out, &bytes)
         .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    let witness_note = match frozen.witnesses() {
+        Ok(w) => format!("{} witness sets", w.len()),
+        Err(_) => "witnesses detached (routing-only)".to_string(),
+    };
     println!(
-        "kept {} / {} edges ({:.1}%), {} witness sets",
+        "kept {} / {} edges ({:.1}%), {witness_note}",
         frozen.edge_count(),
         g.edge_count(),
         100.0 * frozen.edge_count() as f64 / g.edge_count().max(1) as f64,
-        frozen.witnesses().len()
     );
-    println!("wrote {} ({} bytes)", args.out.display(), bytes.len());
+    println!(
+        "wrote {} (v{}, {} bytes)",
+        args.out.display(),
+        frozen.version(),
+        bytes.len()
+    );
     Ok(())
 }
 
@@ -317,26 +378,64 @@ fn section_name(tag: u32) -> &'static str {
 
 fn run_inspect(path: PathBuf) -> Result<(), String> {
     let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let container = parse_container(&bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION)
-        .map_err(|e| hostile(&path, e.code(), &e))?;
+    // Dispatch on the declared version, exactly like `FrozenSpanner::decode`;
+    // a lying version field fails closed inside the matching parser.
+    let is_v2 = bytes.len() >= 12 && bytes[8..12] == ARTIFACT_VERSION_V2.to_le_bytes();
     println!("{}: {} bytes", path.display(), bytes.len());
-    println!(
-        "  magic    {:?}  version {}",
-        String::from_utf8_lossy(&ARTIFACT_MAGIC),
-        container.version
-    );
-    println!(
-        "  checksum {:#018x} (fnv1a-64, verified)",
-        fnv1a64(&bytes[..bytes.len() - 8])
-    );
-    println!("  sections:");
-    for section in &container.sections {
+    if is_v2 {
+        let container = parse_container_v2(
+            &bytes,
+            ARTIFACT_MAGIC,
+            ARTIFACT_VERSION_V2,
+            FLAG_WITNESSES_DETACHED,
+        )
+        .map_err(|e| hostile(&path, e.code(), &e))?;
         println!(
-            "    tag {}  {:<18} {:>9} bytes",
-            section.tag,
-            section_name(section.tag),
-            section.payload.len()
+            "  magic    {:?}  version {}  flags {:#010x}{}",
+            String::from_utf8_lossy(&ARTIFACT_MAGIC),
+            container.version,
+            container.flags,
+            if container.flags & FLAG_WITNESSES_DETACHED != 0 {
+                " (witnesses-detached)"
+            } else {
+                ""
+            }
         );
+        println!(
+            "  checksum {:#018x} (fnv1a-64 word-wise, verified)",
+            fnv1a64_words(&bytes[..bytes.len() - 8])
+        );
+        println!("  sections (in-place layout, 8-byte aligned):");
+        for section in &container.sections {
+            println!(
+                "    tag {}  {:<18} offset {:>9}  {:>9} bytes",
+                section.tag,
+                section_name(section.tag),
+                section.offset,
+                section.len
+            );
+        }
+    } else {
+        let container = parse_container(&bytes, ARTIFACT_MAGIC, ARTIFACT_VERSION)
+            .map_err(|e| hostile(&path, e.code(), &e))?;
+        println!(
+            "  magic    {:?}  version {}",
+            String::from_utf8_lossy(&ARTIFACT_MAGIC),
+            container.version
+        );
+        println!(
+            "  checksum {:#018x} (fnv1a-64, verified)",
+            fnv1a64(&bytes[..bytes.len() - 8])
+        );
+        println!("  sections:");
+        for section in &container.sections {
+            println!(
+                "    tag {}  {:<18} {:>9} bytes",
+                section.tag,
+                section_name(section.tag),
+                section.payload.len()
+            );
+        }
     }
     let frozen = FrozenSpanner::decode(&bytes).map_err(|e| hostile(&path, e.code(), &e))?;
     println!("  artifact:");
@@ -350,7 +449,7 @@ fn run_inspect(path: PathBuf) -> Result<(), String> {
         Some(f) => println!("    built for  f = {f} {} faults", frozen.model()),
         None => println!("    built for  (no construction metadata: bare freeze)"),
     }
-    match frozen.parent() {
+    match frozen.parent().map_err(|e| hostile(&path, e.code(), &e))? {
         Some(p) => println!(
             "    parent     {} nodes, {} edges ({:.1}% kept)",
             p.node_count(),
@@ -359,11 +458,49 @@ fn run_inspect(path: PathBuf) -> Result<(), String> {
         ),
         None => println!("    parent     not embedded"),
     }
-    let nonempty = frozen.witnesses().iter().filter(|w| !w.is_empty()).count();
+    match frozen.witnesses() {
+        Ok(w) => {
+            let nonempty = w.iter().filter(|s| !s.is_empty()).count();
+            println!("    witnesses  {} sets ({} nonempty)", w.len(), nonempty);
+        }
+        Err(_) => println!("    witnesses  detached (routing-only artifact)"),
+    }
+    Ok(())
+}
+
+fn run_migrate(args: MigrateArgs) -> Result<(), String> {
+    let bytes = std::fs::read(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path.display()))?;
+    let decoded = FrozenSpanner::decode(&bytes).map_err(|e| hostile(&args.path, e.code(), &e))?;
+    let from_version = decoded.version();
+    let migrated = decoded.to_v2().encode();
+    if from_version == ARTIFACT_VERSION_V2 && migrated != bytes {
+        return Err(
+            "internal error: migrating a v2 artifact changed its bytes — \
+             migration must be idempotent"
+                .into(),
+        );
+    }
+    // The migrated artifact must be canonical: decode and re-encode to
+    // the exact same bytes (the same gate `serve` applies to rebuilds).
+    let back = FrozenSpanner::decode(&migrated)
+        .map_err(|e| format!("internal error: migrated artifact does not decode: {e}"))?;
+    if back.encode() != migrated {
+        return Err("internal error: migrated artifact is not byte-canonical".into());
+    }
+    let out = args.out.unwrap_or_else(|| args.path.clone());
+    std::fs::write(&out, &migrated).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!(
-        "    witnesses  {} sets ({} nonempty)",
-        frozen.witnesses().len(),
-        nonempty
+        "migrated {} (v{from_version}, {} bytes) -> {} (v2, {} bytes){}",
+        args.path.display(),
+        bytes.len(),
+        out.display(),
+        migrated.len(),
+        if from_version == ARTIFACT_VERSION_V2 {
+            " — already v2, byte-identical"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -373,11 +510,16 @@ fn run_inspect(path: PathBuf) -> Result<(), String> {
 fn plan_epochs(frozen: &FrozenSpanner, args: &ServeArgs) -> Vec<(FaultSet, Vec<(NodeId, NodeId)>)> {
     let n = frozen.node_count();
     let f = frozen.budget().unwrap_or(0);
+    // A routing-only (witnesses-detached) artifact simply has no replay
+    // epochs to offer; the clear/random scenarios still run.
     let witnesses: Vec<&FaultSet> = frozen
         .witnesses()
-        .iter()
-        .filter(|w| !w.is_empty() && w.model() == FaultModel::Vertex)
-        .collect();
+        .map(|w| {
+            w.iter()
+                .filter(|s| !s.is_empty() && s.model() == FaultModel::Vertex)
+                .collect()
+        })
+        .unwrap_or_default();
     let mut rng = StdRng::seed_from_u64(args.seed);
     (0..args.epochs)
         .map(|epoch| {
@@ -418,10 +560,27 @@ fn plan_epochs(frozen: &FrozenSpanner, args: &ServeArgs) -> Vec<(FaultSet, Vec<(
 fn run_serve(args: ServeArgs) -> Result<(), String> {
     let bytes = std::fs::read(&args.path)
         .map_err(|e| format!("cannot read {}: {e}", args.path.display()))?;
-    let loaded =
-        Arc::new(FrozenSpanner::decode(&bytes).map_err(|e| hostile(&args.path, e.code(), &e))?);
+    let loaded = if args.in_place {
+        // Zero-copy open: the serving tables stay in the file buffer —
+        // mmap(2) where the platform has it, an aligned heap copy
+        // otherwise (same bytes, same validation, same answers).
+        let shared = if mmapio::Mmap::supported() {
+            let file = std::fs::File::open(&args.path)
+                .map_err(|e| format!("cannot open {}: {e}", args.path.display()))?;
+            let map = mmapio::Mmap::map_file(&file)
+                .map_err(|e| format!("cannot mmap {}: {e}", args.path.display()))?;
+            SharedBytes::from_source(Arc::new(map))
+        } else {
+            SharedBytes::copy_aligned(&bytes)
+        };
+        let mapped = FrozenSpanner::open(shared).map_err(|e| hostile(&args.path, e.code(), &e))?;
+        Arc::new(mapped.into_inner())
+    } else {
+        Arc::new(FrozenSpanner::decode(&bytes).map_err(|e| hostile(&args.path, e.code(), &e))?)
+    };
     let parent = loaded
         .parent()
+        .map_err(|e| hostile(&args.path, e.code(), &e))?
         .ok_or("artifact carries no parent graph; rebuild cross-check needs one (use `spanner-artifact build`)")?
         .clone();
     let budget = loaded
@@ -431,8 +590,17 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
         return Err("artifact too small for a serve workload (need >= 3 vertices)".into());
     }
     println!(
-        "loaded {}: {} nodes, {} edges, stretch {}, f = {}, {} model",
+        "loaded {} ({}): {} nodes, {} edges, stretch {}, f = {}, {} model",
         args.path.display(),
+        if args.in_place {
+            if loaded.is_in_place() {
+                "in place, zero-copy"
+            } else {
+                "in place, aligned copy"
+            }
+        } else {
+            "eager decode"
+        },
         loaded.node_count(),
         loaded.edge_count(),
         loaded.stretch(),
@@ -441,14 +609,21 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
     );
 
     // In-memory rebuild from the embedded parent: same construction, so
-    // the artifact on disk must be its canonical encoding, byte for byte.
-    let rebuilt = Arc::new(
-        FtGreedy::new(parent.as_ref(), loaded.stretch())
-            .faults(budget)
-            .model(loaded.model())
-            .run()
-            .freeze(parent.as_ref()),
-    );
+    // the artifact on disk must be its canonical encoding, byte for
+    // byte — after re-laying the rebuild out in the on-disk artifact's
+    // own version/witness layout.
+    let fresh = FtGreedy::new(parent.as_ref(), loaded.stretch())
+        .faults(budget)
+        .model(loaded.model())
+        .run()
+        .freeze(parent.as_ref());
+    let rebuilt = Arc::new(if loaded.witnesses_detached() {
+        fresh.detach_witnesses()
+    } else if loaded.version() == ARTIFACT_VERSION_V2 {
+        fresh.to_v2()
+    } else {
+        fresh
+    });
     if rebuilt.encode() != bytes {
         return Err(
             "rebuilt construction does not re-encode to the artifact's bytes — \
@@ -524,6 +699,7 @@ fn main() -> ExitCode {
         |command| match command {
             Command::Build(args) => run_build(args),
             Command::Inspect(path) => run_inspect(path),
+            Command::Migrate(args) => run_migrate(args),
             Command::Serve(args) => run_serve(args),
             Command::Replay(dirs) => run_replay(dirs),
         },

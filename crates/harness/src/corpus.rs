@@ -107,7 +107,12 @@ impl DecodeOutcome {
 /// garbage too short to carry a magic) through [`FrozenSpanner::decode`].
 /// Returns the outcome plus the error's display string (the
 /// "signature" the determinism contract compares), and re-encodes
-/// accepted inputs to prove canonical acceptance.
+/// accepted inputs to prove canonical acceptance. Accepted spanner
+/// artifacts additionally have their witness accessor probed, so a
+/// routing-only artifact is tallied under
+/// `artifact/witnesses-detached` — the typed refusal witness queries
+/// against it receive — keeping the detached arm inside the corpus's
+/// taxonomy-coverage gate.
 fn decode_once(bytes: &[u8]) -> Result<(DecodeOutcome, String), String> {
     let is_graph = bytes.len() >= 8 && bytes[..8] == *b"VFTGRAPH";
     let run = |bytes: &[u8]| -> Result<(DecodeOutcome, String), String> {
@@ -126,6 +131,15 @@ fn decode_once(bytes: &[u8]) -> Result<(DecodeOutcome, String), String> {
                 Ok(frozen) => {
                     if frozen.encode() != bytes {
                         return Err("accepted input does not re-encode canonically".into());
+                    }
+                    // Witness availability is part of the replayed
+                    // contract: a routing-only (witnesses-detached)
+                    // artifact decodes, but serving witness queries from
+                    // it must refuse with its typed code — pin that
+                    // refusal rather than letting detachment blend into
+                    // "ok".
+                    if let Err(e) = frozen.witnesses() {
+                        return Ok((DecodeOutcome::Rejected(e.code()), e.to_string()));
                     }
                     Ok((DecodeOutcome::Accepted, String::new()))
                 }

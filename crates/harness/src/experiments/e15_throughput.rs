@@ -7,9 +7,11 @@
 //! *speed*. Three read paths answer identical workloads over the same
 //! FT spanner of a geometric network:
 //!
-//! * `router` — the one-query-per-epoch [`ResilientRouter`]: every call
-//!   re-applies the failure set (the pre-PR-4 consumer path, kept as the
-//!   compatibility shim);
+//! * `router` — the one-query-per-epoch baseline: every call re-applies
+//!   the failure set and serves one pair through the primitive
+//!   [`spanner_core::serve::route_one`] reference (the
+//!   pre-PR-4 consumer behavior, reproduced without the deleted
+//!   `ResilientRouter` shim — the JSON schema keeps the `router` label);
 //! * `batch` — an [`EpochServer`] session over the shared frozen
 //!   artifact: the failure set is applied **once** per epoch, the batch
 //!   served against the interned fault view;
@@ -30,11 +32,12 @@ use crate::json::{num, obj, s, JsonValue};
 use crate::{cell_seed, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spanner_core::routing::{ResilientRouter, Route, RouteError};
+use spanner_core::routing::{Route, RouteError};
+use spanner_core::serve::route_one;
 use spanner_core::{EpochServer, FtGreedy};
 use spanner_faults::FaultSet;
 use spanner_graph::generators::random_geometric;
-use spanner_graph::NodeId;
+use spanner_graph::{DijkstraEngine, FaultMask, NodeId, PathScratch};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -202,20 +205,26 @@ pub fn sweep(ctx: &ExperimentContext, threads: usize, repeats: usize) -> Vec<Thr
         let ft = FtGreedy::new(&g, STRETCH).faults(f).run();
         let frozen = Arc::new(ft.freeze(&g));
         let witnesses = ft.witnesses().to_vec();
-        let spanner = ft.into_spanner();
         for (s_idx, scenario) in SCENARIOS.iter().enumerate() {
             for &batch in &batches {
                 let seed = cell_seed(15, (f * 16 + s_idx * 4) as u64, batch as u64);
                 let plan = plan_epochs(n, f, scenario, &witnesses, epochs, batch, seed);
 
-                // Path 1: the one-query-per-epoch router (failure set
-                // re-applied on every single call).
-                let mut router = ResilientRouter::new(spanner.clone());
+                // Path 1: the one-query-per-epoch baseline (failure set
+                // re-applied on every single call, one `route_one` per
+                // pair — what the deleted router shim used to do).
+                let mut engine = DijkstraEngine::new();
+                let mut scratch = PathScratch::new();
+                let mut mask = FaultMask::with_capacity(frozen.node_count(), frozen.edge_count());
                 let (router_secs, router_answers) = measure(repeats, &plan, |epoch| {
                     epoch
                         .pairs
                         .iter()
-                        .map(|&(u, v)| router.route(u, v, &epoch.failures))
+                        .map(|&(u, v)| {
+                            mask.reset_for(frozen.node_count(), frozen.edge_count());
+                            frozen.apply_faults(&epoch.failures, &mut mask);
+                            route_one(&frozen, &mut engine, &mut scratch, &mask, u, v)
+                        })
                         .collect()
                 });
 
@@ -243,7 +252,7 @@ pub fn sweep(ctx: &ExperimentContext, threads: usize, repeats: usize) -> Vec<Thr
                 cells.push(ThroughputCell {
                     scenario,
                     n,
-                    edges: spanner.edge_count(),
+                    edges: frozen.edge_count(),
                     f,
                     batch,
                     epochs,

@@ -9,8 +9,11 @@
 //! first tenant's masked state, not rebuild it. Three serving
 //! strategies answer identical per-tenant workloads:
 //!
-//! * `router` — the reference: one fresh [`ResilientRouter`] per
-//!   tenant, every query re-applies the tenant's failure set;
+//! * `router` — the reference: one fresh engine per tenant serving one
+//!   pair at a time through
+//!   [`spanner_core::serve::route_one`], every query
+//!   re-applying the tenant's failure set (the behavior of the deleted
+//!   `ResilientRouter` shim — the JSON schema keeps the `router` label);
 //! * `shared` — one `EpochServer`, one [`EpochHandle`] session per
 //!   tenant, tenants partitioned across `threads` OS threads
 //!   (`std::thread::scope`), each thread serving its tenants'
@@ -36,11 +39,12 @@ use crate::json::{num, obj, s, JsonValue};
 use crate::{cell_seed, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spanner_core::routing::{ResilientRouter, Route, RouteError};
+use spanner_core::routing::{Route, RouteError};
+use spanner_core::serve::route_one;
 use spanner_core::{BatchCoalescer, EpochHandle, EpochServer, FtGreedy, Ticket};
 use spanner_faults::FaultSet;
 use spanner_graph::generators::random_geometric;
-use spanner_graph::NodeId;
+use spanner_graph::{DijkstraEngine, FaultMask, NodeId, PathScratch};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -230,7 +234,6 @@ pub fn sweep(ctx: &ExperimentContext, repeats: usize) -> Vec<TenantsCell> {
     let g = random_geometric(n, radius, &mut graph_rng);
     let ft = FtGreedy::new(&g, STRETCH).faults(BUDGET).run();
     let frozen = Arc::new(ft.freeze(&g));
-    let spanner = ft.into_spanner();
 
     let mut cells = Vec::new();
     for &tenants in &tenant_counts {
@@ -240,16 +243,24 @@ pub fn sweep(ctx: &ExperimentContext, repeats: usize) -> Vec<TenantsCell> {
                 let seed = cell_seed(16, (tenants * 8 + threads) as u64, batch as u64);
                 let plan = plan_tenants(n, tenants, views, batch, seed);
 
-                // Strategy 1: the reference — a fresh router per
-                // tenant, every query re-applying the failure set.
+                // Strategy 1: the reference — a fresh engine per
+                // tenant, every query re-applying the failure set and
+                // serving one pair through `route_one`.
                 let (router_secs, router_answers) = measure(repeats, || {
                     plan.iter()
                         .map(|tenant| {
-                            let mut router = ResilientRouter::new(spanner.clone());
+                            let mut engine = DijkstraEngine::new();
+                            let mut scratch = PathScratch::new();
+                            let mut mask =
+                                FaultMask::with_capacity(frozen.node_count(), frozen.edge_count());
                             tenant
                                 .pairs
                                 .iter()
-                                .map(|&(u, v)| router.route(u, v, &tenant.failures))
+                                .map(|&(u, v)| {
+                                    mask.reset_for(frozen.node_count(), frozen.edge_count());
+                                    frozen.apply_faults(&tenant.failures, &mut mask);
+                                    route_one(&frozen, &mut engine, &mut scratch, &mask, u, v)
+                                })
                                 .collect()
                         })
                         .collect()
@@ -284,7 +295,7 @@ pub fn sweep(ctx: &ExperimentContext, repeats: usize) -> Vec<TenantsCell> {
                 let queries = tenants * batch;
                 cells.push(TenantsCell {
                     n,
-                    edges: spanner.edge_count(),
+                    edges: frozen.edge_count(),
                     tenants,
                     views,
                     threads,

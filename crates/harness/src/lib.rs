@@ -43,6 +43,15 @@
 //! cargo run --release -p spanner-harness --bin querybench -- --check BENCH_4.json
 //! ```
 //!
+//! Track the cold-start trajectory (v2 in-place `open` vs v1 full
+//! `decode`, open-to-first-route, behind the committed `BENCH_8.json`)
+//! with the `coldbench` binary:
+//!
+//! ```text
+//! cargo run --release -p spanner-harness --bin coldbench -- --out BENCH_8.json
+//! cargo run --release -p spanner-harness --bin coldbench -- --check BENCH_8.json
+//! ```
+//!
 //! Persist, inspect, and serve frozen spanner artifacts (the binary
 //! documents specified in `docs/ARTIFACT_FORMAT.md`) with the
 //! `spanner-artifact` binary — build once, ship the file, serve without
@@ -66,6 +75,7 @@ mod sweep;
 mod table;
 
 pub mod cli;
+pub mod coldstart;
 pub mod corpus;
 pub mod experiments;
 pub mod json;

@@ -8,13 +8,15 @@
 //! and an adversarial replay of the construction's own witness fault
 //! sets — and finally serve query traffic from the frozen artifact
 //! through a shared `EpochServer`: one epoch session per outage,
-//! batches answered bit-identically to the one-query-at-a-time router.
+//! batches answered bit-identically to the primitive one-pair-at-a-time
+//! `route_one` reference.
 //!
 //! ```text
 //! cargo run --release --example network_resilience
 //! ```
 
 use std::sync::Arc;
+use vft_spanner::graph::{DijkstraEngine, PathScratch};
 use vft_spanner::prelude::*;
 
 fn main() {
@@ -114,8 +116,8 @@ fn main() {
     // works from the *loaded* copy — exactly what a replica that never
     // ran FT-greedy would do. Each witness outage becomes one epoch
     // session of a shared EpochServer; whole batches are answered
-    // identically to the one-query-at-a-time router, sequential or
-    // pooled over the server's worker pool.
+    // identically to the one-pair-at-a-time `route_one` reference,
+    // sequential or pooled over the server's worker pool.
     let bytes = ft.freeze(&g).encode();
     // Per-process filename: concurrent runs (or a stale file owned by
     // another user of a shared temp dir) must not collide.
@@ -136,12 +138,13 @@ fn main() {
         bytes.len()
     );
     let server = EpochServer::new(Arc::clone(&artifact)).with_threads(4);
-    let mut router = ResilientRouter::new(ft.spanner().clone());
+    let (mut engine, mut scratch) = (DijkstraEngine::new(), PathScratch::new());
     let mut served = 0usize;
     let mut epochs = 0usize;
     let mut pair_rng = StdRng::seed_from_u64(99);
     for witness in artifact
         .witnesses()
+        .expect("a freshly frozen artifact carries its witnesses")
         .iter()
         .filter(|w| !w.is_empty())
         .take(8)
@@ -160,12 +163,14 @@ fn main() {
             .collect();
         let batched = session.route_batch(&pairs);
         let pooled = session.par_route_batch(&pairs);
+        let mut mask = FaultMask::with_capacity(artifact.node_count(), artifact.edge_count());
+        artifact.apply_faults(witness, &mut mask);
         let reference: Vec<_> = pairs
             .iter()
-            .map(|&(u, v)| router.route(u, v, witness))
+            .map(|&(u, v)| route_one(&artifact, &mut engine, &mut scratch, &mask, u, v))
             .collect();
-        assert_eq!(batched, reference, "epoch batch diverged from the router");
-        assert_eq!(pooled, reference, "pooled batch diverged from the router");
+        assert_eq!(batched, reference, "epoch batch diverged from route_one");
+        assert_eq!(pooled, reference, "pooled batch diverged from route_one");
         assert!(
             batched.iter().all(|a| a.is_ok()),
             "an in-budget witness epoch must serve every live pair"
@@ -174,6 +179,6 @@ fn main() {
     }
     println!();
     println!("loaded-artifact serving: {served} queries over {epochs} witness epochs, batched and");
-    println!("pooled answers bit-identical to the single-query router (asserted) — served");
+    println!("pooled answers bit-identical to the single-pair reference (asserted) — served");
     println!("entirely from the reloaded file, without re-running the construction.");
 }

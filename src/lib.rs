@@ -118,6 +118,14 @@
 //! let mut there = EpochServer::new(loaded).epoch(&outage);
 //! assert_eq!(here.route_batch(&pairs), there.route_batch(&pairs));
 //!
+//! // Zero-copy replicas: re-lay the artifact out as v2 once, then
+//! // open it **in place** — the adjacency serves straight out of the
+//! // (mapped or aligned) buffer, nothing is decoded up front.
+//! let v2 = FrozenSpanner::decode(&bytes)?.to_v2().encode();
+//! let mapped = FrozenSpanner::open(SharedBytes::copy_aligned(&v2))?;
+//! let mut zero_copy = EpochServer::from_mapped(mapped).epoch(&outage);
+//! assert_eq!(zero_copy.route_batch(&pairs), here.route_batch(&pairs));
+//!
 //! // Hostile bytes are rejected with a typed error, never a panic.
 //! assert!(FrozenSpanner::decode(&bytes[..bytes.len() / 2]).is_err());
 //! # Ok::<(), vft_spanner::core::ArtifactError>(())
@@ -138,7 +146,8 @@ pub mod prelude {
     pub use spanner_core::metrics::{spanner_metrics, SpannerMetrics};
     pub use spanner_core::report::ConstructionReport;
     pub use spanner_core::report::ScenarioReport;
-    pub use spanner_core::routing::{ResilientRouter, Route, RouteError};
+    pub use spanner_core::routing::{stretch_against, Route, RouteError};
+    pub use spanner_core::serve::route_one;
     pub use spanner_core::simulation::{
         run_scenario, run_scripted_scenario, simulate, AdversarialWitnessReplay, BurstCascade,
         ContractEvent, CorrelatedRegional, FailureProcess, IndependentBernoulli, ScenarioConfig,
@@ -150,8 +159,8 @@ pub mod prelude {
     };
     pub use spanner_core::{
         greedy_spanner, peel, verify_blocking_set, BatchCoalescer, BlockingSet, EpochDelta,
-        EpochHandle, EpochServer, EpochView, FrozenSpanner, FtGreedy, FtSpanner, OracleKind,
-        QueryEngine, ServerStats, Spanner, Ticket,
+        EpochHandle, EpochServer, EpochView, FrozenSpanner, FtGreedy, FtSpanner, MappedSpanner,
+        OracleKind, ServerStats, Spanner, Ticket,
     };
     pub use spanner_faults::{
         BranchingOracle, ExhaustiveOracle, FaultModel, FaultOracle, FaultSet,
@@ -159,7 +168,7 @@ pub mod prelude {
     };
     pub use spanner_graph::{
         bfs, connectivity, dijkstra, generators, girth, mst, subgraph, transform, Dist, EdgeId,
-        FaultMask, Graph, NodeId, Weight,
+        FaultMask, Graph, NodeId, SharedBytes, Weight,
     };
 }
 

@@ -7,6 +7,7 @@
 //! public entry path can't rot even if the doctest is skipped.
 
 use std::sync::Arc;
+use vft_spanner::graph::{DijkstraEngine, PathScratch};
 use vft_spanner::prelude::*;
 
 #[test]
@@ -34,10 +35,10 @@ fn facade_quickstart_end_to_end() {
 
     // Freeze and serve: one immutable artifact, one shared server, two
     // tenant sessions under the same fault view (interned once), each
-    // answered identically to the one-at-a-time router.
+    // answered identically to the primitive one-pair-at-a-time
+    // reference (`route_one`).
     let artifact = Arc::new(ft.freeze(&g));
     let server = EpochServer::new(Arc::clone(&artifact)).with_threads(2);
-    let mut router = ResilientRouter::new(ft.into_spanner());
     let failures = FaultSet::vertices([NodeId::new(3)]);
     let pairs: Vec<(NodeId, NodeId)> = (0..g.node_count())
         .filter(|v| *v != 3)
@@ -52,12 +53,15 @@ fn facade_quickstart_end_to_end() {
     );
     let batched = tenant_a.route_batch(&pairs);
     let pooled = tenant_b.par_route_batch(&pairs);
+    let mut mask = FaultMask::with_capacity(artifact.node_count(), artifact.edge_count());
+    artifact.apply_faults(&failures, &mut mask);
+    let (mut engine, mut scratch) = (DijkstraEngine::new(), PathScratch::new());
     let one_by_one: Vec<_> = pairs
         .iter()
-        .map(|&(u, v)| router.route(u, v, &failures))
+        .map(|&(u, v)| route_one(&artifact, &mut engine, &mut scratch, &mask, u, v))
         .collect();
-    assert_eq!(batched, one_by_one, "epoch batch must match the router");
-    assert_eq!(pooled, one_by_one, "pooled batch must match the router");
+    assert_eq!(batched, one_by_one, "epoch batch must match the reference");
+    assert_eq!(pooled, one_by_one, "pooled batch must match the reference");
     assert!(
         batched.iter().all(|a| a.is_ok()),
         "a 1-FT spanner serves every live pair under one failure"

@@ -1,0 +1,280 @@
+//! Minimal read-only `mmap(2)` wrapper — the page-cache-backed byte
+//! provider for zero-copy artifact serving.
+//!
+//! This is a vendored, dependency-free crate (no `libc`): the two
+//! syscalls it needs are declared directly as C FFI. It deliberately
+//! implements only the subset the `vft-spanner` workspace uses — map a
+//! whole file read-only and expose it as `&[u8]`:
+//!
+//! * **Read-only, private.** Mappings are `PROT_READ` + `MAP_PRIVATE`;
+//!   there is no way to write through a [`Mmap`], which is what makes
+//!   sharing it across threads sound.
+//! * **Page-aligned.** The kernel returns page-aligned addresses, so a
+//!   mapping always satisfies the 8-byte base alignment the in-place
+//!   artifact readers require.
+//! * **Portable fallback is the caller's job.** [`Mmap::supported`]
+//!   reports whether this platform has the syscall; when it does not
+//!   (or a map attempt fails), callers fall back to reading the file
+//!   into an aligned heap buffer. Runtime selection, not compile-time.
+//!
+//! The truncation caveat of file-backed mappings applies: if another
+//! process truncates the file while it is mapped, touching the vanished
+//! pages faults. The artifact pipeline treats artifacts as immutable
+//! once written (see `docs/ARTIFACT_FORMAT.md`), and every consumer
+//! checksums the full byte range before trusting it.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! let file = std::fs::File::open("spanner.vft")?;
+//! let map = mmapio::Mmap::map_file(&file)?;
+//! let bytes: &[u8] = map.as_slice();
+//! # let _ = bytes;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+
+#[cfg(unix)]
+mod sys {
+    //! Direct FFI to `mmap(2)`/`munmap(2)` — the only unsafe code in the
+    //! workspace, confined to this module.
+
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// An owned, non-empty, read-only private mapping.
+    pub(crate) struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable through
+    // this handle for its whole lifetime — and the pointer is owned
+    // exclusively by this struct, so sharing shared references across
+    // threads is sound.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps the first `len` bytes of `file` read-only. `len` must be
+        /// nonzero (POSIX rejects zero-length mappings).
+        pub(crate) fn map(file: &File, len: usize) -> io::Result<Mapping> {
+            debug_assert!(len > 0, "zero-length mappings are the caller's case");
+            // SAFETY: null hint, a validated nonzero length, constant
+            // read-only flags, and a file descriptor that outlives the
+            // call; the result is checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live mapping of exactly `len` readable
+            // bytes until `drop`, and nothing writes through it.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: unmapping the exact range this struct mapped;
+            // after drop no slice borrowed from it can exist.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped(sys::Mapping),
+    /// Zero-length files (POSIX rejects zero-length mappings) — and the
+    /// only inhabitant on platforms without `mmap(2)`.
+    Empty,
+}
+
+/// A read-only memory mapping of a whole file.
+///
+/// Dereferences to `&[u8]`; unmapped on drop. See the module docs for
+/// the safety and alignment contract.
+pub struct Mmap {
+    inner: Inner,
+}
+
+impl Mmap {
+    /// Whether this platform supports `mmap(2)`. When `false`, callers
+    /// should read the file into an aligned buffer instead.
+    pub const fn supported() -> bool {
+        cfg!(unix)
+    }
+
+    /// Maps `file` in its entirety, read-only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata and `mmap(2)` failures; on platforms without
+    /// the syscall, returns [`io::ErrorKind::Unsupported`] for nonempty
+    /// files.
+    pub fn map_file(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file exceeds the address space",
+            ));
+        }
+        if len == 0 {
+            return Ok(Mmap {
+                inner: Inner::Empty,
+            });
+        }
+        #[cfg(unix)]
+        {
+            Ok(Mmap {
+                inner: Inner::Mapped(sys::Mapping::map(file, len as usize)?),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "mmap(2) is unavailable on this platform",
+            ))
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped(m) => m.as_slice(),
+            Inner::Empty => &[],
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!("mmapio-test-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).expect("create temp file");
+        f.write_all(contents).expect("write temp file");
+        drop(f);
+        (path.clone(), File::open(&path).expect("reopen temp file"))
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let (path, file) = temp_file("contents", &data);
+        let map = Mmap::map_file(&file).expect("map");
+        assert_eq!(map.as_slice(), &data[..]);
+        assert_eq!(map.len(), data.len());
+        assert!(!map.is_empty());
+        drop(map);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mapping_base_is_well_aligned() {
+        let (path, file) = temp_file("align", &[7u8; 64]);
+        let map = Mmap::map_file(&file).expect("map");
+        // Page alignment implies (much more than) the 8-byte base
+        // alignment the in-place artifact readers need.
+        assert_eq!(map.as_slice().as_ptr() as usize % 8, 0);
+        drop(map);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let (path, file) = temp_file("empty", &[]);
+        let map = Mmap::map_file(&file).expect("map empty");
+        assert!(map.is_empty());
+        assert_eq!(map.as_slice(), &[] as &[u8]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn supported_matches_platform() {
+        assert_eq!(Mmap::supported(), cfg!(unix));
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        fn check<T: Send + Sync>() {}
+        check::<Mmap>();
+        let (path, file) = temp_file("threads", b"shared across threads");
+        let map = std::sync::Arc::new(Mmap::map_file(&file).expect("map"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.as_slice().to_vec())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"shared across threads");
+        }
+        drop(map);
+        std::fs::remove_file(path).ok();
+    }
+}
