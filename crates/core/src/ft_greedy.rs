@@ -200,6 +200,24 @@ impl<'a> FtGreedy<'a> {
     /// (the pre-PR-2 implementation spawned threads per query).
     fn run_pooled(&self, threads: usize) -> FtSpanner {
         let mut oracle = ParallelBranchingOracle::new(threads);
+        self.run_pooled_with(&mut oracle)
+    }
+
+    /// The `Parallel` path of [`FtGreedy::run`] over a **caller-owned**
+    /// pooled oracle, so one persistent worker pool (and its scratch)
+    /// can serve many constructions. `run()` with
+    /// [`OracleKind::Parallel`] used to spawn — and join — a fresh pool
+    /// per construction; partitioned builds
+    /// ([`crate::partition`]) run every shard and the boundary stitch
+    /// through a single oracle instead, and
+    /// [`spanner_faults::OracleStats::pool_spawns`] proves it.
+    ///
+    /// The shared view is reset to this run's graph; the oracle's
+    /// cumulative work counters keep accumulating across runs (reset
+    /// them with [`spanner_faults::FaultOracle::reset_stats`] if
+    /// per-run numbers are wanted). The returned
+    /// [`FtSpanner::stats`] is the cumulative snapshot at finish.
+    pub fn run_pooled_with(&self, oracle: &mut ParallelBranchingOracle) -> FtSpanner {
         oracle.view_reset(self.graph.node_count());
         // During the run the oracle's shared view *is* the growing
         // spanner; the `Spanner` (with its own CSR mirror) is assembled
@@ -242,6 +260,25 @@ pub struct FtSpanner {
 }
 
 impl FtSpanner {
+    /// Assembles an `FtSpanner` from its parts; the partitioned
+    /// construction ([`crate::partition`]) builds its stitched union
+    /// result through this.
+    pub(crate) fn from_parts(
+        spanner: Spanner,
+        witnesses: Vec<FaultSet>,
+        model: FaultModel,
+        faults: usize,
+        stats: OracleStats,
+    ) -> Self {
+        FtSpanner {
+            spanner,
+            witnesses,
+            model,
+            faults,
+            stats,
+        }
+    }
+
     /// The constructed spanner.
     pub fn spanner(&self) -> &Spanner {
         &self.spanner

@@ -60,6 +60,7 @@ mod spanner;
 pub mod baselines;
 pub mod frozen;
 pub mod metrics;
+pub mod partition;
 pub mod report;
 pub mod routing;
 pub mod serve;
@@ -70,6 +71,7 @@ pub use blocking::{verify_blocking_set, BlockingReport, BlockingSet};
 pub use frozen::{ArtifactError, FrozenSpanner, MappedSpanner};
 pub use ft_greedy::{FtGreedy, FtSpanner, OracleKind};
 pub use greedy::{greedy_spanner, greedy_spanner_masked};
+pub use partition::{PartitionReport, PartitionedFtGreedy, PartitionedSpanner};
 pub use peeling::{expected_yield, peel, PeelOutcome};
 pub use serve::{
     BatchCoalescer, EpochDelta, EpochHandle, EpochServer, EpochView, ServerStats, Ticket,

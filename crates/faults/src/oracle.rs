@@ -45,6 +45,11 @@ pub struct OracleStats {
     /// query on a graph of a given size this stays flat — the regression
     /// tests assert exactly that.
     pub scratch_rebuilds: u64,
+    /// Number of times a persistent worker pool was spawned. A pooled
+    /// oracle reused across constructions (e.g. every shard of a
+    /// partitioned build) spawns exactly once; the frontier bench
+    /// asserts that.
+    pub pool_spawns: u64,
 }
 
 impl OracleStats {
@@ -56,6 +61,7 @@ impl OracleStats {
         self.memo_hits += other.memo_hits;
         self.cut_shortcuts += other.cut_shortcuts;
         self.scratch_rebuilds += other.scratch_rebuilds;
+        self.pool_spawns += other.pool_spawns;
     }
 }
 
@@ -63,13 +69,14 @@ impl fmt::Display for OracleStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes={} sp-queries={} packing-prunes={} memo-hits={} cut-shortcuts={} scratch-rebuilds={}",
+            "nodes={} sp-queries={} packing-prunes={} memo-hits={} cut-shortcuts={} scratch-rebuilds={} pool-spawns={}",
             self.nodes_explored,
             self.shortest_path_queries,
             self.packing_prunes,
             self.memo_hits,
             self.cut_shortcuts,
-            self.scratch_rebuilds
+            self.scratch_rebuilds,
+            self.pool_spawns
         )
     }
 }
@@ -103,6 +110,7 @@ mod tests {
             memo_hits: 4,
             cut_shortcuts: 5,
             scratch_rebuilds: 6,
+            pool_spawns: 7,
         };
         a.absorb(OracleStats {
             nodes_explored: 10,
@@ -111,6 +119,7 @@ mod tests {
             memo_hits: 40,
             cut_shortcuts: 50,
             scratch_rebuilds: 60,
+            pool_spawns: 70,
         });
         assert_eq!(a.nodes_explored, 11);
         assert_eq!(a.shortest_path_queries, 22);
@@ -118,6 +127,7 @@ mod tests {
         assert_eq!(a.memo_hits, 44);
         assert_eq!(a.cut_shortcuts, 55);
         assert_eq!(a.scratch_rebuilds, 66);
+        assert_eq!(a.pool_spawns, 77);
     }
 
     #[test]

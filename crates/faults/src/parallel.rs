@@ -147,6 +147,21 @@ impl ParallelBranchingOracle {
         self
     }
 
+    /// Enables or disables the *root-level* min-cut shortcut for
+    /// subsequent queries.
+    ///
+    /// Unlike [`ParallelBranchingOracle::with_config`] this is safe after
+    /// the pool has spawned: workers never run the root shortcut (they
+    /// bake `use_cut_shortcut: false` at spawn), so the flag only affects
+    /// the root phase executed on the calling thread. All configurations
+    /// are exact; the shortcut is a performance trade. Partitioned
+    /// construction turns it off for the boundary stitch, where the
+    /// shortcut's unbounded whole-graph packing probes dominate the cost
+    /// of the (ball-bounded) search they would prune.
+    pub fn set_root_cut_shortcut(&mut self, enabled: bool) {
+        self.config.use_cut_shortcut = enabled;
+    }
+
     /// Resets the shared spanner view to `node_count` isolated vertices.
     /// FT-greedy calls this once per construction, then grows the view
     /// with [`ParallelBranchingOracle::view_push_edge`].
@@ -324,6 +339,7 @@ impl ParallelBranchingOracle {
         if self.pool.is_some() {
             return;
         }
+        self.stats.pool_spawns += 1;
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let (result_tx, result_rx) = mpsc::channel::<JobResult>();
         let job_rx = Arc::new(Mutex::new(job_rx));

@@ -68,6 +68,7 @@ pub mod generators;
 pub mod girth;
 pub mod io;
 pub mod mst;
+pub mod partition;
 pub mod subgraph;
 pub mod transform;
 

@@ -1,0 +1,272 @@
+//! Vertex-set partitioning for sharded spanner construction.
+//!
+//! [`bfs_balls`] grows BFS balls over any [`GraphView`]: seeds are
+//! visited in a deterministic seeded shuffle, each unassigned seed
+//! starts a new shard, and the shard absorbs unassigned vertices in
+//! breadth-first order until it reaches the target size. The result is
+//! a [`Partition`] — a total, locality-preserving assignment whose
+//! shards are connected in their induced subgraphs (every non-seed
+//! member was reached through an already-assigned neighbor).
+//!
+//! The partitioned FT-greedy construction (`spanner_core::partition`)
+//! builds a fault tolerant spanner per shard and then stitches across
+//! shard boundaries; [`Partition::boundary`] and
+//! [`Partition::cross_edge_count`] expose the cut structure that stitch
+//! pass works from.
+//!
+//! Everything here is deterministic: the same view, target size, and
+//! seed produce the same partition on every platform (the shuffle uses
+//! a fixed splitmix64 stream, not the `rand` crate).
+
+use crate::adjacency::GraphView;
+use crate::bitset::BitSet;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// A total assignment of a graph's vertices to shards.
+///
+/// Produced by [`bfs_balls`]. Shard ids are dense (`0..shard_count()`)
+/// and every vertex belongs to exactly one shard.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Shard id per vertex, indexed by `NodeId::index()`.
+    shard_of: Vec<u32>,
+    /// Member lists per shard, in the order vertices were absorbed
+    /// (seed first, then breadth-first).
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of vertices partitioned.
+    pub fn node_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard `node` belongs to.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of[node.index()] as usize
+    }
+
+    /// The members of `shard`, seed first then breadth-first order.
+    pub fn members(&self, shard: usize) -> &[NodeId] {
+        &self.members[shard]
+    }
+
+    /// Iterates over all shards' member lists.
+    pub fn shards(&self) -> impl ExactSizeIterator<Item = &[NodeId]> {
+        self.members.iter().map(Vec::as_slice)
+    }
+
+    /// Size of the largest shard.
+    pub fn largest_shard(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The boundary set: vertices with at least one neighbor in a
+    /// different shard (computed from `view`'s edge list).
+    pub fn boundary<V: GraphView>(&self, view: &V) -> BitSet {
+        let mut boundary = BitSet::new(self.shard_of.len());
+        for e in 0..view.edge_count() {
+            let (u, v) = view.edge_endpoints(crate::ids::EdgeId::new(e));
+            if self.shard_of[u.index()] != self.shard_of[v.index()] {
+                boundary.insert(u.index());
+                boundary.insert(v.index());
+            }
+        }
+        boundary
+    }
+
+    /// Number of edges of `view` whose endpoints lie in different shards.
+    pub fn cross_edge_count<V: GraphView>(&self, view: &V) -> usize {
+        (0..view.edge_count())
+            .filter(|&e| {
+                let (u, v) = view.edge_endpoints(crate::ids::EdgeId::new(e));
+                self.shard_of[u.index()] != self.shard_of[v.index()]
+            })
+            .count()
+    }
+}
+
+/// The splitmix64 step: a fixed, platform-independent pseudo-random
+/// stream for the seed shuffle (no `rand` dependency, so partitions are
+/// reproducible from the `(target, seed)` pair alone).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Partitions `view`'s vertices into BFS balls of at most `target`
+/// vertices each.
+///
+/// Seeds are drawn in a deterministic shuffle of the vertex order
+/// driven by `seed`; each unassigned seed grows a ball breadth-first
+/// over unassigned vertices until it holds `target` members or its
+/// frontier dies out (so balls never straddle connected components,
+/// and every shard is connected in its induced subgraph). `target` is
+/// clamped to at least 1; isolated vertices become singleton shards.
+pub fn bfs_balls<V: GraphView>(view: &V, target: usize, seed: u64) -> Partition {
+    let n = view.node_count();
+    let target = target.max(1);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut state = seed ^ 0x6a09_e667_f3bc_c908; // offset so seed 0 still mixes
+    for i in (1..order.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut shard_of = vec![u32::MAX; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in &order {
+        let s = s as usize;
+        if shard_of[s] != u32::MAX {
+            continue;
+        }
+        let id = members.len() as u32;
+        shard_of[s] = id;
+        let mut ball = vec![NodeId::new(s)];
+        queue.clear();
+        queue.push_back(s);
+        while ball.len() < target {
+            let Some(u) = queue.pop_front() else { break };
+            view.for_each_neighbor(NodeId::new(u), |nb, _, _| {
+                if ball.len() < target && shard_of[nb.index()] == u32::MAX {
+                    shard_of[nb.index()] = id;
+                    ball.push(nb);
+                    queue.push_back(nb.index());
+                }
+            });
+        }
+        members.push(ball);
+    }
+    Partition { shard_of, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, grid};
+    use crate::{Graph, UnionFind};
+
+    fn check_total(p: &Partition, n: usize) {
+        assert_eq!(p.node_count(), n);
+        let mut counted = 0;
+        for (i, ball) in p.shards().enumerate() {
+            assert!(!ball.is_empty());
+            for &v in ball {
+                assert_eq!(p.shard_of(v), i);
+            }
+            counted += ball.len();
+        }
+        assert_eq!(counted, n, "partition must be total");
+    }
+
+    #[test]
+    fn balls_cover_and_respect_target() {
+        let g = grid(8, 8);
+        for target in [1usize, 4, 16, 64, 1000] {
+            let p = bfs_balls(&g, target, 7);
+            check_total(&p, 64);
+            assert!(p.largest_shard() <= target.max(1));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = grid(6, 7);
+        let a = bfs_balls(&g, 8, 42);
+        let b = bfs_balls(&g, 8, 42);
+        assert_eq!(a.shard_of, b.shard_of);
+        let c = bfs_balls(&g, 8, 43);
+        // A different seed is allowed to (and here does) shuffle seeds
+        // differently.
+        assert_ne!(a.shard_of, c.shard_of);
+    }
+
+    #[test]
+    fn shards_are_connected_in_induced_subgraph() {
+        let g = grid(9, 5);
+        let p = bfs_balls(&g, 7, 3);
+        // Union-find restricted to intra-shard edges: every shard must
+        // collapse to one component.
+        let mut uf = UnionFind::new(g.node_count());
+        for (_, e) in g.edges() {
+            if p.shard_of(e.u()) == p.shard_of(e.v()) {
+                uf.union(e.u().index(), e.v().index());
+            }
+        }
+        for ball in p.shards() {
+            let root = uf.find(ball[0].index());
+            for &v in ball {
+                assert_eq!(uf.find(v.index()), root);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        // Two 3-cliques with no connection: balls cannot straddle.
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge_unchecked(
+                NodeId::new(u),
+                NodeId::new(v),
+                crate::weight::Weight::new(1).unwrap(),
+            );
+        }
+        let p = bfs_balls(&g, 6, 11);
+        check_total(&p, 6);
+        for ball in p.shards() {
+            let side = ball[0].index() / 3;
+            assert!(ball.iter().all(|v| v.index() / 3 == side));
+        }
+    }
+
+    #[test]
+    fn boundary_and_cross_edges_match() {
+        let g = grid(6, 6);
+        let p = bfs_balls(&g, 9, 5);
+        let boundary = p.boundary(&g);
+        let mut cross = 0;
+        for (_, e) in g.edges() {
+            if p.shard_of(e.u()) != p.shard_of(e.v()) {
+                cross += 1;
+                assert!(boundary.contains(e.u().index()));
+                assert!(boundary.contains(e.v().index()));
+            }
+        }
+        assert_eq!(cross, p.cross_edge_count(&g));
+        // A 6x6 grid in 9-vertex balls must have some cut.
+        assert!(cross > 0);
+        // And a non-boundary interior vertex exists for this layout
+        // only if some ball fully surrounds one; just sanity-check the
+        // boundary is not everything when shards are large.
+        let p1 = bfs_balls(&g, 36, 5);
+        assert_eq!(p1.cross_edge_count(&g), 0);
+        assert!(p1.boundary(&g).is_empty());
+    }
+
+    #[test]
+    fn singleton_target_gives_singletons() {
+        let g = complete(5);
+        let p = bfs_balls(&g, 1, 0);
+        assert_eq!(p.shard_count(), 5);
+        assert!(p.shards().all(|b| b.len() == 1));
+        assert_eq!(p.cross_edge_count(&g), g.edge_count());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        let p = bfs_balls(&g, 4, 9);
+        assert_eq!(p.shard_count(), 0);
+        assert_eq!(p.node_count(), 0);
+    }
+}

@@ -138,11 +138,14 @@ fn run_check(path: &PathBuf) -> Result<(), String> {
         .get("records")
         .and_then(json::JsonValue::as_array)
         .expect("checked above");
+    let schema = doc
+        .get("schema")
+        .and_then(json::JsonValue::as_str)
+        .expect("checked above");
     println!(
-        "{}: ok ({} records, schema {})",
+        "{}: ok ({} records, schema {schema})",
         path.display(),
         records.len(),
-        coldstart::SCHEMA
     );
     Ok(())
 }

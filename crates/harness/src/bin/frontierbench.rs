@@ -1,0 +1,168 @@
+//! `frontierbench` — the construction scale frontier, as a committed
+//! artifact (the build-side analogue of `coldbench`).
+//!
+//! Usage:
+//!
+//! ```text
+//! frontierbench [--smoke | --quick | --full] [--threads N] [--repeats R] [--out PATH]
+//! frontierbench --check PATH
+//! ```
+//!
+//! Builds f-VFT spanners of random geometric networks of increasing
+//! `n`, through both construction paths: the partitioned sharded
+//! FT-greedy with a boundary stitch (`spanner_core::partition`, with
+//! per-phase partition/build/stitch wall times) and — up to a per-scale
+//! cutoff — the monolithic pooled FT-greedy it replaces at the
+//! frontier. Writes one JSON document (`BENCH_9.json` by default,
+//! schema `frontier-1`) **after** asserting the shared worker pool
+//! spawned exactly once per construction and auditing the smallest
+//! cell's partitioned output against the stretch contract under
+//! sampled fault sets.
+//!
+//! `--check` re-reads any such artifact with the strict parser in
+//! [`spanner_harness::json`] and validates the schema, including — for
+//! full-scale documents, i.e. the committed `BENCH_9.json` — the
+//! committed gates: a partitioned build at `n ≥ 10^4`, a ≥4x speedup
+//! over monolithic at the largest cell both finish, and ≤1.25x size
+//! inflation at every overlapping cell. CI's bench-smoke job runs a
+//! smoke emission plus that check so the construction frontier cannot
+//! silently rot.
+
+use spanner_harness::cli::{self, Parsed};
+use spanner_harness::experiments::Scale;
+use spanner_harness::frontier;
+use spanner_harness::json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scale: Scale,
+    out: PathBuf,
+    threads: usize,
+    repeats: usize,
+    check: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: frontierbench [--smoke|--quick|--full] [--threads N] [--repeats R] [--out PATH]\n       frontierbench --check PATH";
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    }
+}
+
+fn parse_args() -> Result<Parsed<Args>, String> {
+    let mut args = Args {
+        scale: Scale::Full,
+        out: PathBuf::from("BENCH_9.json"),
+        threads: 0, // 0 = available parallelism
+        repeats: 0, // 0 = scale default
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.scale = Scale::Smoke,
+            "--quick" => args.scale = Scale::Quick,
+            "--full" => args.scale = Scale::Full,
+            "--out" => args.out = PathBuf::from(cli::value_for(&mut it, "--out")?),
+            "--check" => {
+                args.check = Some(PathBuf::from(cli::value_for(&mut it, "--check")?));
+            }
+            "--threads" => args.threads = cli::parsed_value(&mut it, "--threads")?,
+            "--repeats" => args.repeats = cli::parsed_value(&mut it, "--repeats")?,
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.repeats == 0 {
+        args.repeats = match args.scale {
+            Scale::Smoke => 1,
+            Scale::Quick => 2,
+            Scale::Full => 2,
+        };
+    }
+    if args.threads == 0 {
+        args.threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    }
+    Ok(Parsed::Run(args))
+}
+
+fn run_bench(args: &Args) -> Result<(), String> {
+    println!(
+        "frontierbench: scale={} repeats={} threads={} -> {}",
+        scale_name(args.scale),
+        args.repeats,
+        args.threads,
+        args.out.display()
+    );
+    // sweep() itself fails on a pool-reuse or contract-audit violation,
+    // so a violating run never reaches the write below.
+    let cells = frontier::sweep(args.scale, args.repeats, args.threads)?;
+    for cell in &cells {
+        let p = &cell.partitioned;
+        let mono = match cell.monolithic {
+            Some(m) => format!(
+                "mono {:>9.1} ms  speedup {:>6.2}x  inflation {:.4}x",
+                m.wall_secs * 1e3,
+                cell.speedup().expect("both ran"),
+                cell.inflation().expect("both ran"),
+            ),
+            None => "mono beyond cutoff".to_string(),
+        };
+        println!(
+            "  n={:<6} m={:<6} shards={:<3} part {:>8.1} ms (split {:>6.1} + build {:>8.1} + stitch {:>7.1})  edges={:<6} | {}",
+            cell.spec.n,
+            cell.m,
+            p.shards,
+            p.total_secs() * 1e3,
+            p.partition_secs * 1e3,
+            p.build_secs * 1e3,
+            p.stitch_secs * 1e3,
+            p.edges_kept,
+            mono,
+        );
+    }
+    let doc = frontier::artifact(scale_name(args.scale), args.repeats, args.threads, &cells);
+    let text = format!("{doc}\n");
+    // Self-check before writing: the artifact must parse with the same
+    // strict parser CI uses and satisfy its own schema (the full-scale
+    // gates included — a regression fails here, before anything lands).
+    let parsed =
+        json::parse(&text).map_err(|e| format!("internal error: emitted invalid JSON: {e}"))?;
+    frontier::check_artifact(&parsed)
+        .map_err(|e| format!("emitted artifact fails its own schema: {e}"))?;
+    std::fs::write(&args.out, &text)
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    println!("wrote {}", args.out.display());
+    Ok(())
+}
+
+fn run_check(path: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    frontier::check_artifact(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    let records = doc
+        .get("records")
+        .and_then(json::JsonValue::as_array)
+        .expect("checked above");
+    println!(
+        "{}: ok ({} records, schema {})",
+        path.display(),
+        records.len(),
+        frontier::SCHEMA
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    cli::run_main("frontierbench", USAGE, parse_args, |args| {
+        match &args.check {
+            Some(path) => run_check(path),
+            None => run_bench(&args),
+        }
+    })
+}

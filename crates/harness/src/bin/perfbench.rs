@@ -34,8 +34,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-/// The artifact schema tag; bump when the layout changes.
-const SCHEMA: &str = "vft-spanner/bench-2";
+/// The artifact schema tag; bump when the layout changes. `bench-3`
+/// added the required `host` block (logical CPUs, rustc, OS/arch) so
+/// artifacts are comparable across machines.
+const SCHEMA: &str = "vft-spanner/bench-3";
+
+/// The pre-host tag `--check` still accepts, so committed artifacts
+/// from earlier PRs keep validating (`host` optional there).
+const LEGACY_SCHEMA: &str = "vft-spanner/bench-2";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Scale {
@@ -177,6 +183,7 @@ fn stats_json(stats: OracleStats) -> JsonValue {
         ("memo_hits", num(stats.memo_hits as f64)),
         ("cut_shortcuts", num(stats.cut_shortcuts as f64)),
         ("scratch_rebuilds", num(stats.scratch_rebuilds as f64)),
+        ("pool_spawns", num(stats.pool_spawns as f64)),
     ])
 }
 
@@ -270,6 +277,7 @@ fn run_bench(args: &Args) -> Result<(), String> {
             "generated_by",
             s("cargo run --release -p spanner-harness --bin perfbench"),
         ),
+        ("host", spanner_harness::host::host_json()),
         ("scale", s(args.scale.name())),
         ("stretch", num(3.0)),
         ("repeats", num(args.repeats as f64)),
@@ -287,7 +295,8 @@ fn run_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `--check`: parse the artifact and verify the bench-2 schema shape.
+/// `--check`: parse the artifact and verify the bench-3 schema shape
+/// (the legacy bench-2 tag stays accepted, without the host block).
 fn run_check(path: &PathBuf) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -296,8 +305,13 @@ fn run_check(path: &PathBuf) -> Result<(), String> {
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or("missing schema tag")?;
-    if schema != SCHEMA {
-        return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+    if schema != SCHEMA && schema != LEGACY_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (want {SCHEMA:?} or legacy {LEGACY_SCHEMA:?})"
+        ));
+    }
+    if schema == SCHEMA {
+        spanner_harness::host::check_host(&doc)?;
     }
     let records = doc
         .get("records")

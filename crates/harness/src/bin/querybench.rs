@@ -193,10 +193,12 @@ fn tenants_doc(ctx: &ExperimentContext, args: &Args) -> (json::JsonValue, usize)
 /// Dispatches a parsed artifact to the checker matching its schema tag.
 fn check_by_schema(doc: &json::JsonValue) -> Result<(), String> {
     match doc.get("schema").and_then(json::JsonValue::as_str) {
-        Some(e15_throughput::SCHEMA) => e15_throughput::check_artifact(doc),
-        Some(e16_tenants::SCHEMA) => e16_tenants::check_artifact(doc),
+        Some(e15_throughput::SCHEMA | e15_throughput::LEGACY_SCHEMA) => {
+            e15_throughput::check_artifact(doc)
+        }
+        Some(e16_tenants::SCHEMA | e16_tenants::LEGACY_SCHEMA) => e16_tenants::check_artifact(doc),
         Some(other) => Err(format!(
-            "unknown schema {other:?} (want {:?} or {:?})",
+            "unknown schema {other:?} (want {:?} or {:?}, or their legacy tags)",
             e15_throughput::SCHEMA,
             e16_tenants::SCHEMA
         )),

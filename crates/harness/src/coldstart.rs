@@ -30,7 +30,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// The cold-start artifact schema tag; bump when the layout changes.
-pub const SCHEMA: &str = "vft-spanner/coldbench-1";
+/// `coldbench-2` added the required `host` block (logical CPUs, rustc,
+/// OS/arch) so artifacts are comparable across machines.
+pub const SCHEMA: &str = "vft-spanner/coldbench-2";
+
+/// The pre-host tag still accepted by [`check_artifact`], so committed
+/// artifacts from earlier PRs keep validating (`host` optional there).
+pub const LEGACY_SCHEMA: &str = "vft-spanner/coldbench-1";
 
 /// The stretch target every coldbench spanner is built for.
 pub const STRETCH: u64 = 3;
@@ -168,6 +174,7 @@ pub fn artifact(scale_name: &str, repeats: usize, cells: &[ColdCell]) -> JsonVal
             "generated_by",
             s("cargo run --release -p spanner-harness --bin coldbench"),
         ),
+        ("host", crate::host::host_json()),
         ("scale", s(scale_name)),
         ("stretch", num(STRETCH as f64)),
         ("repeats", num(repeats as f64)),
@@ -204,8 +211,13 @@ pub fn check_artifact(doc: &JsonValue) -> Result<(), String> {
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or("missing schema tag")?;
-    if schema != SCHEMA {
-        return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+    if schema != SCHEMA && schema != LEGACY_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (want {SCHEMA:?} or legacy {LEGACY_SCHEMA:?})"
+        ));
+    }
+    if schema == SCHEMA {
+        crate::host::check_host(doc)?;
     }
     let scale = doc
         .get("scale")

@@ -49,7 +49,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// The tenants-bench artifact schema tag; bump when the layout changes.
-pub const SCHEMA: &str = "vft-spanner/querybench-2";
+/// `querybench-4` added the required `host` block (logical CPUs, rustc,
+/// OS/arch) so artifacts are comparable across machines.
+pub const SCHEMA: &str = "vft-spanner/querybench-4";
+
+/// The pre-host tag still accepted by [`check_artifact`], so committed
+/// artifacts from earlier PRs keep validating (`host` optional there).
+pub const LEGACY_SCHEMA: &str = "vft-spanner/querybench-2";
 
 /// The stretch target every E16 spanner is built for.
 pub const STRETCH: u64 = 3;
@@ -356,6 +362,7 @@ pub fn artifact(scale_name: &str, repeats: usize, cells: &[TenantsCell]) -> Json
             "generated_by",
             s("cargo run --release -p spanner-harness --bin querybench -- --tenants"),
         ),
+        ("host", crate::host::host_json()),
         ("scale", s(scale_name)),
         ("stretch", num(STRETCH as f64)),
         ("f", num(BUDGET as f64)),
@@ -391,8 +398,13 @@ pub fn check_artifact(doc: &JsonValue) -> Result<(), String> {
         .get("schema")
         .and_then(JsonValue::as_str)
         .ok_or("missing schema tag")?;
-    if schema != SCHEMA {
-        return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+    if schema != SCHEMA && schema != LEGACY_SCHEMA {
+        return Err(format!(
+            "unexpected schema {schema:?} (want {SCHEMA:?} or legacy {LEGACY_SCHEMA:?})"
+        ));
+    }
+    if schema == SCHEMA {
+        crate::host::check_host(doc)?;
     }
     let records = doc
         .get("records")

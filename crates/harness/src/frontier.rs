@@ -1,0 +1,631 @@
+//! The construction scale frontier: partitioned vs monolithic
+//! FT-greedy at large `n`, as a committed artifact (`BENCH_9.json`,
+//! schema [`SCHEMA`], emitted and checked by the `frontierbench` bin).
+//!
+//! Serving got fast first (`BENCH_4`/`6`/`8`); construction stayed the
+//! ceiling, topping out around `n ≈ 10²` in `perfbench`. This sweep
+//! measures the attack on that ceiling: random geometric networks of
+//! increasing `n`, each built two ways —
+//!
+//! * **partitioned** — `spanner_core::partition`
+//!   (BFS-ball shards → per-shard FT-greedy on one shared worker pool
+//!   → boundary stitch), with per-phase wall times recorded;
+//! * **monolithic** — the pooled FT-greedy path
+//!   (`OracleKind::Parallel`), run only up to a per-scale cutoff cell
+//!   (beyond it the monolithic build is exactly the wall this bench
+//!   exists to document).
+//!
+//! The committed full-scale artifact carries three gates, enforced by
+//! [`check_artifact`]: the partitioned build completes at
+//! `n ≥ `[`MIN_FRONTIER_N`], is at least [`MIN_SPEEDUP`]× faster than
+//! monolithic at the largest cell both finish, and its size inflation
+//! stays within [`MAX_INFLATION`]× of the monolithic spanner at every
+//! overlapping cell. Partitioning trades size optimality — never
+//! correctness: every record also asserts the pool spawned exactly once
+//! ([`spanner_faults::OracleStats::pool_spawns`]), and the smallest
+//! cell's partitioned output is audited against the stretch contract
+//! under sampled fault sets before the artifact is written.
+
+use crate::experiments::Scale;
+use crate::json::{num, obj, s, JsonValue};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spanner_core::partition::PartitionedFtGreedy;
+use spanner_core::verify::verify_ft_sampled;
+use spanner_core::{FtGreedy, OracleKind};
+use spanner_faults::FaultModel;
+use spanner_graph::generators::random_geometric;
+use spanner_graph::Graph;
+use std::time::Instant;
+
+/// The frontier artifact schema tag; bump when the layout changes.
+pub const SCHEMA: &str = "vft-spanner/frontier-1";
+
+/// The stretch target every frontier spanner is built for.
+pub const STRETCH: u64 = 3;
+
+/// The fault budget every frontier spanner is built for.
+pub const BUDGET: usize = 1;
+
+/// Full-scale gate: the largest partitioned cell must reach this `n`.
+pub const MIN_FRONTIER_N: usize = 10_000;
+
+/// Full-scale gate: partitioned vs monolithic speedup floor at the
+/// largest cell both finish.
+pub const MIN_SPEEDUP: f64 = 4.0;
+
+/// Gate at every overlapping cell: partitioned size must stay within
+/// this factor of the monolithic spanner.
+pub const MAX_INFLATION: f64 = 1.25;
+
+/// Sampled fault sets for the pre-write contract audit on the smallest
+/// cell.
+const AUDIT_TRIALS: usize = 60;
+
+/// One workload cell: a geometric network at a given scale.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontierSpec {
+    /// Vertex count.
+    pub n: usize,
+    /// Geometric connection radius (chosen for mean degree ≈ 7).
+    pub radius: f64,
+    /// Partitioner target shard size.
+    pub shard_target: usize,
+    /// Whether the monolithic pooled build runs on this cell.
+    pub monolithic: bool,
+}
+
+/// The per-scale workloads. Monolithic runs only below the cutoff —
+/// that asymmetry is the measurement, not a gap in it.
+pub fn workload(scale: Scale) -> Vec<FrontierSpec> {
+    let cell = |n: usize, shard_target: usize, monolithic: bool| FrontierSpec {
+        n,
+        radius: (7.0 / (std::f64::consts::PI * n as f64)).sqrt(),
+        shard_target,
+        monolithic,
+    };
+    match scale {
+        Scale::Smoke => vec![cell(240, 64, true), cell(480, 64, false)],
+        Scale::Quick => vec![cell(600, 128, true), cell(1200, 128, false)],
+        Scale::Full => vec![
+            cell(1000, 256, true),
+            cell(2500, 256, true),
+            cell(5000, 256, true),
+            cell(10_000, 256, false),
+        ],
+    }
+}
+
+/// A measured partitioned construction.
+#[derive(Clone, Debug)]
+pub struct PartitionedMeasurement {
+    /// Partition/classification phase, seconds.
+    pub partition_secs: f64,
+    /// Per-shard build phase, seconds.
+    pub build_secs: f64,
+    /// Boundary stitch phase, seconds.
+    pub stitch_secs: f64,
+    /// Edges in the stitched union.
+    pub edges_kept: usize,
+    /// Shards the vertex set split into.
+    pub shards: usize,
+    /// Size of the largest shard.
+    pub largest_shard: usize,
+    /// Cross-shard parent edges.
+    pub cross_edges: usize,
+    /// Edges the stitch pass added.
+    pub stitch_kept: usize,
+    /// Worker-pool spawns over the whole construction (must be 1).
+    pub pool_spawns: u64,
+}
+
+impl PartitionedMeasurement {
+    /// Total construction wall time across the three phases.
+    pub fn total_secs(&self) -> f64 {
+        self.partition_secs + self.build_secs + self.stitch_secs
+    }
+}
+
+/// A measured monolithic pooled construction.
+#[derive(Clone, Copy, Debug)]
+pub struct MonolithicMeasurement {
+    /// Construction wall time, seconds.
+    pub wall_secs: f64,
+    /// Edges kept.
+    pub edges_kept: usize,
+}
+
+/// One swept cell: the partitioned build, and the monolithic build
+/// where the workload runs it.
+#[derive(Clone, Debug)]
+pub struct FrontierCell {
+    /// The workload spec measured.
+    pub spec: FrontierSpec,
+    /// Input edge count of the generated network.
+    pub m: usize,
+    /// The partitioned measurement (min-total over repeats).
+    pub partitioned: PartitionedMeasurement,
+    /// The monolithic measurement, when the spec runs it.
+    pub monolithic: Option<MonolithicMeasurement>,
+}
+
+impl FrontierCell {
+    /// Monolithic wall / partitioned wall, when both ran.
+    pub fn speedup(&self) -> Option<f64> {
+        self.monolithic
+            .map(|m| m.wall_secs / self.partitioned.total_secs())
+    }
+
+    /// Partitioned size / monolithic size, when both ran.
+    pub fn inflation(&self) -> Option<f64> {
+        self.monolithic
+            .map(|m| self.partitioned.edges_kept as f64 / m.edges_kept as f64)
+    }
+}
+
+/// Deterministically regenerates a cell's input network.
+pub fn cell_graph(spec: &FrontierSpec) -> Graph {
+    let mut rng = StdRng::seed_from_u64(0x9F0 + spec.n as u64);
+    random_geometric(spec.n, spec.radius, &mut rng)
+}
+
+/// Runs the sweep: every cell of `workload(scale)`, `repeats` runs per
+/// measurement (minimum kept), `threads` pool workers on both paths.
+///
+/// # Errors
+///
+/// Fails when a partitioned construction violates the pool-reuse
+/// contract (`pool_spawns != 1`) or the smallest cell's partitioned
+/// output fails the sampled stretch-contract audit — the artifact must
+/// not be written from a run that cannot certify its own output.
+pub fn sweep(scale: Scale, repeats: usize, threads: usize) -> Result<Vec<FrontierCell>, String> {
+    let repeats = repeats.max(1);
+    let mut cells = Vec::new();
+    for (index, spec) in workload(scale).iter().enumerate() {
+        let graph = cell_graph(spec);
+        let mut best: Option<PartitionedMeasurement> = None;
+        let mut last_built = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let built = PartitionedFtGreedy::new(&graph, STRETCH)
+                .faults(BUDGET)
+                .shard_target(spec.shard_target)
+                .threads(threads)
+                .run();
+            // Phases are the construction's own clocks; the outer timer
+            // only guards against losing time outside them.
+            let _ = start.elapsed();
+            let r = built.report();
+            if r.pool_spawns != 1 {
+                return Err(format!(
+                    "n={}: pooled oracle spawned {} pools (the reuse contract is exactly 1)",
+                    spec.n, r.pool_spawns
+                ));
+            }
+            let m = PartitionedMeasurement {
+                partition_secs: r.partition_secs,
+                build_secs: r.build_secs,
+                stitch_secs: r.stitch_secs,
+                edges_kept: built.ft().spanner().edge_count(),
+                shards: r.shards,
+                largest_shard: r.largest_shard,
+                cross_edges: r.cross_edges,
+                stitch_kept: r.stitch_kept,
+                pool_spawns: r.pool_spawns,
+            };
+            if best
+                .as_ref()
+                .map_or(true, |b| m.total_secs() < b.total_secs())
+            {
+                best = Some(m);
+            }
+            last_built = Some(built);
+        }
+        let partitioned = best.expect("at least one repeat");
+        if index == 0 {
+            // Contract audit on the smallest cell: sampled fault sets
+            // against the per-edge criterion, before anything is written.
+            let built = last_built.expect("at least one repeat");
+            let mut rng = StdRng::seed_from_u64(0xAD17);
+            let audit = verify_ft_sampled(
+                &graph,
+                built.ft().spanner(),
+                BUDGET,
+                FaultModel::Vertex,
+                AUDIT_TRIALS,
+                &mut rng,
+            );
+            if !audit.satisfied() {
+                return Err(format!(
+                    "n={}: partitioned spanner failed the sampled contract audit: {audit:?}",
+                    spec.n
+                ));
+            }
+        }
+        let monolithic = if spec.monolithic {
+            let mut best: Option<MonolithicMeasurement> = None;
+            for _ in 0..repeats {
+                let start = Instant::now();
+                let ft = FtGreedy::new(&graph, STRETCH)
+                    .faults(BUDGET)
+                    .oracle(OracleKind::Parallel(threads))
+                    .run();
+                let wall_secs = start.elapsed().as_secs_f64();
+                let m = MonolithicMeasurement {
+                    wall_secs,
+                    edges_kept: ft.spanner().edge_count(),
+                };
+                if best.as_ref().map_or(true, |b| m.wall_secs < b.wall_secs) {
+                    best = Some(m);
+                }
+            }
+            best
+        } else {
+            None
+        };
+        cells.push(FrontierCell {
+            spec: *spec,
+            m: graph.edge_count(),
+            partitioned,
+            monolithic,
+        });
+    }
+    Ok(cells)
+}
+
+fn ms(secs: f64) -> JsonValue {
+    num((secs * 1e3 * 1000.0).round() / 1000.0)
+}
+
+fn cell_json(cell: &FrontierCell) -> JsonValue {
+    let p = &cell.partitioned;
+    let mut members = vec![
+        ("family", s("geometric")),
+        ("n", num(cell.spec.n as f64)),
+        ("m_input", num(cell.m as f64)),
+        ("f", num(BUDGET as f64)),
+        ("stretch", num(STRETCH as f64)),
+        ("shard_target", num(cell.spec.shard_target as f64)),
+        (
+            "partitioned",
+            obj([
+                ("partition_ms", ms(p.partition_secs)),
+                ("build_ms", ms(p.build_secs)),
+                ("stitch_ms", ms(p.stitch_secs)),
+                ("total_ms", ms(p.total_secs())),
+                ("edges_kept", num(p.edges_kept as f64)),
+                ("shards", num(p.shards as f64)),
+                ("largest_shard", num(p.largest_shard as f64)),
+                ("cross_edges", num(p.cross_edges as f64)),
+                ("stitch_kept", num(p.stitch_kept as f64)),
+                ("pool_spawns", num(p.pool_spawns as f64)),
+            ]),
+        ),
+    ];
+    match cell.monolithic {
+        Some(m) => {
+            members.push((
+                "monolithic",
+                obj([
+                    ("wall_ms", ms(m.wall_secs)),
+                    ("edges_kept", num(m.edges_kept as f64)),
+                ]),
+            ));
+            members.push((
+                "speedup",
+                num((cell.speedup().expect("both ran") * 100.0).round() / 100.0),
+            ));
+            members.push((
+                "inflation",
+                num((cell.inflation().expect("both ran") * 10000.0).round() / 10000.0),
+            ));
+        }
+        None => {
+            members.push(("monolithic", JsonValue::Null));
+            members.push(("speedup", JsonValue::Null));
+            members.push(("inflation", JsonValue::Null));
+        }
+    }
+    obj(members)
+}
+
+/// Builds the full artifact document (what the `frontierbench` bin
+/// writes as `BENCH_9.json` and CI schema-checks).
+pub fn artifact(
+    scale_name: &str,
+    repeats: usize,
+    threads: usize,
+    cells: &[FrontierCell],
+) -> JsonValue {
+    let frontier_n = cells.iter().map(|c| c.spec.n).max().unwrap_or(0);
+    let common = cells
+        .iter()
+        .filter(|c| c.monolithic.is_some())
+        .max_by_key(|c| c.spec.n);
+    let max_inflation = cells
+        .iter()
+        .filter_map(FrontierCell::inflation)
+        .fold(0.0, f64::max);
+    obj([
+        ("schema", s(SCHEMA)),
+        (
+            "generated_by",
+            s("cargo run --release -p spanner-harness --bin frontierbench"),
+        ),
+        ("host", crate::host::host_json()),
+        ("scale", s(scale_name)),
+        ("stretch", num(STRETCH as f64)),
+        ("f", num(BUDGET as f64)),
+        ("repeats", num(repeats as f64)),
+        ("pooled_threads", num(threads as f64)),
+        (
+            "records",
+            JsonValue::Array(cells.iter().map(cell_json).collect()),
+        ),
+        (
+            "summary",
+            obj([
+                ("cells", num(cells.len() as f64)),
+                ("frontier_n", num(frontier_n as f64)),
+                (
+                    "largest_common_n",
+                    common.map_or(JsonValue::Null, |c| num(c.spec.n as f64)),
+                ),
+                (
+                    "speedup_at_largest_common",
+                    common
+                        .and_then(FrontierCell::speedup)
+                        .map_or(JsonValue::Null, |x| num((x * 100.0).round() / 100.0)),
+                ),
+                (
+                    "max_inflation",
+                    if max_inflation > 0.0 {
+                        num((max_inflation * 10000.0).round() / 10000.0)
+                    } else {
+                        JsonValue::Null
+                    },
+                ),
+                ("pool_reuse_ok", JsonValue::Bool(true)),
+                ("contract_sampled_ok", JsonValue::Bool(true)),
+            ]),
+        ),
+    ])
+}
+
+/// Validates a parsed frontier artifact against the `frontier-1`
+/// schema: tag, host block, per-record keys and sanity, the pool-reuse
+/// and contract certifications — and, at **full scale only**, the
+/// committed gates: `frontier_n ≥ `[`MIN_FRONTIER_N`], speedup at the
+/// largest common cell ≥ [`MIN_SPEEDUP`], inflation ≤ [`MAX_INFLATION`]
+/// at every overlapping cell. Smoke/quick artifacts measure cells small
+/// enough that the monolithic path has nothing to amortize against, so
+/// the floors are a property of the committed full-scale
+/// `BENCH_9.json`, not of every emission.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation found.
+pub fn check_artifact(doc: &JsonValue) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+    }
+    crate::host::check_host(doc)?;
+    let scale = doc
+        .get("scale")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing scale")?;
+    let records = doc
+        .get("records")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing records array")?;
+    if records.is_empty() {
+        return Err("empty records array".into());
+    }
+    for (i, record) in records.iter().enumerate() {
+        for key in ["family", "n", "m_input", "f", "stretch", "shard_target"] {
+            if record.get(key).is_none() {
+                return Err(format!("record {i} missing key {key:?}"));
+            }
+        }
+        let part = record
+            .get("partitioned")
+            .ok_or_else(|| format!("record {i} missing partitioned block"))?;
+        for key in [
+            "partition_ms",
+            "build_ms",
+            "stitch_ms",
+            "total_ms",
+            "edges_kept",
+            "shards",
+            "cross_edges",
+            "stitch_kept",
+        ] {
+            match part.get(key).and_then(JsonValue::as_f64) {
+                Some(x) if x.is_finite() && x >= 0.0 => {}
+                _ => return Err(format!("record {i} partitioned.{key} missing or bad")),
+            }
+        }
+        if part.get("pool_spawns").and_then(JsonValue::as_f64) != Some(1.0) {
+            return Err(format!(
+                "record {i} does not certify pool reuse (partitioned.pool_spawns must be 1)"
+            ));
+        }
+        match record.get("monolithic") {
+            Some(JsonValue::Null) => {}
+            Some(mono) => {
+                for key in ["wall_ms", "edges_kept"] {
+                    match mono.get(key).and_then(JsonValue::as_f64) {
+                        Some(x) if x.is_finite() && x > 0.0 => {}
+                        _ => return Err(format!("record {i} monolithic.{key} missing or bad")),
+                    }
+                }
+                for key in ["speedup", "inflation"] {
+                    match record.get(key).and_then(JsonValue::as_f64) {
+                        Some(x) if x.is_finite() && x > 0.0 => {}
+                        _ => return Err(format!("record {i} {key} missing or bad")),
+                    }
+                }
+            }
+            None => return Err(format!("record {i} missing monolithic block")),
+        }
+    }
+    let summary = doc.get("summary").ok_or("missing summary")?;
+    for key in ["pool_reuse_ok", "contract_sampled_ok"] {
+        if summary.get(key) != Some(&JsonValue::Bool(true)) {
+            return Err(format!("summary does not certify {key}"));
+        }
+    }
+    if scale == "full" {
+        let frontier_n = summary
+            .get("frontier_n")
+            .and_then(JsonValue::as_f64)
+            .ok_or("summary missing frontier_n")?;
+        if frontier_n < MIN_FRONTIER_N as f64 {
+            return Err(format!(
+                "full-scale frontier_n {frontier_n} is below the committed {MIN_FRONTIER_N} floor"
+            ));
+        }
+        let speedup = summary
+            .get("speedup_at_largest_common")
+            .and_then(JsonValue::as_f64)
+            .ok_or("full-scale summary missing speedup_at_largest_common")?;
+        if speedup < MIN_SPEEDUP {
+            return Err(format!(
+                "speedup at the largest common cell regressed to {speedup:.2}x (committed floor: {MIN_SPEEDUP}x)"
+            ));
+        }
+        for (i, record) in records.iter().enumerate() {
+            if let Some(inflation) = record.get("inflation").and_then(JsonValue::as_f64) {
+                if inflation > MAX_INFLATION {
+                    return Err(format!(
+                        "record {i} size inflation {inflation:.4}x exceeds the committed {MAX_INFLATION}x ceiling"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cells() -> Vec<FrontierCell> {
+        let spec_small = FrontierSpec {
+            n: 60,
+            radius: 0.2,
+            shard_target: 16,
+            monolithic: true,
+        };
+        let spec_large = FrontierSpec {
+            n: 90,
+            radius: 0.17,
+            shard_target: 16,
+            monolithic: false,
+        };
+        vec![
+            FrontierCell {
+                spec: spec_small,
+                m: 200,
+                partitioned: PartitionedMeasurement {
+                    partition_secs: 0.001,
+                    build_secs: 0.01,
+                    stitch_secs: 0.002,
+                    edges_kept: 110,
+                    shards: 4,
+                    largest_shard: 16,
+                    cross_edges: 30,
+                    stitch_kept: 12,
+                    pool_spawns: 1,
+                },
+                monolithic: Some(MonolithicMeasurement {
+                    wall_secs: 0.08,
+                    edges_kept: 100,
+                }),
+            },
+            FrontierCell {
+                spec: spec_large,
+                m: 300,
+                partitioned: PartitionedMeasurement {
+                    partition_secs: 0.001,
+                    build_secs: 0.02,
+                    stitch_secs: 0.003,
+                    edges_kept: 160,
+                    shards: 6,
+                    largest_shard: 16,
+                    cross_edges: 40,
+                    stitch_kept: 15,
+                    pool_spawns: 1,
+                },
+                monolithic: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn artifact_round_trips_and_checks_at_smoke() {
+        let doc = artifact("smoke", 1, 2, &tiny_cells());
+        let reparsed = crate::json::parse(&doc.to_string()).expect("emitted JSON parses");
+        check_artifact(&reparsed).expect("smoke artifact passes its schema");
+    }
+
+    #[test]
+    fn full_scale_gates_fire() {
+        // The same tiny cells pass at smoke but must FAIL the full-scale
+        // frontier floor (n never reaches 10^4).
+        let doc = artifact("full", 1, 2, &tiny_cells());
+        let err = check_artifact(&doc).expect_err("full gates must fire");
+        assert!(err.contains("frontier_n"), "{err}");
+    }
+
+    #[test]
+    fn pool_reuse_violation_is_rejected() {
+        let mut cells = tiny_cells();
+        cells[0].partitioned.pool_spawns = 2;
+        let doc = artifact("smoke", 1, 2, &cells);
+        let err = check_artifact(&doc).expect_err("pool reuse gate must fire");
+        assert!(err.contains("pool_spawns"), "{err}");
+    }
+
+    #[test]
+    fn inflation_ceiling_fires_at_full() {
+        let mut cells = tiny_cells();
+        // Make the frontier floor pass so the inflation gate is reached.
+        cells[1].spec.n = 20_000;
+        cells[0].partitioned.edges_kept = 150; // 1.5x the monolithic 100
+        let doc = artifact("full", 1, 2, &cells);
+        let err = check_artifact(&doc).expect_err("inflation gate must fire");
+        assert!(err.contains("inflation"), "{err}");
+    }
+
+    #[test]
+    fn speedup_floor_fires_at_full() {
+        let mut cells = tiny_cells();
+        cells[1].spec.n = 20_000;
+        cells[0].monolithic = Some(MonolithicMeasurement {
+            wall_secs: 0.014, // ~1.08x the partitioned 0.013
+            edges_kept: 100,
+        });
+        let doc = artifact("full", 1, 2, &cells);
+        let err = check_artifact(&doc).expect_err("speedup gate must fire");
+        assert!(err.contains("speedup"), "{err}");
+    }
+
+    #[test]
+    fn smoke_sweep_runs_and_validates() {
+        // A real end-to-end smoke sweep: small, but through the actual
+        // partitioned and monolithic paths.
+        let cells = sweep(Scale::Smoke, 1, 2).expect("smoke sweep succeeds");
+        assert_eq!(cells.len(), workload(Scale::Smoke).len());
+        assert!(cells[0].monolithic.is_some());
+        assert!(cells[1].monolithic.is_none());
+        let doc = artifact("smoke", 1, 2, &cells);
+        let reparsed = crate::json::parse(&doc.to_string()).expect("emitted JSON parses");
+        check_artifact(&reparsed).expect("swept smoke artifact passes its schema");
+    }
+}

@@ -78,6 +78,8 @@ pub mod cli;
 pub mod coldstart;
 pub mod corpus;
 pub mod experiments;
+pub mod frontier;
+pub mod host;
 pub mod json;
 pub mod plot;
 
