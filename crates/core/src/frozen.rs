@@ -62,6 +62,7 @@ use spanner_graph::io::binary::{self, put_u32, put_u64, BinaryError, ByteReader,
 use spanner_graph::{EdgeId, FaultMask, FrozenCsr, Graph, GraphView, NodeId};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Magic bytes of a persisted [`FrozenSpanner`] container.
@@ -82,6 +83,14 @@ pub const ARTIFACT_VERSION_V2: u32 = 2;
 /// [`ArtifactError::WitnessesDetached`].
 pub const FLAG_WITNESSES_DETACHED: u32 = 1;
 
+/// v2 header flag: the witness map is stored *sharded* — every record is
+/// zero-padded to an 8-byte boundary and a [`SECTION_WITNESS_INDEX`]
+/// section carries per-edge offsets into it, so
+/// [`FrozenSpanner::witnesses_for`] decodes only the bytes of the edge
+/// it was asked about. Produced by [`FrozenSpanner::to_v2_sharded`] /
+/// `spanner-artifact migrate --shard`.
+pub const FLAG_WITNESSES_SHARDED: u32 = 2;
+
 /// Construction metadata: stretch, model, budget, counts.
 pub const SECTION_META: u32 = 1;
 /// The spanner adjacency (graph payload, edge ids = spanner edge ids).
@@ -93,6 +102,10 @@ pub const SECTION_WITNESSES: u32 = 4;
 /// The parent graph (graph payload), present iff the artifact carries
 /// the handle.
 pub const SECTION_PARENT: u32 = 5;
+/// Per-edge offset index over [`SECTION_WITNESSES`]: `count` then
+/// `count + 1` monotone 8-aligned `u64` offsets bracketing each witness
+/// record. Present iff [`FLAG_WITNESSES_SHARDED`] is set.
+pub const SECTION_WITNESS_INDEX: u32 = 6;
 
 /// Errors from [`FrozenSpanner::decode`] / [`FrozenSpanner::open`]:
 /// either the container itself is bad, it parsed but describes an
@@ -310,8 +323,14 @@ enum ParentStore {
 }
 
 /// Where the witness map lives: decoded, raw v2 section bytes decoded
-/// lazily on first use (memoized, shared across clones), or detached at
-/// build time (routing-only replica).
+/// lazily on first use (memoized, shared across clones), raw *sharded*
+/// v2 bytes behind a per-edge offset index (single records decoded on
+/// demand, the full map only when [`FrozenSpanner::witnesses`] forces
+/// it), or detached at build time (routing-only replica).
+///
+/// The `touched` counters meter witness-section bytes actually read —
+/// the instrumentation `witnessbench` and the sharded-access tests
+/// assert on. Shared across clones like the memo cells.
 #[derive(Clone, Debug)]
 enum WitnessStore {
     Eager(Vec<FaultSet>),
@@ -320,6 +339,20 @@ enum WitnessStore {
         at: usize,
         len: usize,
         cell: Arc<OnceLock<Result<Vec<FaultSet>, ArtifactError>>>,
+        touched: Arc<AtomicU64>,
+    },
+    Sharded {
+        bytes: SharedBytes,
+        /// Witness section range inside `bytes`.
+        at: usize,
+        len: usize,
+        /// Witness-index section range inside `bytes`.
+        idx_at: usize,
+        idx_len: usize,
+        /// Record count (validated against the payload header at decode).
+        count: usize,
+        cell: Arc<OnceLock<Result<Vec<FaultSet>, ArtifactError>>>,
+        touched: Arc<AtomicU64>,
     },
     Detached,
 }
@@ -354,6 +387,11 @@ pub struct FrozenSpanner {
     /// decoded from (or built as), so canonical re-encode holds for both
     /// formats.
     version: u32,
+    /// Whether [`FrozenSpanner::encode`] writes the witness map sharded
+    /// ([`FLAG_WITNESSES_SHARDED`] + [`SECTION_WITNESS_INDEX`]). Carried
+    /// separately from the store so an eagerly-held map (the
+    /// [`FrozenSpanner::to_v2_sharded`] path) still encodes sharded.
+    sharded: bool,
 }
 
 impl FrozenSpanner {
@@ -388,6 +426,7 @@ impl FrozenSpanner {
             model,
             witnesses: WitnessStore::Eager(witnesses),
             version: ARTIFACT_VERSION,
+            sharded: false,
         }
     }
 
@@ -439,6 +478,29 @@ impl FrozenSpanner {
     /// (routing-only replica).
     pub fn witnesses_detached(&self) -> bool {
         matches!(self.witnesses, WitnessStore::Detached)
+    }
+
+    /// Whether the witness map travels sharded: per-record 8-aligned
+    /// padding plus a [`SECTION_WITNESS_INDEX`] offset index, so
+    /// [`FrozenSpanner::witnesses_for`] touches only the queried edge's
+    /// bytes.
+    pub fn witnesses_sharded(&self) -> bool {
+        self.sharded
+    }
+
+    /// Witness-section bytes this artifact has actually read so far:
+    /// index entries plus record extents for sharded per-edge access,
+    /// the whole section once for a forced monolithic decode. Always 0
+    /// for eagerly-decoded or detached stores — the meter exists for the
+    /// lazy serving paths, where "how many bytes did that lookup fault
+    /// in" is the quantity `witnessbench` gates.
+    pub fn witness_bytes_touched(&self) -> u64 {
+        match &self.witnesses {
+            WitnessStore::Lazy { touched, .. } | WitnessStore::Sharded { touched, .. } => {
+                touched.load(Ordering::Relaxed)
+            }
+            _ => 0,
+        }
     }
 
     /// The parent graph handle, when the artifact carries one.
@@ -496,8 +558,10 @@ impl FrozenSpanner {
                 at,
                 len,
                 cell,
+                touched,
             } => {
                 let res = cell.get_or_init(|| {
+                    touched.fetch_add(*len as u64, Ordering::Relaxed);
                     let payload = &bytes.as_slice()[*at..*at + *len];
                     parse_witness_payload(payload, self.node_count(), self.edge_count())
                 });
@@ -505,6 +569,95 @@ impl FrozenSpanner {
                     Ok(w) => Ok(w),
                     Err(e) => Err(e.clone()),
                 }
+            }
+            WitnessStore::Sharded {
+                bytes,
+                at,
+                len,
+                idx_at,
+                idx_len,
+                cell,
+                touched,
+                ..
+            } => {
+                let res = cell.get_or_init(|| {
+                    touched.fetch_add((*len + *idx_len) as u64, Ordering::Relaxed);
+                    let data = bytes.as_slice();
+                    parse_sharded_witness_payload(
+                        &data[*at..*at + *len],
+                        &data[*idx_at..*idx_at + *idx_len],
+                        self.node_count(),
+                        self.edge_count(),
+                    )
+                });
+                match res {
+                    Ok(w) => Ok(w),
+                    Err(e) => Err(e.clone()),
+                }
+            }
+        }
+    }
+
+    /// The witness fault set of one spanner edge.
+    ///
+    /// On a sharded artifact ([`FrozenSpanner::witnesses_sharded`]) this
+    /// is the page-granular path: two index entries locate edge `e`'s
+    /// record and only that record's bytes are read and decoded —
+    /// O(|F_e|) per call, no up-front scan, nothing memoized. Every
+    /// other store answers from the full map (forcing the one-shot
+    /// monolithic decode on a lazy store). An artifact carrying no
+    /// witness map (frozen from a bare [`Spanner`]) answers with an
+    /// empty set in the artifact's fault model.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::WitnessesDetached`] on a routing-only replica;
+    /// otherwise an [`ArtifactError`] when the lazily-read record (or,
+    /// for monolithic stores, section) is corrupt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn witnesses_for(&self, edge: EdgeId) -> Result<FaultSet, ArtifactError> {
+        let i = edge.index();
+        assert!(i < self.edge_count(), "spanner edge out of range");
+        match &self.witnesses {
+            WitnessStore::Detached => Err(ArtifactError::WitnessesDetached),
+            WitnessStore::Eager(sets) => Ok(sets
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| FaultSet::empty(self.model))),
+            WitnessStore::Lazy { .. } => {
+                let sets = self.witnesses()?;
+                Ok(sets
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| FaultSet::empty(self.model)))
+            }
+            WitnessStore::Sharded {
+                bytes,
+                at,
+                idx_at,
+                count,
+                touched,
+                ..
+            } => {
+                if *count == 0 {
+                    return Ok(FaultSet::empty(self.model));
+                }
+                // The offset index was validated at decode/open time
+                // (monotone, 8-aligned, bracketed by the payload), so
+                // these two reads and the record slice are in bounds.
+                let data = bytes.as_slice();
+                let start = read_u64_at(data, idx_at + 8 + 8 * i) as usize;
+                let next = read_u64_at(data, idx_at + 8 + 8 * (i + 1)) as usize;
+                touched.fetch_add(16 + (next - start) as u64, Ordering::Relaxed);
+                parse_sharded_witness_record(
+                    &data[*at + start..*at + next],
+                    i,
+                    self.node_count(),
+                    self.edge_count(),
+                )
             }
         }
     }
@@ -652,10 +805,61 @@ fn witness_payload(sets: &[FaultSet]) -> Vec<u8> {
     witnesses
 }
 
-/// Parses and validates a `WITNESSES` payload: ids in range for their
-/// model's id space, stored normalized (sorted, deduplicated) so accept
-/// implies canonical re-encode. Shared by v1 decode and the v2 lazy
-/// store.
+/// Parses and validates one witness record (model tag, length, ids)
+/// from `r`: ids in range for their model's id space, stored normalized
+/// (sorted, deduplicated) so accept implies canonical re-encode. The
+/// record body is byte-identical between the monolithic and sharded
+/// layouts; only the framing around it differs.
+fn parse_witness_record(
+    r: &mut ByteReader<'_>,
+    i: usize,
+    node_count: usize,
+    edge_count: usize,
+) -> Result<FaultSet, ArtifactError> {
+    let model_tag = r.u8("witness model")?;
+    let len = r.count(4, "witness length")?;
+    let mut ids = Vec::with_capacity(len);
+    for _ in 0..len {
+        ids.push(r.u32("witness component id")? as usize);
+    }
+    let bound = match model_tag {
+        0 => node_count,
+        1 => edge_count,
+        other => {
+            return Err(BinaryError::Malformed {
+                context: "witness model",
+                detail: format!("unknown tag {other}"),
+            }
+            .into())
+        }
+    };
+    if let Some(&bad) = ids.iter().find(|&&id| id >= bound) {
+        return Err(inconsistent(
+            "witness map",
+            format!("witness {i} references component {bad}, id space is {bound}"),
+        ));
+    }
+    // The format stores witness ids normalized (sorted ascending,
+    // deduplicated). The FaultSet constructors would silently
+    // renormalize a crafted record — and then the artifact would
+    // no longer re-encode to the bytes that were accepted, so
+    // reject denormalized input here with a typed error instead.
+    if ids.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(inconsistent(
+            "witness map",
+            format!("witness {i} ids are not sorted and deduplicated"),
+        ));
+    }
+    Ok(if model_tag == 0 {
+        FaultSet::vertices(ids.into_iter().map(NodeId::new))
+    } else {
+        FaultSet::edges(ids.into_iter().map(EdgeId::new))
+    })
+}
+
+/// Parses and validates a `WITNESSES` payload (monolithic layout:
+/// records packed back to back, no padding). Shared by v1 decode and
+/// the v2 lazy store.
 fn parse_witness_payload(
     payload: &[u8],
     node_count: usize,
@@ -671,48 +875,115 @@ fn parse_witness_payload(
     }
     let mut witnesses = Vec::with_capacity(count);
     for i in 0..count {
-        let model_tag = r.u8("witness model")?;
-        let len = r.count(4, "witness length")?;
-        let mut ids = Vec::with_capacity(len);
-        for _ in 0..len {
-            ids.push(r.u32("witness component id")? as usize);
-        }
-        let bound = match model_tag {
-            0 => node_count,
-            1 => edge_count,
-            other => {
-                return Err(BinaryError::Malformed {
-                    context: "witness model",
-                    detail: format!("unknown tag {other}"),
-                }
-                .into())
-            }
-        };
-        if let Some(&bad) = ids.iter().find(|&&id| id >= bound) {
-            return Err(inconsistent(
-                "witness map",
-                format!("witness {i} references component {bad}, id space is {bound}"),
-            ));
-        }
-        // The format stores witness ids normalized (sorted ascending,
-        // deduplicated). The FaultSet constructors would silently
-        // renormalize a crafted record — and then the artifact would
-        // no longer re-encode to the bytes that were accepted, so
-        // reject denormalized input here with a typed error instead.
-        if ids.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(inconsistent(
-                "witness map",
-                format!("witness {i} ids are not sorted and deduplicated"),
-            ));
-        }
-        witnesses.push(if model_tag == 0 {
-            FaultSet::vertices(ids.into_iter().map(NodeId::new))
-        } else {
-            FaultSet::edges(ids.into_iter().map(EdgeId::new))
-        });
+        witnesses.push(parse_witness_record(&mut r, i, node_count, edge_count)?);
     }
     r.expect_drained("witness map")?;
     Ok(witnesses)
+}
+
+/// Parses and validates one *sharded* witness record: the record body
+/// followed by zero padding up to the 8-byte boundary the offset index
+/// promised. The indexed extent must be exactly the canonical padded
+/// length — a record that under- or over-fills its slice means the
+/// index and payload disagree, which is the sharded layout's own
+/// failure class ([`BinaryError::WitnessIndex`]).
+fn parse_sharded_witness_record(
+    rec: &[u8],
+    i: usize,
+    node_count: usize,
+    edge_count: usize,
+) -> Result<FaultSet, ArtifactError> {
+    let mut r = ByteReader::new(rec);
+    let set = parse_witness_record(&mut r, i, node_count, edge_count)?;
+    let body = 9 + 4 * set.len();
+    let padded = body.next_multiple_of(binary::V2_SECTION_ALIGN);
+    if rec.len() != padded {
+        return Err(BinaryError::WitnessIndex {
+            context: "witness record",
+            detail: format!(
+                "record {i} is indexed as {} bytes, its body pads to {padded}",
+                rec.len()
+            ),
+        }
+        .into());
+    }
+    if rec[body..].iter().any(|&b| b != 0) {
+        return Err(BinaryError::WitnessIndex {
+            context: "witness record",
+            detail: format!("record {i} carries nonzero padding"),
+        }
+        .into());
+    }
+    Ok(set)
+}
+
+/// Parses and validates a full sharded `WITNESSES` payload against its
+/// offset index: every record must start exactly where the index says,
+/// fill its indexed extent, and pass the shared per-record checks. This
+/// is the force-everything path ([`FrozenSpanner::witnesses`] on a
+/// sharded store, which the eager [`FrozenSpanner::decode`] uses to
+/// validate the whole file); per-edge serving goes through
+/// [`parse_sharded_witness_record`] directly.
+fn parse_sharded_witness_payload(
+    payload: &[u8],
+    idx_payload: &[u8],
+    node_count: usize,
+    edge_count: usize,
+) -> Result<Vec<FaultSet>, ArtifactError> {
+    let count = binary::parse_offset_index(idx_payload, 8, payload.len() as u64)?;
+    let declared = read_u64_at(payload, 0) as usize;
+    if declared != count {
+        return Err(BinaryError::WitnessIndex {
+            context: "witness index",
+            detail: format!("index holds {count} records, witness map declares {declared}"),
+        }
+        .into());
+    }
+    if count != 0 && count != edge_count {
+        return Err(inconsistent(
+            "witness map",
+            format!("{count} witness sets for {edge_count} spanner edges"),
+        ));
+    }
+    let offset_at = |i: usize| read_u64_at(idx_payload, 8 + 8 * i) as usize;
+    let mut witnesses = Vec::with_capacity(count);
+    for i in 0..count {
+        witnesses.push(parse_sharded_witness_record(
+            &payload[offset_at(i)..offset_at(i + 1)],
+            i,
+            node_count,
+            edge_count,
+        )?);
+    }
+    Ok(witnesses)
+}
+
+/// Serializes the sharded `WITNESSES` payload and its offset index:
+/// every record zero-padded to the next 8-byte boundary (so each starts
+/// aligned and the final offset closes the section aligned), offsets
+/// collected as the records are laid down. Returns
+/// `(witness_payload, index_payload)`.
+fn witness_payload_sharded(sets: &[FaultSet]) -> (Vec<u8>, Vec<u8>) {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, sets.len() as u64);
+    let mut offsets = Vec::with_capacity(sets.len() + 1);
+    for set in sets {
+        offsets.push(payload.len() as u64);
+        payload.push(match set.model() {
+            FaultModel::Vertex => 0,
+            FaultModel::Edge => 1,
+        });
+        put_u64(&mut payload, set.len() as u64);
+        for v in set.vertex_faults() {
+            put_u32(&mut payload, v.raw());
+        }
+        for e in set.edge_faults() {
+            put_u32(&mut payload, e.raw());
+        }
+        payload.resize(payload.len().next_multiple_of(binary::V2_SECTION_ALIGN), 0);
+    }
+    offsets.push(payload.len() as u64);
+    (payload, binary::write_offset_index(&offsets))
 }
 
 /// Parses a `PARENT` payload into a [`Graph`] (full simple-graph
@@ -906,20 +1177,33 @@ impl FrozenSpanner {
     }
 
     fn encode_v2(&self) -> Vec<u8> {
-        let flags = if self.witnesses_detached() {
+        let mut flags = if self.witnesses_detached() {
             FLAG_WITNESSES_DETACHED
         } else {
             0
         };
+        if self.sharded {
+            flags |= FLAG_WITNESSES_SHARDED;
+        }
         let mut w = binary::ContainerWriterV2::new(ARTIFACT_MAGIC, ARTIFACT_VERSION_V2, flags);
         w.section(SECTION_META, self.meta_payload());
         let mut spanner = Vec::with_capacity(self.csr.payload_v2_len());
         self.csr.write_payload_v2(&mut spanner);
         w.section(SECTION_SPANNER, spanner);
         w.section(SECTION_PARENT_EDGES, self.tables.payload());
+        // The witness index (tag 6) sorts after the parent section (tag
+        // 5) in the canonical ascending-tag order, so it is held back
+        // here and emitted last.
+        let mut witness_index: Option<Vec<u8>> = None;
         match &self.witnesses {
             WitnessStore::Eager(sets) => {
-                w.section(SECTION_WITNESSES, witness_payload(sets));
+                if self.sharded {
+                    let (payload, idx) = witness_payload_sharded(sets);
+                    w.section(SECTION_WITNESSES, payload);
+                    witness_index = Some(idx);
+                } else {
+                    w.section(SECTION_WITNESSES, witness_payload(sets));
+                }
             }
             // Lazily-held sections re-emit their raw (validated) bytes,
             // so re-encoding never forces a decode and stays canonical.
@@ -928,6 +1212,18 @@ impl FrozenSpanner {
                     SECTION_WITNESSES,
                     bytes.as_slice()[*at..*at + *len].to_vec(),
                 );
+            }
+            WitnessStore::Sharded {
+                bytes,
+                at,
+                len,
+                idx_at,
+                idx_len,
+                ..
+            } => {
+                let data = bytes.as_slice();
+                w.section(SECTION_WITNESSES, data[*at..*at + *len].to_vec());
+                witness_index = Some(data[*idx_at..*idx_at + *idx_len].to_vec());
             }
             WitnessStore::Detached => {}
         }
@@ -942,6 +1238,9 @@ impl FrozenSpanner {
                 w.section(SECTION_PARENT, bytes.as_slice()[*at..*at + *len].to_vec());
             }
         }
+        if let Some(idx) = witness_index {
+            w.section(SECTION_WITNESS_INDEX, idx);
+        }
         w.finish()
     }
 
@@ -951,8 +1250,59 @@ impl FrozenSpanner {
     /// unchanged — this is the `spanner-artifact migrate` primitive, and
     /// it is byte-canonical: the same artifact always yields the same
     /// v2 bytes, and re-migrating a v2 artifact is the identity.
+    ///
+    /// Always produces the *monolithic* witness layout: on a sharded
+    /// artifact this is the unshard direction, and
+    /// `to_v2_sharded().to_v2()` round-trips to the original monolithic
+    /// bytes (the migrate identity `artifact_props.rs` pins).
+    ///
+    /// # Panics
+    ///
+    /// Panics when unsharding an [`FrozenSpanner::open`]ed artifact
+    /// whose (lazily-validated) witness records turn out corrupt —
+    /// untrusted bytes should go through [`FrozenSpanner::decode`],
+    /// which validates everything first.
     pub fn to_v2(&self) -> FrozenSpanner {
         let mut out = self.clone();
+        if matches!(self.witnesses, WitnessStore::Sharded { .. }) {
+            let sets = self
+                .witnesses()
+                .expect("sharded witness store failed validation")
+                .to_vec();
+            out.witnesses = WitnessStore::Eager(sets);
+        }
+        out.sharded = false;
+        out.version = ARTIFACT_VERSION_V2;
+        out
+    }
+
+    /// Re-versions this artifact as a v2 container with a **sharded**
+    /// witness map: records padded to 8-byte boundaries, a
+    /// [`SECTION_WITNESS_INDEX`] of per-edge offsets, and
+    /// [`FLAG_WITNESSES_SHARDED`] in the header, so a mapped replica's
+    /// [`FrozenSpanner::witnesses_for`] touches only the queried edge's
+    /// bytes. Byte-canonical like [`FrozenSpanner::to_v2`], and the
+    /// `spanner-artifact migrate --shard` primitive. A detached
+    /// (routing-only) artifact has no witness map to shard and passes
+    /// through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the witness map must be forced from a lazily-opened
+    /// artifact whose witness section turns out corrupt — untrusted
+    /// bytes should go through [`FrozenSpanner::decode`] first.
+    pub fn to_v2_sharded(&self) -> FrozenSpanner {
+        let mut out = self.clone();
+        if self.witnesses_detached() {
+            out.sharded = false;
+        } else {
+            let sets = self
+                .witnesses()
+                .expect("witness store failed validation")
+                .to_vec();
+            out.witnesses = WitnessStore::Eager(sets);
+            out.sharded = true;
+        }
         out.version = ARTIFACT_VERSION_V2;
         out
     }
@@ -965,6 +1315,7 @@ impl FrozenSpanner {
     pub fn detach_witnesses(&self) -> FrozenSpanner {
         let mut out = self.clone();
         out.witnesses = WitnessStore::Detached;
+        out.sharded = false;
         out.version = ARTIFACT_VERSION_V2;
         out
     }
@@ -1155,6 +1506,7 @@ impl FrozenSpanner {
             model,
             witnesses: WitnessStore::Eager(witnesses),
             version: ARTIFACT_VERSION,
+            sharded: false,
         })
     }
 
@@ -1169,9 +1521,17 @@ impl FrozenSpanner {
             shared.as_slice(),
             ARTIFACT_MAGIC,
             ARTIFACT_VERSION_V2,
-            FLAG_WITNESSES_DETACHED,
+            FLAG_WITNESSES_DETACHED | FLAG_WITNESSES_SHARDED,
         )?;
         let detached = container.flags & FLAG_WITNESSES_DETACHED != 0;
+        let sharded = container.flags & FLAG_WITNESSES_SHARDED != 0;
+        if detached && sharded {
+            return Err(BinaryError::Malformed {
+                context: "header flags",
+                detail: "witness map declared both detached and sharded".to_string(),
+            }
+            .into());
+        }
         for section in &container.sections {
             match section.tag {
                 SECTION_META | SECTION_SPANNER | SECTION_PARENT_EDGES | SECTION_PARENT => {}
@@ -1180,6 +1540,14 @@ impl FrozenSpanner {
                     return Err(BinaryError::Malformed {
                         context: "witness map",
                         detail: "detached artifact carries a witness section".to_string(),
+                    }
+                    .into())
+                }
+                SECTION_WITNESS_INDEX if sharded => {}
+                SECTION_WITNESS_INDEX => {
+                    return Err(BinaryError::WitnessIndex {
+                        context: "witness index",
+                        detail: "index section present without the sharded header flag".to_string(),
                     }
                     .into())
                 }
@@ -1247,11 +1615,47 @@ impl FrozenSpanner {
             WitnessStore::Detached
         } else {
             let w = require(SECTION_WITNESSES, "witness map")?;
-            WitnessStore::Lazy {
-                bytes: shared.clone(),
-                at: w.offset,
-                len: w.len,
-                cell: Arc::new(OnceLock::new()),
+            if sharded {
+                // The offset index is validated up front — O(count)
+                // over the index section only, never the payload — so
+                // per-edge access can slice records without any bounds
+                // arithmetic of its own.
+                let idx = require(SECTION_WITNESS_INDEX, "witness index")?;
+                let count = binary::parse_offset_index(section_bytes(idx), 8, w.len as u64)?;
+                let declared = read_u64_at(data, w.offset) as usize;
+                if declared != count {
+                    return Err(BinaryError::WitnessIndex {
+                        context: "witness index",
+                        detail: format!(
+                            "index holds {count} records, witness map declares {declared}"
+                        ),
+                    }
+                    .into());
+                }
+                if count != 0 && count != meta.edge_count {
+                    return Err(inconsistent(
+                        "witness map",
+                        format!("{count} witness sets for {} spanner edges", meta.edge_count),
+                    ));
+                }
+                WitnessStore::Sharded {
+                    bytes: shared.clone(),
+                    at: w.offset,
+                    len: w.len,
+                    idx_at: idx.offset,
+                    idx_len: idx.len,
+                    count,
+                    cell: Arc::new(OnceLock::new()),
+                    touched: Arc::new(AtomicU64::new(0)),
+                }
+            } else {
+                WitnessStore::Lazy {
+                    bytes: shared.clone(),
+                    at: w.offset,
+                    len: w.len,
+                    cell: Arc::new(OnceLock::new()),
+                    touched: Arc::new(AtomicU64::new(0)),
+                }
             }
         };
 
@@ -1264,6 +1668,7 @@ impl FrozenSpanner {
             model: meta.model,
             witnesses,
             version: ARTIFACT_VERSION_V2,
+            sharded,
         };
         if eager {
             // Force (and memoize) the lazy sections so decode() means

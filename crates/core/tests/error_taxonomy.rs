@@ -30,6 +30,7 @@ const SNAPSHOT: &[&str] = &[
     "artifact/section-replay",
     "artifact/truncation",
     "artifact/unknown-section",
+    "artifact/witness-index",
     "artifact/witnesses-detached",
     "route/endpoint-failed",
     "route/unreachable",
@@ -67,6 +68,10 @@ fn constructed_codes() -> BTreeSet<&'static str> {
         BinaryError::MisalignedSection {
             context: "c",
             offset: 1,
+        },
+        BinaryError::WitnessIndex {
+            context: "c",
+            detail: String::new(),
         },
     ];
     let artifact = [

@@ -391,8 +391,29 @@ impl Mutator {
         // into another's frame (or emptied, if there is only one
         // section), keeping every length field honest: the frame stays
         // well-formed while the content lies.
-        let dst = self.rng.gen_range(0..sections.len());
-        let src = self.rng.gen_range(0..sections.len());
+        //
+        // When the seed carries the sharded witness pair (map tag 4,
+        // offset index tag 6), aim at it half the time: transplanting
+        // one over the other is exactly the index/payload skew the
+        // `artifact/witness-index` validation exists for, and random
+        // section picks would reach it too rarely.
+        let witness_pair = || {
+            let at = |tag| sections.iter().position(|s| s.tag == tag);
+            Some((at(4)?, at(6)?))
+        };
+        let (dst, src) = match witness_pair() {
+            Some((map, idx)) if self.rng.gen_bool(0.5) => {
+                if self.rng.gen_bool(0.5) {
+                    (idx, map)
+                } else {
+                    (map, idx)
+                }
+            }
+            _ => (
+                self.rng.gen_range(0..sections.len()),
+                self.rng.gen_range(0..sections.len()),
+            ),
+        };
         let donor: &[u8] = if sections.len() > 1 && src != dst {
             &seed[sections[src].payload..sections[src].end()]
         } else {

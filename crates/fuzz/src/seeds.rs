@@ -125,13 +125,47 @@ pub fn v2_seeds() -> Vec<Seed> {
     ]
 }
 
-/// All seeds, spanner artifacts first, v2 re-encodings last — the order
-/// is part of the determinism contract (mutant streams index into it),
-/// which is why the v2 seeds were *appended* rather than interleaved.
+/// Sharded-witness v2 re-encodings: the per-edge offset index (tag 6)
+/// plus `FLAG_WITNESSES_SHARDED`. Mutants of these are the only way the
+/// random sampler reaches the index-validation gates — offset
+/// monotonicity and alignment, index/payload agreement, record padding —
+/// so both fault models ride along. Every seed still decodes cleanly.
+pub fn sharded_seeds() -> Vec<Seed> {
+    use spanner_core::FrozenSpanner;
+    let shard = |bytes: Vec<u8>| {
+        FrozenSpanner::decode(&bytes)
+            .expect("own seed bytes decode")
+            .to_v2_sharded()
+            .encode()
+    };
+    let mut rng = StdRng::seed_from_u64(1009);
+    let geometric = generators::random_geometric(12, 0.6, &mut rng);
+    vec![
+        Seed {
+            name: "complete6-f1-vertex-v2-sharded",
+            bytes: shard(ft_artifact(
+                &generators::complete(6),
+                3,
+                1,
+                FaultModel::Vertex,
+            )),
+        },
+        Seed {
+            name: "geometric12-f2-edge-v2-sharded",
+            bytes: shard(ft_artifact(&geometric, 3, 2, FaultModel::Edge)),
+        },
+    ]
+}
+
+/// All seeds, spanner artifacts first, v2 re-encodings then sharded
+/// re-encodings last — the order is part of the determinism contract
+/// (mutant streams index into it), which is why each new family was
+/// *appended* rather than interleaved.
 pub fn all_seeds() -> Vec<Seed> {
     let mut seeds = spanner_seeds();
     seeds.extend(graph_seeds());
     seeds.extend(v2_seeds());
+    seeds.extend(sharded_seeds());
     seeds
 }
 
@@ -274,6 +308,72 @@ pub fn directed_probes() -> Vec<Probe> {
         class: "section-splice",
         bytes: detached,
     });
+
+    // Sharded witness-index probes: the offset index (tag 6) is pure
+    // derived metadata, so every gate below is an index/payload
+    // disagreement the random sampler would need a lucky resealed hit
+    // to reach — and `artifact/witness-index` coverage must not depend
+    // on luck.
+    let sharded = spanner_core::FrozenSpanner::decode(&seed)
+        .expect("own seed bytes decode")
+        .to_v2_sharded()
+        .encode();
+    let s_sections = frame_sections(&sharded);
+    let idx = s_sections
+        .iter()
+        .find(|s| tag_of(s) == 6)
+        .expect("sharded seed carries the witness index");
+    let wmap = s_sections
+        .iter()
+        .find(|s| tag_of(s) == 4)
+        .expect("sharded seed carries the witness map");
+    let reseal = |mut bytes: Vec<u8>| {
+        fix_checksum(&mut bytes);
+        bytes
+    };
+    let bump_u64 = |bytes: &mut [u8], at: usize, delta: u64| {
+        let old = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        bytes[at..at + 8].copy_from_slice(&(old.wrapping_add(delta)).to_le_bytes());
+    };
+
+    // A record offset nudged off the 8-byte grid (also breaks
+    // monotonicity's neighbor — alignment is checked first).
+    let mut nudged = sharded.clone();
+    bump_u64(&mut nudged, idx.payload + 16, 1);
+    probes.push(Probe {
+        class: "cross-section",
+        bytes: reseal(nudged),
+    });
+
+    // The final offset overshoots the witness payload it must close.
+    let count =
+        u64::from_le_bytes(sharded[idx.payload..idx.payload + 8].try_into().unwrap()) as usize;
+    let mut overshoot = sharded.clone();
+    bump_u64(&mut overshoot, idx.payload + 8 + 8 * count, 8);
+    probes.push(Probe {
+        class: "cross-section",
+        bytes: reseal(overshoot),
+    });
+
+    // Index section present with the sharded header flag cleared — the
+    // section/flag bijection, from the section side.
+    let mut unflagged = sharded.clone();
+    unflagged[12..16].copy_from_slice(&0u32.to_le_bytes());
+    probes.push(Probe {
+        class: "section-splice",
+        bytes: reseal(unflagged),
+    });
+
+    // Record 0's length claim inflated past its indexed extent
+    // (record layout: model u8 at +8, len u64 at +9, after the count
+    // header) — the per-record id list now runs off the slice the
+    // index brackets.
+    let mut inflated = sharded.clone();
+    bump_u64(&mut inflated, wmap.payload + 9, 2);
+    probes.push(Probe {
+        class: "length-inflation",
+        bytes: reseal(inflated),
+    });
     probes
 }
 
@@ -286,8 +386,8 @@ mod tests {
     fn every_seed_decodes_cleanly_and_deterministically() {
         let seeds = all_seeds();
         assert!(
-            seeds.len() >= 11,
-            "v1, graph, and v2 seeds must all be present"
+            seeds.len() >= 13,
+            "v1, graph, v2, and sharded seeds must all be present"
         );
         for seed in &seeds {
             let outcome = decode_outcome(&seed.bytes)

@@ -154,6 +154,16 @@ pub enum BinaryError {
     /// The decoded edge list violated graph invariants
     /// (range/loops/duplicates), reported by the graph layer.
     Graph(GraphError),
+    /// A per-record offset index (the sharded witness map) is
+    /// structurally invalid or disagrees with the payload it indexes —
+    /// offsets out of range, non-monotone, misaligned, or a record that
+    /// does not fill its indexed extent.
+    WitnessIndex {
+        /// What was being validated.
+        context: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 /// Every stable error code a [`BinaryError`] can carry, one per variant.
@@ -172,6 +182,7 @@ pub const BINARY_ERROR_CODES: &[&str] = &[
     "artifact/missing-section",
     "artifact/malformed",
     "artifact/graph-invariant",
+    "artifact/witness-index",
 ];
 
 impl BinaryError {
@@ -198,6 +209,7 @@ impl BinaryError {
             BinaryError::MissingSection { .. } => "artifact/missing-section",
             BinaryError::Malformed { .. } => "artifact/malformed",
             BinaryError::Graph(_) => "artifact/graph-invariant",
+            BinaryError::WitnessIndex { .. } => "artifact/witness-index",
         }
     }
 
@@ -226,6 +238,7 @@ pub fn remediation_for_code(code: &str) -> &'static str {
         "artifact/missing-section" => "rebuild the artifact from a trusted source; a required section is absent",
         "artifact/malformed" => "rebuild the artifact from a trusted source; a field violates the format invariants",
         "artifact/graph-invariant" => "rebuild the artifact from a trusted source; the graph payload violates simple-graph invariants",
+        "artifact/witness-index" => "rebuild or re-migrate the artifact with --shard-witnesses; the witness index disagrees with the witness payload it points into",
         "artifact/cross-section" => "rebuild the artifact from a trusted source; its sections contradict each other",
         _ => "rebuild the artifact from a trusted source",
     }
@@ -261,6 +274,9 @@ impl fmt::Display for BinaryError {
                 write!(f, "malformed {context}: {detail}")
             }
             BinaryError::Graph(e) => write!(f, "invalid graph payload: {e}"),
+            BinaryError::WitnessIndex { context, detail } => {
+                write!(f, "invalid {context}: {detail}")
+            }
         }
     }
 }
@@ -805,6 +821,99 @@ pub fn parse_container_v2(
         flags,
         sections,
     })
+}
+
+/// Serializes a per-record offset index: `count u64`, then the
+/// `count + 1` record-boundary offsets (`offsets[i]` is where record `i`
+/// starts inside the indexed payload; the final entry is the payload
+/// length). This is the sharded witness map's `WITNESS_INDEX` section
+/// payload; the layout is canonical by construction.
+pub fn write_offset_index(offsets: &[u64]) -> Vec<u8> {
+    debug_assert!(!offsets.is_empty(), "an index carries count + 1 offsets");
+    let mut out = Vec::with_capacity(8 * (offsets.len() + 1));
+    put_u64(&mut out, (offsets.len() - 1) as u64);
+    for &o in offsets {
+        put_u64(&mut out, o);
+    }
+    out
+}
+
+/// Parses and validates a per-record offset index against the payload it
+/// points into, returning the record count. Every gate fails closed with
+/// a typed [`BinaryError::WitnessIndex`]:
+///
+/// * the payload is exactly `8 × (count + 2)` bytes (header + the
+///   `count + 1` offsets — validated against the bytes present before
+///   anything is sized from the count);
+/// * `offsets[0] == first_offset` (the indexed payload's header width);
+/// * offsets are strictly increasing and each [`V2_SECTION_ALIGN`]-byte
+///   aligned, so every record starts on the in-place read grid;
+/// * `offsets[count] == end_offset` (the indexed payload's length), so
+///   the index spans the payload with no slack on either side.
+///
+/// Record *content* agreement (each record actually filling its indexed
+/// extent) is the indexed payload's own validation, performed per record
+/// by the consumer.
+///
+/// # Errors
+///
+/// [`BinaryError::WitnessIndex`] describing the first violation; no
+/// input can cause a panic or an unbounded allocation.
+pub fn parse_offset_index(
+    payload: &[u8],
+    first_offset: u64,
+    end_offset: u64,
+) -> Result<usize, BinaryError> {
+    let bad = |detail: String| BinaryError::WitnessIndex {
+        context: "witness index",
+        detail,
+    };
+    if payload.len() < 16 {
+        return Err(bad(format!(
+            "{} payload bytes cannot hold a count and a final offset",
+            payload.len()
+        )));
+    }
+    let count_raw = crate::bytes::read_u64_at(payload, 0);
+    let expected_len = count_raw
+        .checked_add(2)
+        .and_then(|entries| entries.checked_mul(8));
+    if expected_len != Some(payload.len() as u64) {
+        return Err(bad(format!(
+            "claimed {count_raw} records need {} bytes, payload holds {}",
+            expected_len.map_or("overflowing".to_string(), |l| l.to_string()),
+            payload.len()
+        )));
+    }
+    let count = count_raw as usize;
+    let offset_at = |i: usize| crate::bytes::read_u64_at(payload, 8 + 8 * i);
+    if offset_at(0) != first_offset {
+        return Err(bad(format!(
+            "first record offset {} is not the payload header width {first_offset}",
+            offset_at(0)
+        )));
+    }
+    for i in 0..=count {
+        let o = offset_at(i);
+        if o % V2_SECTION_ALIGN as u64 != 0 {
+            return Err(bad(format!(
+                "record offset {o} (entry {i}) is not 8-byte aligned"
+            )));
+        }
+        if i < count && offset_at(i + 1) <= o {
+            return Err(bad(format!(
+                "record offsets are not strictly increasing at entry {i} ({o} then {})",
+                offset_at(i + 1)
+            )));
+        }
+    }
+    if offset_at(count) != end_offset {
+        return Err(bad(format!(
+            "final offset {} does not close the {end_offset}-byte payload",
+            offset_at(count)
+        )));
+    }
+    Ok(count)
 }
 
 /// Serializes any graph view as the canonical edge-list payload:
@@ -1383,6 +1492,10 @@ mod tests {
             BinaryError::Graph(GraphError::SelfLoop {
                 node: NodeId::new(0),
             }),
+            BinaryError::WitnessIndex {
+                context: "witness index",
+                detail: String::new(),
+            },
         ];
         let codes: Vec<&str> = variants.iter().map(BinaryError::code).collect();
         assert_eq!(codes, BINARY_ERROR_CODES, "taxonomy snapshot drifted");
@@ -1395,6 +1508,50 @@ mod tests {
         }
         // Unknown codes degrade to the generic hint, never panic.
         assert!(!remediation_for_code("artifact/not-a-code").is_empty());
+    }
+
+    #[test]
+    fn offset_index_round_trips_and_fails_closed() {
+        // Three records starting at 8, 24, 40, payload ends at 64.
+        let offsets = [8u64, 24, 40, 64];
+        let payload = write_offset_index(&offsets);
+        assert_eq!(payload.len(), 8 * 5);
+        assert_eq!(parse_offset_index(&payload, 8, 64).unwrap(), 3);
+        // Empty index: zero records, the single offset closes the
+        // 8-byte header-only payload.
+        let empty = write_offset_index(&[8]);
+        assert_eq!(parse_offset_index(&empty, 8, 8).unwrap(), 0);
+
+        let expect_index_err = |bytes: &[u8], first: u64, end: u64, what: &str| {
+            let err = parse_offset_index(bytes, first, end).unwrap_err();
+            assert!(
+                matches!(err, BinaryError::WitnessIndex { .. }),
+                "{what}: want WitnessIndex, got {err}"
+            );
+            assert_eq!(err.code(), "artifact/witness-index");
+        };
+        // Too short to carry a count and one offset.
+        expect_index_err(&payload[..8], 8, 64, "short payload");
+        // Count disagrees with the bytes present.
+        let mut wrong_count = payload.clone();
+        wrong_count[..8].copy_from_slice(&9u64.to_le_bytes());
+        expect_index_err(&wrong_count, 8, 64, "wrong count");
+        // Overflowing count cannot wrap into a passing length check.
+        let mut huge = payload.clone();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        expect_index_err(&huge, 8, 64, "overflowing count");
+        // First offset must be the payload header width.
+        expect_index_err(&payload, 16, 64, "wrong first offset");
+        // Non-monotone offsets.
+        let mut swapped = write_offset_index(&[8, 40, 24, 64]);
+        expect_index_err(&swapped, 8, 64, "non-monotone");
+        swapped = write_offset_index(&[8, 24, 24, 64]);
+        expect_index_err(&swapped, 8, 64, "repeated offset");
+        // Misaligned offset.
+        let nudged = write_offset_index(&[8, 25, 40, 64]);
+        expect_index_err(&nudged, 8, 64, "misaligned offset");
+        // Final offset must close the payload exactly.
+        expect_index_err(&payload, 8, 72, "open tail");
     }
 
     #[test]

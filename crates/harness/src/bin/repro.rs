@@ -8,8 +8,11 @@
 //!
 //! Each experiment prints its tables and headline notes to stdout and
 //! writes one CSV per table under the output directory (default
-//! `results/`).
+//! `results/`). The binary speaks the shared [`spanner_harness::cli`]
+//! dialect: `--help` on stdout with exit 0, bad arguments on stderr
+//! with the usage and a non-zero exit.
 
+use spanner_harness::cli::{self, Parsed};
 use spanner_harness::experiments::{registry, ExperimentContext, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,7 +24,7 @@ struct Args {
     selected: Vec<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Parsed<Args>, String> {
     let mut args = Args {
         scale: Scale::Full,
         out_dir: PathBuf::from("results"),
@@ -33,27 +36,25 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.scale = Scale::Quick,
             "--smoke" => args.scale = Scale::Smoke,
-            "--out" => {
-                let dir = it.next().ok_or("--out needs a directory argument")?;
-                args.out_dir = PathBuf::from(dir);
-            }
-            "--threads" => {
-                let n = it.next().ok_or("--threads needs a number")?;
-                args.threads = Some(n.parse().map_err(|_| format!("bad thread count: {n}"))?);
-            }
-            "--help" | "-h" => {
-                return Err(usage());
-            }
+            "--out" => args.out_dir = PathBuf::from(cli::value_for(&mut it, "--out")?),
+            "--threads" => args.threads = Some(cli::parsed_value(&mut it, "--threads")?),
+            "--help" | "-h" => return Ok(Parsed::Help),
             other if other.starts_with('-') => {
-                return Err(format!("unknown flag {other}\n{}", usage()));
+                return Err(format!("unknown argument {other:?}"));
             }
             other => args.selected.push(other.to_string()),
         }
     }
     if args.selected.is_empty() {
-        return Err(format!("no experiments selected\n{}", usage()));
+        return Err("no experiments selected".into());
     }
-    Ok(args)
+    let known: Vec<String> = registry().iter().map(|(id, _)| id.to_string()).collect();
+    for id in &args.selected {
+        if id != "all" && !known.contains(id) {
+            return Err(format!("unknown experiment id {id}"));
+        }
+    }
+    Ok(Parsed::Run(args))
 }
 
 fn usage() -> String {
@@ -64,14 +65,7 @@ fn usage() -> String {
     )
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn run(args: Args) -> Result<(), String> {
     let mut ctx = ExperimentContext::new(args.scale);
     if let Some(t) = args.threads {
         ctx.threads = t.max(1);
@@ -82,12 +76,6 @@ fn main() -> ExitCode {
     } else {
         args.selected.clone()
     };
-    for id in &wanted {
-        if !all.contains(id) {
-            eprintln!("unknown experiment id {id}\n{}", usage());
-            return ExitCode::FAILURE;
-        }
-    }
     let mut failures = 0usize;
     for (id, runner) in registry() {
         if !wanted.iter().any(|w| w == id) {
@@ -137,8 +125,11 @@ fn main() -> ExitCode {
         println!();
     }
     if failures > 0 {
-        eprintln!("{failures} experiment note(s) flagged violations");
-        return ExitCode::FAILURE;
+        return Err(format!("{failures} experiment note(s) flagged violations"));
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    cli::run_main("repro", &usage(), parse_args, run)
 }

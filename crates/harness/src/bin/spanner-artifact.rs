@@ -8,9 +8,9 @@
 //!                        [--n N] [--radius R] [--p P] [--rows R --cols C]
 //!                        [--edges PATH] [--seed S] [--stretch K] [--f F]
 //!                        [--model vertex|edge] [--v2] [--detach-witnesses]
-//!                        [--out PATH]
+//!                        [--shard-witnesses] [--out PATH]
 //! spanner-artifact inspect PATH
-//! spanner-artifact migrate PATH [--out PATH]
+//! spanner-artifact migrate PATH [--out PATH] [--shard|--unshard]
 //! spanner-artifact serve PATH [--in-place] [--epochs N] [--batch B]
 //!                        [--threads T] [--seed S]
 //! ```
@@ -23,14 +23,20 @@
 //!   `VFTSPANR` binary artifact (`docs/ARTIFACT_FORMAT.md`). `--v2`
 //!   emits the alignment-padded in-place layout; `--detach-witnesses`
 //!   (implies `--v2`) drops the witness section for a routing-only
-//!   replica artifact.
+//!   replica artifact; `--shard-witnesses` (implies `--v2`, excludes
+//!   `--detach-witnesses`) adds the per-edge witness offset index so
+//!   zero-copy consumers resolve one edge's fault sets in O(|F_e|).
 //! * `inspect` dumps the container header — version, flags, checksum,
-//!   section table — and the decoded artifact's stats, without serving
+//!   section table (including witness-index stats for sharded
+//!   artifacts) — and the decoded artifact's stats, without serving
 //!   anything.
 //! * `migrate` re-lays a v1 artifact out as v2, byte-canonically: the
 //!   output is exactly what `build --v2` of the same construction would
 //!   have written, and migrating an already-v2 artifact is a verified
-//!   no-op (idempotent, byte for byte).
+//!   no-op (idempotent, byte for byte). `--shard` / `--unshard` convert
+//!   between the monolithic and sharded witness layouts, both
+//!   byte-canonical; the round trip `--unshard` ∘ `--shard` is the
+//!   identity. Without either flag the witness layout is preserved.
 //! * `serve` is the roundtrip proof: it decodes the artifact in *this*
 //!   process (built, typically, by another), re-runs the construction
 //!   from the embedded parent graph, and drives an E15-style epoch/batch
@@ -58,8 +64,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spanner_core::frozen::{
-    ARTIFACT_MAGIC, ARTIFACT_VERSION, ARTIFACT_VERSION_V2, FLAG_WITNESSES_DETACHED, SECTION_META,
-    SECTION_PARENT, SECTION_PARENT_EDGES, SECTION_SPANNER, SECTION_WITNESSES,
+    ARTIFACT_MAGIC, ARTIFACT_VERSION, ARTIFACT_VERSION_V2, FLAG_WITNESSES_DETACHED,
+    FLAG_WITNESSES_SHARDED, SECTION_META, SECTION_PARENT, SECTION_PARENT_EDGES, SECTION_SPANNER,
+    SECTION_WITNESSES, SECTION_WITNESS_INDEX,
 };
 use spanner_core::routing::{Route, RouteError};
 use spanner_core::{EpochServer, FrozenSpanner, FtGreedy};
@@ -76,9 +83,9 @@ const USAGE: &str = "usage: spanner-artifact build [--family geometric|complete|
                               [--n N] [--radius R] [--p P] [--rows R --cols C]
                               [--edges PATH] [--seed S] [--stretch K] [--f F]
                               [--model vertex|edge] [--v2] [--detach-witnesses]
-                              [--out PATH]
+                              [--shard-witnesses] [--out PATH]
        spanner-artifact inspect PATH
-       spanner-artifact migrate PATH [--out PATH]
+       spanner-artifact migrate PATH [--out PATH] [--shard|--unshard]
        spanner-artifact serve PATH [--in-place] [--epochs N] [--batch B] [--threads T] [--seed S]
        spanner-artifact replay DIR...";
 
@@ -98,6 +105,7 @@ struct BuildArgs {
     model: FaultModel,
     v2: bool,
     detach: bool,
+    shard: bool,
     out: PathBuf,
 }
 
@@ -113,6 +121,8 @@ struct ServeArgs {
 struct MigrateArgs {
     path: PathBuf,
     out: Option<PathBuf>,
+    shard: bool,
+    unshard: bool,
 }
 
 enum Command {
@@ -197,11 +207,13 @@ fn parse_build(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>,
     let mut model = FaultModel::Vertex;
     let mut v2 = false;
     let mut detach = false;
+    let mut shard = false;
     let mut out = PathBuf::from("spanner.vfts");
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--v2" => v2 = true,
             "--detach-witnesses" => detach = true,
+            "--shard-witnesses" => shard = true,
             "--family" => family = cli::value_for(it, "--family")?,
             "--n" => n = cli::parsed_value(it, "--n")?,
             "--radius" => radius = cli::parsed_value(it, "--radius")?,
@@ -220,6 +232,13 @@ fn parse_build(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>,
     }
     if stretch == 0 {
         return Err("--stretch must be positive".into());
+    }
+    if detach && shard {
+        return Err(
+            "--detach-witnesses and --shard-witnesses are mutually exclusive \
+             (there is no witness map left to index)"
+                .into(),
+        );
     }
     let spec = match edges {
         Some(path) => GraphSpec::EdgeList { path },
@@ -240,8 +259,9 @@ fn parse_build(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>,
         stretch,
         faults,
         model,
-        v2: v2 || detach, // detaching is a v2-only layout feature
+        v2: v2 || detach || shard, // both are v2-only layout features
         detach,
+        shard,
         out,
     })))
 }
@@ -249,14 +269,26 @@ fn parse_build(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>,
 fn parse_migrate(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>, String> {
     let path = positional_path(it, "migrate")?;
     let mut out = None;
+    let mut shard = false;
+    let mut unshard = false;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = Some(PathBuf::from(cli::value_for(it, "--out")?)),
+            "--shard" => shard = true,
+            "--unshard" => unshard = true,
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Parsed::Run(Command::Migrate(MigrateArgs { path, out })))
+    if shard && unshard {
+        return Err("--shard and --unshard are mutually exclusive".into());
+    }
+    Ok(Parsed::Run(Command::Migrate(MigrateArgs {
+        path,
+        out,
+        shard,
+        unshard,
+    })))
 }
 
 fn parse_serve(it: &mut impl Iterator<Item = String>) -> Result<Parsed<Command>, String> {
@@ -334,6 +366,8 @@ fn run_build(args: BuildArgs) -> Result<(), String> {
     let mut frozen = ft.freeze(&g);
     if args.detach {
         frozen = frozen.detach_witnesses();
+    } else if args.shard {
+        frozen = frozen.to_v2_sharded();
     } else if args.v2 {
         frozen = frozen.to_v2();
     }
@@ -344,6 +378,9 @@ fn run_build(args: BuildArgs) -> Result<(), String> {
     std::fs::write(&args.out, &bytes)
         .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
     let witness_note = match frozen.witnesses() {
+        Ok(w) if frozen.witnesses_sharded() => {
+            format!("{} witness sets (sharded per-edge index)", w.len())
+        }
         Ok(w) => format!("{} witness sets", w.len()),
         Err(_) => "witnesses detached (routing-only)".to_string(),
     };
@@ -372,6 +409,7 @@ fn section_name(tag: u32) -> &'static str {
         SECTION_PARENT_EDGES => "parent-edge-table",
         SECTION_WITNESSES => "witness-map",
         SECTION_PARENT => "parent-graph",
+        SECTION_WITNESS_INDEX => "witness-index",
         _ => "unknown",
     }
 }
@@ -387,19 +425,21 @@ fn run_inspect(path: PathBuf) -> Result<(), String> {
             &bytes,
             ARTIFACT_MAGIC,
             ARTIFACT_VERSION_V2,
-            FLAG_WITNESSES_DETACHED,
+            FLAG_WITNESSES_DETACHED | FLAG_WITNESSES_SHARDED,
         )
         .map_err(|e| hostile(&path, e.code(), &e))?;
+        let flag_note = if container.flags & FLAG_WITNESSES_DETACHED != 0 {
+            " (witnesses-detached)"
+        } else if container.flags & FLAG_WITNESSES_SHARDED != 0 {
+            " (witnesses-sharded)"
+        } else {
+            ""
+        };
         println!(
-            "  magic    {:?}  version {}  flags {:#010x}{}",
+            "  magic    {:?}  version {}  flags {:#010x}{flag_note}",
             String::from_utf8_lossy(&ARTIFACT_MAGIC),
             container.version,
             container.flags,
-            if container.flags & FLAG_WITNESSES_DETACHED != 0 {
-                " (witnesses-detached)"
-            } else {
-                ""
-            }
         );
         println!(
             "  checksum {:#018x} (fnv1a-64 word-wise, verified)",
@@ -413,6 +453,28 @@ fn run_inspect(path: PathBuf) -> Result<(), String> {
                 section_name(section.tag),
                 section.offset,
                 section.len
+            );
+        }
+        if let Some(idx) = container
+            .sections
+            .iter()
+            .find(|s| s.tag == SECTION_WITNESS_INDEX)
+        {
+            // Index payload is count + (count+1) offsets; the decode
+            // below fully validates it — this is a display of the
+            // declared shape.
+            let records = (idx.len / 8).saturating_sub(2);
+            let map = container
+                .sections
+                .iter()
+                .find(|s| s.tag == SECTION_WITNESSES)
+                .map(|s| s.len)
+                .unwrap_or(0);
+            println!(
+                "  witness index: {records} records indexed, {} bytes of offsets \
+                 over a {map}-byte sharded witness map ({:.1} bytes/record)",
+                idx.len,
+                map as f64 / (records.max(1)) as f64
             );
         }
     } else {
@@ -461,7 +523,16 @@ fn run_inspect(path: PathBuf) -> Result<(), String> {
     match frozen.witnesses() {
         Ok(w) => {
             let nonempty = w.iter().filter(|s| !s.is_empty()).count();
-            println!("    witnesses  {} sets ({} nonempty)", w.len(), nonempty);
+            println!(
+                "    witnesses  {} sets ({} nonempty{})",
+                w.len(),
+                nonempty,
+                if frozen.witnesses_sharded() {
+                    ", sharded per-edge index"
+                } else {
+                    ""
+                }
+            );
         }
         Err(_) => println!("    witnesses  detached (routing-only artifact)"),
     }
@@ -473,11 +544,32 @@ fn run_migrate(args: MigrateArgs) -> Result<(), String> {
         .map_err(|e| format!("cannot read {}: {e}", args.path.display()))?;
     let decoded = FrozenSpanner::decode(&bytes).map_err(|e| hostile(&args.path, e.code(), &e))?;
     let from_version = decoded.version();
-    let migrated = decoded.to_v2().encode();
-    if from_version == ARTIFACT_VERSION_V2 && migrated != bytes {
+    let was_sharded = decoded.witnesses_sharded();
+    if args.shard && decoded.witnesses_detached() {
         return Err(
-            "internal error: migrating a v2 artifact changed its bytes — \
-             migration must be idempotent"
+            "cannot --shard a witnesses-detached (routing-only) artifact: \
+             there is no witness map to index"
+                .into(),
+        );
+    }
+    // Without an explicit --shard/--unshard the witness layout is
+    // preserved, so plain `migrate` of any v2 artifact stays a no-op.
+    let to_sharded = if args.shard {
+        true
+    } else if args.unshard {
+        false
+    } else {
+        was_sharded
+    };
+    let migrated = if to_sharded {
+        decoded.to_v2_sharded().encode()
+    } else {
+        decoded.to_v2().encode()
+    };
+    if from_version == ARTIFACT_VERSION_V2 && to_sharded == was_sharded && migrated != bytes {
+        return Err(
+            "internal error: migrating a v2 artifact without a layout change \
+             altered its bytes — migration must be idempotent"
                 .into(),
         );
     }
@@ -491,12 +583,17 @@ fn run_migrate(args: MigrateArgs) -> Result<(), String> {
     let out = args.out.unwrap_or_else(|| args.path.clone());
     std::fs::write(&out, &migrated).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!(
-        "migrated {} (v{from_version}, {} bytes) -> {} (v2, {} bytes){}",
+        "migrated {} (v{from_version}, {} bytes) -> {} (v2{}, {} bytes){}",
         args.path.display(),
         bytes.len(),
         out.display(),
+        if to_sharded {
+            ", sharded witnesses"
+        } else {
+            ""
+        },
         migrated.len(),
-        if from_version == ARTIFACT_VERSION_V2 {
+        if from_version == ARTIFACT_VERSION_V2 && to_sharded == was_sharded {
             " — already v2, byte-identical"
         } else {
             ""
@@ -619,6 +716,8 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
         .freeze(parent.as_ref());
     let rebuilt = Arc::new(if loaded.witnesses_detached() {
         fresh.detach_witnesses()
+    } else if loaded.witnesses_sharded() {
+        fresh.to_v2_sharded()
     } else if loaded.version() == ARTIFACT_VERSION_V2 {
         fresh.to_v2()
     } else {

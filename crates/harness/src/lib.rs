@@ -52,6 +52,15 @@
 //! cargo run --release -p spanner-harness --bin coldbench -- --check BENCH_8.json
 //! ```
 //!
+//! Track the per-edge witness access trajectory (sharded offset index
+//! vs monolithic witness map, bytes touched per lookup, behind the
+//! committed `BENCH_10.json`) with the `witnessbench` binary:
+//!
+//! ```text
+//! cargo run --release -p spanner-harness --bin witnessbench -- --out BENCH_10.json
+//! cargo run --release -p spanner-harness --bin witnessbench -- --check BENCH_10.json
+//! ```
+//!
 //! Persist, inspect, and serve frozen spanner artifacts (the binary
 //! documents specified in `docs/ARTIFACT_FORMAT.md`) with the
 //! `spanner-artifact` binary — build once, ship the file, serve without
@@ -82,6 +91,7 @@ pub mod frontier;
 pub mod host;
 pub mod json;
 pub mod plot;
+pub mod witness_access;
 
 pub use fit::{fit_power_law, mean, std_dev, PowerFit};
 pub use sweep::{cell_seed, parallel_map};
